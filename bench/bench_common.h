@@ -1,0 +1,62 @@
+// Shared plumbing for the experiment benches (E1–E7): a pipeline runner
+// that executes {leader election → MST → partition → 1-respect} once on a
+// fresh network and reports the round/message accounting, plus small
+// helpers for instance construction.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "congest/network.h"
+#include "congest/primitives/leader_bfs.h"
+#include "congest/schedule.h"
+#include "core/one_respect.h"
+#include "dist/ghs_mst.h"
+#include "dist/tree_partition.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/mst.h"
+#include "util/bit_math.h"
+#include "util/table.h"
+
+namespace dmc::bench {
+
+struct PipelineRun {
+  Weight c_star{0};
+  std::uint64_t total_rounds{0};
+  std::uint64_t messages{0};
+  std::size_t fragments{0};
+  std::uint8_t max_words{0};
+  std::uint32_t max_edge_msgs{0};
+};
+
+/// One full Theorem-2.1 pipeline (single tree) with the given fragment
+/// freeze size (0 = ⌈√n⌉).
+inline PipelineRun run_one_respect_pipeline(const Graph& g,
+                                            std::size_t freeze = 0) {
+  Network net{g};
+  Schedule sched{net};
+  LeaderBfsProtocol lb{g};
+  sched.run_uncharged(lb);
+  const TreeView bfs = lb.tree_view(g);
+  sched.set_barrier_height(bfs.height(g));
+  sched.charge_barrier();
+  const DistMstResult mst = ghs_mst(sched, bfs, weight_keys(g), freeze);
+  const FragmentStructure fs =
+      build_fragment_structure(sched, bfs, lb.leader(), mst);
+  std::vector<Weight> w(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) w[e] = g.edge(e).w;
+  const OneRespectResult r = one_respect_min_cut(sched, bfs, fs, w);
+
+  PipelineRun out;
+  out.c_star = r.c_star;
+  out.total_rounds = sched.total_rounds();
+  out.messages = net.stats().messages;
+  out.fragments = fs.k;
+  out.max_words = net.stats().max_words_per_message;
+  out.max_edge_msgs = net.stats().max_messages_edge_round;
+  return out;
+}
+
+}  // namespace dmc::bench

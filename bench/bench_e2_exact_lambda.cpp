@@ -1,0 +1,47 @@
+// E2 — exact minimum cut in Õ((√n + D)·poly(λ)): on planted-λ instances,
+// verify exactness and measure how rounds grow with λ through the number
+// of packed trees (the poly(λ) factor in practice).
+#include "bench_common.h"
+
+#include "central/stoer_wagner.h"
+#include "core/api.h"
+
+int main() {
+  using namespace dmc;
+  using namespace dmc::bench;
+  std::cout << "E2: exact min cut vs planted lambda "
+               "(claim: Õ((√n+D)·poly(λ)), exact)\n\n";
+
+  Table t{{"graph", "lambda", "found", "exact?", "trees", "best@tree",
+           "rounds", "rounds/tree"}};
+  const std::size_t n = 96;
+  for (const std::size_t lambda : {1u, 2u, 4u, 8u, 16u}) {
+    const Graph g = make_barbell(n, lambda, 1, 17 + lambda);
+    const Weight truth = stoer_wagner_min_cut(g).value;
+    const DistMinCutResult r = distributed_min_cut(g);
+    t.add_row({"barbell(n=96)", Table::cell(lambda), Table::cell(r.value),
+               r.value == truth ? "yes" : "NO",
+               Table::cell(r.trees_packed), Table::cell(r.tree_of_best),
+               Table::cell(r.stats.total_rounds()),
+               Table::cell(static_cast<double>(r.stats.total_rounds()) /
+                               static_cast<double>(r.trees_packed),
+                           0)});
+  }
+  for (const Weight w : {1u, 3u, 6u}) {
+    const Graph g = make_barbell(n, 2, w, 29 + w);  // λ = 2w
+    const Weight truth = stoer_wagner_min_cut(g).value;
+    const DistMinCutResult r = distributed_min_cut(g);
+    t.add_row({"barbell weighted", Table::cell(2 * w), Table::cell(r.value),
+               r.value == truth ? "yes" : "NO",
+               Table::cell(r.trees_packed), Table::cell(r.tree_of_best),
+               Table::cell(r.stats.total_rounds()),
+               Table::cell(static_cast<double>(r.stats.total_rounds()) /
+                               static_cast<double>(r.trees_packed),
+                           0)});
+  }
+  t.print(std::cout);
+  std::cout << "\nshape check: rounds/tree is λ-independent (the Õ(√n+D) "
+               "per-tree cost); total rounds grow only through the tree "
+               "count, and every row is exact.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// E3 — approximation quality: the paper's (1+ε) against the (2+ε) class
+// (Matula certificate = the guarantee GK'13 carries) and the estimate-only
+// baselines (Su'14-style, GK-proxy).  The reproduction holds if ours stays
+// within (1+ε) while the 2+ε baseline can exceed it, and the estimators
+// sit in a constant/log band without producing a cut.
+#include "bench_common.h"
+
+#include "central/matula.h"
+#include "central/stoer_wagner.h"
+#include "core/api.h"
+
+int main() {
+  using namespace dmc;
+  using namespace dmc::bench;
+  std::cout << "E3: approximation ratios across algorithms "
+               "(claim: (1+ε) beats the (2+ε) class)\n\n";
+
+  Table t{{"instance", "lambda", "algorithm", "answer", "ratio",
+           "outputs cut?", "rounds"}};
+
+  const auto run_all = [&](const std::string& name, const Graph& g,
+                           std::uint64_t seed) {
+    const Weight lambda = stoer_wagner_min_cut(g).value;
+    const auto ratio = [&](Weight v) {
+      return Table::cell(
+          static_cast<double>(v) / static_cast<double>(lambda), 2);
+    };
+    const DistMinCutResult exact = distributed_min_cut(g);
+    t.add_row({name, Table::cell(lambda), "exact (paper)",
+               Table::cell(exact.value), ratio(exact.value), "yes",
+               Table::cell(exact.stats.total_rounds())});
+    for (const double eps : {0.1, 0.3, 0.5}) {
+      const DistApproxResult a = distributed_approx_min_cut(g, eps, seed);
+      t.add_row({name, Table::cell(lambda),
+                 "(1+eps) eps=" + Table::cell(eps, 1),
+                 Table::cell(a.result.value), ratio(a.result.value), "yes",
+                 Table::cell(a.result.stats.total_rounds())});
+    }
+    const MatulaResult m = matula_approx_min_cut(g, 0.5);
+    t.add_row({name, Table::cell(lambda), "Matula (2+eps) [GK band]",
+               Table::cell(m.value), ratio(m.value), "yes", "-"});
+    const SuEstimateResult su = distributed_su_estimate(g, seed);
+    t.add_row({name, Table::cell(lambda), "Su'14-style estimate",
+               Table::cell(su.estimate), ratio(su.estimate), "no",
+               Table::cell(su.stats.total_rounds())});
+    const GkEstimateResult gk = distributed_gk_estimate(g, seed);
+    t.add_row({name, Table::cell(lambda), "GK'13-proxy estimate",
+               Table::cell(gk.estimate), ratio(gk.estimate), "no",
+               Table::cell(gk.stats.total_rounds())});
+  };
+
+  run_all("barbell(64,λ=4)", make_barbell(64, 4, 1, 3), 11);
+  run_all("planted(64,λ=6)", make_planted_cut(64, 0.5, 6, 1, 5), 13);
+  run_all("weighted clique(16,w=40)", make_complete(16, 40), 17);
+
+  t.print(std::cout);
+  std::cout << "\nshape check: '(1+eps)' rows stay ≤ 1+ε; the (2+ε) row may "
+               "drift toward 2; estimators never output a cut.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// E5 — Thorup's tree-packing bound vs practice: Θ(λ⁷ log³ n) trees are
+// sufficient in theory for one tree to 1-respect the minimum cut; this
+// bench measures how many greedy trees it actually takes across λ values
+// and families (both centralized and through the distributed pipeline).
+#include "bench_common.h"
+
+#include "central/one_respect_dp.h"
+#include "central/stoer_wagner.h"
+#include "central/tree_packing.h"
+#include "central/two_respect_dp.h"
+#include "core/api.h"
+#include "graph/tree.h"
+
+int main() {
+  using namespace dmc;
+  using namespace dmc::bench;
+  std::cout << "E5: greedy trees needed until the min cut is 1-respected "
+               "(Thorup bound vs practice)\n\n";
+
+  Table t{{"instance", "lambda", "thorup bound", "trees (1-respect)",
+           "trees (2-respect ext)", "trees to best (dist)", "dist exact?"}};
+
+  const auto measure = [&](const std::string& name, const Graph& g) {
+    const Weight lambda = stoer_wagner_min_cut(g).value;
+    // Centralized: pack until some tree's 1-respect minimum equals λ;
+    // independently count how soon a tree 2-RESPECTS λ (the Karger-2000
+    // extension: Θ(log n) trees always suffice there).
+    GreedyTreePacking packing{g};
+    std::size_t needed1 = 0, needed2 = 0;
+    for (std::size_t i = 1; i <= 512 && (!needed1 || !needed2); ++i) {
+      const auto& edges = packing.next_tree();
+      const RootedTree tr = RootedTree::from_edges(g, edges, 0);
+      if (!needed1) {
+        const OneRespectValues vals = one_respect_dp(g, tr);
+        if (vals.min_cut(tr, nullptr) == lambda) needed1 = i;
+      }
+      if (!needed2 && two_respect_min_cut(g, tr).value == lambda)
+        needed2 = i;
+    }
+    ExactMinCutOptions opt;
+    opt.max_trees = 96;
+    const DistMinCutResult dist = distributed_min_cut(g, opt);
+    t.add_row({name, Table::cell(lambda),
+               Table::cell(GreedyTreePacking::thorup_tree_bound(
+                   lambda, g.num_nodes())),
+               needed1 ? Table::cell(needed1) : "> 512",
+               needed2 ? Table::cell(needed2) : "> 512",
+               Table::cell(dist.tree_of_best + 1),
+               dist.value == lambda ? "yes" : "NO"});
+  };
+
+  measure("cycle(64)", make_cycle(64));
+  // Weighted cycles: the min cut is the two lightest edges; the greedy
+  // packing must rotate its excluded edge until a tree misses one of them.
+  measure("weighted cycle(32)", with_random_weights(make_cycle(32), 3, 1, 50));
+  measure("weighted cycle(64)", with_random_weights(make_cycle(64), 9, 1, 99));
+  measure("barbell(64,λ=2)", make_barbell(64, 2, 1, 5));
+  measure("barbell(64,λ=6)", make_barbell(64, 6, 1, 7));
+  measure("planted(48,λ=4)", make_planted_cut(48, 0.6, 4, 1, 9));
+  measure("hypercube(64) λ=6", make_hypercube(6));
+  measure("torus(8×8) λ=4", make_torus(8, 8));
+  measure("weighted torus(6×6)",
+          with_random_weights(make_torus(6, 6), 7, 1, 30));
+  measure("er(48,deg≈10)",
+          make_erdos_renyi(48, 10.0 / 48.0, 11, 1, 4));
+
+  t.print(std::cout);
+  std::cout << "\nshape check: 'trees needed' stays orders of magnitude "
+               "below the λ⁷log³n bound — the practical poly(λ) factor is "
+               "tiny, which is why the exact algorithm is usable.\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// E6 — ablation of the fragment size S (the paper fixes S = √n): the
+// partition into O(n/S) fragments of diameter O(S) drives every step's
+// cost as O(n/S + S + D), minimized at S = √n.  Sweeping S exposes the
+// trade-off experimentally.
+#include "bench_common.h"
+
+int main() {
+  using namespace dmc;
+  using namespace dmc::bench;
+  std::cout << "E6: fragment freeze-size ablation "
+               "(paper picks S=√n; the sweep shows why)\n\n";
+
+  Table t{{"graph", "S (freeze size)", "fragments", "rounds", "messages"}};
+  const auto sweep = [&](const std::string& name, const Graph& g) {
+    const std::size_t n = g.num_nodes();
+    const std::size_t sqrt_n = isqrt_ceil(n);
+    for (const std::size_t s :
+         {std::size_t{2}, sqrt_n / 2, sqrt_n, sqrt_n * 2, n}) {
+      if (s < 2) continue;
+      const PipelineRun r = run_one_respect_pipeline(g, s);
+      t.add_row({name,
+                 s == sqrt_n ? Table::cell(s) + " (=√n)" : Table::cell(s),
+                 Table::cell(r.fragments), Table::cell(r.total_rounds),
+                 Table::cell(r.messages)});
+    }
+  };
+
+  {
+    const Graph g = make_erdos_renyi(400, 0.025, 3, 1, 6);
+    sweep("erdos_renyi(400)", g);
+  }
+  {
+    const Graph g = make_torus(20, 20);
+    sweep("torus(20×20)", g);
+  }
+
+  t.print(std::cout);
+  std::cout << "\nshape check: very small S inflates the fragment count "
+               "(global broadcasts of Θ(n/S) items dominate); very large S "
+               "inflates fragment diameters (intra-fragment pipelining "
+               "dominates); S=√n sits at/near the minimum.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// E8 — substrate microbenchmarks (google-benchmark): the centralized
+// oracles and the simulator engine itself, so regressions in the plumbing
+// are visible independently of the experiment tables.
+#include <benchmark/benchmark.h>
+
+#include "central/karger_stein.h"
+#include "central/matula.h"
+#include "central/one_respect_dp.h"
+#include "central/skeleton.h"
+#include "central/stoer_wagner.h"
+#include "central/tree_packing.h"
+#include "congest/network.h"
+#include "congest/primitives/leader_bfs.h"
+#include "graph/generators.h"
+#include "graph/mst.h"
+#include "graph/tree.h"
+
+namespace dmc {
+namespace {
+
+Graph bench_graph(std::size_t n) {
+  return make_erdos_renyi(n, 8.0 / static_cast<double>(n), 42, 1, 16);
+}
+
+void BM_StoerWagner(benchmark::State& state) {
+  const Graph g = bench_graph(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(stoer_wagner_min_cut(g).value);
+}
+BENCHMARK(BM_StoerWagner)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_KargerStein(benchmark::State& state) {
+  const Graph g = bench_graph(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t seed = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(karger_stein_min_cut(g, ++seed, 4).value);
+}
+BENCHMARK(BM_KargerStein)->Arg(64)->Arg(128);
+
+void BM_Matula(benchmark::State& state) {
+  const Graph g = bench_graph(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(matula_approx_min_cut(g, 0.5).value);
+}
+BENCHMARK(BM_Matula)->Arg(128)->Arg(512);
+
+void BM_OneRespectDp(benchmark::State& state) {
+  const Graph g = bench_graph(static_cast<std::size_t>(state.range(0)));
+  const RootedTree t = RootedTree::from_edges(g, kruskal(g), 0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(one_respect_dp(g, t).cut_down[1]);
+}
+BENCHMARK(BM_OneRespectDp)->Arg(256)->Arg(1024);
+
+void BM_GreedyPackingTree(benchmark::State& state) {
+  const Graph g = bench_graph(static_cast<std::size_t>(state.range(0)));
+  GreedyTreePacking packing{g};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(packing.next_tree().size());
+}
+BENCHMARK(BM_GreedyPackingTree)->Arg(256)->Arg(1024);
+
+void BM_SkeletonSampling(benchmark::State& state) {
+  const Graph g = make_complete(64, 1000);
+  std::uint64_t seed = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        sample_skeleton(g, 0.01, ++seed).graph.num_edges());
+}
+BENCHMARK(BM_SkeletonSampling);
+
+void BM_SimulatorLeaderBfs(benchmark::State& state) {
+  const Graph g =
+      make_torus(static_cast<std::size_t>(state.range(0)),
+                 static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    Network net{g};
+    LeaderBfsProtocol lb{g};
+    benchmark::DoNotOptimize(net.run(lb));
+  }
+  state.counters["rounds/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2 * state.range(0),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorLeaderBfs)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_GeneratorErdosRenyi(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        make_erdos_renyi(512, 8.0 / 512.0, ++seed).num_edges());
+}
+BENCHMARK(BM_GeneratorErdosRenyi);
+
+}  // namespace
+}  // namespace dmc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// F1 — the paper's only figure: the 16-node worked example of Section 2.
+// Regenerates every annotation of Figure 1 (fragments/T_F, A(15), merging
+// nodes, T'_F) plus the Theorem-2.1 per-node table, so the figure is
+// reproduced by the same harness that reproduces the experiment tables.
+#include <iostream>
+
+#include "congest/network.h"
+#include "congest/schedule.h"
+#include "core/ancestors.h"
+#include "core/merging_nodes.h"
+#include "core/one_respect.h"
+#include "dist/tree_partition.h"
+#include "graph/tree.h"
+#include "util/table.h"
+
+int main() {
+  using namespace dmc;
+  std::cout << "F1: the paper's Figure 1, reproduced\n\n";
+
+  Graph g{16};
+  std::vector<EdgeId> tree;
+  const auto te = [&](NodeId u, NodeId v) {
+    tree.push_back(g.add_edge(u, v, 1));
+  };
+  te(0, 1);
+  te(0, 2);
+  te(2, 3);
+  te(2, 4);
+  te(1, 5);
+  te(1, 6);
+  te(4, 7);
+  te(5, 8);
+  te(5, 9);
+  te(6, 10);
+  te(6, 11);
+  te(7, 12);
+  te(7, 13);
+  te(7, 14);
+  te(7, 15);
+  g.add_edge(8, 9, 2);   // LCA case 1 (Figure 1e)
+  g.add_edge(9, 10, 3);  // LCA case 2, merging node 1
+  g.add_edge(3, 14, 4);  // LCA case 3, z ∈ F(0)
+  g.add_edge(8, 12, 5);  // LCA case 2, merging node 0
+
+  std::vector<std::uint32_t> frag(16, 0);
+  for (const NodeId v : {5, 8, 9}) frag[v] = 1;
+  for (const NodeId v : {6, 10, 11}) frag[v] = 2;
+  for (const NodeId v : {7, 12, 13, 14, 15}) frag[v] = 3;
+  const FragmentStructure fs =
+      make_fragment_structure_centralized(g, tree, 0, frag);
+
+  Network net{g};
+  Schedule sched{net};
+  sched.set_barrier_height(fs.t_view.height(g));
+  const AncestorData ad = compute_ancestors(sched, fs);
+  const TfPrime tfp = compute_merging_nodes(sched, fs.t_view, fs, ad);
+  std::vector<Weight> w(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) w[e] = g.edge(e).w;
+  const OneRespectResult r = one_respect_min_cut(sched, fs.t_view, fs, w);
+
+  Table panels{{"figure panel", "reproduced content"}};
+  {
+    std::string s;
+    for (std::uint32_t f = 0; f < fs.k; ++f) {
+      if (f) s += "; ";
+      s += "F" + Table::cell(fs.frag_root_node[f]) + "->" +
+           (fs.frag_parent[f] == kNoFrag
+                ? std::string{"root"}
+                : "F" + Table::cell(fs.frag_root_node[fs.frag_parent[f]]));
+    }
+    panels.add_row({"(b) fragment tree T_F", s});
+  }
+  {
+    std::string s = "A(15): own={";
+    for (const auto& e : ad.own_chain[15]) s += Table::cell(e.node) + " ";
+    s += "} parent={";
+    for (const auto& e : ad.parent_chain[15]) s += Table::cell(e.node) + " ";
+    s += "}";
+    panels.add_row({"(c) ancestor sets", s});
+  }
+  {
+    std::string s = "merging: ";
+    for (NodeId v = 0; v < 16; ++v)
+      if (tfp.is_merging[v]) s += Table::cell(v) + " ";
+    s += "| T'_F edges: ";
+    for (const NodeId v : tfp.nodes)
+      if (tfp.parent.at(v) != kNoNode)
+        s += Table::cell(v) + "->" + Table::cell(tfp.parent.at(v)) + " ";
+    panels.add_row({"(d) merging nodes, T'_F", s});
+  }
+  panels.add_row({"(e/f) LCA cases",
+                  "case1 (8,9)->5, case2 (9,10)->1, case3 (3,14)->2, "
+                  "case2 (8,12)->0 (verified in tests/test_figure1.cpp)"});
+  panels.print(std::cout);
+
+  std::cout << "\nTheorem 2.1 table (C(v↓) = δ↓ - 2ρ↓):\n";
+  Table t{{"v", "fragment", "delta_down", "rho_down", "C(v_down)"}};
+  for (NodeId v = 0; v < 16; ++v)
+    t.add_row({Table::cell(v), Table::cell(fs.frag_idx[v]),
+               Table::cell(r.delta_down[v]), Table::cell(r.rho_down[v]),
+               Table::cell(r.cut_down[v])});
+  t.print(std::cout);
+  std::cout << "c* = " << r.c_star << " at v* = " << r.v_star
+            << "; rounds = " << sched.total_rounds() << "\n";
+  return 0;
+}

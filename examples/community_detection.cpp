@@ -1,0 +1,66 @@
+// Community detection via minimum cut: a planted two-community network
+// whose sparsest cut separates the communities.  Shows the exact algorithm
+// recovering the planted partition and the (1+ε) variant trading accuracy
+// for rounds.
+//
+//   ./community_detection [--n=64] [--cross=4] [--p_in=0.5] [--seed=3]
+//                         [--eps=0.3]
+#include <algorithm>
+#include <iostream>
+
+#include "central/stoer_wagner.h"
+#include "core/api.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "util/options.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace dmc;
+  const Options opt{argc, argv};
+  const std::size_t n = opt.get_uint("n", 64);
+  const std::size_t cross = opt.get_uint("cross", 4);
+  const double p_in = opt.get_double("p_in", 0.5);
+  const std::uint64_t seed = opt.get_uint("seed", 3);
+  const double eps = opt.get_double("eps", 0.3);
+
+  const Graph g = make_planted_cut(n, p_in, cross, /*cross_w=*/1, seed);
+  std::cout << "planted two-community graph: n=" << g.num_nodes()
+            << " m=" << g.num_edges() << " planted cut=" << cross << "\n\n";
+
+  // Ground truth: community A is nodes [0, n/2).
+  const auto community_accuracy = [&](const std::vector<bool>& side) {
+    // The cut side may be either community; count the best alignment.
+    std::size_t agree = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const bool in_a = v < g.num_nodes() / 2;
+      if (side[v] == in_a) ++agree;
+    }
+    return std::max(agree, g.num_nodes() - agree);
+  };
+
+  const DistMinCutResult exact = distributed_min_cut(g);
+  const DistApproxResult approx = distributed_approx_min_cut(g, eps, seed);
+
+  Table t{{"algorithm", "cut value", "community accuracy", "rounds",
+           "messages"}};
+  t.add_row({"exact (paper)", Table::cell(exact.value),
+             Table::cell(community_accuracy(exact.side)) + "/" +
+                 Table::cell(g.num_nodes()),
+             Table::cell(exact.stats.total_rounds()),
+             Table::cell(exact.stats.messages)});
+  t.add_row({"(1+eps) eps=" + Table::cell(eps, 2),
+             Table::cell(approx.result.value),
+             Table::cell(community_accuracy(approx.result.side)) + "/" +
+                 Table::cell(g.num_nodes()),
+             Table::cell(approx.result.stats.total_rounds()),
+             Table::cell(approx.result.stats.messages)});
+  t.print(std::cout);
+
+  const Weight lambda = stoer_wagner_min_cut(g).value;
+  std::cout << "\nStoer–Wagner λ = " << lambda
+            << (exact.value == lambda ? "  ✓ exact algorithm matches"
+                                      : "  ✗ MISMATCH")
+            << "\n";
+  return exact.value == lambda ? 0 : 1;
+}

@@ -1,0 +1,111 @@
+// A guided tour of the paper's Figure 1, executed for real: the 16-node
+// example tree, its fragments, the fragment tree T_F, the merging nodes,
+// T'_F, and finally the per-node δ↓ / ρ↓ / C(v↓) table of Theorem 2.1.
+//
+//   ./figure1_walkthrough
+#include <iostream>
+
+#include "congest/network.h"
+#include "congest/schedule.h"
+#include "core/ancestors.h"
+#include "core/merging_nodes.h"
+#include "core/one_respect.h"
+#include "dist/tree_partition.h"
+#include "graph/tree.h"
+#include "util/table.h"
+
+int main() {
+  using namespace dmc;
+
+  // The reconstruction of Figure 1a: root 0; fragment F(0) = {0,1,2,3,4};
+  // child fragments rooted at 5, 6 (attached at the merging node 1) and 7
+  // (attached below 2–4); leaves 8..15.
+  Graph g{16};
+  std::vector<EdgeId> tree;
+  const auto te = [&](NodeId u, NodeId v) {
+    tree.push_back(g.add_edge(u, v, 1));
+  };
+  te(0, 1);
+  te(0, 2);
+  te(2, 3);
+  te(2, 4);
+  te(1, 5);
+  te(1, 6);
+  te(4, 7);
+  te(5, 8);
+  te(5, 9);
+  te(6, 10);
+  te(6, 11);
+  te(7, 12);
+  te(7, 13);
+  te(7, 14);
+  te(7, 15);
+  // Non-tree edges exercising the three LCA cases of Step 5 (Figure 1e).
+  g.add_edge(8, 9, 2);   // case 1: same fragment, LCA 5
+  g.add_edge(9, 10, 3);  // case 2: LCA = merging node 1
+  g.add_edge(3, 14, 4);  // case 3: LCA 2 inside F(0)
+  g.add_edge(8, 12, 5);  // case 2: LCA = merging node 0
+
+  std::vector<std::uint32_t> frag(16, 0);
+  for (const NodeId v : {5, 8, 9}) frag[v] = 1;
+  for (const NodeId v : {6, 10, 11}) frag[v] = 2;
+  for (const NodeId v : {7, 12, 13, 14, 15}) frag[v] = 3;
+
+  const FragmentStructure fs =
+      make_fragment_structure_centralized(g, tree, /*root=*/0, frag);
+
+  std::cout << "=== Step 1: fragments and T_F (Figure 1b) ===\n";
+  for (std::uint32_t f = 0; f < fs.k; ++f) {
+    std::cout << "fragment " << f << " rooted at node "
+              << fs.frag_root_node[f] << ", parent fragment ";
+    if (fs.frag_parent[f] == kNoFrag)
+      std::cout << "— (root fragment)";
+    else
+      std::cout << fs.frag_parent[f];
+    std::cout << ", members:";
+    for (NodeId v = 0; v < 16; ++v)
+      if (fs.frag_idx[v] == f) std::cout << ' ' << v;
+    std::cout << '\n';
+  }
+
+  Network net{g};
+  Schedule sched{net};
+  sched.set_barrier_height(fs.t_view.height(g));
+
+  std::cout << "\n=== Step 2: ancestor sets (Figure 1c shows A(15)) ===\n";
+  const AncestorData ad = compute_ancestors(sched, fs);
+  std::cout << "A(15): own fragment:";
+  for (const auto& e : ad.own_chain[15]) std::cout << ' ' << e.node;
+  std::cout << " | parent fragment:";
+  for (const auto& e : ad.parent_chain[15]) std::cout << ' ' << e.node;
+  std::cout << "\nF(1) (fragments fully below node 1):";
+  for (const auto f : fs.closure(ad.attach[1])) std::cout << ' ' << f;
+  std::cout << "\n";
+
+  std::cout << "\n=== Step 4: merging nodes and T'_F (Figure 1d) ===\n";
+  const TfPrime tfp = compute_merging_nodes(sched, fs.t_view, fs, ad);
+  std::cout << "merging nodes:";
+  for (NodeId v = 0; v < 16; ++v)
+    if (tfp.is_merging[v]) std::cout << ' ' << v;
+  std::cout << "\nT'_F edges (child → parent):";
+  for (const NodeId v : tfp.nodes)
+    if (tfp.parent.at(v) != kNoNode)
+      std::cout << ' ' << v << "→" << tfp.parent.at(v);
+  std::cout << "\n";
+
+  std::cout << "\n=== Steps 3+5: Theorem 2.1 per-node table ===\n";
+  std::vector<Weight> w(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) w[e] = g.edge(e).w;
+  const OneRespectResult r = one_respect_min_cut(sched, fs.t_view, fs, w);
+  Table t{{"v", "fragment", "delta_down", "rho_down", "C(v_down)"}};
+  for (NodeId v = 0; v < 16; ++v)
+    t.add_row({Table::cell(v), Table::cell(fs.frag_idx[v]),
+               Table::cell(r.delta_down[v]), Table::cell(r.rho_down[v]),
+               Table::cell(r.cut_down[v])});
+  t.print(std::cout);
+  std::cout << "c* = " << r.c_star << " at v* = " << r.v_star
+            << "  (cut side X = v*'s subtree)\n"
+            << "CONGEST rounds for the walkthrough: "
+            << sched.total_rounds() << "\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+#include "central/karger2000.h"
+
+#include <cmath>
+
+#include "central/skeleton.h"
+#include "central/tree_packing.h"
+#include "central/two_respect_dp.h"
+#include "graph/algorithms.h"
+#include "graph/tree.h"
+#include "util/bit_math.h"
+#include "util/prng.h"
+
+namespace dmc {
+
+Karger2000Result karger2000_min_cut(const Graph& g, std::uint64_t seed,
+                                    std::size_t trees) {
+  DMC_REQUIRE(g.num_nodes() >= 2);
+  const std::size_t n = g.num_nodes();
+  if (trees == 0)
+    trees = 6 * std::max<std::size_t>(1, ceil_log2(n));
+
+  // Guess λ from above and sample down to a Θ(log n)-cut skeleton; retry
+  // with a smaller guess whenever the skeleton shatters.
+  Weight lambda_hat = g.min_weighted_degree();
+  const double target = 6.0 * std::log(static_cast<double>(n));
+
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double p = std::min(
+        1.0, target / std::max<double>(1.0, static_cast<double>(lambda_hat)));
+    const Skeleton sk =
+        sample_skeleton(g, p, derive_seed(seed, 0x6b32ull, attempt));
+    if (!is_connected(sk.graph)) {
+      lambda_hat = std::max<Weight>(1, lambda_hat / 4);
+      continue;
+    }
+
+    GreedyTreePacking packing{sk.graph};
+    Karger2000Result out;
+    out.p = p;
+    out.cut.value = static_cast<Weight>(-1);
+    for (std::size_t i = 0; i < trees; ++i) {
+      const std::vector<EdgeId>& sk_edges = packing.next_tree();
+      std::vector<EdgeId> orig(sk_edges.size());
+      for (std::size_t j = 0; j < sk_edges.size(); ++j)
+        orig[j] = sk.to_original[sk_edges[j]];
+      const RootedTree tree = RootedTree::from_edges(g, orig, 0);
+      const TwoRespectResult r = two_respect_min_cut(g, tree);
+      ++out.trees_packed;
+      if (r.value < out.cut.value) {
+        out.cut.value = r.value;
+        out.cut.side = r.side;
+        out.used_two_respect = r.w != kNoNode;
+      }
+    }
+    DMC_ASSERT(is_nontrivial(out.cut.side));
+    return out;
+  }
+  throw InvariantError{"karger2000: skeleton guess loop did not converge"};
+}
+
+}  // namespace dmc

@@ -1,0 +1,33 @@
+// Karger's randomized near-linear exact minimum cut [JACM 2000], laptop
+// edition: sample a skeleton so its packing value is Θ(log n), greedily
+// pack Θ(log n) trees OF THE SKELETON, and take the best cut that 1- or
+// 2-respects any of them, evaluated with ORIGINAL weights.  Karger's
+// Theorem 4.1: w.h.p. the true minimum cut 2-respects one of the packed
+// trees, so the result is exact w.h.p.
+//
+// This is the centralized counterpart of what the paper's line of work
+// later achieved distributively (2-respect in CONGEST), and serves here as
+// (a) a second independent exact oracle and (b) the reference point for
+// how few trees 2-respect needs versus 1-respect's poly(λ) (experiment
+// E5's extension).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/cut.h"
+#include "graph/graph.h"
+
+namespace dmc {
+
+struct Karger2000Result {
+  CutResult cut;
+  std::size_t trees_packed{0};
+  bool used_two_respect{false};  ///< witness needed a second tree edge
+  double p{1.0};
+};
+
+[[nodiscard]] Karger2000Result karger2000_min_cut(const Graph& g,
+                                                  std::uint64_t seed,
+                                                  std::size_t trees = 0);
+
+}  // namespace dmc

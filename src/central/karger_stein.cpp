@@ -1,0 +1,112 @@
+#include "central/karger_stein.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/bit_math.h"
+#include "util/dsu.h"
+#include "util/prng.h"
+
+namespace dmc {
+
+namespace {
+
+/// Contraction state: a DSU over original nodes plus the list of surviving
+/// (unself-looped) edges, each carrying its original endpoints.
+struct ContractState {
+  Dsu dsu;
+  std::size_t alive;  ///< number of super-nodes
+
+  explicit ContractState(std::size_t n) : dsu(n), alive(n) {}
+};
+
+/// Contracts a weighted-uniform random edge until `target` super-nodes
+/// remain.  Weighted sampling: an edge is picked with probability
+/// proportional to its weight, matching the unweighted analysis applied to
+/// the implicit parallel-edge expansion.
+void contract_to(const Graph& g, ContractState& st, std::size_t target,
+                 Prng& rng) {
+  while (st.alive > target) {
+    // Total weight of non-self-loop edges.
+    Weight total = 0;
+    for (const Edge& e : g.edges())
+      if (!st.dsu.same(e.u, e.v)) total += e.w;
+    DMC_ASSERT_MSG(total > 0, "graph disconnected during contraction");
+    Weight pick = rng.next_below(total);
+    for (const Edge& e : g.edges()) {
+      if (st.dsu.same(e.u, e.v)) continue;
+      if (pick < e.w) {
+        st.dsu.unite(e.u, e.v);
+        --st.alive;
+        break;
+      }
+      pick -= e.w;
+    }
+  }
+}
+
+Weight cut_of_state(const Graph& g, ContractState& st) {
+  Weight val = 0;
+  for (const Edge& e : g.edges())
+    if (!st.dsu.same(e.u, e.v)) val += e.w;
+  return val;
+}
+
+CutResult result_of_state(const Graph& g, ContractState& st) {
+  CutResult r;
+  r.value = cut_of_state(g, st);
+  r.side.assign(g.num_nodes(), false);
+  const std::uint64_t rep = st.dsu.find(0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    r.side[v] = (st.dsu.find(v) != rep);
+  return r;
+}
+
+CutResult recursive_contract(const Graph& g, ContractState st, Prng& rng) {
+  const std::size_t n = st.alive;
+  if (n <= 6) {
+    contract_to(g, st, 2, rng);
+    return result_of_state(g, st);
+  }
+  const std::size_t target =
+      static_cast<std::size_t>(std::ceil(1.0 + n / std::sqrt(2.0)));
+  CutResult best;
+  best.value = static_cast<Weight>(-1);
+  for (int branch = 0; branch < 2; ++branch) {
+    ContractState copy = st;
+    contract_to(g, copy, target, rng);
+    CutResult r = recursive_contract(g, std::move(copy), rng);
+    if (r.value < best.value) best = std::move(r);
+  }
+  return best;
+}
+
+}  // namespace
+
+CutResult karger_single_contraction(const Graph& g, std::uint64_t seed) {
+  DMC_REQUIRE(g.num_nodes() >= 2);
+  Prng rng{derive_seed(seed, 0x6b31ull)};
+  ContractState st{g.num_nodes()};
+  contract_to(g, st, 2, rng);
+  return result_of_state(g, st);
+}
+
+CutResult karger_stein_min_cut(const Graph& g, std::uint64_t seed,
+                               std::size_t trials) {
+  DMC_REQUIRE(g.num_nodes() >= 2);
+  if (trials == 0) {
+    const std::uint32_t lg = ceil_log2(g.num_nodes()) + 1;
+    trials = static_cast<std::size_t>(lg) * lg;
+  }
+  CutResult best;
+  best.value = static_cast<Weight>(-1);
+  for (std::size_t t = 0; t < trials; ++t) {
+    Prng rng{derive_seed(seed, 0x6b73ull, t)};
+    CutResult r = recursive_contract(g, ContractState{g.num_nodes()}, rng);
+    if (r.value < best.value) best = std::move(r);
+  }
+  DMC_ASSERT(is_nontrivial(best.side));
+  return best;
+}
+
+}  // namespace dmc

@@ -1,0 +1,25 @@
+// Karger–Stein recursive contraction: randomized exact minimum cut with
+// high probability; a classical baseline (the paper's exact algorithm is a
+// distributed descendant of Karger's line of work).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/cut.h"
+#include "graph/graph.h"
+
+namespace dmc {
+
+/// Runs `trials` independent recursive-contraction attempts and returns the
+/// best cut found.  With trials = Θ(log² n) the result is the true minimum
+/// cut with high probability.
+[[nodiscard]] CutResult karger_stein_min_cut(const Graph& g,
+                                             std::uint64_t seed,
+                                             std::size_t trials = 0);
+
+/// One plain Karger contraction down to 2 super-nodes (success prob ~ 2/n²)
+/// — exposed for tests of the contraction machinery.
+[[nodiscard]] CutResult karger_single_contraction(const Graph& g,
+                                                  std::uint64_t seed);
+
+}  // namespace dmc

@@ -1,0 +1,188 @@
+#include "central/matula.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "central/stoer_wagner.h"
+#include "util/dsu.h"
+
+namespace dmc {
+
+std::vector<bool> ni_certificate(const Graph& g, Weight k) {
+  DMC_REQUIRE(k >= 1);
+  const std::size_t n = g.num_nodes();
+  std::vector<bool> keep(g.num_edges(), false);
+  if (n == 0) return keep;
+
+  // Maximum-adjacency scan: repeatedly add the unscanned node with the
+  // largest attachment weight r(v); an edge (u,v) scanned at u is certified
+  // iff r(v) < k at that moment (it contributes one of the first k units of
+  // attachment of v).
+  std::vector<Weight> r(n, 0);
+  std::vector<bool> scanned(n, false);
+  using Entry = std::pair<Weight, NodeId>;
+  std::priority_queue<Entry> pq;
+  for (NodeId v = 0; v < n; ++v) pq.push({0, v});
+  std::size_t done = 0;
+  while (done < n) {
+    NodeId u = kNoNode;
+    while (!pq.empty()) {
+      const auto [key, cand] = pq.top();
+      pq.pop();
+      if (!scanned[cand] && key == r[cand]) {
+        u = cand;
+        break;
+      }
+    }
+    if (u == kNoNode) break;  // only isolated stale entries left
+    scanned[u] = true;
+    ++done;
+    for (const Port& p : g.ports(u)) {
+      if (scanned[p.peer]) continue;
+      if (r[p.peer] < k) keep[p.edge] = true;
+      r[p.peer] += g.edge(p.edge).w;
+      pq.push({r[p.peer], p.peer});
+    }
+  }
+  return keep;
+}
+
+namespace {
+
+/// Rebuilds the contraction of g by the DSU, collapsing parallel edges.
+/// `rep_of` maps contracted node index → DSU representative,
+/// `group` maps contracted node index → original nodes.
+Graph contract(const Graph& g, Dsu& dsu, std::vector<std::vector<NodeId>>&
+                                             group_out) {
+  std::vector<std::uint32_t> index(g.num_nodes(),
+                                   static_cast<std::uint32_t>(-1));
+  std::uint32_t next = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::size_t rep = dsu.find(v);
+    if (index[rep] == static_cast<std::uint32_t>(-1)) index[rep] = next++;
+  }
+  group_out.assign(next, {});
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    group_out[index[dsu.find(v)]].push_back(v);
+
+  // Collapse parallel edges with a map keyed by the (min,max) pair.
+  Graph h{next};
+  std::vector<std::vector<Weight>> acc;  // adjacency accumulation, sparse
+  std::unordered_map<std::uint64_t, Weight> bucket;
+  for (const Edge& e : g.edges()) {
+    const std::uint32_t a = index[dsu.find(e.u)];
+    const std::uint32_t b = index[dsu.find(e.v)];
+    if (a == b) continue;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+    bucket[key] += e.w;
+  }
+  for (const auto& [key, w] : bucket)
+    h.add_edge(static_cast<NodeId>(key >> 32),
+               static_cast<NodeId>(key & 0xFFFFFFFFull), w);
+  return h;
+}
+
+}  // namespace
+
+MatulaResult matula_approx_min_cut(const Graph& g_in, double eps) {
+  DMC_REQUIRE(g_in.num_nodes() >= 2);
+  DMC_REQUIRE(eps > 0.0);
+
+  MatulaResult result;
+  result.value = static_cast<Weight>(-1);
+
+  Graph g = g_in;
+  // group[v] = original nodes contracted into current node v.
+  std::vector<std::vector<NodeId>> group(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) group[v] = {v};
+
+  const auto consider_min_degree = [&] {
+    NodeId arg = 0;
+    Weight best = g.weighted_degree(0);
+    for (NodeId v = 1; v < g.num_nodes(); ++v) {
+      const Weight d = g.weighted_degree(v);
+      if (d < best) {
+        best = d;
+        arg = v;
+      }
+    }
+    if (best < result.value) {
+      result.value = best;
+      result.side.assign(g_in.num_nodes(), false);
+      for (const NodeId orig : group[arg]) result.side[orig] = true;
+    }
+  };
+
+  while (g.num_nodes() > 2) {
+    consider_min_degree();
+    const Weight delta = g.min_weighted_degree();
+    const Weight k = std::max<Weight>(
+        1, static_cast<Weight>(std::ceil(static_cast<double>(delta) /
+                                         (2.0 + eps))));
+    const std::vector<bool> cert = ni_certificate(g, k);
+    Dsu dsu{g.num_nodes()};
+    bool contracted = false;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (cert[e]) continue;
+      if (dsu.unite(g.edge(e).u, g.edge(e).v)) contracted = true;
+    }
+    if (!contracted) {
+      // Certificate kept every edge (rare: forests / tiny-k corner cases).
+      if (g.num_edges() + 1 == g.num_nodes()) {
+        // Tree: the minimum cut is the lightest bridge.
+        EdgeId lightest = 0;
+        for (EdgeId e = 1; e < g.num_edges(); ++e)
+          if (g.edge(e).w < g.edge(lightest).w) lightest = e;
+        if (g.edge(lightest).w < result.value) {
+          // Side = component of u after removing the bridge.
+          Dsu comp{g.num_nodes()};
+          for (EdgeId e = 0; e < g.num_edges(); ++e)
+            if (e != lightest) comp.unite(g.edge(e).u, g.edge(e).v);
+          result.value = g.edge(lightest).w;
+          result.side.assign(g_in.num_nodes(), false);
+          const std::size_t rep = comp.find(g.edge(lightest).u);
+          for (NodeId v = 0; v < g.num_nodes(); ++v)
+            if (comp.find(v) == rep)
+              for (const NodeId orig : group[v]) result.side[orig] = true;
+        }
+      } else {
+        // Fall back to the exact oracle on the stuck instance; preserves the
+        // (2+ε) guarantee trivially and only triggers on degenerate inputs.
+        const CutResult exact = stoer_wagner_min_cut(g);
+        if (exact.value < result.value) {
+          result.value = exact.value;
+          result.side.assign(g_in.num_nodes(), false);
+          for (NodeId v = 0; v < g.num_nodes(); ++v)
+            if (exact.side[v])
+              for (const NodeId orig : group[v]) result.side[orig] = true;
+        }
+      }
+      break;
+    }
+    std::vector<std::vector<NodeId>> merged_groups;
+    const Graph h = contract(g, dsu, merged_groups);
+    // Re-attach original-node groups.
+    std::vector<std::vector<NodeId>> new_group(h.num_nodes());
+    {
+      // merged_groups holds *current-graph* node ids; flatten to originals.
+      for (std::uint32_t nv = 0; nv < merged_groups.size(); ++nv)
+        for (const NodeId cur : merged_groups[nv])
+          new_group[nv].insert(new_group[nv].end(), group[cur].begin(),
+                               group[cur].end());
+    }
+    group = std::move(new_group);
+    g = h;
+    ++result.contraction_rounds;
+    if (g.num_edges() == 0) break;
+  }
+  if (g.num_nodes() == 2 && g.num_edges() > 0) consider_min_degree();
+
+  DMC_ASSERT(is_nontrivial(result.side));
+  return result;
+}
+
+}  // namespace dmc

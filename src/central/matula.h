@@ -1,0 +1,31 @@
+// Matula-style (2+ε) minimum-cut approximation via Nagamochi–Ibaraki sparse
+// certificates.
+//
+// This is the *quality* baseline for the (2+ε) class of algorithms the paper
+// improves on (Ghaffari–Kuhn [DISC'13] carry the same guarantee).  The
+// algorithm repeatedly: takes δ = current minimum weighted degree as a cut
+// candidate, computes a k-certificate with k = ⌈δ/(2+ε)⌉ via a
+// maximum-adjacency scan, contracts every non-certificate edge (cuts of
+// value < k all survive), and recurses.  At the first stage whose
+// contraction destroys the original minimum cut, λ ≥ k ≥ δ/(2+ε) holds, so
+// the returned value ≤ δ ≤ (2+ε)·λ.
+#pragma once
+
+#include "graph/cut.h"
+#include "graph/graph.h"
+
+namespace dmc {
+
+struct MatulaResult {
+  Weight value{0};         ///< candidate cut value, λ ≤ value ≤ (2+ε)λ
+  std::vector<bool> side;  ///< a cut achieving `value`
+  std::size_t contraction_rounds{0};
+};
+
+[[nodiscard]] MatulaResult matula_approx_min_cut(const Graph& g, double eps);
+
+/// The Nagamochi–Ibaraki k-certificate of g: keep[e] == true for edges in
+/// the certificate.  Every cut of value < k retains all its edges.
+[[nodiscard]] std::vector<bool> ni_certificate(const Graph& g, Weight k);
+
+}  // namespace dmc

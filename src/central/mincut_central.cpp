@@ -1,0 +1,120 @@
+#include "central/mincut_central.h"
+
+#include <cmath>
+
+#include "central/one_respect_dp.h"
+#include "central/skeleton.h"
+#include "central/tree_packing.h"
+#include "graph/algorithms.h"
+#include "graph/mst.h"
+#include "graph/tree.h"
+#include "util/bit_math.h"
+#include "util/prng.h"
+
+namespace dmc {
+
+PackingMinCutResult packing_min_cut(const Graph& g, const PackingOptions& opt) {
+  DMC_REQUIRE(g.num_nodes() >= 2);
+  DMC_REQUIRE(opt.max_trees >= 1);
+  GreedyTreePacking packing{g};
+  PackingMinCutResult out;
+  out.cut.value = static_cast<Weight>(-1);
+  std::size_t since_improvement = 0;
+  for (std::size_t i = 0; i < opt.max_trees; ++i) {
+    const std::vector<EdgeId>& edges = packing.next_tree();
+    const RootedTree tree = RootedTree::from_edges(g, edges, /*root=*/0);
+    const OneRespectValues vals = one_respect_dp(g, tree);
+    NodeId arg = kNoNode;
+    const Weight best_here = vals.min_cut(tree, &arg);
+    ++out.trees_packed;
+    if (best_here < out.cut.value) {
+      out.cut.value = best_here;
+      out.cut.side = subtree_side(tree, arg);
+      out.tree_of_best = i;
+      since_improvement = 0;
+    } else if (opt.patience > 0 && ++since_improvement >= opt.patience) {
+      break;
+    }
+  }
+  DMC_ASSERT(is_nontrivial(out.cut.side));
+  return out;
+}
+
+ApproxMinCutResult approx_min_cut_central(const Graph& g, double eps,
+                                          std::uint64_t seed) {
+  DMC_REQUIRE(g.num_nodes() >= 2);
+  DMC_REQUIRE(eps > 0.0 && eps <= 1.0);
+  const std::size_t n = g.num_nodes();
+
+  ApproxMinCutResult out;
+  // Initial guess: the minimum weighted degree bounds λ from above.
+  Weight lambda_hat = g.min_weighted_degree();
+  const double target = 3.0 * std::log(static_cast<double>(n)) / (eps * eps);
+
+  for (int iter = 0; iter < 64; ++iter) {
+    const double p = skeleton_probability(n, eps, lambda_hat);
+    if (p >= 1.0) {
+      // Cut already small: run the exact packing.
+      const PackingMinCutResult exact = packing_min_cut(g);
+      out.cut = exact.cut;
+      out.p = 1.0;
+      out.lambda_hat = lambda_hat;
+      out.trees_packed = exact.trees_packed;
+      out.sampled = false;
+      return out;
+    }
+    const Skeleton sk =
+        sample_skeleton(g, p, derive_seed(seed, 0x6170ull, iter));
+    if (!is_connected(sk.graph)) {
+      // Sampled graph shattered ⇒ p·λ ≪ log n ⇒ guess far too big.
+      lambda_hat = std::max<Weight>(1, lambda_hat / 4);
+      continue;
+    }
+    // Pack trees on the skeleton; evaluate candidate cuts with ORIGINAL
+    // weights so every candidate is a true cut value of G.
+    GreedyTreePacking packing{sk.graph};
+    const std::size_t lg = std::max<std::size_t>(1, ceil_log2(n));
+    const std::size_t trees = 4 * lg;
+    Weight best_g = static_cast<Weight>(-1);
+    Weight best_skel = static_cast<Weight>(-1);
+    std::vector<bool> best_side;
+    for (std::size_t i = 0; i < trees; ++i) {
+      const std::vector<EdgeId>& sk_edges = packing.next_tree();
+      // Map skeleton edge ids back to original ids for the tree topology.
+      std::vector<EdgeId> orig_edges(sk_edges.size());
+      for (std::size_t j = 0; j < sk_edges.size(); ++j)
+        orig_edges[j] = sk.to_original[sk_edges[j]];
+      const RootedTree tree = RootedTree::from_edges(g, orig_edges, 0);
+      const OneRespectValues vals = one_respect_dp(g, tree);
+      NodeId arg = kNoNode;
+      const Weight here = vals.min_cut(tree, &arg);
+      if (here < best_g) {
+        best_g = here;
+        best_side = subtree_side(tree, arg);
+      }
+      const OneRespectValues svals = one_respect_dp(sk.graph,
+          RootedTree::from_edges(sk.graph, sk_edges, 0));
+      NodeId sarg = kNoNode;
+      const Weight shere =
+          svals.min_cut(RootedTree::from_edges(sk.graph, sk_edges, 0), &sarg);
+      best_skel = std::min(best_skel, shere);
+    }
+    // Consistency check on the guess: skeleton min cut should be ≈ p·λ ≈
+    // target when λ̂ ≈ λ.  If way below, λ ≪ λ̂ — halve and retry.
+    if (static_cast<double>(best_skel) < target / 4.0 && lambda_hat > 1) {
+      lambda_hat = std::max<Weight>(1, lambda_hat / 2);
+      continue;
+    }
+    out.cut.value = best_g;
+    out.cut.side = std::move(best_side);
+    out.p = p;
+    out.lambda_hat = lambda_hat;
+    out.trees_packed = trees;
+    out.sampled = true;
+    DMC_ASSERT(is_nontrivial(out.cut.side));
+    return out;
+  }
+  throw InvariantError{"approx_min_cut_central: guess loop did not converge"};
+}
+
+}  // namespace dmc

@@ -1,0 +1,49 @@
+// Centralized end-to-end minimum-cut drivers built from the same blocks the
+// distributed algorithm uses (packing + 1-respect DP + sampling).  These are
+// the "paper's algorithm, run sequentially" — used to validate the
+// distributed pipeline piecewise and to benchmark the packing behaviour
+// (experiment E5) without simulator overhead.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/cut.h"
+#include "graph/graph.h"
+
+namespace dmc {
+
+struct PackingMinCutResult {
+  CutResult cut;
+  std::size_t trees_packed{0};
+  std::size_t tree_of_best{0};  ///< index of the tree that 1-respected it
+};
+
+struct PackingOptions {
+  std::size_t max_trees{256};
+  /// Stop after this many consecutive trees without improvement (0 = never).
+  std::size_t patience{16};
+};
+
+/// Exact-by-packing: greedy trees, 1-respect DP per tree, running minimum.
+/// Exact once enough trees are packed (Thorup); `patience` is the practical
+/// stopping rule whose adequacy E5 measures.
+[[nodiscard]] PackingMinCutResult packing_min_cut(const Graph& g,
+                                                  const PackingOptions& opt =
+                                                      {});
+
+struct ApproxMinCutResult {
+  CutResult cut;           ///< a true cut of G (value is exact for its side)
+  double p{1.0};           ///< final sampling probability
+  Weight lambda_hat{0};    ///< final guess used for p
+  std::size_t trees_packed{0};
+  bool sampled{false};     ///< false ⇒ p reached 1, ran exact packing
+};
+
+/// (1+ε)-approximation: skeleton sampling + packing on the skeleton +
+/// 1-respect evaluated with ORIGINAL weights, so the output is a genuine
+/// cut of G whose value bounds λ from above.
+[[nodiscard]] ApproxMinCutResult approx_min_cut_central(const Graph& g,
+                                                        double eps,
+                                                        std::uint64_t seed);
+
+}  // namespace dmc

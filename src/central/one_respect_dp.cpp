@@ -1,0 +1,39 @@
+#include "central/one_respect_dp.h"
+
+namespace dmc {
+
+OneRespectValues one_respect_dp(const Graph& g, const RootedTree& t) {
+  DMC_REQUIRE(g.num_nodes() == t.num_nodes());
+  const std::size_t n = g.num_nodes();
+  OneRespectValues out;
+  out.delta.assign(n, 0);
+  out.rho.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) out.delta[v] = g.weighted_degree(v);
+  for (const Edge& e : g.edges()) out.rho[t.lca(e.u, e.v)] += e.w;
+  out.delta_down = t.subtree_sum(out.delta);
+  out.rho_down = t.subtree_sum(out.rho);
+  out.cut_down.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    DMC_ASSERT_MSG(out.delta_down[v] >= 2 * out.rho_down[v],
+                   "Karger identity underflow at node " << v);
+    out.cut_down[v] = out.delta_down[v] - 2 * out.rho_down[v];
+  }
+  return out;
+}
+
+Weight OneRespectValues::min_cut(const RootedTree& t, NodeId* argmin) const {
+  Weight best = static_cast<Weight>(-1);
+  NodeId arg = kNoNode;
+  for (NodeId v = 0; v < cut_down.size(); ++v) {
+    if (v == t.root()) continue;  // C(root↓) == 0 is the trivial cut
+    if (cut_down[v] < best) {
+      best = cut_down[v];
+      arg = v;
+    }
+  }
+  DMC_ASSERT(arg != kNoNode);
+  if (argmin) *argmin = arg;
+  return best;
+}
+
+}  // namespace dmc

@@ -1,0 +1,35 @@
+// Karger's dynamic program for cuts that 1-respect a spanning tree
+// (Lemma 5.9 of [Kar00]; Lemma 2.2 of the paper):
+//
+//     C(v↓) = δ↓(v) − 2·ρ↓(v)
+//
+// where δ↓(v) sums the weighted degrees inside the subtree v↓ and ρ↓(v) sums
+// over u ∈ v↓ the weight ρ(u) of edges whose endpoint-LCA is u.
+//
+// This sequential oracle verifies, node by node, everything the distributed
+// Steps 1–5 compute.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/tree.h"
+
+namespace dmc {
+
+struct OneRespectValues {
+  std::vector<Weight> delta;       ///< δ(v): weighted degree
+  std::vector<Weight> rho;         ///< ρ(v): weight of edges with LCA v
+  std::vector<Weight> delta_down;  ///< δ↓(v)
+  std::vector<Weight> rho_down;    ///< ρ↓(v)
+  std::vector<Weight> cut_down;    ///< C(v↓) = δ↓(v) − 2ρ↓(v)
+
+  /// Minimum over non-root nodes (the root's "cut" is the trivial ∅ / V).
+  [[nodiscard]] Weight min_cut(const RootedTree& t, NodeId* argmin) const;
+};
+
+/// Computes all per-node quantities in O(m log n + n).
+[[nodiscard]] OneRespectValues one_respect_dp(const Graph& g,
+                                              const RootedTree& t);
+
+}  // namespace dmc

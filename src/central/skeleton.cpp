@@ -1,0 +1,40 @@
+#include "central/skeleton.h"
+
+#include <cmath>
+
+#include "util/prng.h"
+
+namespace dmc {
+
+Weight sampled_edge_weight(Weight w, double p, std::uint64_t seed,
+                           EdgeId edge) {
+  if (p >= 1.0) return w;
+  Prng rng{derive_seed(seed, 0x736bull, edge)};
+  return rng.next_binomial(w, p);
+}
+
+Skeleton sample_skeleton(const Graph& g, double p, std::uint64_t seed) {
+  DMC_REQUIRE(p > 0.0 && p <= 1.0);
+  Skeleton s;
+  s.p = p;
+  s.graph = Graph{g.num_nodes()};
+  s.sampled_w.assign(g.num_edges(), 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Weight kept = sampled_edge_weight(g.edge(e).w, p, seed, e);
+    s.sampled_w[e] = kept;
+    if (kept == 0) continue;
+    s.graph.add_edge(g.edge(e).u, g.edge(e).v, kept);
+    s.to_original.push_back(e);
+  }
+  return s;
+}
+
+double skeleton_probability(std::size_t n, double eps, Weight lambda_hat) {
+  DMC_REQUIRE(n >= 2 && eps > 0.0 && lambda_hat >= 1);
+  const double p =
+      3.0 * std::log(static_cast<double>(n)) /
+      (eps * eps * static_cast<double>(lambda_hat));
+  return std::min(1.0, p);
+}
+
+}  // namespace dmc

@@ -1,0 +1,42 @@
+// Karger's skeleton sampling [Kar94] (see also [Tho07, Lemma 7]).
+//
+// Treat an edge of weight w as w parallel unit edges and keep each
+// independently with probability p.  For p ≥ Θ(log n / (ε²λ)) every cut's
+// sampled value is within (1±ε) of p times its true value, w.h.p. — so a
+// minimum cut of the skeleton is a (1+O(ε))-minimum cut of G, while the
+// skeleton's min cut value is only Θ(log n/ε²), making poly(λ_skeleton)
+// tree packing cheap.
+//
+// Sampling decisions are keyed by (seed, edge id) only, so in the
+// distributed setting both endpoints of an edge compute the identical
+// sample without exchanging a single message.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace dmc {
+
+struct Skeleton {
+  Graph graph;                       ///< sampled multigraph (w' = kept units)
+  std::vector<EdgeId> to_original;   ///< skeleton edge id → original edge id
+  std::vector<Weight> sampled_w;     ///< per ORIGINAL edge id: kept units (0 if dropped)
+  double p{1.0};
+};
+
+/// Samples the skeleton of g with keep-probability p.
+[[nodiscard]] Skeleton sample_skeleton(const Graph& g, double p,
+                                       std::uint64_t seed);
+
+/// The sampled multiplicity of one edge — the pure function both endpoints
+/// of the edge evaluate locally in the CONGEST version.
+[[nodiscard]] Weight sampled_edge_weight(Weight w, double p,
+                                         std::uint64_t seed, EdgeId edge);
+
+/// Recommended keep-probability for target accuracy ε and cut-value guess
+/// λ̂: p = min(1, 3·ln(n)/(ε²·λ̂)).
+[[nodiscard]] double skeleton_probability(std::size_t n, double eps,
+                                          Weight lambda_hat);
+
+}  // namespace dmc

@@ -1,0 +1,75 @@
+#include "central/stoer_wagner.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace dmc {
+
+CutResult stoer_wagner_min_cut(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  DMC_REQUIRE(n >= 2);
+  DMC_REQUIRE_MSG(n <= 4096, "stoer_wagner guarded to n ≤ 4096 (O(n²) memory)");
+
+  // Dense symmetric weight matrix; parallel edges collapse by summation
+  // (cut values are unaffected).
+  std::vector<std::vector<Weight>> w(n, std::vector<Weight>(n, 0));
+  for (const Edge& e : g.edges()) {
+    w[e.u][e.v] += e.w;
+    w[e.v][e.u] += e.w;
+  }
+
+  // merged_into[v]: the set of original nodes currently contracted into v.
+  std::vector<std::vector<NodeId>> group(n);
+  for (NodeId v = 0; v < n; ++v) group[v] = {v};
+
+  std::vector<bool> dead(n, false);
+  CutResult best;
+  best.value = static_cast<Weight>(-1);
+
+  for (std::size_t phase = 0; phase + 1 < n; ++phase) {
+    // Maximum-adjacency order over alive super-nodes.
+    std::vector<Weight> conn(n, 0);
+    std::vector<bool> added(n, false);
+    NodeId prev = kNoNode, last = kNoNode;
+    const std::size_t alive = n - phase;
+    for (std::size_t step = 0; step < alive; ++step) {
+      NodeId pick = kNoNode;
+      for (NodeId v = 0; v < n; ++v) {
+        if (dead[v] || added[v]) continue;
+        if (pick == kNoNode || conn[v] > conn[pick]) pick = v;
+      }
+      DMC_ASSERT(pick != kNoNode);
+      added[pick] = true;
+      prev = last;
+      last = pick;
+      for (NodeId v = 0; v < n; ++v)
+        if (!dead[v] && !added[v]) conn[v] += w[pick][v];
+    }
+
+    // "Cut of the phase": C({last's group}).
+    const Weight phase_cut = conn[last];
+    if (phase_cut < best.value) {
+      best.value = phase_cut;
+      best.side.assign(n, false);
+      for (const NodeId orig : group[last]) best.side[orig] = true;
+    }
+
+    // Contract last into prev.
+    DMC_ASSERT(prev != kNoNode && prev != last);
+    for (NodeId v = 0; v < n; ++v) {
+      if (dead[v] || v == prev || v == last) continue;
+      w[prev][v] += w[last][v];
+      w[v][prev] = w[prev][v];
+    }
+    w[prev][last] = w[last][prev] = 0;
+    dead[last] = true;
+    group[prev].insert(group[prev].end(), group[last].begin(),
+                       group[last].end());
+    group[last].clear();
+  }
+
+  DMC_ASSERT(is_nontrivial(best.side));
+  return best;
+}
+
+}  // namespace dmc

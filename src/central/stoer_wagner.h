@@ -1,0 +1,19 @@
+// Stoer–Wagner global minimum cut (exact, deterministic, O(n³)).
+//
+// This is the library's ground-truth oracle: every distributed result is
+// verified against it in tests and experiments.  The maximum-adjacency
+// ordering it performs is also the core of Nagamochi–Ibaraki certificates
+// (see matula.h).
+#pragma once
+
+#include "graph/cut.h"
+#include "graph/graph.h"
+
+namespace dmc {
+
+/// Exact minimum cut value and one side achieving it.
+/// Requires a connected graph with n ≥ 2; O(n³) time, O(n²) memory —
+/// guarded to n ≤ 4096.
+[[nodiscard]] CutResult stoer_wagner_min_cut(const Graph& g);
+
+}  // namespace dmc

@@ -1,0 +1,46 @@
+// Thorup's greedy tree packing [Tho07, Theorem 9], centralized version.
+//
+// Generate T₁, T₂, …  where Tᵢ is a minimum spanning tree with respect to
+// the loads induced by {T₁,…,Tᵢ₋₁} (load(e) = #previous trees containing e,
+// relative to w(e)).  Thorup shows that with Θ(λ⁷ log³ n) trees, some tree
+// contains exactly one edge of the minimum cut — so the min-1-respecting
+// cut over all packed trees equals λ.  Experiment E5 measures how many
+// trees are needed in practice (far fewer).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/mst.h"
+
+namespace dmc {
+
+class GreedyTreePacking {
+ public:
+  explicit GreedyTreePacking(const Graph& g);
+
+  /// Generates and returns the next tree of the packing (n-1 edge ids).
+  const std::vector<EdgeId>& next_tree();
+
+  [[nodiscard]] std::size_t num_trees() const { return trees_.size(); }
+  [[nodiscard]] const std::vector<EdgeId>& tree(std::size_t i) const {
+    DMC_REQUIRE(i < trees_.size());
+    return trees_[i];
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& loads() const {
+    return loads_;
+  }
+
+  /// Thorup's sufficient tree count for exactness (astronomically
+  /// conservative; exposed for the E5 comparison).
+  [[nodiscard]] static std::uint64_t thorup_tree_bound(Weight lambda,
+                                                       std::size_t n);
+
+ private:
+  const Graph* g_;
+  std::vector<std::uint64_t> loads_;
+  std::vector<std::vector<EdgeId>> trees_;
+};
+
+}  // namespace dmc

@@ -1,0 +1,104 @@
+#include "central/two_respect_dp.h"
+
+#include "central/one_respect_dp.h"
+
+namespace dmc {
+
+TwoRespectResult two_respect_min_cut(const Graph& g, const RootedTree& t) {
+  const std::size_t n = g.num_nodes();
+  DMC_REQUIRE(n >= 2);
+  DMC_REQUIRE_MSG(n <= 1024, "two_respect_dp guarded to n ≤ 1024 (O(n²))");
+
+  const OneRespectValues one = one_respect_dp(g, t);
+
+  // between[v][w]: weight of edges joining v↓ and w↓ for INCOMPARABLE v,w;
+  // xcut[v][w]: weight of edges joining v↓ and V∖w↓ for v strictly below w.
+  // Accumulated per edge over its endpoints' ancestor chains: an edge
+  // (x,y) with LCA z joins a↓ and b↓ exactly when a is on x's chain below
+  // z and b on y's chain below z (incomparable case), and leaves w↓ when
+  // exactly one endpoint lies inside w↓ (comparable case handled via the
+  // same chains against ancestors above z).
+  std::vector<std::vector<Weight>> between(n, std::vector<Weight>(n, 0));
+  std::vector<std::vector<Weight>> xcut(n, std::vector<Weight>(n, 0));
+
+  const auto chain_below = [&](NodeId x, NodeId z) {
+    std::vector<NodeId> c;
+    for (NodeId u = x; u != z; u = t.parent(u)) c.push_back(u);
+    return c;  // x … child-of-z (empty if x == z)
+  };
+
+  for (const Edge& e : g.edges()) {
+    const NodeId z = t.lca(e.u, e.v);
+    const auto cu = chain_below(e.u, z);
+    const auto cv = chain_below(e.v, z);
+    // Incomparable (a, b): the edge joins a↓ and b↓ iff a is an ancestor
+    // of one endpoint and b of the other, both strictly below the LCA.
+    for (const NodeId a : cu)
+      for (const NodeId b : cv) {
+        between[a][b] += e.w;
+        between[b][a] += e.w;
+      }
+    // Comparable (a below w): the edge joins a↓ with V∖w↓ iff one endpoint
+    // is below a and the other is NOT below w — i.e. both a and w sit on
+    // the same endpoint's chain strictly below the LCA (the other endpoint
+    // then branches off at the LCA, outside w↓).
+    for (const NodeId a : cu)
+      for (const NodeId w : cu)
+        if (w != a && t.is_ancestor(w, a)) xcut[a][w] += e.w;
+    for (const NodeId a : cv)
+      for (const NodeId w : cv)
+        if (w != a && t.is_ancestor(w, a)) xcut[a][w] += e.w;
+  }
+
+  TwoRespectResult best;
+  best.value = static_cast<Weight>(-1);
+  const auto consider = [&](Weight val, NodeId v, NodeId w) {
+    if (val >= best.value) return;
+    best.value = val;
+    best.v = v;
+    best.w = w;
+  };
+
+  // 1-respecting candidates.
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == t.root()) continue;
+    consider(one.cut_down[v], v, kNoNode);
+  }
+  // 2-respecting candidates.
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == t.root()) continue;
+    for (NodeId w = 0; w < n; ++w) {
+      if (w == t.root() || w == v) continue;
+      if (t.is_ancestor(w, v)) {
+        // comparable: X = w↓ ∖ v↓ (nonempty since v ≠ w)
+        const Weight val =
+            one.cut_down[v] + one.cut_down[w] - 2 * xcut[v][w];
+        consider(val, v, w);
+      } else if (!t.is_ancestor(v, w) && v < w) {
+        // incomparable: X = v↓ ∪ w↓ (v < w avoids double counting)
+        const Weight val =
+            one.cut_down[v] + one.cut_down[w] - 2 * between[v][w];
+        consider(val, v, w);
+      }
+    }
+  }
+
+  // Materialize the side.
+  best.side.assign(n, false);
+  if (best.w == kNoNode) {
+    for (NodeId u = 0; u < n; ++u) best.side[u] = t.is_ancestor(best.v, u);
+  } else if (t.is_ancestor(best.w, best.v)) {
+    for (NodeId u = 0; u < n; ++u)
+      best.side[u] =
+          t.is_ancestor(best.w, u) && !t.is_ancestor(best.v, u);
+  } else {
+    for (NodeId u = 0; u < n; ++u)
+      best.side[u] = t.is_ancestor(best.v, u) || t.is_ancestor(best.w, u);
+  }
+  DMC_ASSERT(is_nontrivial(best.side));
+  DMC_ASSERT_MSG(cut_value(g, best.side) == best.value,
+                 "2-respect identity mismatch");
+  return best;
+}
+
+}  // namespace dmc

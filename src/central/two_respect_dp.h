@@ -1,0 +1,41 @@
+// Minimum cut that 2-RESPECTS a spanning tree (Karger [JACM 2000], §5):
+// cuts whose edge set intersects the tree in at most TWO edges.  This is
+// the paper's natural extension: with 2-respect, a greedy packing of only
+// Θ(log n) sampled trees contains a witness for the EXACT minimum cut
+// (versus poly(λ) trees for 1-respect) — the route taken by the follow-up
+// work (e.g. Mukhopadhyay–Nanongkai, STOC 2020, in the distributed
+// setting).
+//
+// For tree edges identified with their lower endpoints v, w:
+//   * comparable   (v strictly below w):  X = w↓ ∖ v↓,
+//       C(X) = C(v↓) + C(w↓) − 2·xcut(v, w),
+//       xcut = weight of edges joining v↓ with V ∖ w↓;
+//   * incomparable (disjoint subtrees):   X = v↓ ∪ w↓,
+//       C(X) = C(v↓) + C(w↓) − 2·between(v, w),
+//       between = weight of edges joining v↓ with w↓.
+//
+// This implementation is the O(n² + m·h²) verification oracle used by
+// tests and the sampled exact algorithm below laptop scale; Karger's
+// link-cut-tree speedups are out of scope.
+#pragma once
+
+#include <vector>
+
+#include "graph/cut.h"
+#include "graph/graph.h"
+#include "graph/tree.h"
+
+namespace dmc {
+
+struct TwoRespectResult {
+  Weight value{0};
+  NodeId v{kNoNode};       ///< first tree edge (lower endpoint)
+  NodeId w{kNoNode};       ///< second tree edge, or kNoNode if 1-respecting
+  std::vector<bool> side;  ///< the achieving cut side
+};
+
+/// Minimum over all cuts 1- or 2-respecting the rooted tree.
+[[nodiscard]] TwoRespectResult two_respect_min_cut(const Graph& g,
+                                                   const RootedTree& t);
+
+}  // namespace dmc

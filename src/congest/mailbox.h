@@ -1,0 +1,37 @@
+// Per-node, per-round view of the network: delivered messages and the send
+// API.  Constructed by the Network for each node each round.
+#pragma once
+
+#include <span>
+
+#include "congest/message.h"
+#include "graph/graph.h"
+
+namespace dmc {
+
+class Network;
+
+class Mailbox {
+ public:
+  Mailbox(Network& net, NodeId self, std::span<const Delivery> inbox)
+      : net_(&net), self_(self), inbox_(inbox) {}
+
+  /// Messages delivered to this node this round, ordered by port.
+  [[nodiscard]] std::span<const Delivery> inbox() const { return inbox_; }
+
+  /// Sends m over the given local port (index into graph().ports(self)).
+  /// At most one send per port per round (enforced).
+  void send(std::uint32_t port, const Message& m);
+
+  [[nodiscard]] NodeId self() const { return self_; }
+
+  /// Degree of this node (number of ports).
+  [[nodiscard]] std::size_t num_ports() const;
+
+ private:
+  Network* net_;
+  NodeId self_;
+  std::span<const Delivery> inbox_;
+};
+
+}  // namespace dmc

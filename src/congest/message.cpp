@@ -1,0 +1,5 @@
+#include "congest/message.h"
+
+// Message is header-only; this translation unit exists so the build exposes
+// a home for future non-inline helpers and keeps one object per header.
+namespace dmc {}

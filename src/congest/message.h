@@ -1,0 +1,54 @@
+// CONGEST messages.
+//
+// The model allows B = O(log n) bits per edge per round.  We fix a message
+// to at most kMaxWords machine words, each holding one O(log n)-bit
+// quantity (a node id, an edge id, a weight, a count) — a constant number
+// of O(log n)-bit fields, i.e. O(log n) bits total, exactly the budget the
+// paper's protocols assume.  The network enforces the word limit and "one
+// message per directed edge per round" at send time, and records the
+// maximum words ever used so experiment E7 can certify legality.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/assert.h"
+
+namespace dmc {
+
+using Word = std::uint64_t;
+
+/// Words per message.  6 words cover the widest message in the library
+/// (pipeline-MST stream items: edge id, load, weight, two fragment ids).
+inline constexpr std::uint8_t kMaxWords = 6;
+
+struct Message {
+  std::uint32_t tag{0};
+  std::uint8_t size{0};
+  std::array<Word, kMaxWords> w{};
+
+  [[nodiscard]] static Message make(std::uint32_t tag,
+                                    std::initializer_list<Word> words) {
+    DMC_REQUIRE(words.size() <= kMaxWords);
+    Message m;
+    m.tag = tag;
+    m.size = static_cast<std::uint8_t>(words.size());
+    std::size_t i = 0;
+    for (const Word word : words) m.w[i++] = word;
+    return m;
+  }
+
+  [[nodiscard]] Word at(std::size_t i) const {
+    DMC_REQUIRE(i < size);
+    return w[i];
+  }
+};
+
+/// A message delivered to a node, together with the local port (index into
+/// the node's adjacency) it arrived on.
+struct Delivery {
+  std::uint32_t port{0};
+  Message msg;
+};
+
+}  // namespace dmc

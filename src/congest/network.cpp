@@ -1,0 +1,123 @@
+#include "congest/network.h"
+
+#include <algorithm>
+
+namespace dmc {
+
+Network::Network(const Graph& g) : g_(&g) {
+  const std::size_t n = g.num_nodes();
+  inbox_.resize(n);
+  pending_.resize(n);
+  port_base_.resize(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v)
+    port_base_[v + 1] = port_base_[v] +
+                        static_cast<std::uint32_t>(g.degree(v));
+  sent_this_round_.assign(port_base_[n], 0);
+}
+
+void Mailbox::send(std::uint32_t port, const Message& m) {
+  net_->send_from(self_, port, m);
+}
+
+std::size_t Mailbox::num_ports() const {
+  return net_->graph().degree(self_);
+}
+
+void Network::send_from(NodeId from, std::uint32_t port, const Message& m) {
+  DMC_REQUIRE(from < g_->num_nodes());
+  DMC_REQUIRE_MSG(port < g_->degree(from),
+                  "node " << from << " has no port " << port);
+  DMC_REQUIRE_MSG(m.size <= kMaxWords, "message exceeds word budget");
+
+  // One message per directed edge per round.
+  std::uint32_t& marker = sent_this_round_[port_base_[from] + port];
+  DMC_REQUIRE_MSG(marker != round_token_,
+                  "node " << from << " sent twice on port " << port
+                          << " in one round");
+  marker = round_token_;
+
+  const Port p = g_->ports(from)[port];
+  // Find the reverse port index at the peer (cached lookup would be an
+  // optimization; degree scans are fine at this scale).
+  std::uint32_t reverse = 0;
+  {
+    const auto peer_ports = g_->ports(p.peer);
+    bool found = false;
+    for (std::uint32_t i = 0; i < peer_ports.size(); ++i) {
+      if (peer_ports[i].edge == p.edge) {
+        reverse = i;
+        found = true;
+        break;
+      }
+    }
+    DMC_ASSERT(found);
+  }
+  pending_[p.peer].push_back(Delivery{reverse, m});
+  ++in_flight_;
+  ++stats_.messages;
+  stats_.words += m.size;
+  stats_.max_words_per_message =
+      std::max(stats_.max_words_per_message, m.size);
+}
+
+std::uint64_t Network::run(Protocol& p, std::uint64_t max_rounds) {
+  if (max_rounds == 0)
+    max_rounds = 64 * (g_->num_nodes() + g_->num_edges()) + 1024;
+
+  const std::size_t n = g_->num_nodes();
+  std::uint64_t executed = 0;
+  const std::uint64_t messages_before = stats_.messages;
+  const std::uint64_t words_before = stats_.words;
+
+  for (;;) {
+    // Deliver last round's sends.
+    for (NodeId v = 0; v < n; ++v) {
+      inbox_[v].clear();
+      std::swap(inbox_[v], pending_[v]);
+      std::sort(inbox_[v].begin(), inbox_[v].end(),
+                [](const Delivery& a, const Delivery& b) {
+                  return a.port < b.port;
+                });
+    }
+    in_flight_ = 0;
+    ++round_token_;
+
+    // Execute every node.
+    for (NodeId v = 0; v < n; ++v) {
+      Mailbox mb{*this, v, std::span<const Delivery>{inbox_[v]}};
+      p.round(v, mb);
+    }
+    ++executed;
+    ++stats_.rounds;
+
+    // Worst per-edge congestion: the send-twice check above enforces ≤ 1
+    // message per directed edge per round, so the observed maximum is 1
+    // whenever any message was sent.  E7 reports this observed value.
+    if (in_flight_ > 0)
+      stats_.max_messages_edge_round =
+          std::max<std::uint32_t>(stats_.max_messages_edge_round, 1);
+
+    // Quiescent?
+    if (in_flight_ == 0) {
+      bool all_done = true;
+      for (NodeId v = 0; v < n; ++v) {
+        if (!p.local_done(v)) {
+          all_done = false;
+          break;
+        }
+      }
+      if (all_done) break;
+    }
+
+    DMC_ASSERT_MSG(executed < max_rounds,
+                   "protocol '" << p.name() << "' exceeded " << max_rounds
+                                << " rounds (deadlock?)");
+  }
+
+  stats_.per_protocol.push_back(ProtocolStats{
+      p.name(), executed, stats_.messages - messages_before,
+      stats_.words - words_before});
+  return executed;
+}
+
+}  // namespace dmc

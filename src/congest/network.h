@@ -1,0 +1,60 @@
+// The synchronous CONGEST network engine.
+//
+// Execution model (standard CONGEST, [Pel00]):
+//   * rounds are synchronous; in each round every node runs local
+//     computation, then sends ≤ 1 message of ≤ kMaxWords words per incident
+//     edge direction; messages are delivered at the start of the next round;
+//   * the engine iterates nodes deterministically (ascending id) — node
+//     programs may not read each other's state, so the order is
+//     unobservable, but it makes simulations bit-reproducible;
+//   * a protocol run ends at quiescence: no message in flight and every
+//     node `local_done`.  Real deployments detect this with an explicit
+//     barrier over a BFS tree; see Schedule for how those rounds are
+//     charged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/mailbox.h"
+#include "congest/message.h"
+#include "congest/protocol.h"
+#include "congest/stats.h"
+#include "graph/graph.h"
+
+namespace dmc {
+
+class Network {
+ public:
+  explicit Network(const Graph& g);
+
+  [[nodiscard]] const Graph& graph() const { return *g_; }
+  [[nodiscard]] std::size_t num_nodes() const { return g_->num_nodes(); }
+
+  /// Runs one protocol to quiescence.  Returns the number of rounds
+  /// executed.  Throws InvariantError if `max_rounds` is exceeded (deadlock
+  /// guard); max_rounds == 0 picks a generous default of
+  /// 64·(n + m) + 1024.
+  std::uint64_t run(Protocol& p, std::uint64_t max_rounds = 0);
+
+  [[nodiscard]] const CongestStats& stats() const { return stats_; }
+  [[nodiscard]] CongestStats& stats() { return stats_; }
+
+ private:
+  friend class Mailbox;
+  void send_from(NodeId from, std::uint32_t port, const Message& m);
+
+  const Graph* g_;
+  CongestStats stats_;
+
+  // Double-buffered mail: `pending_` holds messages sent this round,
+  // delivered next round into `inbox_`.
+  std::vector<std::vector<Delivery>> inbox_;
+  std::vector<std::vector<Delivery>> pending_;
+  std::vector<std::uint32_t> sent_this_round_;  // per directed port marker
+  std::vector<std::uint32_t> port_base_;        // node → directed-port offset
+  std::uint64_t in_flight_{0};
+  std::uint32_t round_token_{0};
+};
+
+}  // namespace dmc

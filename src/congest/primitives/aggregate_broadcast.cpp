@@ -1,0 +1,226 @@
+#include "congest/primitives/aggregate_broadcast.h"
+
+#include <algorithm>
+
+namespace dmc {
+
+namespace {
+constexpr std::uint32_t kTagUpItem = 1;
+constexpr std::uint32_t kTagUpDone = 2;
+constexpr std::uint32_t kTagDownItem = 3;
+constexpr std::uint32_t kTagDownDone = 4;
+
+AggItem combine_items(AggOp op, const AggItem& a, const AggItem& b) {
+  DMC_ASSERT(a.key == b.key);
+  switch (op) {
+    case AggOp::kSum:
+      return AggItem{a.key, {a.p[0] + b.p[0], a.p[1] + b.p[1],
+                             a.p[2] + b.p[2]}};
+    case AggOp::kMin:
+      return a.p <= b.p ? a : b;
+    case AggOp::kUnique:
+      throw InvariantError{"AggOp::kUnique saw a duplicate key"};
+  }
+  throw InvariantError{"unknown AggOp"};
+}
+}  // namespace
+
+AggregateBroadcastProtocol::AggregateBroadcastProtocol(
+    const Graph& g, const TreeView& tv, AggOptions options,
+    std::vector<std::vector<AggItem>> contributions)
+    : tv_(&tv), opt_(options) {
+  DMC_REQUIRE(contributions.size() == g.num_nodes());
+  const std::size_t n = g.num_nodes();
+  st_.resize(n);
+  final_.assign(n, {});
+  tapped_.assign(n, {});
+  absorbed_.assign(n, {});
+  for (NodeId v = 0; v < n; ++v) {
+    State& s = st_[v];
+    s.own = std::move(contributions[v]);
+    std::sort(s.own.begin(), s.own.end(),
+              [](const AggItem& a, const AggItem& b) { return a.key < b.key; });
+    // Pre-combine equal keys within one node's contribution.
+    std::vector<AggItem> merged;
+    for (const AggItem& it : s.own) {
+      if (!merged.empty() && merged.back().key == it.key)
+        merged.back() = combine_items(opt_.op, merged.back(), it);
+      else
+        merged.push_back(it);
+    }
+    s.own = std::move(merged);
+    s.child.resize(tv.children_ports(v).size());
+  }
+}
+
+bool AggregateBroadcastProtocol::up_blocked(const State& s) const {
+  for (const ChildStream& c : s.child)
+    if (!c.done && c.buf.empty()) return true;
+  return false;
+}
+
+bool AggregateBroadcastProtocol::up_exhausted(const State& s) const {
+  if (s.own_ptr < s.own.size()) return false;
+  for (const ChildStream& c : s.child)
+    if (!c.done || !c.buf.empty()) return false;
+  return true;
+}
+
+AggItem AggregateBroadcastProtocol::pop_min(State& s) {
+  // Precondition: !up_blocked && !up_exhausted.
+  bool have = false;
+  Word k = 0;
+  if (s.own_ptr < s.own.size()) {
+    k = s.own[s.own_ptr].key;
+    have = true;
+  }
+  for (const ChildStream& c : s.child) {
+    if (c.buf.empty()) continue;
+    if (!have || c.buf.front().key < k) {
+      k = c.buf.front().key;
+      have = true;
+    }
+  }
+  DMC_ASSERT(have);
+  AggItem out{};
+  bool first = true;
+  if (s.own_ptr < s.own.size() && s.own[s.own_ptr].key == k) {
+    out = s.own[s.own_ptr];
+    ++s.own_ptr;
+    first = false;
+  }
+  for (ChildStream& c : s.child) {
+    if (!c.buf.empty() && c.buf.front().key == k) {
+      out = first ? c.buf.front() : combine_items(opt_.op, out, c.buf.front());
+      c.buf.pop_front();
+      first = false;
+    }
+  }
+  return out;
+}
+
+bool AggregateBroadcastProtocol::next_outgoing(NodeId v, AggItem& out) {
+  State& s = st_[v];
+  while (!up_blocked(s) && !up_exhausted(s)) {
+    AggItem it = pop_min(s);
+    if (opt_.tap) tapped_[v].push_back(it);
+    if (opt_.absorb && it.key == v) {
+      absorbed_[v].push_back(it);
+      continue;  // absorbed: free to pop another this round
+    }
+    out = it;
+    return true;
+  }
+  return false;
+}
+
+void AggregateBroadcastProtocol::round(NodeId v, Mailbox& mb) {
+  State& s = st_[v];
+  const auto& children = tv_->children_ports(v);
+
+  // ---- receive ----
+  for (const Delivery& d : mb.inbox()) {
+    switch (d.msg.tag) {
+      case kTagUpItem:
+      case kTagUpDone: {
+        std::size_t idx = static_cast<std::size_t>(-1);
+        for (std::size_t i = 0; i < children.size(); ++i)
+          if (children[i] == d.port) {
+            idx = i;
+            break;
+          }
+        DMC_ASSERT_MSG(idx != static_cast<std::size_t>(-1),
+                       "up-message from a non-child port");
+        if (d.msg.tag == kTagUpItem)
+          s.child[idx].buf.push_back(
+              AggItem{d.msg.at(0), {d.msg.at(1), d.msg.at(2), d.msg.at(3)}});
+        else
+          s.child[idx].done = true;
+        break;
+      }
+      case kTagDownItem: {
+        DMC_ASSERT(d.port == tv_->parent_port(v));
+        const AggItem it{d.msg.at(0),
+                         {d.msg.at(1), d.msg.at(2), d.msg.at(3)}};
+        final_[v].push_back(it);
+        s.down_queue.push_back(it);
+        break;
+      }
+      case kTagDownDone:
+        s.parent_down_done = true;
+        break;
+      default:
+        throw InvariantError{"agg_broadcast: unknown tag"};
+    }
+  }
+
+  // ---- up phase ----
+  if (!s.up_complete) {
+    if (tv_->is_root(v)) {
+      // The root absorbs greedily: its children deliver at most one item
+      // each per round, so draining is local computation.
+      AggItem it;
+      while (next_outgoing(v, it)) {
+        if (!final_[v].empty() && final_[v].back().key == it.key)
+          final_[v].back() = combine_items(opt_.op, final_[v].back(), it);
+        else
+          final_[v].push_back(it);
+      }
+      if (up_exhausted(s)) s.up_complete = true;
+    } else {
+      AggItem it;
+      if (next_outgoing(v, it)) {
+        mb.send(tv_->parent_port(v),
+                Message::make(kTagUpItem, {it.key, it.p[0], it.p[1],
+                                           it.p[2]}));
+      } else if (up_exhausted(s) && !s.up_done_sent) {
+        mb.send(tv_->parent_port(v), Message::make(kTagUpDone, {}));
+        s.up_done_sent = true;
+        s.up_complete = true;
+      }
+    }
+  }
+
+  // ---- down phase ----
+  if (!opt_.deliver_all) {
+    s.down_complete = s.up_complete;
+    return;
+  }
+  if (tv_->is_root(v)) {
+    if (s.up_complete && !s.down_done_sent) {
+      if (s.root_down_ptr < final_[v].size()) {
+        const AggItem& it = final_[v][s.root_down_ptr++];
+        const Message m = Message::make(
+            kTagDownItem, {it.key, it.p[0], it.p[1], it.p[2]});
+        for (const std::uint32_t cp : children) mb.send(cp, m);
+      } else {
+        const Message m = Message::make(kTagDownDone, {});
+        for (const std::uint32_t cp : children) mb.send(cp, m);
+        s.down_done_sent = true;
+        s.down_complete = true;
+      }
+    }
+  } else {
+    if (!s.down_queue.empty()) {
+      const AggItem it = s.down_queue.front();
+      s.down_queue.pop_front();
+      const Message m =
+          Message::make(kTagDownItem, {it.key, it.p[0], it.p[1], it.p[2]});
+      for (const std::uint32_t cp : children) mb.send(cp, m);
+    } else if (s.parent_down_done && !s.down_done_sent) {
+      const Message m = Message::make(kTagDownDone, {});
+      for (const std::uint32_t cp : children) mb.send(cp, m);
+      s.down_done_sent = true;
+      s.down_complete = true;
+    }
+  }
+}
+
+bool AggregateBroadcastProtocol::local_done(NodeId v) const {
+  const State& s = st_[v];
+  if (!s.up_complete) return false;
+  if (!opt_.deliver_all) return true;
+  return s.down_complete;
+}
+
+}  // namespace dmc

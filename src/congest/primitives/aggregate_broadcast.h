@@ -1,0 +1,110 @@
+// AggregateBroadcast: the paper's "collect k items and disseminate"
+// pattern, implemented as sorted keyed stream merging (pipelined
+// convergecast):
+//
+//   * every node contributes 0+ (key, payload) items;
+//   * items stream up the tree in increasing key order, one per edge per
+//     round; equal keys are combined en route (Sum / Min / Unique);
+//   * the root obtains the combined sorted list; optionally it is then
+//     pipelined down so EVERY node holds all k items (deliver_all);
+//   * optionally every node records the combined items that passed through
+//     it (tap) — for node v that is exactly the set of items originated in
+//     v's subtree, e.g. Step 2's "child fragments attached below v";
+//   * optionally an item whose key equals a node id is absorbed at that
+//     node instead of travelling further (absorb) — Step 5(ii)'s
+//     "count messages ⟨v⟩ within v↓ ∩ F_i by summing through the tree".
+//
+// Round cost: O(height + k) up, O(height + k) down — the standard
+// pipelining bound the paper charges for Steps 1–5.
+//
+// Runs on a forest: each tree aggregates independently (used per-fragment).
+#pragma once
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "congest/protocol.h"
+#include "congest/tree_view.h"
+
+namespace dmc {
+
+struct AggItem {
+  Word key{0};
+  std::array<Word, 3> p{};  ///< payload
+
+  [[nodiscard]] friend bool operator<(const AggItem& a, const AggItem& b) {
+    return a.key < b.key;
+  }
+};
+
+enum class AggOp {
+  kSum,     ///< payload words add
+  kMin,     ///< lexicographically smaller payload wins
+  kUnique,  ///< duplicate keys are an invariant violation
+};
+
+struct AggOptions {
+  AggOp op{AggOp::kSum};
+  bool deliver_all{false};  ///< pipeline the final list back down
+  bool tap{false};          ///< record items passing through each node
+  bool absorb{false};       ///< item with key == node id stops there
+};
+
+class AggregateBroadcastProtocol final : public Protocol {
+ public:
+  AggregateBroadcastProtocol(const Graph& g, const TreeView& tv,
+                             AggOptions options,
+                             std::vector<std::vector<AggItem>> contributions);
+
+  [[nodiscard]] std::string name() const override { return "agg_broadcast"; }
+  void round(NodeId v, Mailbox& mb) override;
+  [[nodiscard]] bool local_done(NodeId v) const override;
+
+  /// Final combined list: at every node if deliver_all, else at roots.
+  [[nodiscard]] const std::vector<AggItem>& items(NodeId v) const {
+    return final_[v];
+  }
+  /// Items recorded in tap mode (valid after the run).
+  [[nodiscard]] const std::vector<AggItem>& tapped(NodeId v) const {
+    return tapped_[v];
+  }
+  /// Items absorbed at v in absorb mode (combined; usually 0 or 1).
+  [[nodiscard]] const std::vector<AggItem>& absorbed(NodeId v) const {
+    return absorbed_[v];
+  }
+
+ private:
+  struct ChildStream {
+    std::deque<AggItem> buf;
+    bool done{false};
+  };
+  struct State {
+    std::vector<AggItem> own;   ///< sorted, pre-combined
+    std::size_t own_ptr{0};
+    std::vector<ChildStream> child;   ///< parallel to children_ports
+    bool up_complete{false};
+    bool up_done_sent{false};
+    std::deque<AggItem> down_queue;
+    bool parent_down_done{false};
+    bool down_done_sent{false};
+    std::size_t root_down_ptr{0};
+    bool down_complete{false};
+  };
+
+  [[nodiscard]] bool up_blocked(const State& s) const;
+  [[nodiscard]] bool up_exhausted(const State& s) const;
+  AggItem pop_min(State& s);
+  /// Pops the next item that must travel onward (absorbing en route);
+  /// returns false if exhausted/blocked before finding one.
+  bool next_outgoing(NodeId v, AggItem& out);
+
+  const TreeView* tv_;
+  AggOptions opt_;
+  std::vector<State> st_;
+  std::vector<std::vector<AggItem>> final_;
+  std::vector<std::vector<AggItem>> tapped_;
+  std::vector<std::vector<AggItem>> absorbed_;
+};
+
+}  // namespace dmc

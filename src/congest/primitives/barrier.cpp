@@ -1,0 +1,49 @@
+#include "congest/primitives/barrier.h"
+
+namespace dmc {
+
+namespace {
+constexpr std::uint32_t kTagDone = 1;
+constexpr std::uint32_t kTagGo = 2;
+}  // namespace
+
+BarrierProtocol::BarrierProtocol(const Graph& g, const TreeView& tv)
+    : tv_(&tv) {
+  const std::size_t n = g.num_nodes();
+  waiting_.resize(n);
+  done_sent_.assign(n, 0);
+  go_.assign(n, 0);
+  go_forwarded_.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v)
+    waiting_[v] = static_cast<std::uint32_t>(tv.children_ports(v).size());
+}
+
+void BarrierProtocol::round(NodeId v, Mailbox& mb) {
+  for (const Delivery& d : mb.inbox()) {
+    if (d.msg.tag == kTagDone) {
+      DMC_ASSERT(waiting_[v] > 0);
+      --waiting_[v];
+    } else {
+      DMC_ASSERT(d.msg.tag == kTagGo);
+      go_[v] = 1;
+    }
+  }
+  if (!done_sent_[v] && waiting_[v] == 0) {
+    done_sent_[v] = 1;
+    if (tv_->is_root(v))
+      go_[v] = 1;
+    else
+      mb.send(tv_->parent_port(v), Message::make(kTagDone, {}));
+  }
+  if (go_[v] && !go_forwarded_[v]) {
+    go_forwarded_[v] = 1;
+    for (const std::uint32_t cp : tv_->children_ports(v))
+      mb.send(cp, Message::make(kTagGo, {}));
+  }
+}
+
+bool BarrierProtocol::local_done(NodeId v) const {
+  return go_[v] != 0 && go_forwarded_[v] != 0;
+}
+
+}  // namespace dmc

@@ -1,0 +1,36 @@
+// BarrierProtocol: explicit termination-detection barrier over a rooted
+// tree — convergecast of DONE from the leaves, then broadcast of GO from
+// the root.  Costs exactly 2·height + 2 rounds.
+//
+// The Schedule charges this cost after every protocol run instead of
+// executing it; this protocol exists so tests can verify the charge matches
+// the real thing (test_barrier.cpp).
+#pragma once
+
+#include <vector>
+
+#include "congest/protocol.h"
+#include "congest/tree_view.h"
+
+namespace dmc {
+
+class BarrierProtocol final : public Protocol {
+ public:
+  BarrierProtocol(const Graph& g, const TreeView& tv);
+
+  [[nodiscard]] std::string name() const override { return "barrier"; }
+  void round(NodeId v, Mailbox& mb) override;
+  [[nodiscard]] bool local_done(NodeId v) const override;
+
+  /// True once v observed GO (valid after the run: true everywhere).
+  [[nodiscard]] bool released(NodeId v) const { return go_[v] != 0; }
+
+ private:
+  const TreeView* tv_;
+  std::vector<std::uint32_t> waiting_;
+  std::vector<std::uint8_t> done_sent_;
+  std::vector<std::uint8_t> go_;
+  std::vector<std::uint8_t> go_forwarded_;
+};
+
+}  // namespace dmc

@@ -1,0 +1,80 @@
+#include "congest/primitives/convergecast.h"
+
+namespace dmc {
+
+namespace {
+constexpr std::uint32_t kTagUp = 1;
+constexpr std::uint32_t kTagDown = 2;
+}  // namespace
+
+CValue combine(CombineOp op, const CValue& a, const CValue& b) {
+  switch (op) {
+    case CombineOp::kSum:
+      return CValue{a.w0 + b.w0, a.w1 + b.w1};
+    case CombineOp::kMin:
+      if (b.w0 < a.w0 || (b.w0 == a.w0 && b.w1 < a.w1)) return b;
+      return a;
+    case CombineOp::kMax:
+      if (b.w0 > a.w0 || (b.w0 == a.w0 && b.w1 > a.w1)) return b;
+      return a;
+  }
+  throw InvariantError{"unknown CombineOp"};
+}
+
+ConvergecastProtocol::ConvergecastProtocol(const Graph& g, const TreeView& tv,
+                                           CombineOp op,
+                                           std::vector<CValue> initial,
+                                           bool broadcast_result)
+    : tv_(&tv), op_(op), broadcast_(broadcast_result),
+      acc_(std::move(initial)) {
+  DMC_REQUIRE(acc_.size() == g.num_nodes());
+  const std::size_t n = g.num_nodes();
+  result_.assign(n, CValue{});
+  waiting_.resize(n);
+  sent_up_.assign(n, 0);
+  got_result_.assign(n, 0);
+  fwd_result_.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v)
+    waiting_[v] =
+        static_cast<std::uint32_t>(tv.children_ports(v).size());
+}
+
+void ConvergecastProtocol::round(NodeId v, Mailbox& mb) {
+  for (const Delivery& d : mb.inbox()) {
+    if (d.msg.tag == kTagUp) {
+      acc_[v] = combine(op_, acc_[v], CValue{d.msg.at(0), d.msg.at(1)});
+      DMC_ASSERT(waiting_[v] > 0);
+      --waiting_[v];
+    } else {
+      DMC_ASSERT(d.msg.tag == kTagDown);
+      result_[v] = CValue{d.msg.at(0), d.msg.at(1)};
+      got_result_[v] = 1;
+    }
+  }
+
+  if (!sent_up_[v] && waiting_[v] == 0) {
+    sent_up_[v] = 1;
+    if (tv_->is_root(v)) {
+      result_[v] = acc_[v];
+      got_result_[v] = 1;
+    } else {
+      mb.send(tv_->parent_port(v),
+              Message::make(kTagUp, {acc_[v].w0, acc_[v].w1}));
+    }
+  }
+
+  if (broadcast_ && got_result_[v] && !fwd_result_[v]) {
+    fwd_result_[v] = 1;
+    const Message m =
+        Message::make(kTagDown, {result_[v].w0, result_[v].w1});
+    for (const std::uint32_t cp : tv_->children_ports(v)) mb.send(cp, m);
+  }
+}
+
+bool ConvergecastProtocol::local_done(NodeId v) const {
+  if (!sent_up_[v]) return false;
+  if (broadcast_ && !fwd_result_[v]) return false;
+  return true;
+}
+
+}  // namespace dmc

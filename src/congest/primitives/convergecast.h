@@ -1,0 +1,69 @@
+// Convergecast: bottom-up aggregation over a TreeView forest, optionally
+// followed by a top-down broadcast of each tree's result.
+//
+// Every node v also learns its own subtree aggregate — the quantity
+// Σ_{u ∈ v↓∩tree} value(u) — which is precisely what Step 3 of the paper
+// needs within fragments (δ↓ restricted to the fragment).
+//
+// Values are (w0, w1) word pairs with a pluggable combine operation; the
+// combine must be associative and commutative and is evaluated identically
+// at every node.
+//
+// Round cost: height+1 up, +height+1 down if broadcasting.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "congest/protocol.h"
+#include "congest/tree_view.h"
+
+namespace dmc {
+
+struct CValue {
+  Word w0{0};
+  Word w1{0};
+};
+
+enum class CombineOp {
+  kSum,     ///< component-wise sum
+  kMin,     ///< lexicographic (w0, w1) minimum
+  kMax,     ///< lexicographic (w0, w1) maximum
+};
+
+[[nodiscard]] CValue combine(CombineOp op, const CValue& a, const CValue& b);
+
+class ConvergecastProtocol final : public Protocol {
+ public:
+  /// `inactive` nodes (optional) neither send nor count; they must not be
+  /// interior to any tree of the view.
+  ConvergecastProtocol(const Graph& g, const TreeView& tv, CombineOp op,
+                       std::vector<CValue> initial, bool broadcast_result);
+
+  [[nodiscard]] std::string name() const override { return "convergecast"; }
+  void round(NodeId v, Mailbox& mb) override;
+  [[nodiscard]] bool local_done(NodeId v) const override;
+
+  /// v's subtree aggregate (valid after the run).
+  [[nodiscard]] const CValue& subtree_value(NodeId v) const {
+    return acc_[v];
+  }
+  /// The whole-tree result at v's tree root (valid after the run if
+  /// broadcast_result; otherwise valid only at roots).
+  [[nodiscard]] const CValue& tree_value(NodeId v) const {
+    return result_[v];
+  }
+
+ private:
+  const TreeView* tv_;
+  CombineOp op_;
+  bool broadcast_;
+  std::vector<CValue> acc_;
+  std::vector<CValue> result_;
+  std::vector<std::uint32_t> waiting_;   ///< children yet to report
+  std::vector<std::uint8_t> sent_up_;
+  std::vector<std::uint8_t> got_result_;
+  std::vector<std::uint8_t> fwd_result_;
+};
+
+}  // namespace dmc

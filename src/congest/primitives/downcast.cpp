@@ -1,0 +1,43 @@
+#include "congest/primitives/downcast.h"
+
+namespace dmc {
+
+namespace {
+constexpr std::uint32_t kTagItem = 1;
+}
+
+PipelinedDowncastProtocol::PipelinedDowncastProtocol(
+    const Graph& g, const TreeView& tv,
+    std::vector<std::vector<DownItem>> originated, ReceiveFn on_receive)
+    : tv_(&tv), on_receive_(std::move(on_receive)) {
+  DMC_REQUIRE(originated.size() == g.num_nodes());
+  queue_.resize(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    for (const DownItem& it : originated[v]) queue_[v].push_back(it);
+}
+
+void PipelinedDowncastProtocol::round(NodeId v, Mailbox& mb) {
+  for (const Delivery& d : mb.inbox()) {
+    DMC_ASSERT(d.msg.tag == kTagItem);
+    DMC_ASSERT(d.port == tv_->parent_port(v));
+    DownItem it;
+    it.w = {d.msg.at(0), d.msg.at(1), d.msg.at(2), d.msg.at(3)};
+    if (on_receive_(v, it)) queue_[v].push_back(it);
+  }
+  if (queue_[v].empty()) return;
+  if (tv_->children_ports(v).empty()) {
+    queue_[v].clear();  // leaf: nothing below to forward to
+    return;
+  }
+  const DownItem it = queue_[v].front();
+  queue_[v].pop_front();
+  const Message m =
+      Message::make(kTagItem, {it.w[0], it.w[1], it.w[2], it.w[3]});
+  for (const std::uint32_t cp : tv_->children_ports(v)) mb.send(cp, m);
+}
+
+bool PipelinedDowncastProtocol::local_done(NodeId v) const {
+  return queue_[v].empty();
+}
+
+}  // namespace dmc

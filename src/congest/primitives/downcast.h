@@ -1,0 +1,53 @@
+// PipelinedDowncast: items originate at arbitrary nodes and flow DOWN the
+// tree (each node relays one item per round to all of its children), with a
+// pluggable per-node filter deciding delivery and further forwarding.
+//
+// This implements Step 2 of the paper: ancestor ids (and (ancestor,
+// fragment) pairs) travel from each node down through its own fragment and
+// the child fragments, stopping at the child fragments' leaves.
+//
+// Termination: the protocol is quiescent exactly when every relay queue has
+// drained; in a real deployment nodes stop after a deterministic round
+// budget computable from globally known quantities (max fragment diameter +
+// max items per edge, both O(√n)), a cost dominated by the barrier charge
+// the Schedule already applies.  Round cost: O(max path length + max items
+// crossing one edge).
+#pragma once
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "congest/protocol.h"
+#include "congest/tree_view.h"
+
+namespace dmc {
+
+struct DownItem {
+  std::array<Word, 4> w{};
+};
+
+class PipelinedDowncastProtocol final : public Protocol {
+ public:
+  /// `on_receive(v, item)` is invoked when v receives an item from its
+  /// parent; it may record the item locally and returns true to forward it
+  /// to v's children.  Originated items are forwarded unconditionally
+  /// (origin nodes deliver to themselves before the run if they wish).
+  using ReceiveFn = std::function<bool(NodeId, const DownItem&)>;
+
+  PipelinedDowncastProtocol(const Graph& g, const TreeView& tv,
+                            std::vector<std::vector<DownItem>> originated,
+                            ReceiveFn on_receive);
+
+  [[nodiscard]] std::string name() const override { return "downcast"; }
+  void round(NodeId v, Mailbox& mb) override;
+  [[nodiscard]] bool local_done(NodeId v) const override;
+
+ private:
+  const TreeView* tv_;
+  ReceiveFn on_receive_;
+  std::vector<std::deque<DownItem>> queue_;
+};
+
+}  // namespace dmc

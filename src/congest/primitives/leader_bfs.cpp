@@ -1,0 +1,55 @@
+#include "congest/primitives/leader_bfs.h"
+
+namespace dmc {
+
+namespace {
+constexpr std::uint32_t kTagFlood = 1;
+}
+
+LeaderBfsProtocol::LeaderBfsProtocol(const Graph& g) {
+  st_.resize(g.num_nodes());
+  dist_.resize(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    st_[v] = State{/*best_root=*/v, /*dist=*/0, /*parent_port=*/kNoPort,
+                   /*dirty=*/true, /*started=*/false};
+}
+
+void LeaderBfsProtocol::round(NodeId v, Mailbox& mb) {
+  State& s = st_[v];
+  s.started = true;
+  for (const Delivery& d : mb.inbox()) {
+    DMC_ASSERT(d.msg.tag == kTagFlood);
+    const std::uint64_t root = d.msg.at(0);
+    const std::uint32_t dist = static_cast<std::uint32_t>(d.msg.at(1)) + 1;
+    if (root < s.best_root ||
+        (root == s.best_root && dist < s.dist)) {
+      s.best_root = root;
+      s.dist = dist;
+      s.parent_port = d.port;
+      s.dirty = true;
+    }
+  }
+  if (s.dirty) {
+    const Message m = Message::make(kTagFlood, {s.best_root, s.dist});
+    for (std::uint32_t p = 0; p < mb.num_ports(); ++p) mb.send(p, m);
+    s.dirty = false;
+  }
+  dist_[v] = s.dist;
+}
+
+bool LeaderBfsProtocol::local_done(NodeId v) const {
+  return st_[v].started && !st_[v].dirty;
+}
+
+NodeId LeaderBfsProtocol::leader() const {
+  // All nodes agree at quiescence; read node 0's view (== min id).
+  return static_cast<NodeId>(st_[0].best_root);
+}
+
+TreeView LeaderBfsProtocol::tree_view(const Graph& g) const {
+  std::vector<std::uint32_t> pp(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) pp[v] = st_[v].parent_port;
+  return TreeView::from_parent_ports(g, std::move(pp));
+}
+
+}  // namespace dmc

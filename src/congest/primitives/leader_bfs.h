@@ -1,0 +1,42 @@
+// Leader election + BFS spanning-tree construction by min-id flooding.
+//
+// Every node floods (candidate_root, distance); a node adopts a candidate
+// that is smaller, or the same candidate at a smaller distance, and
+// re-floods.  At quiescence the unique minimum id has won everywhere and
+// parent pointers form its BFS tree (synchronous flooding ⇒ first arrival
+// = shortest hop distance ⇒ distances are exact).  O(D) rounds.
+#pragma once
+
+#include <vector>
+
+#include "congest/protocol.h"
+#include "congest/tree_view.h"
+
+namespace dmc {
+
+class LeaderBfsProtocol final : public Protocol {
+ public:
+  explicit LeaderBfsProtocol(const Graph& g);
+
+  [[nodiscard]] std::string name() const override { return "leader_bfs"; }
+  void round(NodeId v, Mailbox& mb) override;
+  [[nodiscard]] bool local_done(NodeId v) const override;
+
+  /// Results, valid after the run.
+  [[nodiscard]] NodeId leader() const;
+  [[nodiscard]] std::uint32_t depth(NodeId v) const { return dist_[v]; }
+  [[nodiscard]] TreeView tree_view(const Graph& g) const;
+
+ private:
+  struct State {
+    std::uint64_t best_root;
+    std::uint32_t dist;
+    std::uint32_t parent_port;
+    bool dirty;     ///< needs to (re)flood
+    bool started;
+  };
+  std::vector<State> st_;
+  std::vector<std::uint32_t> dist_;
+};
+
+}  // namespace dmc

@@ -1,0 +1,53 @@
+#include "congest/primitives/pairwise_exchange.h"
+
+namespace dmc {
+
+namespace {
+constexpr std::uint32_t kTagWord = 1;
+constexpr std::uint32_t kTagEnd = 2;
+}  // namespace
+
+PairwiseExchangeProtocol::PairwiseExchangeProtocol(
+    const Graph& g, std::vector<std::vector<std::vector<Word>>> outgoing)
+    : outgoing_(std::move(outgoing)) {
+  DMC_REQUIRE(outgoing_.size() == g.num_nodes());
+  received_.resize(g.num_nodes());
+  ps_.resize(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    DMC_REQUIRE(outgoing_[v].size() == g.degree(v));
+    received_[v].resize(g.degree(v));
+    ps_[v].resize(g.degree(v));
+  }
+}
+
+void PairwiseExchangeProtocol::round(NodeId v, Mailbox& mb) {
+  for (const Delivery& d : mb.inbox()) {
+    PortState& p = ps_[v][d.port];
+    if (d.msg.tag == kTagWord) {
+      DMC_ASSERT(!p.end_received);
+      received_[v][d.port].push_back(d.msg.at(0));
+    } else {
+      DMC_ASSERT(d.msg.tag == kTagEnd);
+      p.end_received = true;
+    }
+  }
+  for (std::uint32_t port = 0; port < ps_[v].size(); ++port) {
+    PortState& p = ps_[v][port];
+    if (p.sent < outgoing_[v][port].size()) {
+      mb.send(port,
+              Message::make(kTagWord, {outgoing_[v][port][p.sent]}));
+      ++p.sent;
+    } else if (!p.end_sent) {
+      mb.send(port, Message::make(kTagEnd, {}));
+      p.end_sent = true;
+    }
+  }
+}
+
+bool PairwiseExchangeProtocol::local_done(NodeId v) const {
+  for (const PortState& p : ps_[v])
+    if (!p.end_sent || !p.end_received) return false;
+  return true;
+}
+
+}  // namespace dmc

@@ -1,0 +1,46 @@
+// PairwiseExchange: every node streams a word list to each neighbor over
+// the shared edge, one word per round, terminated by an END marker; both
+// endpoints end up with each other's full list.
+//
+// This is Step 5's "x and y can compute the LCA of (x,y) by exchanging
+// O(√n) messages through edge (x,y)": all edges run concurrently, each
+// edge's traffic rides only on itself, so the round cost is
+// max_e(list length) + 1.
+#pragma once
+
+#include <vector>
+
+#include "congest/protocol.h"
+
+namespace dmc {
+
+class PairwiseExchangeProtocol final : public Protocol {
+ public:
+  /// outgoing[v][port] = the word list v sends over that port.
+  explicit PairwiseExchangeProtocol(
+      const Graph& g, std::vector<std::vector<std::vector<Word>>> outgoing);
+
+  [[nodiscard]] std::string name() const override {
+    return "pairwise_exchange";
+  }
+  void round(NodeId v, Mailbox& mb) override;
+  [[nodiscard]] bool local_done(NodeId v) const override;
+
+  /// Words received by v on `port` (valid after the run).
+  [[nodiscard]] const std::vector<Word>& received(NodeId v,
+                                                  std::uint32_t port) const {
+    return received_[v][port];
+  }
+
+ private:
+  struct PortState {
+    std::size_t sent{0};
+    bool end_sent{false};
+    bool end_received{false};
+  };
+  std::vector<std::vector<std::vector<Word>>> outgoing_;
+  std::vector<std::vector<std::vector<Word>>> received_;
+  std::vector<std::vector<PortState>> ps_;
+};
+
+}  // namespace dmc

@@ -1,0 +1,43 @@
+// The CONGEST protocol interface.
+//
+// A Protocol is the code a single algorithm phase runs at EVERY node.  The
+// engine calls `round(v, mb)` for each node once per synchronous round; the
+// node may read the messages delivered this round (sent last round) and
+// send at most one ≤ kMaxWords message per incident port.
+//
+// Locality discipline: an implementation may only touch per-node state of
+// the node it was invoked for, its mailbox, and immutable globally-known
+// configuration (n, √n thresholds, information previously broadcast to all
+// nodes by an earlier protocol).  The orchestrator-with-state-vectors
+// layout is an implementation convenience; the message layer is the only
+// inter-node channel.
+#pragma once
+
+#include <string>
+
+#include "congest/mailbox.h"
+#include "graph/graph.h"
+
+namespace dmc {
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  Protocol() = default;
+  Protocol(const Protocol&) = delete;
+  Protocol& operator=(const Protocol&) = delete;
+
+  /// Human-readable name for stats breakdowns.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Executes node v's step for the current round.
+  virtual void round(NodeId v, Mailbox& mb) = 0;
+
+  /// True when node v has nothing more to do *unless* a message arrives.
+  /// The engine declares the protocol finished when every node is locally
+  /// done and no message is in flight.
+  [[nodiscard]] virtual bool local_done(NodeId v) const = 0;
+};
+
+}  // namespace dmc

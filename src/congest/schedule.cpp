@@ -1,0 +1,22 @@
+#include "congest/schedule.h"
+
+namespace dmc {
+
+std::uint64_t Schedule::run(Protocol& p, std::uint64_t max_rounds) {
+  const std::uint64_t executed = run_uncharged(p, max_rounds);
+  charge_barrier();
+  return executed;
+}
+
+std::uint64_t Schedule::run_uncharged(Protocol& p, std::uint64_t max_rounds) {
+  return net_->run(p, max_rounds);
+}
+
+void Schedule::charge_barrier() {
+  DMC_REQUIRE_MSG(height_known_,
+                  "barrier charged before the BFS height is known — run the "
+                  "leader/BFS phase with run_uncharged + set_barrier_height");
+  net_->stats().barrier_rounds += 2ull * barrier_height_ + 3;
+}
+
+}  // namespace dmc

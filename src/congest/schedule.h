@@ -1,0 +1,60 @@
+// Schedule: runs a sequence of protocols on one Network with honest
+// phase-transition accounting.
+//
+// Real CONGEST algorithms separate phases with a termination-detection
+// barrier: a convergecast of "done" up a BFS tree followed by a broadcast
+// of "go" (2·height + 2 rounds, +1 for the children-notification
+// convention).  The simulator detects quiescence globally (free lunch) and
+// therefore CHARGES exactly that barrier cost after every protocol run.
+// The explicit BarrierProtocol in primitives/barrier.h is implemented and
+// tested to cost what we charge.
+//
+// The very first phase (leader election / BFS construction) is special: it
+// is charged with the height of the tree it builds — justified because
+// ack-based BFS construction lets the root detect completion within
+// O(height) rounds without a pre-existing tree.  Drivers run it with
+// run_uncharged(), then set_barrier_height(h), then charge_barrier().
+#pragma once
+
+#include <cstdint>
+
+#include "congest/network.h"
+#include "congest/protocol.h"
+
+namespace dmc {
+
+class Schedule {
+ public:
+  explicit Schedule(Network& net) : net_(&net) {}
+
+  /// Runs `p` to quiescence and charges one barrier (height must be known).
+  std::uint64_t run(Protocol& p, std::uint64_t max_rounds = 0);
+
+  /// Runs `p` with no barrier charge (bootstrap phases only).
+  std::uint64_t run_uncharged(Protocol& p, std::uint64_t max_rounds = 0);
+
+  /// Height of the BFS tree used for barriers (its root's eccentricity).
+  void set_barrier_height(std::uint32_t h) {
+    barrier_height_ = h;
+    height_known_ = true;
+  }
+  [[nodiscard]] bool height_known() const { return height_known_; }
+
+  /// Adds one barrier charge (2·height + 3 rounds).
+  void charge_barrier();
+
+  [[nodiscard]] Network& network() { return *net_; }
+  [[nodiscard]] const CongestStats& stats() const { return net_->stats(); }
+
+  /// Real + charged rounds so far.
+  [[nodiscard]] std::uint64_t total_rounds() const {
+    return net_->stats().total_rounds();
+  }
+
+ private:
+  Network* net_;
+  std::uint32_t barrier_height_{0};
+  bool height_known_{false};
+};
+
+}  // namespace dmc

@@ -1,0 +1,16 @@
+#include "congest/stats.h"
+
+#include <ostream>
+
+namespace dmc {
+
+void CongestStats::print(std::ostream& os) const {
+  os << "rounds=" << rounds << " (+" << barrier_rounds
+     << " barrier) messages=" << messages << " words=" << words
+     << " max_words/msg=" << static_cast<int>(max_words_per_message) << '\n';
+  for (const ProtocolStats& p : per_protocol)
+    os << "  " << p.name << ": rounds=" << p.rounds
+       << " messages=" << p.messages << '\n';
+}
+
+}  // namespace dmc

@@ -1,0 +1,39 @@
+// Round/message/congestion accounting for the CONGEST simulator.
+//
+// `rounds` counts executed communication rounds; `barrier_rounds` counts the
+// synthetic rounds charged for phase transitions (see Schedule).  The paper
+// measures exactly `rounds + barrier_rounds`.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dmc {
+
+struct ProtocolStats {
+  std::string name;
+  std::uint64_t rounds{0};
+  std::uint64_t messages{0};
+  std::uint64_t words{0};
+};
+
+struct CongestStats {
+  std::uint64_t rounds{0};          ///< real executed rounds
+  std::uint64_t barrier_rounds{0};  ///< charged phase-transition rounds
+  std::uint64_t messages{0};
+  std::uint64_t words{0};
+  std::uint8_t max_words_per_message{0};
+  /// Max messages observed over one directed edge in one round (legal: 1).
+  std::uint32_t max_messages_edge_round{0};
+  std::vector<ProtocolStats> per_protocol;
+
+  [[nodiscard]] std::uint64_t total_rounds() const {
+    return rounds + barrier_rounds;
+  }
+
+  void print(std::ostream& os) const;
+};
+
+}  // namespace dmc

@@ -1,0 +1,90 @@
+#include "congest/tree_view.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.h"
+
+namespace dmc {
+
+TreeView TreeView::from_parent_ports(const Graph& g,
+                                     std::vector<std::uint32_t> parent_port) {
+  DMC_REQUIRE(parent_port.size() == g.num_nodes());
+  TreeView tv;
+  tv.parent_port_ = std::move(parent_port);
+  tv.children_ports_.assign(g.num_nodes(), {});
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::uint32_t pp = tv.parent_port_[v];
+    if (pp == kNoPort) continue;
+    DMC_REQUIRE(pp < g.degree(v));
+    const Port port = g.ports(v)[pp];
+    // Find the reverse port at the parent.
+    const auto peer_ports = g.ports(port.peer);
+    for (std::uint32_t i = 0; i < peer_ports.size(); ++i) {
+      if (peer_ports[i].edge == port.edge) {
+        tv.children_ports_[port.peer].push_back(i);
+        break;
+      }
+    }
+  }
+  for (auto& c : tv.children_ports_) std::sort(c.begin(), c.end());
+  tv.validate(g);
+  return tv;
+}
+
+NodeId TreeView::parent_node(const Graph& g, NodeId v) const {
+  const std::uint32_t pp = parent_port_[v];
+  if (pp == kNoPort) return kNoNode;
+  return g.ports(v)[pp].peer;
+}
+
+std::vector<std::uint32_t> TreeView::depths(const Graph& g) const {
+  std::vector<std::uint32_t> depth(num_nodes(),
+                                   static_cast<std::uint32_t>(-1));
+  std::queue<NodeId> q;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (is_root(v)) {
+      depth[v] = 0;
+      q.push(v);
+    }
+  }
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (const std::uint32_t cp : children_ports_[v]) {
+      const NodeId c = g.ports(v)[cp].peer;
+      DMC_ASSERT(depth[c] == static_cast<std::uint32_t>(-1));
+      depth[c] = depth[v] + 1;
+      q.push(c);
+    }
+  }
+  for (const std::uint32_t d : depth)
+    DMC_ASSERT_MSG(d != static_cast<std::uint32_t>(-1),
+                   "TreeView has an unreachable node (cycle?)");
+  return depth;
+}
+
+std::uint32_t TreeView::height(const Graph& g) const {
+  const auto d = depths(g);
+  std::uint32_t h = 0;
+  for (const std::uint32_t x : d) h = std::max(h, x);
+  return h;
+}
+
+void TreeView::validate(const Graph& g) const {
+  DMC_REQUIRE(parent_port_.size() == g.num_nodes());
+  // depths() throws if the parent pointers contain a cycle or disconnect.
+  (void)depths(g);
+  // Children/parent consistency.
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    for (const std::uint32_t cp : children_ports_[v]) {
+      DMC_ASSERT(cp < g.degree(v));
+      const Port port = g.ports(v)[cp];
+      const std::uint32_t child_pp = parent_port_[port.peer];
+      DMC_ASSERT(child_pp != kNoPort);
+      DMC_ASSERT(g.ports(port.peer)[child_pp].edge == port.edge);
+    }
+  }
+}
+
+}  // namespace dmc

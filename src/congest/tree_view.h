@@ -1,0 +1,61 @@
+// TreeView: a rooted forest over the network, described from each node's
+// local perspective (parent PORT and children PORTS).
+//
+// The same protocol code (convergecast, downcast, …) runs unchanged on
+//   * the global BFS tree   (one tree spanning all nodes), and
+//   * the fragment forest   (one tree per fragment; all fragments operate
+//     concurrently on disjoint edges),
+// which is exactly how the paper reuses its primitives across Steps 1–5.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dmc {
+
+inline constexpr std::uint32_t kNoPort = static_cast<std::uint32_t>(-1);
+
+class TreeView {
+ public:
+  TreeView() = default;
+
+  /// Builds from per-node parent ports (kNoPort ⇒ the node is a root).
+  /// Children lists are derived — equivalent to the standard 1-round
+  /// "notify parent" step, accounted for by the Schedule's barrier charge.
+  [[nodiscard]] static TreeView from_parent_ports(
+      const Graph& g, std::vector<std::uint32_t> parent_port);
+
+  [[nodiscard]] std::size_t num_nodes() const { return parent_port_.size(); }
+
+  [[nodiscard]] bool is_root(NodeId v) const {
+    return parent_port_[v] == kNoPort;
+  }
+  [[nodiscard]] std::uint32_t parent_port(NodeId v) const {
+    return parent_port_[v];
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& children_ports(
+      NodeId v) const {
+    return children_ports_[v];
+  }
+
+  /// The parent NODE (simulator-side convenience; protocols use ports).
+  [[nodiscard]] NodeId parent_node(const Graph& g, NodeId v) const;
+
+  /// Height of the forest (max depth over all trees) — simulator-side, used
+  /// for barrier charging and round-bound sanity checks.
+  [[nodiscard]] std::uint32_t height(const Graph& g) const;
+
+  /// Depth of every node within its tree (simulator-side oracle).
+  [[nodiscard]] std::vector<std::uint32_t> depths(const Graph& g) const;
+
+  /// Checks the forest is acyclic and parent/children are consistent.
+  void validate(const Graph& g) const;
+
+ private:
+  std::vector<std::uint32_t> parent_port_;
+  std::vector<std::vector<std::uint32_t>> children_ports_;
+};
+
+}  // namespace dmc

@@ -1,0 +1,135 @@
+#include "core/ancestors.h"
+
+#include <algorithm>
+
+#include "congest/primitives/aggregate_broadcast.h"
+#include "congest/primitives/downcast.h"
+
+namespace dmc {
+
+bool AncestorData::in_f_of(const FragmentStructure& fs, NodeId v,
+                           std::uint32_t f_prime) const {
+  for (const std::uint32_t a : attach[v])
+    if (fs.tf_is_ancestor(a, f_prime)) return true;
+  return false;
+}
+
+AncestorData compute_ancestors(Schedule& sched, const FragmentStructure& fs) {
+  Network& net = sched.network();
+  const Graph& g = net.graph();
+  const std::size_t n = g.num_nodes();
+
+  AncestorData ad;
+  ad.own_chain.resize(n);
+  ad.parent_chain.resize(n);
+  ad.attach.resize(n);
+  ad.lowest_anc.resize(n);
+
+  // --- Attach(v): pipelined tap-upcast of child-fragment attachments ---
+  {
+    std::vector<std::vector<AggItem>> contrib(n);
+    for (NodeId v = 0; v < n; ++v) {
+      for (std::uint32_t p = 0; p < g.degree(v); ++p) {
+        const std::uint32_t cf = fs.port_frag_idx[v][p];
+        if (cf == fs.frag_idx[v]) continue;
+        if (fs.frag_parent[cf] != fs.frag_idx[v]) continue;
+        if (fs.frag_parent_eid[cf] != g.ports(v)[p].edge) continue;
+        // v is the parent-side endpoint of cf's attachment edge.
+        contrib[v].push_back(AggItem{cf, {v, 0, 0}});
+      }
+    }
+    AggregateBroadcastProtocol tap{
+        g, fs.frag_forest,
+        AggOptions{AggOp::kUnique, /*deliver_all=*/false, /*tap=*/true,
+                   /*absorb=*/false},
+        std::move(contrib)};
+    sched.run(tap);
+    for (NodeId v = 0; v < n; ++v) {
+      for (const AggItem& it : tap.tapped(v))
+        ad.attach[v].push_back(static_cast<std::uint32_t>(it.key));
+      std::sort(ad.attach[v].begin(), ad.attach[v].end());
+    }
+  }
+
+  // Materialized F(v) closures (pure local computation from global T_F).
+  std::vector<std::vector<std::uint32_t>> f_closure(n);
+  for (NodeId v = 0; v < n; ++v) f_closure[v] = fs.closure(ad.attach[v]);
+  const auto in_closure = [&](NodeId v, std::uint32_t f_prime) {
+    return std::binary_search(f_closure[v].begin(), f_closure[v].end(),
+                              f_prime);
+  };
+
+  // --- A(v): downcast ancestor ids through own + child fragments ---
+  {
+    std::vector<std::vector<DownItem>> orig(n);
+    for (NodeId u = 0; u < n; ++u)
+      orig[u].push_back(DownItem{{u, fs.frag_idx[u], fs.depth_key(u), 0}});
+    PipelinedDowncastProtocol dc{
+        g, fs.t_view, std::move(orig),
+        [&](NodeId w, const DownItem& it) {
+          const std::uint32_t fo = static_cast<std::uint32_t>(it.w[1]);
+          const std::uint32_t fw = fs.frag_idx[w];
+          if (fw == fo) {
+            ad.own_chain[w].push_back(
+                AncestorEntry{static_cast<NodeId>(it.w[0]), it.w[2]});
+            return true;
+          }
+          if (fs.frag_parent[fw] == fo) {
+            ad.parent_chain[w].push_back(
+                AncestorEntry{static_cast<NodeId>(it.w[0]), it.w[2]});
+            return true;  // keep flowing within this child fragment
+          }
+          return false;  // grandchild fragment: out of scope
+        }};
+    sched.run(dc);
+    const auto by_depth = [](const AncestorEntry& a, const AncestorEntry& b) {
+      return a.depth_key < b.depth_key;
+    };
+    for (NodeId v = 0; v < n; ++v) {
+      std::sort(ad.own_chain[v].begin(), ad.own_chain[v].end(), by_depth);
+      std::sort(ad.parent_chain[v].begin(), ad.parent_chain[v].end(),
+                by_depth);
+    }
+  }
+
+  // --- L(v): downcast (u, F') pairs, filtered by F' ∉ F(receiver) ---
+  {
+    std::vector<std::vector<DownItem>> orig(n);
+    for (NodeId u = 0; u < n; ++u)
+      for (const std::uint32_t f_prime : f_closure[u])
+        orig[u].push_back(
+            DownItem{{u, f_prime, fs.frag_idx[u], fs.depth_key(u)}});
+
+    // Track the deepest origin seen per (node, fragment).
+    std::vector<std::unordered_map<std::uint32_t, std::uint64_t>> best_depth(
+        n);
+    PipelinedDowncastProtocol dc{
+        g, fs.t_view, std::move(orig),
+        [&](NodeId w, const DownItem& it) {
+          const NodeId u = static_cast<NodeId>(it.w[0]);
+          const std::uint32_t f_prime = static_cast<std::uint32_t>(it.w[1]);
+          const std::uint32_t fo = static_cast<std::uint32_t>(it.w[2]);
+          const std::uint64_t dk = it.w[3];
+          const std::uint32_t fw = fs.frag_idx[w];
+          const bool in_scope = (fw == fo) || (fs.frag_parent[fw] == fo);
+          if (!in_scope) return false;
+          auto [slot, inserted] = best_depth[w].try_emplace(f_prime, dk);
+          if (inserted || dk > slot->second) {
+            slot->second = dk;
+            ad.lowest_anc[w][f_prime] = u;
+          }
+          // The paper's filter: stop once the receiver itself contains F'.
+          return !in_closure(w, f_prime);
+        }};
+    sched.run(dc);
+  }
+
+  // Self entries dominate anything received from above.
+  for (NodeId v = 0; v < n; ++v)
+    for (const std::uint32_t f_prime : f_closure[v])
+      ad.lowest_anc[v][f_prime] = v;
+
+  return ad;
+}
+
+}  // namespace dmc

@@ -1,0 +1,49 @@
+// Step 2 of the paper: every node v learns
+//   * A(v) — its ancestors within its own fragment and within the parent
+//     fragment (ordered by depth);
+//   * Attach(v) — the child fragments of v's fragment attached inside
+//     v↓ ∩ F(v's fragment); the paper's F(v) is the T_F-closure of this set
+//     (fs.closure), computable locally from the global T_F;
+//   * L(v) — for each fragment F', the lowest ancestor u ∈ A(v) ∪ {v} with
+//     F' ∈ F(u) (the paper's "(u', F')" messages).
+//
+// Protocols: one pipelined tap-upcast per fragment (Attach), and two
+// pipelined downcasts scoped to "own fragment + child fragments"
+// (ancestor ids; (u, F') pairs filtered by F' ∉ F(receiver)).
+// All are O(√n) rounds on (√n, O(√n)) partitions.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "congest/schedule.h"
+#include "dist/tree_partition.h"
+
+namespace dmc {
+
+struct AncestorEntry {
+  NodeId node{kNoNode};
+  std::uint64_t depth_key{0};  ///< fs.depth_key(node); orders the chain
+};
+
+struct AncestorData {
+  /// Proper ancestors of v inside v's own fragment, shallowest first
+  /// (starts at the fragment root unless v is the root itself).
+  std::vector<std::vector<AncestorEntry>> own_chain;
+  /// Ancestors of v inside the parent fragment, shallowest first.
+  std::vector<std::vector<AncestorEntry>> parent_chain;
+  /// Child fragments of frag(v) attached strictly inside v's fragment
+  /// subtree (sorted fragment indices).  F(v) = fs.closure(attach[v]).
+  std::vector<std::vector<std::uint32_t>> attach;
+  /// L(v): fragment index → lowest ancestor-or-self u with F' ∈ F(u).
+  std::vector<std::unordered_map<std::uint32_t, NodeId>> lowest_anc;
+
+  /// Membership test F' ∈ F(v) (locally computable at v).
+  [[nodiscard]] bool in_f_of(const FragmentStructure& fs, NodeId v,
+                             std::uint32_t f_prime) const;
+};
+
+[[nodiscard]] AncestorData compute_ancestors(Schedule& sched,
+                                             const FragmentStructure& fs);
+
+}  // namespace dmc

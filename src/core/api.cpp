@@ -1,0 +1,26 @@
+#include "core/api.h"
+
+namespace dmc {
+
+DistMinCutResult distributed_min_cut(const Graph& g,
+                                     const ExactMinCutOptions& opt) {
+  return exact_min_cut_dist(g, opt);
+}
+
+DistApproxResult distributed_approx_min_cut(const Graph& g, double eps,
+                                            std::uint64_t seed) {
+  ApproxMinCutOptions opt;
+  opt.eps = eps;
+  opt.seed = seed;
+  return approx_min_cut_dist(g, opt);
+}
+
+SuEstimateResult distributed_su_estimate(const Graph& g, std::uint64_t seed) {
+  return su_estimate_min_cut(g, seed);
+}
+
+GkEstimateResult distributed_gk_estimate(const Graph& g, std::uint64_t seed) {
+  return gk_estimate_min_cut(g, seed);
+}
+
+}  // namespace dmc

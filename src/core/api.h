@@ -1,0 +1,39 @@
+// dmc — distributed minimum cut in the CONGEST model.
+//
+// Public façade over the full pipeline; the one header downstream users and
+// the examples need.  See README.md for a tour.
+//
+//   Graph g = make_barbell(64, 3, 1, /*seed=*/7);
+//   auto out = dmc::distributed_min_cut(g);
+//   // out.value == 3, out.side[v] == (v in the planted half),
+//   // out.stats.total_rounds() == the CONGEST round count.
+#pragma once
+
+#include "core/approx_mincut.h"
+#include "core/exact_mincut.h"
+#include "core/gk_estimator.h"
+#include "core/su_baseline.h"
+#include "graph/graph.h"
+
+namespace dmc {
+
+/// Exact minimum cut (the paper's Õ((√n+D)·poly(λ)) algorithm).
+/// Every node of the simulated network ends up knowing the value and its
+/// own side bit; the result aggregates those local outputs.
+[[nodiscard]] DistMinCutResult distributed_min_cut(
+    const Graph& g, const ExactMinCutOptions& opt = {});
+
+/// (1+ε)-approximate minimum cut (the paper's Õ((√n+D)/poly(ε)) variant).
+[[nodiscard]] DistApproxResult distributed_approx_min_cut(
+    const Graph& g, double eps, std::uint64_t seed = 1);
+
+/// Su [SPAA'14]-style estimate (concurrent-work baseline).
+[[nodiscard]] SuEstimateResult distributed_su_estimate(const Graph& g,
+                                                       std::uint64_t seed = 1);
+
+/// Ghaffari–Kuhn-style constant-factor estimate (prior-work baseline
+/// proxy; see DESIGN.md).
+[[nodiscard]] GkEstimateResult distributed_gk_estimate(const Graph& g,
+                                                       std::uint64_t seed = 1);
+
+}  // namespace dmc

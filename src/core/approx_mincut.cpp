@@ -1,0 +1,103 @@
+#include "core/approx_mincut.h"
+
+#include "central/skeleton.h"
+#include "congest/network.h"
+#include "congest/primitives/convergecast.h"
+#include "congest/primitives/leader_bfs.h"
+#include "congest/schedule.h"
+#include "core/skeleton_dist.h"
+#include "core/tree_packing_dist.h"
+#include "util/bit_math.h"
+#include "util/prng.h"
+
+namespace dmc {
+
+DistApproxResult approx_min_cut_dist(const Graph& g,
+                                     const ApproxMinCutOptions& opt) {
+  DMC_REQUIRE(g.num_nodes() >= 2);
+  DMC_REQUIRE(opt.eps > 0.0 && opt.eps <= 1.0);
+  const std::size_t n = g.num_nodes();
+
+  Network net{g};
+  Schedule sched{net};
+
+  LeaderBfsProtocol lb{g};
+  sched.run_uncharged(lb);
+  const TreeView bfs = lb.tree_view(g);
+  const NodeId leader = lb.leader();
+  sched.set_barrier_height(bfs.height(g));
+  sched.charge_barrier();
+
+  // λ̂₀ = global minimum weighted degree (one converge/broadcast).
+  Weight lambda_hat = 0;
+  {
+    std::vector<CValue> init(n);
+    for (NodeId v = 0; v < n; ++v) init[v] = CValue{g.weighted_degree(v), v};
+    ConvergecastProtocol cc{g, bfs, CombineOp::kMin, std::move(init), true};
+    sched.run(cc);
+    lambda_hat = cc.tree_value(0).w0;
+  }
+
+  DistApproxResult out;
+  const std::size_t trees =
+      opt.trees_factor * std::max<std::size_t>(1, ceil_log2(n));
+
+  for (std::size_t attempt = 0; attempt < 64; ++attempt) {
+    ++out.attempts;
+    const double p = skeleton_probability(n, opt.eps, lambda_hat);
+    if (p >= 1.0) {
+      // Small cut: the exact packing within the same simulation.
+      DistPackingOptions popt;
+      popt.max_trees = 48;
+      popt.patience = 12;
+      const DistPackingResult packing =
+          dist_tree_packing(sched, bfs, leader, popt);
+      out.result.value = packing.c_star;
+      out.result.v_star = packing.v_star;
+      out.result.side = packing.in_cut;
+      out.result.trees_packed = packing.trees_packed;
+      out.result.fragments = packing.fragments_last;
+      out.result.stats = net.stats();
+      out.p = 1.0;
+      out.lambda_hat = lambda_hat;
+      out.sampled = false;
+      return out;
+    }
+
+    const DistSkeleton sk = sample_skeleton_dist(
+        g, p, derive_seed(opt.seed, 0x6473ull, attempt));
+    if (!skeleton_connected_dist(sched, bfs, leader, sk.enabled)) {
+      lambda_hat = std::max<Weight>(1, lambda_hat / 4);
+      continue;
+    }
+
+    DistPackingOptions popt;
+    popt.max_trees = trees;
+    popt.patience = 0;  // fixed tree count on the skeleton
+    popt.edge_enabled = &sk.enabled;
+    popt.packing_weights = &sk.sampled_w;
+    const DistPackingResult packing =
+        dist_tree_packing(sched, bfs, leader, popt);
+
+    // Guess validation: the found value is an upper bound on λ.  If it is
+    // far below the guess, the skeleton was too sparse for the target
+    // accuracy — tighten and retry.
+    if (packing.c_star * 2 < lambda_hat) {
+      lambda_hat = std::max<Weight>(1, packing.c_star);
+      continue;
+    }
+    out.result.value = packing.c_star;
+    out.result.v_star = packing.v_star;
+    out.result.side = packing.in_cut;
+    out.result.trees_packed = packing.trees_packed;
+    out.result.fragments = packing.fragments_last;
+    out.result.stats = net.stats();
+    out.p = p;
+    out.lambda_hat = lambda_hat;
+    out.sampled = true;
+    return out;
+  }
+  throw InvariantError{"approx_min_cut_dist: guess loop did not converge"};
+}
+
+}  // namespace dmc

@@ -1,0 +1,32 @@
+// The paper's (1+ε)-approximation in Õ((√n + D)/poly(ε)) rounds:
+// Karger's skeleton sampling reduces the minimum cut to Õ(1/ε²), the tree
+// packing runs on the skeleton (polylog trees suffice), and every candidate
+// cut is evaluated with ORIGINAL weights via Theorem 2.1 — so the output is
+// a genuine cut of G with value ≤ (1+ε)·λ w.h.p.
+#pragma once
+
+#include <cstdint>
+
+#include "core/exact_mincut.h"
+#include "graph/graph.h"
+
+namespace dmc {
+
+struct ApproxMinCutOptions {
+  double eps{0.2};
+  std::uint64_t seed{1};
+  std::size_t trees_factor{4};  ///< trees = factor · ⌈log₂ n⌉ per attempt
+};
+
+struct DistApproxResult {
+  DistMinCutResult result;
+  double p{1.0};         ///< final sampling probability
+  Weight lambda_hat{0};  ///< final guess
+  bool sampled{false};   ///< false ⇒ p clamped to 1, exact path taken
+  std::size_t attempts{0};
+};
+
+[[nodiscard]] DistApproxResult approx_min_cut_dist(
+    const Graph& g, const ApproxMinCutOptions& opt = {});
+
+}  // namespace dmc

@@ -1,0 +1,61 @@
+#include "core/bridges.h"
+
+#include "congest/network.h"
+#include "congest/primitives/leader_bfs.h"
+#include "congest/schedule.h"
+#include "core/one_respect.h"
+#include "dist/ghs_mst.h"
+#include "dist/tree_partition.h"
+#include "graph/algorithms.h"
+
+namespace dmc {
+
+BridgesResult distributed_bridges(const Graph& g) {
+  DMC_REQUIRE(g.num_nodes() >= 2);
+  Network net{g};
+  Schedule sched{net};
+
+  LeaderBfsProtocol lb{g};
+  sched.run_uncharged(lb);
+  const TreeView bfs = lb.tree_view(g);
+  sched.set_barrier_height(bfs.height(g));
+  sched.charge_barrier();
+
+  const DistMstResult mst = ghs_mst(sched, bfs, weight_keys(g));
+  const FragmentStructure fs =
+      build_fragment_structure(sched, bfs, lb.leader(), mst);
+
+  // Indicator weights: non-tree edges count 1, tree edges 0 — then
+  // C'(v↓) == 0 ⇔ the tree edge above v is a bridge.
+  std::vector<Weight> indicator(g.num_edges(), 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    if (!mst.tree_edge[e]) indicator[e] = 1;
+  const OneRespectResult r = one_respect_min_cut(sched, bfs, fs, indicator);
+
+  BridgesResult out;
+  out.is_bridge.assign(g.num_edges(), false);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v == fs.global_root) continue;
+    if (r.cut_down[v] == 0) {
+      const EdgeId e = g.ports(v)[fs.parent_port_T[v]].edge;
+      out.is_bridge[e] = true;
+    }
+  }
+  for (const auto b : out.is_bridge) out.count += b ? 1 : 0;
+  out.stats = net.stats();
+  return out;
+}
+
+std::vector<bool> bridges_oracle(const Graph& g) {
+  std::vector<bool> out(g.num_edges(), false);
+  std::vector<bool> mask(g.num_edges(), true);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    mask[e] = false;
+    const BfsResult r = bfs_masked(g, g.edge(e).u, mask);
+    out[e] = r.dist[g.edge(e).v] == BfsResult::kUnreached;
+    mask[e] = true;
+  }
+  return out;
+}
+
+}  // namespace dmc

@@ -1,0 +1,33 @@
+// Distributed bridge finding in Õ(√n + D) rounds — a free corollary of
+// Theorem 2.1's machinery (and the role Thurimella's algorithm plays in
+// Su's concurrent work):
+//
+// Fix any spanning tree T.  Every bridge of G is a tree edge, and the tree
+// edge above v is a bridge iff NO non-tree edge crosses the cut (v↓, rest)
+// — i.e. iff C'(v↓) = 0 where C' evaluates tree edges at weight 0 and
+// non-tree edges at weight 1.  One run of the 1-respect pipeline with
+// those indicator weights therefore reports, at every node
+// simultaneously, whether its parent edge is a bridge.
+#pragma once
+
+#include <vector>
+
+#include "congest/stats.h"
+#include "graph/graph.h"
+
+namespace dmc {
+
+struct BridgesResult {
+  std::vector<bool> is_bridge;  ///< by EdgeId
+  std::size_t count{0};
+  CongestStats stats;
+};
+
+/// Finds ALL bridges of g distributively (each endpoint of a bridge knows).
+[[nodiscard]] BridgesResult distributed_bridges(const Graph& g);
+
+/// Centralized oracle (edge-removal connectivity test per tree edge;
+/// O(m²) — test-scale only).
+[[nodiscard]] std::vector<bool> bridges_oracle(const Graph& g);
+
+}  // namespace dmc

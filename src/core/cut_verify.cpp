@@ -1,0 +1,71 @@
+#include "core/cut_verify.h"
+
+#include "congest/primitives/convergecast.h"
+#include "congest/protocol.h"
+
+namespace dmc {
+
+namespace {
+
+/// One round: every node announces its side bit on all ports; each node
+/// then knows the crossing weight of its incident edges.
+class SideExchange final : public Protocol {
+ public:
+  SideExchange(const Graph& g, const std::vector<bool>& side)
+      : g_(&g), side_(&side) {
+    sent_.assign(g.num_nodes(), 0);
+    local_cross_.assign(g.num_nodes(), 0);
+  }
+  [[nodiscard]] std::string name() const override { return "side_exchange"; }
+  void round(NodeId v, Mailbox& mb) override {
+    for (const Delivery& d : mb.inbox()) {
+      const bool peer_side = d.msg.at(0) != 0;
+      if (peer_side != (*side_)[v])
+        local_cross_[v] += g_->edge(g_->ports(v)[d.port].edge).w;
+    }
+    if (!sent_[v]) {
+      sent_[v] = 1;
+      const Message m =
+          Message::make(1, {(*side_)[v] ? Word{1} : Word{0}});
+      for (std::uint32_t p = 0; p < mb.num_ports(); ++p) mb.send(p, m);
+    }
+  }
+  [[nodiscard]] bool local_done(NodeId v) const override {
+    return sent_[v] != 0;
+  }
+  [[nodiscard]] Weight local_cross(NodeId v) const {
+    return local_cross_[v];
+  }
+
+ private:
+  const Graph* g_;
+  const std::vector<bool>* side_;
+  std::vector<std::uint8_t> sent_;
+  std::vector<Weight> local_cross_;
+};
+
+}  // namespace
+
+Weight verify_cut_dist(Schedule& sched, const TreeView& bfs,
+                       const std::vector<bool>& side) {
+  Network& net = sched.network();
+  const Graph& g = net.graph();
+  DMC_REQUIRE(side.size() == g.num_nodes());
+
+  SideExchange xchg{g, side};
+  sched.run(xchg);
+
+  std::vector<CValue> init(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    init[v] = CValue{xchg.local_cross(v), 0};
+  ConvergecastProtocol sum{g, bfs, CombineOp::kSum, std::move(init),
+                           /*broadcast_result=*/true};
+  sched.run(sum);
+
+  // Every crossing edge was counted at both endpoints.
+  const Weight doubled = sum.tree_value(0).w0;
+  DMC_ASSERT_MSG(doubled % 2 == 0, "crossing weight must be even-counted");
+  return doubled / 2;
+}
+
+}  // namespace dmc

@@ -1,0 +1,27 @@
+// Distributed cut verification — the "distributed verification" theme of
+// Das Sarma et al. [STOC 2011] (the paper's lower-bound reference), as a
+// positive tool: given that every node holds a side bit, verify in
+// O(D) + 1 rounds that the crossing weight equals a claimed value.
+//
+// Protocol: one round of side-bit exchange over every edge (each endpoint
+// then knows which of its incident edges cross), a sum-convergecast of
+// locally-seen crossing weight over the BFS tree (halved at the root:
+// every crossing edge is seen by both endpoints), and the broadcast of the
+// result.  This is how a deployment would audit the min-cut algorithms'
+// outputs without central collection.
+#pragma once
+
+#include <vector>
+
+#include "congest/schedule.h"
+#include "congest/tree_view.h"
+#include "graph/graph.h"
+
+namespace dmc {
+
+/// Returns the exact crossing weight of {v : side[v]}, computed by the
+/// network itself; every node ends up knowing it.
+[[nodiscard]] Weight verify_cut_dist(Schedule& sched, const TreeView& bfs,
+                                     const std::vector<bool>& side);
+
+}  // namespace dmc

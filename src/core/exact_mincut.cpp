@@ -1,0 +1,39 @@
+#include "core/exact_mincut.h"
+
+#include "congest/network.h"
+#include "congest/primitives/leader_bfs.h"
+#include "congest/schedule.h"
+#include "core/tree_packing_dist.h"
+
+namespace dmc {
+
+DistMinCutResult exact_min_cut_dist(const Graph& g,
+                                    const ExactMinCutOptions& opt) {
+  DMC_REQUIRE(g.num_nodes() >= 2);
+  Network net{g};
+  Schedule sched{net};
+
+  LeaderBfsProtocol lb{g};
+  sched.run_uncharged(lb);
+  const TreeView bfs = lb.tree_view(g);
+  sched.set_barrier_height(bfs.height(g));
+  sched.charge_barrier();
+
+  DistPackingOptions popt;
+  popt.max_trees = opt.max_trees;
+  popt.patience = opt.patience;
+  const DistPackingResult packing =
+      dist_tree_packing(sched, bfs, lb.leader(), popt);
+
+  DistMinCutResult out;
+  out.value = packing.c_star;
+  out.v_star = packing.v_star;
+  out.side = packing.in_cut;
+  out.trees_packed = packing.trees_packed;
+  out.tree_of_best = packing.tree_of_best;
+  out.fragments = packing.fragments_last;
+  out.stats = net.stats();
+  return out;
+}
+
+}  // namespace dmc

@@ -1,0 +1,40 @@
+// The paper's headline algorithm: exact minimum cut in
+// Õ((√n + D) · poly(λ)) CONGEST rounds.
+//
+// Pipeline: leader election + BFS  →  greedy tree packing, one distributed
+// MST per tree (Kutten–Peleg's role)  →  Theorem 2.1's 1-respect minimum
+// per tree  →  running global minimum with its cut side at every node.
+//
+// The poly(λ) factor is the number of packed trees; Thorup's Θ(λ⁷ log³ n)
+// bound guarantees exactness, experiment E5 shows a handful of trees
+// suffice in practice (the `max_trees`/`patience` knobs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/stats.h"
+#include "graph/graph.h"
+
+namespace dmc {
+
+struct ExactMinCutOptions {
+  std::size_t max_trees{48};
+  std::size_t patience{12};
+};
+
+struct DistMinCutResult {
+  Weight value{0};
+  NodeId v_star{kNoNode};
+  std::vector<bool> side;  ///< every node's local output bit, collected
+  std::size_t trees_packed{0};
+  std::size_t tree_of_best{0};
+  std::size_t fragments{0};
+  CongestStats stats;      ///< rounds (incl. barrier charges), messages, …
+};
+
+/// Runs the full exact pipeline on a fresh simulated network over g.
+[[nodiscard]] DistMinCutResult exact_min_cut_dist(
+    const Graph& g, const ExactMinCutOptions& opt = {});
+
+}  // namespace dmc

@@ -1,0 +1,64 @@
+#include "core/gk_estimator.h"
+
+#include <cmath>
+
+#include "congest/network.h"
+#include "congest/primitives/convergecast.h"
+#include "congest/primitives/leader_bfs.h"
+#include "congest/schedule.h"
+#include "core/skeleton_dist.h"
+#include "util/prng.h"
+
+namespace dmc {
+
+GkEstimateResult gk_estimate_min_cut(const Graph& g, std::uint64_t seed) {
+  DMC_REQUIRE(g.num_nodes() >= 2);
+  const std::size_t n = g.num_nodes();
+
+  Network net{g};
+  Schedule sched{net};
+  LeaderBfsProtocol lb{g};
+  sched.run_uncharged(lb);
+  const TreeView bfs = lb.tree_view(g);
+  const NodeId leader = lb.leader();
+  sched.set_barrier_height(bfs.height(g));
+  sched.charge_barrier();
+
+  // Upper bound: the global minimum weighted degree (converge/broadcast).
+  Weight delta_min = 0;
+  {
+    std::vector<CValue> init(n);
+    for (NodeId v = 0; v < n; ++v) init[v] = CValue{g.weighted_degree(v), v};
+    ConvergecastProtocol cc{g, bfs, CombineOp::kMin, std::move(init), true};
+    sched.run(cc);
+    delta_min = cc.tree_value(0).w0;
+  }
+
+  const double c = 2.0 * std::log(static_cast<double>(n));
+  GkEstimateResult out;
+  Weight lambda_hat = 1;
+  for (;;) {
+    const double p = std::min(1.0, c / static_cast<double>(lambda_hat));
+    if (p < 1.0) {
+      ++out.probes;
+      const DistSkeleton sk = sample_skeleton_dist(
+          g, p, derive_seed(seed, 0x676bull, lambda_hat));
+      if (!skeleton_connected_dist(sched, bfs, leader, sk.enabled)) {
+        // First disconnection: λ sits below the guess (up to the sampling
+        // slack); report the bracket midpoint.
+        out.estimate = std::max<Weight>(1, lambda_hat / 2);
+        out.stats = net.stats();
+        return out;
+      }
+    }
+    if (lambda_hat >= delta_min) {
+      // λ ≤ δ_min and every probe up to it stayed connected.
+      out.estimate = delta_min;
+      out.stats = net.stats();
+      return out;
+    }
+    lambda_hat *= 2;
+  }
+}
+
+}  // namespace dmc

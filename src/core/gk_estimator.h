@@ -1,0 +1,29 @@
+// Ghaffari–Kuhn-style constant-factor λ estimator (baseline proxy; see
+// DESIGN.md "Substitutions").
+//
+// Built on the same primitive GK's (2+ε) algorithm rests on — Karger's
+// sampling theorem: a subgraph sampled with p = c·ln n/λ̂ is connected
+// w.h.p. iff λ̂ ≲ λ.  Doubling λ̂ until the sampled subgraph first
+// disconnects brackets λ within a multiplicative O(log n) band; each probe
+// is a flood + count, O(D_sample + D) rounds.  Estimate-only: it does not
+// output a cut — which is exactly the qualitative gap to the paper's
+// algorithm that experiment E3 exhibits.
+#pragma once
+
+#include <cstdint>
+
+#include "congest/stats.h"
+#include "graph/graph.h"
+
+namespace dmc {
+
+struct GkEstimateResult {
+  Weight estimate{0};
+  std::size_t probes{0};
+  CongestStats stats;
+};
+
+[[nodiscard]] GkEstimateResult gk_estimate_min_cut(const Graph& g,
+                                                   std::uint64_t seed);
+
+}  // namespace dmc

@@ -1,0 +1,146 @@
+#include "core/lca_rho.h"
+
+#include <algorithm>
+
+#include "congest/primitives/aggregate_broadcast.h"
+#include "congest/primitives/pairwise_exchange.h"
+
+namespace dmc {
+
+namespace {
+constexpr Word kNone64 = ~Word{0};
+}
+
+std::vector<Weight> compute_rho(Schedule& sched, const TreeView& bfs,
+                                const FragmentStructure& fs,
+                                const AncestorData& ad, const TfPrime& tfp,
+                                const std::vector<Weight>& weights) {
+  Network& net = sched.network();
+  const Graph& g = net.graph();
+  const std::size_t n = g.num_nodes();
+  DMC_REQUIRE(weights.size() == g.num_edges());
+
+  // --- pairwise exchange: per edge, what the peer needs for the LCA ---
+  std::vector<std::vector<std::vector<Word>>> outgoing(n);
+  for (NodeId v = 0; v < n; ++v) {
+    outgoing[v].resize(g.degree(v));
+    for (std::uint32_t p = 0; p < g.degree(v); ++p) {
+      const std::uint32_t peer_frag = fs.port_frag_idx[v][p];
+      std::vector<Word>& out = outgoing[v][p];
+      if (peer_frag == fs.frag_idx[v]) {
+        // Case 1: ship the in-fragment ancestor chain, shallowest first,
+        // ending with v itself.
+        out.reserve(ad.own_chain[v].size() + 1);
+        for (const AncestorEntry& e : ad.own_chain[v]) out.push_back(e.node);
+        out.push_back(v);
+      } else {
+        // Cases 2/3: the L answer for the peer's fragment + a(v).
+        const auto it = ad.lowest_anc[v].find(peer_frag);
+        out.push_back(it == ad.lowest_anc[v].end() ? kNone64
+                                                   : Word{it->second});
+        out.push_back(tfp.lowest_tf[v]);
+      }
+    }
+  }
+  PairwiseExchangeProtocol px{g, std::move(outgoing)};
+  sched.run(px);
+
+  // --- local LCA per incident edge; create type (i)/(ii) items ---
+  std::vector<std::vector<AggItem>> type1(n), type2(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::uint32_t p = 0; p < g.degree(v); ++p) {
+      const Port port = g.ports(v)[p];
+      const NodeId peer = port.peer;
+      const Weight w = weights[port.edge];
+      const std::uint32_t fv = fs.frag_idx[v];
+      const std::uint32_t fp = fs.port_frag_idx[v][p];
+      const std::vector<Word>& in = px.received(v, p);
+
+      NodeId z = kNoNode;
+      std::uint32_t frag_z = kNoFrag;
+      if (fp == fv) {
+        // Case 1: longest common prefix of the two root-anchored chains.
+        std::vector<NodeId> mine;
+        mine.reserve(ad.own_chain[v].size() + 1);
+        for (const AncestorEntry& e : ad.own_chain[v]) mine.push_back(e.node);
+        mine.push_back(v);
+        const std::size_t limit = std::min(mine.size(), in.size());
+        std::size_t i = 0;
+        while (i < limit && mine[i] == static_cast<NodeId>(in[i])) ++i;
+        DMC_ASSERT_MSG(i > 0, "same-fragment chains must share the root");
+        z = mine[i - 1];
+        frag_z = fv;
+      } else if (fs.tf_is_ancestor(fv, fp)) {
+        // Case 3 at v: the LCA lies in v's own fragment.
+        const auto it = ad.lowest_anc[v].find(fp);
+        DMC_ASSERT_MSG(it != ad.lowest_anc[v].end(),
+                       "L(v) must contain a T_F-descendant fragment");
+        z = it->second;
+        frag_z = fv;
+      } else if (fs.tf_is_ancestor(fp, fv)) {
+        // Case 3 at the peer: it shipped L(peer)[frag(v)].
+        DMC_ASSERT(in.size() == 2);
+        DMC_ASSERT_MSG(in[0] != kNone64, "peer's L answer must exist");
+        z = static_cast<NodeId>(in[0]);
+        frag_z = fp;
+      } else {
+        // Case 2: z is a merging node, the T'_F LCA of the two anchors.
+        DMC_ASSERT(in.size() == 2);
+        const NodeId a_peer = static_cast<NodeId>(in[1]);
+        z = tfp.lca(tfp.lowest_tf[v], a_peer);
+        const auto fit = tfp.frag_of.find(z);
+        DMC_ASSERT(fit != tfp.frag_of.end());
+        frag_z = fit->second;
+        DMC_ASSERT_MSG(frag_z != fv && frag_z != fp,
+                       "case-2 LCA must lie outside both fragments");
+      }
+
+      // Exactly one endpoint materializes the ⟨z⟩ message.
+      if (frag_z == fv || frag_z == fp) {
+        // Type (ii): keeper = the endpoint inside z's fragment (min id if
+        // both are).
+        const bool v_inside = frag_z == fv;
+        const bool peer_inside = frag_z == fp;
+        const bool keeper =
+            v_inside && (!peer_inside || v < peer);
+        if (keeper) type2[v].push_back(AggItem{z, {w, 0, 0}});
+      } else {
+        // Type (i): contributor = the smaller endpoint id.
+        if (v < peer) type1[v].push_back(AggItem{z, {w, 0, 0}});
+      }
+    }
+  }
+
+  // --- type (i): global keyed sums over the BFS tree ---
+  AggregateBroadcastProtocol sum1{
+      g, bfs, AggOptions{AggOp::kSum, /*deliver_all=*/true, false, false},
+      std::move(type1)};
+  sched.run(sum1);
+
+  // --- type (ii): absorb-convergecast up the fragment trees ---
+  AggregateBroadcastProtocol sum2{
+      g, fs.frag_forest,
+      AggOptions{AggOp::kSum, false, false, /*absorb=*/true},
+      std::move(type2)};
+  sched.run(sum2);
+
+  std::vector<Weight> rho(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& global = sum1.items(v);  // identical everywhere; read own
+    const auto it = std::lower_bound(
+        global.begin(), global.end(), Word{v},
+        [](const AggItem& a, Word key) { return a.key < key; });
+    if (it != global.end() && it->key == v) rho[v] += it->p[0];
+    for (const AggItem& a : sum2.absorbed(v)) {
+      DMC_ASSERT(a.key == v);
+      rho[v] += a.p[0];
+    }
+    // Nothing may leak past a fragment root in absorb mode.
+    if (fs.is_frag_root(v))
+      DMC_ASSERT_MSG(sum2.items(v).empty(),
+                     "type-(ii) message escaped its fragment");
+  }
+  return rho;
+}
+
+}  // namespace dmc

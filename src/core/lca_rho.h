@@ -1,0 +1,44 @@
+// Step 5 of the paper: every node v learns ρ(v) — the total weight of
+// edges whose endpoints' least common ancestor is v.
+//
+// Per graph edge (x, y), both endpoints compute the LCA z locally after one
+// pairwise exchange over the edge itself (case 1: same fragment — exchange
+// the in-fragment ancestor chains, O(√n) words; cases 2/3: different
+// fragments — two words: the L(·) answer for the peer's fragment and the
+// lowest T'_F ancestor).  The case split is decided locally from the global
+// T_F ancestry of the two fragments:
+//   * frag(x) ancestor of frag(y) in T_F  ⇒  z = L(x)[frag(y)] ∈ frag(x);
+//   * frag(y) ancestor of frag(x)         ⇒  z = L(y)[frag(x)] ∈ frag(y);
+//   * otherwise                            ⇒  z = LCA_{T'_F}(a(x), a(y)),
+//     a merging node in neither fragment.
+//
+// Accumulation (both weighted):
+//   type (i)  — z in neither endpoint's fragment (z is a merging node):
+//               summed over the BFS tree, keyed by z, O(√n) keys;
+//   type (ii) — the endpoint sharing z's fragment keeps ⟨z, w⟩; keyed
+//               absorb-convergecast up the fragment trees delivers the sum
+//               exactly at z.
+//
+// O(√n + D) rounds total.
+#pragma once
+
+#include <vector>
+
+#include "congest/schedule.h"
+#include "congest/tree_view.h"
+#include "core/ancestors.h"
+#include "core/merging_nodes.h"
+#include "dist/tree_partition.h"
+
+namespace dmc {
+
+/// Returns ρ(v) for every node.  Every edge of g (tree and non-tree alike)
+/// contributes weights[e] to exactly one node's ρ — `weights` is indexed by
+/// EdgeId and lets callers evaluate with original weights on a
+/// skeleton-packed tree (or 0/1 indicators for bridge tests).
+[[nodiscard]] std::vector<Weight> compute_rho(
+    Schedule& sched, const TreeView& bfs, const FragmentStructure& fs,
+    const AncestorData& ad, const TfPrime& tfp,
+    const std::vector<Weight>& weights);
+
+}  // namespace dmc

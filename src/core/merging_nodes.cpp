@@ -1,0 +1,186 @@
+#include "core/merging_nodes.h"
+
+#include <algorithm>
+#include <set>
+
+#include "congest/primitives/aggregate_broadcast.h"
+
+namespace dmc {
+
+namespace {
+
+/// One round: every non-root node tells its T-parent whether its branch
+/// contains a whole fragment (F(v) ≠ ∅ ⇔ Attach(v) ≠ ∅ for same-fragment
+/// children; inter-fragment children count structurally at the parent).
+class ChildBitProtocol final : public Protocol {
+ public:
+  ChildBitProtocol(const Graph& g, const FragmentStructure& fs,
+                   const AncestorData& ad)
+      : fs_(&fs), ad_(&ad) {
+    sent_.assign(g.num_nodes(), 0);
+    branch_count_.assign(g.num_nodes(), 0);
+  }
+  [[nodiscard]] std::string name() const override { return "child_bits"; }
+
+  void round(NodeId v, Mailbox& mb) override {
+    for (const Delivery& d : mb.inbox()) {
+      // A same-fragment child reporting F(child) ≠ ∅.
+      if (d.msg.at(0) != 0) ++branch_count_[v];
+    }
+    if (!sent_[v]) {
+      sent_[v] = 1;
+      // Structural count: children in child fragments always carry one.
+      for (const std::uint32_t cp : fs_->t_view.children_ports(v))
+        if (fs_->port_frag_idx[v][cp] != fs_->frag_idx[v])
+          ++branch_count_[v];
+      if (!fs_->t_view.is_root(v)) {
+        const bool same_frag =
+            fs_->port_frag_idx[v][fs_->t_view.parent_port(v)] ==
+            fs_->frag_idx[v];
+        if (same_frag) {
+          const Word bit = ad_->attach[v].empty() ? 0 : 1;
+          mb.send(fs_->t_view.parent_port(v), Message::make(1, {bit}));
+        }
+      }
+    }
+  }
+  [[nodiscard]] bool local_done(NodeId v) const override {
+    return sent_[v] != 0;
+  }
+
+  /// Number of children branches of v containing a whole fragment.
+  [[nodiscard]] std::uint32_t branches(NodeId v) const {
+    return branch_count_[v];
+  }
+
+ private:
+  const FragmentStructure* fs_;
+  const AncestorData* ad_;
+  std::vector<std::uint8_t> sent_;
+  std::vector<std::uint32_t> branch_count_;
+};
+
+}  // namespace
+
+NodeId TfPrime::lca(NodeId a, NodeId b) const {
+  DMC_REQUIRE(contains(a) && contains(b));
+  std::set<NodeId> seen;
+  for (NodeId cur = a;;) {
+    seen.insert(cur);
+    const auto it = parent.find(cur);
+    DMC_ASSERT(it != parent.end());
+    if (it->second == kNoNode) break;
+    cur = it->second;
+  }
+  for (NodeId cur = b;;) {
+    if (seen.count(cur)) return cur;
+    const auto it = parent.find(cur);
+    DMC_ASSERT(it != parent.end());
+    DMC_ASSERT_MSG(it->second != kNoNode, "T'_F nodes in different trees");
+    cur = it->second;
+  }
+}
+
+TfPrime compute_merging_nodes(Schedule& sched, const TreeView& bfs,
+                              const FragmentStructure& fs,
+                              const AncestorData& ad) {
+  Network& net = sched.network();
+  const Graph& g = net.graph();
+  const std::size_t n = g.num_nodes();
+
+  TfPrime tfp;
+  tfp.is_merging.assign(n, 0);
+  tfp.lowest_tf.assign(n, kNoNode);
+
+  // --- merging detection (1 round of child bits) ---
+  ChildBitProtocol bits{g, fs, ad};
+  sched.run(bits);
+  for (NodeId v = 0; v < n; ++v)
+    tfp.is_merging[v] = bits.branches(v) >= 2 ? 1 : 0;
+
+  // --- broadcast merging-node ids (+ their fragments) ---
+  {
+    std::vector<std::vector<AggItem>> contrib(n);
+    for (NodeId v = 0; v < n; ++v)
+      if (tfp.is_merging[v])
+        contrib[v].push_back(AggItem{v, {fs.frag_idx[v], 0, 0}});
+    AggregateBroadcastProtocol bc{
+        g, bfs, AggOptions{AggOp::kUnique, true, false, false},
+        std::move(contrib)};
+    sched.run(bc);
+    for (const AggItem& it : bc.items(0)) {
+      const NodeId m = static_cast<NodeId>(it.key);
+      tfp.frag_of[m] = static_cast<std::uint32_t>(it.p[0]);
+      tfp.nodes.push_back(m);
+    }
+  }
+  // Fragment roots are T'_F nodes too (already global knowledge).
+  for (std::uint32_t f = 0; f < fs.k; ++f) {
+    const NodeId r = fs.frag_root_node[f];
+    if (!tfp.frag_of.count(r)) tfp.nodes.push_back(r);
+    tfp.frag_of[r] = f;
+  }
+  std::sort(tfp.nodes.begin(), tfp.nodes.end());
+  tfp.nodes.erase(std::unique(tfp.nodes.begin(), tfp.nodes.end()),
+                  tfp.nodes.end());
+
+  const auto in_tfp = [&](NodeId v) {
+    return std::binary_search(tfp.nodes.begin(), tfp.nodes.end(), v);
+  };
+
+  // --- a(v): lowest T'_F ancestor-or-self (local from the chains) ---
+  for (NodeId v = 0; v < n; ++v) {
+    if (in_tfp(v)) {
+      tfp.lowest_tf[v] = v;
+      continue;
+    }
+    for (auto it = ad.own_chain[v].rbegin(); it != ad.own_chain[v].rend();
+         ++it) {
+      if (in_tfp(it->node)) {
+        tfp.lowest_tf[v] = it->node;
+        break;
+      }
+    }
+    DMC_ASSERT_MSG(tfp.lowest_tf[v] != kNoNode,
+                   "own-fragment chain must contain the fragment root");
+  }
+
+  // --- T'_F edges: every T'_F node computes its parent locally, then the
+  //     edges are broadcast ---
+  {
+    std::vector<std::vector<AggItem>> contrib(n);
+    for (NodeId v = 0; v < n; ++v) {
+      if (!in_tfp(v)) continue;
+      if (v == fs.global_root) continue;  // T'_F root
+      NodeId parent = kNoNode;
+      for (auto it = ad.own_chain[v].rbegin(); it != ad.own_chain[v].rend();
+           ++it)
+        if (in_tfp(it->node)) {
+          parent = it->node;
+          break;
+        }
+      if (parent == kNoNode)
+        for (auto it = ad.parent_chain[v].rbegin();
+             it != ad.parent_chain[v].rend(); ++it)
+          if (in_tfp(it->node)) {
+            parent = it->node;
+            break;
+          }
+      DMC_ASSERT_MSG(parent != kNoNode,
+                     "non-root T'_F node must see a T'_F ancestor");
+      contrib[v].push_back(AggItem{v, {parent, 0, 0}});
+    }
+    AggregateBroadcastProtocol bc{
+        g, bfs, AggOptions{AggOp::kUnique, true, false, false},
+        std::move(contrib)};
+    sched.run(bc);
+    for (const AggItem& it : bc.items(0))
+      tfp.parent[static_cast<NodeId>(it.key)] =
+          static_cast<NodeId>(it.p[0]);
+    tfp.parent[fs.global_root] = kNoNode;
+  }
+
+  return tfp;
+}
+
+}  // namespace dmc

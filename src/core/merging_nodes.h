@@ -1,0 +1,43 @@
+// Step 4 of the paper: identify merging nodes (nodes with ≥ 2 children
+// whose branches contain whole fragments) and build the tree T'_F whose
+// nodes are the fragment roots and the merging nodes, with parent = lowest
+// T'_F ancestor in T.  T'_F has O(√n) nodes and is made global knowledge.
+//
+// Protocols: a 1-round child-bit exchange, then two O(√n + D)
+// AggregateBroadcasts over the BFS tree (merging-node ids; T'_F edges).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "congest/schedule.h"
+#include "congest/tree_view.h"
+#include "core/ancestors.h"
+#include "dist/tree_partition.h"
+
+namespace dmc {
+
+struct TfPrime {
+  /// Global knowledge (identical at every node after the broadcasts).
+  std::vector<NodeId> nodes;                          ///< sorted T'_F node ids
+  std::unordered_map<NodeId, NodeId> parent;          ///< child → parent (root → kNoNode)
+  std::unordered_map<NodeId, std::uint32_t> frag_of;  ///< T'_F node → fragment
+
+  /// Local knowledge.
+  std::vector<std::uint8_t> is_merging;  ///< per node
+  std::vector<NodeId> lowest_tf;         ///< a(v): lowest T'_F ancestor-or-self
+
+  [[nodiscard]] bool contains(NodeId v) const {
+    return parent.count(v) > 0;
+  }
+
+  /// LCA of two T'_F nodes within T'_F (local walk over the global tree).
+  [[nodiscard]] NodeId lca(NodeId a, NodeId b) const;
+};
+
+[[nodiscard]] TfPrime compute_merging_nodes(Schedule& sched,
+                                            const TreeView& bfs,
+                                            const FragmentStructure& fs,
+                                            const AncestorData& ad);
+
+}  // namespace dmc

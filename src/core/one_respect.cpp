@@ -1,0 +1,104 @@
+#include "core/one_respect.h"
+
+#include <algorithm>
+
+#include "congest/primitives/aggregate_broadcast.h"
+#include "congest/primitives/convergecast.h"
+#include "core/ancestors.h"
+#include "core/lca_rho.h"
+#include "core/merging_nodes.h"
+#include "core/subtree_sums.h"
+
+namespace dmc {
+
+OneRespectResult one_respect_min_cut(Schedule& sched, const TreeView& bfs,
+                                     const FragmentStructure& fs,
+                                     const std::vector<Weight>& weights) {
+  Network& net = sched.network();
+  const Graph& g = net.graph();
+  const std::size_t n = g.num_nodes();
+  DMC_REQUIRE(weights.size() == g.num_edges());
+  DMC_REQUIRE(n >= 2);
+
+  // Step 2: ancestors, fragment containment, L maps.
+  const AncestorData ad = compute_ancestors(sched, fs);
+
+  // Step 3: δ↓ from local weighted degrees.
+  std::vector<std::uint64_t> delta(n, 0);
+  for (NodeId v = 0; v < n; ++v)
+    for (const Port& p : g.ports(v)) delta[v] += weights[p.edge];
+  OneRespectResult out;
+  out.delta_down = subtree_sums(sched, bfs, fs, ad, delta);
+
+  // Step 4: merging nodes and T'_F.
+  const TfPrime tfp = compute_merging_nodes(sched, bfs, fs, ad);
+
+  // Step 5: ρ, then ρ↓ through the same aggregation as Step 3.
+  const std::vector<Weight> rho =
+      compute_rho(sched, bfs, fs, ad, tfp, weights);
+  out.rho_down = subtree_sums(sched, bfs, fs, ad, rho);
+
+  // Karger's identity, evaluated locally at every node.
+  out.cut_down.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    DMC_ASSERT_MSG(out.delta_down[v] >= 2 * out.rho_down[v],
+                   "C(v↓) underflow at node " << v);
+    out.cut_down[v] = out.delta_down[v] - 2 * out.rho_down[v];
+  }
+
+  // Global minimum over v ≠ root (the root's subtree is the trivial cut).
+  {
+    std::vector<CValue> init(n);
+    for (NodeId v = 0; v < n; ++v)
+      init[v] = v == fs.global_root ? CValue{~Word{0}, v}
+                                    : CValue{out.cut_down[v], v};
+    ConvergecastProtocol cc{g, bfs, CombineOp::kMin, std::move(init),
+                            /*broadcast_result=*/true};
+    sched.run(cc);
+    out.c_star = cc.tree_value(0).w0;
+    out.v_star = static_cast<NodeId>(cc.tree_value(0).w1);
+  }
+
+  // Cut side: v* announces itself, its fragment, and F(v*); each node then
+  // decides membership in v*↓ locally.
+  {
+    std::vector<std::vector<AggItem>> contrib(n);
+    if (out.v_star != kNoNode) {
+      auto& c = contrib[out.v_star];
+      c.push_back(AggItem{0, {out.v_star, fs.frag_idx[out.v_star], 0}});
+      for (const std::uint32_t fj : fs.closure(ad.attach[out.v_star]))
+        c.push_back(AggItem{Word{1} + fj, {0, 0, 0}});
+    }
+    AggregateBroadcastProtocol bc{
+        g, bfs, AggOptions{AggOp::kUnique, true, false, false},
+        std::move(contrib)};
+    sched.run(bc);
+    out.in_cut.assign(n, false);
+    for (NodeId u = 0; u < n; ++u) {
+      const auto& items = bc.items(u);
+      DMC_ASSERT(!items.empty() && items[0].key == 0);
+      const NodeId vstar = static_cast<NodeId>(items[0].p[0]);
+      const std::uint32_t f_vstar = static_cast<std::uint32_t>(items[0].p[1]);
+      const Word want = Word{1} + fs.frag_idx[u];
+      const auto it = std::lower_bound(
+          items.begin() + 1, items.end(), want,
+          [](const AggItem& a, Word key) { return a.key < key; });
+      bool in = it != items.end() && it->key == want;
+      if (!in && fs.frag_idx[u] == f_vstar) {
+        if (u == vstar) {
+          in = true;
+        } else {
+          for (const AncestorEntry& e : ad.own_chain[u])
+            if (e.node == vstar) {
+              in = true;
+              break;
+            }
+        }
+      }
+      out.in_cut[u] = in;
+    }
+  }
+  return out;
+}
+
+}  // namespace dmc

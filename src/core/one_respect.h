@@ -1,0 +1,39 @@
+// Theorem 2.1 of the paper, end to end: given the rooted spanning tree T
+// with its (√n, O(√n)) fragment partition, compute in Õ(√n + D) rounds
+//
+//   * C(v↓) at every node v (via Karger's identity C(v↓) = δ↓(v) − 2ρ↓(v)),
+//   * c* = min_{v ≠ r} C(v↓) and an argmin v*,
+//   * the cut side: every node ends up knowing whether it belongs to v*↓
+//     (the paper's output convention: "every node outputs whether it is in
+//     X in the end").
+//
+// Orchestrates Steps 2–5 (ancestors, subtree sums, merging nodes, LCA/ρ)
+// plus the final min-convergecast and cut-side dissemination.
+#pragma once
+
+#include <vector>
+
+#include "congest/schedule.h"
+#include "congest/tree_view.h"
+#include "dist/tree_partition.h"
+
+namespace dmc {
+
+struct OneRespectResult {
+  std::vector<Weight> delta_down;  ///< δ↓(v), known at v
+  std::vector<Weight> rho_down;    ///< ρ↓(v), known at v
+  std::vector<Weight> cut_down;    ///< C(v↓), known at v
+  Weight c_star{0};                ///< min over v ≠ root (known everywhere)
+  NodeId v_star{kNoNode};          ///< an argmin (known everywhere)
+  std::vector<bool> in_cut;        ///< membership bit, known at each node
+};
+
+/// `weights` gives the per-edge weight used for δ/ρ (indexed by EdgeId);
+/// pass the graph's own weights for the plain algorithm, or the original
+/// weights when running on a sampled skeleton's tree (the (1+ε) pipeline
+/// evaluates true G-cut values on skeleton-packed trees).
+[[nodiscard]] OneRespectResult one_respect_min_cut(
+    Schedule& sched, const TreeView& bfs, const FragmentStructure& fs,
+    const std::vector<Weight>& weights);
+
+}  // namespace dmc

@@ -1,0 +1,89 @@
+#include "core/skeleton_dist.h"
+
+#include "central/skeleton.h"
+#include "congest/primitives/convergecast.h"
+#include "congest/protocol.h"
+
+namespace dmc {
+
+DistSkeleton sample_skeleton_dist(const Graph& g, double p,
+                                  std::uint64_t seed) {
+  DistSkeleton s;
+  s.p = p;
+  s.sampled_w.resize(g.num_edges());
+  s.enabled.resize(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    s.sampled_w[e] = sampled_edge_weight(g.edge(e).w, p, seed, e);
+    s.enabled[e] = s.sampled_w[e] > 0;
+  }
+  return s;
+}
+
+namespace {
+
+/// Floods a token from the leader along enabled edges only.
+class MaskedFlood final : public Protocol {
+ public:
+  MaskedFlood(const Graph& g, NodeId leader, const std::vector<bool>& mask)
+      : g_(&g), leader_(leader), mask_(&mask) {
+    reached_.assign(g.num_nodes(), 0);
+    started_.assign(g.num_nodes(), 0);
+  }
+  [[nodiscard]] std::string name() const override { return "masked_flood"; }
+  void round(NodeId v, Mailbox& mb) override {
+    bool newly = false;
+    for (const Delivery& d : mb.inbox()) {
+      (void)d;
+      if (!reached_[v]) {
+        reached_[v] = 1;
+        newly = true;
+      }
+    }
+    if (!started_[v]) {
+      started_[v] = 1;
+      if (v == leader_) {
+        reached_[v] = 1;
+        newly = true;
+      }
+    }
+    if (newly) {
+      for (std::uint32_t p = 0; p < g_->degree(v); ++p)
+        if ((*mask_)[g_->ports(v)[p].edge])
+          mb.send(p, Message::make(1, {1}));
+    }
+  }
+  [[nodiscard]] bool local_done(NodeId v) const override {
+    return started_[v] != 0;
+  }
+  [[nodiscard]] bool reached(NodeId v) const { return reached_[v] != 0; }
+
+ private:
+  const Graph* g_;
+  NodeId leader_;
+  const std::vector<bool>* mask_;
+  std::vector<std::uint8_t> reached_, started_;
+};
+
+}  // namespace
+
+bool skeleton_connected_dist(Schedule& sched, const TreeView& bfs,
+                             NodeId leader,
+                             const std::vector<bool>& enabled) {
+  Network& net = sched.network();
+  const Graph& g = net.graph();
+  const std::size_t n = g.num_nodes();
+
+  MaskedFlood flood{g, leader, enabled};
+  sched.run(flood);
+
+  std::vector<CValue> init(n);
+  for (NodeId v = 0; v < n; ++v)
+    init[v] = CValue{flood.reached(v) ? Word{1} : Word{0}, 0};
+  ConvergecastProtocol count{g, bfs, CombineOp::kSum, std::move(init),
+                             /*broadcast_result=*/true};
+  sched.run(count);
+  // Every node compares the count to n (n is globally known).
+  return count.tree_value(0).w0 == n;
+}
+
+}  // namespace dmc

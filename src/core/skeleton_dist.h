@@ -1,0 +1,36 @@
+// Distributed skeleton machinery: coordination-free edge sampling and a
+// connectivity check for sampled subgraphs.
+//
+// Sampling is a pure function of (seed, edge id) — both endpoints of an
+// edge evaluate it identically with no messages (see central/skeleton.h).
+// The connectivity check floods a token from the leader over enabled edges
+// and counts reached nodes over the BFS tree, O(D_H + D) rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/schedule.h"
+#include "congest/tree_view.h"
+#include "graph/graph.h"
+
+namespace dmc {
+
+struct DistSkeleton {
+  std::vector<Weight> sampled_w;  ///< per edge; 0 ⇒ dropped
+  std::vector<bool> enabled;      ///< sampled_w > 0
+  double p{1.0};
+};
+
+/// Every node evaluates the sampling locally; the returned vectors are the
+/// (identical) per-edge views.
+[[nodiscard]] DistSkeleton sample_skeleton_dist(const Graph& g, double p,
+                                                std::uint64_t seed);
+
+/// True iff the subgraph of enabled edges is connected — decided at every
+/// node after the protocol (flood + count + broadcast).
+[[nodiscard]] bool skeleton_connected_dist(Schedule& sched,
+                                           const TreeView& bfs, NodeId leader,
+                                           const std::vector<bool>& enabled);
+
+}  // namespace dmc

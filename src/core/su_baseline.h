@@ -1,0 +1,31 @@
+// Su [SPAA 2014]-style baseline, as sketched in the paper's "Concurrent
+// Result" paragraph: like ours it starts from Thorup's packing, but finds
+// the 1-respecting cut by EDGE SAMPLING + BRIDGE FINDING — sample edges so
+// the minimum cut of the sampled graph drops to ≈ 1, then look for a tree
+// edge that became a bridge (here: a zero 1-respect value with 0/1
+// evaluation weights on sampled non-tree edges, reusing Theorem 2.1's
+// machinery in place of Thurimella's algorithm).
+//
+// The drawback the paper notes is inherent: the result is an ESTIMATE of λ
+// (from the sampling probability at which bridges appear), not an exact
+// value — "minimum cut cannot be computed exactly, even when it is small."
+#pragma once
+
+#include <cstdint>
+
+#include "congest/stats.h"
+#include "graph/graph.h"
+
+namespace dmc {
+
+struct SuEstimateResult {
+  Weight estimate{0};     ///< multiplicative estimate of λ
+  double q_threshold{0};  ///< sampling probability where a bridge appeared
+  std::size_t attempts{0};
+  CongestStats stats;
+};
+
+[[nodiscard]] SuEstimateResult su_estimate_min_cut(const Graph& g,
+                                                   std::uint64_t seed);
+
+}  // namespace dmc

@@ -1,0 +1,56 @@
+#include "core/subtree_sums.h"
+
+#include <algorithm>
+
+#include "congest/primitives/aggregate_broadcast.h"
+#include "congest/primitives/convergecast.h"
+
+namespace dmc {
+
+std::vector<std::uint64_t> subtree_sums(Schedule& sched, const TreeView& bfs,
+                                        const FragmentStructure& fs,
+                                        const AncestorData& ad,
+                                        const std::vector<std::uint64_t>&
+                                            value) {
+  Network& net = sched.network();
+  const Graph& g = net.graph();
+  const std::size_t n = g.num_nodes();
+  DMC_REQUIRE(value.size() == n);
+
+  // (i) intra-fragment subtree sums.
+  std::vector<CValue> init(n);
+  for (NodeId v = 0; v < n; ++v) init[v] = CValue{value[v], 0};
+  ConvergecastProtocol cc{g, fs.frag_forest, CombineOp::kSum, std::move(init),
+                          /*broadcast_result=*/false};
+  sched.run(cc);
+
+  // (ii) fragment totals, announced by each fragment root over the BFS tree
+  // (whose height is O(D), unlike T itself).
+  std::vector<std::vector<AggItem>> contrib(n);
+  for (NodeId v = 0; v < n; ++v)
+    if (fs.is_frag_root(v))
+      contrib[v].push_back(
+          AggItem{fs.frag_idx[v], {cc.subtree_value(v).w0, 0, 0}});
+  AggregateBroadcastProtocol bc{
+      g, bfs, AggOptions{AggOp::kUnique, /*deliver_all=*/true, false, false},
+      std::move(contrib)};
+  sched.run(bc);
+
+  // Combine locally: x↓(v) = intra-fragment part + Σ_{F_j ∈ F(v)} total.
+  std::vector<std::uint64_t> out(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& items = bc.items(v);
+    std::uint64_t sum = cc.subtree_value(v).w0;
+    for (const std::uint32_t fj : fs.closure(ad.attach[v])) {
+      const auto it = std::lower_bound(
+          items.begin(), items.end(), fj,
+          [](const AggItem& a, std::uint32_t key) { return a.key < key; });
+      DMC_ASSERT(it != items.end() && it->key == fj);
+      sum += it->p[0];
+    }
+    out[v] = sum;
+  }
+  return out;
+}
+
+}  // namespace dmc

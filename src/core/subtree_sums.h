@@ -1,0 +1,27 @@
+// Step 3 of the paper (and the identical aggregation reused for ρ↓ at the
+// end of Step 5): given a per-node quantity x(v), make every node know
+//
+//     x↓(v) = Σ_{u ∈ v↓} x(u)
+//
+// computed as  (sum of x inside v↓ ∩ F_i, via an intra-fragment
+// convergecast)  +  (Σ_{F_j ∈ F(v)} x(F_j), via a broadcast of the O(√n)
+// per-fragment totals over the BFS tree, combined locally using
+// F(v) = closure(Attach(v))).
+//
+// O(√n + D) rounds.
+#pragma once
+
+#include <vector>
+
+#include "congest/schedule.h"
+#include "congest/tree_view.h"
+#include "core/ancestors.h"
+#include "dist/tree_partition.h"
+
+namespace dmc {
+
+[[nodiscard]] std::vector<std::uint64_t> subtree_sums(
+    Schedule& sched, const TreeView& bfs, const FragmentStructure& fs,
+    const AncestorData& ad, const std::vector<std::uint64_t>& value);
+
+}  // namespace dmc

@@ -1,0 +1,80 @@
+#include "core/tree_packing_dist.h"
+
+#include "core/one_respect.h"
+#include "dist/ghs_mst.h"
+#include "dist/tree_partition.h"
+
+namespace dmc {
+
+namespace {
+/// Disabled edges sort after every enabled edge: enabled ratios are at most
+/// load/1 < 2^24 (the tree cap), and 2^25/1 exceeds that, while keeping all
+/// cross products below 2^57 (no overflow with w ≤ 2^32).
+constexpr std::uint64_t kDisabledBump = 1ull << 25;
+}  // namespace
+
+DistPackingResult dist_tree_packing(Schedule& sched, const TreeView& bfs,
+                                    NodeId leader,
+                                    const DistPackingOptions& opt) {
+  Network& net = sched.network();
+  const Graph& g = net.graph();
+  const std::size_t n = g.num_nodes();
+  DMC_REQUIRE(n >= 2);
+  DMC_REQUIRE(opt.max_trees >= 1 && opt.max_trees < (1u << 20));
+
+  std::vector<Weight> eval(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    eval[e] = opt.eval_weights ? (*opt.eval_weights)[e] : g.edge(e).w;
+
+  // Per-edge load counters (conceptually one copy at each endpoint; they
+  // are updated from locally known tree membership so both agree).
+  std::vector<std::uint64_t> loads(g.num_edges(), 0);
+
+  DistPackingResult out;
+  out.in_cut.assign(n, false);
+  std::size_t since_improvement = 0;
+
+  for (std::size_t i = 0; i < opt.max_trees; ++i) {
+    // Keys for this tree.
+    std::vector<EdgeKey> keys(g.num_edges());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const bool enabled = !opt.edge_enabled || (*opt.edge_enabled)[e];
+      const Weight pw = opt.packing_weights
+                            ? std::max<Weight>(1, (*opt.packing_weights)[e])
+                            : g.edge(e).w;
+      keys[e] = EdgeKey{enabled ? loads[e] : loads[e] + kDisabledBump,
+                        enabled ? pw : Weight{1}, e};
+    }
+
+    const DistMstResult mst = ghs_mst(sched, bfs, keys);
+    if (opt.edge_enabled) {
+      for (EdgeId e = 0; e < g.num_edges(); ++e)
+        DMC_ASSERT_MSG(!mst.tree_edge[e] || (*opt.edge_enabled)[e],
+                       "packing tree used a disabled edge — "
+                       "skeleton is disconnected");
+    }
+    const FragmentStructure fs =
+        build_fragment_structure(sched, bfs, leader, mst);
+    const OneRespectResult r = one_respect_min_cut(sched, bfs, fs, eval);
+
+    // Update loads from local tree membership.
+    for (EdgeId e = 0; e < g.num_edges(); ++e)
+      if (mst.tree_edge[e]) ++loads[e];
+
+    ++out.trees_packed;
+    out.fragments_last = fs.k;
+    if (r.c_star < out.c_star) {
+      out.c_star = r.c_star;
+      out.v_star = r.v_star;
+      out.tree_of_best = i;
+      out.in_cut = r.in_cut;
+      since_improvement = 0;
+    } else if (opt.patience > 0 && ++since_improvement >= opt.patience) {
+      break;
+    }
+    if (opt.stop_at_zero && out.c_star == 0) break;
+  }
+  return out;
+}
+
+}  // namespace dmc

@@ -1,0 +1,52 @@
+// Distributed greedy tree packing (Thorup) + per-tree 1-respect minimum.
+//
+// Tree Tᵢ is the distributed MST under EdgeKey(load, w, id) where load(e) =
+// #previous trees containing e — a quantity both endpoints of e maintain
+// locally, so the keys are consistent with zero communication.  After each
+// tree, Theorem 2.1's machinery computes min_v C(v↓); the running global
+// minimum (and its cut side) is retained by every node.
+//
+// Options support the sampled-skeleton mode: packing restricted to enabled
+// edges with skeleton weights while cut values are evaluated with original
+// weights (the (1+ε) reduction), or with arbitrary evaluation weights (the
+// Su-style bridge test).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/schedule.h"
+#include "congest/tree_view.h"
+#include "graph/graph.h"
+
+namespace dmc {
+
+struct DistPackingOptions {
+  std::size_t max_trees{32};
+  /// Stop after this many consecutive trees without improvement (0: never).
+  std::size_t patience{8};
+  /// Cut-evaluation weight per edge (default: the graph's weights).
+  const std::vector<Weight>* eval_weights{nullptr};
+  /// If set, the packing may only use edges with enabled[e] (skeleton).
+  const std::vector<bool>* edge_enabled{nullptr};
+  /// MST key weights (default: the graph's weights; skeleton: sampled).
+  const std::vector<Weight>* packing_weights{nullptr};
+  /// Stop as soon as the running minimum reaches this value (0: never) —
+  /// used by bridge-style searches for a zero-weight cut.
+  bool stop_at_zero{false};
+};
+
+struct DistPackingResult {
+  Weight c_star{static_cast<Weight>(-1)};
+  NodeId v_star{kNoNode};
+  std::size_t tree_of_best{0};
+  std::size_t trees_packed{0};
+  std::vector<bool> in_cut;       ///< membership bits of the best cut
+  std::size_t fragments_last{0};  ///< fragment count of the last tree
+};
+
+[[nodiscard]] DistPackingResult dist_tree_packing(
+    Schedule& sched, const TreeView& bfs, NodeId leader,
+    const DistPackingOptions& opt);
+
+}  // namespace dmc

@@ -1,0 +1,93 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace dmc {
+
+BfsResult bfs(const Graph& g, NodeId source) {
+  std::vector<bool> all(g.num_edges(), true);
+  return bfs_masked(g, source, all);
+}
+
+BfsResult bfs_masked(const Graph& g, NodeId source,
+                     const std::vector<bool>& mask) {
+  DMC_REQUIRE(source < g.num_nodes());
+  DMC_REQUIRE(mask.size() == g.num_edges());
+  BfsResult r;
+  r.dist.assign(g.num_nodes(), BfsResult::kUnreached);
+  r.parent.assign(g.num_nodes(), kNoNode);
+  r.parent_edge.assign(g.num_nodes(), kNoEdge);
+  r.order.clear();
+  std::queue<NodeId> q;
+  r.dist[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    r.order.push_back(v);
+    for (const Port& p : g.ports(v)) {
+      if (!mask[p.edge]) continue;
+      if (r.dist[p.peer] != BfsResult::kUnreached) continue;
+      r.dist[p.peer] = r.dist[v] + 1;
+      r.parent[p.peer] = v;
+      r.parent_edge[p.peer] = p.edge;
+      q.push(p.peer);
+    }
+  }
+  return r;
+}
+
+std::vector<std::uint32_t> connected_components(const Graph& g) {
+  std::vector<std::uint32_t> comp(g.num_nodes(),
+                                  static_cast<std::uint32_t>(-1));
+  std::uint32_t next = 0;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (comp[s] != static_cast<std::uint32_t>(-1)) continue;
+    const BfsResult r = bfs(g, s);
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      if (r.dist[v] != BfsResult::kUnreached) comp[v] = next;
+    ++next;
+  }
+  return comp;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() == 0) return true;
+  const BfsResult r = bfs(g, 0);
+  return std::none_of(r.dist.begin(), r.dist.end(), [](std::uint32_t d) {
+    return d == BfsResult::kUnreached;
+  });
+}
+
+std::uint32_t eccentricity(const Graph& g, NodeId v) {
+  const BfsResult r = bfs(g, v);
+  std::uint32_t ecc = 0;
+  for (const std::uint32_t d : r.dist) {
+    DMC_REQUIRE_MSG(d != BfsResult::kUnreached,
+                    "eccentricity requires a connected graph");
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t diameter_exact(const Graph& g) {
+  DMC_REQUIRE(g.num_nodes() >= 1);
+  std::uint32_t best = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    best = std::max(best, eccentricity(g, v));
+  return best;
+}
+
+std::uint32_t diameter_double_sweep(const Graph& g) {
+  DMC_REQUIRE(g.num_nodes() >= 1);
+  const BfsResult first = bfs(g, 0);
+  NodeId far = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    DMC_REQUIRE(first.dist[v] != BfsResult::kUnreached);
+    if (first.dist[v] > first.dist[far]) far = v;
+  }
+  return eccentricity(g, far);
+}
+
+}  // namespace dmc

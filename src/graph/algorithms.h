@@ -1,0 +1,45 @@
+// Centralized graph algorithms: traversal, connectivity, diameter.
+// These are the sequential oracles the distributed protocols are verified
+// against, and utilities for experiment setup (e.g. exact diameters).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dmc {
+
+struct BfsResult {
+  std::vector<std::uint32_t> dist;    ///< hop distance; kUnreached if not seen
+  std::vector<NodeId> parent;         ///< BFS-tree parent; kNoNode for source
+  std::vector<EdgeId> parent_edge;    ///< edge used to reach node
+  std::vector<NodeId> order;          ///< visit order (source first)
+
+  static constexpr std::uint32_t kUnreached = static_cast<std::uint32_t>(-1);
+};
+
+/// Breadth-first search over hop counts (weights ignored — the CONGEST
+/// model charges one round per hop regardless of weight).
+[[nodiscard]] BfsResult bfs(const Graph& g, NodeId source);
+
+/// BFS restricted to edges with mask[e] == true.
+[[nodiscard]] BfsResult bfs_masked(const Graph& g, NodeId source,
+                                   const std::vector<bool>& mask);
+
+/// Component id per node (0-based, in order of first discovery).
+[[nodiscard]] std::vector<std::uint32_t> connected_components(const Graph& g);
+
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// Exact hop diameter via BFS from every node — O(n·m); fine for the
+/// laptop-scale instances in this repo's experiments.
+[[nodiscard]] std::uint32_t diameter_exact(const Graph& g);
+
+/// Double-sweep lower bound on the diameter — O(m); used when exact is too
+/// slow and only a scaling reference is needed.
+[[nodiscard]] std::uint32_t diameter_double_sweep(const Graph& g);
+
+/// Eccentricity of v (max hop distance to any node).
+[[nodiscard]] std::uint32_t eccentricity(const Graph& g, NodeId v);
+
+}  // namespace dmc

@@ -1,0 +1,65 @@
+#include "graph/cut.h"
+
+namespace dmc {
+
+Weight cut_value(const Graph& g, const std::vector<bool>& side) {
+  DMC_REQUIRE(side.size() == g.num_nodes());
+  Weight sum = 0;
+  for (const Edge& e : g.edges())
+    if (side[e.u] != side[e.v]) sum += e.w;
+  return sum;
+}
+
+bool is_nontrivial(const std::vector<bool>& side) {
+  bool any_in = false, any_out = false;
+  for (const bool b : side) (b ? any_in : any_out) = true;
+  return any_in && any_out;
+}
+
+std::vector<bool> subtree_side(const RootedTree& t, NodeId v) {
+  std::vector<bool> side(t.num_nodes(), false);
+  for (NodeId u = 0; u < t.num_nodes(); ++u) side[u] = t.is_ancestor(v, u);
+  return side;
+}
+
+CutResult brute_force_min_cut(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  DMC_REQUIRE(n >= 2);
+  DMC_REQUIRE_MSG(n <= 24, "brute force limited to n ≤ 24");
+  CutResult best;
+  best.value = static_cast<Weight>(-1);
+  // Fix node 0 on the "false" side: every cut has a representative with
+  // side[0] == false, halving the enumeration.
+  const std::size_t masks = std::size_t{1} << (n - 1);
+  for (std::size_t m = 1; m < masks; ++m) {
+    std::vector<bool> side(n, false);
+    for (std::size_t b = 0; b + 1 < n; ++b)
+      side[b + 1] = ((m >> b) & 1) != 0;
+    const Weight val = cut_value(g, side);
+    if (val < best.value) {
+      best.value = val;
+      best.side = std::move(side);
+    }
+  }
+  return best;
+}
+
+CutResult min_degree_cut(const Graph& g) {
+  DMC_REQUIRE(g.num_nodes() >= 2);
+  NodeId arg = 0;
+  Weight best = g.weighted_degree(0);
+  for (NodeId v = 1; v < g.num_nodes(); ++v) {
+    const Weight d = g.weighted_degree(v);
+    if (d < best) {
+      best = d;
+      arg = v;
+    }
+  }
+  CutResult r;
+  r.value = best;
+  r.side.assign(g.num_nodes(), false);
+  r.side[arg] = true;
+  return r;
+}
+
+}  // namespace dmc

@@ -1,0 +1,42 @@
+// Cut evaluation and verification helpers.
+//
+// A cut is represented by its side: side[v] == true ⇔ v ∈ X.  The cut value
+// C(X) = Σ w(x,y) over edges with exactly one endpoint in X — the quantity
+// the paper minimizes.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/tree.h"
+
+namespace dmc {
+
+struct CutResult {
+  Weight value{0};
+  std::vector<bool> side;  ///< side[v] == true ⇔ v in X
+
+  [[nodiscard]] std::size_t side_size() const {
+    std::size_t c = 0;
+    for (const bool b : side) c += b ? 1 : 0;
+    return c;
+  }
+};
+
+/// C(X) for X = {v : side[v]}.
+[[nodiscard]] Weight cut_value(const Graph& g, const std::vector<bool>& side);
+
+/// True iff X is a valid candidate: nonempty and not all of V.
+[[nodiscard]] bool is_nontrivial(const std::vector<bool>& side);
+
+/// The side induced by a subtree: X = v↓ in the given rooted tree.
+[[nodiscard]] std::vector<bool> subtree_side(const RootedTree& t, NodeId v);
+
+/// Exhaustive minimum cut over all 2^(n-1) sides — ground truth for tiny
+/// graphs (n ≤ 24 enforced).
+[[nodiscard]] CutResult brute_force_min_cut(const Graph& g);
+
+/// Cut induced by the minimum weighted degree (trivial upper bound).
+[[nodiscard]] CutResult min_degree_cut(const Graph& g);
+
+}  // namespace dmc

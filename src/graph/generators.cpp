@@ -1,0 +1,283 @@
+#include "graph/generators.h"
+
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "graph/algorithms.h"
+#include "util/prng.h"
+
+namespace dmc {
+
+namespace {
+Weight pick_weight(Prng& rng, Weight min_w, Weight max_w) {
+  DMC_REQUIRE(min_w >= 1 && min_w <= max_w);
+  return min_w == max_w ? min_w : rng.next_in(min_w, max_w);
+}
+}  // namespace
+
+Graph make_path(std::size_t n, Weight w) {
+  DMC_REQUIRE(n >= 1);
+  Graph g{n};
+  for (NodeId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1, w);
+  return g;
+}
+
+Graph make_cycle(std::size_t n, Weight w) {
+  DMC_REQUIRE(n >= 3);
+  Graph g{n};
+  for (NodeId i = 0; i < n; ++i)
+    g.add_edge(i, static_cast<NodeId>((i + 1) % n), w);
+  return g;
+}
+
+Graph make_complete(std::size_t n, Weight w) {
+  DMC_REQUIRE(n >= 2);
+  Graph g{n};
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId j = i + 1; j < n; ++j) g.add_edge(i, j, w);
+  return g;
+}
+
+Graph make_star(std::size_t n, Weight w) {
+  DMC_REQUIRE(n >= 2);
+  Graph g{n};
+  for (NodeId i = 1; i < n; ++i) g.add_edge(0, i, w);
+  return g;
+}
+
+Graph make_grid(std::size_t rows, std::size_t cols, Weight w) {
+  DMC_REQUIRE(rows >= 1 && cols >= 1 && rows * cols >= 2);
+  Graph g{rows * cols};
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1), w);
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c), w);
+    }
+  return g;
+}
+
+Graph make_torus(std::size_t rows, std::size_t cols, Weight w) {
+  DMC_REQUIRE(rows >= 3 && cols >= 3);
+  Graph g{rows * cols};
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) {
+      g.add_edge(id(r, c), id(r, (c + 1) % cols), w);
+      g.add_edge(id(r, c), id((r + 1) % rows, c), w);
+    }
+  return g;
+}
+
+Graph make_hypercube(std::size_t dims, Weight w) {
+  DMC_REQUIRE(dims >= 1 && dims <= 24);
+  const std::size_t n = std::size_t{1} << dims;
+  Graph g{n};
+  for (std::size_t v = 0; v < n; ++v)
+    for (std::size_t b = 0; b < dims; ++b) {
+      const std::size_t u = v ^ (std::size_t{1} << b);
+      if (u > v) g.add_edge(static_cast<NodeId>(v), static_cast<NodeId>(u), w);
+    }
+  return g;
+}
+
+Graph make_erdos_renyi(std::size_t n, double p, std::uint64_t seed,
+                       Weight min_w, Weight max_w) {
+  DMC_REQUIRE(n >= 2 && p > 0.0 && p <= 1.0);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    Prng rng{derive_seed(seed, 0x6572ull, static_cast<std::uint64_t>(attempt))};
+    Graph g{n};
+    // Geometric skipping over the (n choose 2) pair sequence: O(m) expected.
+    const double log_q = std::log1p(-p);
+    const std::size_t pairs = n * (n - 1) / 2;
+    std::size_t idx = 0;
+    const auto pair_of = [n](std::size_t k) {
+      // Row-major upper-triangle indexing.
+      std::size_t u = 0;
+      std::size_t row = n - 1;
+      while (k >= row) {
+        k -= row;
+        ++u;
+        --row;
+      }
+      return std::pair<NodeId, NodeId>{static_cast<NodeId>(u),
+                                       static_cast<NodeId>(u + 1 + k)};
+    };
+    if (p >= 1.0) {
+      for (std::size_t k = 0; k < pairs; ++k) {
+        const auto [u, v] = pair_of(k);
+        g.add_edge(u, v, pick_weight(rng, min_w, max_w));
+      }
+    } else {
+      for (;;) {
+        const double u01 = std::max(rng.next_double(), 1e-300);
+        idx += static_cast<std::size_t>(std::floor(std::log(u01) / log_q)) + 1;
+        if (idx > pairs) break;
+        const auto [u, v] = pair_of(idx - 1);
+        g.add_edge(u, v, pick_weight(rng, min_w, max_w));
+      }
+    }
+    if (is_connected(g)) return g;
+  }
+  throw PreconditionError{
+      "make_erdos_renyi: could not draw a connected sample; raise p"};
+}
+
+Graph make_random_regular(std::size_t n, std::size_t d, std::uint64_t seed,
+                          Weight w) {
+  DMC_REQUIRE(n >= d + 1 && d >= 2);
+  DMC_REQUIRE_MSG(n * d % 2 == 0, "n·d must be even");
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    Prng rng{derive_seed(seed, 0x7272ull, static_cast<std::uint64_t>(attempt))};
+    std::vector<NodeId> stubs;
+    stubs.reserve(n * d);
+    for (NodeId v = 0; v < n; ++v)
+      for (std::size_t i = 0; i < d; ++i) stubs.push_back(v);
+    rng.shuffle(stubs);
+    std::set<std::pair<NodeId, NodeId>> seen;
+    Graph g{n};
+    bool ok = true;
+    for (std::size_t i = 0; i < stubs.size(); i += 2) {
+      NodeId a = stubs[i], b = stubs[i + 1];
+      if (a == b) {
+        ok = false;
+        break;
+      }
+      if (a > b) std::swap(a, b);
+      if (!seen.insert({a, b}).second) {
+        ok = false;
+        break;
+      }
+      g.add_edge(a, b, w);
+    }
+    if (ok && is_connected(g)) return g;
+  }
+  throw PreconditionError{
+      "make_random_regular: rejection failed; use larger n or smaller d"};
+}
+
+Graph make_random_tree(std::size_t n, std::uint64_t seed, Weight min_w,
+                       Weight max_w) {
+  DMC_REQUIRE(n >= 1);
+  Prng rng{derive_seed(seed, 0x7472ull)};
+  Graph g{n};
+  for (NodeId i = 1; i < n; ++i) {
+    const NodeId parent = static_cast<NodeId>(rng.next_below(i));
+    g.add_edge(parent, i, pick_weight(rng, min_w, max_w));
+  }
+  return g;
+}
+
+Graph make_barbell(std::size_t n, std::size_t bridge_edges, Weight bridge_w,
+                   std::uint64_t seed) {
+  DMC_REQUIRE(n >= 4 && n % 2 == 0);
+  const std::size_t half = n / 2;
+  DMC_REQUIRE(bridge_edges >= 1 && bridge_edges <= half);
+  Prng rng{derive_seed(seed, 0x6262ull)};
+  Graph g{n};
+  for (NodeId i = 0; i < half; ++i)
+    for (NodeId j = i + 1; j < half; ++j) g.add_edge(i, j, 1);
+  for (NodeId i = 0; i < half; ++i)
+    for (NodeId j = i + 1; j < half; ++j)
+      g.add_edge(static_cast<NodeId>(half + i), static_cast<NodeId>(half + j),
+                 1);
+  // Distinct cross pairs.
+  std::set<std::pair<NodeId, NodeId>> cross;
+  while (cross.size() < bridge_edges) {
+    const NodeId a = static_cast<NodeId>(rng.next_below(half));
+    const NodeId b = static_cast<NodeId>(half + rng.next_below(half));
+    cross.insert({a, b});
+  }
+  for (const auto& [a, b] : cross) g.add_edge(a, b, bridge_w);
+  return g;
+}
+
+Graph make_planted_cut(std::size_t n, double p_in, std::size_t cross,
+                       Weight cross_w, std::uint64_t seed) {
+  DMC_REQUIRE(n >= 4 && n % 2 == 0 && cross >= 1);
+  const std::size_t half = n / 2;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    Prng rng{derive_seed(seed, 0x7063ull, static_cast<std::uint64_t>(attempt))};
+    Graph g{n};
+    // Community A on [0, half), community B on [half, n).
+    for (NodeId i = 0; i < half; ++i)
+      for (NodeId j = i + 1; j < half; ++j) {
+        if (rng.next_bool(p_in)) g.add_edge(i, j, 1);
+      }
+    for (NodeId i = 0; i < half; ++i)
+      for (NodeId j = i + 1; j < half; ++j) {
+        if (rng.next_bool(p_in))
+          g.add_edge(static_cast<NodeId>(half + i),
+                     static_cast<NodeId>(half + j), 1);
+      }
+    std::set<std::pair<NodeId, NodeId>> pairs;
+    while (pairs.size() < cross) {
+      const NodeId a = static_cast<NodeId>(rng.next_below(half));
+      const NodeId b = static_cast<NodeId>(half + rng.next_below(half));
+      pairs.insert({a, b});
+    }
+    for (const auto& [a, b] : pairs) g.add_edge(a, b, cross_w);
+    if (is_connected(g)) return g;
+  }
+  throw PreconditionError{"make_planted_cut: raise p_in"};
+}
+
+Graph make_path_of_cliques(std::size_t cliques, std::size_t clique_size,
+                           Weight w_chain, std::uint64_t /*seed*/) {
+  DMC_REQUIRE(cliques >= 2 && clique_size >= 3);
+  const std::size_t n = cliques * clique_size;
+  Graph g{n};
+  for (std::size_t c = 0; c < cliques; ++c) {
+    const NodeId base = static_cast<NodeId>(c * clique_size);
+    for (NodeId i = 0; i < clique_size; ++i)
+      for (NodeId j = i + 1; j < clique_size; ++j)
+        g.add_edge(base + i, base + j, 1);
+    if (c + 1 < cliques) {
+      // Chain edge from the "last" node of this clique to the "first" of the
+      // next one.
+      g.add_edge(base + static_cast<NodeId>(clique_size - 1),
+                 base + static_cast<NodeId>(clique_size), w_chain);
+    }
+  }
+  return g;
+}
+
+Graph make_random_connected(std::size_t n, std::size_t m, std::uint64_t seed,
+                            Weight min_w, Weight max_w) {
+  DMC_REQUIRE(n >= 2 && m >= n - 1);
+  Prng rng{derive_seed(seed, 0x7263ull)};
+  Graph g{n};
+  std::set<std::pair<NodeId, NodeId>> used;
+  for (NodeId i = 1; i < n; ++i) {
+    const NodeId parent = static_cast<NodeId>(rng.next_below(i));
+    g.add_edge(parent, i, pick_weight(rng, min_w, max_w));
+    used.insert({std::min(parent, i), std::max(parent, i)});
+  }
+  const std::size_t max_edges = n * (n - 1) / 2;
+  DMC_REQUIRE_MSG(m <= max_edges, "m exceeds simple-graph capacity");
+  while (g.num_edges() < m) {
+    NodeId a = static_cast<NodeId>(rng.next_below(n));
+    NodeId b = static_cast<NodeId>(rng.next_below(n));
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    if (!used.insert({a, b}).second) continue;
+    g.add_edge(a, b, pick_weight(rng, min_w, max_w));
+  }
+  return g;
+}
+
+Graph with_random_weights(const Graph& g, std::uint64_t seed, Weight min_w,
+                          Weight max_w) {
+  Prng rng{derive_seed(seed, 0x7777ull)};
+  Graph out{g.num_nodes()};
+  for (const Edge& e : g.edges())
+    out.add_edge(e.u, e.v, pick_weight(rng, min_w, max_w));
+  return out;
+}
+
+}  // namespace dmc

@@ -1,0 +1,86 @@
+// Graph family generators for tests, examples, and experiments.
+//
+// Families are chosen to stress the quantities in the paper's bounds:
+//   * n-scaling with small diameter          → erdos_renyi, random_regular
+//   * diameter-dominated instances           → path_of_cliques, cycle, grid
+//   * known planted minimum cuts (λ control) → planted_cut, barbell,
+//                                               planted_partition
+// Every generator is deterministic in (parameters, seed).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace dmc {
+
+/// Simple path 0-1-…-(n-1).
+[[nodiscard]] Graph make_path(std::size_t n, Weight w = 1);
+
+/// Cycle on n ≥ 3 nodes.  λ = 2w, D = ⌊n/2⌋.
+[[nodiscard]] Graph make_cycle(std::size_t n, Weight w = 1);
+
+/// Complete graph K_n.  λ = (n-1)·w, D = 1.
+[[nodiscard]] Graph make_complete(std::size_t n, Weight w = 1);
+
+/// Star with center 0.  λ = w, D = 2.
+[[nodiscard]] Graph make_star(std::size_t n, Weight w = 1);
+
+/// rows×cols grid.  λ = 2w (corner), D = rows+cols-2.
+[[nodiscard]] Graph make_grid(std::size_t rows, std::size_t cols,
+                              Weight w = 1);
+
+/// rows×cols torus (wrap-around grid); needs rows,cols ≥ 3.  λ = 4w.
+[[nodiscard]] Graph make_torus(std::size_t rows, std::size_t cols,
+                               Weight w = 1);
+
+/// d-dimensional hypercube (n = 2^d).  λ = d·w, D = d.
+[[nodiscard]] Graph make_hypercube(std::size_t dims, Weight w = 1);
+
+/// G(n, p) Erdős–Rényi; retries until connected (throws after 64 attempts —
+/// pick p above the connectivity threshold).  Weights uniform in
+/// [min_w, max_w].
+[[nodiscard]] Graph make_erdos_renyi(std::size_t n, double p,
+                                     std::uint64_t seed, Weight min_w = 1,
+                                     Weight max_w = 1);
+
+/// Random d-regular (configuration model with rejection of self-loops and
+/// parallel edges); retries until simple and connected.
+[[nodiscard]] Graph make_random_regular(std::size_t n, std::size_t d,
+                                        std::uint64_t seed, Weight w = 1);
+
+/// Uniform random spanning-tree-ish random tree: node i ≥ 1 attaches to a
+/// uniform node < i (random recursive tree).
+[[nodiscard]] Graph make_random_tree(std::size_t n, std::uint64_t seed,
+                                     Weight min_w = 1, Weight max_w = 1);
+
+/// Two cliques of size n/2 joined by `bridge_edges` cross edges of weight
+/// `bridge_w`.  If bridge_w·bridge_edges < (n/2-1), the planted cut IS the
+/// minimum cut with value bridge_edges·bridge_w.
+[[nodiscard]] Graph make_barbell(std::size_t n, std::size_t bridge_edges,
+                                 Weight bridge_w, std::uint64_t seed);
+
+/// Two G(n/2, p_in) communities with exactly `cross` random cross edges of
+/// weight `cross_w`.  Generator guarantees both sides connected.
+[[nodiscard]] Graph make_planted_cut(std::size_t n, double p_in,
+                                     std::size_t cross, Weight cross_w,
+                                     std::uint64_t seed);
+
+/// k cliques of size s chained by single edges — diameter Θ(k), so round
+/// counts become D-dominated.  λ = chain edge weight w_chain.
+[[nodiscard]] Graph make_path_of_cliques(std::size_t cliques,
+                                         std::size_t clique_size,
+                                         Weight w_chain = 1,
+                                         std::uint64_t seed = 0);
+
+/// Random connected graph with exactly m edges: a random recursive tree
+/// plus m-(n-1) uniform extra edges (parallel edges allowed=false).
+[[nodiscard]] Graph make_random_connected(std::size_t n, std::size_t m,
+                                          std::uint64_t seed,
+                                          Weight min_w = 1, Weight max_w = 1);
+
+/// Reassigns uniform random weights in [min_w, max_w] (same topology).
+[[nodiscard]] Graph with_random_weights(const Graph& g, std::uint64_t seed,
+                                        Weight min_w, Weight max_w);
+
+}  // namespace dmc

@@ -1,0 +1,72 @@
+#include "graph/graph.h"
+
+namespace dmc {
+
+Graph::Graph(std::size_t n) : adjacency_(n) {}
+
+EdgeId Graph::add_edge(NodeId u, NodeId v, Weight w) {
+  DMC_REQUIRE(u < adjacency_.size() && v < adjacency_.size());
+  DMC_REQUIRE_MSG(u != v, "self-loops are not allowed (node " << u << ")");
+  DMC_REQUIRE_MSG(w >= 1 && w <= kMaxWeight,
+                  "edge weight " << w << " out of [1, 2^32)");
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{u, v, w});
+  adjacency_[u].push_back(Port{v, id});
+  adjacency_[v].push_back(Port{u, id});
+  return id;
+}
+
+Weight Graph::weighted_degree(NodeId v) const {
+  Weight sum = 0;
+  for (const Port& p : ports(v)) sum += edges_[p.edge].w;
+  return sum;
+}
+
+Weight Graph::total_weight() const {
+  Weight sum = 0;
+  for (const Edge& e : edges_) sum += e.w;
+  return sum;
+}
+
+Weight Graph::min_weighted_degree() const {
+  DMC_REQUIRE(num_nodes() > 0);
+  Weight best = weighted_degree(0);
+  for (NodeId v = 1; v < num_nodes(); ++v)
+    best = std::min(best, weighted_degree(v));
+  return best;
+}
+
+Graph Graph::unweighted_copy() const {
+  Graph g{num_nodes()};
+  for (const Edge& e : edges_) g.add_edge(e.u, e.v, 1);
+  return g;
+}
+
+Graph Graph::edge_subgraph(const std::vector<bool>& keep,
+                           std::vector<EdgeId>* kept_to_original) const {
+  DMC_REQUIRE(keep.size() == edges_.size());
+  Graph g{num_nodes()};
+  if (kept_to_original) kept_to_original->clear();
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    if (!keep[e]) continue;
+    g.add_edge(edges_[e].u, edges_[e].v, edges_[e].w);
+    if (kept_to_original) kept_to_original->push_back(e);
+  }
+  return g;
+}
+
+void Graph::validate() const {
+  std::size_t port_count = 0;
+  for (NodeId v = 0; v < adjacency_.size(); ++v) {
+    for (const Port& p : adjacency_[v]) {
+      DMC_ASSERT(p.peer < adjacency_.size());
+      DMC_ASSERT(p.edge < edges_.size());
+      const Edge& e = edges_[p.edge];
+      DMC_ASSERT((e.u == v && e.v == p.peer) || (e.v == v && e.u == p.peer));
+      ++port_count;
+    }
+  }
+  DMC_ASSERT(port_count == 2 * edges_.size());
+}
+
+}  // namespace dmc

@@ -1,0 +1,104 @@
+// Weighted undirected (multi)graph — the substrate every algorithm in this
+// library operates on.
+//
+// Nodes are dense indices 0..n-1 (these double as the CONGEST node IDs).
+// Edges are stored once, with stable EdgeId indices; per-node adjacency
+// stores (neighbor, edge id) "ports", which is exactly the local view a
+// CONGEST processor has of its incident links.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace dmc {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+using Weight = std::uint64_t;
+
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+inline constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
+
+/// Maximum supported edge weight.  Keeping weights in 32 bits lets cut
+/// values, degree sums, and load-by-weight cross products all fit in
+/// uint64_t without overflow (n·W ≤ 2^52 in any laptop-scale experiment).
+inline constexpr Weight kMaxWeight = (1ull << 32) - 1;
+
+struct Edge {
+  NodeId u{kNoNode};
+  NodeId v{kNoNode};
+  Weight w{1};
+
+  [[nodiscard]] NodeId other(NodeId x) const {
+    DMC_ASSERT(x == u || x == v);
+    return x == u ? v : u;
+  }
+};
+
+/// One entry of a node's adjacency list: which neighbor, over which edge.
+struct Port {
+  NodeId peer{kNoNode};
+  EdgeId edge{kNoEdge};
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t n);
+
+  /// Adds an undirected edge; returns its EdgeId.  Parallel edges and
+  /// self-loop-free multigraphs are supported (self-loops are rejected:
+  /// they never affect any cut).
+  EdgeId add_edge(NodeId u, NodeId v, Weight w = 1);
+
+  [[nodiscard]] std::size_t num_nodes() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const {
+    DMC_REQUIRE(e < edges_.size());
+    return edges_[e];
+  }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  /// The ports (incident links) of node v, in insertion order.  Port index
+  /// within this span is the CONGEST "port number" of the link at v.
+  [[nodiscard]] std::span<const Port> ports(NodeId v) const {
+    DMC_REQUIRE(v < adjacency_.size());
+    return adjacency_[v];
+  }
+
+  [[nodiscard]] std::size_t degree(NodeId v) const {
+    return ports(v).size();
+  }
+
+  /// δ(v): sum of weights of edges incident to v.
+  [[nodiscard]] Weight weighted_degree(NodeId v) const;
+
+  /// Σ_e w(e).
+  [[nodiscard]] Weight total_weight() const;
+
+  /// Smallest weighted degree over all nodes (a trivial min-cut upper
+  /// bound, and the starting point of Matula's algorithm).
+  [[nodiscard]] Weight min_weighted_degree() const;
+
+  /// Returns a graph with identical topology but all weights = 1.
+  [[nodiscard]] Graph unweighted_copy() const;
+
+  /// Returns the subgraph keeping edge e iff keep[e] (same node set; edge
+  /// ids are renumbered; `kept_to_original` maps new ids back).
+  [[nodiscard]] Graph edge_subgraph(const std::vector<bool>& keep,
+                                    std::vector<EdgeId>* kept_to_original =
+                                        nullptr) const;
+
+  /// Structural sanity check; throws InvariantError on corruption.
+  void validate() const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Port>> adjacency_;
+};
+
+}  // namespace dmc

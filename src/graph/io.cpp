@@ -1,0 +1,65 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace dmc {
+
+void write_graph(std::ostream& os, const Graph& g) {
+  os << "dmc-graph 1\n" << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (const Edge& e : g.edges()) os << e.u << ' ' << e.v << ' ' << e.w << '\n';
+}
+
+Graph read_graph(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  DMC_REQUIRE_MSG(magic == "dmc-graph" && version == 1,
+                  "bad graph header: '" << magic << " " << version << "'");
+  std::size_t n = 0, m = 0;
+  is >> n >> m;
+  DMC_REQUIRE_MSG(is.good(), "truncated graph header");
+  Graph g{n};
+  for (std::size_t i = 0; i < m; ++i) {
+    NodeId u = 0, v = 0;
+    Weight w = 0;
+    is >> u >> v >> w;
+    DMC_REQUIRE_MSG(!is.fail(), "truncated edge list at edge " << i);
+    g.add_edge(u, v, w);
+  }
+  return g;
+}
+
+void save_graph(const std::string& path, const Graph& g) {
+  std::ofstream f{path};
+  DMC_REQUIRE_MSG(f.good(), "cannot open '" << path << "' for writing");
+  write_graph(f, g);
+}
+
+Graph load_graph(const std::string& path) {
+  std::ifstream f{path};
+  DMC_REQUIRE_MSG(f.good(), "cannot open '" << path << "' for reading");
+  return read_graph(f);
+}
+
+void write_dot(std::ostream& os, const Graph& g,
+               const std::vector<bool>* side) {
+  os << "graph dmc {\n  node [shape=circle];\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    os << "  n" << v;
+    if (side && (*side)[v])
+      os << " [style=filled, fillcolor=lightblue]";
+    os << ";\n";
+  }
+  for (const Edge& e : g.edges()) {
+    os << "  n" << e.u << " -- n" << e.v;
+    if (e.w != 1) os << " [label=\"" << e.w << "\"]";
+    const bool crossing = side && (*side)[e.u] != (*side)[e.v];
+    if (crossing) os << " [color=red, penwidth=2]";
+    os << ";\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace dmc

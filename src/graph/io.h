@@ -1,0 +1,28 @@
+// Graph serialization: a minimal self-describing edge-list format, plus
+// Graphviz DOT export used by the examples.
+//
+// Text format:
+//   dmc-graph 1
+//   <n> <m>
+//   <u> <v> <w>     (m lines)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace dmc {
+
+void write_graph(std::ostream& os, const Graph& g);
+[[nodiscard]] Graph read_graph(std::istream& is);
+
+void save_graph(const std::string& path, const Graph& g);
+[[nodiscard]] Graph load_graph(const std::string& path);
+
+/// DOT export; if `side` is non-null, nodes on the true side are filled —
+/// used by examples to visualize the minimum cut.
+void write_dot(std::ostream& os, const Graph& g,
+               const std::vector<bool>* side = nullptr);
+
+}  // namespace dmc

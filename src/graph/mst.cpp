@@ -1,0 +1,57 @@
+#include "graph/mst.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/dsu.h"
+
+namespace dmc {
+
+std::vector<EdgeKey> weight_keys(const Graph& g) {
+  std::vector<EdgeKey> keys(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    keys[e] = EdgeKey{/*load=*/g.edge(e).w, /*w=*/1, e};
+  // Encoding weight as load with unit denominator gives the plain weight
+  // order while reusing the same comparison machinery.
+  return keys;
+}
+
+std::vector<EdgeKey> load_keys(const Graph& g,
+                               const std::vector<std::uint64_t>& loads) {
+  DMC_REQUIRE(loads.size() == g.num_edges());
+  std::vector<EdgeKey> keys(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    keys[e] = EdgeKey{loads[e], g.edge(e).w, e};
+  return keys;
+}
+
+std::vector<EdgeId> kruskal(const Graph& g, const std::vector<EdgeKey>& keys) {
+  DMC_REQUIRE(keys.size() == g.num_edges());
+  DMC_REQUIRE(g.num_nodes() >= 1);
+  std::vector<EdgeId> order(g.num_edges());
+  std::iota(order.begin(), order.end(), EdgeId{0});
+  std::sort(order.begin(), order.end(),
+            [&](EdgeId a, EdgeId b) { return keys[a] < keys[b]; });
+  Dsu dsu{g.num_nodes()};
+  std::vector<EdgeId> chosen;
+  chosen.reserve(g.num_nodes() - 1);
+  for (const EdgeId e : order) {
+    if (dsu.unite(g.edge(e).u, g.edge(e).v)) chosen.push_back(e);
+    if (chosen.size() + 1 == g.num_nodes()) break;
+  }
+  DMC_REQUIRE_MSG(chosen.size() + 1 == g.num_nodes(),
+                  "kruskal: graph is not connected");
+  return chosen;
+}
+
+std::vector<EdgeId> kruskal(const Graph& g) {
+  return kruskal(g, weight_keys(g));
+}
+
+Weight edges_weight(const Graph& g, const std::vector<EdgeId>& ids) {
+  Weight sum = 0;
+  for (const EdgeId e : ids) sum += g.edge(e).w;
+  return sum;
+}
+
+}  // namespace dmc

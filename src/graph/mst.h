@@ -1,0 +1,60 @@
+// Minimum spanning trees under a *tie-broken total order* on edges.
+//
+// Thorup's greedy tree packing repeatedly asks for an MST with respect to
+// cumulative loads: tree Tᵢ is a minimum spanning tree w.r.t. the loads
+// induced by T₁…Tᵢ₋₁, where load(e) = (#previous trees containing e)/w(e).
+// We therefore abstract the edge order as `EdgeKey` = the rational
+// load/weight compared exactly by cross-multiplication, tie-broken by raw
+// weight and finally EdgeId so the order is total and identical at every
+// node of the distributed algorithm (determinism of the simulator and the
+// MST cut/cycle properties both rely on totality).
+#pragma once
+
+#include <compare>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dmc {
+
+/// Comparable key of an edge in a load-weighted MST computation.
+struct EdgeKey {
+  std::uint64_t load{0};  ///< number of previous trees using the edge
+  Weight w{1};            ///< edge weight (≥ 1)
+  EdgeId id{kNoEdge};     ///< tie-break
+
+  /// Orders by exact rational load/w, then by id.  Cross products fit in
+  /// u64: load ≤ #trees ≤ 2^20, w ≤ 2^32.
+  [[nodiscard]] friend std::strong_ordering operator<=>(const EdgeKey& a,
+                                                        const EdgeKey& b) {
+    const std::uint64_t lhs = a.load * b.w;
+    const std::uint64_t rhs = b.load * a.w;
+    if (lhs != rhs) return lhs <=> rhs;
+    return a.id <=> b.id;
+  }
+  [[nodiscard]] friend bool operator==(const EdgeKey& a, const EdgeKey& b) {
+    return (a <=> b) == std::strong_ordering::equal;
+  }
+};
+
+/// Plain weight-ordered key (weight, id) for ordinary MSTs.
+[[nodiscard]] std::vector<EdgeKey> weight_keys(const Graph& g);
+
+/// Load-ordered keys for tree packing.
+[[nodiscard]] std::vector<EdgeKey> load_keys(const Graph& g,
+                                             const std::vector<std::uint64_t>&
+                                                 loads);
+
+/// Kruskal under the given key order; returns the n-1 chosen edge ids.
+/// Requires a connected graph.
+[[nodiscard]] std::vector<EdgeId> kruskal(const Graph& g,
+                                          const std::vector<EdgeKey>& keys);
+
+/// Kruskal under plain weights.
+[[nodiscard]] std::vector<EdgeId> kruskal(const Graph& g);
+
+/// Total weight of a set of edges.
+[[nodiscard]] Weight edges_weight(const Graph& g,
+                                  const std::vector<EdgeId>& ids);
+
+}  // namespace dmc

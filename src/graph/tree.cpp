@@ -1,0 +1,123 @@
+#include "graph/tree.h"
+
+#include <algorithm>
+
+#include "util/bit_math.h"
+
+namespace dmc {
+
+RootedTree::RootedTree(std::vector<NodeId> parent,
+                       std::vector<EdgeId> parent_edge, NodeId root)
+    : parent_(std::move(parent)),
+      parent_edge_(std::move(parent_edge)),
+      root_(root) {
+  DMC_REQUIRE(!parent_.empty());
+  DMC_REQUIRE(parent_edge_.size() == parent_.size());
+  DMC_REQUIRE(root_ < parent_.size());
+  DMC_REQUIRE_MSG(parent_[root_] == kNoNode, "root must have no parent");
+  build_derived();
+}
+
+RootedTree RootedTree::from_edges(const Graph& g,
+                                  const std::vector<EdgeId>& tree_edges,
+                                  NodeId root) {
+  DMC_REQUIRE(root < g.num_nodes());
+  DMC_REQUIRE_MSG(tree_edges.size() == g.num_nodes() - 1,
+                  "spanning tree needs exactly n-1 edges");
+  // Adjacency restricted to the tree edges.
+  std::vector<std::vector<std::pair<NodeId, EdgeId>>> adj(g.num_nodes());
+  for (const EdgeId e : tree_edges) {
+    const Edge& ed = g.edge(e);
+    adj[ed.u].push_back({ed.v, e});
+    adj[ed.v].push_back({ed.u, e});
+  }
+  std::vector<NodeId> parent(g.num_nodes(), kNoNode);
+  std::vector<EdgeId> parent_edge(g.num_nodes(), kNoEdge);
+  std::vector<bool> seen(g.num_nodes(), false);
+  std::vector<NodeId> stack{root};
+  seen[root] = true;
+  std::size_t visited = 0;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    ++visited;
+    for (const auto& [peer, e] : adj[v]) {
+      if (seen[peer]) continue;
+      seen[peer] = true;
+      parent[peer] = v;
+      parent_edge[peer] = e;
+      stack.push_back(peer);
+    }
+  }
+  DMC_REQUIRE_MSG(visited == g.num_nodes(),
+                  "tree_edges do not span the graph");
+  return RootedTree{std::move(parent), std::move(parent_edge), root};
+}
+
+void RootedTree::build_derived() {
+  const std::size_t n = parent_.size();
+  children_.assign(n, {});
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == root_) continue;
+    DMC_REQUIRE_MSG(parent_[v] != kNoNode && parent_[v] < n,
+                    "node " << v << " has invalid parent");
+    children_[parent_[v]].push_back(v);
+  }
+
+  depth_.assign(n, 0);
+  tin_.assign(n, 0);
+  tout_.assign(n, 0);
+  bottom_up_.clear();
+  bottom_up_.reserve(n);
+
+  // Iterative DFS from the root computing depth + Euler times.
+  std::uint32_t timer = 0;
+  std::vector<std::pair<NodeId, std::size_t>> stack;
+  stack.reserve(n);
+  stack.push_back({root_, 0});
+  tin_[root_] = timer++;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    auto& [v, idx] = stack.back();
+    if (idx < children_[v].size()) {
+      const NodeId c = children_[v][idx++];
+      depth_[c] = depth_[v] + 1;
+      height_ = std::max(height_, depth_[c]);
+      tin_[c] = timer++;
+      ++visited;
+      stack.push_back({c, 0});
+    } else {
+      tout_[v] = timer;
+      bottom_up_.push_back(v);
+      stack.pop_back();
+    }
+  }
+  DMC_REQUIRE_MSG(visited == n, "parent array does not form a single tree");
+
+  // Binary lifting.
+  const std::uint32_t levels = std::max<std::uint32_t>(1, ceil_log2(n) + 1);
+  up_.assign(levels, std::vector<NodeId>(n));
+  for (NodeId v = 0; v < n; ++v)
+    up_[0][v] = parent_[v] == kNoNode ? v : parent_[v];
+  for (std::uint32_t k = 1; k < levels; ++k)
+    for (NodeId v = 0; v < n; ++v) up_[k][v] = up_[k - 1][up_[k - 1][v]];
+}
+
+NodeId RootedTree::lca(NodeId a, NodeId b) const {
+  DMC_REQUIRE(a < num_nodes() && b < num_nodes());
+  if (is_ancestor(a, b)) return a;
+  if (is_ancestor(b, a)) return b;
+  for (std::size_t k = up_.size(); k-- > 0;) {
+    if (!is_ancestor(up_[k][a], b)) a = up_[k][a];
+  }
+  return parent_[a];
+}
+
+std::vector<NodeId> RootedTree::subtree_nodes(NodeId v) const {
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < num_nodes(); ++u)
+    if (is_ancestor(v, u)) out.push_back(u);
+  return out;
+}
+
+}  // namespace dmc

@@ -1,0 +1,88 @@
+// Rooted spanning tree toolkit: Euler tours, ancestor tests, LCA via binary
+// lifting, and subtree aggregation.  This is the centralized counterpart of
+// the structures the distributed Steps 1–5 compute, and the verification
+// oracle for them.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dmc {
+
+class RootedTree {
+ public:
+  /// Builds from a parent array: parent[root] == kNoNode, every other node
+  /// has a valid parent forming a single tree over 0..n-1.
+  ///
+  /// `parent_edge[v]` may carry the Graph EdgeId of (v,parent[v]) (or
+  /// kNoEdge if the tree is synthetic).
+  RootedTree(std::vector<NodeId> parent, std::vector<EdgeId> parent_edge,
+             NodeId root);
+
+  /// Builds the tree induced by tree_edges (must be exactly n-1 edges of g
+  /// forming a spanning tree), rooted at `root`.
+  [[nodiscard]] static RootedTree from_edges(
+      const Graph& g, const std::vector<EdgeId>& tree_edges, NodeId root);
+
+  [[nodiscard]] std::size_t num_nodes() const { return parent_.size(); }
+  [[nodiscard]] NodeId root() const { return root_; }
+  [[nodiscard]] NodeId parent(NodeId v) const { return parent_[v]; }
+  [[nodiscard]] EdgeId parent_edge(NodeId v) const { return parent_edge_[v]; }
+  [[nodiscard]] const std::vector<NodeId>& children(NodeId v) const {
+    return children_[v];
+  }
+  [[nodiscard]] std::uint32_t depth(NodeId v) const { return depth_[v]; }
+  [[nodiscard]] std::uint32_t height() const { return height_; }
+
+  /// Euler-tour entry/exit times; v↓ = {u : tin(v) ≤ tin(u) < tout(v)}.
+  [[nodiscard]] std::uint32_t tin(NodeId v) const { return tin_[v]; }
+  [[nodiscard]] std::uint32_t tout(NodeId v) const { return tout_[v]; }
+
+  /// True iff a is an ancestor of b (a == b counts).
+  [[nodiscard]] bool is_ancestor(NodeId a, NodeId b) const {
+    return tin_[a] <= tin_[b] && tout_[b] <= tout_[a];
+  }
+
+  [[nodiscard]] NodeId lca(NodeId a, NodeId b) const;
+
+  /// Subtree size |v↓|.
+  [[nodiscard]] std::uint32_t subtree_size(NodeId v) const {
+    return tout_[v] - tin_[v];
+  }
+
+  /// Nodes in reverse BFS order (every node appears after all its
+  /// descendants) — convenient for bottom-up DPs.
+  [[nodiscard]] const std::vector<NodeId>& bottom_up_order() const {
+    return bottom_up_;
+  }
+
+  /// Generic bottom-up aggregation: out[v] = leaf_value[v] + Σ out[child].
+  template <typename T>
+  [[nodiscard]] std::vector<T> subtree_sum(const std::vector<T>& value) const {
+    DMC_REQUIRE(value.size() == num_nodes());
+    std::vector<T> out = value;
+    for (const NodeId v : bottom_up_) {
+      if (parent_[v] != kNoNode) out[parent_[v]] += out[v];
+    }
+    return out;
+  }
+
+  /// All nodes of the subtree rooted at v.
+  [[nodiscard]] std::vector<NodeId> subtree_nodes(NodeId v) const;
+
+ private:
+  void build_derived();
+
+  std::vector<NodeId> parent_;
+  std::vector<EdgeId> parent_edge_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<std::uint32_t> depth_;
+  std::vector<std::uint32_t> tin_, tout_;
+  std::vector<NodeId> bottom_up_;
+  std::vector<std::vector<NodeId>> up_;  // binary lifting table
+  NodeId root_;
+  std::uint32_t height_{0};
+};
+
+}  // namespace dmc

@@ -1,0 +1,79 @@
+// Always-on invariant checking for the dmc library.
+//
+// We prefer throwing over aborting (C++ Core Guidelines E.2): simulator
+// experiments are long-running and a caller (tests, benches) should be able
+// to observe a violated invariant as an exception with context.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dmc {
+
+/// Thrown when an internal invariant of the library is violated (a bug).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError{os.str()};
+}
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError{os.str()};
+}
+}  // namespace detail
+
+}  // namespace dmc
+
+/// Internal invariant; always checked (the simulator is the test oracle, so
+/// we never compile these out).
+#define DMC_ASSERT(expr)                                                  \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::dmc::detail::throw_invariant(#expr, __FILE__, __LINE__, "");      \
+  } while (false)
+
+#define DMC_ASSERT_MSG(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream dmc_os_;                                         \
+      dmc_os_ << msg;                                                     \
+      ::dmc::detail::throw_invariant(#expr, __FILE__, __LINE__,           \
+                                     dmc_os_.str());                      \
+    }                                                                     \
+  } while (false)
+
+/// Caller-facing precondition.
+#define DMC_REQUIRE(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::dmc::detail::throw_precondition(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+#define DMC_REQUIRE_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream dmc_os_;                                          \
+      dmc_os_ << msg;                                                      \
+      ::dmc::detail::throw_precondition(#expr, __FILE__, __LINE__,         \
+                                        dmc_os_.str());                    \
+    }                                                                      \
+  } while (false)

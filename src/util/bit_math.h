@@ -1,0 +1,57 @@
+// Small integer helpers used throughout the library.
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.h"
+
+namespace dmc {
+
+/// ⌈log2(x)⌉ for x ≥ 1; ceil_log2(1) == 0.
+[[nodiscard]] constexpr std::uint32_t ceil_log2(std::uint64_t x) {
+  DMC_REQUIRE(x >= 1);
+  std::uint32_t bits = 0;
+  std::uint64_t v = 1;
+  while (v < x) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+/// ⌊log2(x)⌋ for x ≥ 1.
+[[nodiscard]] constexpr std::uint32_t floor_log2(std::uint64_t x) {
+  DMC_REQUIRE(x >= 1);
+  std::uint32_t bits = 0;
+  while (x >>= 1) ++bits;
+  return bits;
+}
+
+/// ⌈a / b⌉ for b > 0.
+[[nodiscard]] constexpr std::uint64_t div_ceil(std::uint64_t a,
+                                               std::uint64_t b) {
+  DMC_REQUIRE(b > 0);
+  return (a + b - 1) / b;
+}
+
+/// ⌊√x⌋ computed exactly with integer arithmetic.
+[[nodiscard]] constexpr std::uint64_t isqrt(std::uint64_t x) {
+  if (x < 2) return x;
+  std::uint64_t lo = 1, hi = 0xFFFFFFFFull;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo + 1) / 2;
+    if (mid * mid <= x)
+      lo = mid;
+    else
+      hi = mid - 1;
+  }
+  return lo;
+}
+
+/// ⌈√x⌉.
+[[nodiscard]] constexpr std::uint64_t isqrt_ceil(std::uint64_t x) {
+  const std::uint64_t r = isqrt(x);
+  return r * r == x ? r : r + 1;
+}
+
+}  // namespace dmc

@@ -1,0 +1,69 @@
+#include "util/dsu.h"
+
+#include <numeric>
+
+#include "util/assert.h"
+
+namespace dmc {
+
+Dsu::Dsu(std::size_t n) : parent_(n), size_(n, 1), components_(n) {
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+}
+
+std::size_t Dsu::find(std::size_t x) {
+  DMC_REQUIRE(x < parent_.size());
+  std::size_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    const std::size_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool Dsu::unite(std::size_t a, std::size_t b) {
+  std::size_t ra = find(a), rb = find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --components_;
+  return true;
+}
+
+bool Dsu::same(std::size_t a, std::size_t b) { return find(a) == find(b); }
+
+std::size_t Dsu::component_size(std::size_t x) { return size_[find(x)]; }
+
+std::uint64_t SparseDsu::find(std::uint64_t x) {
+  auto it = parent_.find(x);
+  if (it == parent_.end()) {
+    parent_.emplace(x, x);
+    rank_.emplace(x, 0);
+    return x;
+  }
+  std::uint64_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    const std::uint64_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool SparseDsu::unite(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t ra = find(a), rb = find(b);
+  if (ra == rb) return false;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  return true;
+}
+
+bool SparseDsu::same(std::uint64_t a, std::uint64_t b) {
+  return find(a) == find(b);
+}
+
+}  // namespace dmc

@@ -1,0 +1,60 @@
+// Disjoint-set union (union–find) with union by size and path compression.
+//
+// Two flavors:
+//  * `Dsu`      — dense, indices 0..n-1 (used by Kruskal, contraction, …).
+//  * `SparseDsu`— keyed by arbitrary 64-bit ids (used by the CONGEST pipeline
+//                 MST where fragment ids are leader node-ids not yet globally
+//                 renumbered).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace dmc {
+
+class Dsu {
+ public:
+  explicit Dsu(std::size_t n);
+
+  /// Representative of x's component.
+  [[nodiscard]] std::size_t find(std::size_t x);
+
+  /// Merges the components of a and b; returns false if already merged.
+  bool unite(std::size_t a, std::size_t b);
+
+  [[nodiscard]] bool same(std::size_t a, std::size_t b);
+
+  /// Number of distinct components.
+  [[nodiscard]] std::size_t components() const { return components_; }
+
+  /// Size of x's component.
+  [[nodiscard]] std::size_t component_size(std::size_t x);
+
+  [[nodiscard]] std::size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t components_;
+};
+
+class SparseDsu {
+ public:
+  SparseDsu() = default;
+
+  /// Representative of x's component (auto-inserts singletons).
+  [[nodiscard]] std::uint64_t find(std::uint64_t x);
+
+  bool unite(std::uint64_t a, std::uint64_t b);
+
+  [[nodiscard]] bool same(std::uint64_t a, std::uint64_t b);
+
+  [[nodiscard]] std::size_t known_keys() const { return parent_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> parent_;
+  std::unordered_map<std::uint64_t, std::uint32_t> rank_;
+};
+
+}  // namespace dmc

@@ -1,0 +1,57 @@
+#include "util/options.h"
+
+#include <stdexcept>
+
+#include "util/assert.h"
+
+namespace dmc {
+
+Options::Options(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg{argv[i]};
+    DMC_REQUIRE_MSG(arg.rfind("--", 0) == 0,
+                    "expected --key=value or --flag, got '" << arg << "'");
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq == std::string::npos)
+      kv_[body] = "true";
+    else
+      kv_[body.substr(0, eq)] = body.substr(eq + 1);
+  }
+}
+
+bool Options::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+std::string Options::get_string(const std::string& key,
+                                const std::string& fallback) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : it->second;
+}
+
+std::int64_t Options::get_int(const std::string& key,
+                              std::int64_t fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  return std::stoll(it->second);
+}
+
+std::uint64_t Options::get_uint(const std::string& key,
+                                std::uint64_t fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  return std::stoull(it->second);
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  return std::stod(it->second);
+}
+
+bool Options::get_bool(const std::string& key, bool fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace dmc

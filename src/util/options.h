@@ -1,0 +1,33 @@
+// Minimal command-line option parser for examples and bench binaries.
+//
+// Syntax: --key=value or --flag.  Positional arguments are rejected — the
+// binaries in this repo are all fully keyword-configured for scriptability.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dmc {
+
+class Options {
+ public:
+  Options(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] std::uint64_t get_uint(const std::string& key,
+                                       std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace dmc

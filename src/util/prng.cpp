@@ -1,0 +1,108 @@
+#include "util/prng.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace dmc {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t a,
+                          std::uint64_t b) {
+  return mix64(mix64(seed ^ mix64(a)) ^ mix64(b ^ 0xA5A5A5A5A5A5A5A5ull));
+}
+
+Prng::Prng(std::uint64_t seed) {
+  // SplitMix64 seeding as recommended by the xoshiro authors.
+  std::uint64_t x = seed;
+  for (auto& word : s_) {
+    x += 0x9E3779B97F4A7C15ull;
+    word = mix64(x);
+  }
+  // All-zero state is invalid for xoshiro; mix64 of distinct inputs cannot
+  // produce four zeros, but guard anyway.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+namespace {
+[[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t Prng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Prng::next_below(std::uint64_t bound) {
+  DMC_REQUIRE(bound >= 1);
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::uint64_t Prng::next_in(std::uint64_t lo, std::uint64_t hi) {
+  DMC_REQUIRE(lo <= hi);
+  return lo + next_below(hi - lo + 1);
+}
+
+double Prng::next_double() {
+  // 53 top bits → uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Prng::next_bool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+std::uint64_t Prng::next_binomial(std::uint64_t trials, double p) {
+  if (trials == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return trials;
+  const double expected = static_cast<double>(trials) * p;
+  if (expected > 1e6) {
+    // Normal approximation with continuity correction; only reachable with
+    // extreme weight × probability combinations (documented in DESIGN.md).
+    const double sigma = std::sqrt(expected * (1.0 - p));
+    // Box–Muller.
+    const double u1 = std::max(next_double(), 1e-300);
+    const double u2 = next_double();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    double x = expected + sigma * z + 0.5;
+    if (x < 0) x = 0;
+    if (x > static_cast<double>(trials)) x = static_cast<double>(trials);
+    return static_cast<std::uint64_t>(x);
+  }
+  // Geometric skipping: the gap to the next success is Geometric(p); expected
+  // O(trials·p) iterations.
+  const double log_q = std::log1p(-p);
+  std::uint64_t successes = 0;
+  double position = 0.0;
+  for (;;) {
+    const double u = std::max(next_double(), 1e-300);
+    position += std::floor(std::log(u) / log_q) + 1.0;
+    if (position > static_cast<double>(trials)) return successes;
+    ++successes;
+  }
+}
+
+}  // namespace dmc

@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component of the library takes an explicit 64-bit seed so
+// experiments are reproducible.  We use xoshiro256** seeded via SplitMix64
+// (the generator's authors' recommended seeding procedure).  A free-standing
+// `mix64` is exposed for *coordination-free sampling*: both endpoints of a
+// graph edge hash (seed, edge id) identically and therefore agree on the
+// sampling decision without exchanging any message — this is how the
+// distributed skeleton sampling of Section "sampling" works.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace dmc {
+
+/// SplitMix64 single step: maps any 64-bit value to a well-mixed 64-bit
+/// value.  Stateless; usable as a hash.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x);
+
+/// Combines a seed with up to two stream identifiers into a fresh seed.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t a,
+                                        std::uint64_t b = 0);
+
+/// xoshiro256** — fast, high-quality, 256-bit state.
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed);
+
+  /// Uniform over all 64-bit values.
+  [[nodiscard]] std::uint64_t next_u64();
+
+  /// Uniform over [0, bound); bound must be ≥ 1.  Unbiased (rejection).
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform over [lo, hi] inclusive.
+  [[nodiscard]] std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform real in [0, 1).
+  [[nodiscard]] double next_double();
+
+  /// Bernoulli(p).
+  [[nodiscard]] bool next_bool(double p);
+
+  /// Binomial(trials, p) sample.  Uses geometric skipping, O(successes)
+  /// expected time, which is fast in the sparse regimes the skeleton
+  /// sampling operates in (p ≪ 1).  Falls back to a normal approximation
+  /// for very large expected counts (documented deviation; only reachable
+  /// with extreme weights).
+  [[nodiscard]] std::uint64_t next_binomial(std::uint64_t trials, double p);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace dmc

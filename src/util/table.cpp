@@ -1,0 +1,62 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace dmc {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  DMC_REQUIRE(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  DMC_REQUIRE_MSG(cells.size() == headers_.size(),
+                  "row has " << cells.size() << " cells, table has "
+                             << headers_.size() << " columns");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::cell(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::cell(std::uint64_t v) { return std::to_string(v); }
+std::string Table::cell(std::int64_t v) { return std::to_string(v); }
+std::string Table::cell(std::uint32_t v) { return std::to_string(v); }
+std::string Table::cell(int v) { return std::to_string(v); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << ' ' << std::setw(static_cast<int>(width[c])) << std::left
+         << row[c] << " |";
+    os << '\n';
+  };
+  const auto print_rule = [&] {
+    os << '+';
+    for (const std::size_t w : width) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+
+  print_rule();
+  print_row(headers_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+}  // namespace dmc

@@ -1,0 +1,39 @@
+// Column-aligned ASCII table printer for benchmark/experiment output.
+//
+// Every bench binary in bench/ prints its experiment as one of these tables
+// so EXPERIMENTS.md can quote the output verbatim.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dmc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic values with `cell()` below.
+  [[nodiscard]] static std::string cell(const std::string& s) { return s; }
+  [[nodiscard]] static std::string cell(const char* s) { return s; }
+  [[nodiscard]] static std::string cell(double v, int precision = 3);
+  [[nodiscard]] static std::string cell(std::uint64_t v);
+  [[nodiscard]] static std::string cell(std::int64_t v);
+  [[nodiscard]] static std::string cell(std::uint32_t v);
+  [[nodiscard]] static std::string cell(int v);
+
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dmc

@@ -1,0 +1,77 @@
+// BFS / connectivity / diameter oracle tests.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+
+namespace dmc {
+namespace {
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph g = make_path(5);
+  const BfsResult r = bfs(g, 0);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(r.dist[v], v);
+  EXPECT_EQ(r.parent[0], kNoNode);
+  EXPECT_EQ(r.parent[3], 2u);
+  EXPECT_EQ(r.order.front(), 0u);
+}
+
+TEST(Bfs, IgnoresWeights) {
+  Graph g{3};
+  g.add_edge(0, 1, 1000);
+  g.add_edge(1, 2, 1);
+  const BfsResult r = bfs(g, 0);
+  EXPECT_EQ(r.dist[2], 2u);
+}
+
+TEST(Bfs, MaskedSkipsEdges) {
+  const Graph g = make_cycle(6);
+  std::vector<bool> mask(g.num_edges(), true);
+  mask[0] = false;  // break edge 0-1
+  const BfsResult r = bfs_masked(g, 0, mask);
+  EXPECT_EQ(r.dist[1], 5u);  // the long way around
+}
+
+TEST(Components, TwoIslands) {
+  Graph g{5};
+  g.add_edge(0, 1, 1);
+  g.add_edge(2, 3, 1);
+  g.add_edge(3, 4, 1);
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Diameter, KnownValues) {
+  EXPECT_EQ(diameter_exact(make_path(10)), 9u);
+  EXPECT_EQ(diameter_exact(make_cycle(10)), 5u);
+  EXPECT_EQ(diameter_exact(make_complete(5)), 1u);
+  EXPECT_EQ(diameter_exact(make_star(9)), 2u);
+}
+
+TEST(Diameter, DoubleSweepLowerBoundsExact) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = make_erdos_renyi(50, 0.12, seed);
+    EXPECT_LE(diameter_double_sweep(g), diameter_exact(g));
+    // On most graphs the 2-sweep is exact or close; just sanity check ≥ 1.
+    EXPECT_GE(diameter_double_sweep(g), 1u);
+  }
+}
+
+TEST(Eccentricity, CenterVsLeafOfPath) {
+  const Graph g = make_path(9);
+  EXPECT_EQ(eccentricity(g, 4), 4u);
+  EXPECT_EQ(eccentricity(g, 0), 8u);
+}
+
+TEST(Eccentricity, ThrowsOnDisconnected) {
+  Graph g{3};
+  g.add_edge(0, 1, 1);
+  EXPECT_THROW((void)eccentricity(g, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,71 @@
+// Distributed bridge finding (the Õ(√n+D) corollary of Theorem 2.1) vs
+// the edge-removal oracle.
+#include <gtest/gtest.h>
+
+#include "core/bridges.h"
+#include "graph/generators.h"
+
+namespace dmc {
+namespace {
+
+void expect_bridges(const Graph& g) {
+  const BridgesResult got = distributed_bridges(g);
+  const std::vector<bool> want = bridges_oracle(g);
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    EXPECT_EQ(got.is_bridge[e], want[e]) << "edge " << e;
+  EXPECT_EQ(got.stats.max_messages_edge_round, 1u);
+}
+
+TEST(Bridges, TreeIsAllBridges) {
+  const Graph g = make_random_tree(30, 3, 1, 5);
+  const BridgesResult r = distributed_bridges(g);
+  EXPECT_EQ(r.count, g.num_edges());
+}
+
+TEST(Bridges, CycleHasNone) {
+  const BridgesResult r = distributed_bridges(make_cycle(15));
+  EXPECT_EQ(r.count, 0u);
+}
+
+TEST(Bridges, PathOfCliquesChainsAreBridges) {
+  const Graph g = make_path_of_cliques(5, 5);
+  const BridgesResult r = distributed_bridges(g);
+  EXPECT_EQ(r.count, 4u);  // exactly the chain edges
+  expect_bridges(g);
+}
+
+TEST(Bridges, BarbellSingleBridge) {
+  const Graph g = make_barbell(16, 1, 1, 7);
+  expect_bridges(g);
+  EXPECT_EQ(distributed_bridges(g).count, 1u);
+}
+
+TEST(Bridges, TwoBridgeBarbellHasNone) {
+  // Two parallel cross edges: neither is a bridge.
+  const Graph g = make_barbell(16, 2, 1, 7);
+  EXPECT_EQ(distributed_bridges(g).count, 0u);
+}
+
+TEST(Bridges, RandomSweep) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    // Sparse random graphs have a mix of bridges and cycles.
+    expect_bridges(make_random_connected(28, 32, seed));
+  }
+}
+
+TEST(Bridges, LollipopMix) {
+  // Clique with a pendant path: all path edges are bridges.
+  Graph g{12};
+  for (NodeId i = 0; i < 8; ++i)
+    for (NodeId j = i + 1; j < 8; ++j) g.add_edge(i, j, 1);
+  g.add_edge(7, 8, 1);
+  g.add_edge(8, 9, 1);
+  g.add_edge(9, 10, 1);
+  g.add_edge(10, 11, 1);
+  const BridgesResult r = distributed_bridges(g);
+  EXPECT_EQ(r.count, 4u);
+  expect_bridges(g);
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,176 @@
+// Centralized minimum-cut oracles: Stoer–Wagner vs brute force, Karger–
+// Stein, Matula (2+ε), MST, cut helpers — the ground truth everything else
+// is checked against.
+#include <gtest/gtest.h>
+
+#include "central/karger_stein.h"
+#include "central/matula.h"
+#include "central/stoer_wagner.h"
+#include "graph/cut.h"
+#include "graph/generators.h"
+#include "graph/mst.h"
+#include "util/prng.h"
+
+namespace dmc {
+namespace {
+
+TEST(CutHelpers, CutValueCountsCrossingWeights) {
+  Graph g{4};
+  g.add_edge(0, 1, 3);
+  g.add_edge(1, 2, 5);
+  g.add_edge(2, 3, 7);
+  g.add_edge(0, 3, 11);
+  std::vector<bool> side{true, true, false, false};
+  EXPECT_EQ(cut_value(g, side), 5u + 11u);
+  EXPECT_TRUE(is_nontrivial(side));
+  EXPECT_FALSE(is_nontrivial(std::vector<bool>(4, true)));
+}
+
+TEST(CutHelpers, BruteForceTriangle) {
+  Graph g{3};
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 2);
+  g.add_edge(0, 2, 3);
+  const CutResult r = brute_force_min_cut(g);
+  EXPECT_EQ(r.value, 3u);  // isolate node 1: 1+2
+}
+
+TEST(CutHelpers, MinDegreeCut) {
+  const Graph g = make_star(5);
+  const CutResult r = min_degree_cut(g);
+  EXPECT_EQ(r.value, 1u);
+  EXPECT_EQ(r.side_size(), 1u);
+}
+
+TEST(StoerWagner, MatchesBruteForceOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Graph g =
+        make_erdos_renyi(10, 0.45, seed, /*min_w=*/1, /*max_w=*/8);
+    const CutResult sw = stoer_wagner_min_cut(g);
+    const CutResult bf = brute_force_min_cut(g);
+    EXPECT_EQ(sw.value, bf.value) << "seed " << seed;
+    EXPECT_EQ(cut_value(g, sw.side), sw.value) << "side must achieve value";
+    EXPECT_TRUE(is_nontrivial(sw.side));
+  }
+}
+
+TEST(StoerWagner, KnownFamilies) {
+  EXPECT_EQ(stoer_wagner_min_cut(make_cycle(12)).value, 2u);
+  EXPECT_EQ(stoer_wagner_min_cut(make_complete(7)).value, 6u);
+  EXPECT_EQ(stoer_wagner_min_cut(make_path(8)).value, 1u);
+  EXPECT_EQ(stoer_wagner_min_cut(make_hypercube(3)).value, 3u);
+}
+
+TEST(StoerWagner, WeightedPlantedCut) {
+  const Graph g = make_barbell(16, 2, 3, 5);  // 2 bridges of weight 3
+  EXPECT_EQ(stoer_wagner_min_cut(g).value, 6u);
+}
+
+TEST(StoerWagner, ParallelEdgesAccumulate) {
+  Graph g{3};
+  g.add_edge(0, 1, 1);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 3);
+  const CutResult r = stoer_wagner_min_cut(g);
+  EXPECT_EQ(r.value, 2u);  // separate {0}
+}
+
+TEST(KargerStein, MatchesStoerWagner) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Graph g = make_erdos_renyi(24, 0.3, seed, 1, 4);
+    const CutResult ks = karger_stein_min_cut(g, seed);
+    const CutResult sw = stoer_wagner_min_cut(g);
+    EXPECT_EQ(ks.value, sw.value) << "seed " << seed;
+    EXPECT_EQ(cut_value(g, ks.side), ks.value);
+  }
+}
+
+TEST(KargerStein, SingleContractionIsValidCut) {
+  const Graph g = make_erdos_renyi(20, 0.3, 3);
+  const CutResult r = karger_single_contraction(g, 1);
+  EXPECT_TRUE(is_nontrivial(r.side));
+  EXPECT_EQ(cut_value(g, r.side), r.value);
+  EXPECT_GE(r.value, stoer_wagner_min_cut(g).value);
+}
+
+TEST(Matula, WithinFactorTwoPlusEps) {
+  const double eps = 0.5;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Graph g = make_erdos_renyi(40, 0.2, seed, 1, 5);
+    const MatulaResult m = matula_approx_min_cut(g, eps);
+    const Weight lambda = stoer_wagner_min_cut(g).value;
+    EXPECT_GE(m.value, lambda) << "seed " << seed;
+    EXPECT_LE(static_cast<double>(m.value),
+              (2.0 + eps) * static_cast<double>(lambda) + 1e-9)
+        << "seed " << seed;
+    EXPECT_EQ(cut_value(g, m.side), m.value);
+  }
+}
+
+TEST(Matula, ExactOnTree) {
+  Graph g{4};
+  g.add_edge(0, 1, 5);
+  g.add_edge(1, 2, 2);
+  g.add_edge(2, 3, 9);
+  const MatulaResult m = matula_approx_min_cut(g, 0.1);
+  EXPECT_EQ(m.value, 2u);
+}
+
+TEST(NiCertificate, PreservesSmallCuts) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Graph g = make_erdos_renyi(20, 0.35, seed);
+    const Weight lambda = stoer_wagner_min_cut(g).value;
+    const std::vector<bool> keep = ni_certificate(g, lambda + 1);
+    std::vector<EdgeId> back;
+    const Graph h = g.edge_subgraph(keep, &back);
+    EXPECT_EQ(stoer_wagner_min_cut(h).value, lambda) << "seed " << seed;
+  }
+}
+
+TEST(Kruskal, MatchesPrimWeightOnCycle) {
+  Graph g{4};
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 2);
+  g.add_edge(2, 3, 3);
+  g.add_edge(3, 0, 4);
+  const auto tree = kruskal(g);
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_EQ(edges_weight(g, tree), 6u);
+}
+
+TEST(Kruskal, LoadKeysChangeTree) {
+  Graph g{3};
+  const EdgeId a = g.add_edge(0, 1, 1);
+  const EdgeId b = g.add_edge(1, 2, 1);
+  const EdgeId c = g.add_edge(0, 2, 1);
+  // With zero loads the id order picks {a, b}.
+  std::vector<std::uint64_t> loads(3, 0);
+  auto t1 = kruskal(g, load_keys(g, loads));
+  EXPECT_EQ(t1, (std::vector<EdgeId>{a, b}));
+  // Loading a pushes it last: {b, c}.
+  loads[a] = 5;
+  auto t2 = kruskal(g, load_keys(g, loads));
+  EXPECT_EQ(t2, (std::vector<EdgeId>{b, c}));
+}
+
+TEST(Kruskal, ThrowsOnDisconnected) {
+  Graph g{4};
+  g.add_edge(0, 1, 1);
+  g.add_edge(2, 3, 1);
+  EXPECT_THROW(kruskal(g), PreconditionError);
+}
+
+TEST(SubtreeSide, MatchesAncestors) {
+  const Graph g = make_path(5);
+  std::vector<EdgeId> ids{0, 1, 2, 3};
+  const RootedTree t = RootedTree::from_edges(g, ids, 0);
+  const auto side = subtree_side(t, 2);
+  EXPECT_FALSE(side[0]);
+  EXPECT_FALSE(side[1]);
+  EXPECT_TRUE(side[2]);
+  EXPECT_TRUE(side[3]);
+  EXPECT_TRUE(side[4]);
+}
+
+}  // namespace
+}  // namespace dmc

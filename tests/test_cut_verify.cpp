@@ -1,0 +1,81 @@
+// Distributed cut verification vs the centralized cut_value oracle, and
+// its use auditing the min-cut pipelines' own outputs.
+#include <gtest/gtest.h>
+
+#include "congest/primitives/leader_bfs.h"
+#include "core/api.h"
+#include "core/cut_verify.h"
+#include "graph/cut.h"
+#include "graph/generators.h"
+#include "util/prng.h"
+
+namespace dmc {
+namespace {
+
+struct Ctx {
+  Network net;
+  Schedule sched;
+  TreeView bfs;
+
+  explicit Ctx(const Graph& g) : net(g), sched(net) {
+    LeaderBfsProtocol lb{g};
+    sched.run_uncharged(lb);
+    bfs = lb.tree_view(g);
+    sched.set_barrier_height(bfs.height(g));
+    sched.charge_barrier();
+  }
+};
+
+TEST(CutVerify, RandomSidesMatchOracle) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Graph g = make_erdos_renyi(40, 0.15, seed, 1, 9);
+    Ctx ctx{g};
+    Prng rng{seed + 7};
+    for (int trial = 0; trial < 5; ++trial) {
+      std::vector<bool> side(g.num_nodes());
+      for (std::size_t v = 0; v < side.size(); ++v)
+        side[v] = rng.next_bool(0.4);
+      EXPECT_EQ(verify_cut_dist(ctx.sched, ctx.bfs, side),
+                cut_value(g, side));
+    }
+  }
+}
+
+TEST(CutVerify, TrivialSides) {
+  const Graph g = make_grid(4, 5);
+  Ctx ctx{g};
+  EXPECT_EQ(verify_cut_dist(ctx.sched, ctx.bfs,
+                            std::vector<bool>(g.num_nodes(), false)),
+            0u);
+  EXPECT_EQ(verify_cut_dist(ctx.sched, ctx.bfs,
+                            std::vector<bool>(g.num_nodes(), true)),
+            0u);
+}
+
+TEST(CutVerify, AuditsExactMinCutOutput) {
+  const Graph g = make_barbell(24, 3, 2, 5);
+  const DistMinCutResult r = distributed_min_cut(g);
+  Ctx ctx{g};
+  EXPECT_EQ(verify_cut_dist(ctx.sched, ctx.bfs, r.side), r.value);
+}
+
+TEST(CutVerify, AuditsApproxOutput) {
+  const Graph g = make_complete(16, 30);
+  const DistApproxResult r = distributed_approx_min_cut(g, 0.3, 3);
+  Ctx ctx{g};
+  EXPECT_EQ(verify_cut_dist(ctx.sched, ctx.bfs, r.result.side),
+            r.result.value);
+}
+
+TEST(CutVerify, CostIsOneExchangePlusTreeSweep) {
+  const Graph g = make_torus(8, 8);
+  Ctx ctx{g};
+  const auto before = ctx.net.stats().rounds;
+  (void)verify_cut_dist(ctx.sched, ctx.bfs,
+                        std::vector<bool>(g.num_nodes(), false));
+  const auto used = ctx.net.stats().rounds - before;
+  EXPECT_LE(used, 2ull * ctx.bfs.height(g) + 8);
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,172 @@
+// The paper's Figure 1 worked example, reconstructed as an executable test.
+//
+// A 16-node tree rooted at 0, partitioned into four fragments — F(0) =
+// {0,1,2,3,4} containing the root, and three child fragments rooted at 5,
+// 6, and 7 — so that, exactly as the figure annotates:
+//   * fragments (5), (6), (7) are children of fragment (0)    [Fig. 1b]
+//   * A(15) consists of 7 (own fragment) and 0, 2, 4 (parent) [Fig. 1c]
+//   * nodes 0 and 1 are the merging nodes                     [Fig. 1a/d]
+//   * T'_F has root 0 with children 1 and 7, and 1 has 5, 6   [Fig. 1d]
+// Extra non-tree edges exercise all three LCA cases of Step 5 [Fig. 1e/f].
+#include <gtest/gtest.h>
+
+#include "central/one_respect_dp.h"
+#include "congest/network.h"
+#include "congest/schedule.h"
+#include "core/ancestors.h"
+#include "core/merging_nodes.h"
+#include "core/one_respect.h"
+#include "dist/tree_partition.h"
+#include "graph/cut.h"
+#include "graph/tree.h"
+
+namespace dmc {
+namespace {
+
+struct Figure1 {
+  Graph g{16};
+  std::vector<EdgeId> tree;
+  std::vector<std::uint32_t> frag;  // 0: root fragment, 1↔F5, 2↔F6, 3↔F7
+  EdgeId e_case1{kNoEdge}, e_case2{kNoEdge}, e_case3{kNoEdge};
+
+  Figure1() {
+    const auto te = [&](NodeId u, NodeId v) {
+      tree.push_back(g.add_edge(u, v, 1));
+    };
+    // Fragment F(0): 0-1, 0-2, 2-3, 2-4.
+    te(0, 1);
+    te(0, 2);
+    te(2, 3);
+    te(2, 4);
+    // Child fragments: F5 = {5,8,9}, F6 = {6,10,11}, F7 = {7,12,13,14,15}.
+    te(1, 5);   // attachment of F5 at node 1
+    te(1, 6);   // attachment of F6 at node 1
+    te(4, 7);   // attachment of F7 at node 4
+    te(5, 8);
+    te(5, 9);
+    te(6, 10);
+    te(6, 11);
+    te(7, 12);
+    te(7, 13);
+    te(7, 14);
+    te(7, 15);
+    // Non-tree edges covering Step 5's three LCA cases (Figure 1e):
+    e_case1 = g.add_edge(8, 9, 2);    // same fragment; LCA 5
+    e_case2 = g.add_edge(9, 10, 3);   // F5 vs F6; LCA = merging node 1
+    e_case3 = g.add_edge(3, 14, 4);   // F0 vs F7; LCA 2 ∈ F0 (case 3)
+    g.add_edge(8, 12, 5);             // F5 vs F7; LCA = merging node 0
+
+    frag.assign(16, 0);
+    for (const NodeId v : {5, 8, 9}) frag[v] = 1;
+    for (const NodeId v : {6, 10, 11}) frag[v] = 2;
+    for (const NodeId v : {7, 12, 13, 14, 15}) frag[v] = 3;
+  }
+};
+
+TEST(Figure1, FragmentTreeMatchesPanelB) {
+  Figure1 f;
+  const FragmentStructure fs =
+      make_fragment_structure_centralized(f.g, f.tree, 0, f.frag);
+  EXPECT_EQ(fs.k, 4u);
+  EXPECT_EQ(fs.frag_root_node[0], 0u);
+  EXPECT_EQ(fs.frag_root_node[1], 5u);
+  EXPECT_EQ(fs.frag_root_node[2], 6u);
+  EXPECT_EQ(fs.frag_root_node[3], 7u);
+  // Fragments (5), (6), (7) are children of fragment (0).
+  EXPECT_EQ(fs.frag_parent[1], 0u);
+  EXPECT_EQ(fs.frag_parent[2], 0u);
+  EXPECT_EQ(fs.frag_parent[3], 0u);
+  EXPECT_EQ(fs.frag_parent[0], kNoFrag);
+}
+
+TEST(Figure1, AncestorsOfNode15MatchPanelC) {
+  Figure1 f;
+  const FragmentStructure fs =
+      make_fragment_structure_centralized(f.g, f.tree, 0, f.frag);
+  Network net{f.g};
+  Schedule sched{net};
+  sched.set_barrier_height(4);
+  const AncestorData ad = compute_ancestors(sched, fs);
+  // Own-fragment ancestors of 15: just 7.
+  ASSERT_EQ(ad.own_chain[15].size(), 1u);
+  EXPECT_EQ(ad.own_chain[15][0].node, 7u);
+  // Parent-fragment ancestors of 15: 0, 2, 4 in that (depth) order.
+  ASSERT_EQ(ad.parent_chain[15].size(), 3u);
+  EXPECT_EQ(ad.parent_chain[15][0].node, 0u);
+  EXPECT_EQ(ad.parent_chain[15][1].node, 2u);
+  EXPECT_EQ(ad.parent_chain[15][2].node, 4u);
+  // F(v) examples: F(1) = {F5, F6}; F(2) = {F7}; F(0's root) = all three.
+  EXPECT_EQ(fs.closure(ad.attach[1]),
+            (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(fs.closure(ad.attach[2]), (std::vector<std::uint32_t>{3}));
+  EXPECT_EQ(fs.closure(ad.attach[0]),
+            (std::vector<std::uint32_t>{1, 2, 3}));
+}
+
+TEST(Figure1, MergingNodesAndTfPrimeMatchPanelD) {
+  Figure1 f;
+  const FragmentStructure fs =
+      make_fragment_structure_centralized(f.g, f.tree, 0, f.frag);
+  Network net{f.g};
+  Schedule sched{net};
+  sched.set_barrier_height(4);
+  // The BFS tree is only a broadcast backbone; T itself works here.
+  const AncestorData ad = compute_ancestors(sched, fs);
+  const TfPrime tfp = compute_merging_nodes(sched, fs.t_view, fs, ad);
+
+  // "e.g. nodes 0 and 1 in Figure 1a" are the merging nodes.
+  for (NodeId v = 0; v < 16; ++v)
+    EXPECT_EQ(tfp.is_merging[v] != 0, v == 0 || v == 1) << "node " << v;
+
+  // T'_F: nodes {0, 1, 5, 6, 7}; 1 and 7 hang off 0; 5 and 6 off 1.
+  EXPECT_EQ(tfp.nodes, (std::vector<NodeId>{0, 1, 5, 6, 7}));
+  EXPECT_EQ(tfp.parent.at(1), 0u);
+  EXPECT_EQ(tfp.parent.at(7), 0u);
+  EXPECT_EQ(tfp.parent.at(5), 1u);
+  EXPECT_EQ(tfp.parent.at(6), 1u);
+  EXPECT_EQ(tfp.parent.at(0), kNoNode);
+  EXPECT_EQ(tfp.lca(5, 6), 1u);
+  EXPECT_EQ(tfp.lca(5, 7), 0u);
+  EXPECT_EQ(tfp.lca(6, 7), 0u);
+}
+
+TEST(Figure1, OneRespectValuesMatchKargerDp) {
+  Figure1 f;
+  const FragmentStructure fs =
+      make_fragment_structure_centralized(f.g, f.tree, 0, f.frag);
+  Network net{f.g};
+  Schedule sched{net};
+  sched.set_barrier_height(4);
+  std::vector<Weight> w(f.g.num_edges());
+  for (EdgeId e = 0; e < f.g.num_edges(); ++e) w[e] = f.g.edge(e).w;
+  const OneRespectResult got =
+      one_respect_min_cut(sched, fs.t_view, fs, w);
+
+  const RootedTree t = RootedTree::from_edges(f.g, f.tree, 0);
+  const OneRespectValues oracle = one_respect_dp(f.g, t);
+  for (NodeId v = 0; v < 16; ++v) {
+    EXPECT_EQ(got.delta_down[v], oracle.delta_down[v]) << "node " << v;
+    EXPECT_EQ(got.rho_down[v], oracle.rho_down[v]) << "node " << v;
+    EXPECT_EQ(got.cut_down[v], oracle.cut_down[v]) << "node " << v;
+  }
+  EXPECT_EQ(cut_value(f.g, got.in_cut), got.c_star);
+
+  // Hand-checked values: ρ(5) counts the (8,9) edge (weight 2); C(8↓) is
+  // node 8's degree = 1 + 2 + 5.
+  EXPECT_EQ(oracle.rho[5], 2u + 1u + 1u);  // edges (8,9), (5,8), (5,9)
+  EXPECT_EQ(got.cut_down[8], 8u);
+}
+
+TEST(Figure1, LcaCaseClassification) {
+  // Sanity of the constructed example: the three extra edges land in the
+  // intended LCA cases (verified via the tree oracle).
+  Figure1 f;
+  const RootedTree t = RootedTree::from_edges(f.g, f.tree, 0);
+  EXPECT_EQ(t.lca(8, 9), 5u);    // case 1, inside F5
+  EXPECT_EQ(t.lca(9, 10), 1u);   // case 2, merging node 1
+  EXPECT_EQ(t.lca(3, 14), 2u);   // case 3, z ∈ F0
+  EXPECT_EQ(t.lca(8, 12), 0u);   // case 2, merging node 0
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,76 @@
+// Randomized fuzzing of the full exact pipeline: random topologies, random
+// weights, random fragment freeze sizes and merge-coin seeds — every
+// configuration must equal Stoer–Wagner and keep the CONGEST budget.
+#include <gtest/gtest.h>
+
+#include "central/stoer_wagner.h"
+#include "congest/message.h"
+#include "congest/primitives/leader_bfs.h"
+#include "core/one_respect.h"
+#include "core/tree_packing_dist.h"
+#include "dist/ghs_mst.h"
+#include "dist/tree_partition.h"
+#include "graph/cut.h"
+#include "graph/generators.h"
+#include "util/prng.h"
+
+namespace dmc {
+namespace {
+
+Graph random_instance(Prng& rng) {
+  const std::size_t n = 8 + rng.next_below(28);
+  const std::size_t extra = rng.next_below(2 * n);
+  const std::size_t max_edges = n * (n - 1) / 2;
+  const std::size_t m = std::min(max_edges, n - 1 + extra);
+  const Weight max_w = 1 + rng.next_below(64);
+  return make_random_connected(n, m, rng.next_u64(), 1, max_w);
+}
+
+TEST(Fuzz, ExactPipelineAgainstStoerWagner) {
+  Prng rng{0xF022};
+  for (int trial = 0; trial < 60; ++trial) {
+    const Graph g = random_instance(rng);
+    const std::size_t freeze = 1 + rng.next_below(g.num_nodes());
+    const std::uint64_t coin_seed = rng.next_u64();
+
+    Network net{g};
+    Schedule sched{net};
+    LeaderBfsProtocol lb{g};
+    sched.run_uncharged(lb);
+    const TreeView bfs = lb.tree_view(g);
+    sched.set_barrier_height(bfs.height(g));
+    sched.charge_barrier();
+
+    // Packing loop with randomized substrate parameters.
+    std::vector<std::uint64_t> loads(g.num_edges(), 0);
+    Weight best = static_cast<Weight>(-1);
+    std::vector<bool> best_side;
+    for (int tree_i = 0; tree_i < 24; ++tree_i) {
+      const DistMstResult mst =
+          ghs_mst(sched, bfs, load_keys(g, loads), freeze,
+                  derive_seed(coin_seed, tree_i));
+      const FragmentStructure fs =
+          build_fragment_structure(sched, bfs, lb.leader(), mst);
+      std::vector<Weight> w(g.num_edges());
+      for (EdgeId e = 0; e < g.num_edges(); ++e) w[e] = g.edge(e).w;
+      const OneRespectResult r = one_respect_min_cut(sched, bfs, fs, w);
+      if (r.c_star < best) {
+        best = r.c_star;
+        best_side = r.in_cut;
+      }
+      for (EdgeId e = 0; e < g.num_edges(); ++e)
+        if (mst.tree_edge[e]) ++loads[e];
+    }
+
+    const Weight lambda = stoer_wagner_min_cut(g).value;
+    ASSERT_EQ(best, lambda)
+        << "trial " << trial << " n=" << g.num_nodes()
+        << " m=" << g.num_edges() << " freeze=" << freeze;
+    ASSERT_EQ(cut_value(g, best_side), best) << "trial " << trial;
+    ASSERT_LE(net.stats().max_messages_edge_round, 1u);
+    ASSERT_LE(net.stats().max_words_per_message, kMaxWords);
+  }
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,139 @@
+// Generator tests: structural invariants of every graph family.
+#include <gtest/gtest.h>
+
+#include "central/stoer_wagner.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+
+namespace dmc {
+namespace {
+
+TEST(Generators, Path) {
+  const Graph g = make_path(6);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(diameter_exact(g), 5u);
+}
+
+TEST(Generators, Cycle) {
+  const Graph g = make_cycle(8);
+  EXPECT_EQ(g.num_edges(), 8u);
+  EXPECT_EQ(diameter_exact(g), 4u);
+  EXPECT_EQ(stoer_wagner_min_cut(g).value, 2u);
+}
+
+TEST(Generators, Complete) {
+  const Graph g = make_complete(6);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_EQ(diameter_exact(g), 1u);
+  EXPECT_EQ(stoer_wagner_min_cut(g).value, 5u);
+}
+
+TEST(Generators, Star) {
+  const Graph g = make_star(7);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(diameter_exact(g), 2u);
+  EXPECT_EQ(stoer_wagner_min_cut(g).value, 1u);
+}
+
+TEST(Generators, Grid) {
+  const Graph g = make_grid(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3 + 4u * 2);  // horizontal + vertical
+  EXPECT_EQ(diameter_exact(g), 5u);
+  EXPECT_EQ(stoer_wagner_min_cut(g).value, 2u);
+}
+
+TEST(Generators, Torus) {
+  const Graph g = make_torus(4, 4);
+  EXPECT_EQ(g.num_nodes(), 16u);
+  EXPECT_EQ(g.num_edges(), 32u);
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_EQ(stoer_wagner_min_cut(g).value, 4u);
+}
+
+TEST(Generators, Hypercube) {
+  const Graph g = make_hypercube(4);
+  EXPECT_EQ(g.num_nodes(), 16u);
+  EXPECT_EQ(g.num_edges(), 32u);
+  EXPECT_EQ(diameter_exact(g), 4u);
+  EXPECT_EQ(stoer_wagner_min_cut(g).value, 4u);
+}
+
+TEST(Generators, ErdosRenyiConnectedAndDeterministic) {
+  const Graph a = make_erdos_renyi(64, 0.15, 7);
+  const Graph b = make_erdos_renyi(64, 0.15, 7);
+  EXPECT_TRUE(is_connected(a));
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e).u, b.edge(e).u);
+    EXPECT_EQ(a.edge(e).v, b.edge(e).v);
+  }
+  const Graph c = make_erdos_renyi(64, 0.15, 8);
+  EXPECT_TRUE(is_connected(c));
+}
+
+TEST(Generators, ErdosRenyiEdgeCountPlausible) {
+  const Graph g = make_erdos_renyi(200, 0.1, 3);
+  const double expected = 0.1 * 200 * 199 / 2;
+  EXPECT_GT(g.num_edges(), expected * 0.8);
+  EXPECT_LT(g.num_edges(), expected * 1.2);
+}
+
+TEST(Generators, RandomRegular) {
+  const Graph g = make_random_regular(50, 4, 11);
+  EXPECT_TRUE(is_connected(g));
+  for (NodeId v = 0; v < 50; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Generators, RandomRegularRejectsOddProduct) {
+  EXPECT_THROW(make_random_regular(5, 3, 1), PreconditionError);
+}
+
+TEST(Generators, RandomTree) {
+  const Graph g = make_random_tree(40, 5);
+  EXPECT_EQ(g.num_edges(), 39u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, BarbellPlantedCut) {
+  const Graph g = make_barbell(20, 3, 1, 17);
+  EXPECT_TRUE(is_connected(g));
+  // Two K10's joined by 3 unit edges: min cut = 3 < 9 = internal degree.
+  EXPECT_EQ(stoer_wagner_min_cut(g).value, 3u);
+}
+
+TEST(Generators, PlantedCutValue) {
+  const Graph g = make_planted_cut(32, 0.8, 4, 1, 23);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(stoer_wagner_min_cut(g).value, 4u);
+}
+
+TEST(Generators, PathOfCliques) {
+  const Graph g = make_path_of_cliques(5, 6);
+  EXPECT_EQ(g.num_nodes(), 30u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(stoer_wagner_min_cut(g).value, 1u);
+  EXPECT_GE(diameter_exact(g), 8u);  // D grows with the chain
+}
+
+TEST(Generators, RandomConnectedExactEdgeCount) {
+  const Graph g = make_random_connected(30, 60, 9);
+  EXPECT_EQ(g.num_edges(), 60u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, WithRandomWeightsPreservesTopology) {
+  const Graph g = make_cycle(10);
+  const Graph w = with_random_weights(g, 3, 2, 9);
+  ASSERT_EQ(w.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(w.edge(e).u, g.edge(e).u);
+    EXPECT_EQ(w.edge(e).v, g.edge(e).v);
+    EXPECT_GE(w.edge(e).w, 2u);
+    EXPECT_LE(w.edge(e).w, 9u);
+  }
+}
+
+}  // namespace
+}  // namespace dmc

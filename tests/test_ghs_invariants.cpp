@@ -1,0 +1,151 @@
+// White-box invariants of the controlled-GHS phase 1: fragment size and
+// diameter bounds, determinism, self-freeze behaviour, and robustness of
+// the merge schedule across seeds and freeze sizes.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "congest/primitives/leader_bfs.h"
+#include "dist/ghs_mst.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "util/bit_math.h"
+
+namespace dmc {
+namespace {
+
+struct MstRun {
+  Network net;
+  Schedule sched;
+  TreeView bfs;
+  DistMstResult mst;
+
+  MstRun(const Graph& g, std::size_t freeze = 0, std::uint64_t seed = 0x5eed)
+      : net(g), sched(net) {
+    LeaderBfsProtocol lb{g};
+    sched.run_uncharged(lb);
+    bfs = lb.tree_view(g);
+    sched.set_barrier_height(bfs.height(g));
+    sched.charge_barrier();
+    mst = ghs_mst(sched, bfs, weight_keys(g), freeze, seed);
+  }
+};
+
+/// Per-fragment member lists from the result.
+std::map<std::uint64_t, std::vector<NodeId>> fragments_of(
+    const Graph& g, const DistMstResult& mst) {
+  std::map<std::uint64_t, std::vector<NodeId>> out;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    out[mst.fragment_of[v]].push_back(v);
+  return out;
+}
+
+/// Diameter of one fragment within the phase-1 edge subgraph; throws if
+/// the fragment is not internally connected.
+std::uint32_t fragment_diameter(const Graph& g, const DistMstResult& mst,
+                                const std::vector<NodeId>& members) {
+  std::uint32_t best = 0;
+  for (const NodeId s : members) {
+    const BfsResult r = bfs_masked(g, s, mst.phase1_edge);
+    for (const NodeId t : members) {
+      if (r.dist[t] == BfsResult::kUnreached)
+        throw std::logic_error{"fragment disconnected"};
+      best = std::max(best, r.dist[t]);
+    }
+  }
+  return best;
+}
+
+TEST(GhsInvariants, FragmentSizesAndDiametersBounded) {
+  // Absorption stops at the saturation cap 4S, with one super-phase of
+  // slack: several sub-S tails may attach in the phase where the cap is
+  // crossed.  Sizes must stay within a small constant of 4S and diameters
+  // within a small constant of S (star merges add ≤ 2(S+1) per phase).
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const Graph g = make_erdos_renyi(256, 0.04, seed, 1, 60);
+    MstRun run{g, 0, seed};
+    const std::size_t s = isqrt_ceil(g.num_nodes());
+    for (const auto& [fid, members] : fragments_of(g, run.mst)) {
+      EXPECT_LE(members.size(), 8 * s) << "fragment " << fid;
+      EXPECT_LE(fragment_diameter(g, run.mst, members), 6 * s)
+          << "fragment " << fid;
+    }
+  }
+}
+
+TEST(GhsInvariants, FragmentCountNearSqrtN) {
+  // On well-connected families the fragment count stays within a small
+  // multiple of √n (self-frozen stragglers are rare).
+  const Graph g = make_erdos_renyi(400, 0.03, 7, 1, 25);
+  MstRun run{g};
+  EXPECT_LE(run.mst.num_fragments, 4 * isqrt_ceil(g.num_nodes()));
+  EXPECT_GE(run.mst.num_fragments, 2u);
+}
+
+TEST(GhsInvariants, DeterministicForFixedSeed) {
+  const Graph g = make_erdos_renyi(80, 0.1, 9, 1, 30);
+  MstRun a{g, 0, 123};
+  MstRun b{g, 0, 123};
+  EXPECT_EQ(a.mst.fragment_of, b.mst.fragment_of);
+  EXPECT_EQ(a.mst.tree_edge, b.mst.tree_edge);
+  EXPECT_EQ(a.mst.superphases, b.mst.superphases);
+}
+
+TEST(GhsInvariants, TreeIdenticalAcrossSeeds) {
+  // Coins only affect the merge schedule; the MST is unique under the
+  // tie-broken total order, hence seed-independent.
+  const Graph g = make_erdos_renyi(80, 0.1, 4, 1, 30);
+  MstRun a{g, 0, 1};
+  MstRun b{g, 0, 999};
+  EXPECT_EQ(a.mst.tree_edge, b.mst.tree_edge);
+}
+
+TEST(GhsInvariants, SuperphasesLogarithmic) {
+  for (const std::size_t n : {64u, 256u, 1024u}) {
+    const Graph g =
+        make_erdos_renyi(n, 8.0 / static_cast<double>(n), 11, 1, 12);
+    MstRun run{g};
+    EXPECT_LE(run.mst.superphases, 6 * (ceil_log2(n) + 2) + 16)
+        << "n = " << n;
+    // Far below the cap in practice:
+    EXPECT_LE(run.mst.superphases, 3 * ceil_log2(n) + 8) << "n = " << n;
+  }
+}
+
+TEST(GhsInvariants, FreezeSizeOneMeansSingletonFragments) {
+  const Graph g = make_cycle(12);
+  MstRun run{g, /*freeze=*/1};
+  EXPECT_EQ(run.mst.num_fragments, g.num_nodes());
+  // Phase 2 alone must still deliver the full MST.
+  std::size_t tree_edges = 0;
+  for (const auto b : run.mst.tree_edge) tree_edges += b ? 1 : 0;
+  EXPECT_EQ(tree_edges, g.num_nodes() - 1);
+  for (const auto b : run.mst.phase1_edge) EXPECT_FALSE(b);
+}
+
+TEST(GhsInvariants, LeaderIdIsMemberOfFragment) {
+  const Graph g = make_erdos_renyi(120, 0.07, 13, 1, 40);
+  MstRun run{g};
+  for (const auto& [fid, members] : fragments_of(g, run.mst)) {
+    EXPECT_LT(fid, g.num_nodes());
+    EXPECT_EQ(run.mst.fragment_of[static_cast<NodeId>(fid)], fid)
+        << "fragment leader " << fid << " not in its own fragment";
+  }
+}
+
+TEST(GhsInvariants, InterEdgesAreExactlyTreeMinusPhase1) {
+  const Graph g = make_torus(9, 9);
+  MstRun run{g};
+  std::size_t inter = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (run.mst.tree_edge[e] && !run.mst.phase1_edge[e]) ++inter;
+    if (run.mst.phase1_edge[e]) {
+      EXPECT_TRUE(run.mst.tree_edge[e]);
+    }
+  }
+  EXPECT_EQ(inter, run.mst.inter_edges.size());
+  EXPECT_EQ(inter + 1, run.mst.num_fragments);
+}
+
+}  // namespace
+}  // namespace dmc

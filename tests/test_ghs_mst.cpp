@@ -1,0 +1,181 @@
+// Distributed MST (controlled GHS + pipeline) vs centralized Kruskal under
+// the same tie-broken total order: the trees must be identical.  Also
+// checks the fragment-partition guarantees the paper's Step 1 relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "congest/primitives/leader_bfs.h"
+#include "dist/ghs_mst.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "util/bit_math.h"
+
+namespace dmc {
+namespace {
+
+struct MstRun {
+  Network net;
+  Schedule sched;
+  TreeView bfs;
+  NodeId leader{kNoNode};
+  DistMstResult mst;
+
+  MstRun(const Graph& g, const std::vector<EdgeKey>& keys,
+         std::size_t freeze = 0)
+      : net(g), sched(net) {
+    LeaderBfsProtocol lb{g};
+    sched.run_uncharged(lb);
+    bfs = lb.tree_view(g);
+    leader = lb.leader();
+    sched.set_barrier_height(bfs.height(g));
+    sched.charge_barrier();
+    mst = ghs_mst(sched, bfs, keys, freeze);
+  }
+};
+
+void expect_same_tree(const Graph& g, const std::vector<EdgeKey>& keys,
+                      const DistMstResult& got) {
+  const std::vector<EdgeId> want = kruskal(g, keys);
+  std::vector<bool> want_mask(g.num_edges(), false);
+  for (const EdgeId e : want) want_mask[e] = true;
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    EXPECT_EQ(got.tree_edge[e], want_mask[e]) << "edge " << e;
+}
+
+TEST(GhsMst, MatchesKruskalOnWeightedFamilies) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = make_erdos_renyi(48, 0.15, seed, 1, 50);
+    MstRun run{g, weight_keys(g)};
+    expect_same_tree(g, weight_keys(g), run.mst);
+  }
+}
+
+TEST(GhsMst, MatchesKruskalOnCycleGridTorus) {
+  {
+    const Graph g = with_random_weights(make_cycle(30), 1, 1, 100);
+    MstRun run{g, weight_keys(g)};
+    expect_same_tree(g, weight_keys(g), run.mst);
+  }
+  {
+    const Graph g = with_random_weights(make_grid(6, 7), 2, 1, 100);
+    MstRun run{g, weight_keys(g)};
+    expect_same_tree(g, weight_keys(g), run.mst);
+  }
+  {
+    const Graph g = with_random_weights(make_torus(5, 6), 3, 1, 100);
+    MstRun run{g, weight_keys(g)};
+    expect_same_tree(g, weight_keys(g), run.mst);
+  }
+}
+
+TEST(GhsMst, MatchesKruskalUnderLoadKeys) {
+  const Graph g = make_erdos_renyi(40, 0.2, 7, 1, 9);
+  std::vector<std::uint64_t> loads(g.num_edges(), 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) loads[e] = (e * 13) % 5;
+  const auto keys = load_keys(g, loads);
+  MstRun run{g, keys};
+  expect_same_tree(g, keys, run.mst);
+}
+
+TEST(GhsMst, UniformWeightsTieBrokenById) {
+  const Graph g = make_complete(24);
+  MstRun run{g, weight_keys(g)};
+  expect_same_tree(g, weight_keys(g), run.mst);
+}
+
+TEST(GhsMst, FragmentsAreConnectedSubtreesOfBoundedCount) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = make_erdos_renyi(100, 0.08, seed, 1, 20);
+    MstRun run{g, weight_keys(g)};
+    const std::size_t n = g.num_nodes();
+    const std::size_t sqrt_n = isqrt_ceil(n);
+
+    // Count and collect fragments.
+    std::map<std::uint64_t, std::vector<NodeId>> frags;
+    for (NodeId v = 0; v < n; ++v)
+      frags[run.mst.fragment_of[v]].push_back(v);
+    EXPECT_EQ(frags.size(), run.mst.num_fragments);
+    // Phase 1 freezes at size √n, so every fragment that merged at least
+    // once has ≥ √n nodes ⇒ ≤ √n + o(√n) fragments; allow slack 3√n.
+    EXPECT_LE(frags.size(), 3 * sqrt_n + 2) << "seed " << seed;
+
+    // Every fragment is connected in the phase-1 edge subgraph.
+    const Graph p1 = [&] {
+      Graph h{n};
+      for (EdgeId e = 0; e < g.num_edges(); ++e)
+        if (run.mst.phase1_edge[e])
+          h.add_edge(g.edge(e).u, g.edge(e).v, 1);
+      return h;
+    }();
+    const auto comp = connected_components(p1);
+    for (const auto& [fid, members] : frags)
+      for (const NodeId m : members)
+        EXPECT_EQ(comp[m], comp[members[0]]) << "fragment " << fid;
+
+    // Fragment leader belongs to its own fragment.
+    for (const auto& [fid, members] : frags) {
+      EXPECT_LT(fid, n);
+      EXPECT_EQ(run.mst.fragment_of[static_cast<NodeId>(fid)], fid);
+    }
+  }
+}
+
+TEST(GhsMst, InterEdgeListConsistent) {
+  const Graph g = make_erdos_renyi(60, 0.12, 11, 1, 30);
+  MstRun run{g, weight_keys(g)};
+  // inter_edges = tree edges minus phase-1 edges.
+  std::size_t tree_cnt = 0, p1_cnt = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    tree_cnt += run.mst.tree_edge[e] ? 1 : 0;
+    p1_cnt += run.mst.phase1_edge[e] ? 1 : 0;
+  }
+  EXPECT_EQ(tree_cnt, g.num_nodes() - 1);
+  EXPECT_EQ(run.mst.inter_edges.size(), tree_cnt - p1_cnt);
+  for (const auto& ie : run.mst.inter_edges) {
+    EXPECT_TRUE(run.mst.tree_edge[ie.eid]);
+    EXPECT_FALSE(run.mst.phase1_edge[ie.eid]);
+    // Endpoint sides match the recorded fragments.
+    EXPECT_EQ(run.mst.fragment_of[ie.node_a], ie.frag_a);
+    EXPECT_EQ(run.mst.fragment_of[ie.node_b], ie.frag_b);
+  }
+}
+
+TEST(GhsMst, RoundComplexityScalesSubLinearly) {
+  // Õ(√n + D) sanity: the super-phase loop costs O(log n) phases of
+  // O(√n + D) rounds each, so total ≤ c·(√n + D)·log n with a modest c.
+  // (E1 measures the asymptotic shape on larger instances.)
+  const Graph g = make_erdos_renyi(256, 0.05, 13);
+  MstRun run{g, weight_keys(g)};
+  const auto total = run.sched.total_rounds();
+  const std::uint64_t budget =
+      25ull * (isqrt_ceil(256) + diameter_exact(g) + 1) * ceil_log2(256);
+  EXPECT_LT(total, budget) << "rounds " << total;
+}
+
+TEST(GhsMst, WorksOnTinyGraphs) {
+  {
+    const Graph g = make_path(2);
+    MstRun run{g, weight_keys(g)};
+    EXPECT_TRUE(run.mst.tree_edge[0]);
+  }
+  {
+    const Graph g = make_path(3);
+    MstRun run{g, weight_keys(g)};
+    EXPECT_TRUE(run.mst.tree_edge[0]);
+    EXPECT_TRUE(run.mst.tree_edge[1]);
+  }
+}
+
+TEST(GhsMst, ParallelEdgesPickLighter) {
+  Graph g{2};
+  g.add_edge(0, 1, 9);
+  g.add_edge(0, 1, 2);
+  MstRun run{g, weight_keys(g)};
+  EXPECT_FALSE(run.mst.tree_edge[0]);
+  EXPECT_TRUE(run.mst.tree_edge[1]);
+}
+
+}  // namespace
+}  // namespace dmc

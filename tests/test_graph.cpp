@@ -1,0 +1,127 @@
+// Unit tests for the Graph container and io.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/graph.h"
+#include "graph/io.h"
+
+namespace dmc {
+namespace {
+
+TEST(Graph, EmptyAndBasics) {
+  Graph g{3};
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  const EdgeId e = g.add_edge(0, 1, 5);
+  EXPECT_EQ(e, 0u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edge(e).w, 5u);
+  EXPECT_EQ(g.edge(e).other(0), 1u);
+  EXPECT_EQ(g.edge(e).other(1), 0u);
+  g.validate();
+}
+
+TEST(Graph, PortsMirrorEdges) {
+  Graph g{4};
+  g.add_edge(0, 1, 1);
+  g.add_edge(0, 2, 2);
+  g.add_edge(0, 3, 3);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 1u);
+  const auto ports = g.ports(0);
+  EXPECT_EQ(ports[0].peer, 1u);
+  EXPECT_EQ(ports[1].peer, 2u);
+  EXPECT_EQ(ports[2].peer, 3u);
+  g.validate();
+}
+
+TEST(Graph, WeightedDegreeAndTotals) {
+  Graph g{3};
+  g.add_edge(0, 1, 10);
+  g.add_edge(1, 2, 20);
+  g.add_edge(0, 2, 30);
+  EXPECT_EQ(g.weighted_degree(0), 40u);
+  EXPECT_EQ(g.weighted_degree(1), 30u);
+  EXPECT_EQ(g.weighted_degree(2), 50u);
+  EXPECT_EQ(g.total_weight(), 60u);
+  EXPECT_EQ(g.min_weighted_degree(), 30u);
+}
+
+TEST(Graph, ParallelEdgesAllowed) {
+  Graph g{2};
+  g.add_edge(0, 1, 1);
+  g.add_edge(0, 1, 2);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.weighted_degree(0), 3u);
+  g.validate();
+}
+
+TEST(Graph, RejectsSelfLoopsAndBadWeights) {
+  Graph g{2};
+  EXPECT_THROW(g.add_edge(0, 0, 1), PreconditionError);
+  EXPECT_THROW(g.add_edge(0, 1, 0), PreconditionError);
+  EXPECT_THROW(g.add_edge(0, 5, 1), PreconditionError);
+}
+
+TEST(Graph, UnweightedCopy) {
+  Graph g{3};
+  g.add_edge(0, 1, 7);
+  g.add_edge(1, 2, 9);
+  const Graph u = g.unweighted_copy();
+  EXPECT_EQ(u.num_edges(), 2u);
+  EXPECT_EQ(u.edge(0).w, 1u);
+  EXPECT_EQ(u.edge(1).w, 1u);
+}
+
+TEST(Graph, EdgeSubgraph) {
+  Graph g{4};
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 2);
+  g.add_edge(2, 3, 3);
+  std::vector<bool> keep{true, false, true};
+  std::vector<EdgeId> back;
+  const Graph h = g.edge_subgraph(keep, &back);
+  EXPECT_EQ(h.num_edges(), 2u);
+  EXPECT_EQ(h.num_nodes(), 4u);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0], 0u);
+  EXPECT_EQ(back[1], 2u);
+  EXPECT_EQ(h.edge(1).w, 3u);
+}
+
+TEST(GraphIo, RoundTrip) {
+  Graph g{5};
+  g.add_edge(0, 1, 3);
+  g.add_edge(2, 4, 1);
+  g.add_edge(1, 3, 7);
+  std::stringstream ss;
+  write_graph(ss, g);
+  const Graph h = read_graph(ss);
+  EXPECT_EQ(h.num_nodes(), 5u);
+  ASSERT_EQ(h.num_edges(), 3u);
+  for (EdgeId e = 0; e < 3; ++e) {
+    EXPECT_EQ(h.edge(e).u, g.edge(e).u);
+    EXPECT_EQ(h.edge(e).v, g.edge(e).v);
+    EXPECT_EQ(h.edge(e).w, g.edge(e).w);
+  }
+}
+
+TEST(GraphIo, RejectsBadHeader) {
+  std::stringstream ss{"not-a-graph 1\n2 0\n"};
+  EXPECT_THROW(read_graph(ss), PreconditionError);
+}
+
+TEST(GraphIo, DotContainsCutMarkup) {
+  Graph g{2};
+  g.add_edge(0, 1, 4);
+  std::vector<bool> side{true, false};
+  std::ostringstream os;
+  write_dot(os, g, &side);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("fillcolor"), std::string::npos);
+  EXPECT_NE(s.find("color=red"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,153 @@
+// End-to-end distributed minimum cut: the paper's exact algorithm vs
+// Stoer–Wagner across families, the (1+ε) sampled variant, and the Su/GK
+// baselines' qualitative behaviour.
+#include <gtest/gtest.h>
+
+#include "central/stoer_wagner.h"
+#include "congest/message.h"
+#include "core/api.h"
+#include "graph/algorithms.h"
+#include "graph/cut.h"
+#include "graph/generators.h"
+#include "util/bit_math.h"
+
+namespace dmc {
+namespace {
+
+void expect_exact(const Graph& g) {
+  const DistMinCutResult got = distributed_min_cut(g);
+  const CutResult want = stoer_wagner_min_cut(g);
+  EXPECT_EQ(got.value, want.value);
+  EXPECT_TRUE(is_nontrivial(got.side));
+  EXPECT_EQ(cut_value(g, got.side), got.value)
+      << "side must achieve the reported value";
+  EXPECT_EQ(got.stats.max_messages_edge_round, 1u)
+      << "CONGEST bandwidth must never be exceeded";
+  EXPECT_LE(got.stats.max_words_per_message, kMaxWords);
+}
+
+TEST(ExactMinCutDist, KnownFamilies) {
+  expect_exact(make_cycle(20));                  // λ = 2
+  expect_exact(make_complete(16));               // λ = 15
+  expect_exact(make_hypercube(4));               // λ = 4
+  expect_exact(make_star(15, 3));                // λ = 3
+  expect_exact(make_path_of_cliques(4, 5));      // λ = 1
+}
+
+TEST(ExactMinCutDist, PlantedCuts) {
+  expect_exact(make_barbell(24, 3, 1, 7));       // λ = 3
+  expect_exact(make_barbell(20, 2, 4, 9));       // λ = 8
+  expect_exact(make_planted_cut(32, 0.75, 4, 1, 3));
+}
+
+TEST(ExactMinCutDist, ErdosRenyiSweep) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed)
+    expect_exact(make_erdos_renyi(36, 0.18, seed, 1, 8));
+}
+
+TEST(ExactMinCutDist, WeightedRandom) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed)
+    expect_exact(make_random_connected(30, 70, seed, 1, 20));
+}
+
+TEST(ExactMinCutDist, TreesBridges) {
+  // λ of a tree = lightest edge.
+  const Graph g = make_random_tree(25, 11, 2, 9);
+  const DistMinCutResult got = distributed_min_cut(g);
+  Weight lightest = static_cast<Weight>(-1);
+  for (const Edge& e : g.edges()) lightest = std::min(lightest, e.w);
+  EXPECT_EQ(got.value, lightest);
+}
+
+TEST(ExactMinCutDist, ReportsPackingMetadata) {
+  const Graph g = make_barbell(20, 2, 1, 5);
+  const DistMinCutResult got = distributed_min_cut(g);
+  EXPECT_GE(got.trees_packed, 1u);
+  EXPECT_LE(got.tree_of_best, got.trees_packed);
+  EXPECT_GE(got.fragments, 1u);
+  EXPECT_GT(got.stats.total_rounds(), 0u);
+}
+
+TEST(ApproxMinCutDist, WithinOnePlusEpsSmallCut) {
+  // Small λ: the sampler clamps p to 1 and the result is exact.
+  const Graph g = make_barbell(24, 2, 1, 3);
+  const DistApproxResult r = distributed_approx_min_cut(g, 0.3, 7);
+  EXPECT_FALSE(r.sampled);
+  EXPECT_EQ(r.result.value, 2u);
+  EXPECT_EQ(cut_value(g, r.result.side), r.result.value);
+}
+
+TEST(ApproxMinCutDist, SamplesOnLargeCutAndStaysWithinBand) {
+  // Heavily weighted clique: λ = 15·40 = 600 forces real sampling.
+  const Graph g = make_complete(16, 40);
+  const Weight lambda = stoer_wagner_min_cut(g).value;
+  const DistApproxResult r = distributed_approx_min_cut(g, 0.25, 5);
+  EXPECT_TRUE(r.sampled);
+  EXPECT_LT(r.p, 1.0);
+  EXPECT_GE(r.result.value, lambda);  // any cut upper-bounds λ
+  EXPECT_LE(static_cast<double>(r.result.value),
+            1.25 * static_cast<double>(lambda) + 1e-9);
+  EXPECT_EQ(cut_value(g, r.result.side), r.result.value);
+}
+
+TEST(ApproxMinCutDist, SampledRunUsesFewerRoundsThanExact) {
+  // The whole point of the (1+ε) reduction: on large-λ graphs the skeleton
+  // packing needs far fewer trees than the exact poly(λ) packing would.
+  const Graph g = make_complete(16, 40);
+  const DistApproxResult approx = distributed_approx_min_cut(g, 0.25, 5);
+  ASSERT_TRUE(approx.sampled);
+  // λ(skeleton) = Õ(1/ε²) ⇒ trees = Θ(log n) — not Θ(λ⁷).
+  EXPECT_LE(approx.result.trees_packed,
+            8 * std::max<std::size_t>(1, ceil_log2(g.num_nodes())));
+}
+
+TEST(SuBaseline, EstimateWithinConstantFactorBand) {
+  // Su's estimate is multiplicative; verify it brackets λ within a
+  // generous O(log n) band on planted instances.
+  const Graph g = make_barbell(32, 4, 1, 3);  // λ = 4
+  const SuEstimateResult r = distributed_su_estimate(g, 3);
+  EXPECT_GE(r.estimate, 1u);
+  const double ratio = static_cast<double>(r.estimate) / 4.0;
+  EXPECT_GT(ratio, 1.0 / 16.0);
+  EXPECT_LT(ratio, 16.0);
+}
+
+TEST(SuBaseline, CannotBeExactButTerminates) {
+  const Graph g = make_cycle(24);
+  const SuEstimateResult r = distributed_su_estimate(g, 5);
+  EXPECT_GE(r.attempts, 1u);
+  EXPECT_GT(r.q_threshold, 0.0);
+}
+
+TEST(GkEstimator, ConstantFactorBandAcrossLambdas) {
+  for (const std::size_t bridges : {2u, 8u}) {
+    const Graph g = make_barbell(32, bridges, 1, 11);
+    const GkEstimateResult r = distributed_gk_estimate(g, 9);
+    const double ratio =
+        static_cast<double>(r.estimate) / static_cast<double>(bridges);
+    EXPECT_GT(ratio, 1.0 / 32.0) << "bridges " << bridges;
+    EXPECT_LT(ratio, 32.0) << "bridges " << bridges;
+  }
+}
+
+TEST(GkEstimator, LargeLambdaStopsAtMinDegree) {
+  const Graph g = make_complete(14, 5);  // λ = 65 = δ_min
+  const GkEstimateResult r = distributed_gk_estimate(g, 2);
+  EXPECT_LE(r.estimate, 65u);
+  EXPECT_GE(r.estimate, 2u);
+}
+
+TEST(CongestLegality, AllPipelinesRespectBandwidth) {
+  const Graph g = make_erdos_renyi(40, 0.15, 1, 1, 30);
+  const DistMinCutResult a = distributed_min_cut(g);
+  EXPECT_EQ(a.stats.max_messages_edge_round, 1u);
+  const DistApproxResult b = distributed_approx_min_cut(g, 0.3, 1);
+  EXPECT_EQ(b.result.stats.max_messages_edge_round, 1u);
+  const SuEstimateResult c = distributed_su_estimate(g, 1);
+  EXPECT_EQ(c.stats.max_messages_edge_round, 1u);
+  const GkEstimateResult d = distributed_gk_estimate(g, 1);
+  EXPECT_EQ(d.stats.max_messages_edge_round, 1u);
+}
+
+}  // namespace
+}  // namespace dmc

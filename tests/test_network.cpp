@@ -1,0 +1,173 @@
+// CONGEST engine semantics: synchronous delivery, bandwidth enforcement,
+// quiescence, statistics.
+#include <gtest/gtest.h>
+
+#include "congest/network.h"
+#include "congest/schedule.h"
+#include "graph/generators.h"
+
+namespace dmc {
+namespace {
+
+/// Sends one ping from node 0 along a path and counts hops: verifies one-
+/// round-per-hop delivery.
+class PingProtocol final : public Protocol {
+ public:
+  explicit PingProtocol(const Graph& g) : reached_(g.num_nodes(), 0) {}
+  [[nodiscard]] std::string name() const override { return "ping"; }
+  void round(NodeId v, Mailbox& mb) override {
+    for (const Delivery& d : mb.inbox()) {
+      reached_[v] = 1;
+      // forward away from the arrival port
+      for (std::uint32_t p = 0; p < mb.num_ports(); ++p)
+        if (p != d.port) mb.send(p, d.msg);
+    }
+    if (v == 0 && !started_) {
+      started_ = true;
+      reached_[0] = 1;
+      for (std::uint32_t p = 0; p < mb.num_ports(); ++p)
+        mb.send(p, Message::make(1, {42}));
+    }
+  }
+  [[nodiscard]] bool local_done(NodeId) const override { return started_; }
+  [[nodiscard]] bool reached(NodeId v) const { return reached_[v] != 0; }
+
+ private:
+  bool started_{false};
+  std::vector<std::uint8_t> reached_;
+};
+
+TEST(Network, PingTravelsOneHopPerRound) {
+  const Graph g = make_path(6);
+  Network net{g};
+  PingProtocol ping{g};
+  const auto rounds = net.run(ping);
+  // Node 5 is 5 hops away: send in round 1, arrive in round 6.
+  EXPECT_EQ(rounds, 6u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_TRUE(ping.reached(v));
+  // One forward per hop; endpoints never echo back toward the arrival port.
+  EXPECT_EQ(net.stats().messages, 5u);
+}
+
+/// A protocol that illegally sends twice on one port.
+class DoubleSend final : public Protocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "double_send"; }
+  void round(NodeId v, Mailbox& mb) override {
+    if (v == 0) {
+      mb.send(0, Message::make(1, {1}));
+      mb.send(0, Message::make(1, {2}));
+    }
+  }
+  [[nodiscard]] bool local_done(NodeId) const override { return true; }
+};
+
+TEST(Network, RejectsTwoMessagesPerEdgePerRound) {
+  const Graph g = make_path(2);
+  Network net{g};
+  DoubleSend p;
+  EXPECT_THROW(net.run(p), PreconditionError);
+}
+
+/// A protocol that sends an oversized message.
+class FatSend final : public Protocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "fat_send"; }
+  void round(NodeId v, Mailbox& mb) override {
+    if (v == 0 && !sent_) {
+      sent_ = true;
+      Message m;
+      m.tag = 1;
+      m.size = kMaxWords + 1;
+      mb.send(0, m);
+    }
+  }
+  [[nodiscard]] bool local_done(NodeId) const override { return true; }
+  bool sent_{false};
+};
+
+TEST(Network, RejectsOversizedMessage) {
+  const Graph g = make_path(2);
+  Network net{g};
+  FatSend p;
+  EXPECT_THROW(net.run(p), PreconditionError);
+}
+
+/// Never-terminating protocol to exercise the round limit.
+class Chatter final : public Protocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "chatter"; }
+  void round(NodeId v, Mailbox& mb) override {
+    if (v == 0) mb.send(0, Message::make(1, {0}));
+  }
+  [[nodiscard]] bool local_done(NodeId) const override { return false; }
+};
+
+TEST(Network, RoundLimitGuardsDeadlock) {
+  const Graph g = make_path(2);
+  Network net{g};
+  Chatter p;
+  EXPECT_THROW(net.run(p, 50), InvariantError);
+}
+
+/// Idle protocol: quiescent immediately.
+class Idle final : public Protocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "idle"; }
+  void round(NodeId, Mailbox&) override {}
+  [[nodiscard]] bool local_done(NodeId) const override { return true; }
+};
+
+TEST(Network, IdleProtocolTakesOneRound) {
+  const Graph g = make_cycle(4);
+  Network net{g};
+  Idle p;
+  EXPECT_EQ(net.run(p), 1u);
+  EXPECT_EQ(net.stats().messages, 0u);
+  EXPECT_EQ(net.stats().max_messages_edge_round, 0u);
+}
+
+TEST(Network, StatsAccumulateAcrossRuns) {
+  const Graph g = make_path(4);
+  Network net{g};
+  PingProtocol a{g};
+  net.run(a);
+  const auto msgs_after_first = net.stats().messages;
+  PingProtocol b{g};
+  net.run(b);
+  EXPECT_GT(net.stats().messages, msgs_after_first);
+  EXPECT_EQ(net.stats().per_protocol.size(), 2u);
+  EXPECT_EQ(net.stats().per_protocol[0].name, "ping");
+}
+
+TEST(Schedule, BarrierChargesTwoHeightPlusThree) {
+  const Graph g = make_path(4);
+  Network net{g};
+  Schedule sched{net};
+  sched.set_barrier_height(3);
+  Idle p;
+  sched.run(p);
+  EXPECT_EQ(net.stats().barrier_rounds, 2u * 3 + 3);
+  EXPECT_EQ(net.stats().total_rounds(), net.stats().rounds + 9);
+}
+
+TEST(Schedule, RefusesChargeWithoutHeight) {
+  const Graph g = make_path(3);
+  Network net{g};
+  Schedule sched{net};
+  EXPECT_THROW(sched.charge_barrier(), PreconditionError);
+  Idle p;
+  EXPECT_NO_THROW(sched.run_uncharged(p));
+}
+
+TEST(MessageMake, PacksWords) {
+  const Message m = Message::make(7, {1, 2, 3});
+  EXPECT_EQ(m.tag, 7u);
+  EXPECT_EQ(m.size, 3);
+  EXPECT_EQ(m.at(0), 1u);
+  EXPECT_EQ(m.at(2), 3u);
+  EXPECT_THROW((void)m.at(3), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dmc

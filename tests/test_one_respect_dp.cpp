@@ -1,0 +1,132 @@
+// Karger's 1-respect dynamic program (the centralized oracle for the
+// paper's Theorem 2.1) — verified directly against explicit cut values.
+#include <gtest/gtest.h>
+
+#include "central/one_respect_dp.h"
+#include "central/stoer_wagner.h"
+#include "central/tree_packing.h"
+#include "graph/cut.h"
+#include "graph/generators.h"
+#include "graph/mst.h"
+
+namespace dmc {
+namespace {
+
+/// For every node v, C(v↓) from the DP must equal the explicit cut value of
+/// the side {u : v ancestor of u}.
+void check_all_nodes(const Graph& g, const RootedTree& t) {
+  const OneRespectValues vals = one_respect_dp(g, t);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto side = subtree_side(t, v);
+    EXPECT_EQ(vals.cut_down[v], cut_value(g, side)) << "node " << v;
+  }
+  // Root identity: C(root↓) = C(V) = 0.
+  EXPECT_EQ(vals.cut_down[t.root()], 0u);
+}
+
+TEST(OneRespectDp, PathGraph) {
+  const Graph g = make_path(6, 4);
+  std::vector<EdgeId> ids{0, 1, 2, 3, 4};
+  check_all_nodes(g, RootedTree::from_edges(g, ids, 0));
+}
+
+TEST(OneRespectDp, CycleWithChord) {
+  Graph g{5};
+  g.add_edge(0, 1, 2);
+  g.add_edge(1, 2, 3);
+  g.add_edge(2, 3, 4);
+  g.add_edge(3, 4, 5);
+  g.add_edge(4, 0, 6);
+  g.add_edge(1, 3, 7);  // chord
+  const auto tree = kruskal(g);
+  check_all_nodes(g, RootedTree::from_edges(g, tree, 0));
+}
+
+TEST(OneRespectDp, RandomGraphsAllRootsAllNodes) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Graph g = make_erdos_renyi(24, 0.25, seed, 1, 9);
+    const auto tree = kruskal(g);
+    for (const NodeId root : {NodeId{0}, NodeId{5}, NodeId{23}})
+      check_all_nodes(g, RootedTree::from_edges(g, tree, root));
+  }
+}
+
+TEST(OneRespectDp, MinOverTreeUpperBoundsLambda) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Graph g = make_erdos_renyi(30, 0.2, seed, 1, 3);
+    const auto tree = kruskal(g);
+    const RootedTree t = RootedTree::from_edges(g, tree, 0);
+    const OneRespectValues vals = one_respect_dp(g, t);
+    NodeId arg = kNoNode;
+    const Weight best = vals.min_cut(t, &arg);
+    EXPECT_GE(best, stoer_wagner_min_cut(g).value);
+    EXPECT_EQ(vals.cut_down[arg], best);
+  }
+}
+
+TEST(OneRespectDp, RhoCountsLcaWeights) {
+  //     0
+  //    / .
+  //   1   2    plus non-tree edge (1,2) of weight 10: LCA(1,2)=0.
+  Graph g{3};
+  g.add_edge(0, 1, 1);
+  g.add_edge(0, 2, 1);
+  g.add_edge(1, 2, 10);
+  std::vector<EdgeId> ids{0, 1};
+  const RootedTree t = RootedTree::from_edges(g, ids, 0);
+  const OneRespectValues vals = one_respect_dp(g, t);
+  // ρ(0) = w(0,1) + w(0,2) + w(1,2) = 12; ρ(1) = ρ(2) = 0.
+  EXPECT_EQ(vals.rho[0], 12u);
+  EXPECT_EQ(vals.rho[1], 0u);
+  EXPECT_EQ(vals.rho[2], 0u);
+  // C(1↓) = δ(1) − 0 = 11.
+  EXPECT_EQ(vals.cut_down[1], 11u);
+}
+
+TEST(GreedyTreePacking, FindsMinCutWithFewTrees) {
+  // Thorup's theorem: some packed tree 1-respects the minimum cut.  On
+  // benign families very few trees suffice — the property E5 quantifies.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = make_planted_cut(24, 0.8, 3, 1, seed);
+    const Weight lambda = stoer_wagner_min_cut(g).value;
+    ASSERT_EQ(lambda, 3u);
+    GreedyTreePacking packing{g};
+    Weight best = static_cast<Weight>(-1);
+    for (int i = 0; i < 40 && best != lambda; ++i) {
+      const auto& edges = packing.next_tree();
+      const RootedTree t = RootedTree::from_edges(g, edges, 0);
+      const OneRespectValues vals = one_respect_dp(g, t);
+      best = std::min(best, vals.min_cut(t, nullptr));
+    }
+    EXPECT_EQ(best, lambda) << "seed " << seed;
+  }
+}
+
+TEST(GreedyTreePacking, LoadsTrackUsage) {
+  const Graph g = make_cycle(5);
+  GreedyTreePacking packing{g};
+  packing.next_tree();
+  packing.next_tree();
+  std::uint64_t total = 0;
+  for (const auto l : packing.loads()) total += l;
+  EXPECT_EQ(total, 2u * 4u);  // two trees, 4 edges each
+  EXPECT_EQ(packing.num_trees(), 2u);
+}
+
+TEST(GreedyTreePacking, TreesRotateUnderLoad) {
+  // On a cycle, consecutive greedy trees must avoid previously loaded
+  // edges, so the excluded edge rotates.
+  const Graph g = make_cycle(4);
+  GreedyTreePacking packing{g};
+  const auto t1 = packing.next_tree();
+  const auto t2 = packing.next_tree();
+  EXPECT_NE(t1, t2);
+}
+
+TEST(GreedyTreePacking, ThorupBoundIsHuge) {
+  EXPECT_GE(GreedyTreePacking::thorup_tree_bound(3, 1024), 1000000u);
+  EXPECT_GE(GreedyTreePacking::thorup_tree_bound(1, 4), 1u);
+}
+
+}  // namespace
+}  // namespace dmc

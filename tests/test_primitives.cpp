@@ -1,0 +1,327 @@
+// CONGEST primitive protocols: leader election + BFS, convergecast,
+// aggregate-broadcast (all modes), downcast, pairwise exchange, barrier.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "congest/network.h"
+#include "congest/primitives/aggregate_broadcast.h"
+#include "congest/primitives/barrier.h"
+#include "congest/primitives/convergecast.h"
+#include "congest/primitives/downcast.h"
+#include "congest/primitives/leader_bfs.h"
+#include "congest/primitives/pairwise_exchange.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+
+namespace dmc {
+namespace {
+
+struct Bfs {
+  Network net;
+  LeaderBfsProtocol proto;
+  TreeView tv;
+  std::uint64_t rounds;
+
+  explicit Bfs(const Graph& g) : net(g), proto(g), rounds(net.run(proto)) {
+    tv = proto.tree_view(g);
+  }
+};
+
+TEST(LeaderBfs, ElectsMinIdAndBuildsBfsTree) {
+  const Graph g = make_erdos_renyi(40, 0.15, 3);
+  Bfs b{g};
+  EXPECT_EQ(b.proto.leader(), 0u);
+  const BfsResult oracle = bfs(g, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    EXPECT_EQ(b.proto.depth(v), oracle.dist[v]) << "node " << v;
+  b.tv.validate(g);
+  EXPECT_EQ(b.tv.height(g), eccentricity(g, 0));
+}
+
+TEST(LeaderBfs, RoundsProportionalToDiameter) {
+  const Graph g = make_path(30);
+  Bfs b{g};
+  // Flooding from node 0 takes D rounds + O(1) bookkeeping.
+  EXPECT_LE(b.rounds, 35u);
+  EXPECT_GE(b.rounds, 29u);
+}
+
+TEST(LeaderBfs, SingleNode) {
+  const Graph g = make_path(1);
+  Bfs b{g};
+  EXPECT_EQ(b.proto.leader(), 0u);
+  EXPECT_TRUE(b.tv.is_root(0));
+}
+
+TEST(Convergecast, SubtreeSumsOnBfsTree) {
+  const Graph g = make_path(7);
+  Bfs b{g};
+  // value(v) = v; subtree of node v on a path rooted at 0 is {v..6}.
+  std::vector<CValue> init(7);
+  for (NodeId v = 0; v < 7; ++v) init[v] = CValue{v, 1};
+  ConvergecastProtocol cc{g, b.tv, CombineOp::kSum, init, true};
+  b.net.run(cc);
+  for (NodeId v = 0; v < 7; ++v) {
+    std::uint64_t expect = 0;
+    for (NodeId u = v; u < 7; ++u) expect += u;
+    EXPECT_EQ(cc.subtree_value(v).w0, expect);
+    EXPECT_EQ(cc.subtree_value(v).w1, 7u - v);  // subtree sizes
+    EXPECT_EQ(cc.tree_value(v).w0, 21u);        // broadcast total
+  }
+}
+
+TEST(Convergecast, MinFindsGlobalArgmin) {
+  const Graph g = make_erdos_renyi(30, 0.2, 5);
+  Bfs b{g};
+  std::vector<CValue> init(30);
+  for (NodeId v = 0; v < 30; ++v)
+    init[v] = CValue{(v * 7 + 3) % 31, v};  // some value, payload = id
+  ConvergecastProtocol cc{g, b.tv, CombineOp::kMin, init, true};
+  b.net.run(cc);
+  CValue expect{~0ull, 0};
+  for (NodeId v = 0; v < 30; ++v)
+    expect = combine(CombineOp::kMin, expect, init[v]);
+  for (NodeId v = 0; v < 30; ++v) {
+    EXPECT_EQ(cc.tree_value(v).w0, expect.w0);
+    EXPECT_EQ(cc.tree_value(v).w1, expect.w1);
+  }
+}
+
+TEST(Convergecast, RunsOnForest) {
+  // Two disjoint stars inside one graph: make a forest view with 2 roots.
+  Graph g{6};
+  g.add_edge(0, 1, 1);
+  g.add_edge(0, 2, 1);
+  g.add_edge(3, 4, 1);
+  g.add_edge(3, 5, 1);
+  g.add_edge(2, 3, 1);  // inter-tree edge NOT in the forest
+  std::vector<std::uint32_t> pp(6, kNoPort);
+  // node 1,2 parent → 0; nodes 4,5 parent → 3.
+  const auto port_to = [&](NodeId v, NodeId target) -> std::uint32_t {
+    const auto ports = g.ports(v);
+    for (std::uint32_t i = 0; i < ports.size(); ++i)
+      if (ports[i].peer == target) return i;
+    throw std::logic_error{"no port"};
+  };
+  pp[1] = port_to(1, 0);
+  pp[2] = port_to(2, 0);
+  pp[4] = port_to(4, 3);
+  pp[5] = port_to(5, 3);
+  const TreeView tv = TreeView::from_parent_ports(g, pp);
+  Network net{g};
+  std::vector<CValue> init(6, CValue{1, 0});
+  ConvergecastProtocol cc{g, tv, CombineOp::kSum, init, true};
+  net.run(cc);
+  EXPECT_EQ(cc.tree_value(0).w0, 3u);
+  EXPECT_EQ(cc.tree_value(3).w0, 3u);
+  EXPECT_EQ(cc.tree_value(5).w0, 3u);  // broadcast within its own tree
+}
+
+TEST(AggregateBroadcast, SumCombinesAcrossNodes) {
+  const Graph g = make_erdos_renyi(25, 0.2, 9);
+  Bfs b{g};
+  // Every node contributes (key = v % 4, value 1): four counters.
+  std::vector<std::vector<AggItem>> contrib(25);
+  for (NodeId v = 0; v < 25; ++v)
+    contrib[v].push_back(AggItem{v % 4, {1, 0, 0}});
+  AggregateBroadcastProtocol agg{
+      g, b.tv, AggOptions{AggOp::kSum, /*deliver_all=*/true, false, false},
+      std::move(contrib)};
+  b.net.run(agg);
+  for (NodeId v = 0; v < 25; ++v) {
+    const auto& items = agg.items(v);
+    ASSERT_EQ(items.size(), 4u) << "node " << v;
+    std::uint64_t total = 0;
+    for (const auto& it : items) total += it.p[0];
+    EXPECT_EQ(total, 25u);
+    // keys sorted
+    for (std::size_t i = 1; i < items.size(); ++i)
+      EXPECT_LT(items[i - 1].key, items[i].key);
+  }
+}
+
+TEST(AggregateBroadcast, UniqueKeysDeliverEverywhere) {
+  const Graph g = make_grid(4, 5);
+  Bfs b{g};
+  std::vector<std::vector<AggItem>> contrib(20);
+  contrib[7].push_back(AggItem{70, {7, 0, 0}});
+  contrib[13].push_back(AggItem{130, {13, 0, 0}});
+  contrib[0].push_back(AggItem{5, {0, 0, 0}});
+  AggregateBroadcastProtocol agg{
+      g, b.tv, AggOptions{AggOp::kUnique, true, false, false},
+      std::move(contrib)};
+  b.net.run(agg);
+  for (NodeId v = 0; v < 20; ++v) {
+    ASSERT_EQ(agg.items(v).size(), 3u);
+    EXPECT_EQ(agg.items(v)[0].key, 5u);
+    EXPECT_EQ(agg.items(v)[1].key, 70u);
+    EXPECT_EQ(agg.items(v)[2].key, 130u);
+  }
+}
+
+TEST(AggregateBroadcast, MinSelectsSmallestPayload) {
+  const Graph g = make_cycle(10);
+  Bfs b{g};
+  std::vector<std::vector<AggItem>> contrib(10);
+  for (NodeId v = 0; v < 10; ++v)
+    contrib[v].push_back(AggItem{1, {100 - v, v, 0}});
+  AggregateBroadcastProtocol agg{
+      g, b.tv, AggOptions{AggOp::kMin, true, false, false},
+      std::move(contrib)};
+  b.net.run(agg);
+  ASSERT_EQ(agg.items(3).size(), 1u);
+  EXPECT_EQ(agg.items(3)[0].p[0], 91u);  // node 9's payload
+  EXPECT_EQ(agg.items(3)[0].p[1], 9u);
+}
+
+TEST(AggregateBroadcast, TapRecordsSubtreeItems) {
+  const Graph g = make_path(5);  // rooted at 0: subtree of v = {v..4}
+  Bfs b{g};
+  std::vector<std::vector<AggItem>> contrib(5);
+  for (NodeId v = 0; v < 5; ++v)
+    contrib[v].push_back(AggItem{v, {1, 0, 0}});
+  AggregateBroadcastProtocol agg{
+      g, b.tv, AggOptions{AggOp::kSum, false, /*tap=*/true, false},
+      std::move(contrib)};
+  b.net.run(agg);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(agg.tapped(v).size(), 5u - v) << "node " << v;
+    for (const auto& it : agg.tapped(v)) EXPECT_GE(it.key, v);
+  }
+}
+
+TEST(AggregateBroadcast, AbsorbStopsAtKeyOwner) {
+  const Graph g = make_path(6);  // 0-1-2-3-4-5 rooted at 0
+  Bfs b{g};
+  // Node 5 holds items keyed by each of its ancestors 1 and 3.
+  std::vector<std::vector<AggItem>> contrib(6);
+  contrib[5].push_back(AggItem{1, {10, 0, 0}});
+  contrib[5].push_back(AggItem{3, {30, 0, 0}});
+  contrib[4].push_back(AggItem{3, {5, 0, 0}});
+  AggregateBroadcastProtocol agg{
+      g, b.tv, AggOptions{AggOp::kSum, false, false, /*absorb=*/true},
+      std::move(contrib)};
+  b.net.run(agg);
+  ASSERT_EQ(agg.absorbed(3).size(), 1u);
+  EXPECT_EQ(agg.absorbed(3)[0].p[0], 35u);  // combined 30 + 5
+  ASSERT_EQ(agg.absorbed(1).size(), 1u);
+  EXPECT_EQ(agg.absorbed(1)[0].p[0], 10u);
+  EXPECT_TRUE(agg.items(0).empty());  // nothing reaches the root
+}
+
+TEST(AggregateBroadcast, RoundsAreHeightPlusItems) {
+  // k items through a path of length L should take ≈ L + k rounds, not L·k.
+  const std::size_t n = 40, k = 30;
+  const Graph g = make_path(n);
+  Bfs b{g};
+  std::vector<std::vector<AggItem>> contrib(n);
+  for (std::uint64_t i = 0; i < k; ++i)
+    contrib[n - 1].push_back(AggItem{i, {1, 0, 0}});
+  AggregateBroadcastProtocol agg{
+      g, b.tv, AggOptions{AggOp::kUnique, true, false, false},
+      std::move(contrib)};
+  const auto rounds = b.net.run(agg);
+  EXPECT_LE(rounds, 2 * (n + k) + 16);
+  EXPECT_GE(rounds, n + k - 2);  // information-theoretic lower bound
+}
+
+TEST(Downcast, DeliversAlongPath) {
+  const Graph g = make_path(6);
+  Bfs b{g};
+  std::vector<std::vector<DownItem>> orig(6);
+  orig[1].push_back(DownItem{{111, 0, 0, 0}});
+  std::map<NodeId, std::vector<Word>> seen;
+  PipelinedDowncastProtocol dc{
+      g, b.tv, std::move(orig),
+      [&](NodeId v, const DownItem& it) {
+        seen[v].push_back(it.w[0]);
+        return true;
+      }};
+  b.net.run(dc);
+  // Every strict descendant of 1 (nodes 2..5) received it; 0 did not.
+  EXPECT_EQ(seen.count(0), 0u);
+  EXPECT_EQ(seen.count(1), 0u);  // originator does not self-deliver
+  for (NodeId v = 2; v < 6; ++v) ASSERT_EQ(seen[v].size(), 1u);
+}
+
+TEST(Downcast, FilterStopsPropagation) {
+  const Graph g = make_path(6);
+  Bfs b{g};
+  std::vector<std::vector<DownItem>> orig(6);
+  orig[0].push_back(DownItem{{7, 0, 0, 0}});
+  std::vector<int> hits(6, 0);
+  PipelinedDowncastProtocol dc{
+      g, b.tv, std::move(orig),
+      [&](NodeId v, const DownItem&) {
+        ++hits[v];
+        return v < 3;  // stop at node 3
+      }};
+  b.net.run(dc);
+  EXPECT_EQ(hits[1], 1);
+  EXPECT_EQ(hits[2], 1);
+  EXPECT_EQ(hits[3], 1);
+  EXPECT_EQ(hits[4], 0);
+  EXPECT_EQ(hits[5], 0);
+}
+
+TEST(Downcast, PipelinesManyItems) {
+  const std::size_t n = 30;
+  const Graph g = make_path(n);
+  Bfs b{g};
+  const std::size_t k = 25;
+  std::vector<std::vector<DownItem>> orig(n);
+  for (std::uint64_t i = 0; i < k; ++i)
+    orig[0].push_back(DownItem{{i, 0, 0, 0}});
+  std::vector<std::size_t> count(n, 0);
+  PipelinedDowncastProtocol dc{g, b.tv, std::move(orig),
+                               [&](NodeId v, const DownItem&) {
+                                 ++count[v];
+                                 return true;
+                               }};
+  const auto rounds = b.net.run(dc);
+  for (NodeId v = 1; v < n; ++v) EXPECT_EQ(count[v], k);
+  EXPECT_LE(rounds, n + k + 8);  // pipelined, not multiplicative
+}
+
+TEST(PairwiseExchange, SwapsLists) {
+  Graph g{3};
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  std::vector<std::vector<std::vector<Word>>> out(3);
+  out[0] = {{10, 11, 12}};          // one port
+  out[1] = {{20}, {21, 22}};        // two ports
+  out[2] = {{}};                    // silent
+  Network net{g};
+  PairwiseExchangeProtocol px{g, std::move(out)};
+  const auto rounds = net.run(px);
+  EXPECT_EQ(px.received(1, 0), (std::vector<Word>{10, 11, 12}));
+  EXPECT_EQ(px.received(0, 0), (std::vector<Word>{20}));
+  EXPECT_EQ(px.received(2, 0), (std::vector<Word>{21, 22}));
+  EXPECT_TRUE(px.received(1, 1).empty());
+  EXPECT_LE(rounds, 3u + 2u);  // max list + end marker
+}
+
+TEST(Barrier, CostsTwoHeightPlusTwo) {
+  const Graph g = make_path(9);
+  Bfs b{g};
+  BarrierProtocol bar{g, b.tv};
+  const auto rounds = b.net.run(bar);
+  const auto h = b.tv.height(g);
+  EXPECT_LE(rounds, 2 * h + 2);
+  EXPECT_GE(rounds, 2 * h);
+  for (NodeId v = 0; v < 9; ++v) EXPECT_TRUE(bar.released(v));
+}
+
+TEST(Barrier, MatchesScheduleCharge) {
+  // The Schedule charges 2h+3; the real barrier costs ≤ 2h+2 (+1 round of
+  // children-notification convention) — the charge is an upper bound.
+  const Graph g = make_grid(5, 5);
+  Bfs b{g};
+  BarrierProtocol bar{g, b.tv};
+  const auto rounds = b.net.run(bar);
+  EXPECT_LE(rounds, 2ull * b.tv.height(g) + 3);
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,177 @@
+// Parameterized property sweeps: the paper's invariants checked across a
+// grid of (family, size, seed) instances.
+//
+//   P1  distributed MST ≡ Kruskal under the same tie-broken order
+//   P2  distributed 1-respect ≡ Karger DP at every node
+//   P3  exact distributed min cut ≡ Stoer–Wagner, side achieves value
+//   P4  CONGEST legality (≤1 msg/edge/round, word budget) on every run
+//   P5  skeleton sampling: endpoint-consistent, mean-correct
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "central/one_respect_dp.h"
+#include "central/skeleton.h"
+#include "central/stoer_wagner.h"
+#include "congest/message.h"
+#include "congest/primitives/leader_bfs.h"
+#include "core/api.h"
+#include "core/one_respect.h"
+#include "dist/ghs_mst.h"
+#include "dist/tree_partition.h"
+#include "graph/cut.h"
+#include "graph/generators.h"
+#include "util/bit_math.h"
+
+namespace dmc {
+namespace {
+
+struct Family {
+  std::string name;
+  Graph (*make)(std::size_t n, std::uint64_t seed);
+};
+
+Graph family_er(std::size_t n, std::uint64_t seed) {
+  return make_erdos_renyi(n, std::min(1.0, 10.0 / static_cast<double>(n)),
+                          seed, 1, 9);
+}
+Graph family_regular(std::size_t n, std::uint64_t seed) {
+  return make_random_regular(n - (n % 2), 4, seed, 2);
+}
+Graph family_torus(std::size_t n, std::uint64_t seed) {
+  const std::size_t side = std::max<std::size_t>(3, isqrt(n));
+  return with_random_weights(make_torus(side, side), seed, 1, 6);
+}
+Graph family_cliquechain(std::size_t n, std::uint64_t seed) {
+  const std::size_t cliques = std::max<std::size_t>(2, n / 6);
+  (void)seed;
+  return make_path_of_cliques(cliques, 6);
+}
+Graph family_barbell(std::size_t n, std::uint64_t seed) {
+  return make_barbell(n - (n % 2), 1 + seed % 4, 1 + seed % 3, seed);
+}
+Graph family_tree(std::size_t n, std::uint64_t seed) {
+  return make_random_tree(n, seed, 1, 8);
+}
+
+const Family kFamilies[] = {
+    {"erdos_renyi", family_er},     {"random_regular", family_regular},
+    {"torus", family_torus},       {"clique_chain", family_cliquechain},
+    {"barbell", family_barbell},   {"random_tree", family_tree},
+};
+
+using SweepParam = std::tuple<int /*family*/, std::size_t /*n*/,
+                              std::uint64_t /*seed*/>;
+
+class Sweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  [[nodiscard]] Graph instance() const {
+    const auto& [fam, n, seed] = GetParam();
+    return kFamilies[fam].make(n, seed);
+  }
+};
+
+TEST_P(Sweep, P1_DistributedMstEqualsKruskal) {
+  const Graph g = instance();
+  Network net{g};
+  Schedule sched{net};
+  LeaderBfsProtocol lb{g};
+  sched.run_uncharged(lb);
+  const TreeView bfs = lb.tree_view(g);
+  sched.set_barrier_height(bfs.height(g));
+  sched.charge_barrier();
+  const DistMstResult mst = ghs_mst(sched, bfs, weight_keys(g));
+  const std::vector<EdgeId> want = kruskal(g, weight_keys(g));
+  std::vector<bool> mask(g.num_edges(), false);
+  for (const EdgeId e : want) mask[e] = true;
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    ASSERT_EQ(mst.tree_edge[e], mask[e]) << "edge " << e;
+}
+
+TEST_P(Sweep, P2_OneRespectEqualsKargerDp) {
+  const Graph g = instance();
+  Network net{g};
+  Schedule sched{net};
+  LeaderBfsProtocol lb{g};
+  sched.run_uncharged(lb);
+  const TreeView bfs = lb.tree_view(g);
+  sched.set_barrier_height(bfs.height(g));
+  sched.charge_barrier();
+  const DistMstResult mst = ghs_mst(sched, bfs, weight_keys(g));
+  const FragmentStructure fs =
+      build_fragment_structure(sched, bfs, lb.leader(), mst);
+  std::vector<Weight> w(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) w[e] = g.edge(e).w;
+  const OneRespectResult got = one_respect_min_cut(sched, bfs, fs, w);
+
+  std::vector<EdgeId> tree;
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    if (mst.tree_edge[e]) tree.push_back(e);
+  const RootedTree t = RootedTree::from_edges(g, tree, lb.leader());
+  const OneRespectValues oracle = one_respect_dp(g, t);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(got.cut_down[v], oracle.cut_down[v]) << "node " << v;
+    ASSERT_EQ(got.delta_down[v], oracle.delta_down[v]) << "node " << v;
+    ASSERT_EQ(got.rho_down[v], oracle.rho_down[v]) << "node " << v;
+  }
+}
+
+TEST_P(Sweep, P3_ExactMinCutEqualsStoerWagner) {
+  const Graph g = instance();
+  const DistMinCutResult got = distributed_min_cut(g);
+  EXPECT_EQ(got.value, stoer_wagner_min_cut(g).value);
+  EXPECT_TRUE(is_nontrivial(got.side));
+  EXPECT_EQ(cut_value(g, got.side), got.value);
+}
+
+TEST_P(Sweep, P4_CongestLegality) {
+  const Graph g = instance();
+  const DistMinCutResult got = distributed_min_cut(g);
+  EXPECT_LE(got.stats.max_messages_edge_round, 1u);
+  EXPECT_LE(got.stats.max_words_per_message, kMaxWords);
+}
+
+TEST_P(Sweep, P5_SkeletonConsistency) {
+  const Graph g = instance();
+  const auto& [fam, n, seed] = GetParam();
+  (void)fam;
+  (void)n;
+  const double p = 0.6;
+  const Skeleton s = sample_skeleton(g, p, seed);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(s.sampled_w[e], sampled_edge_weight(g.edge(e).w, p, seed, e));
+    EXPECT_LE(s.sampled_w[e], g.edge(e).w);
+  }
+  const double expected = p * static_cast<double>(g.total_weight());
+  EXPECT_NEAR(static_cast<double>(s.graph.total_weight()) / expected, 1.0,
+              0.35);
+}
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  const auto& [fam, n, seed] = info.param;
+  return kFamilies[fam].name + "_n" + std::to_string(n) + "_s" +
+         std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, Sweep,
+    ::testing::Combine(::testing::Range(0, 6),
+                       ::testing::Values(std::size_t{16}, std::size_t{25},
+                                         std::size_t{36}),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{2},
+                                         std::uint64_t{3})),
+    sweep_name);
+
+// A coarser sweep at larger sizes (fewer seeds) to catch scale-dependent
+// regressions — e.g. fragment-partition corner cases that only appear once
+// a graph spans several fragments.
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesLarge, Sweep,
+    ::testing::Combine(::testing::Range(0, 6),
+                       ::testing::Values(std::size_t{64}, std::size_t{100}),
+                       ::testing::Values(std::uint64_t{5})),
+    sweep_name);
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,137 @@
+// Robustness and failure-injection: precondition enforcement, extreme
+// weights, degenerate topologies, and the structural guards that turn
+// silent corruption into loud errors.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "central/stoer_wagner.h"
+#include "congest/network.h"
+#include "congest/primitives/leader_bfs.h"
+#include "congest/tree_view.h"
+#include "core/api.h"
+#include "graph/cut.h"
+#include "graph/generators.h"
+#include "graph/mst.h"
+#include "graph/tree.h"
+
+namespace dmc {
+namespace {
+
+TEST(Robustness, ExtremeWeightsNoOverflow) {
+  // Weights near the 2^32 cap: δ↓ sums reach n·W ≈ 2^37 and the Karger
+  // identity must stay exact in 64-bit arithmetic.
+  const Weight big = kMaxWeight;
+  Graph g{8};
+  for (NodeId i = 0; i < 8; ++i)
+    for (NodeId j = i + 1; j < 8; ++j) g.add_edge(i, j, big);
+  const DistMinCutResult r = distributed_min_cut(g);
+  EXPECT_EQ(r.value, 7 * big);  // isolate one node of K8
+  EXPECT_EQ(cut_value(g, r.side), r.value);
+}
+
+TEST(Robustness, MixedExtremeWeights) {
+  Graph g{6};
+  g.add_edge(0, 1, kMaxWeight);
+  g.add_edge(1, 2, 1);
+  g.add_edge(2, 3, kMaxWeight);
+  g.add_edge(3, 4, 1);
+  g.add_edge(4, 5, kMaxWeight);
+  g.add_edge(5, 0, 1);
+  const DistMinCutResult r = distributed_min_cut(g);
+  EXPECT_EQ(r.value, 2u);  // two unit edges
+  EXPECT_EQ(r.value, stoer_wagner_min_cut(g).value);
+}
+
+TEST(Robustness, TwoNodeGraph) {
+  Graph g{2};
+  g.add_edge(0, 1, 5);
+  const DistMinCutResult r = distributed_min_cut(g);
+  EXPECT_EQ(r.value, 5u);
+  EXPECT_TRUE(is_nontrivial(r.side));
+}
+
+TEST(Robustness, TwoNodesManyParallelEdges) {
+  Graph g{2};
+  for (int i = 0; i < 10; ++i) g.add_edge(0, 1, i + 1);
+  const DistMinCutResult r = distributed_min_cut(g);
+  EXPECT_EQ(r.value, 55u);
+}
+
+TEST(Robustness, HighDegreeStar) {
+  const Graph g = make_star(64, 7);
+  const DistMinCutResult r = distributed_min_cut(g);
+  EXPECT_EQ(r.value, 7u);
+  // The side isolates a leaf (the center side would cut 63 edges).
+  const auto k = static_cast<std::size_t>(
+      std::count(r.side.begin(), r.side.end(), true));
+  EXPECT_TRUE(k == 1 || k + 1 == g.num_nodes());
+}
+
+TEST(Robustness, RejectsSingletonNetworkForMinCut) {
+  Graph g{1};
+  EXPECT_THROW((void)distributed_min_cut(g), PreconditionError);
+}
+
+TEST(Robustness, DisconnectedGraphFailsLoudly) {
+  Graph g{4};
+  g.add_edge(0, 1, 1);
+  g.add_edge(2, 3, 1);
+  // The MST layer must refuse (no spanning tree exists); any exception
+  // type is fine as long as it is loud and typed.
+  EXPECT_THROW((void)distributed_min_cut(g), InvariantError);
+}
+
+TEST(Robustness, TreeViewRejectsCycles) {
+  Graph g{3};
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  g.add_edge(2, 0, 1);
+  // parent pointers forming a 3-cycle
+  std::vector<std::uint32_t> pp(3);
+  for (NodeId v = 0; v < 3; ++v) {
+    const auto ports = g.ports(v);
+    for (std::uint32_t i = 0; i < ports.size(); ++i)
+      if (ports[i].peer == (v + 1) % 3) pp[v] = i;
+  }
+  EXPECT_THROW((void)TreeView::from_parent_ports(g, pp), InvariantError);
+}
+
+TEST(Robustness, RootedTreeRejectsForests) {
+  std::vector<NodeId> parent{kNoNode, 0, kNoNode, 2};
+  std::vector<EdgeId> pe(4, kNoEdge);
+  EXPECT_THROW((RootedTree{parent, pe, 0}), PreconditionError);
+}
+
+TEST(Robustness, ApproxRejectsBadEps) {
+  const Graph g = make_cycle(8);
+  EXPECT_THROW((void)distributed_approx_min_cut(g, 0.0, 1),
+               PreconditionError);
+  EXPECT_THROW((void)distributed_approx_min_cut(g, 2.0, 1),
+               PreconditionError);
+}
+
+TEST(Robustness, KruskalGuardsLoadOverflow) {
+  // EdgeKey cross products must stay in u64: loads are capped by the
+  // packing driver at 2^20 trees; verify a large-but-legal combination.
+  Graph g{3};
+  g.add_edge(0, 1, kMaxWeight);
+  g.add_edge(1, 2, 1);
+  g.add_edge(0, 2, kMaxWeight);
+  std::vector<std::uint64_t> loads{1u << 20, 3, 1u << 19};
+  const auto tree = kruskal(g, load_keys(g, loads));
+  EXPECT_EQ(tree.size(), 2u);
+}
+
+TEST(Robustness, DeterministicEndToEnd) {
+  const Graph g = make_erdos_renyi(40, 0.15, 9, 1, 12);
+  const DistMinCutResult a = distributed_min_cut(g);
+  const DistMinCutResult b = distributed_min_cut(g);
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.side, b.side);
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+  EXPECT_EQ(a.stats.messages, b.stats.messages);
+}
+
+}  // namespace
+}  // namespace dmc

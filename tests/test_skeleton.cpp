@@ -1,0 +1,120 @@
+// Karger skeleton sampling + the centralized packing/approx drivers.
+#include <gtest/gtest.h>
+
+#include "central/mincut_central.h"
+#include "central/skeleton.h"
+#include "central/stoer_wagner.h"
+#include "graph/algorithms.h"
+#include "graph/cut.h"
+#include <cmath>
+
+#include "graph/generators.h"
+
+namespace dmc {
+namespace {
+
+TEST(Skeleton, EndpointConsistencyIsPure) {
+  // The sampled weight of an edge is a pure function of (seed, edge id):
+  // calling twice gives the same answer — this is what lets both endpoints
+  // sample without communication.
+  for (EdgeId e = 0; e < 50; ++e) {
+    const Weight a = sampled_edge_weight(20, 0.3, 99, e);
+    const Weight b = sampled_edge_weight(20, 0.3, 99, e);
+    EXPECT_EQ(a, b);
+    EXPECT_LE(a, 20u);
+  }
+}
+
+TEST(Skeleton, FullProbabilityKeepsEverything) {
+  const Graph g = make_erdos_renyi(30, 0.2, 1, 1, 5);
+  const Skeleton s = sample_skeleton(g, 1.0, 7);
+  EXPECT_EQ(s.graph.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    EXPECT_EQ(s.sampled_w[e], g.edge(e).w);
+}
+
+TEST(Skeleton, MeanScalesWithP) {
+  const Graph g = make_complete(20, 10);
+  const Skeleton s = sample_skeleton(g, 0.5, 3);
+  const double expected = 0.5 * static_cast<double>(g.total_weight());
+  const double got = static_cast<double>(s.graph.total_weight());
+  EXPECT_NEAR(got / expected, 1.0, 0.15);
+}
+
+TEST(Skeleton, CutValuesConcentrate) {
+  // Sampled cut ≈ p · true cut for the planted cut (C(half) large enough).
+  const Graph g = make_complete(24, 8);
+  const double p = 0.5;
+  const Skeleton s = sample_skeleton(g, p, 11);
+  std::vector<bool> side(24, false);
+  for (NodeId v = 0; v < 12; ++v) side[v] = true;
+  const double truth = static_cast<double>(cut_value(g, side));
+  const double sampled = static_cast<double>(cut_value(s.graph, side));
+  EXPECT_NEAR(sampled / (p * truth), 1.0, 0.2);
+}
+
+TEST(Skeleton, ProbabilityFormula) {
+  EXPECT_DOUBLE_EQ(skeleton_probability(16, 1.0, 1000000), 1.0 * 3.0 *
+                       std::log(16.0) / 1000000.0);
+  EXPECT_EQ(skeleton_probability(16, 0.1, 1), 1.0);  // clamped
+}
+
+TEST(PackingMinCut, ExactOnFamilies) {
+  EXPECT_EQ(packing_min_cut(make_cycle(12)).cut.value, 2u);
+  EXPECT_EQ(packing_min_cut(make_path_of_cliques(4, 5)).cut.value, 1u);
+  EXPECT_EQ(packing_min_cut(make_hypercube(4)).cut.value, 4u);
+}
+
+TEST(PackingMinCut, MatchesStoerWagnerOnRandom) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Graph g = make_erdos_renyi(28, 0.25, seed, 1, 4);
+    const PackingMinCutResult r = packing_min_cut(g);
+    const Weight lambda = stoer_wagner_min_cut(g).value;
+    EXPECT_EQ(r.cut.value, lambda) << "seed " << seed;
+    EXPECT_EQ(cut_value(g, r.cut.side), r.cut.value);
+  }
+}
+
+TEST(PackingMinCut, SideIsAchievingCut) {
+  const Graph g = make_barbell(20, 2, 1, 3);
+  const PackingMinCutResult r = packing_min_cut(g);
+  EXPECT_EQ(r.cut.value, 2u);
+  EXPECT_EQ(cut_value(g, r.cut.side), 2u);
+  // The planted side is one of the cliques.
+  EXPECT_TRUE(r.cut.side_size() == 10u || r.cut.side_size() == 20u - 10u);
+}
+
+TEST(ApproxMinCut, WithinOnePlusEps) {
+  const double eps = 0.4;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = make_barbell(32, 3, 2, seed);  // λ = 6
+    const Weight lambda = stoer_wagner_min_cut(g).value;
+    const ApproxMinCutResult r = approx_min_cut_central(g, eps, seed);
+    EXPECT_GE(r.cut.value, lambda);
+    EXPECT_LE(static_cast<double>(r.cut.value),
+              (1.0 + eps) * static_cast<double>(lambda) + 1e-9)
+        << "seed " << seed;
+    EXPECT_EQ(cut_value(g, r.cut.side), r.cut.value);
+  }
+}
+
+TEST(ApproxMinCut, SamplesWhenCutIsLarge) {
+  // Dense weighted clique: λ is large, so p < 1 and sampling must kick in.
+  const Graph g = make_complete(48, 50);
+  const ApproxMinCutResult r = approx_min_cut_central(g, 0.3, 5);
+  EXPECT_TRUE(r.sampled);
+  EXPECT_LT(r.p, 1.0);
+  const Weight lambda = stoer_wagner_min_cut(g).value;
+  EXPECT_LE(static_cast<double>(r.cut.value),
+            1.3 * static_cast<double>(lambda));
+}
+
+TEST(ApproxMinCut, ExactPathWhenCutSmall) {
+  const Graph g = make_cycle(20);
+  const ApproxMinCutResult r = approx_min_cut_central(g, 0.5, 2);
+  EXPECT_FALSE(r.sampled);  // λ = 2 ⇒ p clamps to 1 ⇒ exact packing
+  EXPECT_EQ(r.cut.value, 2u);
+}
+
+}  // namespace
+}  // namespace dmc

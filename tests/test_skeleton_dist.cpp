@@ -1,0 +1,92 @@
+// Distributed skeleton machinery: coordination-free sampling equals the
+// centralized sampler; the masked connectivity check matches the oracle.
+#include <gtest/gtest.h>
+
+#include "central/skeleton.h"
+#include "congest/primitives/leader_bfs.h"
+#include "core/skeleton_dist.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+
+namespace dmc {
+namespace {
+
+TEST(SkeletonDist, MatchesCentralizedSampler) {
+  const Graph g = make_erdos_renyi(50, 0.15, 3, 1, 20);
+  const double p = 0.4;
+  const std::uint64_t seed = 77;
+  const DistSkeleton d = sample_skeleton_dist(g, p, seed);
+  const Skeleton c = sample_skeleton(g, p, seed);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(d.sampled_w[e], c.sampled_w[e]) << "edge " << e;
+    EXPECT_EQ(d.enabled[e], c.sampled_w[e] > 0);
+  }
+}
+
+struct Ctx {
+  Network net;
+  Schedule sched;
+  TreeView bfs;
+  NodeId leader{kNoNode};
+
+  explicit Ctx(const Graph& g) : net(g), sched(net) {
+    LeaderBfsProtocol lb{g};
+    sched.run_uncharged(lb);
+    bfs = lb.tree_view(g);
+    leader = lb.leader();
+    sched.set_barrier_height(bfs.height(g));
+    sched.charge_barrier();
+  }
+};
+
+TEST(SkeletonDist, ConnectivityMatchesOracle) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Graph g = make_erdos_renyi(40, 0.12, seed);
+    Ctx ctx{g};
+    // Random masks of varying density.
+    for (const double keep : {0.15, 0.4, 0.9}) {
+      const DistSkeleton sk =
+          sample_skeleton_dist(g, keep, seed * 31 + 1);
+      const bool got =
+          skeleton_connected_dist(ctx.sched, ctx.bfs, ctx.leader,
+                                  sk.enabled);
+      std::vector<bool> mask(g.num_edges());
+      for (EdgeId e = 0; e < g.num_edges(); ++e) mask[e] = sk.enabled[e];
+      const BfsResult r = bfs_masked(g, ctx.leader, mask);
+      bool want = true;
+      for (NodeId v = 0; v < g.num_nodes(); ++v)
+        if (r.dist[v] == BfsResult::kUnreached) want = false;
+      EXPECT_EQ(got, want) << "seed " << seed << " keep " << keep;
+    }
+  }
+}
+
+TEST(SkeletonDist, FullMaskAlwaysConnected) {
+  const Graph g = make_grid(6, 6);
+  Ctx ctx{g};
+  EXPECT_TRUE(skeleton_connected_dist(
+      ctx.sched, ctx.bfs, ctx.leader,
+      std::vector<bool>(g.num_edges(), true)));
+}
+
+TEST(SkeletonDist, EmptyMaskDisconnected) {
+  const Graph g = make_grid(4, 4);
+  Ctx ctx{g};
+  EXPECT_FALSE(skeleton_connected_dist(
+      ctx.sched, ctx.bfs, ctx.leader,
+      std::vector<bool>(g.num_edges(), false)));
+}
+
+TEST(SkeletonDist, CutMaskDetected) {
+  // Disable exactly the bridge of a barbell: must report disconnected.
+  const Graph g = make_barbell(12, 1, 1, 5);
+  Ctx ctx{g};
+  std::vector<bool> enabled(g.num_edges(), true);
+  // The single cross edge is the last one added by the generator.
+  enabled[g.num_edges() - 1] = false;
+  EXPECT_FALSE(skeleton_connected_dist(ctx.sched, ctx.bfs, ctx.leader,
+                                       enabled));
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,143 @@
+// Step 3's generic aggregation (x ↦ x↓) verified against the RootedTree
+// oracle for arbitrary per-node values, plus ρ (Step 5) per-node equality.
+#include <gtest/gtest.h>
+
+#include "central/one_respect_dp.h"
+#include "congest/primitives/leader_bfs.h"
+#include "core/ancestors.h"
+#include "core/lca_rho.h"
+#include "core/merging_nodes.h"
+#include "core/subtree_sums.h"
+#include "dist/ghs_mst.h"
+#include "dist/tree_partition.h"
+#include "graph/generators.h"
+#include "util/prng.h"
+
+namespace dmc {
+namespace {
+
+struct Pipeline {
+  Network net;
+  Schedule sched;
+  TreeView bfs;
+  NodeId leader{kNoNode};
+  DistMstResult mst;
+  FragmentStructure fs;
+
+  explicit Pipeline(const Graph& g, std::size_t freeze = 0)
+      : net(g), sched(net) {
+    LeaderBfsProtocol lb{g};
+    sched.run_uncharged(lb);
+    bfs = lb.tree_view(g);
+    leader = lb.leader();
+    sched.set_barrier_height(bfs.height(g));
+    sched.charge_barrier();
+    mst = ghs_mst(sched, bfs, weight_keys(g), freeze);
+    fs = build_fragment_structure(sched, bfs, leader, mst);
+  }
+
+  [[nodiscard]] RootedTree rooted(const Graph& g) const {
+    std::vector<EdgeId> tree;
+    for (EdgeId e = 0; e < g.num_edges(); ++e)
+      if (mst.tree_edge[e]) tree.push_back(e);
+    return RootedTree::from_edges(g, tree, leader);
+  }
+};
+
+TEST(SubtreeSums, ArbitraryValuesMatchOracle) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = make_erdos_renyi(32, 0.2, seed, 1, 7);
+    Pipeline p{g};
+    const AncestorData ad = compute_ancestors(p.sched, p.fs);
+    Prng rng{seed + 50};
+    std::vector<std::uint64_t> value(g.num_nodes());
+    for (auto& x : value) x = rng.next_below(1000);
+    const auto got = subtree_sums(p.sched, p.bfs, p.fs, ad, value);
+    const auto want = p.rooted(g).subtree_sum(value);
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      EXPECT_EQ(got[v], want[v]) << "node " << v << " seed " << seed;
+  }
+}
+
+TEST(SubtreeSums, ZeroAndUnitValues) {
+  const Graph g = make_torus(5, 5);
+  Pipeline p{g};
+  const AncestorData ad = compute_ancestors(p.sched, p.fs);
+  const auto zeros =
+      subtree_sums(p.sched, p.bfs, p.fs, ad,
+                   std::vector<std::uint64_t>(g.num_nodes(), 0));
+  for (const auto x : zeros) EXPECT_EQ(x, 0u);
+  const auto ones =
+      subtree_sums(p.sched, p.bfs, p.fs, ad,
+                   std::vector<std::uint64_t>(g.num_nodes(), 1));
+  const RootedTree t = p.rooted(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    EXPECT_EQ(ones[v], t.subtree_size(v)) << "node " << v;
+  // Root sees everything.
+  EXPECT_EQ(ones[p.leader], g.num_nodes());
+}
+
+TEST(SubtreeSums, TinyFragmentsStillExact) {
+  const Graph g = make_erdos_renyi(30, 0.25, 7, 1, 4);
+  Pipeline p{g, /*freeze=*/2};
+  const AncestorData ad = compute_ancestors(p.sched, p.fs);
+  std::vector<std::uint64_t> value(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) value[v] = v * v + 1;
+  const auto got = subtree_sums(p.sched, p.bfs, p.fs, ad, value);
+  const auto want = p.rooted(g).subtree_sum(value);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(got[v], want[v]);
+}
+
+TEST(Rho, PerNodeMatchesOracleAcrossFamilies) {
+  const Graph graphs[] = {
+      make_erdos_renyi(28, 0.25, 3, 1, 9),
+      make_grid(5, 5),
+      make_cycle(17),
+      make_barbell(20, 2, 3, 5),
+      make_random_tree(24, 2, 1, 6),
+  };
+  for (const Graph& g : graphs) {
+    Pipeline p{g};
+    const AncestorData ad = compute_ancestors(p.sched, p.fs);
+    const TfPrime tfp = compute_merging_nodes(p.sched, p.bfs, p.fs, ad);
+    std::vector<Weight> w(g.num_edges());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) w[e] = g.edge(e).w;
+    const auto rho = compute_rho(p.sched, p.bfs, p.fs, ad, tfp, w);
+    const OneRespectValues oracle = one_respect_dp(g, p.rooted(g));
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      EXPECT_EQ(rho[v], oracle.rho[v]) << "node " << v;
+    // Conservation: every edge's weight lands in exactly one ρ.
+    Weight total = 0;
+    for (const auto r : rho) total += r;
+    EXPECT_EQ(total, g.total_weight());
+  }
+}
+
+TEST(Rho, ZeroWeightsGiveZeroRho) {
+  // The Su-style bridge test feeds 0/1 evaluation weights: all-zero must
+  // propagate cleanly through the keyed pipelines.
+  const Graph g = make_erdos_renyi(24, 0.3, 1);
+  Pipeline p{g};
+  const AncestorData ad = compute_ancestors(p.sched, p.fs);
+  const TfPrime tfp = compute_merging_nodes(p.sched, p.bfs, p.fs, ad);
+  const auto rho = compute_rho(p.sched, p.bfs, p.fs, ad, tfp,
+                               std::vector<Weight>(g.num_edges(), 0));
+  for (const auto r : rho) EXPECT_EQ(r, 0u);
+}
+
+TEST(Rho, IndicatorWeightsCountEdgesByLca) {
+  // Unit weights on a known instance: ρ(v) counts edges whose LCA is v.
+  const Graph g = make_complete(10);
+  Pipeline p{g};
+  const AncestorData ad = compute_ancestors(p.sched, p.fs);
+  const TfPrime tfp = compute_merging_nodes(p.sched, p.bfs, p.fs, ad);
+  std::vector<Weight> unit(g.num_edges(), 1);
+  const auto rho = compute_rho(p.sched, p.bfs, p.fs, ad, tfp, unit);
+  const RootedTree t = p.rooted(g);
+  std::vector<Weight> want(g.num_nodes(), 0);
+  for (const Edge& e : g.edges()) ++want[t.lca(e.u, e.v)];
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(rho[v], want[v]);
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,148 @@
+// RootedTree toolkit tests: Euler tours, LCA, subtree machinery.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/mst.h"
+#include "graph/tree.h"
+#include "util/prng.h"
+
+namespace dmc {
+namespace {
+
+RootedTree sample_tree() {
+  //        0
+  //       / .
+  //      1   2
+  //     / .    .
+  //    3   4    5
+  std::vector<NodeId> parent{kNoNode, 0, 0, 1, 1, 2};
+  std::vector<EdgeId> pe(6, kNoEdge);
+  return RootedTree{parent, pe, 0};
+}
+
+TEST(RootedTree, DepthsAndChildren) {
+  const RootedTree t = sample_tree();
+  EXPECT_EQ(t.depth(0), 0u);
+  EXPECT_EQ(t.depth(1), 1u);
+  EXPECT_EQ(t.depth(3), 2u);
+  EXPECT_EQ(t.height(), 2u);
+  EXPECT_EQ(t.children(0).size(), 2u);
+  EXPECT_EQ(t.children(1).size(), 2u);
+  EXPECT_EQ(t.children(3).size(), 0u);
+}
+
+TEST(RootedTree, AncestorRelation) {
+  const RootedTree t = sample_tree();
+  EXPECT_TRUE(t.is_ancestor(0, 5));
+  EXPECT_TRUE(t.is_ancestor(1, 4));
+  EXPECT_TRUE(t.is_ancestor(2, 2));
+  EXPECT_FALSE(t.is_ancestor(1, 5));
+  EXPECT_FALSE(t.is_ancestor(3, 1));
+}
+
+TEST(RootedTree, Lca) {
+  const RootedTree t = sample_tree();
+  EXPECT_EQ(t.lca(3, 4), 1u);
+  EXPECT_EQ(t.lca(3, 5), 0u);
+  EXPECT_EQ(t.lca(4, 4), 4u);
+  EXPECT_EQ(t.lca(1, 3), 1u);
+  EXPECT_EQ(t.lca(2, 5), 2u);
+}
+
+TEST(RootedTree, SubtreeSizeAndNodes) {
+  const RootedTree t = sample_tree();
+  EXPECT_EQ(t.subtree_size(0), 6u);
+  EXPECT_EQ(t.subtree_size(1), 3u);
+  EXPECT_EQ(t.subtree_size(2), 2u);
+  EXPECT_EQ(t.subtree_size(5), 1u);
+  const auto nodes = t.subtree_nodes(1);
+  EXPECT_EQ(nodes.size(), 3u);
+}
+
+TEST(RootedTree, SubtreeSum) {
+  const RootedTree t = sample_tree();
+  std::vector<std::uint64_t> val{1, 10, 100, 1000, 10000, 100000};
+  const auto sums = t.subtree_sum(val);
+  EXPECT_EQ(sums[3], 1000u);
+  EXPECT_EQ(sums[1], 11010u);
+  EXPECT_EQ(sums[2], 100100u);
+  EXPECT_EQ(sums[0], 111111u);
+}
+
+TEST(RootedTree, BottomUpOrderIsPostorder) {
+  const RootedTree t = sample_tree();
+  const auto& order = t.bottom_up_order();
+  std::vector<bool> seen(6, false);
+  for (const NodeId v : order) {
+    for (const NodeId c : t.children(v)) EXPECT_TRUE(seen[c]);
+    seen[v] = true;
+  }
+  EXPECT_EQ(order.size(), 6u);
+}
+
+TEST(RootedTree, FromEdgesMatchesStructure) {
+  Graph g{4};
+  const EdgeId e01 = g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);  // non-tree
+  const EdgeId e12 = g.add_edge(1, 2, 1);
+  const EdgeId e23 = g.add_edge(2, 3, 1);
+  const RootedTree t = RootedTree::from_edges(g, {e01, e12, e23}, 0);
+  EXPECT_EQ(t.parent(1), 0u);
+  EXPECT_EQ(t.parent(2), 1u);
+  EXPECT_EQ(t.parent(3), 2u);
+  EXPECT_EQ(t.parent_edge(3), e23);
+  EXPECT_EQ(t.height(), 3u);
+}
+
+TEST(RootedTree, FromEdgesRejectsNonSpanning) {
+  Graph g{4};
+  const EdgeId a = g.add_edge(0, 1, 1);
+  const EdgeId b = g.add_edge(2, 3, 1);
+  g.add_edge(1, 2, 1);
+  EXPECT_THROW(RootedTree::from_edges(g, {a, b}, 0), PreconditionError);
+}
+
+TEST(RootedTree, LcaMatchesNaiveOnRandomTrees) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = make_random_tree(60, seed);
+    std::vector<EdgeId> ids(g.num_edges());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) ids[e] = e;
+    const RootedTree t = RootedTree::from_edges(g, ids, 0);
+    Prng rng{seed + 100};
+    for (int q = 0; q < 200; ++q) {
+      const NodeId a = static_cast<NodeId>(rng.next_below(60));
+      const NodeId b = static_cast<NodeId>(rng.next_below(60));
+      // Naive LCA by walking up.
+      NodeId x = a, y = b;
+      while (t.depth(x) > t.depth(y)) x = t.parent(x);
+      while (t.depth(y) > t.depth(x)) y = t.parent(y);
+      while (x != y) {
+        x = t.parent(x);
+        y = t.parent(y);
+      }
+      EXPECT_EQ(t.lca(a, b), x);
+    }
+  }
+}
+
+TEST(EdgeKey, RationalOrder) {
+  // load/w: 1/2 < 2/3 < 1/1; ties broken by id.
+  const EdgeKey a{1, 2, 0};
+  const EdgeKey b{2, 3, 1};
+  const EdgeKey c{1, 1, 2};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);
+  EXPECT_TRUE(a < c);
+  const EdgeKey d{2, 4, 5};  // same ratio as a, larger id
+  EXPECT_TRUE(a < d);
+  EXPECT_FALSE(d < a);
+}
+
+TEST(EdgeKey, ZeroLoadsTieById) {
+  const EdgeKey a{0, 7, 3};
+  const EdgeKey b{0, 2, 4};
+  EXPECT_TRUE(a < b);  // both ratios 0 → id order
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,137 @@
+// Step 1 (fragment structure): rooted orientation, fragment tree T_F,
+// fragment roots, depths — verified against centralized recomputation.
+#include <gtest/gtest.h>
+
+#include "congest/primitives/leader_bfs.h"
+#include "dist/ghs_mst.h"
+#include "dist/tree_partition.h"
+#include "graph/generators.h"
+#include "graph/tree.h"
+
+namespace dmc {
+namespace {
+
+struct Pipeline {
+  Network net;
+  Schedule sched;
+  TreeView bfs;
+  NodeId leader{kNoNode};
+  DistMstResult mst;
+  FragmentStructure fs;
+
+  explicit Pipeline(const Graph& g) : net(g), sched(net) {
+    LeaderBfsProtocol lb{g};
+    sched.run_uncharged(lb);
+    bfs = lb.tree_view(g);
+    leader = lb.leader();
+    sched.set_barrier_height(bfs.height(g));
+    sched.charge_barrier();
+    mst = ghs_mst(sched, bfs, weight_keys(g));
+    fs = build_fragment_structure(sched, bfs, leader, mst);
+  }
+
+  [[nodiscard]] RootedTree rooted(const Graph& g) const {
+    std::vector<EdgeId> tree;
+    for (EdgeId e = 0; e < g.num_edges(); ++e)
+      if (mst.tree_edge[e]) tree.push_back(e);
+    return RootedTree::from_edges(g, tree, leader);
+  }
+};
+
+TEST(FragmentStructure, ParentPortsMatchRootedTree) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = make_erdos_renyi(60, 0.12, seed, 1, 40);
+    Pipeline p{g};
+    const RootedTree t = p.rooted(g);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (v == p.leader) {
+        EXPECT_EQ(p.fs.parent_port_T[v], kNoPort);
+        continue;
+      }
+      const std::uint32_t pp = p.fs.parent_port_T[v];
+      ASSERT_NE(pp, kNoPort);
+      EXPECT_EQ(g.ports(v)[pp].peer, t.parent(v)) << "node " << v;
+    }
+  }
+}
+
+TEST(FragmentStructure, FragmentsFormContiguousSubtrees) {
+  const Graph g = make_erdos_renyi(80, 0.1, 7, 1, 25);
+  Pipeline p{g};
+  const RootedTree t = p.rooted(g);
+  // The fragment root must be the unique "highest" member: every other
+  // member's parent stays within the fragment.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::uint32_t f = p.fs.frag_idx[v];
+    if (p.fs.is_frag_root(v)) continue;
+    EXPECT_EQ(p.fs.frag_idx[t.parent(v)], f) << "node " << v;
+  }
+  // Fragment roots' parents live in the parent fragment.
+  for (std::uint32_t f = 0; f < p.fs.k; ++f) {
+    const NodeId r = p.fs.frag_root_node[f];
+    if (r == p.leader) continue;
+    EXPECT_EQ(p.fs.frag_idx[t.parent(r)], p.fs.frag_parent[f]);
+  }
+}
+
+TEST(FragmentStructure, TfDepthAndAncestry) {
+  const Graph g = make_grid(8, 9);
+  Pipeline p{g};
+  for (std::uint32_t f = 0; f < p.fs.k; ++f) {
+    if (p.fs.frag_parent[f] == kNoFrag) {
+      EXPECT_EQ(p.fs.tf_depth[f], 0u);
+      EXPECT_EQ(p.fs.frag_root_node[f], p.leader);
+    } else {
+      EXPECT_EQ(p.fs.tf_depth[f], p.fs.tf_depth[p.fs.frag_parent[f]] + 1);
+      EXPECT_TRUE(p.fs.tf_is_ancestor(p.fs.frag_parent[f], f));
+      EXPECT_FALSE(p.fs.tf_is_ancestor(f, p.fs.frag_parent[f]));
+    }
+    EXPECT_TRUE(p.fs.tf_is_ancestor(f, f));
+  }
+  // Subtree/closure helpers agree with tf_is_ancestor.
+  for (std::uint32_t f = 0; f < p.fs.k; ++f)
+    for (const std::uint32_t s : p.fs.tf_subtree(f))
+      EXPECT_TRUE(p.fs.tf_is_ancestor(f, s));
+}
+
+TEST(FragmentStructure, DepthInFragmentCountsHopsFromFragmentRoot) {
+  const Graph g = make_erdos_renyi(50, 0.15, 3, 1, 10);
+  Pipeline p{g};
+  const RootedTree t = p.rooted(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const NodeId r = p.fs.frag_root_node[p.fs.frag_idx[v]];
+    EXPECT_EQ(p.fs.depth_in_frag[v], t.depth(v) - t.depth(r)) << "node " << v;
+  }
+}
+
+TEST(FragmentStructure, PortFragIndicesMatchPeers) {
+  const Graph g = make_torus(6, 6);
+  Pipeline p{g};
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    for (std::uint32_t port = 0; port < g.degree(v); ++port)
+      EXPECT_EQ(p.fs.port_frag_idx[v][port],
+                p.fs.frag_idx[g.ports(v)[port].peer]);
+}
+
+TEST(FragmentStructure, DepthKeyOrdersAncestorChains) {
+  const Graph g = make_erdos_renyi(70, 0.1, 11, 1, 15);
+  Pipeline p{g};
+  const RootedTree t = p.rooted(g);
+  // Along any root path, depth keys strictly increase.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v == p.leader) continue;
+    EXPECT_LT(p.fs.depth_key(t.parent(v)), p.fs.depth_key(v));
+  }
+}
+
+TEST(FragmentStructure, TinyGraph) {
+  const Graph g = make_path(4);
+  Pipeline p{g};
+  EXPECT_GE(p.fs.k, 1u);
+  EXPECT_EQ(p.fs.k, p.mst.inter_edges.size() + 1);
+  EXPECT_EQ(p.fs.global_root, p.leader);
+  EXPECT_EQ(p.fs.frag_root_node[p.fs.frag_idx[p.leader]], p.leader);
+}
+
+}  // namespace
+}  // namespace dmc

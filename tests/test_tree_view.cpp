@@ -1,0 +1,111 @@
+// Direct TreeView, CongestStats, and file-IO coverage.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "congest/message.h"
+#include "congest/stats.h"
+#include "congest/tree_view.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+
+namespace dmc {
+namespace {
+
+TEST(TreeView, PathOrientation) {
+  const Graph g = make_path(5);
+  // Root at node 2: 0←1←2→3→4.
+  std::vector<std::uint32_t> pp(5, kNoPort);
+  const auto port_to = [&](NodeId v, NodeId t) -> std::uint32_t {
+    const auto ports = g.ports(v);
+    for (std::uint32_t i = 0; i < ports.size(); ++i)
+      if (ports[i].peer == t) return i;
+    throw std::logic_error{"no port"};
+  };
+  pp[0] = port_to(0, 1);
+  pp[1] = port_to(1, 2);
+  pp[3] = port_to(3, 2);
+  pp[4] = port_to(4, 3);
+  const TreeView tv = TreeView::from_parent_ports(g, pp);
+  EXPECT_TRUE(tv.is_root(2));
+  EXPECT_FALSE(tv.is_root(1));
+  EXPECT_EQ(tv.parent_node(g, 1), 2u);
+  EXPECT_EQ(tv.parent_node(g, 4), 3u);
+  EXPECT_EQ(tv.parent_node(g, 2), kNoNode);
+  EXPECT_EQ(tv.children_ports(2).size(), 2u);
+  EXPECT_EQ(tv.height(g), 2u);
+  const auto d = tv.depths(g);
+  EXPECT_EQ(d[2], 0u);
+  EXPECT_EQ(d[0], 2u);
+  EXPECT_EQ(d[4], 2u);
+}
+
+TEST(TreeView, ForestWithIsolatedRoots) {
+  Graph g{3};
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  // All roots: an edgeless forest view over a connected graph.
+  const TreeView tv =
+      TreeView::from_parent_ports(g, std::vector<std::uint32_t>(3, kNoPort));
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_TRUE(tv.is_root(v));
+    EXPECT_TRUE(tv.children_ports(v).empty());
+  }
+  EXPECT_EQ(tv.height(g), 0u);
+}
+
+TEST(TreeView, RejectsWrongSizes) {
+  const Graph g = make_path(3);
+  EXPECT_THROW(
+      (void)TreeView::from_parent_ports(g, std::vector<std::uint32_t>(2)),
+      PreconditionError);
+}
+
+TEST(CongestStats, PrintContainsBreakdown) {
+  CongestStats s;
+  s.rounds = 10;
+  s.barrier_rounds = 5;
+  s.messages = 42;
+  s.words = 99;
+  s.max_words_per_message = 4;
+  s.per_protocol.push_back(ProtocolStats{"alpha", 7, 30, 60});
+  s.per_protocol.push_back(ProtocolStats{"beta", 3, 12, 39});
+  std::ostringstream os;
+  s.print(os);
+  const std::string t = os.str();
+  EXPECT_NE(t.find("rounds=10"), std::string::npos);
+  EXPECT_NE(t.find("alpha"), std::string::npos);
+  EXPECT_NE(t.find("beta"), std::string::npos);
+  EXPECT_EQ(s.total_rounds(), 15u);
+}
+
+TEST(GraphIoFiles, SaveLoadRoundTrip) {
+  const Graph g = make_erdos_renyi(20, 0.3, 5, 1, 9);
+  const std::string path = "/tmp/dmc_io_test.graph";
+  save_graph(path, g);
+  const Graph h = load_graph(path);
+  ASSERT_EQ(h.num_nodes(), g.num_nodes());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(h.edge(e).u, g.edge(e).u);
+    EXPECT_EQ(h.edge(e).v, g.edge(e).v);
+    EXPECT_EQ(h.edge(e).w, g.edge(e).w);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoFiles, LoadMissingFileThrows) {
+  EXPECT_THROW((void)load_graph("/tmp/definitely_not_here.graph"),
+               PreconditionError);
+}
+
+TEST(MessageLimits, MakeRejectsTooManyWords) {
+  EXPECT_THROW(
+      (void)Message::make(1, {1, 2, 3, 4, 5, 6, 7}), PreconditionError);
+  const Message m = Message::make(1, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m.size, kMaxWords);
+}
+
+}  // namespace
+}  // namespace dmc

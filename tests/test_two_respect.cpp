@@ -1,0 +1,115 @@
+// 2-respect machinery (the Karger-2000 extension): identity checks against
+// brute-forced subtree combinations, exactness of the sampled algorithm.
+#include <gtest/gtest.h>
+
+#include "central/karger2000.h"
+#include "central/stoer_wagner.h"
+#include "central/two_respect_dp.h"
+#include "graph/cut.h"
+#include "graph/generators.h"
+#include "graph/mst.h"
+
+namespace dmc {
+namespace {
+
+/// Brute force the minimum 1/2-respecting cut by enumerating subtree
+/// combinations explicitly.
+Weight brute_two_respect(const Graph& g, const RootedTree& t) {
+  Weight best = static_cast<Weight>(-1);
+  const std::size_t n = g.num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == t.root()) continue;
+    best = std::min(best, cut_value(g, subtree_side(t, v)));
+    for (NodeId w = 0; w < n; ++w) {
+      if (w == t.root() || w == v) continue;
+      std::vector<bool> side(n, false);
+      if (t.is_ancestor(w, v)) {
+        for (NodeId u = 0; u < n; ++u)
+          side[u] = t.is_ancestor(w, u) && !t.is_ancestor(v, u);
+      } else if (!t.is_ancestor(v, w)) {
+        for (NodeId u = 0; u < n; ++u)
+          side[u] = t.is_ancestor(v, u) || t.is_ancestor(w, u);
+      } else {
+        continue;
+      }
+      if (is_nontrivial(side)) best = std::min(best, cut_value(g, side));
+    }
+  }
+  return best;
+}
+
+TEST(TwoRespect, MatchesBruteForceOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Graph g = make_erdos_renyi(18, 0.3, seed, 1, 9);
+    const RootedTree t = RootedTree::from_edges(g, kruskal(g), 0);
+    const TwoRespectResult r = two_respect_min_cut(g, t);
+    EXPECT_EQ(r.value, brute_two_respect(g, t)) << "seed " << seed;
+    EXPECT_EQ(cut_value(g, r.side), r.value);
+  }
+}
+
+TEST(TwoRespect, AtMostOneRespectValue) {
+  // 2-respect can only improve on 1-respect.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = make_erdos_renyi(24, 0.25, seed, 1, 6);
+    const RootedTree t = RootedTree::from_edges(g, kruskal(g), 0);
+    const TwoRespectResult two = two_respect_min_cut(g, t);
+    Weight one = static_cast<Weight>(-1);
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      if (v != t.root())
+        one = std::min(one, cut_value(g, subtree_side(t, v)));
+    EXPECT_LE(two.value, one);
+  }
+}
+
+TEST(TwoRespect, CycleNeedsTwoTreeEdges) {
+  // On a cycle, the tree is a path and every min cut uses exactly two
+  // cycle edges: 1-respect can only see cuts containing the removed edge,
+  // so 2-respect must strictly win on the right instance.
+  const Graph g = with_random_weights(make_cycle(12), 7, 2, 50);
+  const RootedTree t = RootedTree::from_edges(g, kruskal(g), 0);
+  const TwoRespectResult r = two_respect_min_cut(g, t);
+  EXPECT_EQ(r.value, stoer_wagner_min_cut(g).value);
+  EXPECT_NE(r.w, kNoNode) << "the witness must use two tree edges";
+}
+
+TEST(TwoRespect, FindsLambdaOnFirstTreeOfCycle) {
+  // Unlike 1-respect (which may need the packing to rotate), the very
+  // first spanning tree of a cycle already 2-respects the minimum cut.
+  const Graph g = with_random_weights(make_cycle(24), 3, 1, 30);
+  const RootedTree t = RootedTree::from_edges(g, kruskal(g), 0);
+  EXPECT_EQ(two_respect_min_cut(g, t).value,
+            stoer_wagner_min_cut(g).value);
+}
+
+TEST(Karger2000, ExactAcrossFamilies) {
+  const Graph graphs[] = {
+      make_cycle(20),
+      make_barbell(24, 3, 1, 5),
+      make_planted_cut(28, 0.7, 4, 1, 9),
+      make_hypercube(4),
+      make_erdos_renyi(30, 0.25, 2, 1, 8),
+  };
+  for (const Graph& g : graphs) {
+    const Karger2000Result r = karger2000_min_cut(g, 42);
+    EXPECT_EQ(r.cut.value, stoer_wagner_min_cut(g).value);
+    EXPECT_EQ(cut_value(g, r.cut.side), r.cut.value);
+  }
+}
+
+TEST(Karger2000, SamplesOnHeavyGraphs) {
+  const Graph g = make_complete(24, 64);  // λ = 23·64
+  const Karger2000Result r = karger2000_min_cut(g, 7);
+  EXPECT_LT(r.p, 1.0);
+  EXPECT_EQ(r.cut.value, stoer_wagner_min_cut(g).value);
+}
+
+TEST(Karger2000, LogarithmicTreeCount) {
+  const Graph g = make_barbell(32, 2, 5, 3);
+  const Karger2000Result r = karger2000_min_cut(g, 9);
+  EXPECT_LE(r.trees_packed, 64u);
+  EXPECT_EQ(r.cut.value, stoer_wagner_min_cut(g).value);
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,225 @@
+// Unit tests for src/util: prng, dsu, bit_math, table, options.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/assert.h"
+#include "util/bit_math.h"
+#include "util/dsu.h"
+#include "util/options.h"
+#include "util/prng.h"
+#include "util/table.h"
+
+namespace dmc {
+namespace {
+
+TEST(BitMath, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(BitMath, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(4), 2u);
+  EXPECT_EQ(floor_log2(1023), 9u);
+}
+
+TEST(BitMath, DivCeil) {
+  EXPECT_EQ(div_ceil(0, 3), 0u);
+  EXPECT_EQ(div_ceil(1, 3), 1u);
+  EXPECT_EQ(div_ceil(3, 3), 1u);
+  EXPECT_EQ(div_ceil(4, 3), 2u);
+}
+
+TEST(BitMath, Isqrt) {
+  EXPECT_EQ(isqrt(0), 0u);
+  EXPECT_EQ(isqrt(1), 1u);
+  EXPECT_EQ(isqrt(3), 1u);
+  EXPECT_EQ(isqrt(4), 2u);
+  EXPECT_EQ(isqrt(15), 3u);
+  EXPECT_EQ(isqrt(16), 4u);
+  EXPECT_EQ(isqrt(1000000), 1000u);
+  EXPECT_EQ(isqrt_ceil(15), 4u);
+  EXPECT_EQ(isqrt_ceil(16), 4u);
+  EXPECT_EQ(isqrt_ceil(17), 5u);
+}
+
+TEST(BitMath, IsqrtExhaustiveSmall) {
+  for (std::uint64_t x = 0; x < 5000; ++x) {
+    const std::uint64_t r = isqrt(x);
+    EXPECT_LE(r * r, x);
+    EXPECT_GT((r + 1) * (r + 1), x);
+  }
+}
+
+TEST(Assert, ThrowsOnViolation) {
+  EXPECT_THROW(DMC_ASSERT(1 == 2), InvariantError);
+  EXPECT_THROW(DMC_REQUIRE(false), PreconditionError);
+  EXPECT_NO_THROW(DMC_ASSERT(true));
+}
+
+TEST(Prng, Deterministic) {
+  Prng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Prng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Prng, NextBelowInRange) {
+  Prng rng{7};
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);  // all residues hit
+}
+
+TEST(Prng, NextInInclusive) {
+  Prng rng{8};
+  bool low = false, high = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = rng.next_in(3, 6);
+    EXPECT_GE(x, 3u);
+    EXPECT_LE(x, 6u);
+    low |= (x == 3);
+    high |= (x == 6);
+  }
+  EXPECT_TRUE(low);
+  EXPECT_TRUE(high);
+}
+
+TEST(Prng, DoubleInUnitInterval) {
+  Prng rng{9};
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Prng, BernoulliRate) {
+  Prng rng{10};
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Prng, BinomialMean) {
+  Prng rng{11};
+  const std::uint64_t trials = 100;
+  const double p = 0.2;
+  double total = 0;
+  const int reps = 3000;
+  for (int i = 0; i < reps; ++i)
+    total += static_cast<double>(rng.next_binomial(trials, p));
+  EXPECT_NEAR(total / reps, 20.0, 0.8);
+}
+
+TEST(Prng, BinomialEdgeCases) {
+  Prng rng{12};
+  EXPECT_EQ(rng.next_binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.next_binomial(10, 0.0), 0u);
+  EXPECT_EQ(rng.next_binomial(10, 1.0), 10u);
+  for (int i = 0; i < 100; ++i) EXPECT_LE(rng.next_binomial(5, 0.9), 5u);
+}
+
+TEST(Prng, ShufflePermutes) {
+  Prng rng{13};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Prng, Mix64AvalanchesSomewhat) {
+  // Flipping one input bit should flip many output bits.
+  const std::uint64_t a = mix64(0x1234);
+  const std::uint64_t b = mix64(0x1235);
+  EXPECT_GE(__builtin_popcountll(a ^ b), 10);
+}
+
+TEST(Dsu, BasicUnion) {
+  Dsu d{5};
+  EXPECT_EQ(d.components(), 5u);
+  EXPECT_TRUE(d.unite(0, 1));
+  EXPECT_FALSE(d.unite(1, 0));
+  EXPECT_TRUE(d.same(0, 1));
+  EXPECT_FALSE(d.same(0, 2));
+  EXPECT_EQ(d.components(), 4u);
+  EXPECT_EQ(d.component_size(0), 2u);
+}
+
+TEST(Dsu, ChainCollapse) {
+  Dsu d{100};
+  for (std::size_t i = 0; i + 1 < 100; ++i) d.unite(i, i + 1);
+  EXPECT_EQ(d.components(), 1u);
+  EXPECT_EQ(d.component_size(50), 100u);
+  EXPECT_TRUE(d.same(0, 99));
+}
+
+TEST(SparseDsu, ArbitraryKeys) {
+  SparseDsu d;
+  EXPECT_FALSE(d.same(1000000007ull, 42ull));
+  EXPECT_TRUE(d.unite(1000000007ull, 42ull));
+  EXPECT_FALSE(d.unite(42ull, 1000000007ull));
+  EXPECT_TRUE(d.same(1000000007ull, 42ull));
+  EXPECT_TRUE(d.unite(42ull, 7ull));
+  EXPECT_TRUE(d.same(7ull, 1000000007ull));
+}
+
+TEST(Table, AlignsAndCounts) {
+  Table t{{"a", "long_header", "c"}};
+  t.add_row({"1", "2", "3"});
+  t.add_row({Table::cell(std::uint64_t{12345}), Table::cell(3.14159, 2),
+             "x"});
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("long_header"), std::string::npos);
+  EXPECT_NE(s.find("12345"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(Options, ParsesTypes) {
+  const char* argv[] = {"prog", "--n=128", "--eps=0.25", "--flag",
+                        "--name=hello", "--yes=true"};
+  Options o{6, argv};
+  EXPECT_EQ(o.get_uint("n", 0), 128u);
+  EXPECT_DOUBLE_EQ(o.get_double("eps", 0), 0.25);
+  EXPECT_TRUE(o.get_bool("flag", false));
+  EXPECT_TRUE(o.get_bool("yes", false));
+  EXPECT_EQ(o.get_string("name", ""), "hello");
+  EXPECT_EQ(o.get_int("missing", -7), -7);
+  EXPECT_FALSE(o.has("missing"));
+  EXPECT_TRUE(o.has("n"));
+}
+
+TEST(Options, RejectsPositional) {
+  const char* argv[] = {"prog", "positional"};
+  EXPECT_THROW(Options(2, argv), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dmc
