@@ -4,8 +4,11 @@
 // helpers for instance construction.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <iostream>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "congest/network.h"
@@ -29,13 +32,64 @@ struct PipelineRun {
   std::size_t fragments{0};
   std::uint8_t max_words{0};
   std::uint32_t max_edge_msgs{0};
+  double wall_seconds{0.0};   ///< simulator wall-clock for the whole run
+  unsigned engine_threads{1};  ///< engine configuration of the run
+};
+
+/// Machine-readable result line: one JSON object per call, written to
+/// stderr so it composes with the human tables on stdout.  BENCH_*.json
+/// trackers collect these to follow the engine-speedup trajectory:
+///
+///   {"bench":"e1","family":"torus","n":1024,"rounds":812,
+///    "rounds_per_sec":..., "messages_per_sec":..., "peak_words":6, ...}
+class JsonLine {
+ public:
+  explicit JsonLine(const std::string& bench) {
+    os_ << "{\"bench\":\"" << bench << '"';
+  }
+  JsonLine& field(const std::string& key, const std::string& v) {
+    os_ << ",\"" << key << "\":\"" << v << '"';
+    return *this;
+  }
+  JsonLine& field(const std::string& key, double v) {
+    os_ << ",\"" << key << "\":" << v;
+    return *this;
+  }
+  JsonLine& field(const std::string& key, std::uint64_t v) {
+    os_ << ",\"" << key << "\":" << v;
+    return *this;
+  }
+  /// Standard engine-throughput fields derived from one pipeline run.
+  /// Rates are omitted (not fabricated) when the clock under-resolved
+  /// the run, so trend trackers never ingest garbage points.
+  JsonLine& rates(const PipelineRun& r) {
+    field("engine_threads", std::uint64_t{r.engine_threads});
+    field("rounds", r.total_rounds);
+    field("messages", r.messages);
+    field("wall_seconds", r.wall_seconds);
+    if (r.wall_seconds > 0) {
+      field("rounds_per_sec",
+            static_cast<double>(r.total_rounds) / r.wall_seconds);
+      field("messages_per_sec",
+            static_cast<double>(r.messages) / r.wall_seconds);
+    }
+    field("peak_words", std::uint64_t{r.max_words});
+    field("max_edge_msgs", std::uint64_t{r.max_edge_msgs});
+    return *this;
+  }
+  void emit(std::ostream& os = std::cerr) { os << os_.str() << "}\n"; }
+
+ private:
+  std::ostringstream os_;
 };
 
 /// One full Theorem-2.1 pipeline (single tree) with the given fragment
 /// freeze size (0 = ⌈√n⌉).
 inline PipelineRun run_one_respect_pipeline(const Graph& g,
-                                            std::size_t freeze = 0) {
-  Network net{g};
+                                            std::size_t freeze = 0,
+                                            unsigned engine_threads = 1) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Network net{g, make_engine(engine_threads)};
   Schedule sched{net};
   LeaderBfsProtocol lb{g};
   sched.run_uncharged(lb);
@@ -56,6 +110,10 @@ inline PipelineRun run_one_respect_pipeline(const Graph& g,
   out.fragments = fs.k;
   out.max_words = net.stats().max_words_per_message;
   out.max_edge_msgs = net.stats().max_messages_edge_round;
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  out.engine_threads = engine_threads;
   return out;
 }
 

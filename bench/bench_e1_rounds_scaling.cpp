@@ -3,11 +3,20 @@
 // families and sizes.  The paper's claim is Õ(√n + D); the reproduction
 // holds if the rounds/(√n+D) column stays within a polylog band as n grows
 // (rather than growing like √n, which a Θ(n)-round algorithm would show).
+#include <cstdlib>
+
 #include "bench_common.h"
 
 int main() {
   using namespace dmc;
   using namespace dmc::bench;
+  // DMC_ENGINE_THREADS selects the execution engine (1 = sequential,
+  // 0 = all hardware threads) so speedup trajectories are collectable
+  // from the same binary; results are bit-identical either way.
+  const unsigned engine_threads = [] {
+    const char* env = std::getenv("DMC_ENGINE_THREADS");
+    return env ? static_cast<unsigned>(std::atoi(env)) : 1u;
+  }();
   std::cout << "E1: 1-respect pipeline rounds vs sqrt(n)+D (claim: Õ(√n+D))\n\n";
 
   Table t{{"family", "n", "m", "D", "sqrt(n)+D", "rounds", "rounds/(sqrt+D)",
@@ -15,13 +24,20 @@ int main() {
   const auto add = [&](const std::string& family, const Graph& g) {
     const std::uint32_t d = diameter_double_sweep(g);
     const std::uint64_t base = isqrt_ceil(g.num_nodes()) + d;
-    const PipelineRun r = run_one_respect_pipeline(g);
+    const PipelineRun r = run_one_respect_pipeline(g, 0, engine_threads);
     t.add_row({family, Table::cell(g.num_nodes()), Table::cell(g.num_edges()),
                Table::cell(d), Table::cell(base), Table::cell(r.total_rounds),
                Table::cell(static_cast<double>(r.total_rounds) /
                                static_cast<double>(base),
                            1),
                Table::cell(r.fragments)});
+    JsonLine{"e1"}
+        .field("family", family)
+        .field("n", std::uint64_t{g.num_nodes()})
+        .field("m", std::uint64_t{g.num_edges()})
+        .field("diameter", std::uint64_t{d})
+        .rates(r)
+        .emit();
   };
 
   for (const std::size_t n : {64u, 128u, 256u, 512u, 1024u})

@@ -1,0 +1,172 @@
+#include "congest/engine.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "congest/network.h"
+
+namespace dmc {
+
+bool Engine::all_done(const Network& net, const Protocol& p) const {
+  const std::size_t n = net.num_nodes();
+  for (NodeId v = 0; v < n; ++v)
+    if (!p.local_done(v)) return false;
+  return true;
+}
+
+namespace {
+
+/// The ascending-id reference sweep, shared by the sequential engine and
+/// the sharded engine's pool-less single-thread configuration.
+void sweep_all(Network& net, Protocol& p) {
+  net.bind_shard(0);
+  const std::size_t n = net.num_nodes();
+  for (NodeId v = 0; v < n; ++v) net.execute_node(v, p);
+}
+
+class SequentialEngine final : public Engine {
+ public:
+  [[nodiscard]] std::string name() const override { return "sequential"; }
+  [[nodiscard]] std::size_t shard_count() const override { return 1; }
+
+  void execute_round(Network& net, Protocol& p) override {
+    sweep_all(net, p);
+  }
+};
+
+/// Persistent worker pool.  Workers sleep between rounds; every round the
+/// coordinator publishes a job generation, each worker sweeps its own
+/// contiguous node shard, and the coordinator (which doubles as shard 0)
+/// waits for all shards to finish — that rendezvous is the synchronous-
+/// round barrier, and its mutex hand-off is what sequences slot writes
+/// before next round's slot reads.
+class ShardedEngine final : public Engine {
+ public:
+  explicit ShardedEngine(unsigned threads)
+      : threads_(threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                              : threads) {
+    for (unsigned w = 1; w < threads_; ++w)
+      workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+
+  ~ShardedEngine() override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+      ++generation_;
+    }
+    cv_work_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "sharded(" + std::to_string(threads_) + ")";
+  }
+  [[nodiscard]] std::size_t shard_count() const override { return threads_; }
+
+  void execute_round(Network& net, Protocol& p) override {
+    if (threads_ == 1) {
+      sweep_all(net, p);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      net_ = &net;
+      protocol_ = &p;
+      pending_ = threads_ - 1;
+      failed_.store(false, std::memory_order_relaxed);
+      error_ = nullptr;
+      ++generation_;
+    }
+    cv_work_.notify_all();
+    try {
+      run_shard(net, p, 0);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+      failed_.store(true, std::memory_order_relaxed);
+    }
+    {
+      // Wait for every worker even on failure: they hold references to
+      // net/p and must be quiesced before the exception unwinds them.
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_done_.wait(lock, [this] { return pending_ == 0; });
+      if (error_) std::rethrow_exception(error_);
+    }
+  }
+
+ private:
+  void run_shard(Network& net, Protocol& p, unsigned shard) {
+    net.bind_shard(shard);
+    const std::size_t n = net.num_nodes();
+    const std::size_t chunk = (n + threads_ - 1) / threads_;
+    const std::size_t lo = std::min<std::size_t>(n, shard * chunk);
+    const std::size_t hi = std::min<std::size_t>(n, lo + chunk);
+    for (std::size_t v = lo; v < hi; ++v) {
+      if (failed_.load(std::memory_order_relaxed)) return;
+      net.execute_node(static_cast<NodeId>(v), p);
+    }
+  }
+
+  void worker_loop(unsigned shard) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      Network* net;
+      Protocol* p;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_work_.wait(lock, [&] { return generation_ != seen; });
+        seen = generation_;
+        if (stop_) return;
+        net = net_;
+        p = protocol_;
+      }
+      try {
+        run_shard(*net, *p, shard);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!error_) error_ = std::current_exception();
+        failed_.store(true, std::memory_order_relaxed);
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_ == 0) cv_done_.notify_one();
+      }
+    }
+  }
+
+  const unsigned threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_{0};
+  unsigned pending_{0};
+  bool stop_{false};
+  Network* net_{nullptr};
+  Protocol* protocol_{nullptr};
+  std::atomic<bool> failed_{false};
+  std::exception_ptr error_;
+};
+
+}  // namespace
+
+std::unique_ptr<Engine> make_sequential_engine() {
+  return std::make_unique<SequentialEngine>();
+}
+
+std::unique_ptr<Engine> make_sharded_engine(unsigned threads) {
+  return std::make_unique<ShardedEngine>(threads);
+}
+
+std::unique_ptr<Engine> make_engine(unsigned threads) {
+  if (threads == 1) return make_sequential_engine();
+  return make_sharded_engine(threads);
+}
+
+}  // namespace dmc

@@ -1,0 +1,78 @@
+// Pluggable round-execution engines for the CONGEST simulator.
+//
+// A Network delegates the per-round node sweep to an Engine.  Two
+// implementations ship:
+//
+//   * SequentialEngine — the classic deterministic ascending-id loop;
+//   * ShardedEngine    — a persistent worker pool that partitions the node
+//     range into contiguous shards and executes them concurrently.
+//
+// Both produce BIT-IDENTICAL protocol results and statistics.  The
+// argument (see DESIGN.md):
+//
+//   1. the model allows ≤ 1 message per directed edge per round, so every
+//      delivery has a fixed slot keyed by (receiver, receiver port) — a
+//      send is a write to a location no other sender may touch this round;
+//   2. node programs only mutate state indexed by the node being executed
+//      (the locality discipline of protocol.h), so executing nodes in any
+//      order — or concurrently — is unobservable;
+//   3. statistics are merged from per-shard counters with commutative,
+//      associative reductions (sum / max), so the totals are
+//      order-independent too.
+//
+// Engines are stateless with respect to a particular Network; one engine
+// instance may serve many runs (the sharded pool persists across rounds
+// and runs, so thread start-up cost is paid once per Network, not once per
+// round).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace dmc {
+
+class Network;
+class Protocol;
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Number of independent stat-counter blocks the engine writes into
+  /// (one per shard).  The Network pre-sizes its per-round counters with
+  /// this before every round.
+  [[nodiscard]] virtual std::size_t shard_count() const = 0;
+
+  /// Executes `p.round(v, mailbox)` exactly once for every node of the
+  /// network.  Must be observably equivalent to the ascending-id
+  /// sequential sweep; with slot-addressed mailboxes any schedule is.
+  /// Exceptions thrown by node programs must propagate to the caller.
+  virtual void execute_round(Network& net, Protocol& p) = 0;
+
+  /// True iff every node reports `local_done`.  The default sequential
+  /// scan is engine-agnostic; engines may override with a partitioned
+  /// scan if it ever dominates.
+  [[nodiscard]] virtual bool all_done(const Network& net,
+                                      const Protocol& p) const;
+};
+
+/// The deterministic single-threaded reference engine.
+[[nodiscard]] std::unique_ptr<Engine> make_sequential_engine();
+
+/// The sharded multi-threaded engine.  `threads == 0` picks the hardware
+/// concurrency; `threads == 1` degenerates to the sequential sweep (no
+/// worker pool is spawned).
+[[nodiscard]] std::unique_ptr<Engine> make_sharded_engine(
+    unsigned threads = 0);
+
+/// Convenience for option structs: 1 → sequential, else sharded(threads).
+[[nodiscard]] std::unique_ptr<Engine> make_engine(unsigned threads);
+
+}  // namespace dmc

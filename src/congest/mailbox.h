@@ -1,8 +1,16 @@
 // Per-node, per-round view of the network: delivered messages and the send
-// API.  Constructed by the Network for each node each round.
+// API.  Constructed by the Network (via its Engine) for each node each
+// round.
+//
+// Deliveries live in fixed slots — one per directed edge, CSR-indexed by
+// (receiver, receiver port) — so the inbox is not a materialized list but a
+// zero-copy view over the node's slot range.  A slot holds this round's
+// message iff its stamp equals the delivering round's token; iteration
+// skips empty slots and therefore yields messages in ascending port order
+// by construction (no sort, no allocation).
 #pragma once
 
-#include <span>
+#include <cstdint>
 
 #include "congest/message.h"
 #include "graph/graph.h"
@@ -11,16 +19,74 @@ namespace dmc {
 
 class Network;
 
+/// Iterable view over the messages delivered to one node this round.
+class InboxView {
+ public:
+  class iterator {
+   public:
+    using value_type = Delivery;
+    using difference_type = std::ptrdiff_t;
+    using reference = const Delivery&;
+
+    iterator(const InboxView* view, std::uint32_t i) : view_(view), i_(i) {
+      skip_empty();
+    }
+
+    [[nodiscard]] reference operator*() const { return view_->slots_[i_]; }
+    [[nodiscard]] const Delivery* operator->() const {
+      return &view_->slots_[i_];
+    }
+    iterator& operator++() {
+      ++i_;
+      skip_empty();
+      return *this;
+    }
+    [[nodiscard]] friend bool operator==(const iterator& a,
+                                         const iterator& b) {
+      return a.i_ == b.i_;
+    }
+    [[nodiscard]] friend bool operator!=(const iterator& a,
+                                         const iterator& b) {
+      return a.i_ != b.i_;
+    }
+
+   private:
+    void skip_empty() {
+      while (i_ < view_->degree_ && view_->stamps_[i_] != view_->token_)
+        ++i_;
+    }
+    const InboxView* view_;
+    std::uint32_t i_;
+  };
+
+  InboxView() = default;
+  InboxView(const Delivery* slots, const std::uint64_t* stamps,
+            std::uint32_t degree, std::uint64_t token)
+      : slots_(slots), stamps_(stamps), degree_(degree), token_(token) {}
+
+  [[nodiscard]] iterator begin() const { return iterator{this, 0}; }
+  [[nodiscard]] iterator end() const { return iterator{this, degree_}; }
+  [[nodiscard]] bool empty() const { return begin() == end(); }
+
+ private:
+  friend class iterator;
+  const Delivery* slots_{nullptr};
+  const std::uint64_t* stamps_{nullptr};
+  std::uint32_t degree_{0};
+  std::uint64_t token_{0};
+};
+
 class Mailbox {
  public:
-  Mailbox(Network& net, NodeId self, std::span<const Delivery> inbox)
+  Mailbox(Network& net, NodeId self, InboxView inbox)
       : net_(&net), self_(self), inbox_(inbox) {}
 
   /// Messages delivered to this node this round, ordered by port.
-  [[nodiscard]] std::span<const Delivery> inbox() const { return inbox_; }
+  [[nodiscard]] const InboxView& inbox() const { return inbox_; }
 
   /// Sends m over the given local port (index into graph().ports(self)).
-  /// At most one send per port per round (enforced).
+  /// At most one send per port per round (enforced).  Zero heap
+  /// allocations: the message is written straight into its delivery slot.
   void send(std::uint32_t port, const Message& m);
 
   [[nodiscard]] NodeId self() const { return self_; }
@@ -31,7 +97,7 @@ class Mailbox {
  private:
   Network* net_;
   NodeId self_;
-  std::span<const Delivery> inbox_;
+  InboxView inbox_;
 };
 
 }  // namespace dmc

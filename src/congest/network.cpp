@@ -4,15 +4,56 @@
 
 namespace dmc {
 
-Network::Network(const Graph& g) : g_(&g) {
+namespace {
+/// Where send_from routes this thread's stat updates.  Rebound by the
+/// engine (via Network::bind_shard) at the start of every round, so the
+/// pointer never dangles across rounds or Networks.
+thread_local Network* tls_net = nullptr;
+thread_local std::size_t tls_shard = 0;
+}  // namespace
+
+Network::Network(const Graph& g, std::unique_ptr<Engine> engine)
+    : g_(&g),
+      engine_(engine ? std::move(engine) : make_sequential_engine()) {
   const std::size_t n = g.num_nodes();
-  inbox_.resize(n);
-  pending_.resize(n);
   port_base_.resize(n + 1, 0);
   for (NodeId v = 0; v < n; ++v)
-    port_base_[v + 1] = port_base_[v] +
-                        static_cast<std::uint32_t>(g.degree(v));
-  sent_this_round_.assign(port_base_[n], 0);
+    port_base_[v + 1] =
+        port_base_[v] + static_cast<std::uint32_t>(g.degree(v));
+  const std::uint32_t slots = port_base_[n];
+
+  // Reverse-port table: directed port (v, i) → the peer's slot for the
+  // same edge.  Built in one pass by pairing the two directed copies of
+  // each edge; kills the O(degree) reverse scan the send path used to do.
+  reverse_slot_.assign(slots, 0);
+  {
+    std::vector<std::uint32_t> first_dir(g.num_edges(),
+                                         ~std::uint32_t{0});
+    for (NodeId v = 0; v < n; ++v) {
+      const auto ports = g.ports(v);
+      for (std::uint32_t i = 0; i < ports.size(); ++i) {
+        const std::uint32_t dir = port_base_[v] + i;
+        std::uint32_t& other = first_dir[ports[i].edge];
+        if (other == ~std::uint32_t{0}) {
+          other = dir;
+        } else {
+          reverse_slot_[dir] = other;
+          reverse_slot_[other] = dir;
+        }
+      }
+    }
+  }
+
+  // Delivery slots: the port field of slot (u, i) is i forever; only the
+  // message payload is rewritten by sends.
+  for (auto& plane : slots_) {
+    plane.resize(slots);
+    for (NodeId v = 0; v < n; ++v)
+      for (std::uint32_t i = 0; i < g.degree(v); ++i)
+        plane[port_base_[v] + i].port = i;
+  }
+  for (auto& plane : stamps_) plane.assign(slots, kNeverStamp);
+  counters_.resize(engine_->shard_count());
 }
 
 void Mailbox::send(std::uint32_t port, const Message& m) {
@@ -23,91 +64,84 @@ std::size_t Mailbox::num_ports() const {
   return net_->graph().degree(self_);
 }
 
+void Network::bind_shard(std::size_t shard) {
+  DMC_ASSERT(shard < counters_.size());
+  tls_net = this;
+  tls_shard = shard;
+}
+
 void Network::send_from(NodeId from, std::uint32_t port, const Message& m) {
   DMC_REQUIRE(from < g_->num_nodes());
   DMC_REQUIRE_MSG(port < g_->degree(from),
                   "node " << from << " has no port " << port);
   DMC_REQUIRE_MSG(m.size <= kMaxWords, "message exceeds word budget");
 
-  // One message per directed edge per round.
-  std::uint32_t& marker = sent_this_round_[port_base_[from] + port];
-  DMC_REQUIRE_MSG(marker != round_token_,
-                  "node " << from << " sent twice on port " << port
-                          << " in one round");
-  marker = round_token_;
+  const std::size_t parity = round_ & 1;
+  const std::uint32_t slot = reverse_slot_[port_base_[from] + port];
+  std::uint64_t& stamp = stamps_[parity][slot];
 
-  const Port p = g_->ports(from)[port];
-  // Find the reverse port index at the peer (cached lookup would be an
-  // optimization; degree scans are fine at this scale).
-  std::uint32_t reverse = 0;
-  {
-    const auto peer_ports = g_->ports(p.peer);
-    bool found = false;
-    for (std::uint32_t i = 0; i < peer_ports.size(); ++i) {
-      if (peer_ports[i].edge == p.edge) {
-        reverse = i;
-        found = true;
-        break;
-      }
-    }
-    DMC_ASSERT(found);
+  // Observed per-directed-edge congestion this round: derived from slot
+  // occupancy (not assumed), so E7 certifies the ≤ 1 legality bound.
+  DMC_ASSERT(tls_net == this);
+  ShardCounters& c = counters_[tls_shard];
+  const std::uint32_t occupancy = stamp == round_ ? 2 : 1;
+  c.max_edge_msgs = std::max(c.max_edge_msgs, occupancy);
+  DMC_REQUIRE_MSG(occupancy == 1, "node " << from << " sent twice on port "
+                                          << port << " in one round");
+
+  stamp = round_;
+  slots_[parity][slot].msg = m;
+  ++c.messages;
+  c.words += m.size;
+  c.max_words = std::max(c.max_words, m.size);
+}
+
+void Network::execute_node(NodeId v, Protocol& p) {
+  const std::size_t read_parity = (round_ - 1) & 1;
+  const std::uint32_t base = port_base_[v];
+  Mailbox mb{*this, v,
+             InboxView{slots_[read_parity].data() + base,
+                       stamps_[read_parity].data() + base,
+                       port_base_[v + 1] - base, round_ - 1}};
+  p.round(v, mb);
+}
+
+void Network::begin_round() {
+  ++round_;
+  for (ShardCounters& c : counters_) c = ShardCounters{};
+}
+
+std::uint64_t Network::end_round() {
+  std::uint64_t sent = 0;
+  for (const ShardCounters& c : counters_) {
+    sent += c.messages;
+    stats_.messages += c.messages;
+    stats_.words += c.words;
+    stats_.max_words_per_message =
+        std::max(stats_.max_words_per_message, c.max_words);
+    stats_.max_messages_edge_round =
+        std::max(stats_.max_messages_edge_round, c.max_edge_msgs);
   }
-  pending_[p.peer].push_back(Delivery{reverse, m});
-  ++in_flight_;
-  ++stats_.messages;
-  stats_.words += m.size;
-  stats_.max_words_per_message =
-      std::max(stats_.max_words_per_message, m.size);
+  return sent;
 }
 
 std::uint64_t Network::run(Protocol& p, std::uint64_t max_rounds) {
   if (max_rounds == 0)
     max_rounds = 64 * (g_->num_nodes() + g_->num_edges()) + 1024;
 
-  const std::size_t n = g_->num_nodes();
   std::uint64_t executed = 0;
   const std::uint64_t messages_before = stats_.messages;
   const std::uint64_t words_before = stats_.words;
 
   for (;;) {
-    // Deliver last round's sends.
-    for (NodeId v = 0; v < n; ++v) {
-      inbox_[v].clear();
-      std::swap(inbox_[v], pending_[v]);
-      std::sort(inbox_[v].begin(), inbox_[v].end(),
-                [](const Delivery& a, const Delivery& b) {
-                  return a.port < b.port;
-                });
-    }
-    in_flight_ = 0;
-    ++round_token_;
-
-    // Execute every node.
-    for (NodeId v = 0; v < n; ++v) {
-      Mailbox mb{*this, v, std::span<const Delivery>{inbox_[v]}};
-      p.round(v, mb);
-    }
+    begin_round();
+    engine_->execute_round(*this, p);
+    const std::uint64_t sent = end_round();
     ++executed;
     ++stats_.rounds;
 
-    // Worst per-edge congestion: the send-twice check above enforces ≤ 1
-    // message per directed edge per round, so the observed maximum is 1
-    // whenever any message was sent.  E7 reports this observed value.
-    if (in_flight_ > 0)
-      stats_.max_messages_edge_round =
-          std::max<std::uint32_t>(stats_.max_messages_edge_round, 1);
-
-    // Quiescent?
-    if (in_flight_ == 0) {
-      bool all_done = true;
-      for (NodeId v = 0; v < n; ++v) {
-        if (!p.local_done(v)) {
-          all_done = false;
-          break;
-        }
-      }
-      if (all_done) break;
-    }
+    // Quiescent?  Nothing in flight and every node locally done.
+    if (sent == 0 && engine_->all_done(*this, p)) break;
 
     DMC_ASSERT_MSG(executed < max_rounds,
                    "protocol '" << p.name() << "' exceeded " << max_rounds

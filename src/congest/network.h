@@ -4,18 +4,29 @@
 //   * rounds are synchronous; in each round every node runs local
 //     computation, then sends ≤ 1 message of ≤ kMaxWords words per incident
 //     edge direction; messages are delivered at the start of the next round;
-//   * the engine iterates nodes deterministically (ascending id) — node
-//     programs may not read each other's state, so the order is
-//     unobservable, but it makes simulations bit-reproducible;
+//   * node programs may not read each other's state, so the execution order
+//     within a round is unobservable — the Network delegates the sweep to a
+//     pluggable Engine (sequential or sharded; both bit-reproducible);
 //   * a protocol run ends at quiescence: no message in flight and every
 //     node `local_done`.  Real deployments detect this with an explicit
 //     barrier over a BFS tree; see Schedule for how those rounds are
 //     charged.
+//
+// Mail is slot-addressed: the "≤ 1 message per directed edge per round"
+// rule means every delivery has a fixed slot, CSR-indexed by (receiver,
+// receiver port).  Sending writes the message straight into the peer slot
+// found via a reverse-port table precomputed at construction — O(1), no
+// allocation, no sort, no contention under the sharded engine.  Two slot
+// planes alternate by round parity (writes go to plane r&1, reads come
+// from the previous round's plane), and occupancy is tracked by per-slot
+// round stamps so nothing is ever cleared between rounds.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "congest/engine.h"
 #include "congest/mailbox.h"
 #include "congest/message.h"
 #include "congest/protocol.h"
@@ -26,10 +37,12 @@ namespace dmc {
 
 class Network {
  public:
-  explicit Network(const Graph& g);
+  /// `engine == nullptr` picks the sequential reference engine.
+  explicit Network(const Graph& g, std::unique_ptr<Engine> engine = nullptr);
 
   [[nodiscard]] const Graph& graph() const { return *g_; }
   [[nodiscard]] std::size_t num_nodes() const { return g_->num_nodes(); }
+  [[nodiscard]] const Engine& engine() const { return *engine_; }
 
   /// Runs one protocol to quiescence.  Returns the number of rounds
   /// executed.  Throws InvariantError if `max_rounds` is exceeded (deadlock
@@ -40,21 +53,48 @@ class Network {
   [[nodiscard]] const CongestStats& stats() const { return stats_; }
   [[nodiscard]] CongestStats& stats() { return stats_; }
 
+  // --- engine hooks (called by Engine implementations only) -------------
+
+  /// Routes this thread's stat updates to counter block `shard`.  Engines
+  /// call it once per worker per round, before executing any node.
+  void bind_shard(std::size_t shard);
+
+  /// Builds node v's mailbox over its delivery slots and runs its step.
+  void execute_node(NodeId v, Protocol& p);
+
  private:
   friend class Mailbox;
+
+  /// Per-shard, per-round statistics; merged with commutative reductions
+  /// at the end of every round, so totals are schedule-independent.
+  /// Padded to a cache line to avoid false sharing between workers.
+  struct alignas(64) ShardCounters {
+    std::uint64_t messages{0};
+    std::uint64_t words{0};
+    std::uint8_t max_words{0};
+    std::uint32_t max_edge_msgs{0};
+  };
+
   void send_from(NodeId from, std::uint32_t port, const Message& m);
+  void begin_round();
+  /// Folds shard counters into stats_; returns messages sent this round.
+  std::uint64_t end_round();
 
   const Graph* g_;
+  std::unique_ptr<Engine> engine_;
   CongestStats stats_;
 
-  // Double-buffered mail: `pending_` holds messages sent this round,
-  // delivered next round into `inbox_`.
-  std::vector<std::vector<Delivery>> inbox_;
-  std::vector<std::vector<Delivery>> pending_;
-  std::vector<std::uint32_t> sent_this_round_;  // per directed port marker
-  std::vector<std::uint32_t> port_base_;        // node → directed-port offset
-  std::uint64_t in_flight_{0};
-  std::uint32_t round_token_{0};
+  // Flat CSR mail slots, one per directed edge, in two planes alternated
+  // by round parity.  slot port fields are filled once at construction;
+  // stamps_ start at kNeverStamp so nothing predates round 1.
+  static constexpr std::uint64_t kNeverStamp = ~std::uint64_t{0};
+  std::vector<std::uint32_t> port_base_;   ///< node → directed-slot offset
+  std::vector<std::uint32_t> reverse_slot_;  ///< directed port → peer slot
+  std::vector<Delivery> slots_[2];
+  std::vector<std::uint64_t> stamps_[2];
+
+  std::uint64_t round_{0};  ///< 1-based; write token of the current round
+  std::vector<ShardCounters> counters_;
 };
 
 }  // namespace dmc

@@ -11,6 +11,13 @@
 // nodes by an earlier protocol).  The orchestrator-with-state-vectors
 // layout is an implementation convenience; the message layer is the only
 // inter-node channel.
+//
+// The discipline is also the parallel-execution contract: the sharded
+// Engine runs `round(v, ·)` for different v concurrently, so state written
+// during round(v, ·) must be indexed by v (and deliveries are written into
+// per-directed-edge slots that only the executing sender may touch).  Every
+// protocol honouring the discipline is automatically engine-agnostic and
+// bit-reproducible; see engine.h.
 #pragma once
 
 #include <string>

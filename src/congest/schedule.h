@@ -14,6 +14,15 @@
 // ack-based BFS construction lets the root detect completion within
 // O(height) rounds without a pre-existing tree.  Drivers run it with
 // run_uncharged(), then set_barrier_height(h), then charge_barrier().
+//
+// A second legitimate use of run_uncharged + charge_barrier is a phase
+// whose sub-steps have DETERMINISTIC round budgets known to every node
+// (e.g. the controlled-GHS super-phases of dist/ghs_mst, bounded by the
+// globally known freeze size): real nodes proceed after the fixed budget,
+// so only one barrier per phase is owed, not one per sub-step.
+//
+// Charges are engine-independent: the underlying Network produces
+// bit-identical round counts under the sequential and sharded engines.
 #pragma once
 
 #include <cstdint>
@@ -44,6 +53,7 @@ class Schedule {
   void charge_barrier();
 
   [[nodiscard]] Network& network() { return *net_; }
+  [[nodiscard]] const Network& network() const { return *net_; }
   [[nodiscard]] const CongestStats& stats() const { return net_->stats(); }
 
   /// Real + charged rounds so far.

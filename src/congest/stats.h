@@ -17,6 +17,9 @@ struct ProtocolStats {
   std::uint64_t rounds{0};
   std::uint64_t messages{0};
   std::uint64_t words{0};
+
+  [[nodiscard]] friend bool operator==(const ProtocolStats&,
+                                       const ProtocolStats&) = default;
 };
 
 struct CongestStats {
@@ -32,6 +35,13 @@ struct CongestStats {
   [[nodiscard]] std::uint64_t total_rounds() const {
     return rounds + barrier_rounds;
   }
+
+  /// Stats are aggregated with commutative reductions from per-shard
+  /// counters, so two runs under different engines (or thread counts) must
+  /// compare equal field for field — the engine-equivalence tests rely on
+  /// this being exact, not approximate.
+  [[nodiscard]] friend bool operator==(const CongestStats&,
+                                       const CongestStats&) = default;
 
   void print(std::ostream& os) const;
 };

@@ -10,7 +10,7 @@ namespace dmc {
 DistMinCutResult exact_min_cut_dist(const Graph& g,
                                     const ExactMinCutOptions& opt) {
   DMC_REQUIRE(g.num_nodes() >= 2);
-  Network net{g};
+  Network net{g, make_engine(opt.engine_threads)};
   Schedule sched{net};
 
   LeaderBfsProtocol lb{g};

@@ -21,6 +21,10 @@ namespace dmc {
 struct ExactMinCutOptions {
   std::size_t max_trees{48};
   std::size_t patience{12};
+  /// Simulation backend: 1 = sequential reference engine, 0 = sharded
+  /// executor over all hardware threads, k > 1 = sharded over k threads.
+  /// Results and stats are bit-identical for every setting (engine.h).
+  unsigned engine_threads{1};
 };
 
 struct DistMinCutResult {

@@ -1,0 +1,463 @@
+#include "dist/ghs_mst.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "congest/network.h"
+#include "congest/primitives/aggregate_broadcast.h"
+#include "congest/primitives/convergecast.h"
+#include "congest/primitives/pairwise_exchange.h"
+#include "util/bit_math.h"
+#include "util/dsu.h"
+#include "util/prng.h"
+
+namespace dmc {
+
+namespace {
+
+// --- exact in-message edge-key encoding ---------------------------------
+//
+// EdgeKey orders edges by the rational load/w (cross-multiplied exactly),
+// tie-broken by id.  Messages need that order as a lexicographic word
+// tuple, so we ship q = ⌊load·2⁶⁴/w⌋ as (hi, lo).  This is EXACT: two keys
+// with equal q have equal ratios, because distinct ratios a/b ≠ c/d with
+// b, d ≤ kMaxWeight = 2³²−1 differ by at least 1/(bd) > 2⁻⁶⁴, while equal
+// q bounds the difference strictly below 2⁻⁶⁴.  Loads stay below 2²⁶
+// (tree-packing caps at 2²⁰ trees plus the 2²⁵ disabled bump), so
+// load·2⁶⁴ < 2⁹⁰ fits unsigned __int128.
+struct RatioKey {
+  Word hi{0};
+  Word lo{0};
+};
+
+RatioKey ratio_key(const EdgeKey& k) {
+  DMC_ASSERT(k.w >= 1);
+  const unsigned __int128 q =
+      (static_cast<unsigned __int128>(k.load) << 64) / k.w;
+  return RatioKey{static_cast<Word>(q >> 64), static_cast<Word>(q)};
+}
+
+/// (hi, lo, edge<<32 | extra) — lexicographic AggItem-payload order equals
+/// the EdgeKey total order because ties in (hi, lo) mean equal ratios and
+/// the edge id occupies the top 32 payload bits of the last word.
+std::array<Word, 3> moe_payload(const EdgeKey& k, EdgeId e, NodeId extra) {
+  const RatioKey r = ratio_key(k);
+  return {r.hi, r.lo, (Word{e} << 32) | extra};
+}
+
+// --- per-super-phase merge-request protocol -----------------------------
+//
+// Round 1: the node owning its fragment's minimum outgoing edge announces
+// ⟨my fragment⟩ over that edge.  Round 2: the receiving endpoint reads the
+// request; both sides now hold identical information (the peer's fragment,
+// status and coin are globally derivable or were exchanged this phase) and
+// reach the same merge decision without further communication.
+class MergeRequestProtocol final : public Protocol {
+ public:
+  struct Request {
+    NodeId node{kNoNode};      ///< the sending MOE owner
+    std::uint32_t port{0};     ///< the owner's port for the MOE edge
+    NodeId frag{kNoNode};      ///< the owner's fragment
+  };
+
+  MergeRequestProtocol(const Graph& g, std::vector<Request> requests)
+      : step_(g.num_nodes(), 0), received_(g.num_nodes()) {
+    for (const Request& r : requests) outgoing_[r.node] = r;
+  }
+
+  [[nodiscard]] std::string name() const override { return "merge_request"; }
+
+  void round(NodeId v, Mailbox& mb) override {
+    for (const Delivery& d : mb.inbox())
+      received_[v].push_back({v, d.port, static_cast<NodeId>(d.msg.at(0))});
+    if (step_[v] == 0) {
+      const auto it = outgoing_.find(v);
+      if (it != outgoing_.end())
+        mb.send(it->second.port, Message::make(kTag, {it->second.frag}));
+    }
+    ++step_[v];
+  }
+
+  [[nodiscard]] bool local_done(NodeId v) const override {
+    return step_[v] >= 1;
+  }
+
+  /// Requests delivered to v: (receiver, receiver port, requesting
+  /// fragment).
+  [[nodiscard]] const std::vector<Request>& received(NodeId v) const {
+    return received_[v];
+  }
+
+ private:
+  static constexpr std::uint32_t kTag = 0x6d72;  // "mr"
+  std::unordered_map<NodeId, Request> outgoing_;
+  std::vector<std::uint8_t> step_;
+  std::vector<std::vector<Request>> received_;
+};
+
+// --- merge flood --------------------------------------------------------
+//
+// Every TAIL fragment re-roots at its attachment node and adopts the
+// absorbing fragment's id; the new id floods from the attachment node
+// through the fragment's (old) phase-1 tree, and each node's new
+// intra-fragment parent is the port the flood arrived on — the flood IS
+// the re-rooting.  Star merges keep floods inside disjoint old fragments,
+// so all of them run concurrently in O(max fragment diameter) rounds.
+class MergeFloodProtocol final : public Protocol {
+ public:
+  struct Seed {
+    NodeId node{kNoNode};
+    NodeId new_frag{kNoNode};
+    std::uint32_t parent_port{kNoPort};  ///< port of the merge edge
+  };
+
+  MergeFloodProtocol(const Graph& g,
+                     const std::vector<std::vector<std::uint32_t>>& p1_ports,
+                     const std::vector<Seed>& seeds)
+      : p1_ports_(&p1_ports),
+        started_(g.num_nodes(), 0),
+        new_frag_(g.num_nodes(), kNoNode),
+        new_parent_(g.num_nodes(), kNoPort) {
+    for (const Seed& s : seeds) seed_[s.node] = s;
+  }
+
+  [[nodiscard]] std::string name() const override { return "merge_flood"; }
+
+  void round(NodeId v, Mailbox& mb) override {
+    if (!started_[v]) {
+      started_[v] = 1;
+      const auto it = seed_.find(v);
+      if (it != seed_.end()) {
+        new_frag_[v] = it->second.new_frag;
+        new_parent_[v] = it->second.parent_port;
+        for (const std::uint32_t p : (*p1_ports_)[v])
+          mb.send(p, Message::make(kTag, {new_frag_[v]}));
+      }
+    }
+    for (const Delivery& d : mb.inbox()) {
+      DMC_ASSERT_MSG(new_frag_[v] == kNoNode,
+                     "merge flood reached node " << v << " twice");
+      new_frag_[v] = static_cast<NodeId>(d.msg.at(0));
+      new_parent_[v] = d.port;
+      for (const std::uint32_t p : (*p1_ports_)[v])
+        if (p != d.port) mb.send(p, Message::make(kTag, {new_frag_[v]}));
+    }
+  }
+
+  [[nodiscard]] bool local_done(NodeId v) const override {
+    return started_[v] != 0;
+  }
+
+  [[nodiscard]] NodeId new_frag(NodeId v) const { return new_frag_[v]; }
+  [[nodiscard]] std::uint32_t new_parent(NodeId v) const {
+    return new_parent_[v];
+  }
+
+ private:
+  static constexpr std::uint32_t kTag = 0x6d66;  // "mf"
+  const std::vector<std::vector<std::uint32_t>>* p1_ports_;
+  std::unordered_map<NodeId, Seed> seed_;
+  std::vector<std::uint8_t> started_;
+  std::vector<NodeId> new_frag_;
+  std::vector<std::uint32_t> new_parent_;
+};
+
+/// Packs a node's fragment id and phase-start status bits into one word
+/// for the per-phase pairwise status exchange.
+Word pack_status(NodeId frag, bool frozen, bool saturated) {
+  return Word{frag} | (Word{frozen} << 32) | (Word{saturated} << 33);
+}
+
+}  // namespace
+
+DistMstResult ghs_mst(Schedule& sched, const TreeView& bfs,
+                      const std::vector<EdgeKey>& keys, std::size_t freeze,
+                      std::uint64_t seed) {
+  Network& net = sched.network();
+  const Graph& g = net.graph();
+  const std::size_t n = g.num_nodes();
+  DMC_REQUIRE(keys.size() == g.num_edges());
+  const std::size_t S = freeze == 0 ? isqrt_ceil(n) : freeze;
+  const std::size_t kSaturation = 4 * S;
+
+  DistMstResult out;
+  out.tree_edge.assign(g.num_edges(), false);
+  out.phase1_edge.assign(g.num_edges(), false);
+  out.fragment_of.resize(n);
+  for (NodeId v = 0; v < n; ++v) out.fragment_of[v] = v;
+
+  // Local per-node state mirrored by the protocols: intra-fragment tree
+  // ports and the parent port within the fragment (kNoPort at roots).
+  std::vector<std::vector<std::uint32_t>> p1_ports(n);
+  std::vector<std::uint32_t> frag_parent_port(n, kNoPort);
+
+  // Per-fragment bookkeeping, indexed by leader node id (made global per
+  // phase by the census broadcast).
+  std::vector<std::uint32_t> frag_size(n, 1);
+  std::vector<std::uint8_t> self_frozen(n, 0);
+  const auto is_frozen = [&](NodeId f) {
+    return frag_size[f] >= S || self_frozen[f] != 0;
+  };
+  const auto is_saturated = [&](NodeId f) {
+    return frag_size[f] >= kSaturation;
+  };
+  const auto coin_is_head = [&](std::uint32_t phase, NodeId f) {
+    return (derive_seed(seed, phase + 1, f) & 1) != 0;
+  };
+
+  const auto frag_forest_view = [&] {
+    return TreeView::from_parent_ports(
+        g, std::vector<std::uint32_t>(frag_parent_port));
+  };
+
+  std::size_t num_fragments = n;
+
+  // ---------------------------------------------------------------------
+  // Phase 1: controlled GHS.  Each super-phase costs O(S) rounds of
+  // pipelined intra-fragment work plus O(1) edge exchanges; its sub-steps
+  // have deterministic round budgets known to every node (S and the
+  // saturation cap are global), so a real deployment needs no per-step
+  // termination detection — we charge one barrier per super-phase.
+  // ---------------------------------------------------------------------
+  const std::uint32_t kMaxSuperphases =
+      6 * (ceil_log2(std::max<std::size_t>(n, 2)) + 2) + 16;
+  for (;;) {
+    if (num_fragments <= 1) break;
+    bool any_active = false;
+    for (NodeId v = 0; v < n; ++v)
+      if (out.fragment_of[v] == v && !is_frozen(v)) {
+        any_active = true;
+        break;
+      }
+    if (!any_active || out.superphases >= kMaxSuperphases) break;
+    const std::uint32_t phase = out.superphases;
+
+    // (a) status exchange: every edge learns both endpoints' fragment and
+    // phase-start status (2 rounds, one word).
+    std::vector<std::vector<NodeId>> port_frag(n);
+    std::vector<std::vector<std::uint8_t>> port_frozen(n), port_sat(n);
+    {
+      std::vector<std::vector<std::vector<Word>>> outgoing(n);
+      for (NodeId v = 0; v < n; ++v) {
+        const NodeId f = out.fragment_of[v];
+        outgoing[v].assign(g.degree(v),
+                           {pack_status(f, is_frozen(f), is_saturated(f))});
+      }
+      PairwiseExchangeProtocol px{g, std::move(outgoing)};
+      sched.run_uncharged(px);
+      for (NodeId v = 0; v < n; ++v) {
+        port_frag[v].resize(g.degree(v));
+        port_frozen[v].resize(g.degree(v));
+        port_sat[v].resize(g.degree(v));
+        for (std::uint32_t p = 0; p < g.degree(v); ++p) {
+          const Word w = px.received(v, p).at(0);
+          port_frag[v][p] = static_cast<NodeId>(w & 0xffffffffu);
+          port_frozen[v][p] = (w >> 32) & 1;
+          port_sat[v][p] = (w >> 33) & 1;
+        }
+      }
+    }
+
+    // (b) minimum outgoing edge per active fragment: keyed min-merge up
+    // the fragment tree, result pipelined back to every member.
+    std::map<NodeId, std::pair<EdgeId, std::uint64_t>> moe;
+    {
+      std::vector<std::vector<AggItem>> contrib(n);
+      for (NodeId v = 0; v < n; ++v) {
+        const NodeId f = out.fragment_of[v];
+        if (is_frozen(f)) continue;
+        EdgeId best = kNoEdge;
+        for (std::uint32_t p = 0; p < g.degree(v); ++p) {
+          if (port_frag[v][p] == f) continue;
+          const EdgeId e = g.ports(v)[p].edge;
+          if (best == kNoEdge || keys[e] < keys[best]) best = e;
+        }
+        if (best != kNoEdge)
+          contrib[v].push_back(AggItem{0, moe_payload(keys[best], best, 0)});
+      }
+      const TreeView forest = frag_forest_view();
+      AggregateBroadcastProtocol bc{
+          g, forest,
+          AggOptions{AggOp::kMin, /*deliver_all=*/true, false, false},
+          std::move(contrib)};
+      sched.run_uncharged(bc);
+      // The MOE owner is the unique member with the winning edge on a
+      // port; record (edge, owner port) per fragment.
+      for (NodeId v = 0; v < n; ++v) {
+        const NodeId f = out.fragment_of[v];
+        if (is_frozen(f) || bc.items(v).empty()) continue;
+        const EdgeId e =
+            static_cast<EdgeId>(bc.items(v)[0].p[2] >> 32);
+        for (std::uint32_t p = 0; p < g.degree(v); ++p)
+          if (g.ports(v)[p].edge == e && port_frag[v][p] != f)
+            moe[f] = {e, (Word{v} << 32) | p};
+      }
+    }
+
+    // (c) merge requests over the chosen edges (2 rounds).
+    {
+      std::vector<MergeRequestProtocol::Request> reqs;
+      for (const auto& [f, owner] : moe)
+        reqs.push_back({static_cast<NodeId>(owner.second >> 32),
+                        static_cast<std::uint32_t>(owner.second &
+                                                   0xffffffffu),
+                        f});
+      MergeRequestProtocol mr{g, std::move(reqs)};
+      sched.run_uncharged(mr);
+    }
+
+    // (d) decide merges.  Only TAIL fragments move; HEAD and frozen
+    // fragments are immovable, so every merge tree is a star.  Both
+    // endpoints of a request edge reach this decision from the same
+    // information; the orchestrator computes it once.
+    std::vector<MergeFloodProtocol::Seed> seeds;
+    std::vector<EdgeId> merge_edges;
+    for (const auto& [f, m] : moe) {
+      const auto [e, packed] = m;
+      const NodeId v = static_cast<NodeId>(packed >> 32);
+      const std::uint32_t p = static_cast<std::uint32_t>(packed &
+                                                         0xffffffffu);
+      const NodeId target = port_frag[v][p];
+      bool move = false;
+      if (port_frozen[v][p]) {
+        if (port_sat[v][p]) {
+          // Saturated absorber: the MST edge is deferred to phase 2 and f
+          // permanently stands down (the rare "self-frozen straggler").
+          self_frozen[f] = 1;
+        } else {
+          move = !coin_is_head(phase, f);
+        }
+      } else {
+        move = !coin_is_head(phase, f) && coin_is_head(phase, target);
+      }
+      if (move) {
+        seeds.push_back({v, target, p});
+        merge_edges.push_back(e);
+      }
+    }
+
+    // (e) flood the new fragment ids through the moved fragments.
+    {
+      MergeFloodProtocol mf{g, p1_ports, seeds};
+      sched.run_uncharged(mf);
+      for (NodeId v = 0; v < n; ++v) {
+        if (mf.new_frag(v) == kNoNode) continue;
+        out.fragment_of[v] = mf.new_frag(v);
+        frag_parent_port[v] = mf.new_parent(v);
+      }
+      for (std::size_t i = 0; i < seeds.size(); ++i) {
+        const EdgeId e = merge_edges[i];
+        out.tree_edge[e] = out.phase1_edge[e] = true;
+        const NodeId v = seeds[i].node;
+        const std::uint32_t vp = seeds[i].parent_port;
+        p1_ports[v].push_back(vp);
+        // The absorbing endpoint adds its side of the new tree edge.
+        const NodeId u = g.ports(v)[vp].peer;
+        for (std::uint32_t q = 0; q < g.degree(u); ++q)
+          if (g.ports(u)[q].edge == e) p1_ports[u].push_back(q);
+      }
+      num_fragments -= seeds.size();
+    }
+
+    // (f) census: every member learns its fragment's new size (and hence
+    // the frozen/saturated flags the next phase starts from).
+    {
+      std::vector<CValue> init(n, CValue{1, 0});
+      const TreeView forest = frag_forest_view();
+      ConvergecastProtocol cc{g, forest, CombineOp::kSum, std::move(init),
+                              /*broadcast_result=*/true};
+      sched.run_uncharged(cc);
+      for (NodeId v = 0; v < n; ++v)
+        if (out.fragment_of[v] == v)
+          frag_size[v] = static_cast<std::uint32_t>(cc.tree_value(v).w0);
+    }
+
+    ++out.superphases;
+    sched.charge_barrier();
+  }
+  out.num_fragments = num_fragments;
+
+  // ---------------------------------------------------------------------
+  // Phase 2: pipelined Borůvka over the fragment graph.  Components are
+  // tracked by an identical DSU at every node (merge lists are global
+  // knowledge after each broadcast), so outgoing-edge tests are local.
+  // ---------------------------------------------------------------------
+  if (num_fragments > 1) {
+    // Final fragment ids per port (one exchange; phase-1 statuses are
+    // stale after the last merge wave).
+    std::vector<std::vector<NodeId>> port_frag(n);
+    {
+      std::vector<std::vector<std::vector<Word>>> outgoing(n);
+      for (NodeId v = 0; v < n; ++v)
+        outgoing[v].assign(g.degree(v), {Word{out.fragment_of[v]}});
+      PairwiseExchangeProtocol px{g, std::move(outgoing)};
+      sched.run(px);
+      for (NodeId v = 0; v < n; ++v) {
+        port_frag[v].resize(g.degree(v));
+        for (std::uint32_t p = 0; p < g.degree(v); ++p)
+          port_frag[v][p] = static_cast<NodeId>(px.received(v, p).at(0));
+      }
+    }
+
+    Dsu comp(n);
+    std::size_t comps = num_fragments;
+    const std::uint32_t kMaxIterations = ceil_log2(n) + 2;
+    for (std::uint32_t iter = 0; comps > 1; ++iter) {
+      DMC_ASSERT_MSG(iter < kMaxIterations,
+                     "Borůvka failed to converge — disconnected graph?");
+      std::vector<std::vector<AggItem>> contrib(n);
+      for (NodeId v = 0; v < n; ++v) {
+        const NodeId c = static_cast<NodeId>(comp.find(out.fragment_of[v]));
+        EdgeId best = kNoEdge;
+        NodeId best_target = kNoNode;
+        for (std::uint32_t p = 0; p < g.degree(v); ++p) {
+          if (static_cast<NodeId>(comp.find(port_frag[v][p])) == c) continue;
+          const EdgeId e = g.ports(v)[p].edge;
+          if (best == kNoEdge || keys[e] < keys[best]) {
+            best = e;
+            best_target = port_frag[v][p];
+          }
+        }
+        if (best != kNoEdge)
+          contrib[v].push_back(
+              AggItem{c, moe_payload(keys[best], best, best_target)});
+      }
+      AggregateBroadcastProtocol bc{
+          g, bfs, AggOptions{AggOp::kMin, /*deliver_all=*/true, false, false},
+          std::move(contrib)};
+      sched.run(bc);
+
+      // Everyone merges the announced component MOEs identically, in key
+      // order (items arrive sorted).
+      for (const AggItem& it : bc.items(0)) {
+        const NodeId c = static_cast<NodeId>(it.key);
+        const EdgeId e = static_cast<EdgeId>(it.p[2] >> 32);
+        const NodeId target =
+            static_cast<NodeId>(it.p[2] & 0xffffffffu);
+        if (comp.find(c) == comp.find(target)) {
+          // The mutual-MOE pair announced the same edge twice; the first
+          // announcement already united them.
+          continue;
+        }
+        comp.unite(c, target);
+        --comps;
+        out.tree_edge[e] = true;
+        const Edge& ed = g.edge(e);
+        out.inter_edges.push_back(InterFragmentEdge{
+            e, ed.u, ed.v, out.fragment_of[ed.u], out.fragment_of[ed.v]});
+      }
+    }
+  }
+
+  // Sanity: exactly n-1 tree edges on a connected graph.
+  std::size_t tree_count = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    tree_count += out.tree_edge[e] ? 1 : 0;
+  DMC_ASSERT_MSG(tree_count + 1 == n || n == 0,
+                 "distributed MST incomplete: " << tree_count
+                                                << " edges for n=" << n);
+  return out;
+}
+
+}  // namespace dmc

@@ -1,0 +1,71 @@
+// Distributed minimum spanning tree in Õ(√n + D) rounds — the controlled
+// GHS + pipelined-Borůvka construction of Kutten–Peleg / Garay–Kutten–
+// Peleg, which is Step 1's workhorse in the paper.
+//
+// Phase 1 (controlled GHS): fragments start as singletons and repeatedly
+// merge along their minimum-key outgoing edge, but a fragment FREEZES once
+// it reaches `freeze` nodes (default ⌈√n⌉), capping both fragment count
+// (O(√n)) and fragment diameter (O(√n)) — exactly the (√n, O(√n))
+// partition Theorem 2.1 needs.  Merges follow a coin-flip star schedule
+// (seeded, deterministic): only TAIL fragments move, onto HEAD or frozen
+// targets, so merge trees have depth 1 and diameters grow additively.
+// Frozen fragments keep absorbing until they saturate at 4·freeze nodes;
+// a fragment whose merge target is saturated freezes itself (its MST edge
+// is found by phase 2 instead — exactness never depends on phase 1).
+//
+// Phase 2 (pipelined Borůvka): the surviving inter-fragment MST edges are
+// computed in O(log n) Borůvka iterations over the fragment graph; each
+// iteration pipelines the per-component minimum outgoing edges up and down
+// the O(D)-height BFS tree.  Edge keys are compared EXACTLY under the
+// tie-broken total order of mst.h (load/weight by cross-multiplication,
+// then id): in-message keys use a 128-bit fixed-point encoding of
+// load·2⁶⁴/w whose lexicographic order provably coincides with the
+// rational order for w < 2³² (see ghs_mst.cpp), so the distributed tree is
+// bit-identical to centralized Kruskal under the same keys.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/schedule.h"
+#include "congest/tree_view.h"
+#include "graph/mst.h"
+
+namespace dmc {
+
+/// One MST edge between two phase-1 fragments (a tree edge chosen by
+/// phase 2).  Fragment ids are the ids of their leader nodes.
+struct InterFragmentEdge {
+  EdgeId eid{kNoEdge};
+  NodeId node_a{kNoNode};
+  NodeId node_b{kNoNode};
+  NodeId frag_a{kNoNode};
+  NodeId frag_b{kNoNode};
+};
+
+struct DistMstResult {
+  /// Per-edge MST membership (the union of both phases).
+  std::vector<bool> tree_edge;
+  /// The subset chosen during controlled-GHS phase 1 (intra-fragment).
+  std::vector<bool> phase1_edge;
+  /// Phase-1 fragment of every node, named by its leader node's id.
+  std::vector<NodeId> fragment_of;
+  std::size_t num_fragments{0};
+  /// Phase-1 super-phases executed (O(log n) by construction).
+  std::uint32_t superphases{0};
+  /// tree_edge minus phase1_edge, with endpoint/fragment bookkeeping.
+  std::vector<InterFragmentEdge> inter_edges;
+};
+
+/// Runs the distributed MST under the given per-edge key order.  `keys`
+/// must be globally consistent (same vector at every node — the repo's
+/// protocols get it from broadcast weights or locally derivable loads).
+/// `freeze == 0` picks ⌈√n⌉.  `seed` drives only the merge-coin schedule:
+/// the resulting tree is seed-independent (the MST is unique under the
+/// total order), the fragment partition is not.
+[[nodiscard]] DistMstResult ghs_mst(Schedule& sched, const TreeView& bfs,
+                                    const std::vector<EdgeKey>& keys,
+                                    std::size_t freeze = 0,
+                                    std::uint64_t seed = 0x5eed);
+
+}  // namespace dmc

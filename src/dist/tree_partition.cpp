@@ -1,0 +1,422 @@
+#include "dist/tree_partition.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "congest/network.h"
+#include "congest/primitives/aggregate_broadcast.h"
+#include "congest/primitives/pairwise_exchange.h"
+
+namespace dmc {
+
+namespace {
+
+/// Orientation flood: each fragment's T-root announces depth 0 and the
+/// wave rolls down the fragment's phase-1 tree; a node's parent port is
+/// the port the wave arrived on and its depth-in-fragment is the carried
+/// hop count.  All fragments flood concurrently on disjoint edges, so the
+/// cost is O(max fragment diameter) = O(√n) rounds.
+class OrientFloodProtocol final : public Protocol {
+ public:
+  struct Seed {
+    NodeId node{kNoNode};
+    std::uint32_t parent_port{kNoPort};  ///< attachment port (kNoPort at the
+                                         ///< global root)
+  };
+
+  OrientFloodProtocol(const Graph& g,
+                      const std::vector<std::vector<std::uint32_t>>& p1_ports,
+                      const std::vector<Seed>& seeds)
+      : p1_ports_(&p1_ports),
+        started_(g.num_nodes(), 0),
+        depth_(g.num_nodes(), kUnset),
+        parent_port_(g.num_nodes(), kNoPort) {
+    for (const Seed& s : seeds) seed_[s.node] = s.parent_port;
+  }
+
+  [[nodiscard]] std::string name() const override { return "orient_flood"; }
+
+  void round(NodeId v, Mailbox& mb) override {
+    if (!started_[v]) {
+      started_[v] = 1;
+      const auto it = seed_.find(v);
+      if (it != seed_.end()) {
+        depth_[v] = 0;
+        parent_port_[v] = it->second;
+        for (const std::uint32_t p : (*p1_ports_)[v])
+          mb.send(p, Message::make(kTag, {1}));
+      }
+    }
+    for (const Delivery& d : mb.inbox()) {
+      DMC_ASSERT_MSG(depth_[v] == kUnset,
+                     "orientation flood reached node " << v << " twice");
+      depth_[v] = static_cast<std::uint32_t>(d.msg.at(0));
+      parent_port_[v] = d.port;
+      for (const std::uint32_t p : (*p1_ports_)[v])
+        if (p != d.port) mb.send(p, Message::make(kTag, {depth_[v] + 1}));
+    }
+  }
+
+  [[nodiscard]] bool local_done(NodeId v) const override {
+    return started_[v] != 0;
+  }
+
+  [[nodiscard]] std::uint32_t depth(NodeId v) const { return depth_[v]; }
+  [[nodiscard]] std::uint32_t parent_port(NodeId v) const {
+    return parent_port_[v];
+  }
+
+ private:
+  static constexpr std::uint32_t kTag = 0x6f66;  // "of"
+  static constexpr std::uint32_t kUnset = static_cast<std::uint32_t>(-1);
+  const std::vector<std::vector<std::uint32_t>>* p1_ports_;
+  std::unordered_map<NodeId, std::uint32_t> seed_;
+  std::vector<std::uint8_t> started_;
+  std::vector<std::uint32_t> depth_;
+  std::vector<std::uint32_t> parent_port_;
+};
+
+/// Assembles every derived field of a FragmentStructure from the per-node
+/// quantities the protocols (or the centralized oracle) produced.  Pure
+/// local computation over global knowledge — charges nothing.
+FragmentStructure finalize(const Graph& g, NodeId root, std::uint32_t k,
+                           std::vector<std::uint32_t> frag_idx,
+                           std::vector<std::uint32_t> parent_port,
+                           std::vector<std::uint32_t> depth_in_frag,
+                           std::vector<std::uint32_t> depth_T,
+                           std::vector<NodeId> frag_root_node,
+                           std::vector<std::uint32_t> frag_parent,
+                           std::vector<EdgeId> frag_parent_eid,
+                           std::vector<std::vector<std::uint32_t>>
+                               port_frag_idx) {
+  const std::size_t n = g.num_nodes();
+  FragmentStructure fs;
+  fs.k = k;
+  fs.global_root = root;
+  fs.frag_idx = std::move(frag_idx);
+  fs.parent_port_T = parent_port;
+  fs.depth_in_frag = std::move(depth_in_frag);
+  fs.depth_T = std::move(depth_T);
+  fs.frag_root_node = std::move(frag_root_node);
+  fs.frag_parent = std::move(frag_parent);
+  fs.frag_parent_eid = std::move(frag_parent_eid);
+  fs.port_frag_idx = std::move(port_frag_idx);
+
+  // T and the fragment forest as local tree views.
+  fs.t_view = TreeView::from_parent_ports(g, parent_port);
+  std::vector<std::uint32_t> forest_pp = std::move(parent_port);
+  for (NodeId v = 0; v < n; ++v)
+    if (fs.frag_root_node[fs.frag_idx[v]] == v) forest_pp[v] = kNoPort;
+  fs.frag_forest = TreeView::from_parent_ports(g, std::move(forest_pp));
+
+  // T_F depths and Euler intervals (iterative DFS, children in dense
+  // order for determinism).
+  std::vector<std::vector<std::uint32_t>> tf_children(fs.k);
+  std::uint32_t tf_root = kNoFrag;
+  for (std::uint32_t f = 0; f < fs.k; ++f) {
+    if (fs.frag_parent[f] == kNoFrag)
+      tf_root = f;
+    else
+      tf_children[fs.frag_parent[f]].push_back(f);
+  }
+  DMC_ASSERT(tf_root != kNoFrag);
+  fs.tf_depth.assign(fs.k, 0);
+  fs.tf_tin.assign(fs.k, 0);
+  fs.tf_tout.assign(fs.k, 0);
+  std::uint32_t clock = 0;
+  std::vector<std::pair<std::uint32_t, std::size_t>> stack{{tf_root, 0}};
+  while (!stack.empty()) {
+    auto& [f, child] = stack.back();
+    if (child == 0) fs.tf_tin[f] = clock++;
+    if (child < tf_children[f].size()) {
+      const std::uint32_t c = tf_children[f][child++];
+      fs.tf_depth[c] = fs.tf_depth[f] + 1;
+      stack.emplace_back(c, 0);
+    } else {
+      fs.tf_tout[f] = clock;
+      stack.pop_back();
+    }
+  }
+  DMC_ASSERT_MSG(clock == fs.k, "T_F is not a single tree");
+  return fs;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> FragmentStructure::tf_subtree(
+    std::uint32_t a) const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t f = 0; f < k; ++f)
+    if (tf_is_ancestor(a, f)) out.push_back(f);
+  return out;
+}
+
+std::vector<std::uint32_t> FragmentStructure::closure(
+    const std::vector<std::uint32_t>& frags) const {
+  std::vector<std::uint32_t> out;
+  for (const std::uint32_t f : frags)
+    for (std::uint32_t s = 0; s < k; ++s)
+      if (tf_is_ancestor(f, s)) out.push_back(s);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+FragmentStructure build_fragment_structure(Schedule& sched,
+                                           const TreeView& bfs,
+                                           NodeId leader,
+                                           const DistMstResult& mst) {
+  Network& net = sched.network();
+  const Graph& g = net.graph();
+  const std::size_t n = g.num_nodes();
+  DMC_REQUIRE(mst.fragment_of.size() == n);
+
+  // --- (1) make the fragment tree global: broadcast the O(√n) inter-
+  //     fragment edges over the BFS tree ---
+  {
+    std::vector<std::vector<AggItem>> contrib(n);
+    for (const InterFragmentEdge& ie : mst.inter_edges) {
+      const NodeId announcer = std::min(ie.node_a, ie.node_b);
+      contrib[announcer].push_back(
+          AggItem{ie.eid,
+                  {ie.node_a, ie.node_b,
+                   (Word{ie.frag_a} << 32) | ie.frag_b}});
+    }
+    AggregateBroadcastProtocol bc{
+        g, bfs, AggOptions{AggOp::kUnique, /*deliver_all=*/true, false,
+                           false},
+        std::move(contrib)};
+    sched.run(bc);
+  }
+  // Every node now derives the same global picture; the orchestrator
+  // computes it once from the same broadcast data.
+  std::vector<NodeId> frag_leaders;
+  for (NodeId v = 0; v < n; ++v)
+    if (mst.fragment_of[v] == v) frag_leaders.push_back(v);
+  std::sort(frag_leaders.begin(), frag_leaders.end());
+  const std::uint32_t k = static_cast<std::uint32_t>(frag_leaders.size());
+  DMC_ASSERT(k == mst.num_fragments);
+  const auto dense = [&](NodeId leader_id) {
+    const auto it = std::lower_bound(frag_leaders.begin(),
+                                     frag_leaders.end(), leader_id);
+    DMC_ASSERT(it != frag_leaders.end() && *it == leader_id);
+    return static_cast<std::uint32_t>(it - frag_leaders.begin());
+  };
+
+  std::vector<std::uint32_t> frag_idx(n);
+  for (NodeId v = 0; v < n; ++v) frag_idx[v] = dense(mst.fragment_of[v]);
+
+  // Root T_F at the leader's fragment and orient every inter edge.
+  const std::uint32_t root_frag = frag_idx[leader];
+  std::vector<std::vector<std::pair<std::uint32_t, std::size_t>>> tf_adj(k);
+  for (std::size_t i = 0; i < mst.inter_edges.size(); ++i) {
+    const InterFragmentEdge& ie = mst.inter_edges[i];
+    tf_adj[dense(ie.frag_a)].emplace_back(dense(ie.frag_b), i);
+    tf_adj[dense(ie.frag_b)].emplace_back(dense(ie.frag_a), i);
+  }
+  std::vector<std::uint32_t> frag_parent(k, kNoFrag);
+  std::vector<EdgeId> frag_parent_eid(k, kNoEdge);
+  std::vector<NodeId> frag_root_node(k, kNoNode);
+  frag_root_node[root_frag] = leader;
+  {
+    std::vector<std::uint8_t> seen(k, 0);
+    std::vector<std::uint32_t> queue{root_frag};
+    seen[root_frag] = 1;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const std::uint32_t f = queue[head];
+      for (const auto& [child, i] : tf_adj[f]) {
+        if (seen[child]) continue;
+        seen[child] = 1;
+        const InterFragmentEdge& ie = mst.inter_edges[i];
+        frag_parent[child] = f;
+        frag_parent_eid[child] = ie.eid;
+        frag_root_node[child] =
+            dense(ie.frag_a) == child ? ie.node_a : ie.node_b;
+        queue.push_back(child);
+      }
+    }
+    DMC_ASSERT_MSG(queue.size() == k, "fragment tree is disconnected");
+  }
+
+  // --- (2) orient every fragment from its T-root over phase-1 edges ---
+  std::vector<std::vector<std::uint32_t>> p1_ports(n);
+  for (NodeId v = 0; v < n; ++v)
+    for (std::uint32_t p = 0; p < g.degree(v); ++p)
+      if (mst.phase1_edge[g.ports(v)[p].edge]) p1_ports[v].push_back(p);
+
+  std::vector<std::uint32_t> parent_port(n, kNoPort);
+  std::vector<std::uint32_t> depth_in_frag(n, 0);
+  {
+    std::vector<OrientFloodProtocol::Seed> seeds;
+    for (std::uint32_t f = 0; f < k; ++f) {
+      const NodeId r = frag_root_node[f];
+      std::uint32_t attach = kNoPort;
+      if (f != root_frag) {
+        for (std::uint32_t p = 0; p < g.degree(r); ++p)
+          if (g.ports(r)[p].edge == frag_parent_eid[f]) attach = p;
+        DMC_ASSERT(attach != kNoPort);
+      }
+      seeds.push_back({r, attach});
+    }
+    OrientFloodProtocol flood{g, p1_ports, seeds};
+    sched.run(flood);
+    for (NodeId v = 0; v < n; ++v) {
+      DMC_ASSERT_MSG(flood.depth(v) != static_cast<std::uint32_t>(-1),
+                     "fragment of node " << v << " not spanned by phase-1 "
+                                            "edges");
+      parent_port[v] = flood.parent_port(v);
+      depth_in_frag[v] = flood.depth(v);
+    }
+  }
+
+  // --- (3) neighbors' fragments: one pairwise exchange ---
+  std::vector<std::vector<std::uint32_t>> port_frag_idx(n);
+  {
+    std::vector<std::vector<std::vector<Word>>> outgoing(n);
+    for (NodeId v = 0; v < n; ++v)
+      outgoing[v].assign(g.degree(v), {Word{frag_idx[v]}});
+    PairwiseExchangeProtocol px{g, std::move(outgoing)};
+    sched.run(px);
+    for (NodeId v = 0; v < n; ++v) {
+      port_frag_idx[v].resize(g.degree(v));
+      for (std::uint32_t p = 0; p < g.degree(v); ++p)
+        port_frag_idx[v][p] =
+            static_cast<std::uint32_t>(px.received(v, p).at(0));
+    }
+  }
+
+  // --- (4) global depths: broadcast each attachment's depth within the
+  //     parent fragment, then base offsets accumulate down T_F ---
+  std::vector<std::uint32_t> depth_T(n, 0);
+  {
+    std::vector<std::vector<AggItem>> contrib(n);
+    for (std::uint32_t f = 0; f < k; ++f) {
+      if (f == root_frag) continue;
+      const NodeId child_end = frag_root_node[f];
+      const Edge& e = g.edge(frag_parent_eid[f]);
+      const NodeId parent_end = e.u == child_end ? e.v : e.u;
+      contrib[parent_end].push_back(
+          AggItem{f, {depth_in_frag[parent_end], 0, 0}});
+    }
+    AggregateBroadcastProtocol bc{
+        g, bfs, AggOptions{AggOp::kUnique, /*deliver_all=*/true, false,
+                           false},
+        std::move(contrib)};
+    sched.run(bc);
+
+    std::vector<std::uint32_t> base(k, 0);
+    const auto& items = bc.items(0);
+    const auto attach_depth = [&](std::uint32_t f) -> std::uint32_t {
+      const auto it = std::lower_bound(
+          items.begin(), items.end(), Word{f},
+          [](const AggItem& a, Word key) { return a.key < key; });
+      DMC_ASSERT(it != items.end() && it->key == f);
+      return static_cast<std::uint32_t>(it->p[0]);
+    };
+    // Process fragments by increasing T_F depth via BFS from the root.
+    std::vector<std::vector<std::uint32_t>> children(k);
+    for (std::uint32_t f = 0; f < k; ++f)
+      if (frag_parent[f] != kNoFrag) children[frag_parent[f]].push_back(f);
+    std::vector<std::uint32_t> queue{root_frag};
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const std::uint32_t f = queue[head];
+      for (const std::uint32_t c : children[f]) {
+        base[c] = base[f] + attach_depth(c) + 1;
+        queue.push_back(c);
+      }
+    }
+    for (NodeId v = 0; v < n; ++v)
+      depth_T[v] = base[frag_idx[v]] + depth_in_frag[v];
+  }
+
+  return finalize(g, leader, k, std::move(frag_idx), std::move(parent_port),
+                  std::move(depth_in_frag), std::move(depth_T),
+                  std::move(frag_root_node), std::move(frag_parent),
+                  std::move(frag_parent_eid), std::move(port_frag_idx));
+}
+
+FragmentStructure make_fragment_structure_centralized(
+    const Graph& g, const std::vector<EdgeId>& tree_edges, NodeId root,
+    const std::vector<std::uint32_t>& frag) {
+  const std::size_t n = g.num_nodes();
+  DMC_REQUIRE(frag.size() == n);
+  DMC_REQUIRE(tree_edges.size() + 1 == n);
+
+  // Orient the tree at `root` (BFS over tree edges).
+  std::vector<std::vector<std::pair<NodeId, EdgeId>>> adj(n);
+  for (const EdgeId e : tree_edges) {
+    adj[g.edge(e).u].emplace_back(g.edge(e).v, e);
+    adj[g.edge(e).v].emplace_back(g.edge(e).u, e);
+  }
+  std::vector<NodeId> parent(n, kNoNode);
+  std::vector<EdgeId> parent_edge(n, kNoEdge);
+  std::vector<std::uint32_t> depth_T(n, 0);
+  std::vector<std::uint8_t> seen(n, 0);
+  std::vector<NodeId> queue{root};
+  seen[root] = 1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId v = queue[head];
+    for (const auto& [u, e] : adj[v]) {
+      if (seen[u]) continue;
+      seen[u] = 1;
+      parent[u] = v;
+      parent_edge[u] = e;
+      depth_T[u] = depth_T[v] + 1;
+      queue.push_back(u);
+    }
+  }
+  DMC_REQUIRE_MSG(queue.size() == n, "tree_edges do not span the graph");
+
+  const std::uint32_t k =
+      1 + *std::max_element(frag.begin(), frag.end());
+  // Fragment roots: the unique shallowest member of each fragment.
+  std::vector<NodeId> frag_root_node(k, kNoNode);
+  for (NodeId v = 0; v < n; ++v) {
+    NodeId& r = frag_root_node[frag[v]];
+    if (r == kNoNode || depth_T[v] < depth_T[r]) r = v;
+  }
+  std::vector<std::uint32_t> frag_parent(k, kNoFrag);
+  std::vector<EdgeId> frag_parent_eid(k, kNoEdge);
+  for (std::uint32_t f = 0; f < k; ++f) {
+    const NodeId r = frag_root_node[f];
+    DMC_REQUIRE_MSG(r != kNoNode, "empty fragment " << f);
+    if (r == root) continue;
+    DMC_REQUIRE_MSG(frag[parent[r]] != f,
+                    "fragment " << f << " has no unique root");
+    frag_parent[f] = frag[parent[r]];
+    frag_parent_eid[f] = parent_edge[r];
+  }
+
+  std::vector<std::uint32_t> depth_in_frag(n, 0);
+  for (const NodeId v : queue) {  // BFS order: parents before children
+    if (v == root) continue;
+    DMC_REQUIRE_MSG(frag[v] == frag[parent[v]] ||
+                        v == frag_root_node[frag[v]],
+                    "fragment " << frag[v] << " is not a contiguous "
+                                              "subtree");
+    depth_in_frag[v] = v == frag_root_node[frag[v]]
+                           ? 0
+                           : depth_in_frag[parent[v]] + 1;
+  }
+
+  // Parent ports and neighbor fragments.
+  std::vector<std::uint32_t> parent_port(n, kNoPort);
+  std::vector<std::vector<std::uint32_t>> port_frag_idx(n);
+  for (NodeId v = 0; v < n; ++v) {
+    port_frag_idx[v].resize(g.degree(v));
+    for (std::uint32_t p = 0; p < g.degree(v); ++p) {
+      port_frag_idx[v][p] = frag[g.ports(v)[p].peer];
+      if (v != root && g.ports(v)[p].edge == parent_edge[v])
+        parent_port[v] = p;
+    }
+  }
+
+  return finalize(g, root, k, std::vector<std::uint32_t>(frag),
+                  std::move(parent_port), std::move(depth_in_frag),
+                  std::move(depth_T), std::move(frag_root_node),
+                  std::move(frag_parent), std::move(frag_parent_eid),
+                  std::move(port_frag_idx));
+}
+
+}  // namespace dmc

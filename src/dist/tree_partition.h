@@ -1,0 +1,101 @@
+// Step 1 (fragment structure): the rooted spanning tree T, its (√n, O(√n))
+// fragment partition, and the fragment tree T_F as global knowledge.
+//
+// After ghs_mst every node knows its tree ports and its fragment; this
+// module orients T at the leader and materializes what Steps 2–5 consume:
+//
+//   * t_view / parent_port_T — T rooted at the leader, as parent PORTS;
+//   * frag_forest            — the per-fragment forest (fragment roots are
+//                              forest roots; all fragments operate
+//                              concurrently on disjoint edges);
+//   * frag_idx / frag_root_node / frag_parent / frag_parent_eid /
+//     tf_depth              — the fragment tree T_F, dense-indexed and
+//                              globally known (O(√n) words, broadcast);
+//   * depth_in_frag / depth_T / depth_key — depths for chain ordering;
+//   * port_frag_idx          — each neighbor's fragment (one exchange).
+//
+// Construction cost: one O(D + √n) broadcast of the inter-fragment edges,
+// one O(√n) intra-fragment orientation flood, one O(1) pairwise exchange,
+// and one O(D + √n) broadcast of attachment depths — Õ(√n + D) total.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/schedule.h"
+#include "congest/tree_view.h"
+#include "dist/ghs_mst.h"
+#include "graph/graph.h"
+
+namespace dmc {
+
+inline constexpr std::uint32_t kNoFrag = static_cast<std::uint32_t>(-1);
+
+struct FragmentStructure {
+  /// Number of fragments (dense indices 0..k-1, ordered by leader id).
+  std::uint32_t k{0};
+  /// The root of T (the elected leader).
+  NodeId global_root{kNoNode};
+
+  /// T rooted at global_root, and the fragment forest (same edges minus
+  /// each fragment root's parent edge).  Local views: parent/children
+  /// ports.
+  TreeView t_view;
+  TreeView frag_forest;
+
+  // --- per-node, locally known ---
+  std::vector<std::uint32_t> parent_port_T;  ///< == t_view parent ports
+  std::vector<std::uint32_t> frag_idx;
+  std::vector<std::uint32_t> depth_in_frag;  ///< hops below fragment root
+  std::vector<std::uint32_t> depth_T;        ///< hops below global_root
+  /// port_frag_idx[v][p] = fragment of the neighbor across port p.
+  std::vector<std::vector<std::uint32_t>> port_frag_idx;
+
+  // --- per-fragment, global knowledge (O(√n) words) ---
+  std::vector<NodeId> frag_root_node;
+  std::vector<std::uint32_t> frag_parent;  ///< kNoFrag at the root fragment
+  std::vector<EdgeId> frag_parent_eid;     ///< attachment edge of non-roots
+  std::vector<std::uint32_t> tf_depth;
+  /// Euler intervals over T_F for O(1) ancestry.
+  std::vector<std::uint32_t> tf_tin, tf_tout;
+
+  [[nodiscard]] bool is_frag_root(NodeId v) const {
+    return frag_root_node[frag_idx[v]] == v;
+  }
+
+  /// Totally ordered depth key: strictly increasing along every root path
+  /// of T, locally computable, and unique (ties broken by id).
+  [[nodiscard]] std::uint64_t depth_key(NodeId v) const {
+    return (std::uint64_t{depth_T[v]} << 32) | v;
+  }
+
+  /// True iff fragment a is an ancestor of b in T_F (a == b counts).
+  [[nodiscard]] bool tf_is_ancestor(std::uint32_t a, std::uint32_t b) const {
+    return tf_tin[a] <= tf_tin[b] && tf_tout[b] <= tf_tout[a];
+  }
+
+  /// All fragments of a's T_F subtree (a first is NOT guaranteed; sorted).
+  [[nodiscard]] std::vector<std::uint32_t> tf_subtree(std::uint32_t a) const;
+
+  /// T_F-closure of a fragment set: the union of their subtrees, sorted
+  /// and deduplicated.  F(v) = closure(Attach(v)) — locally computable
+  /// from the global T_F.
+  [[nodiscard]] std::vector<std::uint32_t> closure(
+      const std::vector<std::uint32_t>& frags) const;
+};
+
+/// Distributed construction from a ghs_mst result: runs the orientation
+/// and broadcast protocols on sched's network and charges their rounds.
+[[nodiscard]] FragmentStructure build_fragment_structure(
+    Schedule& sched, const TreeView& bfs, NodeId leader,
+    const DistMstResult& mst);
+
+/// Centralized constructor for tests and worked examples: `tree_edges`
+/// must span g, `frag[v]` must be dense fragment ids 0..k-1 forming
+/// connected subtrees of the tree rooted at `root` (frag labels are kept
+/// as the dense indices).
+[[nodiscard]] FragmentStructure make_fragment_structure_centralized(
+    const Graph& g, const std::vector<EdgeId>& tree_edges, NodeId root,
+    const std::vector<std::uint32_t>& frag);
+
+}  // namespace dmc

@@ -1,0 +1,119 @@
+// Engine equivalence: the sharded multi-threaded executor must be
+// observably identical to the sequential reference engine — same protocol
+// results, same round/message/congestion statistics, bit for bit — across
+// graph families and thread counts.  This is the determinism guarantee of
+// slot-addressed mailboxes (engine.h / DESIGN.md) made executable.
+#include <gtest/gtest.h>
+
+#include "congest/network.h"
+#include "congest/primitives/leader_bfs.h"
+#include "congest/schedule.h"
+#include "core/api.h"
+#include "core/one_respect.h"
+#include "dist/ghs_mst.h"
+#include "dist/tree_partition.h"
+#include "graph/generators.h"
+
+namespace dmc {
+namespace {
+
+/// The full exact pipeline under a given engine configuration.
+DistMinCutResult run_pipeline(const Graph& g, unsigned threads) {
+  ExactMinCutOptions opt;
+  opt.max_trees = 6;
+  opt.patience = 3;
+  opt.engine_threads = threads;
+  return exact_min_cut_dist(g, opt);
+}
+
+void expect_identical(const DistMinCutResult& a, const DistMinCutResult& b,
+                      const char* what) {
+  EXPECT_EQ(a.value, b.value) << what;
+  EXPECT_EQ(a.v_star, b.v_star) << what;
+  EXPECT_EQ(a.side, b.side) << what;
+  EXPECT_EQ(a.trees_packed, b.trees_packed) << what;
+  EXPECT_EQ(a.tree_of_best, b.tree_of_best) << what;
+  EXPECT_EQ(a.fragments, b.fragments) << what;
+  // CongestStats::operator== is field-for-field, including the
+  // per-protocol breakdown — engines may not even reorder it.
+  EXPECT_TRUE(a.stats == b.stats) << what << ": stats diverged";
+}
+
+TEST(EngineParallel, ExactPipelineBitIdenticalAcrossEngines) {
+  const Graph graphs[] = {
+      make_barbell(32, 3, 1, /*seed=*/7),
+      make_random_regular(48, 4, /*seed=*/11),
+      make_planted_cut(40, 0.4, /*cross=*/4, /*cross_w=*/1, /*seed=*/13),
+  };
+  const char* names[] = {"barbell", "random_regular", "planted_cut"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const DistMinCutResult seq = run_pipeline(graphs[i], 1);
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      const DistMinCutResult par = run_pipeline(graphs[i], threads);
+      expect_identical(seq, par, names[i]);
+    }
+  }
+}
+
+TEST(EngineParallel, OneRespectPipelineIdenticalUnderShardedEngine) {
+  const Graph g = make_planted_cut(36, 0.45, 3, 1, 5);
+  const auto run = [&](std::unique_ptr<Engine> engine) {
+    Network net{g, std::move(engine)};
+    Schedule sched{net};
+    LeaderBfsProtocol lb{g};
+    sched.run_uncharged(lb);
+    const TreeView bfs = lb.tree_view(g);
+    sched.set_barrier_height(bfs.height(g));
+    sched.charge_barrier();
+    const DistMstResult mst = ghs_mst(sched, bfs, weight_keys(g));
+    const FragmentStructure fs =
+        build_fragment_structure(sched, bfs, lb.leader(), mst);
+    std::vector<Weight> w(g.num_edges());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) w[e] = g.edge(e).w;
+    const OneRespectResult r = one_respect_min_cut(sched, bfs, fs, w);
+    return std::pair{r, net.stats()};
+  };
+  const auto [r_seq, s_seq] = run(make_sequential_engine());
+  for (const unsigned threads : {2u, 8u}) {
+    const auto [r_par, s_par] = run(make_sharded_engine(threads));
+    EXPECT_EQ(r_seq.c_star, r_par.c_star);
+    EXPECT_EQ(r_seq.v_star, r_par.v_star);
+    EXPECT_EQ(r_seq.cut_down, r_par.cut_down);
+    EXPECT_EQ(r_seq.delta_down, r_par.delta_down);
+    EXPECT_EQ(r_seq.rho_down, r_par.rho_down);
+    EXPECT_EQ(r_seq.in_cut, r_par.in_cut);
+    EXPECT_TRUE(s_seq == s_par) << "stats diverged at " << threads
+                                << " threads";
+  }
+}
+
+TEST(EngineParallel, ShardedEnginePropagatesProtocolErrors) {
+  // A protocol that violates the one-send-per-port rule must surface the
+  // same PreconditionError through the worker pool as it does inline.
+  class DoubleSend final : public Protocol {
+   public:
+    [[nodiscard]] std::string name() const override { return "double"; }
+    void round(NodeId v, Mailbox& mb) override {
+      if (v == 0) {
+        mb.send(0, Message::make(1, {1}));
+        mb.send(0, Message::make(1, {2}));
+      }
+    }
+    [[nodiscard]] bool local_done(NodeId) const override { return true; }
+  };
+  const Graph g = make_path(8);
+  Network net{g, make_sharded_engine(4)};
+  DoubleSend p;
+  EXPECT_THROW(net.run(p), PreconditionError);
+}
+
+TEST(EngineParallel, EngineReportsItsConfiguration) {
+  const Graph g = make_path(4);
+  Network seq{g};
+  EXPECT_EQ(seq.engine().name(), "sequential");
+  Network par{g, make_sharded_engine(3)};
+  EXPECT_EQ(par.engine().name(), "sharded(3)");
+}
+
+}  // namespace
+}  // namespace dmc
