@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_exact_lambda.dir/bench/bench_e2_exact_lambda.cpp.o"
+  "CMakeFiles/bench_e2_exact_lambda.dir/bench/bench_e2_exact_lambda.cpp.o.d"
+  "bench_e2_exact_lambda"
+  "bench_e2_exact_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_exact_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

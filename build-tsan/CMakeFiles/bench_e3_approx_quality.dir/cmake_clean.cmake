@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_approx_quality.dir/bench/bench_e3_approx_quality.cpp.o"
+  "CMakeFiles/bench_e3_approx_quality.dir/bench/bench_e3_approx_quality.cpp.o.d"
+  "bench_e3_approx_quality"
+  "bench_e3_approx_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_approx_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

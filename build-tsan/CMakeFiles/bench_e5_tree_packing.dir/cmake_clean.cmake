@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_tree_packing.dir/bench/bench_e5_tree_packing.cpp.o"
+  "CMakeFiles/bench_e5_tree_packing.dir/bench/bench_e5_tree_packing.cpp.o.d"
+  "bench_e5_tree_packing"
+  "bench_e5_tree_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_tree_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

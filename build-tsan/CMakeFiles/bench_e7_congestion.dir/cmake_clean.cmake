@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_congestion.dir/bench/bench_e7_congestion.cpp.o"
+  "CMakeFiles/bench_e7_congestion.dir/bench/bench_e7_congestion.cpp.o.d"
+  "bench_e7_congestion"
+  "bench_e7_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

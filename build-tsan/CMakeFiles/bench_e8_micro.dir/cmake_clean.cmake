@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_micro.dir/bench/bench_e8_micro.cpp.o"
+  "CMakeFiles/bench_e8_micro.dir/bench/bench_e8_micro.cpp.o.d"
+  "bench_e8_micro"
+  "bench_e8_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/central/karger2000.cpp" "CMakeFiles/dmc.dir/src/central/karger2000.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/central/karger2000.cpp.o.d"
+  "/root/repo/src/central/karger_stein.cpp" "CMakeFiles/dmc.dir/src/central/karger_stein.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/central/karger_stein.cpp.o.d"
+  "/root/repo/src/central/matula.cpp" "CMakeFiles/dmc.dir/src/central/matula.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/central/matula.cpp.o.d"
+  "/root/repo/src/central/mincut_central.cpp" "CMakeFiles/dmc.dir/src/central/mincut_central.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/central/mincut_central.cpp.o.d"
+  "/root/repo/src/central/one_respect_dp.cpp" "CMakeFiles/dmc.dir/src/central/one_respect_dp.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/central/one_respect_dp.cpp.o.d"
+  "/root/repo/src/central/skeleton.cpp" "CMakeFiles/dmc.dir/src/central/skeleton.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/central/skeleton.cpp.o.d"
+  "/root/repo/src/central/stoer_wagner.cpp" "CMakeFiles/dmc.dir/src/central/stoer_wagner.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/central/stoer_wagner.cpp.o.d"
+  "/root/repo/src/central/tree_packing.cpp" "CMakeFiles/dmc.dir/src/central/tree_packing.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/central/tree_packing.cpp.o.d"
+  "/root/repo/src/central/two_respect_dp.cpp" "CMakeFiles/dmc.dir/src/central/two_respect_dp.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/central/two_respect_dp.cpp.o.d"
+  "/root/repo/src/congest/engine.cpp" "CMakeFiles/dmc.dir/src/congest/engine.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/congest/engine.cpp.o.d"
+  "/root/repo/src/congest/message.cpp" "CMakeFiles/dmc.dir/src/congest/message.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/congest/message.cpp.o.d"
+  "/root/repo/src/congest/network.cpp" "CMakeFiles/dmc.dir/src/congest/network.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/congest/network.cpp.o.d"
+  "/root/repo/src/congest/primitives/aggregate_broadcast.cpp" "CMakeFiles/dmc.dir/src/congest/primitives/aggregate_broadcast.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/congest/primitives/aggregate_broadcast.cpp.o.d"
+  "/root/repo/src/congest/primitives/barrier.cpp" "CMakeFiles/dmc.dir/src/congest/primitives/barrier.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/congest/primitives/barrier.cpp.o.d"
+  "/root/repo/src/congest/primitives/convergecast.cpp" "CMakeFiles/dmc.dir/src/congest/primitives/convergecast.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/congest/primitives/convergecast.cpp.o.d"
+  "/root/repo/src/congest/primitives/downcast.cpp" "CMakeFiles/dmc.dir/src/congest/primitives/downcast.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/congest/primitives/downcast.cpp.o.d"
+  "/root/repo/src/congest/primitives/leader_bfs.cpp" "CMakeFiles/dmc.dir/src/congest/primitives/leader_bfs.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/congest/primitives/leader_bfs.cpp.o.d"
+  "/root/repo/src/congest/primitives/pairwise_exchange.cpp" "CMakeFiles/dmc.dir/src/congest/primitives/pairwise_exchange.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/congest/primitives/pairwise_exchange.cpp.o.d"
+  "/root/repo/src/congest/schedule.cpp" "CMakeFiles/dmc.dir/src/congest/schedule.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/congest/schedule.cpp.o.d"
+  "/root/repo/src/congest/stats.cpp" "CMakeFiles/dmc.dir/src/congest/stats.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/congest/stats.cpp.o.d"
+  "/root/repo/src/congest/tree_view.cpp" "CMakeFiles/dmc.dir/src/congest/tree_view.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/congest/tree_view.cpp.o.d"
+  "/root/repo/src/core/ancestors.cpp" "CMakeFiles/dmc.dir/src/core/ancestors.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/core/ancestors.cpp.o.d"
+  "/root/repo/src/core/api.cpp" "CMakeFiles/dmc.dir/src/core/api.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/core/api.cpp.o.d"
+  "/root/repo/src/core/approx_mincut.cpp" "CMakeFiles/dmc.dir/src/core/approx_mincut.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/core/approx_mincut.cpp.o.d"
+  "/root/repo/src/core/bridges.cpp" "CMakeFiles/dmc.dir/src/core/bridges.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/core/bridges.cpp.o.d"
+  "/root/repo/src/core/cut_verify.cpp" "CMakeFiles/dmc.dir/src/core/cut_verify.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/core/cut_verify.cpp.o.d"
+  "/root/repo/src/core/exact_mincut.cpp" "CMakeFiles/dmc.dir/src/core/exact_mincut.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/core/exact_mincut.cpp.o.d"
+  "/root/repo/src/core/gk_estimator.cpp" "CMakeFiles/dmc.dir/src/core/gk_estimator.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/core/gk_estimator.cpp.o.d"
+  "/root/repo/src/core/lca_rho.cpp" "CMakeFiles/dmc.dir/src/core/lca_rho.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/core/lca_rho.cpp.o.d"
+  "/root/repo/src/core/merging_nodes.cpp" "CMakeFiles/dmc.dir/src/core/merging_nodes.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/core/merging_nodes.cpp.o.d"
+  "/root/repo/src/core/one_respect.cpp" "CMakeFiles/dmc.dir/src/core/one_respect.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/core/one_respect.cpp.o.d"
+  "/root/repo/src/core/skeleton_dist.cpp" "CMakeFiles/dmc.dir/src/core/skeleton_dist.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/core/skeleton_dist.cpp.o.d"
+  "/root/repo/src/core/su_baseline.cpp" "CMakeFiles/dmc.dir/src/core/su_baseline.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/core/su_baseline.cpp.o.d"
+  "/root/repo/src/core/subtree_sums.cpp" "CMakeFiles/dmc.dir/src/core/subtree_sums.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/core/subtree_sums.cpp.o.d"
+  "/root/repo/src/core/tree_packing_dist.cpp" "CMakeFiles/dmc.dir/src/core/tree_packing_dist.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/core/tree_packing_dist.cpp.o.d"
+  "/root/repo/src/dist/ghs_mst.cpp" "CMakeFiles/dmc.dir/src/dist/ghs_mst.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/dist/ghs_mst.cpp.o.d"
+  "/root/repo/src/dist/tree_partition.cpp" "CMakeFiles/dmc.dir/src/dist/tree_partition.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/dist/tree_partition.cpp.o.d"
+  "/root/repo/src/graph/algorithms.cpp" "CMakeFiles/dmc.dir/src/graph/algorithms.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/graph/algorithms.cpp.o.d"
+  "/root/repo/src/graph/cut.cpp" "CMakeFiles/dmc.dir/src/graph/cut.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/graph/cut.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "CMakeFiles/dmc.dir/src/graph/generators.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "CMakeFiles/dmc.dir/src/graph/graph.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "CMakeFiles/dmc.dir/src/graph/io.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/graph/io.cpp.o.d"
+  "/root/repo/src/graph/mst.cpp" "CMakeFiles/dmc.dir/src/graph/mst.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/graph/mst.cpp.o.d"
+  "/root/repo/src/graph/tree.cpp" "CMakeFiles/dmc.dir/src/graph/tree.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/graph/tree.cpp.o.d"
+  "/root/repo/src/util/dsu.cpp" "CMakeFiles/dmc.dir/src/util/dsu.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/util/dsu.cpp.o.d"
+  "/root/repo/src/util/options.cpp" "CMakeFiles/dmc.dir/src/util/options.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/util/options.cpp.o.d"
+  "/root/repo/src/util/prng.cpp" "CMakeFiles/dmc.dir/src/util/prng.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/util/prng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/dmc.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/dmc.dir/src/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

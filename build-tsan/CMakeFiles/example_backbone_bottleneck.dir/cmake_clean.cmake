@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_backbone_bottleneck.dir/examples/backbone_bottleneck.cpp.o"
+  "CMakeFiles/example_backbone_bottleneck.dir/examples/backbone_bottleneck.cpp.o.d"
+  "example_backbone_bottleneck"
+  "example_backbone_bottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_backbone_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

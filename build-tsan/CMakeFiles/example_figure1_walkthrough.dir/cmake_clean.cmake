@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_figure1_walkthrough.dir/examples/figure1_walkthrough.cpp.o"
+  "CMakeFiles/example_figure1_walkthrough.dir/examples/figure1_walkthrough.cpp.o.d"
+  "example_figure1_walkthrough"
+  "example_figure1_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_figure1_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_primitives_tour.dir/examples/primitives_tour.cpp.o"
+  "CMakeFiles/example_primitives_tour.dir/examples/primitives_tour.cpp.o.d"
+  "example_primitives_tour"
+  "example_primitives_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_primitives_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

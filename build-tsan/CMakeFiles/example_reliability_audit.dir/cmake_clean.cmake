@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_reliability_audit.dir/examples/reliability_audit.cpp.o"
+  "CMakeFiles/example_reliability_audit.dir/examples/reliability_audit.cpp.o.d"
+  "example_reliability_audit"
+  "example_reliability_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_reliability_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ancestors.dir/tests/test_ancestors.cpp.o"
+  "CMakeFiles/test_ancestors.dir/tests/test_ancestors.cpp.o.d"
+  "test_ancestors"
+  "test_ancestors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ancestors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

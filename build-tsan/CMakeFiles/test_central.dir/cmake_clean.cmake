@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_central.dir/tests/test_central.cpp.o"
+  "CMakeFiles/test_central.dir/tests/test_central.cpp.o.d"
+  "test_central"
+  "test_central.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_central.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cut_verify.dir/tests/test_cut_verify.cpp.o"
+  "CMakeFiles/test_cut_verify.dir/tests/test_cut_verify.cpp.o.d"
+  "test_cut_verify"
+  "test_cut_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cut_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_parallel.dir/tests/test_engine_parallel.cpp.o"
+  "CMakeFiles/test_engine_parallel.dir/tests/test_engine_parallel.cpp.o.d"
+  "test_engine_parallel"
+  "test_engine_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

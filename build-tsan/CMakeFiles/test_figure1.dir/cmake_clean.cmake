@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_figure1.dir/tests/test_figure1.cpp.o"
+  "CMakeFiles/test_figure1.dir/tests/test_figure1.cpp.o.d"
+  "test_figure1"
+  "test_figure1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_figure1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

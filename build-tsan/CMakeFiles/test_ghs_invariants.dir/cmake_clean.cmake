@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ghs_invariants.dir/tests/test_ghs_invariants.cpp.o"
+  "CMakeFiles/test_ghs_invariants.dir/tests/test_ghs_invariants.cpp.o.d"
+  "test_ghs_invariants"
+  "test_ghs_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ghs_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ghs_mst.dir/tests/test_ghs_mst.cpp.o"
+  "CMakeFiles/test_ghs_mst.dir/tests/test_ghs_mst.cpp.o.d"
+  "test_ghs_mst"
+  "test_ghs_mst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ghs_mst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

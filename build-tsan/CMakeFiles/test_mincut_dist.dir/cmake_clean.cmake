@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mincut_dist.dir/tests/test_mincut_dist.cpp.o"
+  "CMakeFiles/test_mincut_dist.dir/tests/test_mincut_dist.cpp.o.d"
+  "test_mincut_dist"
+  "test_mincut_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mincut_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

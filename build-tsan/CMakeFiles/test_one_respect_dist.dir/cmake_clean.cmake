@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_one_respect_dist.dir/tests/test_one_respect_dist.cpp.o"
+  "CMakeFiles/test_one_respect_dist.dir/tests/test_one_respect_dist.cpp.o.d"
+  "test_one_respect_dist"
+  "test_one_respect_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_one_respect_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

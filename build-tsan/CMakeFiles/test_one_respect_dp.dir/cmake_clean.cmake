@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_one_respect_dp.dir/tests/test_one_respect_dp.cpp.o"
+  "CMakeFiles/test_one_respect_dp.dir/tests/test_one_respect_dp.cpp.o.d"
+  "test_one_respect_dp"
+  "test_one_respect_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_one_respect_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

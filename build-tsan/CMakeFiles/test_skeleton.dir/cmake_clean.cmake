@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skeleton.dir/tests/test_skeleton.cpp.o"
+  "CMakeFiles/test_skeleton.dir/tests/test_skeleton.cpp.o.d"
+  "test_skeleton"
+  "test_skeleton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skeleton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skeleton_dist.dir/tests/test_skeleton_dist.cpp.o"
+  "CMakeFiles/test_skeleton_dist.dir/tests/test_skeleton_dist.cpp.o.d"
+  "test_skeleton_dist"
+  "test_skeleton_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skeleton_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

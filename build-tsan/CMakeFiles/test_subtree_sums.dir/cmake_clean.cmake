@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subtree_sums.dir/tests/test_subtree_sums.cpp.o"
+  "CMakeFiles/test_subtree_sums.dir/tests/test_subtree_sums.cpp.o.d"
+  "test_subtree_sums"
+  "test_subtree_sums.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subtree_sums.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

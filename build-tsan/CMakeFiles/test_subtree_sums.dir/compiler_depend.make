@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_subtree_sums.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_partition.dir/tests/test_tree_partition.cpp.o"
+  "CMakeFiles/test_tree_partition.dir/tests/test_tree_partition.cpp.o.d"
+  "test_tree_partition"
+  "test_tree_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_tree_view.cpp" "CMakeFiles/test_tree_view.dir/tests/test_tree_view.cpp.o" "gcc" "CMakeFiles/test_tree_view.dir/tests/test_tree_view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/CMakeFiles/dmc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/_deps/googletest/googletest/CMakeFiles/gtest_main.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/_deps/googletest/googletest/CMakeFiles/gtest.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

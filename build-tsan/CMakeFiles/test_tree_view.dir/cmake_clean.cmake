@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_view.dir/tests/test_tree_view.cpp.o"
+  "CMakeFiles/test_tree_view.dir/tests/test_tree_view.cpp.o.d"
+  "test_tree_view"
+  "test_tree_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

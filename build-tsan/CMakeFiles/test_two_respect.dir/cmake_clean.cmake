@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_two_respect.dir/tests/test_two_respect.cpp.o"
+  "CMakeFiles/test_two_respect.dir/tests/test_two_respect.cpp.o.d"
+  "test_two_respect"
+  "test_two_respect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_two_respect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
