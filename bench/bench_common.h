@@ -6,7 +6,9 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -29,12 +31,29 @@ struct PipelineRun {
   Weight c_star{0};
   std::uint64_t total_rounds{0};
   std::uint64_t messages{0};
+  std::uint64_t node_steps{0};  ///< Σ_r active(r) — the sparsity metric
   std::size_t fragments{0};
   std::uint8_t max_words{0};
   std::uint32_t max_edge_msgs{0};
   double wall_seconds{0.0};   ///< simulator wall-clock for the whole run
   unsigned engine_threads{1};  ///< engine configuration of the run
+  std::string scheduling{"event"};  ///< "event" or "dense"
 };
+
+/// Scheduling override from the DMC_SCHEDULING env var ("dense" forces
+/// the full sweep, "event" forces sparse, anything else = per-protocol
+/// declarations, which are all event-driven).  Lets one binary emit both
+/// sides of the Dense-vs-EventDriven comparison.
+inline std::optional<Scheduling> scheduling_from_env() {
+  const char* env = std::getenv("DMC_SCHEDULING");
+  if (env && std::string{env} == "dense") return Scheduling::kDense;
+  if (env && std::string{env} == "event") return Scheduling::kEventDriven;
+  return std::nullopt;
+}
+
+inline std::string scheduling_label(std::optional<Scheduling> s) {
+  return s == Scheduling::kDense ? "dense" : "event";
+}
 
 /// Machine-readable result line: one JSON object per call, written to
 /// stderr so it composes with the human tables on stdout.  BENCH_*.json
@@ -64,14 +83,18 @@ class JsonLine {
   /// the run, so trend trackers never ingest garbage points.
   JsonLine& rates(const PipelineRun& r) {
     field("engine_threads", std::uint64_t{r.engine_threads});
+    field("scheduling", r.scheduling);
     field("rounds", r.total_rounds);
     field("messages", r.messages);
+    field("node_steps", r.node_steps);
     field("wall_seconds", r.wall_seconds);
     if (r.wall_seconds > 0) {
       field("rounds_per_sec",
             static_cast<double>(r.total_rounds) / r.wall_seconds);
       field("messages_per_sec",
             static_cast<double>(r.messages) / r.wall_seconds);
+      field("node_steps_per_sec",
+            static_cast<double>(r.node_steps) / r.wall_seconds);
     }
     field("peak_words", std::uint64_t{r.max_words});
     field("max_edge_msgs", std::uint64_t{r.max_edge_msgs});
@@ -85,11 +108,12 @@ class JsonLine {
 
 /// One full Theorem-2.1 pipeline (single tree) with the given fragment
 /// freeze size (0 = ⌈√n⌉).
-inline PipelineRun run_one_respect_pipeline(const Graph& g,
-                                            std::size_t freeze = 0,
-                                            unsigned engine_threads = 1) {
+inline PipelineRun run_one_respect_pipeline(
+    const Graph& g, std::size_t freeze = 0, unsigned engine_threads = 1,
+    std::optional<Scheduling> scheduling = {}) {
   const auto t0 = std::chrono::steady_clock::now();
   Network net{g, make_engine(engine_threads)};
+  net.force_scheduling(scheduling);
   Schedule sched{net};
   LeaderBfsProtocol lb{g};
   sched.run_uncharged(lb);
@@ -107,6 +131,7 @@ inline PipelineRun run_one_respect_pipeline(const Graph& g,
   out.c_star = r.c_star;
   out.total_rounds = sched.total_rounds();
   out.messages = net.stats().messages;
+  out.node_steps = net.stats().node_steps;
   out.fragments = fs.k;
   out.max_words = net.stats().max_words_per_message;
   out.max_edge_msgs = net.stats().max_messages_edge_round;
@@ -114,6 +139,7 @@ inline PipelineRun run_one_respect_pipeline(const Graph& g,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   out.engine_threads = engine_threads;
+  out.scheduling = scheduling_label(scheduling);
   return out;
 }
 

@@ -11,26 +11,31 @@ int main() {
   using namespace dmc;
   using namespace dmc::bench;
   // DMC_ENGINE_THREADS selects the execution engine (1 = sequential,
-  // 0 = all hardware threads) so speedup trajectories are collectable
-  // from the same binary; results are bit-identical either way.
+  // 0 = all hardware threads); DMC_SCHEDULING ∈ {dense, event} forces a
+  // scheduling mode.  Speedup trajectories are collectable from the same
+  // binary; results are bit-identical every way (only node_steps moves).
+  // DMC_BENCH_SMOKE=1 runs only the smallest size per family (CI smoke).
   const unsigned engine_threads = [] {
     const char* env = std::getenv("DMC_ENGINE_THREADS");
     return env ? static_cast<unsigned>(std::atoi(env)) : 1u;
   }();
+  const std::optional<Scheduling> scheduling = scheduling_from_env();
+  const bool smoke = std::getenv("DMC_BENCH_SMOKE") != nullptr;
   std::cout << "E1: 1-respect pipeline rounds vs sqrt(n)+D (claim: Õ(√n+D))\n\n";
 
   Table t{{"family", "n", "m", "D", "sqrt(n)+D", "rounds", "rounds/(sqrt+D)",
-           "fragments"}};
+           "node_steps", "fragments"}};
   const auto add = [&](const std::string& family, const Graph& g) {
     const std::uint32_t d = diameter_double_sweep(g);
     const std::uint64_t base = isqrt_ceil(g.num_nodes()) + d;
-    const PipelineRun r = run_one_respect_pipeline(g, 0, engine_threads);
+    const PipelineRun r =
+        run_one_respect_pipeline(g, 0, engine_threads, scheduling);
     t.add_row({family, Table::cell(g.num_nodes()), Table::cell(g.num_edges()),
                Table::cell(d), Table::cell(base), Table::cell(r.total_rounds),
                Table::cell(static_cast<double>(r.total_rounds) /
                                static_cast<double>(base),
                            1),
-               Table::cell(r.fragments)});
+               Table::cell(r.node_steps), Table::cell(r.fragments)});
     JsonLine{"e1"}
         .field("family", family)
         .field("n", std::uint64_t{g.num_nodes()})
@@ -40,14 +45,18 @@ int main() {
         .emit();
   };
 
-  for (const std::size_t n : {64u, 128u, 256u, 512u, 1024u})
+  const auto sizes = [&](std::initializer_list<unsigned> all) {
+    return smoke ? std::vector<unsigned>{*all.begin()}
+                 : std::vector<unsigned>{all};
+  };
+  for (const std::size_t n : sizes({64u, 128u, 256u, 512u, 1024u}))
     add("erdos_renyi(deg≈8)",
         make_erdos_renyi(n, 8.0 / static_cast<double>(n), 1, 1, 9));
-  for (const std::size_t n : {64u, 128u, 256u, 512u, 1024u})
+  for (const std::size_t n : sizes({64u, 128u, 256u, 512u, 1024u}))
     add("random_regular(4)", make_random_regular(n, 4, 2));
-  for (const std::size_t side : {8u, 12u, 16u, 24u, 32u})
+  for (const std::size_t side : sizes({8u, 12u, 16u, 24u, 32u}))
     add("torus", make_torus(side, side));
-  for (const std::size_t cliques : {8u, 16u, 32u, 64u})
+  for (const std::size_t cliques : sizes({8u, 16u, 32u, 64u}))
     add("clique_chain(D≈2k)", make_path_of_cliques(cliques, 8));
 
   t.print(std::cout);

@@ -84,6 +84,34 @@ void BM_SimulatorLeaderBfs(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorLeaderBfs)->Arg(8)->Arg(16)->Arg(32);
 
+/// The scheduling A/B on the sparsest workload: a rooted BFS wave down a
+/// path, where Dense pays Θ(n²) node-steps and EventDriven Θ(n).  Args:
+/// (n, 0 = event-driven, 1 = forced dense).
+void BM_SimulatorPathBfsScheduling(benchmark::State& state) {
+  const Graph g = make_path(static_cast<std::size_t>(state.range(0)));
+  const bool dense = state.range(1) != 0;
+  std::uint64_t node_steps = 0;
+  for (auto _ : state) {
+    Network net{g};
+    if (dense) net.force_scheduling(Scheduling::kDense);
+    LeaderBfsProtocol lb{g, /*root=*/0};
+    benchmark::DoNotOptimize(net.run(lb));
+    node_steps = net.stats().node_steps;
+  }
+  state.SetLabel(dense ? "dense" : "event");
+  state.counters["node_steps"] =
+      benchmark::Counter(static_cast<double>(node_steps));
+  state.counters["node_steps/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(node_steps),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorPathBfsScheduling)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({4096, 0})
+    ->Args({4096, 1});
+
 void BM_GeneratorErdosRenyi(benchmark::State& state) {
   std::uint64_t seed = 0;
   for (auto _ : state)

@@ -11,21 +11,19 @@
 
 namespace dmc {
 
-bool Engine::all_done(const Network& net, const Protocol& p) const {
-  const std::size_t n = net.num_nodes();
-  for (NodeId v = 0; v < n; ++v)
-    if (!p.local_done(v)) return false;
-  return true;
-}
-
 namespace {
 
-/// The ascending-id reference sweep, shared by the sequential engine and
-/// the sharded engine's pool-less single-thread configuration.
+/// The ascending-id reference sweep over this round's domain, shared by
+/// the sequential engine and the sharded engine's pool-less
+/// single-thread configuration.
 void sweep_all(Network& net, Protocol& p) {
   net.bind_shard(0);
-  const std::size_t n = net.num_nodes();
-  for (NodeId v = 0; v < n; ++v) net.execute_node(v, p);
+  if (net.dense_round()) {
+    const std::size_t n = net.num_nodes();
+    for (NodeId v = 0; v < n; ++v) net.execute_node(v, p);
+  } else {
+    for (const NodeId v : net.active_nodes()) net.execute_node(v, p);
+  }
 }
 
 class SequentialEngine final : public Engine {
@@ -102,13 +100,19 @@ class ShardedEngine final : public Engine {
  private:
   void run_shard(Network& net, Protocol& p, unsigned shard) {
     net.bind_shard(shard);
-    const std::size_t n = net.num_nodes();
-    const std::size_t chunk = (n + threads_ - 1) / threads_;
-    const std::size_t lo = std::min<std::size_t>(n, shard * chunk);
-    const std::size_t hi = std::min<std::size_t>(n, lo + chunk);
-    for (std::size_t v = lo; v < hi; ++v) {
+    // Contiguous chunks of the round's domain: the node range when dense,
+    // the sorted active list when sparse.  Either way every domain entry
+    // is owned by exactly one shard, so activation buckets and done
+    // deltas stay single-writer.
+    const bool dense = net.dense_round();
+    const std::vector<NodeId>* active = dense ? nullptr : &net.active_nodes();
+    const std::size_t total = dense ? net.num_nodes() : active->size();
+    const std::size_t chunk = (total + threads_ - 1) / threads_;
+    const std::size_t lo = std::min<std::size_t>(total, shard * chunk);
+    const std::size_t hi = std::min<std::size_t>(total, lo + chunk);
+    for (std::size_t i = lo; i < hi; ++i) {
       if (failed_.load(std::memory_order_relaxed)) return;
-      net.execute_node(static_cast<NodeId>(v), p);
+      net.execute_node(dense ? static_cast<NodeId>(i) : (*active)[i], p);
     }
   }
 

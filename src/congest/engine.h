@@ -51,16 +51,16 @@ class Engine {
   [[nodiscard]] virtual std::size_t shard_count() const = 0;
 
   /// Executes `p.round(v, mailbox)` exactly once for every node of the
-  /// network.  Must be observably equivalent to the ascending-id
-  /// sequential sweep; with slot-addressed mailboxes any schedule is.
-  /// Exceptions thrown by node programs must propagate to the caller.
+  /// round's domain: all nodes when `net.dense_round()`, else exactly
+  /// `net.active_nodes()` (ascending, duplicate-free).  Must be observably
+  /// equivalent to the ascending-id sequential sweep over that domain;
+  /// with slot-addressed mailboxes any schedule is.  Exceptions thrown by
+  /// node programs must propagate to the caller.
+  ///
+  /// Quiescence is NOT the engine's concern: the Network maintains an
+  /// incremental done-counter inside execute_node, so there is no
+  /// per-round all-nodes scan anywhere.
   virtual void execute_round(Network& net, Protocol& p) = 0;
-
-  /// True iff every node reports `local_done`.  The default sequential
-  /// scan is engine-agnostic; engines may override with a partitioned
-  /// scan if it ever dominates.
-  [[nodiscard]] virtual bool all_done(const Network& net,
-                                      const Protocol& p) const;
 };
 
 /// The deterministic single-threaded reference engine.

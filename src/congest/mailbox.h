@@ -89,6 +89,12 @@ class Mailbox {
   /// allocations: the message is written straight into its delivery slot.
   void send(std::uint32_t port, const Message& m);
 
+  /// Guarantees this node executes next round even if nothing is delivered
+  /// to it.  Only meaningful under Scheduling::kEventDriven (a no-op in
+  /// dense runs, where every node executes anyway); a node requesting a
+  /// wake must not be locally done.
+  void request_wake();
+
   [[nodiscard]] NodeId self() const { return self_; }
 
   /// Degree of this node (number of ports).

@@ -54,11 +54,16 @@ Network::Network(const Graph& g, std::unique_ptr<Engine> engine)
   }
   for (auto& plane : stamps_) plane.assign(slots, kNeverStamp);
   counters_.resize(engine_->shard_count());
+  buckets_.resize(engine_->shard_count());
+  for (ActivationBucket& b : buckets_) b.mark.assign(n, kNeverStamp);
+  done_flag_.assign(n, 0);
 }
 
 void Mailbox::send(std::uint32_t port, const Message& m) {
   net_->send_from(self_, port, m);
 }
+
+void Mailbox::request_wake() { net_->request_wake(self_); }
 
 std::size_t Mailbox::num_ports() const {
   return net_->graph().degree(self_);
@@ -68,6 +73,19 @@ void Network::bind_shard(std::size_t shard) {
   DMC_ASSERT(shard < counters_.size());
   tls_net = this;
   tls_shard = shard;
+}
+
+void Network::activate(NodeId u) {
+  DMC_ASSERT(tls_net == this);
+  ActivationBucket& b = buckets_[tls_shard];
+  if (b.mark[u] == round_) return;
+  b.mark[u] = round_;
+  b.nodes.push_back(u);
+}
+
+void Network::request_wake(NodeId v) {
+  if (mode_ != Scheduling::kEventDriven) return;
+  activate(v);
 }
 
 void Network::send_from(NodeId from, std::uint32_t port, const Message& m) {
@@ -94,6 +112,10 @@ void Network::send_from(NodeId from, std::uint32_t port, const Message& m) {
   ++c.messages;
   c.words += m.size;
   c.max_words = std::max(c.max_words, m.size);
+
+  // The receiver has a delivery next round, so it must execute then.
+  if (mode_ == Scheduling::kEventDriven)
+    activate(g_->ports(from)[port].peer);
 }
 
 void Network::execute_node(NodeId v, Protocol& p) {
@@ -104,24 +126,57 @@ void Network::execute_node(NodeId v, Protocol& p) {
                        stamps_[read_parity].data() + base,
                        port_base_[v + 1] - base, round_ - 1}};
   p.round(v, mb);
+
+  // Quiescence bookkeeping: only an executed node can change its done bit
+  // (state is per-node), so tracking flips here keeps the global counter
+  // exact with no end-of-round scan.
+  ShardCounters& c = counters_[tls_shard];
+  ++c.node_steps;
+  const std::uint8_t now = p.local_done(v) ? 1 : 0;
+  if (now != done_flag_[v]) {
+    done_flag_[v] = now;
+    c.done_delta += now ? 1 : -1;
+  }
 }
 
 void Network::begin_round() {
   ++round_;
   for (ShardCounters& c : counters_) c = ShardCounters{};
+  if (mode_ == Scheduling::kEventDriven && round_ != first_round_) {
+    // Merge the per-shard buckets filled last round into one sorted,
+    // duplicate-free active list.  Sorting makes the sweep order — and
+    // therefore everything observable — independent of which shard
+    // recorded an activation first.
+    active_.clear();
+    for (ActivationBucket& b : buckets_) {
+      active_.insert(active_.end(), b.nodes.begin(), b.nodes.end());
+      b.nodes.clear();
+    }
+    std::sort(active_.begin(), active_.end());
+    active_.erase(std::unique(active_.begin(), active_.end()),
+                  active_.end());
+    dense_round_ = false;
+  } else {
+    dense_round_ = true;
+  }
 }
 
 std::uint64_t Network::end_round() {
   std::uint64_t sent = 0;
+  std::int64_t done_delta = 0;
   for (const ShardCounters& c : counters_) {
     sent += c.messages;
     stats_.messages += c.messages;
     stats_.words += c.words;
+    stats_.node_steps += c.node_steps;
+    done_delta += c.done_delta;
     stats_.max_words_per_message =
         std::max(stats_.max_words_per_message, c.max_words);
     stats_.max_messages_edge_round =
         std::max(stats_.max_messages_edge_round, c.max_edge_msgs);
   }
+  done_count_ = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(done_count_) + done_delta);
   return sent;
 }
 
@@ -129,9 +184,19 @@ std::uint64_t Network::run(Protocol& p, std::uint64_t max_rounds) {
   if (max_rounds == 0)
     max_rounds = 64 * (g_->num_nodes() + g_->num_edges()) + 1024;
 
+  const std::size_t n = g_->num_nodes();
+  mode_ = forced_ ? *forced_ : p.scheduling();
+  first_round_ = round_ + 1;
+  // Reset the quiescence tracker and drop stale activations (a previous
+  // run's final-round wakes must not leak into this protocol).
+  std::fill(done_flag_.begin(), done_flag_.end(), std::uint8_t{0});
+  done_count_ = 0;
+  for (ActivationBucket& b : buckets_) b.nodes.clear();
+
   std::uint64_t executed = 0;
   const std::uint64_t messages_before = stats_.messages;
   const std::uint64_t words_before = stats_.words;
+  const std::uint64_t node_steps_before = stats_.node_steps;
 
   for (;;) {
     begin_round();
@@ -140,8 +205,9 @@ std::uint64_t Network::run(Protocol& p, std::uint64_t max_rounds) {
     ++executed;
     ++stats_.rounds;
 
-    // Quiescent?  Nothing in flight and every node locally done.
-    if (sent == 0 && engine_->all_done(*this, p)) break;
+    // Quiescent?  Nothing in flight and every node locally done — read
+    // off the incremental counter; no O(n) scan in any scheduling mode.
+    if (sent == 0 && done_count_ == n) break;
 
     DMC_ASSERT_MSG(executed < max_rounds,
                    "protocol '" << p.name() << "' exceeded " << max_rounds
@@ -150,7 +216,7 @@ std::uint64_t Network::run(Protocol& p, std::uint64_t max_rounds) {
 
   stats_.per_protocol.push_back(ProtocolStats{
       p.name(), executed, stats_.messages - messages_before,
-      stats_.words - words_before});
+      stats_.words - words_before, stats_.node_steps - node_steps_before});
   return executed;
 }
 

@@ -8,7 +8,10 @@
 //     within a round is unobservable — the Network delegates the sweep to a
 //     pluggable Engine (sequential or sharded; both bit-reproducible);
 //   * a protocol run ends at quiescence: no message in flight and every
-//     node `local_done`.  Real deployments detect this with an explicit
+//     node `local_done`.  Quiescence is tracked by an incrementally
+//     maintained done-counter (a node's done bit can only change when the
+//     node executes), so no per-round O(n) scan exists in either
+//     scheduling mode.  Real deployments detect this with an explicit
 //     barrier over a BFS tree; see Schedule for how those rounds are
 //     charged.
 //
@@ -20,10 +23,22 @@
 // planes alternate by round parity (writes go to plane r&1, reads come
 // from the previous round's plane), and occupancy is tracked by per-slot
 // round stamps so nothing is ever cleared between rounds.
+//
+// Scheduling: a protocol declares Dense (every node, every round) or
+// EventDriven via Protocol::scheduling().  Under EventDriven the Network
+// records, at send time, the receiver of every message into the sending
+// shard's activation bucket (dedup'd by a per-shard round-stamp array, so
+// the sharded engine stays contention-free); nodes with round-r+1 work but
+// no incoming mail call Mailbox::request_wake().  begin_round() merges the
+// buckets into one sorted duplicate-free active list, and both engines
+// iterate only that list — node-step cost falls from rounds·n to
+// Σ_r active(r), with bit-identical results and stats (see DESIGN.md
+// "Sparse scheduling").
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "congest/engine.h"
@@ -53,6 +68,15 @@ class Network {
   [[nodiscard]] const CongestStats& stats() const { return stats_; }
   [[nodiscard]] CongestStats& stats() { return stats_; }
 
+  /// Forces a scheduling mode for every subsequent run(), overriding the
+  /// protocols' own declarations — the A/B hook the scheduling-equivalence
+  /// tests and the Dense-vs-EventDriven benches use.  std::nullopt
+  /// restores per-protocol declarations.
+  void force_scheduling(std::optional<Scheduling> s) { forced_ = s; }
+
+  /// Scheduling mode of the current (or most recent) run.
+  [[nodiscard]] Scheduling scheduling() const { return mode_; }
+
   // --- engine hooks (called by Engine implementations only) -------------
 
   /// Routes this thread's stat updates to counter block `shard`.  Engines
@@ -60,7 +84,20 @@ class Network {
   void bind_shard(std::size_t shard);
 
   /// Builds node v's mailbox over its delivery slots and runs its step.
+  /// Also charges one node_step and folds v's done bit into the shard's
+  /// incremental done-counter delta.
   void execute_node(NodeId v, Protocol& p);
+
+  /// True when the current round executes every node: all rounds of a
+  /// Dense run, and the first round of an EventDriven run (every node must
+  /// get one bootstrap step to emit its initial sends and done bit).
+  [[nodiscard]] bool dense_round() const { return dense_round_; }
+
+  /// The nodes to execute this round, ascending and duplicate-free.
+  /// Valid only when !dense_round().
+  [[nodiscard]] const std::vector<NodeId>& active_nodes() const {
+    return active_;
+  }
 
  private:
   friend class Mailbox;
@@ -71,13 +108,30 @@ class Network {
   struct alignas(64) ShardCounters {
     std::uint64_t messages{0};
     std::uint64_t words{0};
+    std::uint64_t node_steps{0};
+    std::int64_t done_delta{0};  ///< Σ (done bit flips) of executed nodes
     std::uint8_t max_words{0};
     std::uint32_t max_edge_msgs{0};
   };
 
+  /// Per-shard bucket of nodes activated for the NEXT round.  `mark[v] ==
+  /// round_` means v is already in this shard's bucket this round, so each
+  /// bucket is duplicate-free without clearing (stamps, like the mail
+  /// slots); cross-shard duplicates are removed by the sort+unique merge
+  /// in begin_round().  Only the owning worker thread touches a bucket.
+  struct alignas(64) ActivationBucket {
+    std::vector<NodeId> nodes;
+    std::vector<std::uint64_t> mark;
+  };
+
   void send_from(NodeId from, std::uint32_t port, const Message& m);
+  /// Records that `u` must execute next round (current shard's bucket).
+  void activate(NodeId u);
+  /// Mailbox::request_wake target; no-op outside EventDriven runs.
+  void request_wake(NodeId v);
   void begin_round();
-  /// Folds shard counters into stats_; returns messages sent this round.
+  /// Folds shard counters into stats_ and the done-counter; returns
+  /// messages sent this round.
   std::uint64_t end_round();
 
   const Graph* g_;
@@ -95,6 +149,16 @@ class Network {
 
   std::uint64_t round_{0};  ///< 1-based; write token of the current round
   std::vector<ShardCounters> counters_;
+
+  // --- scheduling state (per run; round_ is global across runs) ---------
+  Scheduling mode_{Scheduling::kDense};
+  std::optional<Scheduling> forced_;
+  bool dense_round_{true};
+  std::uint64_t first_round_{0};  ///< first round of the current run
+  std::vector<NodeId> active_;    ///< this round's sorted active set
+  std::vector<ActivationBucket> buckets_;
+  std::vector<std::uint8_t> done_flag_;  ///< last observed local_done(v)
+  std::uint64_t done_count_{0};          ///< Σ done_flag_ (incremental)
 };
 
 }  // namespace dmc

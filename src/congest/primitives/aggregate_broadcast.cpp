@@ -181,9 +181,16 @@ void AggregateBroadcastProtocol::round(NodeId v, Mailbox& mb) {
     }
   }
 
+  // Work that will fire next round without a new delivery: more poppable
+  // up-stream items at a non-root (blocked-on-child states instead wake by
+  // delivery; an exhausted stream completed above in this same round).
+  const bool up_pending =
+      !tv_->is_root(v) && !s.up_complete && !up_blocked(s);
+
   // ---- down phase ----
   if (!opt_.deliver_all) {
     s.down_complete = s.up_complete;
+    if (up_pending) mb.request_wake();
     return;
   }
   if (tv_->is_root(v)) {
@@ -214,6 +221,17 @@ void AggregateBroadcastProtocol::round(NodeId v, Mailbox& mb) {
       s.down_complete = true;
     }
   }
+
+  // Down-phase local work left over for next round: queued items, or the
+  // DOWN_DONE owed once the queue just drained; the root streams its final
+  // list autonomously.  (The root's up phase needs no wake — it only ever
+  // waits on child deliveries.)
+  const bool down_pending =
+      tv_->is_root(v)
+          ? (s.up_complete && !s.down_done_sent)
+          : (!s.down_queue.empty() ||
+             (s.parent_down_done && !s.down_done_sent));
+  if (up_pending || down_pending) mb.request_wake();
 }
 
 bool AggregateBroadcastProtocol::local_done(NodeId v) const {

@@ -60,6 +60,15 @@ class AggregateBroadcastProtocol final : public Protocol {
   [[nodiscard]] std::string name() const override { return "agg_broadcast"; }
   void round(NodeId v, Mailbox& mb) override;
   [[nodiscard]] bool local_done(NodeId v) const override;
+  /// Event-driven audit: a node can act without new mail only while (a) it
+  /// can still pop up-stream items (not blocked on a child, not complete —
+  /// includes the pending UP_DONE marker), (b) the root is draining its
+  /// final list downward, or (c) a non-root holds queued down items or a
+  /// pending DOWN_DONE.  round() requests a wake in exactly those states;
+  /// every other transition is triggered by a delivery.
+  [[nodiscard]] Scheduling scheduling() const override {
+    return Scheduling::kEventDriven;
+  }
 
   /// Final combined list: at every node if deliver_all, else at roots.
   [[nodiscard]] const std::vector<AggItem>& items(NodeId v) const {

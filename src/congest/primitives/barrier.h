@@ -21,6 +21,12 @@ class BarrierProtocol final : public Protocol {
   [[nodiscard]] std::string name() const override { return "barrier"; }
   void round(NodeId v, Mailbox& mb) override;
   [[nodiscard]] bool local_done(NodeId v) const override;
+  /// Event-driven audit: leaves send DONE in the dense first round; every
+  /// later transition (DONE countdown, GO forwarding) fires in the round
+  /// its triggering delivery arrives.  An idle execution changes nothing.
+  [[nodiscard]] Scheduling scheduling() const override {
+    return Scheduling::kEventDriven;
+  }
 
   /// True once v observed GO (valid after the run: true everywhere).
   [[nodiscard]] bool released(NodeId v) const { return go_[v] != 0; }

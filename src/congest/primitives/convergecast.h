@@ -43,6 +43,13 @@ class ConvergecastProtocol final : public Protocol {
   [[nodiscard]] std::string name() const override { return "convergecast"; }
   void round(NodeId v, Mailbox& mb) override;
   [[nodiscard]] bool local_done(NodeId v) const override;
+  /// Event-driven audit: every transition fires in the round that enables
+  /// it — leaves send up in the dense first round; an interior node sends
+  /// up in the round the last child report arrives; the result forwards in
+  /// the round it is received.  An idle execution changes nothing.
+  [[nodiscard]] Scheduling scheduling() const override {
+    return Scheduling::kEventDriven;
+  }
 
   /// v's subtree aggregate (valid after the run).
   [[nodiscard]] const CValue& subtree_value(NodeId v) const {

@@ -34,6 +34,8 @@ void PipelinedDowncastProtocol::round(NodeId v, Mailbox& mb) {
   const Message m =
       Message::make(kTagItem, {it.w[0], it.w[1], it.w[2], it.w[3]});
   for (const std::uint32_t cp : tv_->children_ports(v)) mb.send(cp, m);
+  // More queued items relay next round with or without new deliveries.
+  if (!queue_[v].empty()) mb.request_wake();
 }
 
 bool PipelinedDowncastProtocol::local_done(NodeId v) const {

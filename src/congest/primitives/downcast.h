@@ -43,6 +43,13 @@ class PipelinedDowncastProtocol final : public Protocol {
   [[nodiscard]] std::string name() const override { return "downcast"; }
   void round(NodeId v, Mailbox& mb) override;
   [[nodiscard]] bool local_done(NodeId v) const override;
+  /// Event-driven audit: originated items enter the queues before the
+  /// dense first round; afterwards a node acts iff its queue is non-empty
+  /// (it requests a wake while it is) or an item arrives (delivery
+  /// activation).  An idle execution with an empty queue is a no-op.
+  [[nodiscard]] Scheduling scheduling() const override {
+    return Scheduling::kEventDriven;
+  }
 
  private:
   const TreeView* tv_;

@@ -6,12 +6,18 @@ namespace {
 constexpr std::uint32_t kTagFlood = 1;
 }
 
-LeaderBfsProtocol::LeaderBfsProtocol(const Graph& g) {
+LeaderBfsProtocol::LeaderBfsProtocol(const Graph& g, NodeId root) {
   st_.resize(g.num_nodes());
   dist_.resize(g.num_nodes());
-  for (NodeId v = 0; v < g.num_nodes(); ++v)
-    st_[v] = State{/*best_root=*/v, /*dist=*/0, /*parent_port=*/kNoPort,
-                   /*dirty=*/true, /*started=*/false};
+  // kNoCandidate loses to every real candidate, so a designated-root run
+  // adopts the unique wave on first arrival and never re-floods.
+  constexpr std::uint64_t kNoCandidate = ~std::uint64_t{0};
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const bool candidate = root == kNoNode || v == root;
+    st_[v] = State{/*best_root=*/candidate ? std::uint64_t{v} : kNoCandidate,
+                   /*dist=*/0, /*parent_port=*/kNoPort,
+                   /*dirty=*/candidate, /*started=*/false};
+  }
 }
 
 void LeaderBfsProtocol::round(NodeId v, Mailbox& mb) {

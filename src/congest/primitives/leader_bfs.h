@@ -5,6 +5,11 @@
 // re-floods.  At quiescence the unique minimum id has won everywhere and
 // parent pointers form its BFS tree (synchronous flooding ⇒ first arrival
 // = shortest hop distance ⇒ distances are exact).  O(D) rounds.
+//
+// When the root is already known (every phase after election), pass it to
+// the constructor: only the root starts as a candidate, so the single BFS
+// wave touches each node O(1) times — Σ active(r) = O(m) node-steps under
+// event-driven scheduling, versus Θ(D·n) dense (Θ(n²) on a path).
 #pragma once
 
 #include <vector>
@@ -16,11 +21,20 @@ namespace dmc {
 
 class LeaderBfsProtocol final : public Protocol {
  public:
-  explicit LeaderBfsProtocol(const Graph& g);
+  /// `root == kNoNode` elects the minimum id; otherwise builds the BFS
+  /// tree of the designated (globally known) root.
+  explicit LeaderBfsProtocol(const Graph& g, NodeId root = kNoNode);
 
   [[nodiscard]] std::string name() const override { return "leader_bfs"; }
   void round(NodeId v, Mailbox& mb) override;
   [[nodiscard]] bool local_done(NodeId v) const override;
+  /// Event-driven audit: after the dense first round (where every node
+  /// floods its own candidacy), a node acts only on deliveries — an idle
+  /// execution finds dirty == false, sends nothing, and rewrites dist_[v]
+  /// with its unchanged value.  Θ(n²) → Θ(n) node-steps on a path.
+  [[nodiscard]] Scheduling scheduling() const override {
+    return Scheduling::kEventDriven;
+  }
 
   /// Results, valid after the run.
   [[nodiscard]] NodeId leader() const;

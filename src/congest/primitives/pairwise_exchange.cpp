@@ -31,17 +31,20 @@ void PairwiseExchangeProtocol::round(NodeId v, Mailbox& mb) {
       p.end_received = true;
     }
   }
+  bool more_to_send = false;
   for (std::uint32_t port = 0; port < ps_[v].size(); ++port) {
     PortState& p = ps_[v][port];
     if (p.sent < outgoing_[v][port].size()) {
       mb.send(port,
               Message::make(kTagWord, {outgoing_[v][port][p.sent]}));
       ++p.sent;
+      more_to_send = true;  // at least the END marker is still owed
     } else if (!p.end_sent) {
       mb.send(port, Message::make(kTagEnd, {}));
       p.end_sent = true;
     }
   }
+  if (more_to_send) mb.request_wake();
 }
 
 bool PairwiseExchangeProtocol::local_done(NodeId v) const {

@@ -25,6 +25,12 @@ class PairwiseExchangeProtocol final : public Protocol {
   }
   void round(NodeId v, Mailbox& mb) override;
   [[nodiscard]] bool local_done(NodeId v) const override;
+  /// Event-driven audit: a node streams autonomously while any port still
+  /// owes words or its END marker (wake requested); once every END is
+  /// sent, the remaining work is receive-only (delivery activation).
+  [[nodiscard]] Scheduling scheduling() const override {
+    return Scheduling::kEventDriven;
+  }
 
   /// Words received by v on `port` (valid after the run).
   [[nodiscard]] const std::vector<Word>& received(NodeId v,

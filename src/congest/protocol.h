@@ -27,6 +27,25 @@
 
 namespace dmc {
 
+/// How the engine picks which nodes to execute each round.
+enum class Scheduling {
+  /// Every node executes every round — the classic reference sweep.
+  /// Always safe; the default for protocols that have not been audited.
+  kDense,
+  /// After a dense first round, a round executes exactly the nodes with a
+  /// delivery this round plus the nodes that called `request_wake()` last
+  /// round.  Node-step cost drops from rounds·n to Σ_r active(r).
+  ///
+  /// A protocol may opt in iff it is IDLE-IDEMPOTENT: executing a node
+  /// with an empty inbox that did not request a wake must send nothing,
+  /// leave every observable output and `local_done(v)` unchanged (benign
+  /// rewrites of the same value are fine).  Any node that must act in
+  /// round r+1 without receiving mail (a pipeline with a queued item, a
+  /// stream with more to emit) calls `mb.request_wake()` in round r; such
+  /// a node must not be locally done, or quiescence could drop the wake.
+  kEventDriven,
+};
+
 class Protocol {
  public:
   virtual ~Protocol() = default;
@@ -45,6 +64,13 @@ class Protocol {
   /// The engine declares the protocol finished when every node is locally
   /// done and no message is in flight.
   [[nodiscard]] virtual bool local_done(NodeId v) const = 0;
+
+  /// Scheduling contract of this protocol (see Scheduling).  Overriding to
+  /// kEventDriven asserts idle-idempotence; results, rounds, and message
+  /// stats must be bit-identical to a dense run — only node_steps shrinks.
+  [[nodiscard]] virtual Scheduling scheduling() const {
+    return Scheduling::kDense;
+  }
 };
 
 }  // namespace dmc

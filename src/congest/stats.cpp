@@ -4,13 +4,22 @@
 
 namespace dmc {
 
+CongestStats CongestStats::without_node_steps() const {
+  CongestStats s = *this;
+  s.node_steps = 0;
+  for (ProtocolStats& p : s.per_protocol) p.node_steps = 0;
+  return s;
+}
+
 void CongestStats::print(std::ostream& os) const {
   os << "rounds=" << rounds << " (+" << barrier_rounds
      << " barrier) messages=" << messages << " words=" << words
+     << " node_steps=" << node_steps
      << " max_words/msg=" << static_cast<int>(max_words_per_message) << '\n';
   for (const ProtocolStats& p : per_protocol)
     os << "  " << p.name << ": rounds=" << p.rounds
-       << " messages=" << p.messages << '\n';
+       << " messages=" << p.messages << " node_steps=" << p.node_steps
+       << '\n';
 }
 
 }  // namespace dmc

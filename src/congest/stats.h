@@ -17,6 +17,7 @@ struct ProtocolStats {
   std::uint64_t rounds{0};
   std::uint64_t messages{0};
   std::uint64_t words{0};
+  std::uint64_t node_steps{0};  ///< node executions (Σ_r active(r))
 
   [[nodiscard]] friend bool operator==(const ProtocolStats&,
                                        const ProtocolStats&) = default;
@@ -27,6 +28,9 @@ struct CongestStats {
   std::uint64_t barrier_rounds{0};  ///< charged phase-transition rounds
   std::uint64_t messages{0};
   std::uint64_t words{0};
+  /// Total node executions.  Dense scheduling pays rounds·n; event-driven
+  /// scheduling pays Σ_r active(r).  The ONLY stat scheduling may change.
+  std::uint64_t node_steps{0};
   std::uint8_t max_words_per_message{0};
   /// Max messages observed over one directed edge in one round (legal: 1).
   std::uint32_t max_messages_edge_round{0};
@@ -42,6 +46,11 @@ struct CongestStats {
   /// this being exact, not approximate.
   [[nodiscard]] friend bool operator==(const CongestStats&,
                                        const CongestStats&) = default;
+
+  /// Copy with every node_steps counter (total and per-protocol) zeroed.
+  /// Cross-scheduling comparisons go through this: dense and event-driven
+  /// runs must agree on every stat except node executions.
+  [[nodiscard]] CongestStats without_node_steps() const;
 
   void print(std::ostream& os) const;
 };

@@ -33,6 +33,11 @@ class SideExchange final : public Protocol {
   [[nodiscard]] bool local_done(NodeId v) const override {
     return sent_[v] != 0;
   }
+  /// Event-driven audit: all side bits go out in the dense first round;
+  /// round 2 accumulates crossing weight at receivers; idle no-ops.
+  [[nodiscard]] Scheduling scheduling() const override {
+    return Scheduling::kEventDriven;
+  }
   [[nodiscard]] Weight local_cross(NodeId v) const {
     return local_cross_[v];
   }

@@ -11,6 +11,7 @@ DistMinCutResult exact_min_cut_dist(const Graph& g,
                                     const ExactMinCutOptions& opt) {
   DMC_REQUIRE(g.num_nodes() >= 2);
   Network net{g, make_engine(opt.engine_threads)};
+  net.force_scheduling(opt.scheduling);
   Schedule sched{net};
 
   LeaderBfsProtocol lb{g};

@@ -11,8 +11,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "congest/protocol.h"
 #include "congest/stats.h"
 #include "graph/graph.h"
 
@@ -25,6 +27,11 @@ struct ExactMinCutOptions {
   /// executor over all hardware threads, k > 1 = sharded over k threads.
   /// Results and stats are bit-identical for every setting (engine.h).
   unsigned engine_threads{1};
+  /// Scheduling override: nullopt lets each protocol declare its own mode
+  /// (every shipped protocol is event-driven); forcing kDense restores the
+  /// full per-round sweep for A/B measurement.  Results and all stats but
+  /// node_steps are bit-identical either way.
+  std::optional<Scheduling> scheduling{};
 };
 
 struct DistMinCutResult {

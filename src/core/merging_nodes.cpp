@@ -48,6 +48,12 @@ class ChildBitProtocol final : public Protocol {
     return sent_[v] != 0;
   }
 
+  /// Event-driven audit: every node sends in the dense first round; round
+  /// 2 counts arrived bits at the receivers only; idle executions no-op.
+  [[nodiscard]] Scheduling scheduling() const override {
+    return Scheduling::kEventDriven;
+  }
+
   /// Number of children branches of v containing a whole fragment.
   [[nodiscard]] std::uint32_t branches(NodeId v) const {
     return branch_count_[v];

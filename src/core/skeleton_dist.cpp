@@ -55,6 +55,12 @@ class MaskedFlood final : public Protocol {
   [[nodiscard]] bool local_done(NodeId v) const override {
     return started_[v] != 0;
   }
+  /// Event-driven audit: the leader seeds the flood in the dense first
+  /// round; the wave advances by deliveries; an already-reached (or
+  /// never-reached) idle node is a no-op.
+  [[nodiscard]] Scheduling scheduling() const override {
+    return Scheduling::kEventDriven;
+  }
   [[nodiscard]] bool reached(NodeId v) const { return reached_[v] != 0; }
 
  private:

@@ -83,6 +83,13 @@ class MergeRequestProtocol final : public Protocol {
     return step_[v] >= 1;
   }
 
+  /// Event-driven audit: senders fire in the dense first round; only the
+  /// receiving endpoints act in round 2 (delivery activation).  An idle
+  /// execution bumps step_ past 1, which nothing observes.
+  [[nodiscard]] Scheduling scheduling() const override {
+    return Scheduling::kEventDriven;
+  }
+
   /// Requests delivered to v: (receiver, receiver port, requesting
   /// fragment).
   [[nodiscard]] const std::vector<Request>& received(NodeId v) const {
@@ -147,6 +154,13 @@ class MergeFloodProtocol final : public Protocol {
 
   [[nodiscard]] bool local_done(NodeId v) const override {
     return started_[v] != 0;
+  }
+
+  /// Event-driven audit: seeds start the floods in the dense first round;
+  /// the wave then advances purely by deliveries.  An idle execution
+  /// (started, empty inbox) is a no-op.
+  [[nodiscard]] Scheduling scheduling() const override {
+    return Scheduling::kEventDriven;
   }
 
   [[nodiscard]] NodeId new_frag(NodeId v) const { return new_frag_[v]; }

@@ -62,6 +62,13 @@ class OrientFloodProtocol final : public Protocol {
     return started_[v] != 0;
   }
 
+  /// Event-driven audit: same shape as the merge flood — seeds act in the
+  /// dense first round, the wave advances by deliveries, idle executions
+  /// are no-ops.
+  [[nodiscard]] Scheduling scheduling() const override {
+    return Scheduling::kEventDriven;
+  }
+
   [[nodiscard]] std::uint32_t depth(NodeId v) const { return depth_[v]; }
   [[nodiscard]] std::uint32_t parent_port(NodeId v) const {
     return parent_port_[v];

@@ -1,0 +1,408 @@
+// Scheduling equivalence: event-driven sparse execution must be
+// observably identical to the dense reference sweep — same protocol
+// results, same round/message/word/congestion statistics — for every
+// migrated protocol, under every engine and thread count.  The ONLY stat
+// allowed to change is node_steps, which is the point: Σ_r active(r)
+// instead of rounds·n (DESIGN.md "Sparse scheduling").
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+
+#include "congest/network.h"
+#include "congest/primitives/aggregate_broadcast.h"
+#include "congest/primitives/barrier.h"
+#include "congest/primitives/convergecast.h"
+#include "congest/primitives/downcast.h"
+#include "congest/primitives/leader_bfs.h"
+#include "congest/primitives/pairwise_exchange.h"
+#include "congest/schedule.h"
+#include "core/cut_verify.h"
+#include "core/exact_mincut.h"
+#include "core/skeleton_dist.h"
+#include "graph/generators.h"
+
+namespace dmc {
+namespace {
+
+/// Engine configurations under test: 0 = the sequential reference engine,
+/// k ≥ 1 = the sharded engine with k threads.
+constexpr unsigned kEngines[] = {0u, 1u, 2u, 8u};
+
+std::unique_ptr<Engine> make_test_engine(unsigned cfg) {
+  return cfg == 0 ? make_sequential_engine() : make_sharded_engine(cfg);
+}
+
+std::string engine_label(unsigned cfg) {
+  return cfg == 0 ? "sequential" : "sharded(" + std::to_string(cfg) + ")";
+}
+
+struct RunOutput {
+  std::string obs;  ///< serialized observable results
+  CongestStats stats;
+};
+
+/// Runs `body(net, os)` on a fresh network with the given engine and
+/// scheduling override; observables are whatever body streams into os.
+template <typename Body>
+RunOutput run_config(const Graph& g, unsigned engine_cfg,
+                     std::optional<Scheduling> forced, Body&& body) {
+  Network net{g, make_test_engine(engine_cfg)};
+  net.force_scheduling(forced);
+  std::ostringstream os;
+  body(net, os);
+  return RunOutput{os.str(), net.stats()};
+}
+
+/// The equivalence matrix for one protocol scenario: every {Dense,
+/// EventDriven} × engine cell must match the Dense/sequential baseline on
+/// observables and on stats-modulo-node_steps; cells within one mode must
+/// match that mode's sequential run EXACTLY (node_steps included); and
+/// event-driven must never execute more node-steps than dense.
+template <typename Body>
+void expect_scheduling_equivalence(const char* what, const Graph& g,
+                                   Body&& body) {
+  const RunOutput dense_seq =
+      run_config(g, 0, Scheduling::kDense, body);
+  const RunOutput event_seq =
+      run_config(g, 0, Scheduling::kEventDriven, body);
+
+  EXPECT_EQ(event_seq.obs, dense_seq.obs) << what;
+  EXPECT_TRUE(event_seq.stats.without_node_steps() ==
+              dense_seq.stats.without_node_steps())
+      << what << ": stats (mod node_steps) diverged across modes";
+  EXPECT_LE(event_seq.stats.node_steps, dense_seq.stats.node_steps)
+      << what << ": event-driven ran MORE node-steps than dense";
+
+  for (const Scheduling mode :
+       {Scheduling::kDense, Scheduling::kEventDriven}) {
+    const RunOutput& mode_seq =
+        mode == Scheduling::kDense ? dense_seq : event_seq;
+    for (const unsigned cfg : kEngines) {
+      if (cfg == 0) continue;  // the baselines above
+      const RunOutput r = run_config(g, cfg, mode, body);
+      const char* mode_name =
+          mode == Scheduling::kDense ? "dense" : "event";
+      EXPECT_EQ(r.obs, mode_seq.obs)
+          << what << " [" << mode_name << ", " << engine_label(cfg) << "]";
+      EXPECT_TRUE(r.stats == mode_seq.stats)
+          << what << " [" << mode_name << ", " << engine_label(cfg)
+          << "]: stats diverged from the mode's sequential run";
+    }
+  }
+}
+
+/// A BFS TreeView computed once, outside the networks under test.
+TreeView bfs_tree(const Graph& g) {
+  Network net{g};
+  LeaderBfsProtocol lb{g};
+  net.run(lb);
+  return lb.tree_view(g);
+}
+
+void print_cvalue(std::ostream& os, const CValue& c) {
+  os << '(' << c.w0 << ',' << c.w1 << ')';
+}
+
+void print_items(std::ostream& os, const std::vector<AggItem>& items) {
+  os << '[';
+  for (const AggItem& it : items)
+    os << it.key << ':' << it.p[0] << ',' << it.p[1] << ',' << it.p[2]
+       << ';';
+  os << ']';
+}
+
+// ---------------------------------------------------------------------
+// Per-primitive scenarios.
+// ---------------------------------------------------------------------
+
+TEST(SchedulingEquivalence, LeaderBfs) {
+  const Graph graphs[] = {
+      make_path(33),
+      make_barbell(20, 3, 1, 7),
+      make_planted_cut(36, 0.4, 4, 1, 13),
+  };
+  for (const Graph& g : graphs) {
+    expect_scheduling_equivalence(
+        "leader_bfs", g, [](Network& net, std::ostream& os) {
+          LeaderBfsProtocol lb{net.graph()};
+          net.run(lb);
+          os << "leader=" << lb.leader() << ';';
+          for (NodeId v = 0; v < net.num_nodes(); ++v)
+            os << lb.depth(v) << ',';
+          const TreeView tv = lb.tree_view(net.graph());
+          for (NodeId v = 0; v < net.num_nodes(); ++v)
+            os << (tv.is_root(v) ? -1 : static_cast<int>(tv.parent_port(v)))
+               << ';';
+        });
+    expect_scheduling_equivalence(
+        "rooted_bfs", g, [](Network& net, std::ostream& os) {
+          LeaderBfsProtocol lb{net.graph(), /*root=*/3};
+          net.run(lb);
+          for (NodeId v = 0; v < net.num_nodes(); ++v)
+            os << lb.depth(v) << ',';
+        });
+  }
+}
+
+TEST(SchedulingEquivalence, Convergecast) {
+  const Graph g = make_planted_cut(40, 0.45, 3, 1, 5);
+  const TreeView tv = bfs_tree(g);
+  for (const bool broadcast : {false, true}) {
+    expect_scheduling_equivalence(
+        "convergecast", g, [&](Network& net, std::ostream& os) {
+          std::vector<CValue> init(net.num_nodes());
+          for (NodeId v = 0; v < net.num_nodes(); ++v)
+            init[v] = CValue{Word{v} + 1, Word{v} % 5};
+          ConvergecastProtocol cc{net.graph(), tv, CombineOp::kSum,
+                                  std::move(init), broadcast};
+          net.run(cc);
+          for (NodeId v = 0; v < net.num_nodes(); ++v) {
+            print_cvalue(os, cc.subtree_value(v));
+            if (broadcast) print_cvalue(os, cc.tree_value(v));
+          }
+        });
+  }
+}
+
+TEST(SchedulingEquivalence, PipelinedDowncast) {
+  const Graph g = make_barbell(24, 4, 1, 11);
+  const TreeView tv = bfs_tree(g);
+  expect_scheduling_equivalence(
+      "downcast", g, [&](Network& net, std::ostream& os) {
+        const std::size_t n = net.num_nodes();
+        // Several items per originating node so relay queues pipeline.
+        std::vector<std::vector<DownItem>> originated(n);
+        for (NodeId v = 0; v < n; v += 5)
+          for (Word i = 0; i < 3; ++i)
+            originated[v].push_back(DownItem{{Word{v}, i, Word{v} + i, 0}});
+        std::vector<std::vector<Word>> got(n);
+        PipelinedDowncastProtocol dc{
+            net.graph(), tv, std::move(originated),
+            [&](NodeId v, const DownItem& it) {
+              got[v].push_back(it.w[0] * 1000 + it.w[1]);
+              return true;
+            }};
+        net.run(dc);
+        for (NodeId v = 0; v < n; ++v) {
+          for (const Word w : got[v]) os << w << ',';
+          os << ';';
+        }
+      });
+}
+
+TEST(SchedulingEquivalence, AggregateBroadcast) {
+  const Graph g = make_planted_cut(32, 0.5, 3, 1, 17);
+  const TreeView tv = bfs_tree(g);
+  const AggOptions configs[] = {
+      {AggOp::kSum, /*deliver_all=*/true, /*tap=*/false, /*absorb=*/false},
+      {AggOp::kMin, /*deliver_all=*/false, /*tap=*/true, /*absorb=*/false},
+      {AggOp::kSum, /*deliver_all=*/true, /*tap=*/true, /*absorb=*/true},
+  };
+  for (const AggOptions& opt : configs) {
+    expect_scheduling_equivalence(
+        "agg_broadcast", g, [&](Network& net, std::ostream& os) {
+          const std::size_t n = net.num_nodes();
+          std::vector<std::vector<AggItem>> contrib(n);
+          for (NodeId v = 0; v < n; ++v) {
+            contrib[v].push_back(
+                AggItem{Word{v} % 9, {Word{v}, 1, 0}});
+            if (v % 3 == 0)
+              contrib[v].push_back(
+                  AggItem{Word{(v * 7) % n}, {2, Word{v}, 0}});
+          }
+          AggregateBroadcastProtocol bc{net.graph(), tv, opt,
+                                        std::move(contrib)};
+          net.run(bc);
+          for (NodeId v = 0; v < n; ++v) {
+            print_items(os, bc.items(v));
+            if (opt.tap) print_items(os, bc.tapped(v));
+            if (opt.absorb) print_items(os, bc.absorbed(v));
+          }
+        });
+  }
+}
+
+TEST(SchedulingEquivalence, Barrier) {
+  const Graph g = make_random_regular(42, 4, 23);
+  const TreeView tv = bfs_tree(g);
+  expect_scheduling_equivalence(
+      "barrier", g, [&](Network& net, std::ostream& os) {
+        BarrierProtocol b{net.graph(), tv};
+        net.run(b);
+        for (NodeId v = 0; v < net.num_nodes(); ++v)
+          os << (b.released(v) ? 1 : 0);
+      });
+}
+
+TEST(SchedulingEquivalence, PairwiseExchange) {
+  const Graph g = make_planted_cut(28, 0.5, 2, 1, 29);
+  expect_scheduling_equivalence(
+      "pairwise_exchange", g, [&](Network& net, std::ostream& os) {
+        const Graph& gg = net.graph();
+        const std::size_t n = gg.num_nodes();
+        std::vector<std::vector<std::vector<Word>>> outgoing(n);
+        for (NodeId v = 0; v < n; ++v) {
+          outgoing[v].resize(gg.degree(v));
+          for (std::uint32_t p = 0; p < gg.degree(v); ++p)
+            for (Word i = 0; i < (Word{v} + p) % 4; ++i)
+              outgoing[v][p].push_back(Word{v} * 100 + p * 10 + i);
+        }
+        PairwiseExchangeProtocol px{gg, std::move(outgoing)};
+        net.run(px);
+        for (NodeId v = 0; v < n; ++v)
+          for (std::uint32_t p = 0; p < gg.degree(v); ++p) {
+            for (const Word w : px.received(v, p)) os << w << ',';
+            os << ';';
+          }
+      });
+}
+
+// Covers MaskedFlood and SideExchange (plus convergecast in anger).
+TEST(SchedulingEquivalence, SkeletonFloodAndCutVerify) {
+  const Graph g = make_planted_cut(30, 0.5, 3, 1, 31);
+  const TreeView tv = bfs_tree(g);
+  expect_scheduling_equivalence(
+      "skeleton+cut_verify", g, [&](Network& net, std::ostream& os) {
+        Schedule sched{net};
+        sched.set_barrier_height(tv.height(net.graph()));
+        const DistSkeleton sk =
+            sample_skeleton_dist(net.graph(), 0.7, /*seed=*/77);
+        os << "conn="
+           << skeleton_connected_dist(sched, tv, /*leader=*/0, sk.enabled)
+           << ';';
+        std::vector<bool> side(net.num_nodes());
+        for (NodeId v = 0; v < net.num_nodes(); ++v) side[v] = v % 3 == 0;
+        os << "cut=" << verify_cut_dist(sched, tv, side);
+      });
+}
+
+// ---------------------------------------------------------------------
+// The full pipeline: GHS merge protocols, orientation floods, subtree
+// sums, merging nodes, 1-respect — everything at once, across scheduling
+// modes and thread counts.
+// ---------------------------------------------------------------------
+
+TEST(SchedulingEquivalence, ExactPipelineAcrossModesAndEngines) {
+  const Graph g = make_planted_cut(40, 0.4, 4, 1, 13);
+  const auto run = [&](std::optional<Scheduling> sched, unsigned threads) {
+    ExactMinCutOptions opt;
+    opt.max_trees = 5;
+    opt.patience = 2;
+    opt.engine_threads = threads;
+    opt.scheduling = sched;
+    return exact_min_cut_dist(g, opt);
+  };
+  const DistMinCutResult dense = run(Scheduling::kDense, 1);
+  // nullopt exercises the per-protocol declarations (all event-driven).
+  for (const auto& sched :
+       {std::optional<Scheduling>{Scheduling::kEventDriven},
+        std::optional<Scheduling>{}}) {
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      const DistMinCutResult ev = run(sched, threads);
+      EXPECT_EQ(ev.value, dense.value);
+      EXPECT_EQ(ev.v_star, dense.v_star);
+      EXPECT_EQ(ev.side, dense.side);
+      EXPECT_EQ(ev.trees_packed, dense.trees_packed);
+      EXPECT_EQ(ev.tree_of_best, dense.tree_of_best);
+      EXPECT_EQ(ev.fragments, dense.fragments);
+      EXPECT_TRUE(ev.stats.without_node_steps() ==
+                  dense.stats.without_node_steps())
+          << "stats (mod node_steps) diverged at " << threads << " threads";
+      EXPECT_LE(ev.stats.node_steps, dense.stats.node_steps);
+    }
+  }
+  // The pipeline is frontier-shaped almost everywhere; demand a real win,
+  // not just parity.
+  const DistMinCutResult ev = run(std::nullopt, 1);
+  EXPECT_LT(ev.stats.node_steps * 2, dense.stats.node_steps)
+      << "event-driven saved less than half the node-steps";
+}
+
+// ---------------------------------------------------------------------
+// The asymptotic claim: a rooted BFS wave on a path is Θ(n²) node-steps
+// dense and Θ(n) event-driven.
+// ---------------------------------------------------------------------
+
+std::uint64_t path_bfs_node_steps(const Graph& g,
+                                  std::optional<Scheduling> forced,
+                                  unsigned engine_cfg = 0) {
+  Network net{g, make_test_engine(engine_cfg)};
+  net.force_scheduling(forced);
+  LeaderBfsProtocol lb{net.graph(), /*root=*/0};
+  net.run(lb);
+  // Sanity: the wave reached the far end with exact distances.
+  EXPECT_EQ(lb.depth(static_cast<NodeId>(g.num_nodes() - 1)),
+            g.num_nodes() - 1);
+  return net.stats().node_steps;
+}
+
+TEST(SchedulingNodeSteps, PathBfs1024IsLinearNotQuadratic) {
+  const std::size_t n = 1024;
+  const Graph g = make_path(n);
+  const std::uint64_t dense = path_bfs_node_steps(g, Scheduling::kDense);
+  const std::uint64_t event = path_bfs_node_steps(g, std::nullopt);
+  EXPECT_GE(dense, static_cast<std::uint64_t>(n) * n / 2)
+      << "dense should pay ~rounds·n";
+  EXPECT_LE(event, 8 * n) << "event-driven must be O(n), not O(n²)";
+}
+
+TEST(SchedulingNodeSteps, AcceptancePathBfs4096TenfoldDrop) {
+  const std::size_t n = 4096;
+  const Graph g = make_path(n);
+  const std::uint64_t dense = path_bfs_node_steps(g, Scheduling::kDense);
+  const std::uint64_t event = path_bfs_node_steps(g, std::nullopt);
+  EXPECT_GE(dense, 10 * event)
+      << "acceptance: ≥10× node-step drop under event-driven";
+  // Bit-identical results and stats (mod node_steps) across modes and
+  // thread counts, on the acceptance instance itself.
+  const auto observe = [&](std::optional<Scheduling> forced, unsigned cfg) {
+    Network net{g, make_test_engine(cfg)};
+    net.force_scheduling(forced);
+    LeaderBfsProtocol lb{net.graph(), /*root=*/0};
+    net.run(lb);
+    std::ostringstream os;
+    for (NodeId v = 0; v < net.num_nodes(); ++v) os << lb.depth(v) << ',';
+    return std::pair{os.str(), net.stats()};
+  };
+  const auto [obs_dense, stats_dense] = observe(Scheduling::kDense, 0);
+  for (const unsigned cfg : kEngines) {
+    const auto [obs_ev, stats_ev] = observe(std::nullopt, cfg);
+    EXPECT_EQ(obs_ev, obs_dense) << engine_label(cfg);
+    EXPECT_TRUE(stats_ev.without_node_steps() ==
+                stats_dense.without_node_steps())
+        << engine_label(cfg);
+    EXPECT_EQ(stats_ev.node_steps, event) << engine_label(cfg)
+        << ": active sets must be engine-independent";
+  }
+}
+
+// A protocol that mis-declares event-driven (needs a wake it never
+// requests) must hit the deadlock guard instead of silently mis-running.
+TEST(SchedulingNodeSteps, MisdeclaredProtocolHitsDeadlockGuard) {
+  class NeedsWake final : public Protocol {
+   public:
+    [[nodiscard]] std::string name() const override { return "needs_wake"; }
+    void round(NodeId v, Mailbox& mb) override {
+      // Node 0 wants to send in round 3 but never requests a wake and
+      // receives nothing — under event-driven it never executes again.
+      if (v == 0 && ++steps_ == 3) mb.send(0, Message::make(1, {1}));
+    }
+    [[nodiscard]] bool local_done(NodeId v) const override {
+      return v != 0 || steps_ >= 3;
+    }
+    [[nodiscard]] Scheduling scheduling() const override {
+      return Scheduling::kEventDriven;
+    }
+
+   private:
+    int steps_{0};
+  };
+  const Graph g = make_path(4);
+  Network net{g};
+  NeedsWake p;
+  EXPECT_THROW(net.run(p, /*max_rounds=*/64), InvariantError);
+}
+
+}  // namespace
+}  // namespace dmc
