@@ -25,27 +25,34 @@ int main() {
       return Table::cell(
           static_cast<double>(v) / static_cast<double>(lambda), 2);
     };
-    const DistMinCutResult exact = distributed_min_cut(g);
+    // Six distributed queries against one instance: one session.
+    Session session{g};
+    MinCutRequest req;
+    req.seed = seed;
+    const MinCutReport exact = session.solve(req);
     t.add_row({name, Table::cell(lambda), "exact (paper)",
                Table::cell(exact.value), ratio(exact.value), "yes",
                Table::cell(exact.stats.total_rounds())});
+    req.algo = Algo::kApprox;
     for (const double eps : {0.1, 0.3, 0.5}) {
-      const DistApproxResult a = distributed_approx_min_cut(g, eps, seed);
+      req.eps = eps;
+      const MinCutReport a = session.solve(req);
       t.add_row({name, Table::cell(lambda),
-                 "(1+eps) eps=" + Table::cell(eps, 1),
-                 Table::cell(a.result.value), ratio(a.result.value), "yes",
-                 Table::cell(a.result.stats.total_rounds())});
+                 "(1+eps) eps=" + Table::cell(eps, 1), Table::cell(a.value),
+                 ratio(a.value), "yes", Table::cell(a.stats.total_rounds())});
     }
     const MatulaResult m = matula_approx_min_cut(g, 0.5);
     t.add_row({name, Table::cell(lambda), "Matula (2+eps) [GK band]",
                Table::cell(m.value), ratio(m.value), "yes", "-"});
-    const SuEstimateResult su = distributed_su_estimate(g, seed);
+    req.algo = Algo::kSu;
+    const MinCutReport su = session.solve(req);
     t.add_row({name, Table::cell(lambda), "Su'14-style estimate",
-               Table::cell(su.estimate), ratio(su.estimate), "no",
+               Table::cell(su.value), ratio(su.value), "no",
                Table::cell(su.stats.total_rounds())});
-    const GkEstimateResult gk = distributed_gk_estimate(g, seed);
+    req.algo = Algo::kGk;
+    const MinCutReport gk = session.solve(req);
     t.add_row({name, Table::cell(lambda), "GK'13-proxy estimate",
-               Table::cell(gk.estimate), ratio(gk.estimate), "no",
+               Table::cell(gk.value), ratio(gk.value), "no",
                Table::cell(gk.stats.total_rounds())});
   };
 

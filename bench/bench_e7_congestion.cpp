@@ -28,12 +28,19 @@ int main() {
   };
 
   {
+    // Four algorithms, one instance, one session — the serving shape.
     const Graph g = make_erdos_renyi(128, 0.07, 5, 1, 20);
-    report("exact (paper)", "er(128)", distributed_min_cut(g).stats);
-    report("(1+eps) eps=0.3", "er(128)",
-           distributed_approx_min_cut(g, 0.3, 5).result.stats);
-    report("Su'14-style", "er(128)", distributed_su_estimate(g, 5).stats);
-    report("GK'13-proxy", "er(128)", distributed_gk_estimate(g, 5).stats);
+    Session session{g};
+    MinCutRequest req;
+    req.seed = 5;
+    req.eps = 0.3;
+    const char* labels[] = {"exact (paper)", "(1+eps) eps=0.3",
+                            "Su'14-style", "GK'13-proxy"};
+    const Algo algos[] = {Algo::kExact, Algo::kApprox, Algo::kSu, Algo::kGk};
+    for (std::size_t i = 0; i < 4; ++i) {
+      req.algo = algos[i];
+      report(labels[i], "er(128)", session.solve(req).stats);
+    }
   }
   {
     const Graph g = make_path_of_cliques(16, 8);

@@ -17,7 +17,7 @@
 
 int main(int argc, char** argv) {
   using namespace dmc;
-  const Options opt{argc, argv};
+  const Options opt{argc, argv, {"n", "cross", "p_in", "seed", "eps"}};
   const std::size_t n = opt.get_uint("n", 64);
   const std::size_t cross = opt.get_uint("cross", 4);
   const double p_in = opt.get_double("p_in", 0.5);
@@ -39,8 +39,15 @@ int main(int argc, char** argv) {
     return std::max(agree, g.num_nodes() - agree);
   };
 
-  const DistMinCutResult exact = distributed_min_cut(g);
-  const DistApproxResult approx = distributed_approx_min_cut(g, eps, seed);
+  // Both queries share one session (one simulated network).
+  Session session{g};
+  MinCutRequest exact_req;
+  MinCutRequest approx_req;
+  approx_req.algo = Algo::kApprox;
+  approx_req.eps = eps;
+  approx_req.seed = seed;
+  const MinCutReport exact = session.solve(exact_req);
+  const MinCutReport approx = session.solve(approx_req);
 
   Table t{{"algorithm", "cut value", "community accuracy", "rounds",
            "messages"}};
@@ -50,11 +57,11 @@ int main(int argc, char** argv) {
              Table::cell(exact.stats.total_rounds()),
              Table::cell(exact.stats.messages)});
   t.add_row({"(1+eps) eps=" + Table::cell(eps, 2),
-             Table::cell(approx.result.value),
-             Table::cell(community_accuracy(approx.result.side)) + "/" +
+             Table::cell(approx.value),
+             Table::cell(community_accuracy(approx.side)) + "/" +
                  Table::cell(g.num_nodes()),
-             Table::cell(approx.result.stats.total_rounds()),
-             Table::cell(approx.result.stats.messages)});
+             Table::cell(approx.stats.total_rounds()),
+             Table::cell(approx.stats.messages)});
   t.print(std::cout);
 
   const Weight lambda = stoer_wagner_min_cut(g).value;

@@ -20,7 +20,7 @@
 
 int main(int argc, char** argv) {
   using namespace dmc;
-  const Options opt{argc, argv};
+  const Options opt{argc, argv, {"rows", "cols"}};
   const std::size_t rows = opt.get_uint("rows", 8);
   const std::size_t cols = opt.get_uint("cols", 16);
 

@@ -18,7 +18,7 @@
 
 int main(int argc, char** argv) {
   using namespace dmc;
-  const Options opt{argc, argv};
+  const Options opt{argc, argv, {"buildings", "floor_size", "seed"}};
   const std::size_t buildings = opt.get_uint("buildings", 5);
   const std::size_t floor_size = opt.get_uint("floor_size", 6);
   const std::uint64_t seed = opt.get_uint("seed", 11);
@@ -69,7 +69,8 @@ int main(int argc, char** argv) {
   std::cout << "rounds: " << bridges.stats.total_rounds() << "\n\n";
 
   // --- global bottleneck ---
-  const DistMinCutResult cut = distributed_min_cut(g);
+  Session session{g};
+  const MinCutReport cut = session.solve(MinCutRequest{});
   const Weight lambda = stoer_wagner_min_cut(g).value;
   std::cout << "capacity bottleneck (min cut): " << cut.value
             << (cut.value == lambda ? "  ✓ oracle agrees" : "  ✗ MISMATCH")

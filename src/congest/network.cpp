@@ -59,6 +59,26 @@ Network::Network(const Graph& g, std::unique_ptr<Engine> engine)
   done_flag_.assign(n, 0);
 }
 
+void Network::reset() {
+  // Everything here is a fill or a clear over buffers whose capacity is
+  // retained, so a reset is O(n + m) writes with zero allocation, and the
+  // engine (with any worker pool it spawned) is untouched.
+  round_ = 0;
+  stats_.reset();
+  for (auto& plane : stamps_)
+    std::fill(plane.begin(), plane.end(), kNeverStamp);
+  for (ActivationBucket& b : buckets_) {
+    b.nodes.clear();
+    std::fill(b.mark.begin(), b.mark.end(), kNeverStamp);
+  }
+  active_.clear();
+  std::fill(done_flag_.begin(), done_flag_.end(), std::uint8_t{0});
+  done_count_ = 0;
+  mode_ = Scheduling::kDense;
+  dense_round_ = true;
+  first_round_ = 0;
+}
+
 void Mailbox::send(std::uint32_t port, const Message& m) {
   net_->send_from(self_, port, m);
 }
@@ -198,12 +218,23 @@ std::uint64_t Network::run(Protocol& p, std::uint64_t max_rounds) {
   const std::uint64_t words_before = stats_.words;
   const std::uint64_t node_steps_before = stats_.node_steps;
 
+  if (observer_) observer_->on_phase_begin(p.name());
+
   for (;;) {
     begin_round();
     engine_->execute_round(*this, p);
     const std::uint64_t sent = end_round();
     ++executed;
     ++stats_.rounds;
+
+    // Cooperative cancellation: checked between rounds on this (the
+    // coordinator) thread, so the worker pool is always quiescent when
+    // the exception unwinds and the Network can be reset() and reused.
+    if (observer_ && !observer_->on_round(stats_))
+      throw CancelledError{"protocol '" + p.name() +
+                           "' cancelled by observer after " +
+                           std::to_string(stats_.total_rounds()) +
+                           " total rounds"};
 
     // Quiescent?  Nothing in flight and every node locally done — read
     // off the incremental counter; no O(n) scan in any scheduling mode.
@@ -217,6 +248,7 @@ std::uint64_t Network::run(Protocol& p, std::uint64_t max_rounds) {
   stats_.per_protocol.push_back(ProtocolStats{
       p.name(), executed, stats_.messages - messages_before,
       stats_.words - words_before, stats_.node_steps - node_steps_before});
+  if (observer_) observer_->on_phase_end(p.name(), stats_.per_protocol.back());
   return executed;
 }
 

@@ -44,6 +44,7 @@
 #include "congest/engine.h"
 #include "congest/mailbox.h"
 #include "congest/message.h"
+#include "congest/observer.h"
 #include "congest/protocol.h"
 #include "congest/stats.h"
 #include "graph/graph.h"
@@ -67,6 +68,23 @@ class Network {
 
   [[nodiscard]] const CongestStats& stats() const { return stats_; }
   [[nodiscard]] CongestStats& stats() { return stats_; }
+
+  /// Returns the network to the pristine just-constructed state — stats
+  /// zeroed, every mail-slot stamp and activation mark back to
+  /// kNeverStamp, round counter at 0 — WITHOUT reallocating any buffer or
+  /// restarting the engine's worker pool.  A protocol run after reset()
+  /// is bit-identical (results and all stats) to the same run on a fresh
+  /// Network over the same graph and engine; see DESIGN.md "Serving
+  /// layer" for the argument, tests/test_session.cpp for the enforcement.
+  /// The forced-scheduling override and the installed observer are
+  /// configuration, not run state, and survive the reset.
+  void reset();
+
+  /// Installs a phase/round observer (nullptr to clear).  Borrowed, not
+  /// owned: the observer must outlive every run() it watches.  Observers
+  /// are read-only except for cooperative cancellation (observer.h).
+  void set_observer(RoundObserver* obs) { observer_ = obs; }
+  [[nodiscard]] RoundObserver* observer() const { return observer_; }
 
   /// Forces a scheduling mode for every subsequent run(), overriding the
   /// protocols' own declarations — the A/B hook the scheduling-equivalence
@@ -137,6 +155,7 @@ class Network {
   const Graph* g_;
   std::unique_ptr<Engine> engine_;
   CongestStats stats_;
+  RoundObserver* observer_{nullptr};
 
   // Flat CSR mail slots, one per directed edge, in two planes alternated
   // by round parity.  slot port fields are filled once at construction;

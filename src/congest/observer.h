@@ -1,0 +1,69 @@
+// Observation and cooperative cancellation hooks for Network::run.
+//
+// A RoundObserver sees the simulation at protocol-phase granularity
+// (on_phase_begin / on_phase_end bracket every Network::run call, i.e.
+// every Protocol executed to quiescence) and at round granularity
+// (on_round fires after every executed round with a snapshot of the
+// cumulative stats).  Observation is strictly read-only: an observer can
+// never change what a protocol computes, which round executes which
+// nodes, or any statistic — the engine-equivalence and scheduling-
+// equivalence guarantees therefore hold with or without one installed.
+//
+// The one way an observer influences a run is COOPERATIVE CANCELLATION:
+// returning false from on_round makes the Network abandon the run by
+// throwing CancelledError before the next round starts.  The throw
+// happens on the coordinator thread between rounds — never inside a
+// worker sweep — so the sharded engine's pool is always quiescent when
+// the exception unwinds, and the owning Network can simply be reset()
+// and reused.  This is the hook serving layers need for round budgets
+// and wall-clock deadlines (see core/session.h).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "congest/stats.h"
+
+namespace dmc {
+
+/// Thrown by Network::run when an observer cancels the run (round budget
+/// or deadline exceeded, caller shutdown, …).  Deliberately distinct from
+/// InvariantError/PreconditionError: cancellation is not a bug, and a
+/// serving layer routinely catches exactly this type.
+class CancelledError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class RoundObserver {
+ public:
+  virtual ~RoundObserver() = default;
+
+  /// The named protocol is about to execute its first round.  Phases never
+  /// overlap: every on_phase_begin is matched by exactly one on_phase_end
+  /// (or by a thrown error) before the next phase begins.
+  virtual void on_phase_begin(std::string_view protocol) {
+    (void)protocol;
+  }
+
+  /// The named protocol reached quiescence; `phase` is its per-protocol
+  /// stats entry (rounds/messages/words/node_steps of this run only).
+  virtual void on_phase_end(std::string_view protocol,
+                            const ProtocolStats& phase) {
+    (void)protocol;
+    (void)phase;
+  }
+
+  /// Called after every executed round with the cumulative stats of the
+  /// underlying Network (all phases so far, barrier charges included).
+  /// Return false to cancel: the Network throws CancelledError instead of
+  /// starting another round.  Called between rounds on the coordinator
+  /// thread, so implementations need no synchronization.
+  [[nodiscard]] virtual bool on_round(const CongestStats& snapshot) {
+    (void)snapshot;
+    return true;
+  }
+};
+
+}  // namespace dmc

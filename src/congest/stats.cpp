@@ -11,6 +11,17 @@ CongestStats CongestStats::without_node_steps() const {
   return s;
 }
 
+void CongestStats::reset() {
+  rounds = 0;
+  barrier_rounds = 0;
+  messages = 0;
+  words = 0;
+  node_steps = 0;
+  max_words_per_message = 0;
+  max_messages_edge_round = 0;
+  per_protocol.clear();
+}
+
 void CongestStats::print(std::ostream& os) const {
   os << "rounds=" << rounds << " (+" << barrier_rounds
      << " barrier) messages=" << messages << " words=" << words

@@ -52,6 +52,12 @@ struct CongestStats {
   /// runs must agree on every stat except node executions.
   [[nodiscard]] CongestStats without_node_steps() const;
 
+  /// Zeroes every counter and clears per_protocol IN PLACE (capacity
+  /// retained — Network::reset() relies on the no-allocation property).
+  /// Lives next to the field list so a new field cannot be compared by
+  /// operator== yet forgotten here.
+  void reset();
+
   void print(std::ostream& os) const;
 };
 

@@ -7,6 +7,21 @@ DistMinCutResult distributed_min_cut(const Graph& g,
   return exact_min_cut_dist(g, opt);
 }
 
+DistApproxResult distributed_approx_min_cut(const Graph& g,
+                                            const ApproxMinCutOptions& opt) {
+  return approx_min_cut_dist(g, opt);
+}
+
+SuEstimateResult distributed_su_estimate(const Graph& g,
+                                         const SuEstimateOptions& opt) {
+  return su_estimate_min_cut(g, opt);
+}
+
+GkEstimateResult distributed_gk_estimate(const Graph& g,
+                                         const GkEstimateOptions& opt) {
+  return gk_estimate_min_cut(g, opt);
+}
+
 DistApproxResult distributed_approx_min_cut(const Graph& g, double eps,
                                             std::uint64_t seed) {
   ApproxMinCutOptions opt;
@@ -16,11 +31,11 @@ DistApproxResult distributed_approx_min_cut(const Graph& g, double eps,
 }
 
 SuEstimateResult distributed_su_estimate(const Graph& g, std::uint64_t seed) {
-  return su_estimate_min_cut(g, seed);
+  return su_estimate_min_cut(g, SuEstimateOptions{seed});
 }
 
 GkEstimateResult distributed_gk_estimate(const Graph& g, std::uint64_t seed) {
-  return gk_estimate_min_cut(g, seed);
+  return gk_estimate_min_cut(g, GkEstimateOptions{seed});
 }
 
 }  // namespace dmc

@@ -3,15 +3,26 @@
 // Public façade over the full pipeline; the one header downstream users and
 // the examples need.  See README.md for a tour.
 //
+// Serving many queries against one graph?  Use dmc::Session (session.h):
+// the network setup (slot mailboxes, reverse-port table, worker pool) is
+// paid once and every solve() reuses it, bit-identical to a fresh run:
+//
 //   Graph g = make_barbell(64, 3, 1, /*seed=*/7);
-//   auto out = dmc::distributed_min_cut(g);
-//   // out.value == 3, out.side[v] == (v in the planted half),
-//   // out.stats.total_rounds() == the CONGEST round count.
+//   Session session{g};
+//   MinCutRequest req;               // algorithm, eps, seed, budgets…
+//   MinCutReport rep = session.solve(req);
+//   // rep.value == 3, rep.side[v] == (v in the planted half),
+//   // rep.stats.total_rounds() == the CONGEST round count.
+//
+// The free functions below are thin one-shot wrappers over a temporary
+// session — convenient for single queries, with a uniform options-struct
+// signature (the positional-seed spellings are deprecated).
 #pragma once
 
 #include "core/approx_mincut.h"
 #include "core/exact_mincut.h"
 #include "core/gk_estimator.h"
+#include "core/session.h"
 #include "core/su_baseline.h"
 #include "graph/graph.h"
 
@@ -25,15 +36,33 @@ namespace dmc {
 
 /// (1+ε)-approximate minimum cut (the paper's Õ((√n+D)/poly(ε)) variant).
 [[nodiscard]] DistApproxResult distributed_approx_min_cut(
-    const Graph& g, double eps, std::uint64_t seed = 1);
+    const Graph& g, const ApproxMinCutOptions& opt = {});
 
 /// Su [SPAA'14]-style estimate (concurrent-work baseline).
-[[nodiscard]] SuEstimateResult distributed_su_estimate(const Graph& g,
-                                                       std::uint64_t seed = 1);
+[[nodiscard]] SuEstimateResult distributed_su_estimate(
+    const Graph& g, const SuEstimateOptions& opt = {});
 
 /// Ghaffari–Kuhn-style constant-factor estimate (prior-work baseline
 /// proxy; see DESIGN.md).
+[[nodiscard]] GkEstimateResult distributed_gk_estimate(
+    const Graph& g, const GkEstimateOptions& opt = {});
+
+// --- deprecated positional-seed spellings --------------------------------
+// The four entry points used to disagree on shape (bare eps/seed here, an
+// options struct there); they now all take a defaulted options struct that
+// forwards to MinCutRequest.  These overloads remain for source
+// compatibility one release.
+
+[[deprecated("use distributed_approx_min_cut(g, ApproxMinCutOptions{...})")]]
+[[nodiscard]] DistApproxResult distributed_approx_min_cut(
+    const Graph& g, double eps, std::uint64_t seed = 1);
+
+[[deprecated("use distributed_su_estimate(g, SuEstimateOptions{...})")]]
+[[nodiscard]] SuEstimateResult distributed_su_estimate(const Graph& g,
+                                                       std::uint64_t seed);
+
+[[deprecated("use distributed_gk_estimate(g, GkEstimateOptions{...})")]]
 [[nodiscard]] GkEstimateResult distributed_gk_estimate(const Graph& g,
-                                                       std::uint64_t seed = 1);
+                                                       std::uint64_t seed);
 
 }  // namespace dmc

@@ -5,6 +5,7 @@
 #include "congest/primitives/convergecast.h"
 #include "congest/primitives/leader_bfs.h"
 #include "congest/schedule.h"
+#include "core/session.h"
 #include "core/skeleton_dist.h"
 #include "core/tree_packing_dist.h"
 #include "util/bit_math.h"
@@ -12,13 +13,13 @@
 
 namespace dmc {
 
-DistApproxResult approx_min_cut_dist(const Graph& g,
+DistApproxResult approx_min_cut_dist(Network& net,
                                      const ApproxMinCutOptions& opt) {
+  const Graph& g = net.graph();
   DMC_REQUIRE(g.num_nodes() >= 2);
   DMC_REQUIRE(opt.eps > 0.0 && opt.eps <= 1.0);
   const std::size_t n = g.num_nodes();
 
-  Network net{g};
   Schedule sched{net};
 
   LeaderBfsProtocol lb{g};
@@ -98,6 +99,17 @@ DistApproxResult approx_min_cut_dist(const Graph& g,
     return out;
   }
   throw InvariantError{"approx_min_cut_dist: guess loop did not converge"};
+}
+
+DistApproxResult approx_min_cut_dist(const Graph& g,
+                                     const ApproxMinCutOptions& opt) {
+  Session session{g};
+  MinCutRequest req;
+  req.algo = Algo::kApprox;
+  req.eps = opt.eps;
+  req.seed = opt.seed;
+  req.trees_factor = opt.trees_factor;
+  return to_approx_result(session.solve(req));
 }
 
 }  // namespace dmc

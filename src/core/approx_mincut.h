@@ -12,6 +12,8 @@
 
 namespace dmc {
 
+class Network;
+
 struct ApproxMinCutOptions {
   double eps{0.2};
   std::uint64_t seed{1};
@@ -26,6 +28,12 @@ struct DistApproxResult {
   std::size_t attempts{0};
 };
 
+/// Session-parameterized runner over an existing (pristine or reset)
+/// network; see exact_mincut.h for the pattern.
+[[nodiscard]] DistApproxResult approx_min_cut_dist(
+    Network& net, const ApproxMinCutOptions& opt = {});
+
+/// One-shot convenience over a temporary single-use dmc::Session.
 [[nodiscard]] DistApproxResult approx_min_cut_dist(
     const Graph& g, const ApproxMinCutOptions& opt = {});
 

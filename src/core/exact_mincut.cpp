@@ -3,15 +3,15 @@
 #include "congest/network.h"
 #include "congest/primitives/leader_bfs.h"
 #include "congest/schedule.h"
+#include "core/session.h"
 #include "core/tree_packing_dist.h"
 
 namespace dmc {
 
-DistMinCutResult exact_min_cut_dist(const Graph& g,
+DistMinCutResult exact_min_cut_dist(Network& net,
                                     const ExactMinCutOptions& opt) {
+  const Graph& g = net.graph();
   DMC_REQUIRE(g.num_nodes() >= 2);
-  Network net{g, make_engine(opt.engine_threads)};
-  net.force_scheduling(opt.scheduling);
   Schedule sched{net};
 
   LeaderBfsProtocol lb{g};
@@ -35,6 +35,16 @@ DistMinCutResult exact_min_cut_dist(const Graph& g,
   out.fragments = packing.fragments_last;
   out.stats = net.stats();
   return out;
+}
+
+DistMinCutResult exact_min_cut_dist(const Graph& g,
+                                    const ExactMinCutOptions& opt) {
+  Session session{g, SessionOptions{opt.engine_threads, opt.scheduling}};
+  MinCutRequest req;
+  req.algo = Algo::kExact;
+  req.max_trees = opt.max_trees;
+  req.patience = opt.patience;
+  return to_exact_result(session.solve(req));
 }
 
 }  // namespace dmc

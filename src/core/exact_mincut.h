@@ -20,17 +20,22 @@
 
 namespace dmc {
 
+class Network;
+
 struct ExactMinCutOptions {
   std::size_t max_trees{48};
   std::size_t patience{12};
   /// Simulation backend: 1 = sequential reference engine, 0 = sharded
   /// executor over all hardware threads, k > 1 = sharded over k threads.
   /// Results and stats are bit-identical for every setting (engine.h).
+  /// Consumed by the one-shot wrapper only — on the Network&-taking
+  /// runner the session already owns the engine.
   unsigned engine_threads{1};
   /// Scheduling override: nullopt lets each protocol declare its own mode
   /// (every shipped protocol is event-driven); forcing kDense restores the
   /// full per-round sweep for A/B measurement.  Results and all stats but
-  /// node_steps are bit-identical either way.
+  /// node_steps are bit-identical either way.  One-shot wrapper only,
+  /// like engine_threads.
   std::optional<Scheduling> scheduling{};
 };
 
@@ -44,7 +49,16 @@ struct DistMinCutResult {
   CongestStats stats;      ///< rounds (incl. barrier charges), messages, …
 };
 
-/// Runs the full exact pipeline on a fresh simulated network over g.
+/// Session-parameterized runner: runs the full exact pipeline on an
+/// existing network (pristine or reset; see Network::reset), which is how
+/// dmc::Session serves repeated queries without rebuilding the simulator.
+/// Uses only the algorithm knobs of `opt` (max_trees/patience) — the
+/// engine and scheduling are whatever `net` was configured with.
+[[nodiscard]] DistMinCutResult exact_min_cut_dist(
+    Network& net, const ExactMinCutOptions& opt = {});
+
+/// One-shot convenience: a temporary single-use dmc::Session over g
+/// (fresh network per call), honouring opt.engine_threads/scheduling.
 [[nodiscard]] DistMinCutResult exact_min_cut_dist(
     const Graph& g, const ExactMinCutOptions& opt = {});
 

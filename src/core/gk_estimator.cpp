@@ -6,16 +6,19 @@
 #include "congest/primitives/convergecast.h"
 #include "congest/primitives/leader_bfs.h"
 #include "congest/schedule.h"
+#include "core/session.h"
 #include "core/skeleton_dist.h"
 #include "util/prng.h"
 
 namespace dmc {
 
-GkEstimateResult gk_estimate_min_cut(const Graph& g, std::uint64_t seed) {
+GkEstimateResult gk_estimate_min_cut(Network& net,
+                                     const GkEstimateOptions& opt) {
+  const Graph& g = net.graph();
+  const std::uint64_t seed = opt.seed;
   DMC_REQUIRE(g.num_nodes() >= 2);
   const std::size_t n = g.num_nodes();
 
-  Network net{g};
   Schedule sched{net};
   LeaderBfsProtocol lb{g};
   sched.run_uncharged(lb);
@@ -59,6 +62,19 @@ GkEstimateResult gk_estimate_min_cut(const Graph& g, std::uint64_t seed) {
     }
     lambda_hat *= 2;
   }
+}
+
+GkEstimateResult gk_estimate_min_cut(const Graph& g,
+                                     const GkEstimateOptions& opt) {
+  Session session{g};
+  MinCutRequest req;
+  req.algo = Algo::kGk;
+  req.seed = opt.seed;
+  return to_gk_result(session.solve(req));
+}
+
+GkEstimateResult gk_estimate_min_cut(const Graph& g, std::uint64_t seed) {
+  return gk_estimate_min_cut(g, GkEstimateOptions{seed});
 }
 
 }  // namespace dmc

@@ -17,12 +17,29 @@
 
 namespace dmc {
 
+class Network;
+
+struct GkEstimateOptions {
+  std::uint64_t seed{1};
+};
+
 struct GkEstimateResult {
   Weight estimate{0};
   std::size_t probes{0};
   CongestStats stats;
 };
 
+/// Session-parameterized runner over an existing (pristine or reset)
+/// network; see exact_mincut.h for the pattern.
+[[nodiscard]] GkEstimateResult gk_estimate_min_cut(
+    Network& net, const GkEstimateOptions& opt = {});
+
+/// One-shot convenience over a temporary single-use dmc::Session.
+[[nodiscard]] GkEstimateResult gk_estimate_min_cut(
+    const Graph& g, const GkEstimateOptions& opt = {});
+
+/// Deprecated positional-seed spelling; use the options overload.
+[[deprecated("use gk_estimate_min_cut(g, GkEstimateOptions{...})")]]
 [[nodiscard]] GkEstimateResult gk_estimate_min_cut(const Graph& g,
                                                    std::uint64_t seed);
 

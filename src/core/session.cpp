@@ -1,0 +1,223 @@
+#include "core/session.h"
+
+#include <chrono>
+#include <utility>
+
+namespace dmc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Per-query observer installed by Session::solve: forwards every event
+/// to the user observer (if any) and layers the request's round /
+/// wall-clock budgets on top.  Returning false makes Network::run throw
+/// CancelledError between rounds (observer.h), so budget overruns surface
+/// as clean errors, never deadlocks.
+class BudgetGuard final : public RoundObserver {
+ public:
+  BudgetGuard(RoundObserver* inner, const MinCutRequest& req,
+              Clock::time_point start)
+      : inner_(inner), req_(&req), start_(start) {}
+
+  void on_phase_begin(std::string_view protocol) override {
+    if (inner_) inner_->on_phase_begin(protocol);
+  }
+  void on_phase_end(std::string_view protocol,
+                    const ProtocolStats& phase) override {
+    if (inner_) inner_->on_phase_end(protocol, phase);
+  }
+  [[nodiscard]] bool on_round(const CongestStats& snapshot) override {
+    if (inner_ && !inner_->on_round(snapshot)) return false;
+    if (req_->round_budget != 0 &&
+        snapshot.total_rounds() > req_->round_budget)
+      return false;
+    if (req_->time_budget_s > 0.0 &&
+        std::chrono::duration<double>(Clock::now() - start_).count() >
+            req_->time_budget_s)
+      return false;
+    return true;
+  }
+
+ private:
+  RoundObserver* inner_;
+  const MinCutRequest* req_;
+  Clock::time_point start_;
+};
+
+/// Clears the network's observer on every exit path of solve().
+class ObserverScope {
+ public:
+  ObserverScope(Network& net, RoundObserver* obs) : net_(&net) {
+    net_->set_observer(obs);
+  }
+  ~ObserverScope() { net_->set_observer(nullptr); }
+  ObserverScope(const ObserverScope&) = delete;
+  ObserverScope& operator=(const ObserverScope&) = delete;
+
+ private:
+  Network* net_;
+};
+
+// One mapping per algorithm, result → report, moving the heavy vectors
+// (side, stats.per_protocol) out of the runner's result.  The inverse
+// mappings are the public to_*_result converters below; a new extras
+// field is added in exactly these two places.
+
+MinCutReport report_from(DistMinCutResult&& r) {
+  MinCutReport rep;
+  rep.algo = Algo::kExact;
+  rep.value = r.value;
+  rep.v_star = r.v_star;
+  rep.side = std::move(r.side);
+  rep.trees_packed = r.trees_packed;
+  rep.tree_of_best = r.tree_of_best;
+  rep.fragments = r.fragments;
+  rep.stats = std::move(r.stats);
+  return rep;
+}
+
+MinCutReport report_from(DistApproxResult&& r) {
+  MinCutReport rep = report_from(std::move(r.result));
+  rep.algo = Algo::kApprox;
+  rep.p = r.p;
+  rep.lambda_hat = r.lambda_hat;
+  rep.sampled = r.sampled;
+  rep.attempts = r.attempts;
+  return rep;
+}
+
+MinCutReport report_from(SuEstimateResult&& r) {
+  MinCutReport rep;
+  rep.algo = Algo::kSu;
+  rep.value = r.estimate;
+  rep.q_threshold = r.q_threshold;
+  rep.attempts = r.attempts;
+  rep.stats = std::move(r.stats);
+  return rep;
+}
+
+MinCutReport report_from(GkEstimateResult&& r) {
+  MinCutReport rep;
+  rep.algo = Algo::kGk;
+  rep.value = r.estimate;
+  rep.attempts = r.probes;
+  rep.stats = std::move(r.stats);
+  return rep;
+}
+
+}  // namespace
+
+const char* to_string(Algo a) {
+  switch (a) {
+    case Algo::kExact: return "exact";
+    case Algo::kApprox: return "approx";
+    case Algo::kSu: return "su";
+    case Algo::kGk: return "gk";
+  }
+  return "?";
+}
+
+Algo algo_from_string(const std::string& s) {
+  if (s == "exact") return Algo::kExact;
+  if (s == "approx") return Algo::kApprox;
+  if (s == "su") return Algo::kSu;
+  if (s == "gk") return Algo::kGk;
+  throw PreconditionError{"unknown algorithm '" + s +
+                          "' (accepted: exact, approx, su, gk)"};
+}
+
+DistMinCutResult to_exact_result(const MinCutReport& rep) {
+  DistMinCutResult out;
+  out.value = rep.value;
+  out.v_star = rep.v_star;
+  out.side = rep.side;
+  out.trees_packed = rep.trees_packed;
+  out.tree_of_best = rep.tree_of_best;
+  out.fragments = rep.fragments;
+  out.stats = rep.stats;
+  return out;
+}
+
+DistApproxResult to_approx_result(const MinCutReport& rep) {
+  DistApproxResult out;
+  out.result = to_exact_result(rep);
+  out.p = rep.p;
+  out.lambda_hat = rep.lambda_hat;
+  out.sampled = rep.sampled;
+  out.attempts = rep.attempts;
+  return out;
+}
+
+SuEstimateResult to_su_result(const MinCutReport& rep) {
+  SuEstimateResult out;
+  out.estimate = rep.value;
+  out.q_threshold = rep.q_threshold;
+  out.attempts = rep.attempts;
+  out.stats = rep.stats;
+  return out;
+}
+
+GkEstimateResult to_gk_result(const MinCutReport& rep) {
+  GkEstimateResult out;
+  out.estimate = rep.value;
+  out.probes = rep.attempts;
+  out.stats = rep.stats;
+  return out;
+}
+
+Session::Session(const Graph& g, SessionOptions opt)
+    : g_(&g), opt_(opt), net_(g, make_engine(opt.engine_threads)) {
+  net_.force_scheduling(opt.scheduling);
+}
+
+MinCutReport Session::solve(const MinCutRequest& req) {
+  // Pristine state per query: a reused session must be indistinguishable
+  // from a fresh network (DESIGN.md "Serving layer").
+  net_.reset();
+
+  const auto t0 = Clock::now();
+  BudgetGuard guard{observer_, req, t0};
+  const bool need_guard = observer_ != nullptr || req.round_budget != 0 ||
+                          req.time_budget_s > 0.0;
+  ObserverScope scope{net_, need_guard ? &guard : nullptr};
+
+  MinCutReport rep;
+  switch (req.algo) {
+    case Algo::kExact: {
+      ExactMinCutOptions opt;
+      opt.max_trees = req.max_trees;
+      opt.patience = req.patience;
+      rep = report_from(exact_min_cut_dist(net_, opt));
+      break;
+    }
+    case Algo::kApprox: {
+      ApproxMinCutOptions opt;
+      opt.eps = req.eps;
+      opt.seed = req.seed;
+      opt.trees_factor = req.trees_factor;
+      rep = report_from(approx_min_cut_dist(net_, opt));
+      break;
+    }
+    case Algo::kSu:
+      rep = report_from(su_estimate_min_cut(net_, SuEstimateOptions{req.seed}));
+      break;
+    case Algo::kGk:
+      rep = report_from(gk_estimate_min_cut(net_, GkEstimateOptions{req.seed}));
+      break;
+  }
+  rep.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  ++served_;
+  return rep;
+}
+
+std::vector<MinCutReport> Session::solve_many(
+    std::span<const MinCutRequest> reqs) {
+  std::vector<MinCutReport> reports;
+  reports.reserve(reqs.size());
+  for (const MinCutRequest& req : reqs) reports.push_back(solve(req));
+  return reports;
+}
+
+}  // namespace dmc

@@ -1,0 +1,173 @@
+// dmc::Session — the reusable solve-session façade over the paper's
+// pipeline (Nanongkai PODC'14; the Nanongkai–Su arXiv:1408.0557 exact /
+// approx pair, plus the Su'14 and GK'13-proxy estimator baselines).
+//
+// The one-shot free functions in api.h rebuild the entire simulated
+// network per call — CSR slot mailboxes, reverse-port table, sharded
+// worker pool.  A Session pays that setup once at construction and then
+// serves any number of solve() calls against it:
+//
+//   Session session{g, SessionOptions{.engine_threads = 8}};
+//   MinCutRequest req;                 // algorithm, eps, seed, budgets…
+//   req.algo = Algo::kApprox;
+//   req.eps = 0.25;
+//   MinCutReport rep = session.solve(req);
+//   // rep.value, rep.side, rep.stats.total_rounds(), rep.wall_seconds…
+//
+// Between queries the owned Network is reset() to the pristine state
+// without reallocating buffers or restarting the worker pool, so a reused
+// session is BIT-IDENTICAL (results and every stat) to a fresh network
+// per query — test-enforced in tests/test_session.cpp, argued in
+// DESIGN.md "Serving layer".  Serving-layer hooks: a RoundObserver
+// (phase begin/end + per-round stats snapshots) and per-request round /
+// wall-clock budgets that cancel cooperatively with CancelledError.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "congest/network.h"
+#include "congest/observer.h"
+#include "core/approx_mincut.h"
+#include "core/exact_mincut.h"
+#include "core/gk_estimator.h"
+#include "core/su_baseline.h"
+#include "graph/graph.h"
+
+namespace dmc {
+
+/// Per-session (per-graph) configuration: everything that shapes the
+/// simulator itself rather than an individual query.
+struct SessionOptions {
+  /// 1 = sequential reference engine, 0 = sharded over all hardware
+  /// threads, k > 1 = sharded over k threads (bit-identical either way).
+  unsigned engine_threads{1};
+  /// Scheduling override for every run; nullopt = per-protocol
+  /// declarations (see Scheduling).  Only node_steps may change.
+  std::optional<Scheduling> scheduling{};
+};
+
+/// The algorithms a Session can dispatch.
+enum class Algo : std::uint8_t {
+  kExact,   ///< exact min cut, Õ((√n+D)·poly λ) (tree packing + 1-respect)
+  kApprox,  ///< (1+ε) approximation via Karger skeletons, Õ((√n+D)/poly ε)
+  kSu,      ///< Su [SPAA'14]-style estimate (sampling + bridge finding)
+  kGk,      ///< Ghaffari–Kuhn-style constant-factor estimate
+};
+
+[[nodiscard]] const char* to_string(Algo a);
+
+/// Parses "exact" | "approx" | "su" | "gk" (the --algo CLI vocabulary);
+/// throws PreconditionError listing the accepted names otherwise.
+[[nodiscard]] Algo algo_from_string(const std::string& s);
+
+/// One query: a single tagged request type covering all four algorithms.
+/// Fields irrelevant to the chosen algorithm are ignored.
+struct MinCutRequest {
+  Algo algo{Algo::kExact};
+
+  // --- exact: greedy packing extent --------------------------------------
+  std::size_t max_trees{48};
+  std::size_t patience{12};
+
+  // --- approx ------------------------------------------------------------
+  double eps{0.2};
+  std::size_t trees_factor{4};  ///< trees = factor · ⌈log₂ n⌉ per attempt
+
+  // --- approx / su / gk --------------------------------------------------
+  std::uint64_t seed{1};
+
+  // --- serving budgets (any algorithm) -----------------------------------
+  /// Cancel (CancelledError) once stats.total_rounds() exceeds this;
+  /// 0 = unlimited.  Checked cooperatively after every executed round.
+  std::uint64_t round_budget{0};
+  /// Cancel once the query's wall time exceeds this many seconds;
+  /// 0 = unlimited.  Same cooperative granularity as round_budget.
+  double time_budget_s{0.0};
+};
+
+/// The unified result type: algorithm tag, value, cut side (empty for the
+/// estimate-only baselines), per-algorithm extras, full CONGEST stats and
+/// the query's wall time.
+struct MinCutReport {
+  Algo algo{Algo::kExact};
+  /// Cut value (kExact/kApprox) or λ estimate (kSu/kGk).
+  Weight value{0};
+  /// Every node's side bit of the found cut; empty when the algorithm
+  /// only estimates (kSu/kGk output no cut — the paper's qualitative gap).
+  std::vector<bool> side;
+
+  // --- exact / approx extras --------------------------------------------
+  NodeId v_star{kNoNode};
+  std::size_t trees_packed{0};
+  std::size_t tree_of_best{0};
+  std::size_t fragments{0};
+
+  // --- approx extras -----------------------------------------------------
+  double p{1.0};         ///< final sampling probability
+  Weight lambda_hat{0};  ///< final guess
+  bool sampled{false};   ///< false ⇒ p clamped to 1, exact path taken
+
+  // --- approx / su / gk extras -------------------------------------------
+  std::size_t attempts{0};  ///< guess attempts / sampling levels / probes
+  double q_threshold{0.0};  ///< kSu: probability where a bridge appeared
+
+  CongestStats stats;      ///< rounds (incl. barrier charges), messages, …
+  double wall_seconds{0};  ///< simulator wall clock for this query
+};
+
+/// Conversions back to the per-algorithm result structs (used by the
+/// one-shot wrappers; handy for code migrating to the façade piecemeal).
+[[nodiscard]] DistMinCutResult to_exact_result(const MinCutReport& rep);
+[[nodiscard]] DistApproxResult to_approx_result(const MinCutReport& rep);
+[[nodiscard]] SuEstimateResult to_su_result(const MinCutReport& rep);
+[[nodiscard]] GkEstimateResult to_gk_result(const MinCutReport& rep);
+
+class Session {
+ public:
+  /// Builds the simulated network (mailbox planes, reverse-port table,
+  /// worker pool) once.  `g` is borrowed and must outlive the session.
+  explicit Session(const Graph& g, SessionOptions opt = {});
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Serves one query on the session's network (reset to pristine first,
+  /// so every query is independent and bit-identical to a one-shot run).
+  /// Throws CancelledError when the request's budget is exceeded — the
+  /// session stays valid and serves subsequent queries normally.
+  [[nodiscard]] MinCutReport solve(const MinCutRequest& req);
+
+  /// Batched serving: solve each request in order on the one network.
+  /// A cancelled request propagates its CancelledError; completed
+  /// reports before it are lost, so batch budgeted queries separately.
+  [[nodiscard]] std::vector<MinCutReport> solve_many(
+      std::span<const MinCutRequest> reqs);
+
+  /// Observer for every subsequent solve(): phase begin/end + per-round
+  /// stats snapshots, and cooperative cancel (observer.h).  Borrowed;
+  /// nullptr to clear.  Budget enforcement is layered on top — both the
+  /// observer's verdict and the request budgets can cancel.
+  void set_observer(RoundObserver* obs) { observer_ = obs; }
+
+  [[nodiscard]] const Graph& graph() const { return *g_; }
+  [[nodiscard]] const SessionOptions& options() const { return opt_; }
+  /// Queries served to completion (cancelled ones excluded).
+  [[nodiscard]] std::size_t queries_served() const { return served_; }
+
+  /// The underlying network — for tests and power users; treat as const
+  /// between solve() calls.
+  [[nodiscard]] Network& network() { return net_; }
+
+ private:
+  const Graph* g_;
+  SessionOptions opt_;
+  Network net_;
+  RoundObserver* observer_{nullptr};
+  std::size_t served_{0};
+};
+
+}  // namespace dmc

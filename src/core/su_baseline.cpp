@@ -6,6 +6,7 @@
 #include "congest/primitives/leader_bfs.h"
 #include "congest/schedule.h"
 #include "core/one_respect.h"
+#include "core/session.h"
 #include "core/skeleton_dist.h"
 #include "dist/ghs_mst.h"
 #include "dist/tree_partition.h"
@@ -13,11 +14,13 @@
 
 namespace dmc {
 
-SuEstimateResult su_estimate_min_cut(const Graph& g, std::uint64_t seed) {
+SuEstimateResult su_estimate_min_cut(Network& net,
+                                     const SuEstimateOptions& opt) {
+  const Graph& g = net.graph();
+  const std::uint64_t seed = opt.seed;
   DMC_REQUIRE(g.num_nodes() >= 2);
   const std::size_t n = g.num_nodes();
 
-  Network net{g};
   Schedule sched{net};
   LeaderBfsProtocol lb{g};
   sched.run_uncharged(lb);
@@ -64,6 +67,19 @@ SuEstimateResult su_estimate_min_cut(const Graph& g, std::uint64_t seed) {
   out.estimate = 1;
   out.stats = net.stats();
   return out;
+}
+
+SuEstimateResult su_estimate_min_cut(const Graph& g,
+                                     const SuEstimateOptions& opt) {
+  Session session{g};
+  MinCutRequest req;
+  req.algo = Algo::kSu;
+  req.seed = opt.seed;
+  return to_su_result(session.solve(req));
+}
+
+SuEstimateResult su_estimate_min_cut(const Graph& g, std::uint64_t seed) {
+  return su_estimate_min_cut(g, SuEstimateOptions{seed});
 }
 
 }  // namespace dmc

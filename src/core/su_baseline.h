@@ -18,6 +18,12 @@
 
 namespace dmc {
 
+class Network;
+
+struct SuEstimateOptions {
+  std::uint64_t seed{1};
+};
+
 struct SuEstimateResult {
   Weight estimate{0};     ///< multiplicative estimate of λ
   double q_threshold{0};  ///< sampling probability where a bridge appeared
@@ -25,6 +31,17 @@ struct SuEstimateResult {
   CongestStats stats;
 };
 
+/// Session-parameterized runner over an existing (pristine or reset)
+/// network; see exact_mincut.h for the pattern.
+[[nodiscard]] SuEstimateResult su_estimate_min_cut(
+    Network& net, const SuEstimateOptions& opt = {});
+
+/// One-shot convenience over a temporary single-use dmc::Session.
+[[nodiscard]] SuEstimateResult su_estimate_min_cut(
+    const Graph& g, const SuEstimateOptions& opt = {});
+
+/// Deprecated positional-seed spelling; use the options overload.
+[[deprecated("use su_estimate_min_cut(g, SuEstimateOptions{...})")]]
 [[nodiscard]] SuEstimateResult su_estimate_min_cut(const Graph& g,
                                                    std::uint64_t seed);
 

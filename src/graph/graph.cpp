@@ -7,8 +7,16 @@ Graph::Graph(std::size_t n) : adjacency_(n) {}
 EdgeId Graph::add_edge(NodeId u, NodeId v, Weight w) {
   DMC_REQUIRE(u < adjacency_.size() && v < adjacency_.size());
   DMC_REQUIRE_MSG(u != v, "self-loops are not allowed (node " << u << ")");
-  DMC_REQUIRE_MSG(w >= 1 && w <= kMaxWeight,
-                  "edge weight " << w << " out of [1, 2^32)");
+  // Weight-range violations are invariant (not precondition) errors: a
+  // weight above kMaxWeight would not fail at insertion but silently
+  // overflow cut values and degree sums deep inside the pipeline, and
+  // w == 0 would make "edge exists" and "edge contributes to a cut"
+  // disagree.  Both corrupt every downstream computation, so they fail
+  // loud here with the invariant they would have broken.
+  DMC_ASSERT_MSG(w >= 1 && w <= kMaxWeight,
+                 "edge weight " << w << " out of [1, 2^32) — would overflow "
+                 "64-bit cut arithmetic (w > kMaxWeight) or produce a "
+                 "zero-capacity edge (w == 0)");
   const EdgeId id = static_cast<EdgeId>(edges_.size());
   edges_.push_back(Edge{u, v, w});
   adjacency_[u].push_back(Port{v, id});

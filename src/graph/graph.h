@@ -51,7 +51,9 @@ class Graph {
 
   /// Adds an undirected edge; returns its EdgeId.  Parallel edges and
   /// self-loop-free multigraphs are supported (self-loops are rejected:
-  /// they never affect any cut).
+  /// they never affect any cut).  Weights outside [1, kMaxWeight] throw
+  /// InvariantError — w > kMaxWeight would silently overflow 64-bit cut
+  /// arithmetic downstream, w == 0 a zero-capacity pseudo-edge.
   EdgeId add_edge(NodeId u, NodeId v, Weight w = 1);
 
   [[nodiscard]] std::size_t num_nodes() const { return adjacency_.size(); }

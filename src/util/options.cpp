@@ -20,6 +20,25 @@ Options::Options(int argc, const char* const* argv) {
   }
 }
 
+Options::Options(int argc, const char* const* argv,
+                 std::initializer_list<const char*> known)
+    : Options(argc, argv) {
+  for (const auto& [key, value] : kv_) {
+    bool ok = false;
+    for (const char* k : known) ok = ok || key == k;
+    if (ok) continue;
+    std::string accepted;
+    for (const char* k : known) {
+      if (!accepted.empty()) accepted += ", ";
+      accepted += "--";
+      accepted += k;
+    }
+    DMC_REQUIRE_MSG(false, "unknown option --"
+                               << key << "; accepted keys: "
+                               << (accepted.empty() ? "(none)" : accepted));
+  }
+}
+
 bool Options::has(const std::string& key) const { return kv_.count(key) > 0; }
 
 std::string Options::get_string(const std::string& key,
@@ -52,6 +71,22 @@ bool Options::get_bool(const std::string& key, bool fallback) const {
   const auto it = kv_.find(key);
   if (it == kv_.end()) return fallback;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::string Options::get_enum(
+    const std::string& key, const std::string& fallback,
+    std::initializer_list<const char*> allowed) const {
+  const std::string value = get_string(key, fallback);
+  for (const char* a : allowed)
+    if (value == a) return value;
+  std::string list;
+  for (const char* a : allowed) {
+    if (!list.empty()) list += "|";
+    list += a;
+  }
+  throw PreconditionError{"--" + key + "=" + value +
+                          " is not a valid choice (expected --" + key + "=" +
+                          list + ")"};
 }
 
 }  // namespace dmc

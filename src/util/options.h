@@ -1,10 +1,14 @@
 // Minimal command-line option parser for examples and bench binaries.
 //
 // Syntax: --key=value or --flag.  Positional arguments are rejected — the
-// binaries in this repo are all fully keyword-configured for scriptability.
+// binaries in this repo are all fully keyword-configured for
+// scriptability.  Binaries declare their accepted keys up front, so a
+// typo ("--tres=8") fails loudly with the accepted-key list instead of
+// being silently swallowed.
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <string>
 
@@ -12,6 +16,12 @@ namespace dmc {
 
 class Options {
  public:
+  /// Strict form — every binary should use this: any --key outside
+  /// `known` throws PreconditionError listing the accepted keys.
+  Options(int argc, const char* const* argv,
+          std::initializer_list<const char*> known);
+
+  /// Permissive form (accepts any key); for tests and embedding only.
   Options(int argc, const char* const* argv);
 
   [[nodiscard]] bool has(const std::string& key) const;
@@ -25,6 +35,14 @@ class Options {
   [[nodiscard]] double get_double(const std::string& key,
                                   double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Closed-vocabulary value (e.g. --algo=exact|approx|su|gk): returns the
+  /// value (or `fallback` when the key is absent) after checking it is one
+  /// of `allowed`; throws PreconditionError listing the allowed values
+  /// otherwise.  The fallback itself must be an allowed value.
+  [[nodiscard]] std::string get_enum(
+      const std::string& key, const std::string& fallback,
+      std::initializer_list<const char*> allowed) const;
 
  private:
   std::map<std::string, std::string> kv_;

@@ -61,7 +61,7 @@ TEST(CutVerify, AuditsExactMinCutOutput) {
 
 TEST(CutVerify, AuditsApproxOutput) {
   const Graph g = make_complete(16, 30);
-  const DistApproxResult r = distributed_approx_min_cut(g, 0.3, 3);
+  const DistApproxResult r = distributed_approx_min_cut(g, {.eps = 0.3, .seed = 3});
   Ctx ctx{g};
   EXPECT_EQ(verify_cut_dist(ctx.sched, ctx.bfs, r.result.side),
             r.result.value);

@@ -60,8 +60,24 @@ TEST(Graph, ParallelEdgesAllowed) {
 TEST(Graph, RejectsSelfLoopsAndBadWeights) {
   Graph g{2};
   EXPECT_THROW(g.add_edge(0, 0, 1), PreconditionError);
-  EXPECT_THROW(g.add_edge(0, 1, 0), PreconditionError);
+  EXPECT_THROW(g.add_edge(0, 1, 0), InvariantError);
   EXPECT_THROW(g.add_edge(0, 5, 1), PreconditionError);
+}
+
+TEST(Graph, RejectsOverflowingWeightsLoudly) {
+  // Regression: weights above kMaxWeight used to be representable in the
+  // Weight type and would silently overflow 64-bit cut sums downstream;
+  // they must fail loudly at insertion instead.
+  Graph g{2};
+  EXPECT_THROW(g.add_edge(0, 1, kMaxWeight + 1), InvariantError);
+  EXPECT_THROW(g.add_edge(0, 1, ~Weight{0}), InvariantError);
+  EXPECT_THROW(g.add_edge(0, 1, 0), InvariantError);
+  // The boundary itself is legal, and nothing was half-inserted by the
+  // rejected calls.
+  g.add_edge(0, 1, kMaxWeight);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.weighted_degree(0), kMaxWeight);
+  g.validate();
 }
 
 TEST(Graph, UnweightedCopy) {

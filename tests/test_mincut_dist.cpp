@@ -71,7 +71,7 @@ TEST(ExactMinCutDist, ReportsPackingMetadata) {
 TEST(ApproxMinCutDist, WithinOnePlusEpsSmallCut) {
   // Small λ: the sampler clamps p to 1 and the result is exact.
   const Graph g = make_barbell(24, 2, 1, 3);
-  const DistApproxResult r = distributed_approx_min_cut(g, 0.3, 7);
+  const DistApproxResult r = distributed_approx_min_cut(g, {.eps = 0.3, .seed = 7});
   EXPECT_FALSE(r.sampled);
   EXPECT_EQ(r.result.value, 2u);
   EXPECT_EQ(cut_value(g, r.result.side), r.result.value);
@@ -81,7 +81,7 @@ TEST(ApproxMinCutDist, SamplesOnLargeCutAndStaysWithinBand) {
   // Heavily weighted clique: λ = 15·40 = 600 forces real sampling.
   const Graph g = make_complete(16, 40);
   const Weight lambda = stoer_wagner_min_cut(g).value;
-  const DistApproxResult r = distributed_approx_min_cut(g, 0.25, 5);
+  const DistApproxResult r = distributed_approx_min_cut(g, {.eps = 0.25, .seed = 5});
   EXPECT_TRUE(r.sampled);
   EXPECT_LT(r.p, 1.0);
   EXPECT_GE(r.result.value, lambda);  // any cut upper-bounds λ
@@ -94,7 +94,7 @@ TEST(ApproxMinCutDist, SampledRunUsesFewerRoundsThanExact) {
   // The whole point of the (1+ε) reduction: on large-λ graphs the skeleton
   // packing needs far fewer trees than the exact poly(λ) packing would.
   const Graph g = make_complete(16, 40);
-  const DistApproxResult approx = distributed_approx_min_cut(g, 0.25, 5);
+  const DistApproxResult approx = distributed_approx_min_cut(g, {.eps = 0.25, .seed = 5});
   ASSERT_TRUE(approx.sampled);
   // λ(skeleton) = Õ(1/ε²) ⇒ trees = Θ(log n) — not Θ(λ⁷).
   EXPECT_LE(approx.result.trees_packed,
@@ -105,7 +105,7 @@ TEST(SuBaseline, EstimateWithinConstantFactorBand) {
   // Su's estimate is multiplicative; verify it brackets λ within a
   // generous O(log n) band on planted instances.
   const Graph g = make_barbell(32, 4, 1, 3);  // λ = 4
-  const SuEstimateResult r = distributed_su_estimate(g, 3);
+  const SuEstimateResult r = distributed_su_estimate(g, {.seed = 3});
   EXPECT_GE(r.estimate, 1u);
   const double ratio = static_cast<double>(r.estimate) / 4.0;
   EXPECT_GT(ratio, 1.0 / 16.0);
@@ -114,7 +114,7 @@ TEST(SuBaseline, EstimateWithinConstantFactorBand) {
 
 TEST(SuBaseline, CannotBeExactButTerminates) {
   const Graph g = make_cycle(24);
-  const SuEstimateResult r = distributed_su_estimate(g, 5);
+  const SuEstimateResult r = distributed_su_estimate(g, {.seed = 5});
   EXPECT_GE(r.attempts, 1u);
   EXPECT_GT(r.q_threshold, 0.0);
 }
@@ -122,7 +122,7 @@ TEST(SuBaseline, CannotBeExactButTerminates) {
 TEST(GkEstimator, ConstantFactorBandAcrossLambdas) {
   for (const std::size_t bridges : {2u, 8u}) {
     const Graph g = make_barbell(32, bridges, 1, 11);
-    const GkEstimateResult r = distributed_gk_estimate(g, 9);
+    const GkEstimateResult r = distributed_gk_estimate(g, {.seed = 9});
     const double ratio =
         static_cast<double>(r.estimate) / static_cast<double>(bridges);
     EXPECT_GT(ratio, 1.0 / 32.0) << "bridges " << bridges;
@@ -132,7 +132,7 @@ TEST(GkEstimator, ConstantFactorBandAcrossLambdas) {
 
 TEST(GkEstimator, LargeLambdaStopsAtMinDegree) {
   const Graph g = make_complete(14, 5);  // λ = 65 = δ_min
-  const GkEstimateResult r = distributed_gk_estimate(g, 2);
+  const GkEstimateResult r = distributed_gk_estimate(g, {.seed = 2});
   EXPECT_LE(r.estimate, 65u);
   EXPECT_GE(r.estimate, 2u);
 }
@@ -141,11 +141,11 @@ TEST(CongestLegality, AllPipelinesRespectBandwidth) {
   const Graph g = make_erdos_renyi(40, 0.15, 1, 1, 30);
   const DistMinCutResult a = distributed_min_cut(g);
   EXPECT_EQ(a.stats.max_messages_edge_round, 1u);
-  const DistApproxResult b = distributed_approx_min_cut(g, 0.3, 1);
+  const DistApproxResult b = distributed_approx_min_cut(g, {.eps = 0.3, .seed = 1});
   EXPECT_EQ(b.result.stats.max_messages_edge_round, 1u);
-  const SuEstimateResult c = distributed_su_estimate(g, 1);
+  const SuEstimateResult c = distributed_su_estimate(g, {.seed = 1});
   EXPECT_EQ(c.stats.max_messages_edge_round, 1u);
-  const GkEstimateResult d = distributed_gk_estimate(g, 1);
+  const GkEstimateResult d = distributed_gk_estimate(g, {.seed = 1});
   EXPECT_EQ(d.stats.max_messages_edge_round, 1u);
 }
 

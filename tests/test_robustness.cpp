@@ -105,9 +105,9 @@ TEST(Robustness, RootedTreeRejectsForests) {
 
 TEST(Robustness, ApproxRejectsBadEps) {
   const Graph g = make_cycle(8);
-  EXPECT_THROW((void)distributed_approx_min_cut(g, 0.0, 1),
+  EXPECT_THROW((void)distributed_approx_min_cut(g, {.eps = 0.0}),
                PreconditionError);
-  EXPECT_THROW((void)distributed_approx_min_cut(g, 2.0, 1),
+  EXPECT_THROW((void)distributed_approx_min_cut(g, {.eps = 2.0}),
                PreconditionError);
 }
 

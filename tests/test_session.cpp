@@ -1,0 +1,306 @@
+// dmc::Session — the serving façade's core guarantees:
+//
+//   (1) REUSE EQUIVALENCE: N repeated solve() calls on one Session are
+//       bit-identical (results + every stat) to N fresh one-shot calls,
+//       across {sequential, sharded(2), sharded(8)} × {Dense,
+//       EventDriven}.  This is Network::reset() made executable.
+//   (2) OBSERVABILITY: RoundObserver phase events nest correctly and the
+//       per-round snapshots are monotone.
+//   (3) CANCELLATION: a round-budget (or observer) cancel surfaces as a
+//       clean CancelledError — no deadlock — and the session serves
+//       subsequent queries bit-identically afterwards.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "congest/network.h"
+#include "congest/primitives/leader_bfs.h"
+#include "core/api.h"
+#include "graph/generators.h"
+
+namespace dmc {
+namespace {
+
+/// Field-for-field report equality, wall time excluded (the one
+/// non-deterministic field).
+void expect_report_identical(const MinCutReport& a, const MinCutReport& b,
+                             const std::string& what) {
+  EXPECT_EQ(a.algo, b.algo) << what;
+  EXPECT_EQ(a.value, b.value) << what;
+  EXPECT_EQ(a.side, b.side) << what;
+  EXPECT_EQ(a.v_star, b.v_star) << what;
+  EXPECT_EQ(a.trees_packed, b.trees_packed) << what;
+  EXPECT_EQ(a.tree_of_best, b.tree_of_best) << what;
+  EXPECT_EQ(a.fragments, b.fragments) << what;
+  EXPECT_EQ(a.p, b.p) << what;
+  EXPECT_EQ(a.lambda_hat, b.lambda_hat) << what;
+  EXPECT_EQ(a.sampled, b.sampled) << what;
+  EXPECT_EQ(a.attempts, b.attempts) << what;
+  EXPECT_EQ(a.q_threshold, b.q_threshold) << what;
+  // CongestStats::operator== is exact, per-protocol breakdown included.
+  EXPECT_TRUE(a.stats == b.stats) << what << ": stats diverged";
+}
+
+/// A mixed request batch covering all four algorithms (plus a repeat, so
+/// reuse-after-reuse is exercised too).  Small packing knobs keep the
+/// matrix fast.
+std::vector<MinCutRequest> mixed_batch() {
+  MinCutRequest exact;
+  exact.algo = Algo::kExact;
+  exact.max_trees = 6;
+  exact.patience = 3;
+  MinCutRequest approx;
+  approx.algo = Algo::kApprox;
+  approx.eps = 0.3;
+  approx.seed = 7;
+  MinCutRequest su;
+  su.algo = Algo::kSu;
+  su.seed = 3;
+  MinCutRequest gk;
+  gk.algo = Algo::kGk;
+  gk.seed = 9;
+  return {exact, approx, su, gk, exact};
+}
+
+TEST(Session, ReuseBitIdenticalToFreshOneShots) {
+  const Graph g = make_planted_cut(28, 0.5, 3, 1, 13);
+  const std::vector<MinCutRequest> batch = mixed_batch();
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    for (const Scheduling sched :
+         {Scheduling::kDense, Scheduling::kEventDriven}) {
+      const SessionOptions sopt{threads, sched};
+      Session reused{g, sopt};
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const MinCutReport r = reused.solve(batch[i]);
+        // The one-shot comparator: a fresh session (fresh network) per
+        // request — exactly what the api.h free functions do.
+        Session fresh{g, sopt};
+        const MinCutReport f = fresh.solve(batch[i]);
+        expect_report_identical(
+            r, f,
+            "threads=" + std::to_string(threads) + " sched=" +
+                (sched == Scheduling::kDense ? "dense" : "event") +
+                " req#" + std::to_string(i));
+      }
+      EXPECT_EQ(reused.queries_served(), batch.size());
+    }
+  }
+}
+
+TEST(Session, MatchesFreeFunctionWrappers) {
+  const Graph g = make_barbell(24, 3, 1, 7);
+  Session session{g};
+
+  MinCutRequest req;
+  const MinCutReport exact = session.solve(req);
+  const DistMinCutResult via_free = distributed_min_cut(g);
+  EXPECT_EQ(exact.value, via_free.value);
+  EXPECT_EQ(exact.side, via_free.side);
+  EXPECT_TRUE(exact.stats == via_free.stats);
+
+  req.algo = Algo::kApprox;
+  req.eps = 0.3;
+  req.seed = 5;
+  const MinCutReport approx = session.solve(req);
+  const DistApproxResult a = distributed_approx_min_cut(g, {.eps = 0.3, .seed = 5});
+  EXPECT_EQ(approx.value, a.result.value);
+  EXPECT_EQ(approx.sampled, a.sampled);
+  EXPECT_TRUE(approx.stats == a.result.stats);
+
+  req.algo = Algo::kSu;
+  const MinCutReport su = session.solve(req);
+  const SuEstimateResult s = distributed_su_estimate(g, {.seed = 5});
+  EXPECT_EQ(su.value, s.estimate);
+  EXPECT_EQ(su.q_threshold, s.q_threshold);
+  EXPECT_TRUE(su.stats == s.stats);
+
+  req.algo = Algo::kGk;
+  const MinCutReport gk = session.solve(req);
+  const GkEstimateResult k = distributed_gk_estimate(g, {.seed = 5});
+  EXPECT_EQ(gk.value, k.estimate);
+  EXPECT_EQ(gk.attempts, k.probes);
+  EXPECT_TRUE(gk.stats == k.stats);
+}
+
+TEST(Session, SolveManyMatchesIndividualSolves) {
+  const Graph g = make_barbell(20, 2, 1, 5);
+  const std::vector<MinCutRequest> batch = mixed_batch();
+  Session batched{g};
+  const std::vector<MinCutReport> reports = batched.solve_many(batch);
+  ASSERT_EQ(reports.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Session fresh{g};
+    expect_report_identical(reports[i], fresh.solve(batch[i]),
+                            "batch#" + std::to_string(i));
+  }
+}
+
+TEST(Session, NetworkResetRestoresPristineState) {
+  // Below the façade: a protocol run after reset() must be bit-identical
+  // to the same run on a brand-new network (stats prove it transitively
+  // for mailboxes, activation buckets, and the round counter).
+  const Graph g = make_planted_cut(24, 0.5, 2, 1, 3);
+  Network fresh{g};
+  LeaderBfsProtocol p0{g};
+  fresh.run(p0);
+  const CongestStats want = fresh.stats();
+
+  Network reused{g};
+  LeaderBfsProtocol p1{g};
+  reused.run(p1);
+  reused.reset();
+  EXPECT_EQ(reused.stats().rounds, 0u);
+  EXPECT_EQ(reused.stats().messages, 0u);
+  EXPECT_TRUE(reused.stats().per_protocol.empty());
+  LeaderBfsProtocol p2{g};
+  reused.run(p2);
+  EXPECT_TRUE(reused.stats() == want) << "reset network diverged from fresh";
+  EXPECT_EQ(p2.leader(), p0.leader());
+}
+
+/// Records the full event stream and checks nesting as it happens.
+class RecordingObserver final : public RoundObserver {
+ public:
+  void on_phase_begin(std::string_view protocol) override {
+    EXPECT_EQ(depth_, 0) << "phase '" << protocol << "' began inside '"
+                         << open_ << "'";
+    depth_ = 1;
+    open_ = std::string{protocol};
+    ++begins_;
+  }
+  void on_phase_end(std::string_view protocol,
+                    const ProtocolStats& phase) override {
+    EXPECT_EQ(depth_, 1) << "phase '" << protocol << "' ended while closed";
+    EXPECT_EQ(std::string{protocol}, open_) << "phase end/begin mismatch";
+    EXPECT_GT(phase.rounds, 0u);
+    depth_ = 0;
+    ++ends_;
+  }
+  [[nodiscard]] bool on_round(const CongestStats& snapshot) override {
+    EXPECT_EQ(depth_, 1) << "round event outside any phase";
+    EXPECT_GE(snapshot.rounds, last_rounds_) << "snapshot went backwards";
+    last_rounds_ = snapshot.rounds;
+    ++rounds_;
+    return true;
+  }
+
+  int depth_{0};
+  std::string open_;
+  std::size_t begins_{0};
+  std::size_t ends_{0};
+  std::size_t rounds_{0};
+  std::uint64_t last_rounds_{0};
+};
+
+TEST(Session, ObserverPhaseEventsNestCorrectly) {
+  const Graph g = make_barbell(20, 2, 1, 5);
+  Session session{g};
+  RecordingObserver obs;
+  session.set_observer(&obs);
+  MinCutRequest req;
+  req.max_trees = 4;
+  req.patience = 2;
+  const MinCutReport rep = session.solve(req);
+  EXPECT_EQ(obs.depth_, 0) << "unbalanced phase events";
+  EXPECT_GT(obs.begins_, 1u) << "exact pipeline has many protocol phases";
+  EXPECT_EQ(obs.begins_, obs.ends_);
+  EXPECT_EQ(obs.rounds_, rep.stats.rounds)
+      << "one on_round per executed round";
+
+  // An installed observer must not perturb the computation.
+  session.set_observer(nullptr);
+  Session plain{g};
+  expect_report_identical(rep, plain.solve(req), "observer perturbed run");
+}
+
+TEST(Session, RoundBudgetCancelsCleanlyAndSessionSurvives) {
+  const Graph g = make_planted_cut(28, 0.5, 3, 1, 13);
+  Session session{g};
+  MinCutRequest req;
+  req.max_trees = 6;
+  req.patience = 3;
+
+  const MinCutReport full = session.solve(req);
+  ASSERT_GT(full.stats.total_rounds(), 50u);
+
+  // A budget far below the full cost must cancel (cleanly, via exception
+  // — a deadlock would trip the test timeout), not return a bogus report.
+  MinCutRequest budgeted = req;
+  budgeted.round_budget = 50;
+  EXPECT_THROW((void)session.solve(budgeted), CancelledError);
+  EXPECT_EQ(session.queries_served(), 1u) << "cancelled query counted";
+
+  // The session must serve the next query bit-identically to a fresh one.
+  const MinCutReport after = session.solve(req);
+  expect_report_identical(after, full, "post-cancel solve diverged");
+
+  // A generous budget does not cancel and changes nothing.
+  MinCutRequest roomy = req;
+  roomy.round_budget = full.stats.total_rounds() + 1;
+  expect_report_identical(session.solve(roomy), full, "roomy budget");
+}
+
+TEST(Session, TimeBudgetCancels) {
+  const Graph g = make_planted_cut(28, 0.5, 3, 1, 13);
+  Session session{g};
+  MinCutRequest req;
+  req.time_budget_s = 1e-9;  // elapses before the first round completes
+  EXPECT_THROW((void)session.solve(req), CancelledError);
+}
+
+/// Cancels after a fixed number of observed rounds.
+class TripwireObserver final : public RoundObserver {
+ public:
+  explicit TripwireObserver(std::size_t allow) : allow_(allow) {}
+  [[nodiscard]] bool on_round(const CongestStats&) override {
+    return ++seen_ <= allow_;
+  }
+
+ private:
+  std::size_t allow_;
+  std::size_t seen_{0};
+};
+
+TEST(Session, ObserverCancelPropagatesAndSessionSurvives) {
+  const Graph g = make_barbell(24, 3, 1, 7);
+  Session session{g};
+  const MinCutReport want = session.solve(MinCutRequest{});
+
+  TripwireObserver trip{3};
+  session.set_observer(&trip);
+  EXPECT_THROW((void)session.solve(MinCutRequest{}), CancelledError);
+  session.set_observer(nullptr);
+
+  expect_report_identical(session.solve(MinCutRequest{}), want,
+                          "post-observer-cancel solve diverged");
+}
+
+TEST(Session, AlgoStringsRoundTrip) {
+  for (const Algo a : {Algo::kExact, Algo::kApprox, Algo::kSu, Algo::kGk})
+    EXPECT_EQ(algo_from_string(to_string(a)), a);
+  EXPECT_THROW((void)algo_from_string("exat"), PreconditionError);
+}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Session, DeprecatedPositionalOverloadsStillAgree) {
+  const Graph g = make_barbell(20, 2, 1, 5);
+  const DistApproxResult a = distributed_approx_min_cut(g, 0.3, 7);
+  const DistApproxResult b =
+      distributed_approx_min_cut(g, {.eps = 0.3, .seed = 7});
+  EXPECT_EQ(a.result.value, b.result.value);
+  EXPECT_TRUE(a.result.stats == b.result.stats);
+  const SuEstimateResult su_old = distributed_su_estimate(g, 3ull);
+  const SuEstimateResult su_new = distributed_su_estimate(g, {.seed = 3});
+  EXPECT_EQ(su_old.estimate, su_new.estimate);
+  EXPECT_TRUE(su_old.stats == su_new.stats);
+  const GkEstimateResult gk_old = distributed_gk_estimate(g, 9ull);
+  const GkEstimateResult gk_new = distributed_gk_estimate(g, {.seed = 9});
+  EXPECT_EQ(gk_old.estimate, gk_new.estimate);
+  EXPECT_TRUE(gk_old.stats == gk_new.stats);
+}
+#pragma GCC diagnostic pop
+
+}  // namespace
+}  // namespace dmc

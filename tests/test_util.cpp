@@ -221,5 +221,44 @@ TEST(Options, RejectsPositional) {
   EXPECT_THROW(Options(2, argv), PreconditionError);
 }
 
+TEST(Options, RejectsUnknownKeysWithAcceptedList) {
+  // Regression: "--tres=8" (a --threads typo) used to be swallowed
+  // silently; the strict constructor must name the accepted keys.
+  const char* argv[] = {"prog", "--tres=8"};
+  try {
+    Options o{2, argv, {"threads", "n"}};
+    FAIL() << "unknown key accepted";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--tres"), std::string::npos) << what;
+    EXPECT_NE(what.find("--threads"), std::string::npos)
+        << "accepted-key list missing: " << what;
+    EXPECT_NE(what.find("--n"), std::string::npos) << what;
+  }
+  const char* ok[] = {"prog", "--threads=8"};
+  const Options o{2, ok, {"threads", "n"}};
+  EXPECT_EQ(o.get_uint("threads", 1), 8u);
+}
+
+TEST(Options, GetEnumEnforcesVocabulary) {
+  const char* argv[] = {"prog", "--algo=approx"};
+  const Options o{2, argv, {"algo"}};
+  EXPECT_EQ(o.get_enum("algo", "exact", {"exact", "approx", "su", "gk"}),
+            "approx");
+  // Fallback path (key absent) returns the fallback unchecked-by-parse
+  // but still validated against the vocabulary.
+  EXPECT_EQ(o.get_enum("missing", "su", {"exact", "approx", "su", "gk"}),
+            "su");
+  const char* bad[] = {"prog", "--algo=exat"};
+  const Options b{2, bad, {"algo"}};
+  try {
+    (void)b.get_enum("algo", "exact", {"exact", "approx", "su", "gk"});
+    FAIL() << "bad enum value accepted";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("exact|approx|su|gk"), std::string::npos) << what;
+  }
+}
+
 }  // namespace
 }  // namespace dmc
