@@ -1,0 +1,18 @@
+// dmc::check — the differential-verification subsystem, one include.
+//
+//   oracle.h       centralized oracle registry + consensus voting
+//   metamorphic.h  graph transforms with known λ-mappings
+//   scenario.h     declarative scenario matrix + replayable cell runner
+//   shrink.h       delta-debugging counterexample minimizer
+//
+// The same machinery serves unit tests (tests/test_check.cpp), the tier-1
+// sweep (tests/test_property_sweeps.cpp), fuzzing (tests/test_fuzz.cpp),
+// the nightly matrix (tests/test_check_nightly.cpp), and interactive
+// replay (tools/dmc_check.cpp).  DESIGN.md "Verification architecture"
+// has the soundness arguments.
+#pragma once
+
+#include "check/metamorphic.h"
+#include "check/oracle.h"
+#include "check/scenario.h"
+#include "check/shrink.h"

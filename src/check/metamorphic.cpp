@@ -1,0 +1,123 @@
+#include "check/metamorphic.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/prng.h"
+
+namespace dmc::check {
+
+DerivedInstance relabel_vertices(const Graph& g, std::uint64_t seed) {
+  Prng rng{derive_seed(seed, 0x51AB)};
+  std::vector<NodeId> perm(g.num_nodes());
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  rng.shuffle(perm);
+  std::vector<EdgeId> order(g.num_edges());
+  std::iota(order.begin(), order.end(), EdgeId{0});
+  rng.shuffle(order);
+
+  Graph out{g.num_nodes()};
+  for (const EdgeId e : order) {
+    const Edge& edge = g.edge(e);
+    out.add_edge(perm[edge.u], perm[edge.v], edge.w);
+  }
+  return DerivedInstance{"relabel_vertices", std::move(out), LambdaMap{}};
+}
+
+DerivedInstance scale_weights(const Graph& g, Weight k) {
+  DMC_REQUIRE(k >= 1);
+  Graph out{g.num_nodes()};
+  for (const Edge& e : g.edges()) {
+    DMC_REQUIRE_MSG(e.w <= kMaxWeight / k,
+                    "scale_weights(" << k << ") would overflow weight "
+                                     << e.w);
+    out.add_edge(e.u, e.v, e.w * k);
+  }
+  return DerivedInstance{"scale_weights", std::move(out), LambdaMap{k}};
+}
+
+DerivedInstance split_parallel(const Graph& g, EdgeId e) {
+  const Edge& target = g.edge(e);
+  DMC_REQUIRE_MSG(target.w >= 2, "split_parallel needs weight >= 2");
+  Graph out{g.num_nodes()};
+  for (EdgeId i = 0; i < g.num_edges(); ++i) {
+    const Edge& edge = g.edge(i);
+    if (i == e) {
+      out.add_edge(edge.u, edge.v, edge.w / 2);
+      out.add_edge(edge.u, edge.v, edge.w - edge.w / 2);
+    } else {
+      out.add_edge(edge.u, edge.v, edge.w);
+    }
+  }
+  return DerivedInstance{"split_parallel", std::move(out), LambdaMap{}};
+}
+
+DerivedInstance subdivide_edge(const Graph& g, EdgeId e) {
+  const Edge target = g.edge(e);
+  Graph out{g.num_nodes() + 1};
+  const NodeId x = static_cast<NodeId>(g.num_nodes());
+  for (EdgeId i = 0; i < g.num_edges(); ++i) {
+    const Edge& edge = g.edge(i);
+    if (i == e) {
+      out.add_edge(edge.u, x, edge.w);
+      out.add_edge(x, edge.v, edge.w);
+    } else {
+      out.add_edge(edge.u, edge.v, edge.w);
+    }
+  }
+  // 2w ≤ kMaxWeight·2 fits in Weight; the cap is a value, not an edge.
+  return DerivedInstance{"subdivide_edge", std::move(out),
+                         LambdaMap{1, 2 * target.w}};
+}
+
+DerivedInstance attach_pendant(const Graph& g, NodeId v, Weight w) {
+  DMC_REQUIRE(v < g.num_nodes());
+  Graph out{g.num_nodes() + 1};
+  for (const Edge& edge : g.edges()) out.add_edge(edge.u, edge.v, edge.w);
+  out.add_edge(v, static_cast<NodeId>(g.num_nodes()), w);
+  return DerivedInstance{"attach_pendant", std::move(out), LambdaMap{1, w}};
+}
+
+DerivedInstance union_bridge(const Graph& g, Weight bridge_w,
+                             std::uint64_t seed) {
+  Prng rng{derive_seed(seed, 0xB41D)};
+  const auto n = static_cast<NodeId>(g.num_nodes());
+  Graph out{2 * g.num_nodes()};
+  for (const Edge& e : g.edges()) out.add_edge(e.u, e.v, e.w);
+  for (const Edge& e : g.edges()) out.add_edge(e.u + n, e.v + n, e.w);
+  const auto a = static_cast<NodeId>(rng.next_below(n));
+  const auto b = static_cast<NodeId>(n + rng.next_below(n));
+  out.add_edge(a, b, bridge_w);
+  return DerivedInstance{"union_bridge", std::move(out),
+                         LambdaMap{1, bridge_w}};
+}
+
+std::vector<DerivedInstance> metamorphic_suite(const Graph& g,
+                                               std::uint64_t seed) {
+  DMC_REQUIRE(g.num_nodes() >= 2 && g.num_edges() >= 1);
+  Prng rng{derive_seed(seed, 0x3E7A)};
+  std::vector<DerivedInstance> out;
+  out.push_back(relabel_vertices(g, seed));
+
+  Weight max_w = 0;
+  for (const Edge& e : g.edges()) max_w = std::max(max_w, e.w);
+  if (max_w <= kMaxWeight / 3) out.push_back(scale_weights(g, 3));
+
+  EdgeId heavy = kNoEdge;
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    if (g.edge(e).w >= 2) {
+      heavy = e;
+      break;
+    }
+  if (heavy != kNoEdge) out.push_back(split_parallel(g, heavy));
+
+  out.push_back(subdivide_edge(
+      g, static_cast<EdgeId>(rng.next_below(g.num_edges()))));
+  out.push_back(attach_pendant(
+      g, static_cast<NodeId>(rng.next_below(g.num_nodes())),
+      1 + rng.next_below(5)));
+  out.push_back(union_bridge(g, 1 + rng.next_below(3), seed));
+  return out;
+}
+
+}  // namespace dmc::check

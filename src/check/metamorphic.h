@@ -1,0 +1,75 @@
+// dmc::check metamorphic transforms — graph rewrites with a KNOWN effect
+// on the minimum-cut value, so every checked scenario yields a handful of
+// derived assertions for free: compute λ(G) once (oracle consensus), apply
+// a transform T with λ-mapping f, and the system under test must answer
+// f(λ) on T(G) without any further oracle work.
+//
+// Every shipped mapping is of the form λ' = min(scale·λ, cap):
+//   relabel_vertices   λ' = λ            (cut structure is label-invariant)
+//   scale_weights(k)   λ' = k·λ          (cuts scale linearly)
+//   split_parallel     λ' = λ            (w = w₁+w₂ parallel pair, same cuts)
+//   subdivide_edge     λ' = min(λ, 2w)   (only new cut isolates the midpoint)
+//   attach_pendant     λ' = min(λ, w)    (only new cut isolates the pendant)
+//   union_bridge       λ' = min(λ, w_b)  (two copies of G joined by one edge)
+// Correctness arguments: DESIGN.md "Verification architecture".
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dmc::check {
+
+inline constexpr Weight kNoCap = std::numeric_limits<Weight>::max();
+
+/// λ' = min(scale·λ, cap).
+struct LambdaMap {
+  Weight scale{1};
+  Weight cap{kNoCap};
+
+  [[nodiscard]] Weight apply(Weight lambda) const {
+    const Weight scaled = lambda * scale;
+    return scaled < cap ? scaled : cap;
+  }
+};
+
+struct DerivedInstance {
+  std::string transform;  ///< which transform produced it (for messages)
+  Graph graph;
+  LambdaMap map;  ///< λ(graph) == map.apply(λ(base))
+};
+
+/// Random vertex permutation + random edge insertion order.  λ' = λ.
+[[nodiscard]] DerivedInstance relabel_vertices(const Graph& g,
+                                               std::uint64_t seed);
+
+/// Multiplies every weight by k (k ≥ 1; k·max-weight must stay within
+/// kMaxWeight).  λ' = k·λ.
+[[nodiscard]] DerivedInstance scale_weights(const Graph& g, Weight k);
+
+/// Replaces edge e (weight w ≥ 2) with two parallel edges ⌊w/2⌋ and
+/// ⌈w/2⌉.  λ' = λ.
+[[nodiscard]] DerivedInstance split_parallel(const Graph& g, EdgeId e);
+
+/// Replaces edge e = (u,v,w) with a path u–x–v of two weight-w edges
+/// through a new node x.  λ' = min(λ, 2w).
+[[nodiscard]] DerivedInstance subdivide_edge(const Graph& g, EdgeId e);
+
+/// Attaches a new degree-1 node to v with weight w.  λ' = min(λ, w).
+[[nodiscard]] DerivedInstance attach_pendant(const Graph& g, NodeId v,
+                                             Weight w);
+
+/// Disjoint union of g with a copy of itself plus one bridge of weight
+/// bridge_w between seed-chosen endpoints.  λ' = min(λ, bridge_w).
+[[nodiscard]] DerivedInstance union_bridge(const Graph& g, Weight bridge_w,
+                                           std::uint64_t seed);
+
+/// The full applicable suite for g — 5 or 6 instances (split_parallel is
+/// skipped when every edge has weight 1), deterministic in (g, seed).
+[[nodiscard]] std::vector<DerivedInstance> metamorphic_suite(
+    const Graph& g, std::uint64_t seed);
+
+}  // namespace dmc::check

@@ -1,0 +1,222 @@
+#include "check/oracle.h"
+
+#include <sstream>
+#include <utility>
+
+#include "central/karger2000.h"
+#include "central/karger_stein.h"
+#include "central/matula.h"
+#include "central/stoer_wagner.h"
+#include "congest/primitives/leader_bfs.h"
+#include "congest/schedule.h"
+#include "core/cut_verify.h"
+#include "graph/algorithms.h"
+#include "util/prng.h"
+
+namespace dmc::check {
+
+namespace {
+
+class StoerWagnerOracle final : public CutOracle {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "stoer_wagner";
+  }
+  [[nodiscard]] bool exact() const override { return true; }
+  [[nodiscard]] std::size_t max_nodes() const override { return 1024; }
+  [[nodiscard]] OracleAnswer solve(const Graph& g,
+                                   std::uint64_t /*seed*/) const override {
+    CutResult r = stoer_wagner_min_cut(g);
+    return OracleAnswer{r.value, std::move(r.side)};
+  }
+};
+
+class KargerSteinOracle final : public CutOracle {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "karger_stein";
+  }
+  [[nodiscard]] bool exact() const override { return true; }
+  [[nodiscard]] std::size_t max_nodes() const override { return 512; }
+  [[nodiscard]] OracleAnswer solve(const Graph& g,
+                                   std::uint64_t seed) const override {
+    CutResult r = karger_stein_min_cut(g, seed);
+    return OracleAnswer{r.value, std::move(r.side)};
+  }
+};
+
+class Karger2000Oracle final : public CutOracle {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "karger2000"; }
+  [[nodiscard]] bool exact() const override { return true; }
+  [[nodiscard]] std::size_t max_nodes() const override { return 512; }
+  [[nodiscard]] OracleAnswer solve(const Graph& g,
+                                   std::uint64_t seed) const override {
+    Karger2000Result r = karger2000_min_cut(g, seed);
+    return OracleAnswer{r.cut.value, std::move(r.cut.side)};
+  }
+};
+
+class MatulaOracle final : public CutOracle {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "matula"; }
+  [[nodiscard]] bool exact() const override { return false; }
+  [[nodiscard]] double factor() const override { return 2.0 + kEps; }
+  [[nodiscard]] std::size_t max_nodes() const override { return 1024; }
+  [[nodiscard]] OracleAnswer solve(const Graph& g,
+                                   std::uint64_t /*seed*/) const override {
+    MatulaResult r = matula_approx_min_cut(g, kEps);
+    return OracleAnswer{r.value, std::move(r.side)};
+  }
+
+ private:
+  static constexpr double kEps = 0.5;
+};
+
+class BruteForceOracle final : public CutOracle {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "brute_force"; }
+  [[nodiscard]] bool exact() const override { return true; }
+  [[nodiscard]] std::size_t max_nodes() const override { return 12; }
+  [[nodiscard]] OracleAnswer solve(const Graph& g,
+                                   std::uint64_t /*seed*/) const override {
+    CutResult r = brute_force_min_cut(g);
+    return OracleAnswer{r.value, std::move(r.side)};
+  }
+};
+
+}  // namespace
+
+void OracleRegistry::add(std::unique_ptr<CutOracle> oracle) {
+  DMC_REQUIRE(oracle != nullptr);
+  oracles_.push_back(std::move(oracle));
+}
+
+const CutOracle& OracleRegistry::at(std::size_t i) const {
+  DMC_REQUIRE(i < oracles_.size());
+  return *oracles_[i];
+}
+
+const CutOracle* OracleRegistry::find(std::string_view name) const {
+  for (const auto& o : oracles_)
+    if (o->name() == name) return o.get();
+  return nullptr;
+}
+
+const OracleRegistry& OracleRegistry::standard() {
+  static const OracleRegistry reg = [] {
+    OracleRegistry r;
+    r.add(std::make_unique<StoerWagnerOracle>());
+    r.add(std::make_unique<KargerSteinOracle>());
+    r.add(std::make_unique<Karger2000Oracle>());
+    r.add(std::make_unique<MatulaOracle>());
+    r.add(std::make_unique<BruteForceOracle>());
+    return r;
+  }();
+  return reg;
+}
+
+std::string ConsensusResult::dissent_summary() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < dissent.size(); ++i) {
+    if (i) os << "; ";
+    os << dissent[i];
+  }
+  return os.str();
+}
+
+ConsensusResult oracle_consensus(const OracleRegistry& reg, const Graph& g,
+                                 std::uint64_t seed,
+                                 bool audit_distributed) {
+  DMC_REQUIRE_MSG(g.num_nodes() >= 2 && is_connected(g),
+                  "oracle consensus needs a connected graph with >= 2 nodes");
+  ConsensusResult out;
+
+  // The distributed auditor (one BFS, reused for every witness).
+  std::optional<Network> net;
+  std::optional<Schedule> sched;
+  TreeView bfs;
+  if (audit_distributed) {
+    net.emplace(g);
+    sched.emplace(*net);
+    LeaderBfsProtocol lb{g};
+    sched->run_uncharged(lb);
+    bfs = lb.tree_view(g);
+    sched->set_barrier_height(bfs.height(g));
+  }
+
+  bool have_lambda = false;
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    const CutOracle& oracle = reg.at(i);
+    if (g.num_nodes() > oracle.max_nodes()) continue;
+    OracleAnswer ans = oracle.solve(g, derive_seed(seed, i));
+
+    OracleVote vote;
+    vote.name = std::string{oracle.name()};
+    vote.value = ans.value;
+    vote.exact = oracle.exact();
+    ++out.oracles_consulted;
+    if (oracle.exact()) ++out.exact_consulted;
+
+    // Only answers backed by a VALIDATED witness may define λ: a
+    // value-only claim is checked against the consensus (the vote loop
+    // below) but never folded into the minimum — an under-reporting
+    // value-only oracle must not silently lower λ.
+    bool validated = !ans.side.empty();
+    if (!ans.side.empty()) {
+      if (ans.side.size() != g.num_nodes() || !is_nontrivial(ans.side)) {
+        vote.witness_ok = validated = false;
+        out.dissent.push_back(vote.name + ": malformed witness side");
+      } else if (cut_value(g, ans.side) != ans.value) {
+        vote.witness_ok = validated = false;
+        std::ostringstream os;
+        os << vote.name << ": witness achieves " << cut_value(g, ans.side)
+           << ", claimed " << ans.value;
+        out.dissent.push_back(os.str());
+      } else if (audit_distributed &&
+                 verify_cut_dist(*sched, bfs, ans.side) != ans.value) {
+        vote.witness_ok = validated = false;
+        out.dissent.push_back(vote.name +
+                              ": distributed cut_verify disagrees with claim");
+      }
+    }
+
+    if (validated) {
+      if (!have_lambda || ans.value < out.lambda) out.lambda = ans.value;
+      have_lambda = true;
+    }
+    out.votes.push_back(std::move(vote));
+  }
+
+  if (!have_lambda) {
+    out.dissent.emplace_back("no oracle produced a validated answer");
+    return out;
+  }
+
+  // Vote: every exact oracle must land on the minimum; inexact ones must
+  // stay within their guaranteed factor of it.
+  for (const OracleVote& vote : out.votes) {
+    if (!vote.witness_ok) continue;
+    if (vote.exact) {
+      if (vote.value != out.lambda) {
+        std::ostringstream os;
+        os << vote.name << ": exact oracle voted " << vote.value
+           << " but consensus lambda is " << out.lambda;
+        out.dissent.push_back(os.str());
+      }
+    } else {
+      const double bound = reg.find(vote.name)->factor() *
+                           static_cast<double>(out.lambda);
+      if (static_cast<double>(vote.value) > bound) {
+        std::ostringstream os;
+        os << vote.name << ": value " << vote.value
+           << " exceeds its factor bound " << bound << " (lambda "
+           << out.lambda << ")";
+        out.dissent.push_back(os.str());
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dmc::check

@@ -1,0 +1,113 @@
+// dmc::check oracle layer — every centralized minimum-cut solver in
+// src/central behind one interface, plus consensus voting.
+//
+// The paper's claim (a (1+ε)-approximation of λ in Õ(D + √n) rounds) is
+// only trustworthy at scale if each distributed answer is mechanically
+// cross-checked against INDEPENDENT centralized references, the way
+// Nanongkai–Su (arXiv:1408.0557) and Ghaffari–Kuhn (arXiv:1305.5520)
+// validate against exact λ.  One lying reference would poison every
+// differential test, so λ is established by a vote: run all applicable
+// oracles, validate every witness (the side must actually achieve the
+// claimed value — centrally via cut_value, and optionally by the simulated
+// network itself via core/cut_verify), take the minimum validated value,
+// and flag any exact oracle that disagrees with it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/cut.h"
+#include "graph/graph.h"
+
+namespace dmc::check {
+
+/// One oracle's answer.  `side` may be empty for value-only oracles; when
+/// present it must be a genuine cut achieving `value` (consensus checks).
+struct OracleAnswer {
+  Weight value{0};
+  std::vector<bool> side;
+};
+
+/// A centralized minimum-cut reference.  Exact oracles claim value == λ
+/// (deterministically or w.h.p. — seeds are fixed in every caller, so a
+/// passing configuration stays passing); inexact ones guarantee
+/// λ ≤ value ≤ factor()·λ.
+class CutOracle {
+ public:
+  virtual ~CutOracle() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual bool exact() const = 0;
+  /// Approximation guarantee: value ≤ factor()·λ.  1.0 for exact oracles.
+  [[nodiscard]] virtual double factor() const { return 1.0; }
+  /// Applicability guard (e.g. Stoer–Wagner is O(n³); brute force 2^n).
+  [[nodiscard]] virtual std::size_t max_nodes() const { return 4096; }
+
+  [[nodiscard]] virtual OracleAnswer solve(const Graph& g,
+                                           std::uint64_t seed) const = 0;
+};
+
+/// Owning, append-only collection of oracles.  `standard()` is the
+/// library's default panel: Stoer–Wagner (deterministic exact),
+/// Karger–Stein and Karger'2000 (randomized exact, independent of each
+/// other and of the distributed pipeline's tree packing), Matula (2+ε),
+/// and brute force on tiny graphs.
+class OracleRegistry {
+ public:
+  OracleRegistry() = default;
+  OracleRegistry(OracleRegistry&&) = default;
+  OracleRegistry& operator=(OracleRegistry&&) = default;
+
+  void add(std::unique_ptr<CutOracle> oracle);
+
+  [[nodiscard]] std::size_t size() const { return oracles_.size(); }
+  [[nodiscard]] const CutOracle& at(std::size_t i) const;
+  [[nodiscard]] const CutOracle* find(std::string_view name) const;
+
+  [[nodiscard]] static const OracleRegistry& standard();
+
+ private:
+  std::vector<std::unique_ptr<CutOracle>> oracles_;
+};
+
+/// One oracle's contribution to a consensus round.
+struct OracleVote {
+  std::string name;
+  Weight value{0};
+  bool exact{false};
+  bool witness_ok{true};  ///< false ⇒ side did not achieve the claim
+};
+
+struct ConsensusResult {
+  /// The agreed λ: minimum over answers with a VALIDATED witness.  Every
+  /// validated witness is an actual cut (so ≥ λ), hence the minimum is
+  /// exactly λ as soon as one exact oracle succeeds — and dissent catches
+  /// the ones that don't.  Value-only claims are vote-checked against
+  /// this minimum but never define it (an under-reporting value-only
+  /// oracle must not lower λ); a panel with no witness-producing oracle
+  /// dissents with "no oracle produced a validated answer".
+  Weight lambda{0};
+  std::size_t oracles_consulted{0};  ///< applicable oracles that ran
+  std::size_t exact_consulted{0};
+  std::vector<OracleVote> votes;
+  /// Human-readable disagreements; empty ⇔ full consensus.
+  std::vector<std::string> dissent;
+
+  [[nodiscard]] bool ok() const { return dissent.empty(); }
+  [[nodiscard]] std::string dissent_summary() const;
+};
+
+/// Runs every applicable oracle in `reg` on g and votes.  Witnesses are
+/// validated centrally (nontrivial side, cut_value(side) == value); with
+/// `audit_distributed` each witness is additionally re-counted by the
+/// simulated CONGEST network itself via core/cut_verify (O(D) rounds per
+/// witness, one shared BFS).  Requires a connected g with ≥ 2 nodes.
+[[nodiscard]] ConsensusResult oracle_consensus(const OracleRegistry& reg,
+                                               const Graph& g,
+                                               std::uint64_t seed,
+                                               bool audit_distributed = false);
+
+}  // namespace dmc::check

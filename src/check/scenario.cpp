@@ -1,0 +1,391 @@
+#include "check/scenario.h"
+
+#include <algorithm>
+#include <exception>
+#include <sstream>
+#include <utility>
+
+#include "congest/message.h"
+#include "congest/primitives/leader_bfs.h"
+#include "congest/schedule.h"
+#include "core/cut_verify.h"
+#include "graph/algorithms.h"
+#include "graph/cut.h"
+#include "graph/io.h"
+#include "util/prng.h"
+
+namespace dmc::check {
+
+namespace {
+
+/// Estimate-only baselines (kSu/kGk) carry no per-instance guarantee
+/// tighter than a multiplicative band; this is the sweep-wide bound
+/// (the per-instance tests in tests/test_mincut_dist.cpp use 16–32×).
+constexpr double kEstimateBand = 64.0;
+constexpr double kApproxEps = 0.25;
+
+const OracleRegistry& registry_of(const RunnerOptions& opt) {
+  return opt.oracles ? *opt.oracles : OracleRegistry::standard();
+}
+
+/// Outcome of the graph-level differential check — the unit both
+/// run_cell and the shrink predicate are built from.
+struct GraphCheck {
+  bool ok{true};
+  std::string message;  ///< first violated contract
+  Weight lambda{0};
+  std::size_t oracles_consulted{0};
+  std::size_t assertions{0};
+  MinCutReport report;
+};
+
+MinCutRequest request_for(const Scenario& s, std::uint64_t seed) {
+  MinCutRequest req;
+  req.algo = s.algo;
+  req.eps = kApproxEps;
+  req.seed = derive_seed(seed, s.id, 7);
+  return req;
+}
+
+/// λ and the algorithm contract on one concrete graph.  Deterministic in
+/// (g, s, seed); exceptions anywhere inside count as failures, so crashes
+/// shrink exactly like wrong answers.
+GraphCheck check_graph(const Graph& g, const Scenario& s, std::uint64_t seed,
+                       const RunnerOptions& opt) {
+  GraphCheck out;
+  const auto fail = [&out](const std::string& msg) {
+    if (out.ok) {
+      out.ok = false;
+      out.message = msg;
+    }
+  };
+  try {
+    // 1. Establish λ by consensus of independent centralized oracles.
+    const ConsensusResult consensus = oracle_consensus(
+        registry_of(opt), g, derive_seed(seed, s.id), opt.audit_distributed);
+    out.lambda = consensus.lambda;
+    out.oracles_consulted = consensus.oracles_consulted;
+    ++out.assertions;
+    if (!consensus.ok()) {
+      fail("oracle dissent: " + consensus.dissent_summary());
+      return out;
+    }
+
+    // 2. Run the system under test through the session façade.
+    Session session{g, SessionOptions{s.engine_threads, s.scheduling}};
+    out.report = session.solve(request_for(s, seed));
+    const MinCutReport& rep = out.report;
+    std::ostringstream why;
+
+    // 3. The algorithm's contract against consensus λ.
+    const Weight lambda = consensus.lambda;
+    switch (s.algo) {
+      case Algo::kExact:
+        ++out.assertions;
+        if (rep.value != lambda) {
+          why << "exact value " << rep.value << " != lambda " << lambda;
+          fail(why.str());
+        }
+        break;
+      case Algo::kApprox: {
+        ++out.assertions;
+        const auto bound = static_cast<double>(lambda) * (1.0 + kApproxEps);
+        if (rep.value < lambda ||
+            static_cast<double>(rep.value) > bound) {
+          why << "approx value " << rep.value << " outside [" << lambda
+              << ", " << bound << "]";
+          fail(why.str());
+        }
+        break;
+      }
+      case Algo::kSu:
+      case Algo::kGk: {
+        ++out.assertions;
+        const double ratio = static_cast<double>(rep.value) /
+                             static_cast<double>(std::max<Weight>(lambda, 1));
+        if (rep.value < 1 || ratio > kEstimateBand ||
+            ratio < 1.0 / kEstimateBand) {
+          why << to_string(s.algo) << " estimate " << rep.value
+              << " outside the " << kEstimateBand << "x band of lambda "
+              << lambda;
+          fail(why.str());
+        }
+        break;
+      }
+    }
+
+    // 4. Witness validation for the cut-producing algorithms: central
+    //    recount, and the network's own O(D)-round audit (cut_verify).
+    if (s.algo == Algo::kExact || s.algo == Algo::kApprox) {
+      ++out.assertions;
+      if (rep.side.size() != g.num_nodes() || !is_nontrivial(rep.side)) {
+        fail("witness side is malformed or trivial");
+      } else if (cut_value(g, rep.side) != rep.value) {
+        why << "witness achieves " << cut_value(g, rep.side)
+            << ", reported " << rep.value;
+        fail(why.str());
+      } else if (opt.audit_distributed) {
+        ++out.assertions;
+        Network net{g};
+        Schedule sched{net};
+        LeaderBfsProtocol lb{g};
+        sched.run_uncharged(lb);
+        const TreeView bfs = lb.tree_view(g);
+        sched.set_barrier_height(bfs.height(g));
+        if (verify_cut_dist(sched, bfs, rep.side) != rep.value)
+          fail("distributed cut_verify disagrees with the reported value");
+      }
+    }
+
+    // 5. CONGEST legality on every run.
+    ++out.assertions;
+    if (rep.stats.max_messages_edge_round > 1)
+      fail("CONGEST violation: >1 message per edge per round");
+    ++out.assertions;
+    if (rep.stats.max_words_per_message > kMaxWords)
+      fail("CONGEST violation: message exceeds the word budget");
+  } catch (const std::exception& e) {
+    fail(std::string{"exception: "} + e.what());
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(WeightRegime r) {
+  switch (r) {
+    case WeightRegime::kUnit: return "unit";
+    case WeightRegime::kSmall: return "small";
+    case WeightRegime::kWide: return "wide";
+  }
+  return "?";
+}
+
+std::pair<Weight, Weight> weight_range(WeightRegime r) {
+  switch (r) {
+    case WeightRegime::kUnit: return {1, 1};
+    case WeightRegime::kSmall: return {1, 9};
+    case WeightRegime::kWide: return {1, Weight{1} << 20};
+  }
+  return {1, 1};
+}
+
+std::string Scenario::name() const {
+  std::ostringstream os;
+  os << 's' << id << '_' << family << "_n" << n << '_'
+     << check::to_string(regime) << '_' << dmc::to_string(algo) << '_'
+     << (scheduling == Scheduling::kDense ? "dense" : "event") << "_t"
+     << engine_threads;
+  return os.str();
+}
+
+ScenarioMatrix::ScenarioMatrix(std::string name, ScenarioAxes axes)
+    : name_(std::move(name)), axes_(std::move(axes)) {
+  DMC_REQUIRE_MSG(!axes_.families.empty() && !axes_.sizes.empty() &&
+                      !axes_.regimes.empty() && !axes_.algos.empty() &&
+                      !axes_.schedulings.empty() &&
+                      !axes_.engine_threads.empty(),
+                  "every scenario axis needs at least one value");
+  for (const std::string& f : axes_.families) {
+    const GraphFamily& fam = graph_family(f);  // throws on unknown names
+    for (const std::size_t n : axes_.sizes)
+      DMC_REQUIRE_MSG(n >= fam.min_n, "family " << f << " needs n >= "
+                                                << fam.min_n);
+  }
+  size_ = axes_.families.size() * axes_.sizes.size() * axes_.regimes.size() *
+          axes_.algos.size() * axes_.schedulings.size() *
+          axes_.engine_threads.size();
+}
+
+Scenario ScenarioMatrix::decode(std::uint64_t id) const {
+  DMC_REQUIRE_MSG(id < size_, "scenario id " << id << " out of range (matrix "
+                                             << name_ << " has " << size_
+                                             << " cells)");
+  Scenario s;
+  s.id = id;
+  // Mixed radix, family fastest: axis order here is the addressing scheme
+  // — changing it invalidates every printed scenario id.
+  auto take = [&id](std::size_t radix) {
+    const std::size_t digit = id % radix;
+    id /= radix;
+    return digit;
+  };
+  s.family = axes_.families[take(axes_.families.size())];
+  s.n = axes_.sizes[take(axes_.sizes.size())];
+  s.regime = axes_.regimes[take(axes_.regimes.size())];
+  s.algo = axes_.algos[take(axes_.algos.size())];
+  s.scheduling = axes_.schedulings[take(axes_.schedulings.size())];
+  s.engine_threads = axes_.engine_threads[take(axes_.engine_threads.size())];
+  return s;
+}
+
+const ScenarioMatrix& ScenarioMatrix::tier1() {
+  static const ScenarioMatrix m{
+      "tier1",
+      ScenarioAxes{
+          {"erdos_renyi", "random_regular", "torus", "clique_chain",
+           "barbell", "random_tree"},
+          {16, 26},
+          {WeightRegime::kUnit, WeightRegime::kSmall},
+          {Algo::kExact, Algo::kApprox, Algo::kSu, Algo::kGk},
+          {Scheduling::kDense, Scheduling::kEventDriven},
+          {1u, 2u},
+      }};
+  return m;
+}
+
+const ScenarioMatrix& ScenarioMatrix::nightly() {
+  static const ScenarioMatrix m{
+      "nightly",
+      ScenarioAxes{
+          {"erdos_renyi", "random_regular", "torus", "grid", "hypercube",
+           "clique_chain", "barbell", "planted_cut", "random_tree"},
+          {16, 36, 64},
+          {WeightRegime::kUnit, WeightRegime::kSmall, WeightRegime::kWide},
+          {Algo::kExact, Algo::kApprox, Algo::kSu, Algo::kGk},
+          {Scheduling::kDense, Scheduling::kEventDriven},
+          {1u, 2u, 8u},
+      }};
+  return m;
+}
+
+std::string replay_line(std::string_view matrix_name,
+                        std::uint64_t scenario_id, std::uint64_t seed) {
+  std::ostringstream os;
+  os << "replay: ./build/dmc_check --matrix=" << matrix_name
+     << " --scenario=" << scenario_id << " --seed=" << seed;
+  return os.str();
+}
+
+ScenarioRunner::ScenarioRunner(const ScenarioMatrix& matrix,
+                               RunnerOptions opt)
+    : matrix_(&matrix), opt_(opt) {}
+
+Graph ScenarioRunner::instance(const Scenario& s, std::uint64_t seed) const {
+  const auto [min_w, max_w] = weight_range(s.regime);
+  // Note: the instance depends only on (family, n, regime, seed) — cells
+  // differing in algorithm/engine all see the same graph, which is what
+  // makes the matrix differential across algorithms.
+  return graph_family(s.family).make(s.n, seed, min_w, max_w);
+}
+
+CellReport ScenarioRunner::run_cell(std::uint64_t scenario_id,
+                                    std::uint64_t seed) const {
+  const Scenario s = matrix_->decode(scenario_id);
+  CellReport cell;
+  cell.scenario = s;
+  cell.seed = seed;
+
+  const auto report_failure = [&](const Graph& failing,
+                                  const std::string& context,
+                                  const std::string& what) {
+    std::ostringstream os;
+    os << "FAILED cell (matrix=" << matrix_->name() << ", scenario="
+       << scenario_id << ", seed=" << seed << ") " << s.name() << '\n'
+       << context << what << '\n'
+       << "request: " << describe(request_for(s, seed)) << '\n'
+       << replay_line(matrix_->name(), scenario_id, seed) << '\n';
+    // Shrink against the graph-level differential check so the minimal
+    // instance still fails for the same class of reason.  A failure the
+    // differential predicate cannot see (e.g. a wrong λ-mapping in a
+    // transform under test) is reported unshrunk.
+    RunnerOptions inner = opt_;
+    inner.audit_distributed = false;  // candidates are checked centrally
+    const FailurePredicate reproduces = [&](const Graph& candidate) {
+      return !check_graph(candidate, s, seed, inner).ok;
+    };
+    if (opt_.shrink_on_failure && reproduces(failing)) {
+      const ShrinkResult shrunk = shrink_counterexample(failing, reproduces);
+      os << "shrunk counterexample (" << shrunk.graph.num_nodes()
+         << " nodes, " << shrunk.graph.num_edges() << " edges, "
+         << shrunk.predicate_calls << " predicate calls):\n";
+      write_graph(os, shrunk.graph);
+    } else {
+      os << "instance:\n";
+      write_graph(os, failing);
+    }
+    cell.failure = os.str();
+  };
+
+  const Graph g = instance(s, seed);
+  GraphCheck base = check_graph(g, s, seed, opt_);
+  cell.lambda = base.lambda;
+  cell.oracles_consulted = base.oracles_consulted;
+  cell.assertions = base.assertions;
+  cell.report = std::move(base.report);
+  if (!base.ok) {
+    report_failure(g, "", base.message);
+    return cell;
+  }
+
+  // Metamorphic expansion: replay the same algorithm on derived graphs
+  // whose λ is known from the base consensus — no further oracle work.
+  if (opt_.metamorphic && g.num_nodes() <= opt_.metamorphic_max_n) {
+    for (DerivedInstance& derived :
+         metamorphic_suite(g, derive_seed(seed, scenario_id, 3))) {
+      // Su tracks the minimum 1-RESPECT cut of its packed tree.  The
+      // subdivided midpoint cut {x} crosses both path edges, i.e. it
+      // 2-respects every spanning tree containing them — structurally
+      // invisible to the 1-respect estimator, so min(λ, 2w) is not a
+      // sound expectation for kSu (it is for kGk: connectivity probing
+      // sees every cut).  Found by the nightly wide-weight sweep.
+      if (s.algo == Algo::kSu && derived.transform == "subdivide_edge")
+        continue;
+      const Weight expected = derived.map.apply(cell.lambda);
+      GraphCheck dc;
+      try {
+        Session session{derived.graph,
+                        SessionOptions{s.engine_threads, s.scheduling}};
+        const MinCutReport rep = session.solve(request_for(s, seed));
+        ++cell.assertions;
+        std::ostringstream why;
+        bool ok = true;
+        switch (s.algo) {
+          case Algo::kExact:
+            ok = rep.value == expected;
+            break;
+          case Algo::kApprox:
+            ok = rep.value >= expected &&
+                 static_cast<double>(rep.value) <=
+                     static_cast<double>(expected) * (1.0 + kApproxEps);
+            break;
+          case Algo::kSu:
+          case Algo::kGk: {
+            const double ratio =
+                static_cast<double>(rep.value) /
+                static_cast<double>(std::max<Weight>(expected, 1));
+            ok = rep.value >= 1 && ratio <= kEstimateBand &&
+                 ratio >= 1.0 / kEstimateBand;
+            break;
+          }
+        }
+        if ((s.algo == Algo::kExact || s.algo == Algo::kApprox) && ok) {
+          ++cell.assertions;
+          ok = rep.side.size() == derived.graph.num_nodes() &&
+               is_nontrivial(rep.side) &&
+               cut_value(derived.graph, rep.side) == rep.value;
+          if (!ok) why << "derived witness invalid; ";
+        }
+        if (!ok) {
+          why << "metamorphic " << derived.transform << ": value "
+              << rep.value << " vs expected lambda' " << expected
+              << " (base lambda " << cell.lambda << ")";
+          dc.ok = false;
+          dc.message = why.str();
+        }
+      } catch (const std::exception& e) {
+        dc.ok = false;
+        dc.message = std::string{"metamorphic "} + derived.transform +
+                     ": exception: " + e.what();
+      }
+      if (!dc.ok) {
+        report_failure(derived.graph,
+                       "transform=" + derived.transform + ": ", dc.message);
+        return cell;
+      }
+    }
+  }
+  return cell;
+}
+
+}  // namespace dmc::check

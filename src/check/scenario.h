@@ -1,0 +1,152 @@
+// dmc::check scenario matrix + runner — the declarative workload grid
+// {generator × n × weight regime × algorithm × scheduling × engine
+// threads}, enumerated into cells addressable by a single integer id, so
+// any failure anywhere (unit test, fuzz trial, nightly sweep, a future
+// workload PR) prints one replayable coordinate:
+//
+//   FAILED cell (matrix=tier1, scenario=217, seed=5)
+//   replay: ./build/dmc_check --matrix=tier1 --scenario=217 --seed=5
+//
+// Each cell: generate the instance, establish λ by oracle consensus
+// (oracle.h, ≥ 2 independent centralized solvers, witnesses re-counted by
+// the network itself via core/cut_verify), run the requested algorithm
+// through dmc::Session under the requested engine/scheduling, and assert
+// the algorithm's contract (exact: value == λ with a valid witness;
+// approx: λ ≤ value ≤ (1+ε)λ with a valid witness; su/gk: estimate inside
+// their multiplicative bands).  Metamorphic mode replays the same
+// algorithm on 5–6 derived graphs with known λ-mappings (metamorphic.h).
+// On failure the instance is delta-debugged to a locally-minimal
+// counterexample (shrink.h) before reporting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/metamorphic.h"
+#include "check/oracle.h"
+#include "check/shrink.h"
+#include "core/session.h"
+#include "graph/generators.h"
+
+namespace dmc::check {
+
+/// Weight regimes stress different arithmetic paths: unit weights (pure
+/// topology), small weights (ties + small multiples), wide weights
+/// (overflow headroom, sampling with extreme totals).
+enum class WeightRegime : std::uint8_t { kUnit, kSmall, kWide };
+
+[[nodiscard]] const char* to_string(WeightRegime r);
+/// The [min_w, max_w] range a regime draws from.
+[[nodiscard]] std::pair<Weight, Weight> weight_range(WeightRegime r);
+
+/// The declarative matrix: one vector per axis; the matrix is their cross
+/// product.  Axes must be non-empty.
+struct ScenarioAxes {
+  std::vector<std::string> families;  ///< names from graph_families()
+  std::vector<std::size_t> sizes;
+  std::vector<WeightRegime> regimes;
+  std::vector<Algo> algos;
+  std::vector<Scheduling> schedulings;
+  std::vector<unsigned> engine_threads;
+};
+
+/// One decoded cell (still parameterized by the per-run seed).
+struct Scenario {
+  std::uint64_t id{0};
+  std::string family;
+  std::size_t n{0};
+  WeightRegime regime{WeightRegime::kUnit};
+  Algo algo{Algo::kExact};
+  Scheduling scheduling{Scheduling::kDense};
+  unsigned engine_threads{1};
+
+  /// Compact unique label, e.g. "s217_barbell_n26_small_approx_event_t2"
+  /// — legal as a gtest parameter name.
+  [[nodiscard]] std::string name() const;
+};
+
+class ScenarioMatrix {
+ public:
+  ScenarioMatrix(std::string name, ScenarioAxes axes);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const ScenarioAxes& axes() const { return axes_; }
+  /// Number of scenarios (the product of the axis sizes).
+  [[nodiscard]] std::size_t size() const { return size_; }
+  /// Mixed-radix decode; requires id < size().  decode(id).id == id.
+  [[nodiscard]] Scenario decode(std::uint64_t id) const;
+
+  /// The push-gated grid: every algorithm, both schedulings, 1 and 2
+  /// engine threads, two sizes and weight regimes over six families —
+  /// a few hundred cells, each cheap enough for tier-1.
+  [[nodiscard]] static const ScenarioMatrix& tier1();
+  /// The full grid (all families, three sizes up to 64, wide weights,
+  /// up to 8 engine threads) for the scheduled nightly sweep.
+  [[nodiscard]] static const ScenarioMatrix& nightly();
+
+ private:
+  std::string name_;
+  ScenarioAxes axes_;
+  std::size_t size_;
+};
+
+/// "replay: ./build/dmc_check --matrix=<m> --scenario=<id> --seed=<s>"
+[[nodiscard]] std::string replay_line(std::string_view matrix_name,
+                                      std::uint64_t scenario_id,
+                                      std::uint64_t seed);
+
+struct RunnerOptions {
+  /// Oracle panel; nullptr → OracleRegistry::standard().  Borrowed.
+  const OracleRegistry* oracles{nullptr};
+  /// Re-count every oracle witness with the distributed verifier
+  /// (core/cut_verify) in addition to the central cut_value check.
+  bool audit_distributed{true};
+  /// Replay the cell's algorithm on the metamorphic suite of the
+  /// instance (5–6 derived graphs with known λ-mappings)…
+  bool metamorphic{true};
+  /// …but only when the base instance has at most this many nodes (the
+  /// derived run costs one extra solve per transform).
+  std::size_t metamorphic_max_n{24};
+  /// Delta-debug a failing instance to a locally-minimal counterexample
+  /// before reporting (adds shrink time only on failure).
+  bool shrink_on_failure{true};
+};
+
+struct CellReport {
+  Scenario scenario;
+  std::uint64_t seed{0};
+  Weight lambda{0};                  ///< consensus λ of the base instance
+  std::size_t oracles_consulted{0};  ///< per acceptance: must be ≥ 2
+  std::size_t assertions{0};         ///< contract checks that ran (incl. derived)
+  MinCutReport report;               ///< the session's answer on the base
+  /// Empty ⇔ the cell passed.  Otherwise a multi-line report containing
+  /// the violated contract, the replay line, and (when shrinking is on)
+  /// the minimized counterexample as a dmc-graph block.
+  std::string failure;
+
+  [[nodiscard]] bool ok() const { return failure.empty(); }
+};
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(const ScenarioMatrix& matrix,
+                          RunnerOptions opt = {});
+
+  [[nodiscard]] const ScenarioMatrix& matrix() const { return *matrix_; }
+
+  /// The deterministic instance of a cell (exposed so tests and the
+  /// driver can dump or re-derive it).
+  [[nodiscard]] Graph instance(const Scenario& s, std::uint64_t seed) const;
+
+  /// Runs one cell end to end.  Never throws on a CHECK failure (the
+  /// report carries it); propagates only misuse (bad scenario id).
+  [[nodiscard]] CellReport run_cell(std::uint64_t scenario_id,
+                                    std::uint64_t seed) const;
+
+ private:
+  const ScenarioMatrix* matrix_;
+  RunnerOptions opt_;
+};
+
+}  // namespace dmc::check

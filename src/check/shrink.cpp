@@ -1,0 +1,175 @@
+#include "check/shrink.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "graph/algorithms.h"
+
+namespace dmc::check {
+
+namespace {
+
+struct Budget {
+  std::size_t accepted{0};
+  std::size_t calls{0};
+};
+
+/// Candidate gate: structural preconditions first (free), predicate last.
+bool accept(const Graph& candidate, const FailurePredicate& fails,
+            Budget& budget) {
+  if (candidate.num_nodes() < 2) return false;
+  if (!is_connected(candidate)) return false;
+  ++budget.calls;
+  return fails(candidate);
+}
+
+/// ddmin over edges: try deleting aligned chunks, halving the chunk size
+/// down to single edges.  Greedy: an accepted deletion restarts the scan
+/// at the same granularity on the (smaller) survivor.
+bool pass_delete_edges(Graph& g, const FailurePredicate& fails,
+                       Budget& budget) {
+  bool progress = false;
+  for (std::size_t chunk = std::max<std::size_t>(1, g.num_edges() / 2);
+       chunk >= 1; chunk /= 2) {
+    bool accepted_at_this_size = true;
+    while (accepted_at_this_size) {
+      accepted_at_this_size = false;
+      const std::size_t m = g.num_edges();
+      for (std::size_t start = 0; start < m; start += chunk) {
+        std::vector<bool> keep(m, true);
+        for (std::size_t e = start; e < std::min(m, start + chunk); ++e)
+          keep[e] = false;
+        Graph candidate = g.edge_subgraph(keep);
+        if (accept(candidate, fails, budget)) {
+          g = std::move(candidate);
+          ++budget.accepted;
+          progress = accepted_at_this_size = true;
+          break;
+        }
+      }
+    }
+    if (chunk == 1) break;
+  }
+  return progress;
+}
+
+bool pass_delete_vertices(Graph& g, const FailurePredicate& fails,
+                          Budget& budget) {
+  bool progress = false;
+  bool accepted = true;
+  while (accepted && g.num_nodes() > 2) {
+    accepted = false;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      Graph candidate = remove_vertex(g, v);
+      if (accept(candidate, fails, budget)) {
+        g = std::move(candidate);
+        ++budget.accepted;
+        progress = accepted = true;
+        break;
+      }
+    }
+  }
+  return progress;
+}
+
+bool pass_smooth_vertices(Graph& g, const FailurePredicate& fails,
+                          Budget& budget) {
+  bool progress = false;
+  bool accepted = true;
+  while (accepted && g.num_nodes() > 2) {
+    accepted = false;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (g.degree(v) != 2) continue;
+      const auto ports = g.ports(v);
+      if (ports[0].peer == ports[1].peer || ports[0].peer == v) continue;
+      Graph candidate = smooth_vertex(g, v);
+      if (accept(candidate, fails, budget)) {
+        g = std::move(candidate);
+        ++budget.accepted;
+        progress = accepted = true;
+        break;
+      }
+    }
+  }
+  return progress;
+}
+
+bool pass_shrink_weights(Graph& g, const FailurePredicate& fails,
+                         Budget& budget) {
+  bool progress = false;
+  bool accepted = true;
+  while (accepted) {
+    accepted = false;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const Weight w = g.edge(e).w;
+      if (w == 1) continue;
+      // Strongest first: w → 1, else halve (round up so the step is
+      // strictly decreasing and never reaches 0).
+      for (const Weight candidate_w : {Weight{1}, (w + 1) / 2}) {
+        if (candidate_w >= w) continue;
+        Graph candidate{g.num_nodes()};
+        for (EdgeId i = 0; i < g.num_edges(); ++i) {
+          const Edge& edge = g.edge(i);
+          candidate.add_edge(edge.u, edge.v, i == e ? candidate_w : edge.w);
+        }
+        if (accept(candidate, fails, budget)) {
+          g = std::move(candidate);
+          ++budget.accepted;
+          progress = accepted = true;
+          break;
+        }
+      }
+      if (accepted) break;
+    }
+  }
+  return progress;
+}
+
+}  // namespace
+
+Graph remove_vertex(const Graph& g, NodeId v) {
+  DMC_REQUIRE(v < g.num_nodes() && g.num_nodes() >= 2);
+  Graph out{g.num_nodes() - 1};
+  const auto map = [v](NodeId u) { return u < v ? u : u - 1; };
+  for (const Edge& e : g.edges()) {
+    if (e.u == v || e.v == v) continue;
+    out.add_edge(map(e.u), map(e.v), e.w);
+  }
+  return out;
+}
+
+Graph smooth_vertex(const Graph& g, NodeId v) {
+  DMC_REQUIRE_MSG(g.degree(v) == 2, "smoothing needs a degree-2 node");
+  const auto ports = g.ports(v);
+  const NodeId a = ports[0].peer;
+  const NodeId b = ports[1].peer;
+  DMC_REQUIRE_MSG(a != b, "smoothing needs two distinct neighbors");
+  const Weight w = std::min(g.edge(ports[0].edge).w, g.edge(ports[1].edge).w);
+  const auto map = [v](NodeId u) { return u < v ? u : u - 1; };
+  Graph out{g.num_nodes() - 1};
+  for (const Edge& e : g.edges()) {
+    if (e.u == v || e.v == v) continue;
+    out.add_edge(map(e.u), map(e.v), e.w);
+  }
+  out.add_edge(map(a), map(b), w);
+  return out;
+}
+
+ShrinkResult shrink_counterexample(Graph g, const FailurePredicate& fails,
+                                   ShrinkOptions opt) {
+  DMC_REQUIRE_MSG(fails(g), "shrink_counterexample needs a failing input");
+  Budget budget;
+  ++budget.calls;  // the precondition check above
+  for (std::size_t round = 0; round < opt.max_rounds; ++round) {
+    bool progress = false;
+    progress |= pass_delete_edges(g, fails, budget);
+    progress |= pass_delete_vertices(g, fails, budget);
+    progress |= pass_smooth_vertices(g, fails, budget);
+    if (opt.shrink_weights) progress |= pass_shrink_weights(g, fails, budget);
+    if (!progress) break;
+  }
+  return ShrinkResult{std::move(g), budget.accepted, budget.calls};
+}
+
+}  // namespace dmc::check

@@ -1,0 +1,63 @@
+// dmc::check counterexample minimizer — delta debugging for graphs.
+//
+// A failing fuzz case on a 4096-node instance is unactionable; the same
+// failure on 6 nodes and 8 edges is a unit test.  Given a failing graph
+// and a predicate `fails` (true ⇔ the bug reproduces), the shrinker
+// greedily applies reductions, keeping each one only if the candidate
+// still fails, until no single reduction preserves the failure — a
+// LOCALLY MINIMAL counterexample (ddmin's 1-minimality, Zeller–Hildebrandt
+// 2002).  Reductions, strongest first:
+//   * edge deletion, binary-chunked (ddmin) then per-edge
+//   * vertex deletion (with incident edges)
+//   * degree-2 vertex smoothing (path contraction, min of the two weights)
+//   * weight simplification (w → 1, else w → ⌈w/2⌉)
+// Every candidate handed to the predicate is connected with ≥ 2 nodes, so
+// predicates may assume the library's standard preconditions.  The
+// predicate must be deterministic (derive any seeds from the graph or fix
+// them) or the shrink may thrash; termination holds regardless because
+// every accepted step strictly decreases (edges, nodes, total weight).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "graph/graph.h"
+
+namespace dmc::check {
+
+/// True ⇔ the failure reproduces on this candidate.  Called only on
+/// connected graphs with ≥ 2 nodes.  Exceptions propagate — wrap the
+/// check and translate "check blew up" into true if crashes should be
+/// shrunk too (ScenarioRunner does).
+using FailurePredicate = std::function<bool(const Graph&)>;
+
+struct ShrinkOptions {
+  /// Cap on full reduction passes; each pass that accepts anything is
+  /// followed by another, so this only bites on pathological predicates.
+  std::size_t max_rounds{64};
+  /// Also minimize weights (off when the failure is weight-sensitive and
+  /// the caller wants the original weights preserved).
+  bool shrink_weights{true};
+};
+
+struct ShrinkResult {
+  Graph graph;                     ///< locally-minimal failing instance
+  std::size_t accepted_steps{0};   ///< reductions that kept the failure
+  std::size_t predicate_calls{0};  ///< how often `fails` ran
+};
+
+/// Requires fails(g) == true; returns a locally-minimal shrunk graph that
+/// still fails.  Deterministic in (g, fails).
+[[nodiscard]] ShrinkResult shrink_counterexample(Graph g,
+                                                 const FailurePredicate& fails,
+                                                 ShrinkOptions opt = {});
+
+/// g without node v (incident edges dropped, higher ids shifted down) —
+/// exposed for tests; the shrinker's vertex-deletion step.
+[[nodiscard]] Graph remove_vertex(const Graph& g, NodeId v);
+
+/// g with degree-2 node v replaced by one edge between its two distinct
+/// neighbors carrying min of the two incident weights (path contraction).
+[[nodiscard]] Graph smooth_vertex(const Graph& g, NodeId v);
+
+}  // namespace dmc::check

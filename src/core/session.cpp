@@ -1,6 +1,7 @@
 #include "core/session.h"
 
 #include <chrono>
+#include <sstream>
 #include <utility>
 
 namespace dmc {
@@ -125,6 +126,28 @@ Algo algo_from_string(const std::string& s) {
   if (s == "gk") return Algo::kGk;
   throw PreconditionError{"unknown algorithm '" + s +
                           "' (accepted: exact, approx, su, gk)"};
+}
+
+std::string describe(const MinCutRequest& req) {
+  std::ostringstream os;
+  os << to_string(req.algo) << '(';
+  switch (req.algo) {
+    case Algo::kExact:
+      os << "max_trees=" << req.max_trees << ", patience=" << req.patience;
+      break;
+    case Algo::kApprox:
+      os << "eps=" << req.eps << ", seed=" << req.seed
+         << ", trees_factor=" << req.trees_factor;
+      break;
+    case Algo::kSu:
+    case Algo::kGk:
+      os << "seed=" << req.seed;
+      break;
+  }
+  if (req.round_budget != 0) os << ", round_budget=" << req.round_budget;
+  if (req.time_budget_s > 0.0) os << ", time_budget_s=" << req.time_budget_s;
+  os << ')';
+  return os.str();
 }
 
 DistMinCutResult to_exact_result(const MinCutReport& rep) {

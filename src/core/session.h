@@ -119,6 +119,12 @@ struct MinCutReport {
   double wall_seconds{0};  ///< simulator wall clock for this query
 };
 
+/// One-line human-readable request description — the algorithm tag plus
+/// exactly the fields that algorithm consumes, e.g.
+/// "approx(eps=0.25, seed=7, trees_factor=4)".  Used by dmc::check
+/// failure reports so a printed cell is replayable by inspection.
+[[nodiscard]] std::string describe(const MinCutRequest& req);
+
 /// Conversions back to the per-algorithm result structs (used by the
 /// one-shot wrappers; handy for code migrating to the façade piecemeal).
 [[nodiscard]] DistMinCutResult to_exact_result(const MinCutReport& rep);

@@ -53,8 +53,21 @@ SuEstimateResult su_estimate_min_cut(Network& net,
     const OneRespectResult r = one_respect_min_cut(sched, bfs, fs, eval);
     if (r.c_star == 0) {
       out.q_threshold = q;
+      // Weight-aware refinement: the sampled formula ln(n)/q* is blind to
+      // the bridging tree edge's own capacity — on weighted instances (a
+      // heavy bridge, a weighted tree) it reported Θ(log n) regardless of
+      // λ (found by the dmc::check wide-weight matrix, shrunk to K2 with
+      // one heavy edge).  One more 1-respect pass with ORIGINAL weights
+      // on tree edges and the sampled units on non-tree edges lower-bounds
+      // the bridging cut's true weight; take the larger of the two reads.
+      std::vector<Weight> refine(g.num_edges());
+      for (EdgeId e = 0; e < g.num_edges(); ++e)
+        refine[e] = mst.tree_edge[e] ? g.edge(e).w : sk.sampled_w[e];
+      const OneRespectResult r2 = one_respect_min_cut(sched, bfs, fs, refine);
       const double est = std::log(static_cast<double>(n)) / q;
-      out.estimate = std::max<Weight>(1, static_cast<Weight>(est));
+      out.estimate =
+          std::max<Weight>(std::max<Weight>(1, static_cast<Weight>(est)),
+                           r2.c_star);
       out.stats = net.stats();
       return out;
     }

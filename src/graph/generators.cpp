@@ -1,10 +1,13 @@
 #include "graph/generators.h"
 
+#include <algorithm>
 #include <cmath>
 #include <set>
+#include <string>
 #include <utility>
 
 #include "graph/algorithms.h"
+#include "util/bit_math.h"
 #include "util/prng.h"
 
 namespace dmc {
@@ -278,6 +281,99 @@ Graph with_random_weights(const Graph& g, std::uint64_t seed, Weight min_w,
   for (const Edge& e : g.edges())
     out.add_edge(e.u, e.v, pick_weight(rng, min_w, max_w));
   return out;
+}
+
+namespace {
+
+// Family adapters: each rounds n to whatever its generator structurally
+// needs and spreads weights over [min_w, max_w].
+
+Graph fam_erdos_renyi(std::size_t n, std::uint64_t seed, Weight min_w,
+                      Weight max_w) {
+  const double p = std::min(1.0, 10.0 / static_cast<double>(n));
+  return make_erdos_renyi(n, p, seed, min_w, max_w);
+}
+
+Graph fam_random_regular(std::size_t n, std::uint64_t seed, Weight min_w,
+                         Weight max_w) {
+  const Graph g = make_random_regular(n - (n % 2), 4, seed);
+  return with_random_weights(g, derive_seed(seed, 0xFA11), min_w, max_w);
+}
+
+Graph fam_torus(std::size_t n, std::uint64_t seed, Weight min_w,
+                Weight max_w) {
+  const std::size_t side = std::max<std::size_t>(3, isqrt(n));
+  return with_random_weights(make_torus(side, side),
+                             derive_seed(seed, 0xFA12), min_w, max_w);
+}
+
+Graph fam_grid(std::size_t n, std::uint64_t seed, Weight min_w,
+               Weight max_w) {
+  const std::size_t rows = std::max<std::size_t>(2, isqrt(n));
+  return with_random_weights(make_grid(rows, rows),
+                             derive_seed(seed, 0xFA13), min_w, max_w);
+}
+
+Graph fam_hypercube(std::size_t n, std::uint64_t seed, Weight min_w,
+                    Weight max_w) {
+  std::size_t dims = 2;
+  while ((std::size_t{1} << (dims + 1)) <= n) ++dims;
+  return with_random_weights(make_hypercube(dims),
+                             derive_seed(seed, 0xFA14), min_w, max_w);
+}
+
+Graph fam_clique_chain(std::size_t n, std::uint64_t seed, Weight min_w,
+                       Weight max_w) {
+  const std::size_t cliques = std::max<std::size_t>(2, n / 6);
+  return with_random_weights(make_path_of_cliques(cliques, 6),
+                             derive_seed(seed, 0xFA15), min_w, max_w);
+}
+
+Graph fam_barbell(std::size_t n, std::uint64_t seed, Weight min_w,
+                  Weight max_w) {
+  const Weight bridge_w =
+      min_w + (max_w > min_w ? seed % (max_w - min_w + 1) : 0);
+  return make_barbell(n - (n % 2), 1 + seed % 4, bridge_w, seed);
+}
+
+Graph fam_planted_cut(std::size_t n, std::uint64_t seed, Weight min_w,
+                      Weight max_w) {
+  const Weight cross_w =
+      min_w + (max_w > min_w ? seed % (max_w - min_w + 1) : 0);
+  return make_planted_cut(n - (n % 2), 0.6, 2 + seed % 3, cross_w, seed);
+}
+
+Graph fam_random_tree(std::size_t n, std::uint64_t seed, Weight min_w,
+                      Weight max_w) {
+  return make_random_tree(n, seed, min_w, max_w);
+}
+
+constexpr GraphFamily kFamilies[] = {
+    {"erdos_renyi", 8, fam_erdos_renyi},
+    {"random_regular", 8, fam_random_regular},
+    {"torus", 9, fam_torus},
+    {"grid", 4, fam_grid},
+    {"hypercube", 8, fam_hypercube},
+    {"clique_chain", 12, fam_clique_chain},
+    {"barbell", 8, fam_barbell},
+    {"planted_cut", 10, fam_planted_cut},
+    {"random_tree", 4, fam_random_tree},
+};
+
+}  // namespace
+
+std::span<const GraphFamily> graph_families() { return kFamilies; }
+
+const GraphFamily& graph_family(std::string_view name) {
+  for (const GraphFamily& f : kFamilies)
+    if (name == f.name) return f;
+  std::string known;
+  for (const GraphFamily& f : kFamilies) {
+    if (!known.empty()) known += ", ";
+    known += f.name;
+  }
+  throw PreconditionError{"unknown graph family '" + std::string{name} +
+                          "' (known: " + known + ")"};
 }
 
 }  // namespace dmc

@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <string_view>
 
 #include "graph/graph.h"
 
@@ -82,5 +84,24 @@ namespace dmc {
 /// Reassigns uniform random weights in [min_w, max_w] (same topology).
 [[nodiscard]] Graph with_random_weights(const Graph& g, std::uint64_t seed,
                                         Weight min_w, Weight max_w);
+
+// --- named family registry (dmc::check scenario-matrix plumbing) ---------
+// One uniform signature over the generators above: every family maps
+// (n, seed, weight range) to a connected instance of roughly n nodes
+// (families with structural constraints round n — e.g. random_regular
+// needs it even, torus squares it).  Deterministic in all arguments.
+
+struct GraphFamily {
+  const char* name;
+  std::size_t min_n;  ///< smallest supported target size
+  Graph (*make)(std::size_t n, std::uint64_t seed, Weight min_w,
+                Weight max_w);
+};
+
+/// All registered families, fixed order (scenario ids index into this).
+[[nodiscard]] std::span<const GraphFamily> graph_families();
+
+/// Lookup by name; throws PreconditionError listing the known names.
+[[nodiscard]] const GraphFamily& graph_family(std::string_view name);
 
 }  // namespace dmc

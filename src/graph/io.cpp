@@ -12,22 +12,36 @@ void write_graph(std::ostream& os, const Graph& g) {
 }
 
 Graph read_graph(std::istream& is) {
+  // Malformed CONTENT is an InvariantError throughout (the bytes violate
+  // the format's invariants — DESIGN.md "Verification architecture");
+  // unopenable files in load_graph stay PreconditionError.
   std::string magic;
   int version = 0;
   is >> magic >> version;
-  DMC_REQUIRE_MSG(magic == "dmc-graph" && version == 1,
-                  "bad graph header: '" << magic << " " << version << "'");
-  std::size_t n = 0, m = 0;
+  DMC_ASSERT_MSG(!is.fail() && magic == "dmc-graph" && version == 1,
+                 "bad graph header: '" << magic << " " << version << "'");
+  std::uint64_t n = 0, m = 0;
   is >> n >> m;
-  DMC_REQUIRE_MSG(is.good(), "truncated graph header");
+  DMC_ASSERT_MSG(!is.fail(), "truncated graph header");
+  DMC_ASSERT_MSG(n <= kMaxIoNodes && m <= kMaxIoEdges,
+                 "implausible graph header " << n << ' ' << m
+                 << " (caps: " << kMaxIoNodes << " nodes, " << kMaxIoEdges
+                 << " edges)");
   Graph g{n};
-  for (std::size_t i = 0; i < m; ++i) {
-    NodeId u = 0, v = 0;
-    Weight w = 0;
+  for (std::uint64_t i = 0; i < m; ++i) {
+    std::uint64_t u = 0, v = 0, w = 0;
     is >> u >> v >> w;
-    DMC_REQUIRE_MSG(!is.fail(), "truncated edge list at edge " << i);
-    g.add_edge(u, v, w);
+    DMC_ASSERT_MSG(!is.fail(), "truncated edge list at edge " << i);
+    DMC_ASSERT_MSG(u < n && v < n,
+                   "edge " << i << " endpoint out of range: " << u << ' '
+                           << v << " (n = " << n << ")");
+    DMC_ASSERT_MSG(u != v, "edge " << i << " is a self-loop at node " << u);
+    // w == 0 / w > kMaxWeight fail inside add_edge (also InvariantError).
+    g.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v), w);
   }
+  std::string trailing;
+  DMC_ASSERT_MSG(!(is >> trailing),
+                 "trailing garbage '" << trailing << "' after edge list");
   return g;
 }
 

@@ -14,7 +14,18 @@
 
 namespace dmc {
 
+/// Plausibility caps enforced by read_graph before allocating: a corrupt
+/// header must not turn into a multi-gigabyte allocation.
+inline constexpr std::uint64_t kMaxIoNodes = 1ull << 24;
+inline constexpr std::uint64_t kMaxIoEdges = 1ull << 26;
+
 void write_graph(std::ostream& os, const Graph& g);
+
+/// Parses the text format.  Malformed content — bad magic/version,
+/// truncated header or edge list, endpoints out of range, self-loops,
+/// weights outside [1, kMaxWeight], trailing garbage, implausible sizes —
+/// throws InvariantError; round-trips with write_graph bit-identically
+/// (tests/test_graph_io.cpp).
 [[nodiscard]] Graph read_graph(std::istream& is);
 
 void save_graph(const std::string& path, const Graph& g);

@@ -1,0 +1,53 @@
+// Nightly scenario sweep (ctest label "nightly"; not part of tier-1).
+//
+// The full dmc::check matrix — all nine graph families, sizes up to 64,
+// the wide-weight regime, every algorithm, both schedulings, up to 8
+// engine threads — times two seeds, run in chunks so a single wedged
+// cell cannot eat the whole job's timeout and ctest can parallelize.
+// Scheduled in CI (.github/workflows/ci.yml, `nightly-matrix` job); run
+// locally with `ctest -L nightly` or `./build/dmc_check --matrix=nightly
+// --seeds=2`.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "check/check.h"
+
+namespace dmc::check {
+namespace {
+
+constexpr std::uint64_t kChunk = 54;
+constexpr std::uint64_t kSeeds = 2;
+
+const ScenarioRunner& nightly_runner() {
+  static const ScenarioRunner runner{ScenarioMatrix::nightly(), [] {
+                                       RunnerOptions opt;
+                                       opt.metamorphic_max_n = 36;
+                                       return opt;
+                                     }()};
+  return runner;
+}
+
+class NightlyChunk : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NightlyChunk, CellsPassDifferentialCheck) {
+  const ScenarioMatrix& m = ScenarioMatrix::nightly();
+  const std::uint64_t begin = GetParam() * kChunk;
+  const std::uint64_t end = std::min<std::uint64_t>(begin + kChunk, m.size());
+  for (std::uint64_t id = begin; id < end; ++id) {
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      const CellReport cell = nightly_runner().run_cell(id, seed);
+      EXPECT_GE(cell.oracles_consulted, 2u) << cell.scenario.name();
+      ASSERT_TRUE(cell.ok()) << cell.failure;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, NightlyChunk,
+    ::testing::Range<std::uint64_t>(
+        0, (ScenarioMatrix::nightly().size() + kChunk - 1) / kChunk));
+
+}  // namespace
+}  // namespace dmc::check

@@ -1,76 +1,89 @@
-// Randomized fuzzing of the full exact pipeline: random topologies, random
-// weights, random fragment freeze sizes and merge-coin seeds — every
-// configuration must equal Stoer–Wagner and keep the CONGEST budget.
+// Randomized differential fuzzing via dmc::check: random (scenario, seed)
+// cells of the tier-1 matrix, plus randomized packing knobs through
+// dmc::Session — every answer cross-checked against the oracle panel.
+// Any failure prints one replayable (scenario_id, seed) coordinate and a
+// delta-debugged counterexample instead of a raw graph dump.
 #include <gtest/gtest.h>
 
-#include "central/stoer_wagner.h"
+#include <algorithm>
+#include <sstream>
+
+#include "check/check.h"
 #include "congest/message.h"
-#include "congest/primitives/leader_bfs.h"
-#include "core/one_respect.h"
-#include "core/tree_packing_dist.h"
-#include "dist/ghs_mst.h"
-#include "dist/tree_partition.h"
-#include "graph/cut.h"
 #include "graph/generators.h"
+#include "graph/io.h"
 #include "util/prng.h"
 
-namespace dmc {
+namespace dmc::check {
 namespace {
 
-Graph random_instance(Prng& rng) {
-  const std::size_t n = 8 + rng.next_below(28);
-  const std::size_t extra = rng.next_below(2 * n);
-  const std::size_t max_edges = n * (n - 1) / 2;
-  const std::size_t m = std::min(max_edges, n - 1 + extra);
-  const Weight max_w = 1 + rng.next_below(64);
-  return make_random_connected(n, m, rng.next_u64(), 1, max_w);
+TEST(Fuzz, RandomMatrixCellsAgainstOracleConsensus) {
+  Prng rng{0xF022};
+  const ScenarioRunner runner{ScenarioMatrix::tier1()};
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::uint64_t id = rng.next_below(runner.matrix().size());
+    const std::uint64_t seed = 1 + rng.next_below(1u << 20);
+    const CellReport cell = runner.run_cell(id, seed);
+    ASSERT_GE(cell.oracles_consulted, 2u);
+    ASSERT_TRUE(cell.ok()) << "trial " << trial << '\n' << cell.failure;
+  }
 }
 
-TEST(Fuzz, ExactPipelineAgainstStoerWagner) {
-  Prng rng{0xF022};
-  for (int trial = 0; trial < 60; ++trial) {
-    const Graph g = random_instance(rng);
-    const std::size_t freeze = 1 + rng.next_below(g.num_nodes());
-    const std::uint64_t coin_seed = rng.next_u64();
+// The old fuzz randomized the exact pipeline's internal knobs (packing
+// extent, patience); keep that coverage, now phrased as Session requests
+// differential against the consensus λ, with shrinking on failure.
+TEST(Fuzz, RandomizedPackingKnobsStayExact) {
+  Prng rng{0xBEEF};
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 8 + rng.next_below(28);
+    const std::size_t extra = rng.next_below(2 * n);
+    const std::size_t m =
+        std::min(n * (n - 1) / 2, n - 1 + extra);
+    const Weight max_w = 1 + rng.next_below(64);
+    const Graph g = make_random_connected(n, m, rng.next_u64(), 1, max_w);
 
-    Network net{g};
-    Schedule sched{net};
-    LeaderBfsProtocol lb{g};
-    sched.run_uncharged(lb);
-    const TreeView bfs = lb.tree_view(g);
-    sched.set_barrier_height(bfs.height(g));
-    sched.charge_barrier();
+    const ConsensusResult consensus =
+        oracle_consensus(OracleRegistry::standard(), g, rng.next_u64());
+    ASSERT_TRUE(consensus.ok()) << consensus.dissent_summary();
+    ASSERT_GE(consensus.oracles_consulted, 2u);
 
-    // Packing loop with randomized substrate parameters.
-    std::vector<std::uint64_t> loads(g.num_edges(), 0);
-    Weight best = static_cast<Weight>(-1);
-    std::vector<bool> best_side;
-    for (int tree_i = 0; tree_i < 24; ++tree_i) {
-      const DistMstResult mst =
-          ghs_mst(sched, bfs, load_keys(g, loads), freeze,
-                  derive_seed(coin_seed, tree_i));
-      const FragmentStructure fs =
-          build_fragment_structure(sched, bfs, lb.leader(), mst);
-      std::vector<Weight> w(g.num_edges());
-      for (EdgeId e = 0; e < g.num_edges(); ++e) w[e] = g.edge(e).w;
-      const OneRespectResult r = one_respect_min_cut(sched, bfs, fs, w);
-      if (r.c_star < best) {
-        best = r.c_star;
-        best_side = r.in_cut;
-      }
-      for (EdgeId e = 0; e < g.num_edges(); ++e)
-        if (mst.tree_edge[e]) ++loads[e];
+    MinCutRequest req;
+    req.algo = Algo::kExact;
+    req.max_trees = 24 + rng.next_below(25);
+    req.patience = 8 + rng.next_below(9);
+    Session session{g};
+    const MinCutReport rep = session.solve(req);
+
+    if (rep.value != consensus.lambda) {
+      // Shrink before failing: re-run the identical configuration on
+      // every candidate.
+      const MinCutRequest frozen = req;
+      const ShrinkResult shrunk = shrink_counterexample(
+          g, [&](const Graph& candidate) {
+            // A candidate that makes the check blow up counts as failing
+            // too — crashes shrink like wrong answers (shrink.h).
+            try {
+              const ConsensusResult c = oracle_consensus(
+                  OracleRegistry::standard(), candidate, 1);
+              if (!c.ok()) return true;
+              Session s{candidate};
+              return s.solve(frozen).value != c.lambda;
+            } catch (const std::exception&) {
+              return true;
+            }
+          });
+      std::ostringstream os;
+      write_graph(os, shrunk.graph);
+      FAIL() << "trial " << trial << ": " << describe(req) << " returned "
+             << rep.value << ", lambda " << consensus.lambda
+             << "\nshrunk counterexample (" << shrunk.graph.num_nodes()
+             << " nodes):\n"
+             << os.str();
     }
-
-    const Weight lambda = stoer_wagner_min_cut(g).value;
-    ASSERT_EQ(best, lambda)
-        << "trial " << trial << " n=" << g.num_nodes()
-        << " m=" << g.num_edges() << " freeze=" << freeze;
-    ASSERT_EQ(cut_value(g, best_side), best) << "trial " << trial;
-    ASSERT_LE(net.stats().max_messages_edge_round, 1u);
-    ASSERT_LE(net.stats().max_words_per_message, kMaxWords);
+    ASSERT_LE(rep.stats.max_messages_edge_round, 1u);
+    ASSERT_LE(rep.stats.max_words_per_message, kMaxWords);
   }
 }
 
 }  // namespace
-}  // namespace dmc
+}  // namespace dmc::check

@@ -124,8 +124,10 @@ TEST(GraphIo, RoundTrip) {
 }
 
 TEST(GraphIo, RejectsBadHeader) {
+  // Malformed content is an InvariantError (the bytes violate the
+  // format's invariants); see tests/test_graph_io.cpp for the full set.
   std::stringstream ss{"not-a-graph 1\n2 0\n"};
-  EXPECT_THROW(read_graph(ss), PreconditionError);
+  EXPECT_THROW(read_graph(ss), InvariantError);
 }
 
 TEST(GraphIo, DotContainsCutMarkup) {

@@ -1,0 +1,129 @@
+// graph/io round trips and malformed-input rejection — the serialization
+// layer under dmc::check counterexample reports, so write→read must be
+// bit-identical and every malformed input must fail loudly
+// (InvariantError), never silently build a wrong graph.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "util/assert.h"
+
+namespace dmc {
+namespace {
+
+std::string serialized(const Graph& g) {
+  std::ostringstream os;
+  write_graph(os, g);
+  return os.str();
+}
+
+Graph parsed(const std::string& text) {
+  std::istringstream is{text};
+  return read_graph(is);
+}
+
+TEST(GraphIo, WriteReadWriteIsBitIdentical) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const Graph g = make_erdos_renyi(30, 0.2, seed, 1, 1000);
+    const std::string first = serialized(g);
+    const Graph back = parsed(first);
+    EXPECT_EQ(back.num_nodes(), g.num_nodes());
+    EXPECT_EQ(back.num_edges(), g.num_edges());
+    EXPECT_EQ(serialized(back), first);
+  }
+}
+
+TEST(GraphIo, RoundTripsParallelEdgesAndExtremeWeights) {
+  Graph g{4};
+  g.add_edge(0, 1, 1);
+  g.add_edge(0, 1, kMaxWeight);  // parallel pair, boundary weight
+  g.add_edge(1, 2, 7);
+  g.add_edge(2, 3, 42);
+  const Graph back = parsed(serialized(g));
+  EXPECT_EQ(serialized(back), serialized(g));
+  EXPECT_EQ(back.edge(1).w, kMaxWeight);
+}
+
+TEST(GraphIo, RoundTripsTheEmptyAndTinyGraphs) {
+  EXPECT_EQ(serialized(parsed(serialized(Graph{0}))), serialized(Graph{0}));
+  Graph k2{2};
+  k2.add_edge(0, 1, 5);
+  EXPECT_EQ(serialized(parsed(serialized(k2))), serialized(k2));
+}
+
+TEST(GraphIo, SaveLoadRoundTripsThroughAFile) {
+  const Graph g = make_barbell(16, 2, 3, 9);
+  const std::string path = ::testing::TempDir() + "dmc_io_roundtrip.graph";
+  save_graph(path, g);
+  const Graph back = load_graph(path);
+  EXPECT_EQ(serialized(back), serialized(g));
+}
+
+TEST(GraphIo, LoadOfMissingFileIsPrecondition) {
+  EXPECT_THROW((void)load_graph("/nonexistent/dmc/no_such_file.graph"),
+               PreconditionError);
+}
+
+// ----------------------------------------------------- malformed content
+
+TEST(GraphIo, RejectsBadMagicAndVersion) {
+  EXPECT_THROW((void)parsed("not-a-graph 1\n0 0\n"), InvariantError);
+  EXPECT_THROW((void)parsed("dmc-graph 2\n0 0\n"), InvariantError);
+  EXPECT_THROW((void)parsed(""), InvariantError);
+}
+
+TEST(GraphIo, RejectsTruncatedHeader) {
+  EXPECT_THROW((void)parsed("dmc-graph 1\n"), InvariantError);
+  EXPECT_THROW((void)parsed("dmc-graph 1\n5\n"), InvariantError);
+}
+
+TEST(GraphIo, RejectsTruncatedEdgeList) {
+  EXPECT_THROW((void)parsed("dmc-graph 1\n3 2\n0 1 1\n"), InvariantError);
+  EXPECT_THROW((void)parsed("dmc-graph 1\n3 1\n0 1\n"), InvariantError);
+  EXPECT_THROW((void)parsed("dmc-graph 1\n3 1\n0 x 1\n"), InvariantError);
+}
+
+TEST(GraphIo, RejectsEndpointsOutOfRangeAndSelfLoops) {
+  EXPECT_THROW((void)parsed("dmc-graph 1\n3 1\n0 3 1\n"), InvariantError);
+  EXPECT_THROW((void)parsed("dmc-graph 1\n3 1\n7 1 1\n"), InvariantError);
+  EXPECT_THROW((void)parsed("dmc-graph 1\n3 1\n1 1 1\n"), InvariantError);
+}
+
+TEST(GraphIo, RejectsOutOfRangeWeights) {
+  EXPECT_THROW((void)parsed("dmc-graph 1\n3 1\n0 1 0\n"), InvariantError);
+  EXPECT_THROW((void)parsed("dmc-graph 1\n3 1\n0 1 4294967296\n"),
+               InvariantError);  // kMaxWeight + 1
+}
+
+TEST(GraphIo, RejectsTrailingGarbage) {
+  EXPECT_THROW((void)parsed("dmc-graph 1\n2 1\n0 1 1\nextra\n"),
+               InvariantError);
+  EXPECT_THROW((void)parsed("dmc-graph 1\n2 1\n0 1 1\n0 1 1\n"),
+               InvariantError);
+}
+
+TEST(GraphIo, RejectsImplausibleHeaderBeforeAllocating) {
+  EXPECT_THROW((void)parsed("dmc-graph 1\n99999999999999 1\n"),
+               InvariantError);
+  EXPECT_THROW((void)parsed("dmc-graph 1\n4 99999999999999\n"),
+               InvariantError);
+}
+
+TEST(GraphIo, DotExportMarksCrossingEdges) {
+  Graph g{3};
+  g.add_edge(0, 1, 2);
+  g.add_edge(1, 2, 1);
+  const std::vector<bool> side{true, false, false};
+  std::ostringstream os;
+  write_dot(os, g, &side);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmc

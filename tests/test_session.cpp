@@ -11,6 +11,7 @@
 //       subsequent queries bit-identically afterwards.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -276,10 +277,137 @@ TEST(Session, ObserverCancelPropagatesAndSessionSurvives) {
                           "post-observer-cancel solve diverged");
 }
 
+TEST(Session, SuEstimateIsWeightAware) {
+  // Regression for a dmc::check find (nightly wide-weight matrix, shrunk
+  // to exactly this instance): the Su estimate used to be ln(n)/q* — pure
+  // topology — so a heavy bridge reported Θ(log n) regardless of λ.
+  Graph k2{2};
+  k2.add_edge(0, 1, 80);
+  Session heavy{k2};
+  MinCutRequest req;
+  req.algo = Algo::kSu;
+  req.seed = 3;
+  EXPECT_EQ(heavy.solve(req).value, 80u);
+
+  // A weighted tree: every edge is a tree edge, λ = the minimum weight.
+  const Graph t = make_random_tree(20, 5, 1000, 5000);
+  Weight lambda = t.edge(0).w;
+  for (const Edge& e : t.edges()) lambda = std::min(lambda, e.w);
+  Session tree{t};
+  const Weight est = tree.solve(req).value;
+  EXPECT_GE(est, lambda / 64);
+  EXPECT_LE(est, lambda * 64);
+}
+
 TEST(Session, AlgoStringsRoundTrip) {
   for (const Algo a : {Algo::kExact, Algo::kApprox, Algo::kSu, Algo::kGk})
     EXPECT_EQ(algo_from_string(to_string(a)), a);
   EXPECT_THROW((void)algo_from_string("exat"), PreconditionError);
+}
+
+// --- edge cases: degenerate graphs and budget boundaries ----------------
+
+TEST(Session, TwoNodeSingleEdgeGraphSolvesUnderEveryAlgo) {
+  Graph g{2};
+  g.add_edge(0, 1, 7);
+  for (const unsigned threads : {1u, 2u}) {
+    Session session{g, SessionOptions{threads}};
+    for (const MinCutRequest& req : mixed_batch()) {
+      const MinCutReport rep = session.solve(req);
+      if (req.algo == Algo::kExact || req.algo == Algo::kApprox) {
+        EXPECT_EQ(rep.value, 7u) << to_string(req.algo);
+        ASSERT_EQ(rep.side.size(), 2u);
+        EXPECT_NE(rep.side[0], rep.side[1]) << "the only cut is {0}|{1}";
+      } else {
+        EXPECT_GE(rep.value, 1u) << to_string(req.algo);
+      }
+    }
+  }
+}
+
+TEST(Session, TwoNodeParallelEdgesSumIntoTheCut) {
+  Graph g{2};
+  g.add_edge(0, 1, 3);
+  g.add_edge(0, 1, 4);
+  Session session{g};
+  MinCutRequest req;
+  const MinCutReport rep = session.solve(req);
+  EXPECT_EQ(rep.value, 7u);
+}
+
+TEST(Session, SingleEdgeBridgeGraphFindsTheBridge) {
+  // Smallest graph whose cut is not "one node vs the rest of a clique":
+  // two triangles joined by a single weight-1 bridge.
+  Graph g{6};
+  g.add_edge(0, 1, 5);
+  g.add_edge(1, 2, 5);
+  g.add_edge(2, 0, 5);
+  g.add_edge(3, 4, 5);
+  g.add_edge(4, 5, 5);
+  g.add_edge(5, 3, 5);
+  g.add_edge(2, 3, 1);
+  Session session{g};
+  MinCutRequest req;
+  const MinCutReport rep = session.solve(req);
+  EXPECT_EQ(rep.value, 1u);
+  EXPECT_EQ(rep.side[0], rep.side[1]);
+  EXPECT_EQ(rep.side[0], rep.side[2]);
+  EXPECT_NE(rep.side[2], rep.side[3]);
+}
+
+TEST(Session, RoundBudgetZeroMeansUnlimitedNotInstantCancel) {
+  const Graph g = make_barbell(16, 2, 1, 5);
+  Session session{g};
+  MinCutRequest req;
+  req.round_budget = 0;  // documented: 0 = unlimited
+  req.time_budget_s = 0.0;
+  const MinCutReport rep = session.solve(req);  // must not throw
+  EXPECT_GT(rep.stats.total_rounds(), 0u);
+  EXPECT_EQ(session.queries_served(), 1u);
+}
+
+TEST(Session, RepeatedSolvesAfterCancelledRequestsStayClean) {
+  const Graph g = make_planted_cut(24, 0.5, 3, 1, 11);
+  Session session{g};
+  const std::vector<MinCutRequest> batch = mixed_batch();
+  const std::vector<MinCutReport> fresh = [&] {
+    Session one_shot{g};
+    return one_shot.solve_many(batch);
+  }();
+
+  // Cancel several times in a row — different algorithms, both budget
+  // kinds — then serve the full batch; every report must match a fresh
+  // session exactly.
+  for (int round = 0; round < 2; ++round) {
+    MinCutRequest strangled;
+    strangled.round_budget = 1;
+    EXPECT_THROW((void)session.solve(strangled), CancelledError);
+    strangled.algo = Algo::kSu;
+    strangled.round_budget = 0;
+    strangled.time_budget_s = 1e-12;
+    EXPECT_THROW((void)session.solve(strangled), CancelledError);
+  }
+  const std::vector<MinCutReport> after = session.solve_many(batch);
+  ASSERT_EQ(after.size(), fresh.size());
+  for (std::size_t i = 0; i < after.size(); ++i)
+    expect_report_identical(after[i], fresh[i],
+                            "post-cancel batch item " + std::to_string(i));
+  EXPECT_EQ(session.queries_served(), batch.size());
+}
+
+TEST(Session, DescribeNamesTheAlgorithmAndItsKnobs) {
+  MinCutRequest req;
+  req.algo = Algo::kApprox;
+  req.eps = 0.25;
+  req.seed = 7;
+  EXPECT_EQ(describe(req), "approx(eps=0.25, seed=7, trees_factor=4)");
+  req.algo = Algo::kExact;
+  req.round_budget = 9;
+  EXPECT_EQ(describe(req),
+            "exact(max_trees=48, patience=12, round_budget=9)");
+  req.algo = Algo::kGk;
+  req.round_budget = 0;
+  EXPECT_EQ(describe(req), "gk(seed=7)");
 }
 
 #pragma GCC diagnostic push

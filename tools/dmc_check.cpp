@@ -1,0 +1,91 @@
+// dmc_check — command-line front end of the dmc::check subsystem.
+//
+// Replay a failure printed by any test or sweep:
+//   ./build/dmc_check --matrix=tier1 --scenario=217 --seed=5
+//
+// Sweep a whole matrix (every scenario × `--seeds` seeds):
+//   ./build/dmc_check --matrix=nightly --seeds=2
+//
+// List a matrix's cells:
+//   ./build/dmc_check --matrix=tier1 --list
+//
+// Exit code 0 ⇔ every executed cell passed.
+#include <cstdio>
+#include <iostream>
+
+#include "check/check.h"
+#include "util/options.h"
+
+namespace {
+
+using namespace dmc;
+using namespace dmc::check;
+
+const ScenarioMatrix& matrix_by_name(const std::string& name) {
+  if (name == "tier1") return ScenarioMatrix::tier1();
+  if (name == "nightly") return ScenarioMatrix::nightly();
+  throw PreconditionError{"unknown matrix '" + name +
+                          "' (known: tier1, nightly)"};
+}
+
+int run(const Options& opt) {
+  const ScenarioMatrix& matrix =
+      matrix_by_name(opt.get_enum("matrix", "tier1", {"tier1", "nightly"}));
+
+  if (opt.get_bool("list", false)) {
+    for (std::uint64_t id = 0; id < matrix.size(); ++id)
+      std::cout << matrix.decode(id).name() << '\n';
+    return 0;
+  }
+
+  RunnerOptions ropt;
+  ropt.metamorphic = opt.get_bool("metamorphic", true);
+  ropt.audit_distributed = opt.get_bool("audit", true);
+  ropt.shrink_on_failure = opt.get_bool("shrink", true);
+  const ScenarioRunner runner{matrix, ropt};
+
+  const auto run_one = [&](std::uint64_t id, std::uint64_t seed) {
+    const CellReport cell = runner.run_cell(id, seed);
+    if (cell.ok()) {
+      std::cout << "ok " << cell.scenario.name() << " seed=" << seed
+                << " lambda=" << cell.lambda << " value="
+                << cell.report.value << " oracles="
+                << cell.oracles_consulted << " assertions="
+                << cell.assertions << '\n';
+      return true;
+    }
+    std::cerr << cell.failure << '\n';
+    return false;
+  };
+
+  if (opt.has("scenario"))
+    return run_one(opt.get_uint("scenario", 0), opt.get_uint("seed", 1))
+               ? 0
+               : 1;
+
+  // Full sweep.
+  const std::uint64_t seeds = opt.get_uint("seeds", 1);
+  std::size_t failures = 0;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed)
+    for (std::uint64_t id = 0; id < matrix.size(); ++id)
+      if (!run_one(id, seed)) ++failures;
+  std::cout << (failures == 0 ? "PASS" : "FAIL") << ": "
+            << matrix.size() * seeds - failures << '/'
+            << matrix.size() * seeds << " cells ok (matrix="
+            << matrix.name() << ")\n";
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt{argc, argv,
+                      {"matrix", "scenario", "seed", "seeds", "list",
+                       "metamorphic", "audit", "shrink"}};
+    return run(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "dmc_check: " << e.what() << '\n';
+    return 2;
+  }
+}
