@@ -1,17 +1,36 @@
 // E9 — serving throughput: session reuse vs fresh-network-per-query.
 //
-// A dmc::Session pays the per-graph simulator setup (CSR slot planes,
-// reverse-port table, engine/worker pool) once and serves every query by
-// Network::reset() — a fill over retained buffers.  The one-shot shape
-// pays construction per query.  This bench sweeps n and replays the same
-// mixed request batch (exact / approx / su / gk) through both shapes,
-// reporting queries/sec and the reuse speedup, and verifying the answers
-// are identical (they are bit-identical; test-enforced in
-// tests/test_session.cpp).
+// A dmc::Session pays the per-graph simulator setup once — CSR slot
+// planes, reverse-port table, engine/worker pool, and (since the warm
+// infrastructure cache, core/warm.h) the leader election + BFS bootstrap
+// and the min-degree opener — and serves every query by Network::reset()
+// plus a warm replay.  The one-shot shape pays construction AND the
+// bootstrap per query.  Two workloads:
+//
+//   * "mixed": the original exact/approx/su/gk batch — simulation-heavy,
+//     so the reuse margin is thin (bootstrap is a few % of an exact
+//     solve) but must never be a regression (CI gates speedup ≥ 1.0);
+//   * "warm_serving": repeated λ-estimate queries (gk) on n ≥ 256 —
+//     the point-lookup serving shape the warm cache exists for; the
+//     bootstrap dominated each query and reuse serves over 2× the
+//     one-shot throughput (CI gates speedup ≥ 1.2).  The same batch is
+//     also pushed through a 2-session SessionPool as the
+//     concurrent-serving check.
+//
+// Methodology: each shape is run once untimed (allocator/cache warm-up);
+// then `reps` PAIRED reps time the reuse batch and the fresh batch
+// back-to-back in process-CPU time, and the speedup is the MEDIAN of the
+// per-rep ratios — pairing cancels ambient drift (frequency scaling, VM
+// steal) that would otherwise drown the thin mixed-workload margin; the
+// q/s columns use the min-of-reps times (the pool line, being
+// multi-threaded, is wall time).  Answers are checksummed across shapes
+// (bit-identicality is test-enforced in test_session.cpp).
 //
 // Env knobs (as in E1): DMC_ENGINE_THREADS, DMC_SCHEDULING ∈
 // {dense, event}, DMC_BENCH_SMOKE=1 → smallest size + fewest reps.
+#include <algorithm>
 #include <chrono>
+#include <limits>
 
 #include "bench_common.h"
 
@@ -22,6 +41,7 @@ namespace {
 using dmc::Algo;
 using dmc::MinCutReport;
 using dmc::MinCutRequest;
+using Clock = std::chrono::steady_clock;
 
 std::vector<MinCutRequest> mixed_batch(std::uint64_t seeds) {
   std::vector<MinCutRequest> batch;
@@ -45,10 +65,35 @@ std::vector<MinCutRequest> mixed_batch(std::uint64_t seeds) {
   return batch;
 }
 
+/// The warm serving shape: repeated cheap λ-estimate lookups, the query
+/// mix where per-graph infrastructure dominates per-query simulation.
+std::vector<MinCutRequest> estimate_batch(std::size_t queries) {
+  std::vector<MinCutRequest> batch;
+  for (std::size_t q = 0; q < queries; ++q) {
+    MinCutRequest gk;
+    gk.algo = Algo::kGk;
+    gk.seed = q + 1;
+    batch.push_back(gk);
+  }
+  return batch;
+}
+
 dmc::Weight checksum(const std::vector<MinCutReport>& reports) {
   dmc::Weight sum = 0;
   for (const MinCutReport& r : reports) sum += r.value;
   return sum;
+}
+
+double secs(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Process CPU seconds — immune to being scheduled out, which on shared
+/// CI runners dwarfs the mixed workload's structural margin.
+double cpu_now() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
 }
 
 }  // namespace
@@ -62,88 +107,132 @@ int main() {
   }();
   const std::optional<Scheduling> scheduling = scheduling_from_env();
   const bool smoke = std::getenv("DMC_BENCH_SMOKE") != nullptr;
-  std::cout << "E9: session reuse vs fresh network per query "
-               "(mixed exact/approx/su/gk batches)\n\n";
+  std::cout << "E9: session reuse vs fresh network per query\n\n";
 
-  Table t{{"family", "n", "queries", "reuse q/s", "fresh q/s", "speedup",
-           "identical?"}};
+  Table t{{"workload", "family", "n", "queries", "reuse q/s", "fresh q/s",
+           "speedup", "identical?"}};
 
-  const auto measure = [&](const std::string& family, const Graph& g,
-                           std::size_t reps) {
-    const std::vector<MinCutRequest> batch = mixed_batch(2);
+  const auto measure = [&](const std::string& workload,
+                           const std::string& family, const Graph& g,
+                           const std::vector<MinCutRequest>& batch,
+                           std::size_t reps, bool pool_check) {
     const SessionOptions sopt{engine_threads, scheduling};
-    const std::size_t queries = batch.size() * reps;
-    using Clock = std::chrono::steady_clock;
+    const std::size_t queries = batch.size();
 
-    // Shape 1: one session, every query reuses the network.
+    // Shape 1 reuses one warm session; shape 2 constructs a fresh session
+    // (fresh network + engine + bootstrap) per query — what the one-shot
+    // free functions do.  Each rep times the two shapes adjacently.
     std::vector<MinCutReport> reuse_reports;
-    const auto t0 = Clock::now();
+    std::vector<MinCutReport> fresh_reports;
+    double reuse_s = std::numeric_limits<double>::infinity();
+    double fresh_s = std::numeric_limits<double>::infinity();
+    std::vector<double> ratios;
     {
       Session session{g, sopt};
+      (void)session.solve_many(batch);  // warm-up (builds infra, untimed)
+      for (const MinCutRequest& req : batch) {  // fresh-shape warm-up
+        Session once{g, sopt};
+        (void)once.solve(req);
+      }
       for (std::size_t r = 0; r < reps; ++r) {
-        auto reports = session.solve_many(batch);
-        reuse_reports.insert(reuse_reports.end(), reports.begin(),
-                             reports.end());
+        const double t0 = cpu_now();
+        reuse_reports = session.solve_many(batch);
+        const double reuse_rep = cpu_now() - t0;
+
+        fresh_reports.clear();
+        const double t1 = cpu_now();
+        for (const MinCutRequest& req : batch) {
+          Session once{g, sopt};
+          fresh_reports.push_back(once.solve(req));
+        }
+        const double fresh_rep = cpu_now() - t1;
+
+        reuse_s = std::min(reuse_s, reuse_rep);
+        fresh_s = std::min(fresh_s, fresh_rep);
+        ratios.push_back(reuse_rep > 0 ? fresh_rep / reuse_rep : 0);
       }
     }
-    const double reuse_s =
-        std::chrono::duration<double>(Clock::now() - t0).count();
+    std::sort(ratios.begin(), ratios.end());
+    const double speedup = ratios[ratios.size() / 2];
 
-    // Shape 2: a fresh session (fresh network + engine) per query — what
-    // the one-shot free functions do.
-    std::vector<MinCutReport> fresh_reports;
-    const auto t1 = Clock::now();
-    for (std::size_t r = 0; r < reps; ++r)
-      for (const MinCutRequest& req : batch) {
-        Session session{g, sopt};
-        fresh_reports.push_back(session.solve(req));
-      }
-    const double fresh_s =
-        std::chrono::duration<double>(Clock::now() - t1).count();
+    // Concurrent-serving check: the same batch through a 2-session pool;
+    // answers must match and throughput is reported alongside.
+    double pool_s = 0;
+    bool pool_identical = true;
+    if (pool_check) {
+      SessionPool pool{g, 2, sopt};
+      (void)pool.solve_many(batch);  // warm-up
+      const auto t0 = Clock::now();
+      const std::vector<MinCutReport> pool_reports = pool.solve_many(batch);
+      pool_s = secs(t0, Clock::now());
+      pool_identical = checksum(pool_reports) == checksum(reuse_reports);
+    }
 
-    const bool identical = checksum(reuse_reports) == checksum(fresh_reports);
+    const bool identical =
+        checksum(reuse_reports) == checksum(fresh_reports) && pool_identical;
     const double reuse_qps =
         reuse_s > 0 ? static_cast<double>(queries) / reuse_s : 0;
     const double fresh_qps =
         fresh_s > 0 ? static_cast<double>(queries) / fresh_s : 0;
-    const double speedup = reuse_s > 0 ? fresh_s / reuse_s : 0;
-    t.add_row({family, Table::cell(g.num_nodes()), Table::cell(queries),
-               Table::cell(reuse_qps, 1), Table::cell(fresh_qps, 1),
-               Table::cell(speedup, 2), identical ? "yes" : "NO"});
+    t.add_row({workload, family, Table::cell(g.num_nodes()),
+               Table::cell(queries), Table::cell(reuse_qps, 1),
+               Table::cell(fresh_qps, 1), Table::cell(speedup, 2),
+               identical ? "yes" : "NO"});
     JsonLine{"e9"}
+        .field("workload", workload)
         .field("family", family)
         .field("n", std::uint64_t{g.num_nodes()})
         .field("m", std::uint64_t{g.num_edges()})
         .field("engine_threads", std::uint64_t{engine_threads})
         .field("scheduling", scheduling_label(scheduling))
         .field("queries", std::uint64_t{queries})
-        .field("reuse_wall_seconds", reuse_s)
-        .field("fresh_wall_seconds", fresh_s)
+        .field("reuse_cpu_seconds", reuse_s)
+        .field("fresh_cpu_seconds", fresh_s)
         .field("reuse_queries_per_sec", reuse_qps)
         .field("fresh_queries_per_sec", fresh_qps)
-        .field("reuse_speedup", reuse_s > 0 ? fresh_s / reuse_s : 0.0)
+        .field("reuse_speedup", speedup)
+        .field("pool_queries_per_sec",
+               pool_s > 0 ? static_cast<double>(queries) / pool_s : 0.0)
         .field("reps", std::uint64_t{reps})
         .field("identical", std::uint64_t{identical ? 1u : 0u})
         .emit();
   };
 
-  const std::size_t reps = smoke ? 2 : 4;
+  // DMC_BENCH_REPS widens the paired-median sample (CI uses more reps so
+  // the ≥ 1.0 gate on the thin mixed margin is stable).
+  const std::size_t reps = [] {
+    const char* env = std::getenv("DMC_BENCH_REPS");
+    const int v = env ? std::atoi(env) : 0;
+    return v > 0 ? static_cast<std::size_t>(v) : std::size_t{5};
+  }();
   const auto sizes = [&](std::initializer_list<unsigned> all) {
     return smoke ? std::vector<unsigned>{*all.begin()}
                  : std::vector<unsigned>{all};
   };
   for (const std::size_t n : sizes({32u, 64u, 128u}))
-    measure("erdos_renyi(deg≈6)",
+    measure("mixed", "erdos_renyi(deg≈6)",
             make_erdos_renyi(n, 6.0 / static_cast<double>(n), 4, 1, 9),
-            reps);
+            mixed_batch(2), reps, /*pool_check=*/false);
   for (const std::size_t n : sizes({32u, 64u, 128u}))
-    measure("barbell(λ=3)", make_barbell(n, 3, 1, 7), reps);
+    measure("mixed", "barbell(λ=3)", make_barbell(n, 3, 1, 7),
+            mixed_batch(2), reps, /*pool_check=*/false);
+  // The warm multi-query serving workload (n ≥ 256, ≥ 16 queries): the
+  // per-graph infrastructure (election, BFS, min-degree opener) used to be
+  // re-simulated per query and dominated each of these lookups.  Weights
+  // 12–24 push the min weighted degree above gk's first sampling level, so
+  // every query still runs genuine connectivity probes — the speedup is
+  // amortized bootstrap, not a cache answering without simulating.
+  for (const std::size_t n : sizes({256u, 512u}))
+    measure("warm_serving", "erdos_renyi(deg≈6, w∈[12,24])",
+            make_erdos_renyi(n, 6.0 / static_cast<double>(n), 4, 12, 24),
+            estimate_batch(24), reps, /*pool_check=*/true);
 
   t.print(std::cout);
-  std::cout << "\nshape check: identical answers both ways.  The speedup "
-               "column is the serving margin — setup (slot planes, reverse "
-               "ports, pool spawn) amortized away; it approaches 1.0 when "
-               "per-query simulation dominates and grows with m, engine "
-               "threads, and budget-cancelled (short) queries.\n";
+  std::cout << "\nshape check: identical answers all shapes (reuse, fresh, "
+               "pooled).  The speedup column is the serving margin — "
+               "construction, bootstrap election/BFS, the min-degree "
+               "opener, and the first packing tree amortized away by the "
+               "warm infrastructure cache; ~1.15x on simulation-heavy "
+               "mixed batches, >2x on estimate-serving lookups.\n";
   return 0;
 }

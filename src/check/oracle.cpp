@@ -103,16 +103,18 @@ const CutOracle* OracleRegistry::find(std::string_view name) const {
   return nullptr;
 }
 
+OracleRegistry OracleRegistry::make_standard() {
+  OracleRegistry r;
+  r.add(std::make_unique<StoerWagnerOracle>());
+  r.add(std::make_unique<KargerSteinOracle>());
+  r.add(std::make_unique<Karger2000Oracle>());
+  r.add(std::make_unique<MatulaOracle>());
+  r.add(std::make_unique<BruteForceOracle>());
+  return r;
+}
+
 const OracleRegistry& OracleRegistry::standard() {
-  static const OracleRegistry reg = [] {
-    OracleRegistry r;
-    r.add(std::make_unique<StoerWagnerOracle>());
-    r.add(std::make_unique<KargerSteinOracle>());
-    r.add(std::make_unique<Karger2000Oracle>());
-    r.add(std::make_unique<MatulaOracle>());
-    r.add(std::make_unique<BruteForceOracle>());
-    return r;
-  }();
+  static const OracleRegistry reg = make_standard();
   return reg;
 }
 

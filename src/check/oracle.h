@@ -69,6 +69,11 @@ class OracleRegistry {
 
   [[nodiscard]] static const OracleRegistry& standard();
 
+  /// A fresh instance of the standard panel, for callers that extend it
+  /// (e.g. dmc_check --inject-failure planting a known-bad oracle to
+  /// prove the failure path end to end).  standard() is this, memoized.
+  [[nodiscard]] static OracleRegistry make_standard();
+
  private:
   std::vector<std::unique_ptr<CutOracle>> oracles_;
 };

@@ -1,0 +1,104 @@
+// Arena: a rewindable bump allocator for per-solve transient buffers.
+//
+// The serving layer's goal is that a warm query allocates nothing: the
+// Network's own structures (slot planes, stamps, buckets) are retained
+// buffers that reset() merely refills, and the drivers' per-solve scratch
+// (evaluation weight tables, per-node aggregates, per-tree key arrays)
+// comes from this arena.  Allocation is a pointer bump inside a retained
+// chunk; Network::reset() rewinds the arena between queries, so after the
+// first solve has grown the chunks to the workload's high-water mark,
+// repeated solves perform no heap allocation for arena-backed state.
+//
+// Deliberately restricted to trivially copyable, trivially destructible
+// element types (weights, ids, keys): nothing is ever destroyed, rewind
+// just forgets.  Returned spans are zero-filled — same contents as the
+// `std::vector<T>(n, 0)` they replace, and no stale bytes from the
+// previous query can leak into this one (determinism: a warm solve must
+// be bit-identical to a cold one).  Spans stay valid until the next
+// rewind(): chunks are never reallocated, only appended.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace dmc {
+
+class Arena {
+ public:
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// A zero-filled span of `count` Ts, valid until the next rewind().
+  template <class T>
+  [[nodiscard]] std::span<T> alloc(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "Arena holds only trivial types — nothing is destroyed");
+    static_assert(alignof(T) <= kAlign, "over-aligned type");
+    if (count == 0) return {};
+    std::byte* p = raw(count * sizeof(T));
+    std::memset(p, 0, count * sizeof(T));
+    return {reinterpret_cast<T*>(p), count};
+  }
+
+  /// Forgets every allocation; chunk capacity is retained, so the next
+  /// round of alloc() calls reuses the same memory.
+  void rewind() {
+    chunk_ = 0;
+    used_ = 0;
+  }
+
+  /// Total bytes held across chunks (the high-water measure E9 reports).
+  [[nodiscard]] std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+
+ private:
+  // One alignment for everything the simulator stores (≤ 8-byte scalars
+  // and small trivial structs): keeps the bump arithmetic branch-free.
+  static constexpr std::size_t kAlign = alignof(std::max_align_t);
+  static constexpr std::size_t kMinChunk = std::size_t{1} << 16;
+
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size{0};
+  };
+
+  [[nodiscard]] std::byte* raw(std::size_t bytes) {
+    bytes = (bytes + kAlign - 1) & ~(kAlign - 1);
+    // Advance past retained chunks that cannot fit this request; their
+    // remaining tails are wasted until rewind, which is fine — chunk
+    // sizes only grow, so steady state settles into the first chunks.
+    while (chunk_ < chunks_.size() && used_ + bytes > chunks_[chunk_].size) {
+      ++chunk_;
+      used_ = 0;
+    }
+    if (chunk_ == chunks_.size()) {
+      Chunk c;
+      c.size = std::max(kMinChunk, bytes);
+      c.data = std::make_unique<std::byte[]>(c.size);
+      chunks_.push_back(std::move(c));
+      used_ = 0;
+    }
+    std::byte* p = chunks_[chunk_].data.get() + used_;
+    used_ += bytes;
+    return p;
+  }
+
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_{0};  ///< chunk currently bumped into
+  std::size_t used_{0};   ///< bytes used within that chunk
+};
+
+}  // namespace dmc

@@ -65,6 +65,7 @@ void Network::reset() {
   // engine (with any worker pool it spawned) is untouched.
   round_ = 0;
   stats_.reset();
+  arena_.rewind();
   for (auto& plane : stamps_)
     std::fill(plane.begin(), plane.end(), kNeverStamp);
   for (ActivationBucket& b : buckets_) {

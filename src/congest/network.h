@@ -41,6 +41,7 @@
 #include <optional>
 #include <vector>
 
+#include "congest/arena.h"
 #include "congest/engine.h"
 #include "congest/mailbox.h"
 #include "congest/message.h"
@@ -85,6 +86,12 @@ class Network {
   /// are read-only except for cooperative cancellation (observer.h).
   void set_observer(RoundObserver* obs) { observer_ = obs; }
   [[nodiscard]] RoundObserver* observer() const { return observer_; }
+
+  /// Per-solve scratch arena (arena.h): drivers draw transient buffers
+  /// (evaluation weights, per-node aggregates, packing keys) from here
+  /// instead of the heap; reset() rewinds it, so at steady state a warm
+  /// query performs no allocation for arena-backed state.
+  [[nodiscard]] Arena& arena() { return arena_; }
 
   /// Forces a scheduling mode for every subsequent run(), overriding the
   /// protocols' own declarations — the A/B hook the scheduling-equivalence
@@ -155,6 +162,7 @@ class Network {
   const Graph* g_;
   std::unique_ptr<Engine> engine_;
   CongestStats stats_;
+  Arena arena_;
   RoundObserver* observer_{nullptr};
 
   // Flat CSR mail slots, one per directed edge, in two planes alternated

@@ -1,5 +1,7 @@
 #include "congest/primitives/convergecast.h"
 
+#include "util/checked.h"
+
 namespace dmc {
 
 namespace {
@@ -10,7 +12,9 @@ constexpr std::uint32_t kTagDown = 2;
 CValue combine(CombineOp op, const CValue& a, const CValue& b) {
   switch (op) {
     case CombineOp::kSum:
-      return CValue{a.w0 + b.w0, a.w1 + b.w1};
+      // Guarded: a wide-regime aggregate (δ↓ sums, crossing-weight
+      // recounts) must fail loudly, never wrap (util/checked.h).
+      return CValue{checked_add(a.w0, b.w0), checked_add(a.w1, b.w1)};
     case CombineOp::kMin:
       if (b.w0 < a.w0 || (b.w0 == a.w0 && b.w1 < a.w1)) return b;
       return a;

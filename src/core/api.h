@@ -23,6 +23,7 @@
 #include "core/exact_mincut.h"
 #include "core/gk_estimator.h"
 #include "core/session.h"
+#include "core/session_pool.h"
 #include "core/su_baseline.h"
 #include "graph/graph.h"
 

@@ -2,42 +2,33 @@
 
 #include "central/skeleton.h"
 #include "congest/network.h"
-#include "congest/primitives/convergecast.h"
-#include "congest/primitives/leader_bfs.h"
 #include "congest/schedule.h"
 #include "core/session.h"
 #include "core/skeleton_dist.h"
 #include "core/tree_packing_dist.h"
+#include "core/warm.h"
 #include "util/bit_math.h"
 #include "util/prng.h"
 
 namespace dmc {
 
 DistApproxResult approx_min_cut_dist(Network& net,
-                                     const ApproxMinCutOptions& opt) {
+                                     const ApproxMinCutOptions& opt,
+                                     const SessionInfra* warm) {
   const Graph& g = net.graph();
   DMC_REQUIRE(g.num_nodes() >= 2);
   DMC_REQUIRE(opt.eps > 0.0 && opt.eps <= 1.0);
   const std::size_t n = g.num_nodes();
 
   Schedule sched{net};
+  SessionInfra storage;
+  const SessionInfra& infra = acquire_session_infra(sched, warm, storage);
+  const TreeView& bfs = infra.bfs;
+  const NodeId leader = infra.leader;
 
-  LeaderBfsProtocol lb{g};
-  sched.run_uncharged(lb);
-  const TreeView bfs = lb.tree_view(g);
-  const NodeId leader = lb.leader();
-  sched.set_barrier_height(bfs.height(g));
-  sched.charge_barrier();
-
-  // λ̂₀ = global minimum weighted degree (one converge/broadcast).
-  Weight lambda_hat = 0;
-  {
-    std::vector<CValue> init(n);
-    for (NodeId v = 0; v < n; ++v) init[v] = CValue{g.weighted_degree(v), v};
-    ConvergecastProtocol cc{g, bfs, CombineOp::kMin, std::move(init), true};
-    sched.run(cc);
-    lambda_hat = cc.tree_value(0).w0;
-  }
+  // λ̂₀ = global minimum weighted degree (one converge/broadcast, replayed
+  // from the warm cache when the session carries it).
+  Weight lambda_hat = acquire_min_degree(sched, bfs, warm);
 
   DistApproxResult out;
   const std::size_t trees =
@@ -51,6 +42,7 @@ DistApproxResult approx_min_cut_dist(Network& net,
       DistPackingOptions popt;
       popt.max_trees = 48;
       popt.patience = 12;
+      popt.warm = warm;
       const DistPackingResult packing =
           dist_tree_packing(sched, bfs, leader, popt);
       out.result.value = packing.c_star;

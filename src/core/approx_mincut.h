@@ -13,6 +13,7 @@
 namespace dmc {
 
 class Network;
+struct SessionInfra;
 
 struct ApproxMinCutOptions {
   double eps{0.2};
@@ -29,9 +30,10 @@ struct DistApproxResult {
 };
 
 /// Session-parameterized runner over an existing (pristine or reset)
-/// network; see exact_mincut.h for the pattern.
+/// network; see exact_mincut.h for the pattern (incl. the `warm` infra).
 [[nodiscard]] DistApproxResult approx_min_cut_dist(
-    Network& net, const ApproxMinCutOptions& opt = {});
+    Network& net, const ApproxMinCutOptions& opt = {},
+    const SessionInfra* warm = nullptr);
 
 /// One-shot convenience over a temporary single-use dmc::Session.
 [[nodiscard]] DistApproxResult approx_min_cut_dist(

@@ -2,6 +2,7 @@
 
 #include "congest/primitives/convergecast.h"
 #include "congest/protocol.h"
+#include "util/checked.h"
 
 namespace dmc {
 
@@ -21,7 +22,8 @@ class SideExchange final : public Protocol {
     for (const Delivery& d : mb.inbox()) {
       const bool peer_side = d.msg.at(0) != 0;
       if (peer_side != (*side_)[v])
-        local_cross_[v] += g_->edge(g_->ports(v)[d.port].edge).w;
+        local_cross_[v] = checked_add(local_cross_[v],
+                                      g_->edge(g_->ports(v)[d.port].edge).w);
     }
     if (!sent_[v]) {
       sent_[v] = 1;

@@ -1,30 +1,27 @@
 #include "core/exact_mincut.h"
 
 #include "congest/network.h"
-#include "congest/primitives/leader_bfs.h"
 #include "congest/schedule.h"
 #include "core/session.h"
 #include "core/tree_packing_dist.h"
+#include "core/warm.h"
 
 namespace dmc {
 
-DistMinCutResult exact_min_cut_dist(Network& net,
-                                    const ExactMinCutOptions& opt) {
+DistMinCutResult exact_min_cut_dist(Network& net, const ExactMinCutOptions& opt,
+                                    const SessionInfra* warm) {
   const Graph& g = net.graph();
   DMC_REQUIRE(g.num_nodes() >= 2);
   Schedule sched{net};
-
-  LeaderBfsProtocol lb{g};
-  sched.run_uncharged(lb);
-  const TreeView bfs = lb.tree_view(g);
-  sched.set_barrier_height(bfs.height(g));
-  sched.charge_barrier();
+  SessionInfra storage;
+  const SessionInfra& infra = acquire_session_infra(sched, warm, storage);
 
   DistPackingOptions popt;
   popt.max_trees = opt.max_trees;
   popt.patience = opt.patience;
+  popt.warm = warm;
   const DistPackingResult packing =
-      dist_tree_packing(sched, bfs, lb.leader(), popt);
+      dist_tree_packing(sched, infra.bfs, infra.leader, popt);
 
   DistMinCutResult out;
   out.value = packing.c_star;

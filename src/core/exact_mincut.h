@@ -21,6 +21,7 @@
 namespace dmc {
 
 class Network;
+struct SessionInfra;
 
 struct ExactMinCutOptions {
   std::size_t max_trees{48};
@@ -53,9 +54,12 @@ struct DistMinCutResult {
 /// existing network (pristine or reset; see Network::reset), which is how
 /// dmc::Session serves repeated queries without rebuilding the simulator.
 /// Uses only the algorithm knobs of `opt` (max_trees/patience) — the
-/// engine and scheduling are whatever `net` was configured with.
+/// engine and scheduling are whatever `net` was configured with.  With
+/// `warm` (core/warm.h) the leader/BFS bootstrap is replayed from the
+/// cached infra instead of re-run — bit-identical results and stats.
 [[nodiscard]] DistMinCutResult exact_min_cut_dist(
-    Network& net, const ExactMinCutOptions& opt = {});
+    Network& net, const ExactMinCutOptions& opt = {},
+    const SessionInfra* warm = nullptr);
 
 /// One-shot convenience: a temporary single-use dmc::Session over g
 /// (fresh network per call), honouring opt.engine_threads/scheduling.

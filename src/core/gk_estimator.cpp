@@ -3,39 +3,30 @@
 #include <cmath>
 
 #include "congest/network.h"
-#include "congest/primitives/convergecast.h"
-#include "congest/primitives/leader_bfs.h"
 #include "congest/schedule.h"
 #include "core/session.h"
 #include "core/skeleton_dist.h"
+#include "core/warm.h"
 #include "util/prng.h"
 
 namespace dmc {
 
-GkEstimateResult gk_estimate_min_cut(Network& net,
-                                     const GkEstimateOptions& opt) {
+GkEstimateResult gk_estimate_min_cut(Network& net, const GkEstimateOptions& opt,
+                                     const SessionInfra* warm) {
   const Graph& g = net.graph();
   const std::uint64_t seed = opt.seed;
   DMC_REQUIRE(g.num_nodes() >= 2);
   const std::size_t n = g.num_nodes();
 
   Schedule sched{net};
-  LeaderBfsProtocol lb{g};
-  sched.run_uncharged(lb);
-  const TreeView bfs = lb.tree_view(g);
-  const NodeId leader = lb.leader();
-  sched.set_barrier_height(bfs.height(g));
-  sched.charge_barrier();
+  SessionInfra storage;
+  const SessionInfra& infra = acquire_session_infra(sched, warm, storage);
+  const TreeView& bfs = infra.bfs;
+  const NodeId leader = infra.leader;
 
-  // Upper bound: the global minimum weighted degree (converge/broadcast).
-  Weight delta_min = 0;
-  {
-    std::vector<CValue> init(n);
-    for (NodeId v = 0; v < n; ++v) init[v] = CValue{g.weighted_degree(v), v};
-    ConvergecastProtocol cc{g, bfs, CombineOp::kMin, std::move(init), true};
-    sched.run(cc);
-    delta_min = cc.tree_value(0).w0;
-  }
+  // Upper bound: the global minimum weighted degree (converge/broadcast,
+  // replayed from the warm cache when the session carries it).
+  const Weight delta_min = acquire_min_degree(sched, bfs, warm);
 
   const double c = 2.0 * std::log(static_cast<double>(n));
   GkEstimateResult out;

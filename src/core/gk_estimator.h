@@ -18,6 +18,7 @@
 namespace dmc {
 
 class Network;
+struct SessionInfra;
 
 struct GkEstimateOptions {
   std::uint64_t seed{1};
@@ -30,9 +31,10 @@ struct GkEstimateResult {
 };
 
 /// Session-parameterized runner over an existing (pristine or reset)
-/// network; see exact_mincut.h for the pattern.
+/// network; see exact_mincut.h for the pattern (incl. the `warm` infra).
 [[nodiscard]] GkEstimateResult gk_estimate_min_cut(
-    Network& net, const GkEstimateOptions& opt = {});
+    Network& net, const GkEstimateOptions& opt = {},
+    const SessionInfra* warm = nullptr);
 
 /// One-shot convenience over a temporary single-use dmc::Session.
 [[nodiscard]] GkEstimateResult gk_estimate_min_cut(

@@ -14,7 +14,7 @@ constexpr Word kNone64 = ~Word{0};
 std::vector<Weight> compute_rho(Schedule& sched, const TreeView& bfs,
                                 const FragmentStructure& fs,
                                 const AncestorData& ad, const TfPrime& tfp,
-                                const std::vector<Weight>& weights) {
+                                std::span<const Weight> weights) {
   Network& net = sched.network();
   const Graph& g = net.graph();
   const std::size_t n = g.num_nodes();

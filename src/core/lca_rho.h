@@ -22,6 +22,7 @@
 // O(√n + D) rounds total.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "congest/schedule.h"
@@ -39,6 +40,6 @@ namespace dmc {
 [[nodiscard]] std::vector<Weight> compute_rho(
     Schedule& sched, const TreeView& bfs, const FragmentStructure& fs,
     const AncestorData& ad, const TfPrime& tfp,
-    const std::vector<Weight>& weights);
+    std::span<const Weight> weights);
 
 }  // namespace dmc

@@ -8,12 +8,13 @@
 #include "core/lca_rho.h"
 #include "core/merging_nodes.h"
 #include "core/subtree_sums.h"
+#include "util/checked.h"
 
 namespace dmc {
 
 OneRespectResult one_respect_min_cut(Schedule& sched, const TreeView& bfs,
                                      const FragmentStructure& fs,
-                                     const std::vector<Weight>& weights) {
+                                     std::span<const Weight> weights) {
   Network& net = sched.network();
   const Graph& g = net.graph();
   const std::size_t n = g.num_nodes();
@@ -23,10 +24,12 @@ OneRespectResult one_respect_min_cut(Schedule& sched, const TreeView& bfs,
   // Step 2: ancestors, fragment containment, L maps.
   const AncestorData ad = compute_ancestors(sched, fs);
 
-  // Step 3: δ↓ from local weighted degrees.
-  std::vector<std::uint64_t> delta(n, 0);
+  // Step 3: δ↓ from local weighted degrees (arena scratch: per-solve;
+  // guarded adds — the wide regime must fail loudly, never wrap).
+  std::span<std::uint64_t> delta = net.arena().alloc<std::uint64_t>(n);
   for (NodeId v = 0; v < n; ++v)
-    for (const Port& p : g.ports(v)) delta[v] += weights[p.edge];
+    for (const Port& p : g.ports(v))
+      delta[v] = checked_add(delta[v], weights[p.edge]);
   OneRespectResult out;
   out.delta_down = subtree_sums(sched, bfs, fs, ad, delta);
 
@@ -38,12 +41,15 @@ OneRespectResult one_respect_min_cut(Schedule& sched, const TreeView& bfs,
       compute_rho(sched, bfs, fs, ad, tfp, weights);
   out.rho_down = subtree_sums(sched, bfs, fs, ad, rho);
 
-  // Karger's identity, evaluated locally at every node.
+  // Karger's identity, evaluated locally at every node.  The doubling is
+  // guarded: 2ρ↓ wrapping 64 bits would make the subtraction "succeed"
+  // with a garbage cut value instead of tripping the underflow check.
   out.cut_down.assign(n, 0);
   for (NodeId v = 0; v < n; ++v) {
-    DMC_ASSERT_MSG(out.delta_down[v] >= 2 * out.rho_down[v],
+    const Weight rho2 = checked_double(out.rho_down[v]);
+    DMC_ASSERT_MSG(out.delta_down[v] >= rho2,
                    "C(v↓) underflow at node " << v);
-    out.cut_down[v] = out.delta_down[v] - 2 * out.rho_down[v];
+    out.cut_down[v] = out.delta_down[v] - rho2;
   }
 
   // Global minimum over v ≠ root (the root's subtree is the trivial cut).

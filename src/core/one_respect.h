@@ -11,6 +11,7 @@
 // plus the final min-convergecast and cut-side dissemination.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "congest/schedule.h"
@@ -31,9 +32,11 @@ struct OneRespectResult {
 /// `weights` gives the per-edge weight used for δ/ρ (indexed by EdgeId);
 /// pass the graph's own weights for the plain algorithm, or the original
 /// weights when running on a sampled skeleton's tree (the (1+ε) pipeline
-/// evaluates true G-cut values on skeleton-packed trees).
+/// evaluates true G-cut values on skeleton-packed trees).  A span so
+/// callers can hand arena-backed scratch (congest/arena.h) as well as
+/// vectors.
 [[nodiscard]] OneRespectResult one_respect_min_cut(
     Schedule& sched, const TreeView& bfs, const FragmentStructure& fs,
-    const std::vector<Weight>& weights);
+    std::span<const Weight> weights);
 
 }  // namespace dmc

@@ -15,15 +15,21 @@
 //   // rep.value, rep.side, rep.stats.total_rounds(), rep.wall_seconds…
 //
 // Between queries the owned Network is reset() to the pristine state
-// without reallocating buffers or restarting the worker pool, so a reused
-// session is BIT-IDENTICAL (results and every stat) to a fresh network
-// per query — test-enforced in tests/test_session.cpp, argued in
-// DESIGN.md "Serving layer".  Serving-layer hooks: a RoundObserver
+// without reallocating buffers or restarting the worker pool (per-solve
+// scratch comes from a rewindable arena), and the per-graph bootstrap —
+// leader election, rooted BFS TreeView, barrier pricing, the min-degree
+// opener — is replayed from a warm cache built on the first solve
+// (core/warm.h) instead of re-simulated.  A reused session is therefore
+// BIT-IDENTICAL (results and every stat) to a fresh network per query
+// while doing strictly less work — test-enforced in
+// tests/test_session.cpp, argued in DESIGN.md "Serving layer" and "Warm
+// sessions".  Serving-layer hooks: a RoundObserver
 // (phase begin/end + per-round stats snapshots) and per-request round /
 // wall-clock budgets that cancel cooperatively with CancelledError.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -137,6 +143,7 @@ class Session {
   /// Builds the simulated network (mailbox planes, reverse-port table,
   /// worker pool) once.  `g` is borrowed and must outlive the session.
   explicit Session(const Graph& g, SessionOptions opt = {});
+  ~Session();
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
@@ -168,12 +175,27 @@ class Session {
   /// between solve() calls.
   [[nodiscard]] Network& network() { return net_; }
 
+  /// True once the per-graph infrastructure cache (core/warm.h) has been
+  /// built — i.e. after the first uncancelled warm-eligible solve().
+  [[nodiscard]] bool warmed() const { return infra_ != nullptr; }
+
  private:
+  /// Returns the warm infra for this solve — building, on first use, the
+  /// stages the request's algorithm consumes — or nullptr when the solve
+  /// must run cold (a user observer is installed — it is owed the
+  /// complete bootstrap phase/round event stream).
+  [[nodiscard]] const SessionInfra* warm_infra(const MinCutRequest& req);
+
   const Graph* g_;
   SessionOptions opt_;
   Network net_;
   RoundObserver* observer_{nullptr};
   std::size_t served_{0};
+  /// Built once per session by warm_infra(); every subsequent solve
+  /// replays it instead of re-running leader election + BFS.  Behind a
+  /// unique_ptr so this façade header needs only the forward declaration
+  /// (core/warm.h stays an implementation include).
+  std::unique_ptr<SessionInfra> infra_;
 };
 
 }  // namespace dmc

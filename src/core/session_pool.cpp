@@ -1,0 +1,73 @@
+#include "core/session_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <functional>
+#include <thread>
+
+namespace dmc {
+
+SessionPool::SessionPool(const Graph& g, std::size_t sessions,
+                         SessionOptions opt) {
+  if (sessions == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    sessions = hw != 0 ? hw : 1;
+  }
+  sessions_.reserve(sessions);
+  for (std::size_t i = 0; i < sessions; ++i)
+    sessions_.push_back(std::make_unique<Session>(g, opt));
+}
+
+std::vector<MinCutReport> SessionPool::solve_many(
+    std::span<const MinCutRequest> reqs) {
+  std::vector<MinCutReport> reports(reqs.size());
+  std::vector<std::exception_ptr> errors(reqs.size());
+  std::atomic<std::size_t> next{0};
+
+  // Work stealing by atomic index: each worker owns one session and pulls
+  // the next unclaimed request.  Which session serves which request is
+  // timing-dependent, but irrelevant to the output (header).
+  const auto worker = [&](Session& session) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= reqs.size()) return;
+      try {
+        reports[i] = session.solve(reqs[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  const std::size_t workers = std::min(sessions_.size(), reqs.size());
+  if (workers <= 1) {
+    if (!reqs.empty()) worker(*sessions_.front());
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    try {
+      for (std::size_t s = 0; s < workers; ++s)
+        threads.emplace_back(worker, std::ref(*sessions_[s]));
+    } catch (...) {
+      // Thread-resource exhaustion mid-spawn: drain what did start
+      // (workers exit once `next` runs past the batch) before
+      // propagating, or the vector of joinable threads would terminate().
+      next.store(reqs.size(), std::memory_order_relaxed);
+      for (std::thread& t : threads) t.join();
+      throw;
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  for (std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+  return reports;
+}
+
+std::size_t SessionPool::queries_served() const {
+  std::size_t total = 0;
+  for (const auto& s : sessions_) total += s->queries_served();
+  return total;
+}
+
+}  // namespace dmc

@@ -1,0 +1,60 @@
+// SessionPool — concurrent-query serving on top of dmc::Session.
+//
+// One Session serializes its queries (each solve owns the network).  A
+// pool holds k independent warm sessions over the SAME borrowed graph and
+// dispatches a batch across them on k threads, so independent queries
+// overlap.  Results are deterministic and position-stable: every report
+// equals what a single warm Session would have produced for that request
+// (sessions are interchangeable — each solve starts from a reset network
+// and the warm infra is a pure function of (graph, options)), so
+// pool.solve_many(batch) is bit-identical to session.solve_many(batch)
+// regardless of which session served which request — test-enforced in
+// tests/test_session.cpp.
+//
+// Memory: each pooled session owns its own slot planes and arena, so the
+// footprint is k× a single session; size the pool to the expected
+// concurrency, not the batch size.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/session.h"
+
+namespace dmc {
+
+class SessionPool {
+ public:
+  /// Builds `sessions` warm-capable sessions over `g` (borrowed, must
+  /// outlive the pool).  `sessions == 0` picks the hardware concurrency.
+  explicit SessionPool(const Graph& g, std::size_t sessions = 0,
+                       SessionOptions opt = {});
+
+  SessionPool(const SessionPool&) = delete;
+  SessionPool& operator=(const SessionPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return sessions_.size(); }
+  [[nodiscard]] const Graph& graph() const { return sessions_[0]->graph(); }
+  [[nodiscard]] const SessionOptions& options() const {
+    return sessions_[0]->options();
+  }
+
+  /// Solves every request, dispatching across the pooled sessions on up
+  /// to size() threads; reports come back in request order.  If any
+  /// request cancels (round/time budget), the lowest-index failure is
+  /// rethrown after all in-flight work finished and the other reports are
+  /// lost — batch budgeted queries separately, exactly as with
+  /// Session::solve_many.  The pool stays valid after a cancellation.
+  [[nodiscard]] std::vector<MinCutReport> solve_many(
+      std::span<const MinCutRequest> reqs);
+
+  /// Queries served to completion across all pooled sessions.
+  [[nodiscard]] std::size_t queries_served() const;
+
+ private:
+  std::vector<std::unique_ptr<Session>> sessions_;
+};
+
+}  // namespace dmc

@@ -3,38 +3,48 @@
 #include <cmath>
 
 #include "congest/network.h"
-#include "congest/primitives/leader_bfs.h"
 #include "congest/schedule.h"
 #include "core/one_respect.h"
 #include "core/session.h"
 #include "core/skeleton_dist.h"
+#include "core/warm.h"
 #include "dist/ghs_mst.h"
 #include "dist/tree_partition.h"
 #include "util/prng.h"
 
 namespace dmc {
 
-SuEstimateResult su_estimate_min_cut(Network& net,
-                                     const SuEstimateOptions& opt) {
+SuEstimateResult su_estimate_min_cut(Network& net, const SuEstimateOptions& opt,
+                                     const SessionInfra* warm) {
   const Graph& g = net.graph();
   const std::uint64_t seed = opt.seed;
   DMC_REQUIRE(g.num_nodes() >= 2);
   const std::size_t n = g.num_nodes();
 
   Schedule sched{net};
-  LeaderBfsProtocol lb{g};
-  sched.run_uncharged(lb);
-  const TreeView bfs = lb.tree_view(g);
-  const NodeId leader = lb.leader();
-  sched.set_barrier_height(bfs.height(g));
-  sched.charge_barrier();
+  SessionInfra storage;
+  const SessionInfra& infra = acquire_session_infra(sched, warm, storage);
+  const TreeView& bfs = infra.bfs;
+  const NodeId leader = infra.leader;
 
   // One packing tree (plain weights) reused across sampling levels; Su
   // packs Θ(log n) trees — we pack one per level, which keeps the shape
-  // comparison honest while exercising the same machinery.
-  const DistMstResult mst = ghs_mst(sched, bfs, weight_keys(g));
-  const FragmentStructure fs =
-      build_fragment_structure(sched, bfs, leader, mst);
+  // comparison honest while exercising the same machinery.  The tree is
+  // a pure function of the graph, so a warm session replays it.
+  DistMstResult mst_local;
+  FragmentStructure fs_local;
+  const DistMstResult* mst;
+  const FragmentStructure* fs;
+  if (warm != nullptr && warm->has_su_tree) {
+    warm->su_tree.delta.replay(net, "su packing tree");
+    mst = &warm->su_tree.mst;
+    fs = &warm->su_tree.fs;
+  } else {
+    mst_local = ghs_mst(sched, bfs, weight_keys(g));
+    fs_local = build_fragment_structure(sched, bfs, leader, mst_local);
+    mst = &mst_local;
+    fs = &fs_local;
+  }
 
   SuEstimateResult out;
   // Halve q until some tree edge becomes a bridge in (tree ∪ sampled
@@ -47,10 +57,10 @@ SuEstimateResult su_estimate_min_cut(Network& net,
         g, q, derive_seed(seed, 0x7375ull, level));
     // Evaluation weights: sampled units on NON-tree edges, 0 on tree edges:
     // C(v↓) == 0 ⇔ the tree edge above v is a bridge in the sampled graph.
-    std::vector<Weight> eval(g.num_edges(), 0);
+    std::span<Weight> eval = net.arena().alloc<Weight>(g.num_edges());
     for (EdgeId e = 0; e < g.num_edges(); ++e)
-      if (!mst.tree_edge[e]) eval[e] = sk.sampled_w[e];
-    const OneRespectResult r = one_respect_min_cut(sched, bfs, fs, eval);
+      if (!mst->tree_edge[e]) eval[e] = sk.sampled_w[e];
+    const OneRespectResult r = one_respect_min_cut(sched, bfs, *fs, eval);
     if (r.c_star == 0) {
       out.q_threshold = q;
       // Weight-aware refinement: the sampled formula ln(n)/q* is blind to
@@ -60,10 +70,10 @@ SuEstimateResult su_estimate_min_cut(Network& net,
       // one heavy edge).  One more 1-respect pass with ORIGINAL weights
       // on tree edges and the sampled units on non-tree edges lower-bounds
       // the bridging cut's true weight; take the larger of the two reads.
-      std::vector<Weight> refine(g.num_edges());
+      std::span<Weight> refine = net.arena().alloc<Weight>(g.num_edges());
       for (EdgeId e = 0; e < g.num_edges(); ++e)
-        refine[e] = mst.tree_edge[e] ? g.edge(e).w : sk.sampled_w[e];
-      const OneRespectResult r2 = one_respect_min_cut(sched, bfs, fs, refine);
+        refine[e] = mst->tree_edge[e] ? g.edge(e).w : sk.sampled_w[e];
+      const OneRespectResult r2 = one_respect_min_cut(sched, bfs, *fs, refine);
       const double est = std::log(static_cast<double>(n)) / q;
       out.estimate =
           std::max<Weight>(std::max<Weight>(1, static_cast<Weight>(est)),

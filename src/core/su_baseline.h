@@ -19,6 +19,7 @@
 namespace dmc {
 
 class Network;
+struct SessionInfra;
 
 struct SuEstimateOptions {
   std::uint64_t seed{1};
@@ -32,9 +33,10 @@ struct SuEstimateResult {
 };
 
 /// Session-parameterized runner over an existing (pristine or reset)
-/// network; see exact_mincut.h for the pattern.
+/// network; see exact_mincut.h for the pattern (incl. the `warm` infra).
 [[nodiscard]] SuEstimateResult su_estimate_min_cut(
-    Network& net, const SuEstimateOptions& opt = {});
+    Network& net, const SuEstimateOptions& opt = {},
+    const SessionInfra* warm = nullptr);
 
 /// One-shot convenience over a temporary single-use dmc::Session.
 [[nodiscard]] SuEstimateResult su_estimate_min_cut(

@@ -4,14 +4,14 @@
 
 #include "congest/primitives/aggregate_broadcast.h"
 #include "congest/primitives/convergecast.h"
+#include "util/checked.h"
 
 namespace dmc {
 
 std::vector<std::uint64_t> subtree_sums(Schedule& sched, const TreeView& bfs,
                                         const FragmentStructure& fs,
                                         const AncestorData& ad,
-                                        const std::vector<std::uint64_t>&
-                                            value) {
+                                        std::span<const std::uint64_t> value) {
   Network& net = sched.network();
   const Graph& g = net.graph();
   const std::size_t n = g.num_nodes();
@@ -46,7 +46,7 @@ std::vector<std::uint64_t> subtree_sums(Schedule& sched, const TreeView& bfs,
           items.begin(), items.end(), fj,
           [](const AggItem& a, std::uint32_t key) { return a.key < key; });
       DMC_ASSERT(it != items.end() && it->key == fj);
-      sum += it->p[0];
+      sum = checked_add(sum, it->p[0]);
     }
     out[v] = sum;
   }

@@ -11,6 +11,7 @@
 // O(√n + D) rounds.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "congest/schedule.h"
@@ -22,6 +23,6 @@ namespace dmc {
 
 [[nodiscard]] std::vector<std::uint64_t> subtree_sums(
     Schedule& sched, const TreeView& bfs, const FragmentStructure& fs,
-    const AncestorData& ad, const std::vector<std::uint64_t>& value);
+    const AncestorData& ad, std::span<const std::uint64_t> value);
 
 }  // namespace dmc

@@ -1,6 +1,7 @@
 #include "core/tree_packing_dist.h"
 
 #include "core/one_respect.h"
+#include "core/warm.h"
 #include "dist/ghs_mst.h"
 #include "dist/tree_partition.h"
 
@@ -22,21 +23,46 @@ DistPackingResult dist_tree_packing(Schedule& sched, const TreeView& bfs,
   DMC_REQUIRE(n >= 2);
   DMC_REQUIRE(opt.max_trees >= 1 && opt.max_trees < (1u << 20));
 
-  std::vector<Weight> eval(g.num_edges());
+  // Per-solve scratch from the network's arena (rewound by reset()):
+  // evaluation weights, load counters, and one key table rewritten per
+  // tree — a warm query's packing loop allocates nothing here.
+  Arena& arena = net.arena();
+  std::span<Weight> eval = arena.alloc<Weight>(g.num_edges());
   for (EdgeId e = 0; e < g.num_edges(); ++e)
     eval[e] = opt.eval_weights ? (*opt.eval_weights)[e] : g.edge(e).w;
 
   // Per-edge load counters (conceptually one copy at each endpoint; they
   // are updated from locally known tree membership so both agree).
-  std::vector<std::uint64_t> loads(g.num_edges(), 0);
+  std::span<std::uint64_t> loads = arena.alloc<std::uint64_t>(g.num_edges());
 
   DistPackingResult out;
   out.in_cut.assign(n, false);
   std::size_t since_improvement = 0;
+  std::size_t first_tree = 0;
 
-  for (std::size_t i = 0; i < opt.max_trees; ++i) {
+  // Warm path: tree 1 with default weights is a pure function of the
+  // graph — replay the cached MST + fragments + sweep (stats included)
+  // and enter the loop at tree 2 with the loads it left behind.
+  if (opt.warm != nullptr && opt.warm->has_packing_tree && !opt.eval_weights &&
+      !opt.edge_enabled && !opt.packing_weights) {
+    const SessionInfra& infra = *opt.warm;
+    infra.packing_first.delta.replay(net, "packing tree 1");
+    infra.first_sweep_delta.replay(net, "packing sweep 1");
+    for (EdgeId e = 0; e < g.num_edges(); ++e)
+      if (infra.packing_first.mst.tree_edge[e]) ++loads[e];
+    ++out.trees_packed;
+    out.fragments_last = infra.packing_first.fs.k;
+    out.c_star = infra.first_sweep.c_star;
+    out.v_star = infra.first_sweep.v_star;
+    out.tree_of_best = 0;
+    out.in_cut = infra.first_sweep.in_cut;
+    if (opt.stop_at_zero && out.c_star == 0) return out;
+    first_tree = 1;
+  }
+
+  std::span<EdgeKey> keys = arena.alloc<EdgeKey>(g.num_edges());
+  for (std::size_t i = first_tree; i < opt.max_trees; ++i) {
     // Keys for this tree.
-    std::vector<EdgeKey> keys(g.num_edges());
     for (EdgeId e = 0; e < g.num_edges(); ++e) {
       const bool enabled = !opt.edge_enabled || (*opt.edge_enabled)[e];
       const Weight pw = opt.packing_weights

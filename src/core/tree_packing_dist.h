@@ -21,6 +21,8 @@
 
 namespace dmc {
 
+struct SessionInfra;
+
 struct DistPackingOptions {
   std::size_t max_trees{32};
   /// Stop after this many consecutive trees without improvement (0: never).
@@ -31,9 +33,15 @@ struct DistPackingOptions {
   const std::vector<bool>* edge_enabled{nullptr};
   /// MST key weights (default: the graph's weights; skeleton: sampled).
   const std::vector<Weight>* packing_weights{nullptr};
-  /// Stop as soon as the running minimum reaches this value (0: never) —
-  /// used by bridge-style searches for a zero-weight cut.
+  /// Stop packing as soon as the running minimum hits zero — used by
+  /// bridge-style searches, where any zero-weight cut ends the hunt.
   bool stop_at_zero{false};
+  /// Warm session cache (core/warm.h).  When set and no skeleton override
+  /// (eval_weights / edge_enabled / packing_weights) is active, tree 1 —
+  /// the zero-load MST, its fragments, and its 1-respect sweep, all pure
+  /// functions of the graph — is replayed from the cache instead of
+  /// re-simulated; results and stats stay bit-identical.
+  const SessionInfra* warm{nullptr};
 };
 
 struct DistPackingResult {

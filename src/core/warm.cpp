@@ -1,0 +1,186 @@
+#include "core/warm.h"
+
+#include <string>
+#include <utility>
+
+#include "congest/network.h"
+#include "congest/primitives/convergecast.h"
+#include "congest/primitives/leader_bfs.h"
+#include "graph/mst.h"
+
+namespace dmc {
+
+namespace {
+
+/// The shared opener of approx_mincut and gk_estimator: every node offers
+/// (weighted_degree, id), the tree takes the lexicographic minimum and
+/// broadcasts it back down.
+Weight run_min_degree_convergecast(Schedule& sched, const TreeView& bfs) {
+  const Graph& g = sched.network().graph();
+  const std::size_t n = g.num_nodes();
+  std::vector<CValue> init(n);
+  for (NodeId v = 0; v < n; ++v) init[v] = CValue{g.weighted_degree(v), v};
+  ConvergecastProtocol cc{g, bfs, CombineOp::kMin, std::move(init),
+                          /*broadcast_result=*/true};
+  sched.run(cc);
+  return cc.tree_value(0).w0;
+}
+
+/// Runs ghs_mst + build_fragment_structure under `keys` and captures the
+/// scaffold with its stats delta.
+TreeScaffold build_scaffold(Schedule& sched, const SessionInfra& infra,
+                            const std::vector<EdgeKey>& keys) {
+  Network& net = sched.network();
+  TreeScaffold out;
+  const CongestStats before = net.stats();
+  out.mst = ghs_mst(sched, infra.bfs, keys);
+  out.fs = build_fragment_structure(sched, infra.bfs, infra.leader, out.mst);
+  out.delta = PhaseDelta::capture(before, net.stats());
+  return out;
+}
+
+}  // namespace
+
+PhaseDelta PhaseDelta::capture(const CongestStats& before,
+                               const CongestStats& after) {
+  DMC_REQUIRE(after.per_protocol.size() >= before.per_protocol.size());
+  PhaseDelta d;
+  d.rounds = after.rounds - before.rounds;
+  d.barrier_rounds = after.barrier_rounds - before.barrier_rounds;
+  d.messages = after.messages - before.messages;
+  d.words = after.words - before.words;
+  d.node_steps = after.node_steps - before.node_steps;
+  d.max_words = after.max_words_per_message;
+  d.max_edge_msgs = after.max_messages_edge_round;
+  d.phases.assign(after.per_protocol.begin() +
+                      static_cast<std::ptrdiff_t>(before.per_protocol.size()),
+                  after.per_protocol.end());
+  return d;
+}
+
+void PhaseDelta::replay(Network& net, const char* what) const {
+  CongestStats& s = net.stats();
+  s.rounds += rounds;
+  s.barrier_rounds += barrier_rounds;
+  s.messages += messages;
+  s.words += words;
+  s.node_steps += node_steps;
+  s.max_words_per_message = std::max(s.max_words_per_message, max_words);
+  s.max_messages_edge_round =
+      std::max(s.max_messages_edge_round, max_edge_msgs);
+  s.per_protocol.insert(s.per_protocol.end(), phases.begin(), phases.end());
+
+  // A replayed stage executes no rounds, so an installed observer (in
+  // practice the Session's budget guard) gets one checkpoint with the
+  // advanced cumulative stats — any budget the cold path would have
+  // exhausted DURING the stage cancels here instead.
+  RoundObserver* obs = net.observer();
+  if (obs != nullptr && !obs->on_round(s))
+    throw CancelledError{std::string{what} +
+                         " replay cancelled by observer after " +
+                         std::to_string(s.total_rounds()) + " total rounds"};
+}
+
+SessionInfra build_session_infra(Schedule& sched) {
+  Network& net = sched.network();
+  const Graph& g = net.graph();
+  DMC_REQUIRE_MSG(net.stats().rounds == 0 && net.stats().per_protocol.empty(),
+                  "session infra must be built on a pristine network");
+
+  SessionInfra infra;
+  LeaderBfsProtocol lb{g};
+  sched.run_uncharged(lb);
+  infra.leader = lb.leader();
+  infra.bfs = lb.tree_view(g);
+  infra.height = infra.bfs.height(g);
+  sched.set_barrier_height(infra.height);
+  sched.charge_barrier();
+  infra.bootstrap = net.stats();
+  return infra;
+}
+
+void replay_session_infra(Schedule& sched, const SessionInfra& infra) {
+  Network& net = sched.network();
+  DMC_REQUIRE_MSG(net.stats().rounds == 0 && net.stats().per_protocol.empty(),
+                  "session infra replayed onto a non-pristine network");
+  DMC_REQUIRE_MSG(infra.bfs.num_nodes() == net.graph().num_nodes(),
+                  "session infra belongs to a different graph");
+  net.stats() = infra.bootstrap;
+  sched.set_barrier_height(infra.height);
+
+  RoundObserver* obs = net.observer();
+  if (obs != nullptr && !obs->on_round(net.stats()))
+    throw CancelledError{std::string{"bootstrap replay cancelled by "
+                                     "observer after "} +
+                         std::to_string(net.stats().total_rounds()) +
+                         " total rounds"};
+}
+
+const SessionInfra& acquire_session_infra(Schedule& sched,
+                                          const SessionInfra* warm,
+                                          SessionInfra& storage) {
+  if (warm != nullptr) {
+    replay_session_infra(sched, *warm);
+    return *warm;
+  }
+  storage = build_session_infra(sched);
+  return storage;
+}
+
+void extend_session_infra_min_degree(Schedule& sched, SessionInfra& infra) {
+  DMC_REQUIRE_MSG(sched.network().stats() == infra.bootstrap,
+                  "min-degree stage must extend the post-bootstrap state");
+  const CongestStats before = sched.network().stats();
+  infra.min_degree = run_min_degree_convergecast(sched, infra.bfs);
+  infra.min_degree_delta =
+      PhaseDelta::capture(before, sched.network().stats());
+  infra.has_min_degree = true;
+}
+
+void extend_session_infra_su_tree(Schedule& sched, SessionInfra& infra) {
+  Network& net = sched.network();
+  DMC_REQUIRE_MSG(net.stats() == infra.bootstrap,
+                  "tree stage must extend the post-bootstrap state");
+  // Su's packing tree: the MST under the plain weight order.  The clean
+  // base matters: a delta's max fields are post-stage values merged via
+  // max on replay, so the capture base must be a prefix of the replaying
+  // driver's own sequence — the bootstrap is.
+  infra.su_tree = build_scaffold(sched, infra, weight_keys(net.graph()));
+  infra.has_su_tree = true;
+}
+
+void extend_session_infra_packing_tree(Schedule& sched, SessionInfra& infra) {
+  Network& net = sched.network();
+  const Graph& g = net.graph();
+  DMC_REQUIRE_MSG(net.stats() == infra.bootstrap,
+                  "tree stage must extend the post-bootstrap state");
+
+  // Tree 1 of the greedy packing: zero loads over graph weights — ratio 0
+  // for every enabled edge, so the id tiebreak decides.  Deterministic
+  // per graph, like everything cached here.
+  std::vector<EdgeKey> first_keys(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    first_keys[e] = EdgeKey{0, g.edge(e).w, e};
+  infra.packing_first = build_scaffold(sched, infra, first_keys);
+
+  // Tree 1's 1-respect sweep under original weights — the whole first
+  // iteration of a default-weights packing run.
+  std::vector<Weight> eval(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) eval[e] = g.edge(e).w;
+  const CongestStats before = net.stats();
+  infra.first_sweep =
+      one_respect_min_cut(sched, infra.bfs, infra.packing_first.fs, eval);
+  infra.first_sweep_delta = PhaseDelta::capture(before, net.stats());
+  infra.has_packing_tree = true;
+}
+
+Weight acquire_min_degree(Schedule& sched, const TreeView& bfs,
+                          const SessionInfra* warm) {
+  if (warm != nullptr && warm->has_min_degree) {
+    warm->min_degree_delta.replay(sched.network(), "min-degree");
+    return warm->min_degree;
+  }
+  return run_min_degree_convergecast(sched, bfs);
+}
+
+}  // namespace dmc

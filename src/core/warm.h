@@ -1,0 +1,147 @@
+// Warm per-session infrastructure — the fix for the E9 regression where a
+// reused dmc::Session answered repeated queries SLOWER than building a
+// fresh network per query.
+//
+// Nanongkai (arXiv:1403.6188) and Nanongkai–Su (arXiv:1408.0557) treat the
+// rooted BFS tree and its O(D)-depth aggregation machinery as fixed
+// per-graph infrastructure: every phase of every algorithm (skeleton
+// sampling, tree packing, 1/2-respect sweeps) runs over the SAME tree.
+// The simulator's drivers, however, used to re-elect the leader and
+// rebuild everything inside every solve() — so a "warm" session paid the
+// whole bootstrap again per query and the façade bought nothing.
+//
+// SessionInfra is every per-graph product of the drivers' preambles,
+// captured once per (graph, scheduling, engine_threads) — all pinned by a
+// Session's construction:
+//
+//   * the elected leader and its rooted BFS TreeView, the tree height
+//     that prices every barrier charge, and the bootstrap stats snapshot;
+//   * the min-weighted-degree opener approx and gk both start with;
+//   * the two per-graph tree scaffolds: Su's packing tree (the MST under
+//     the weight-key order) and tree 1 of the greedy packing (the MST
+//     under zero loads), each with its fragment structure — plus tree 1's
+//     1-respect sweep under original weights, which seeds every
+//     default-weights packing run (exact, and approx's p = 1 path).
+//
+// Stats fidelity: each cached stage stores a PhaseDelta — its exact stats
+// contribution (counter increments + per-protocol entries).  Replaying a
+// stage applies the delta instead of executing rounds, so the cumulative
+// stats a warm solve reports are bit-identical to a cold solve's no
+// matter which prefix of stages a given driver replays.  The skipped
+// protocols are deterministic (pure functions of the graph), later
+// protocols only ever compare mail-slot stamps for equality against the
+// current round token, and every run's scheduling state is keyed off its
+// own first round — so values, witnesses, and every stat match a cold
+// one-shot exactly; tests/test_session.cpp enforces it across every
+// algorithm × scheduling × engine cell.  DESIGN.md "Warm sessions:
+// per-graph vs per-solve state" carries the full argument.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/schedule.h"
+#include "congest/stats.h"
+#include "congest/tree_view.h"
+#include "core/one_respect.h"
+#include "dist/ghs_mst.h"
+#include "dist/tree_partition.h"
+#include "graph/graph.h"
+
+namespace dmc {
+
+/// The exact stats contribution of a cached stage: counter increments
+/// plus the per-protocol entries it appended.  `replay` applies it to a
+/// network's live counters (max fields merge via max — they are
+/// idempotent, so replaying over any prefix reproduces the cold value)
+/// and gives an installed observer one cancellation checkpoint, since
+/// the replayed stage executes no rounds for the observer to veto
+/// (cold-path budgets that would have expired mid-stage still cancel,
+/// at stage rather than round granularity).
+struct PhaseDelta {
+  std::uint64_t rounds{0};
+  std::uint64_t barrier_rounds{0};
+  std::uint64_t messages{0};
+  std::uint64_t words{0};
+  std::uint64_t node_steps{0};
+  std::uint8_t max_words{0};       ///< post-stage value, merged via max
+  std::uint32_t max_edge_msgs{0};  ///< post-stage value, merged via max
+  std::vector<ProtocolStats> phases;
+
+  [[nodiscard]] static PhaseDelta capture(const CongestStats& before,
+                                          const CongestStats& after);
+  void replay(Network& net, const char* what) const;
+};
+
+/// One cached MST + fragment scaffold (the `ghs_mst` +
+/// `build_fragment_structure` pair every tree-based phase opens with).
+struct TreeScaffold {
+  DistMstResult mst;
+  FragmentStructure fs;
+  PhaseDelta delta;
+};
+
+/// The per-graph bootstrap product shared by all four drivers
+/// (exact_mincut, approx_mincut, su_baseline, gk_estimator).
+struct SessionInfra {
+  NodeId leader{kNoNode};
+  TreeView bfs;             ///< rooted at `leader`, children lists built
+  std::uint32_t height{0};  ///< bfs height = the per-barrier price
+  /// Stats snapshot right after the bootstrap (leader_bfs rounds, its
+  /// per-protocol entry, and the first barrier charge) on a pristine
+  /// network — the base every driver starts from.
+  CongestStats bootstrap;
+
+  // --- stage two: global minimum weighted degree (approx/gk opener) ----
+  bool has_min_degree{false};
+  Weight min_degree{0};  ///< min_v weighted_degree(v)
+  PhaseDelta min_degree_delta;
+
+  // --- independent tree-scaffold stages (built per algorithm need) -----
+  bool has_su_tree{false};
+  TreeScaffold su_tree;  ///< MST under weight_keys (Su's one tree)
+
+  bool has_packing_tree{false};
+  TreeScaffold packing_first;  ///< packing tree 1: zero loads over weights
+  /// Tree 1's 1-respect minimum under ORIGINAL weights — the first
+  /// iteration of every default-weights packing run, results and stats.
+  OneRespectResult first_sweep;
+  PhaseDelta first_sweep_delta;
+};
+
+/// Runs the bootstrap live on `sched`'s network (which must be pristine:
+/// freshly constructed or reset) and captures stage one: leader election /
+/// BFS via run_uncharged, set_barrier_height, one barrier charge, stats
+/// snapshot.  This is exactly the preamble every driver used to inline.
+[[nodiscard]] SessionInfra build_session_infra(Schedule& sched);
+
+/// Replays stage one onto `sched`'s pristine network: restores the stats
+/// snapshot, prices the schedule's barriers, and checkpoints the
+/// observer — no protocol runs.
+void replay_session_infra(Schedule& sched, const SessionInfra& infra);
+
+/// The live-or-replay switch used by the drivers: with `warm` replays it
+/// and returns it; without, builds into `storage` and returns that.
+[[nodiscard]] const SessionInfra& acquire_session_infra(
+    Schedule& sched, const SessionInfra* warm, SessionInfra& storage);
+
+/// Stage-two build: runs the min-weighted-degree convergecast live on a
+/// network in exactly the post-bootstrap state `infra` describes and
+/// caches its value + delta.
+void extend_session_infra_min_degree(Schedule& sched, SessionInfra& infra);
+
+/// Tree-stage builds, one per scaffold so a session only ever pays for
+/// what its queries use (a one-shot gk must not fund packing trees).
+/// Each requires the post-bootstrap state (e.g. reset + replay); the
+/// network is left mid-build and must be reset before serving.
+void extend_session_infra_su_tree(Schedule& sched, SessionInfra& infra);
+void extend_session_infra_packing_tree(Schedule& sched, SessionInfra& infra);
+
+/// The approx/gk opener: the global minimum weighted degree, known at
+/// every node after one charged min-convergecast over the BFS tree.
+/// With a warm cache carrying stage two, replays its delta instead of
+/// running the protocol.
+[[nodiscard]] Weight acquire_min_degree(Schedule& sched, const TreeView& bfs,
+                                        const SessionInfra* warm);
+
+}  // namespace dmc

@@ -186,7 +186,7 @@ Word pack_status(NodeId frag, bool frozen, bool saturated) {
 }  // namespace
 
 DistMstResult ghs_mst(Schedule& sched, const TreeView& bfs,
-                      const std::vector<EdgeKey>& keys, std::size_t freeze,
+                      std::span<const EdgeKey> keys, std::size_t freeze,
                       std::uint64_t seed) {
   Network& net = sched.network();
   const Graph& g = net.graph();

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "congest/schedule.h"
@@ -64,7 +65,7 @@ struct DistMstResult {
 /// the resulting tree is seed-independent (the MST is unique under the
 /// total order), the fragment partition is not.
 [[nodiscard]] DistMstResult ghs_mst(Schedule& sched, const TreeView& bfs,
-                                    const std::vector<EdgeKey>& keys,
+                                    std::span<const EdgeKey> keys,
                                     std::size_t freeze = 0,
                                     std::uint64_t seed = 0x5eed);
 

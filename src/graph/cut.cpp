@@ -1,12 +1,14 @@
 #include "graph/cut.h"
 
+#include "util/checked.h"
+
 namespace dmc {
 
 Weight cut_value(const Graph& g, const std::vector<bool>& side) {
   DMC_REQUIRE(side.size() == g.num_nodes());
   Weight sum = 0;
   for (const Edge& e : g.edges())
-    if (side[e.u] != side[e.v]) sum += e.w;
+    if (side[e.u] != side[e.v]) sum = checked_add(sum, e.w);
   return sum;
 }
 

@@ -1,5 +1,7 @@
 #include "graph/graph.h"
 
+#include "util/checked.h"
+
 namespace dmc {
 
 Graph::Graph(std::size_t n) : adjacency_(n) {}
@@ -26,13 +28,13 @@ EdgeId Graph::add_edge(NodeId u, NodeId v, Weight w) {
 
 Weight Graph::weighted_degree(NodeId v) const {
   Weight sum = 0;
-  for (const Port& p : ports(v)) sum += edges_[p.edge].w;
+  for (const Port& p : ports(v)) sum = checked_add(sum, edges_[p.edge].w);
   return sum;
 }
 
 Weight Graph::total_weight() const {
   Weight sum = 0;
-  for (const Edge& e : edges_) sum += e.w;
+  for (const Edge& e : edges_) sum = checked_add(sum, e.w);
   return sum;
 }
 

@@ -1,0 +1,35 @@
+// Guarded 64-bit accumulation for the wide-weight regime.
+//
+// Weight is 64-bit and a single edge is capped at kMaxWeight = 2³²−1, so
+// a sum wraps only past ~2³¹ contributions — far beyond today's test
+// sizes, but silent wraparound in cut accumulation (a cut value, a
+// weighted degree, a δ↓/ρ↓ aggregate, the double-counted crossing sum)
+// would corrupt answers invisibly rather than fail.  Every such
+// accumulation therefore goes through these helpers: one overflow flag
+// per add, throwing InvariantError instead of wrapping.  dmc::check's
+// wide regime and the kMaxWeight regressions in test_cut_verify /
+// test_check exercise the paths near the cap.
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.h"
+
+namespace dmc {
+
+/// a + b, throwing InvariantError on 64-bit wraparound.
+[[nodiscard]] inline std::uint64_t checked_add(std::uint64_t a,
+                                               std::uint64_t b) {
+  std::uint64_t s = 0;
+  DMC_ASSERT_MSG(!__builtin_add_overflow(a, b, &s),
+                 "64-bit accumulation overflow: " << a << " + " << b);
+  return s;
+}
+
+/// 2·a with the same guard (Karger's identity C(v↓) = δ↓ − 2ρ↓ and the
+/// both-endpoints crossing count are the doubling hot spots).
+[[nodiscard]] inline std::uint64_t checked_double(std::uint64_t a) {
+  return checked_add(a, a);
+}
+
+}  // namespace dmc

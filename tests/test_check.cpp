@@ -160,6 +160,31 @@ class BadWitnessOracle final : public CutOracle {
   }
 };
 
+TEST(Oracles, ConsensusAtMaxWeightK2AndStar) {
+  // Wide-regime regression: every oracle, the witness recount
+  // (cut_value), and the distributed audit (cut_verify's both-endpoints
+  // doubling) at the per-edge cap — guarded accumulation must neither
+  // wrap nor throw on legal inputs.
+  Graph k2{2};
+  k2.add_edge(0, 1, kMaxWeight);
+  const ConsensusResult ck2 = oracle_consensus(OracleRegistry::standard(), k2,
+                                               3, /*audit_distributed=*/true);
+  EXPECT_TRUE(ck2.ok()) << ck2.dissent_summary();
+  EXPECT_EQ(ck2.lambda, kMaxWeight);
+
+  // Star: hub degree 11·kMaxWeight ≈ 2³⁵·1.4, λ = one spoke.
+  const Graph star = make_star(12, kMaxWeight);
+  const ConsensusResult cs = oracle_consensus(OracleRegistry::standard(), star,
+                                              3, /*audit_distributed=*/true);
+  EXPECT_TRUE(cs.ok()) << cs.dissent_summary();
+  EXPECT_EQ(cs.lambda, kMaxWeight);
+
+  // The full distributed pipeline agrees through the Session façade.
+  Session session{star};
+  MinCutRequest req;
+  EXPECT_EQ(session.solve(req).value, kMaxWeight);
+}
+
 TEST(Oracles, LyingExactOracleIsFlagged) {
   OracleRegistry reg;
   reg.add(std::make_unique<LyingOracle>());

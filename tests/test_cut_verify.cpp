@@ -67,6 +67,41 @@ TEST(CutVerify, AuditsApproxOutput) {
             r.result.value);
 }
 
+// --- wide regime: accumulation at the per-edge weight cap ---------------
+
+TEST(CutVerify, K2AtMaxWeightCountsExactly) {
+  // One edge at kMaxWeight: the verifier's both-endpoints sum is
+  // 2·kMaxWeight — the doubling must survive undamaged and halve back.
+  Graph g{2};
+  g.add_edge(0, 1, kMaxWeight);
+  Ctx ctx{g};
+  const std::vector<bool> side{true, false};
+  EXPECT_EQ(verify_cut_dist(ctx.sched, ctx.bfs, side), kMaxWeight);
+  EXPECT_EQ(cut_value(g, side), kMaxWeight);
+}
+
+TEST(CutVerify, StarAtMaxWeightSumsAllSpokes) {
+  // Cut around the hub of a star with every spoke at kMaxWeight: the
+  // crossing weight is 15·kMaxWeight ≈ 2³⁶ — far beyond any single edge,
+  // exercising the guarded multi-edge accumulation (util/checked.h) in
+  // the side exchange, the sum convergecast, and the central oracle.
+  const std::size_t n = 16;
+  const Graph g = make_star(n, kMaxWeight);
+  Ctx ctx{g};
+  std::vector<bool> hub_side(n, false);
+  hub_side[0] = true;  // make_star's hub is node 0
+  const Weight want = static_cast<Weight>(n - 1) * kMaxWeight;
+  EXPECT_EQ(cut_value(g, hub_side), want);
+  EXPECT_EQ(verify_cut_dist(ctx.sched, ctx.bfs, hub_side), want);
+
+  // A single spoke is the minimum cut; the exact pipeline must find it
+  // without any wide-weight distortion.
+  const DistMinCutResult r = distributed_min_cut(g);
+  EXPECT_EQ(r.value, kMaxWeight);
+  Ctx audit{g};
+  EXPECT_EQ(verify_cut_dist(audit.sched, audit.bfs, r.side), kMaxWeight);
+}
+
 TEST(CutVerify, CostIsOneExchangePlusTreeSweep) {
   const Graph g = make_torus(8, 8);
   Ctx ctx{g};

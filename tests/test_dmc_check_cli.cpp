@@ -1,0 +1,123 @@
+// dmc_check end-to-end, as a subprocess — the replay contract the failure
+// reports promise:
+//
+//   (1) a printed `--matrix --scenario --seed` coordinate replays to the
+//       same result, run after run (determinism at the CLI boundary);
+//   (2) cells that differ only in engine_threads report the same λ and
+//       algorithm value (the engine-equivalence guarantee surviving the
+//       whole tool pipeline);
+//   (3) a passing cell exits 0; a failing cell exits nonzero — proven by
+//       planting a lying oracle with --inject-failure rather than hoping
+//       a real bug shows up.
+//
+// DMC_CHECK_BIN is injected by CMake as $<TARGET_FILE:dmc_check>.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <string>
+
+#include "check/check.h"
+
+namespace dmc::check {
+namespace {
+
+struct CliResult {
+  int exit_code{-1};
+  std::string output;  ///< stdout and stderr, interleaved
+};
+
+CliResult run_cli(const std::string& args) {
+  const std::string cmd = std::string{DMC_CHECK_BIN} + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "popen failed for: " << cmd;
+  CliResult r;
+  if (pipe == nullptr) return r;
+  std::array<char, 4096> buf{};
+  std::size_t got = 0;
+  while ((got = fread(buf.data(), 1, buf.size(), pipe)) > 0)
+    r.output.append(buf.data(), got);
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+/// The value of a `key=<digits>` token in the tool's "ok …" line.
+std::string token(const std::string& output, const std::string& key) {
+  const std::size_t at = output.find(key + "=");
+  if (at == std::string::npos) return "<missing " + key + ">";
+  std::size_t end = at + key.size() + 1;
+  while (end < output.size() &&
+         std::isdigit(static_cast<unsigned char>(output[end])) != 0)
+    ++end;
+  return output.substr(at, end - at);
+}
+
+std::string replay_args(std::uint64_t scenario, std::uint64_t seed) {
+  // Shrinking and the metamorphic suite are orthogonal to the replay
+  // contract and dominate the runtime; keep the subprocesses quick.
+  return "--matrix=tier1 --scenario=" + std::to_string(scenario) +
+         " --seed=" + std::to_string(seed) + " --metamorphic=0 --shrink=0";
+}
+
+TEST(DmcCheckCli, KnownGoodCellPassesAndReplaysIdentically) {
+  const CliResult first = run_cli(replay_args(0, 1));
+  EXPECT_EQ(first.exit_code, 0) << first.output;
+  EXPECT_EQ(first.output.rfind("ok ", 0), 0u)
+      << "expected an 'ok' line, got: " << first.output;
+
+  const CliResult again = run_cli(replay_args(0, 1));
+  EXPECT_EQ(again.exit_code, 0);
+  EXPECT_EQ(first.output, again.output)
+      << "replaying the same coordinate diverged";
+}
+
+TEST(DmcCheckCli, ReplayAgreesAcrossEngineThreads) {
+  // Find two tier-1 cells identical except for engine_threads, without
+  // hard-coding the matrix layout.
+  const ScenarioMatrix& matrix = ScenarioMatrix::tier1();
+  std::uint64_t base_id = 0, variant_id = 0;
+  bool found = false;
+  for (std::uint64_t a = 0; a < matrix.size() && !found; ++a) {
+    const Scenario sa = matrix.decode(a);
+    for (std::uint64_t b = a + 1; b < matrix.size() && !found; ++b) {
+      const Scenario sb = matrix.decode(b);
+      if (sa.family == sb.family && sa.n == sb.n && sa.regime == sb.regime &&
+          sa.algo == sb.algo && sa.scheduling == sb.scheduling &&
+          sa.engine_threads != sb.engine_threads) {
+        base_id = a;
+        variant_id = b;
+        found = true;
+      }
+    }
+  }
+  ASSERT_TRUE(found) << "tier1 matrix no longer varies engine_threads";
+
+  const CliResult base = run_cli(replay_args(base_id, 1));
+  const CliResult variant = run_cli(replay_args(variant_id, 1));
+  EXPECT_EQ(base.exit_code, 0) << base.output;
+  EXPECT_EQ(variant.exit_code, 0) << variant.output;
+  EXPECT_EQ(token(base.output, "lambda"), token(variant.output, "lambda"));
+  EXPECT_EQ(token(base.output, "value"), token(variant.output, "value"));
+}
+
+TEST(DmcCheckCli, PlantedFailureCellExitsNonzero) {
+  const CliResult planted =
+      run_cli(replay_args(0, 1) + " --inject-failure=1");
+  EXPECT_EQ(planted.exit_code, 1) << planted.output;
+  EXPECT_NE(planted.output.find("planted_liar"), std::string::npos)
+      << "failure report does not name the dissenting oracle: "
+      << planted.output;
+  EXPECT_NE(planted.output.find("replay:"), std::string::npos)
+      << "failure report lacks the replay line: " << planted.output;
+}
+
+TEST(DmcCheckCli, UsageErrorsExitTwo) {
+  EXPECT_EQ(run_cli("--matrix=warp").exit_code, 2);
+  EXPECT_EQ(run_cli("--no-such-flag=1").exit_code, 2);
+}
+
+}  // namespace
+}  // namespace dmc::check

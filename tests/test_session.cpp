@@ -84,9 +84,122 @@ TEST(Session, ReuseBitIdenticalToFreshOneShots) {
                 (sched == Scheduling::kDense ? "dense" : "event") +
                 " req#" + std::to_string(i));
       }
+      EXPECT_TRUE(reused.warmed()) << "solves did not build the warm infra";
       EXPECT_EQ(reused.queries_served(), batch.size());
     }
   }
+}
+
+TEST(Session, WarmSolvesInterleavedWithCancellationStayBitIdentical) {
+  // The warm-path matrix of the E9 fix: every algorithm × scheduling ×
+  // engine, warm solves 1..k compared against fresh one-shots, with a
+  // round-budget exhaustion and a time-budget cancellation injected
+  // BETWEEN every pair — a cancelled warm query must leave no residue in
+  // the session (network, arena, or cached infra).
+  const Graph g = make_planted_cut(26, 0.5, 3, 1, 11);
+  const std::vector<MinCutRequest> batch = mixed_batch();
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    for (const Scheduling sched :
+         {Scheduling::kDense, Scheduling::kEventDriven}) {
+      const SessionOptions sopt{threads, sched};
+      Session warm{g, sopt};
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        MinCutRequest strangled = batch[i];
+        strangled.round_budget = 1;  // exhausts inside/just past bootstrap
+        EXPECT_THROW((void)warm.solve(strangled), CancelledError);
+        MinCutRequest starved = batch[i];
+        starved.time_budget_s = 1e-12;
+        EXPECT_THROW((void)warm.solve(starved), CancelledError);
+
+        const MinCutReport r = warm.solve(batch[i]);
+        Session fresh{g, sopt};
+        expect_report_identical(
+            r, fresh.solve(batch[i]),
+            "threads=" + std::to_string(threads) + " sched=" +
+                (sched == Scheduling::kDense ? "dense" : "event") +
+                " post-cancel req#" + std::to_string(i));
+      }
+    }
+  }
+}
+
+TEST(Session, WarmSteadyStateAllocatesNoNewArenaChunks) {
+  // The arena behind Network::reset(): the first solve of each algorithm
+  // grows it to the workload's high-water mark; repeated warm queries must
+  // then reuse those chunks, never allocate new ones.
+  const Graph g = make_planted_cut(24, 0.5, 2, 1, 7);
+  Session session{g};
+  const std::vector<MinCutRequest> batch = mixed_batch();
+  (void)session.solve_many(batch);
+  const std::size_t high_water = [&] {
+    // bytes_reserved is only reachable through the network accessor.
+    return session.network().arena().bytes_reserved();
+  }();
+  EXPECT_GT(high_water, 0u) << "drivers stopped using the arena";
+  for (int round = 0; round < 3; ++round) (void)session.solve_many(batch);
+  EXPECT_EQ(session.network().arena().bytes_reserved(), high_water)
+      << "steady-state warm solves grew the arena";
+}
+
+TEST(Session, ColdObserverPathMatchesWarmPath) {
+  // A user observer forces the cold path (live bootstrap, full event
+  // stream); removing it switches back to warm replay.  Both must produce
+  // identical reports — the cacheability argument made executable.
+  const Graph g = make_barbell(22, 3, 1, 7);
+  for (const MinCutRequest& req : mixed_batch()) {
+    Session session{g};
+    RoundObserver passive;  // base class: observes nothing, cancels never
+    session.set_observer(&passive);
+    const MinCutReport cold = session.solve(req);
+    EXPECT_FALSE(session.warmed()) << "observed solve built warm infra";
+    session.set_observer(nullptr);
+    const MinCutReport warm_first = session.solve(req);  // builds the cache
+    const MinCutReport warm_again = session.solve(req);  // replays it
+    EXPECT_TRUE(session.warmed());
+    expect_report_identical(cold, warm_first, "cold vs infra-building solve");
+    expect_report_identical(cold, warm_again, "cold vs warm replay");
+  }
+}
+
+TEST(SessionPool, SolveManyBitIdenticalToSingleSession) {
+  const Graph g = make_planted_cut(26, 0.5, 3, 1, 11);
+  const std::vector<MinCutRequest> batch = [&] {
+    std::vector<MinCutRequest> b;
+    for (int rep = 0; rep < 3; ++rep)
+      for (const MinCutRequest& req : mixed_batch()) b.push_back(req);
+    return b;
+  }();
+  Session single{g};
+  const std::vector<MinCutReport> want = single.solve_many(batch);
+  for (const std::size_t sessions : {std::size_t{1}, std::size_t{2},
+                                     std::size_t{4}}) {
+    SessionPool pool{g, sessions};
+    ASSERT_EQ(pool.size(), sessions);
+    const std::vector<MinCutReport> got = pool.solve_many(batch);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+      expect_report_identical(got[i], want[i],
+                              "pool(" + std::to_string(sessions) + ") req#" +
+                                  std::to_string(i));
+    EXPECT_EQ(pool.queries_served(), batch.size());
+  }
+}
+
+TEST(SessionPool, CancelledRequestRethrowsAndPoolSurvives) {
+  const Graph g = make_barbell(20, 2, 1, 5);
+  SessionPool pool{g, 2};
+  const std::vector<MinCutRequest> batch = mixed_batch();
+  const std::vector<MinCutReport> want = pool.solve_many(batch);
+
+  std::vector<MinCutRequest> poisoned = batch;
+  poisoned[2].round_budget = 1;
+  EXPECT_THROW((void)pool.solve_many(poisoned), CancelledError);
+
+  const std::vector<MinCutReport> after = pool.solve_many(batch);
+  ASSERT_EQ(after.size(), want.size());
+  for (std::size_t i = 0; i < after.size(); ++i)
+    expect_report_identical(after[i], want[i],
+                            "post-cancel pool req#" + std::to_string(i));
 }
 
 TEST(Session, MatchesFreeFunctionWrappers) {

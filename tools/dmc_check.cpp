@@ -9,9 +9,13 @@
 // List a matrix's cells:
 //   ./build/dmc_check --matrix=tier1 --list
 //
-// Exit code 0 ⇔ every executed cell passed.
+// Exit code 0 ⇔ every executed cell passed; 1 ⇔ at least one cell failed;
+// 2 ⇔ usage / unexpected error.  --inject-failure adds a deliberately
+// lying exact oracle to the panel, so any cell dissent-fails — the switch
+// tests/test_dmc_check_cli.cpp flips to prove the nonzero-exit contract.
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "check/check.h"
 #include "util/options.h"
@@ -20,6 +24,21 @@ namespace {
 
 using namespace dmc;
 using namespace dmc::check;
+
+/// An exact, value-only oracle that always claims λ = 0.  A connected
+/// graph has λ ≥ 1, so consensus flags it in every cell: value-only
+/// claims never define λ but exact ones must match it.
+class PlantedLiarOracle final : public CutOracle {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "planted_liar";
+  }
+  [[nodiscard]] bool exact() const override { return true; }
+  [[nodiscard]] OracleAnswer solve(const Graph&,
+                                   std::uint64_t) const override {
+    return OracleAnswer{0, {}};
+  }
+};
 
 const ScenarioMatrix& matrix_by_name(const std::string& name) {
   if (name == "tier1") return ScenarioMatrix::tier1();
@@ -38,7 +57,12 @@ int run(const Options& opt) {
     return 0;
   }
 
+  OracleRegistry oracles = OracleRegistry::make_standard();
+  if (opt.get_bool("inject-failure", false))
+    oracles.add(std::make_unique<PlantedLiarOracle>());
+
   RunnerOptions ropt;
+  ropt.oracles = &oracles;
   ropt.metamorphic = opt.get_bool("metamorphic", true);
   ropt.audit_distributed = opt.get_bool("audit", true);
   ropt.shrink_on_failure = opt.get_bool("shrink", true);
@@ -82,7 +106,7 @@ int main(int argc, char** argv) {
   try {
     const Options opt{argc, argv,
                       {"matrix", "scenario", "seed", "seeds", "list",
-                       "metamorphic", "audit", "shrink"}};
+                       "metamorphic", "audit", "shrink", "inject-failure"}};
     return run(opt);
   } catch (const std::exception& e) {
     std::cerr << "dmc_check: " << e.what() << '\n';
