@@ -4,6 +4,9 @@
 // helpers for instance construction.
 #pragma once
 
+#include <sys/resource.h>
+#include <time.h>
+
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -39,6 +42,37 @@ struct PipelineRun {
   unsigned engine_threads{1};  ///< engine configuration of the run
   std::string scheduling{"event"};  ///< "event" or "dense"
 };
+
+/// Process resource snapshot (getrusage): high-water resident set plus
+/// split user/system CPU.  Peak RSS is monotone for the process lifetime,
+/// so per-instance attribution subtracts two snapshots — meaningful in a
+/// small→large sweep where the largest instance sets each new high-water.
+struct ResourceUsage {
+  double peak_rss_mb{0.0};
+  double user_seconds{0.0};
+  double sys_seconds{0.0};
+};
+
+inline ResourceUsage resource_usage_now() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  ResourceUsage u;
+  u.peak_rss_mb = static_cast<double>(ru.ru_maxrss) / 1024.0;
+  u.user_seconds = static_cast<double>(ru.ru_utime.tv_sec) +
+                   1e-6 * static_cast<double>(ru.ru_utime.tv_usec);
+  u.sys_seconds = static_cast<double>(ru.ru_stime.tv_sec) +
+                  1e-6 * static_cast<double>(ru.ru_stime.tv_usec);
+  return u;
+}
+
+/// Process CPU seconds — immune to being scheduled out, which on shared
+/// CI runners dwarfs thin structural margins (used by E9's paired reps).
+inline double process_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         1e-9 * static_cast<double>(ts.tv_nsec);
+}
 
 /// Scheduling override from the DMC_SCHEDULING env var ("dense" forces
 /// the full sweep, "event" forces sparse, anything else = per-protocol
@@ -100,11 +134,39 @@ class JsonLine {
     field("max_edge_msgs", std::uint64_t{r.max_edge_msgs});
     return *this;
   }
+  /// Memory/CPU accounting fields.  `before` is the snapshot taken ahead
+  /// of instance construction; bytes_per_edge charges the high-water
+  /// growth across the run to the instance's n+m footprint (0 when the
+  /// high-water did not move — a smaller instance after a larger one).
+  JsonLine& usage(const ResourceUsage& before, std::size_t n,
+                  std::size_t m) {
+    const ResourceUsage now = resource_usage_now();
+    field("peak_rss_mb", now.peak_rss_mb);
+    field("user_seconds", now.user_seconds - before.user_seconds);
+    field("sys_seconds", now.sys_seconds - before.sys_seconds);
+    if (n + m > 0)
+      field("bytes_per_edge", (now.peak_rss_mb - before.peak_rss_mb) *
+                                  1024.0 * 1024.0 /
+                                  static_cast<double>(n + m));
+    return *this;
+  }
   void emit(std::ostream& os = std::cerr) { os << os_.str() << "}\n"; }
 
  private:
   std::ostringstream os_;
 };
+
+/// End-of-main rusage summary, one per bench binary: whole-process peak
+/// RSS and split CPU.  Gives every E-bench a machine-readable memory
+/// footprint even when its per-instance output is a human table.
+inline void emit_usage_summary(const std::string& bench) {
+  const ResourceUsage u = resource_usage_now();
+  JsonLine line{bench + "_usage"};
+  line.field("peak_rss_mb", u.peak_rss_mb)
+      .field("user_seconds", u.user_seconds)
+      .field("sys_seconds", u.sys_seconds);
+  line.emit();
+}
 
 /// One full Theorem-2.1 pipeline (single tree) with the given fragment
 /// freeze size (0 = ⌈√n⌉).
@@ -133,6 +195,42 @@ inline PipelineRun run_one_respect_pipeline(
   out.messages = net.stats().messages;
   out.node_steps = net.stats().node_steps;
   out.fragments = fs.k;
+  out.max_words = net.stats().max_words_per_message;
+  out.max_edge_msgs = net.stats().max_messages_edge_round;
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  out.engine_threads = engine_threads;
+  out.scheduling = scheduling_label(scheduling);
+  return out;
+}
+
+/// The scaling-tier workload: designated-root BFS + the controlled-GHS
+/// spanning-forest stage (√n freeze).  This is the Õ(√n + D) substrate of
+/// the pipeline without the Θ(n·D)-node-step leader election or the
+/// Steps-2–5 aggregation, so it runs at n = 10^5–10^6 where the exact
+/// pipeline would not fit a CI budget; memory per edge is dominated by
+/// the simulator hot loop, which is what the tier tracks.
+inline PipelineRun run_bfs_forest_sweep(
+    const Graph& g, unsigned engine_threads = 1,
+    std::optional<Scheduling> scheduling = {}) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Network net{g, make_engine(engine_threads)};
+  net.force_scheduling(scheduling);
+  Schedule sched{net};
+  LeaderBfsProtocol lb{g, /*root=*/0};
+  sched.run_uncharged(lb);
+  const TreeView bfs = lb.tree_view(g);
+  sched.set_barrier_height(bfs.height(g));
+  sched.charge_barrier();
+  const DistMstResult mst = ghs_mst(sched, bfs, weight_keys(g), 0);
+
+  PipelineRun out;
+  out.c_star = 0;  // not computed in this tier
+  out.total_rounds = sched.total_rounds();
+  out.messages = net.stats().messages;
+  out.node_steps = net.stats().node_steps;
+  out.fragments = mst.num_fragments;
   out.max_words = net.stats().max_words_per_message;
   out.max_edge_msgs = net.stats().max_messages_edge_round;
   out.wall_seconds =

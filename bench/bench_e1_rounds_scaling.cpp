@@ -3,6 +3,13 @@
 // families and sizes.  The paper's claim is Õ(√n + D); the reproduction
 // holds if the rounds/(√n+D) column stays within a polylog band as n grows
 // (rather than growing like √n, which a Θ(n)-round algorithm would show).
+//
+// A second, opt-in tier (DMC_BENCH_SCALE=1) pushes the memory-lean hot
+// loop to n = 10^4–10^6 on path / torus / random-regular instances,
+// running the exact-pipeline-free sweep (designated-root BFS + the √n
+// spanning-forest stage) and reporting peak RSS and resident bytes per
+// (node+edge).  DMC_BENCH_NMAX caps the tier's largest n (CI smoke runs
+// it at 10^5; the committed BENCH_pr6.json carries the 10^6 points).
 #include <cstdlib>
 
 #include "bench_common.h"
@@ -21,11 +28,18 @@ int main() {
   }();
   const std::optional<Scheduling> scheduling = scheduling_from_env();
   const bool smoke = std::getenv("DMC_BENCH_SMOKE") != nullptr;
+  const bool scale = std::getenv("DMC_BENCH_SCALE") != nullptr;
+  const std::size_t scale_nmax = [] {
+    const char* env = std::getenv("DMC_BENCH_NMAX");
+    return env ? static_cast<std::size_t>(std::strtoull(env, nullptr, 10))
+               : std::size_t{100000};
+  }();
   std::cout << "E1: 1-respect pipeline rounds vs sqrt(n)+D (claim: Õ(√n+D))\n\n";
 
   Table t{{"family", "n", "m", "D", "sqrt(n)+D", "rounds", "rounds/(sqrt+D)",
            "node_steps", "fragments"}};
   const auto add = [&](const std::string& family, const Graph& g) {
+    const ResourceUsage before = resource_usage_now();
     const std::uint32_t d = diameter_double_sweep(g);
     const std::uint64_t base = isqrt_ceil(g.num_nodes()) + d;
     const PipelineRun r =
@@ -42,6 +56,7 @@ int main() {
         .field("m", std::uint64_t{g.num_edges()})
         .field("diameter", std::uint64_t{d})
         .rates(r)
+        .usage(before, g.num_nodes(), g.num_edges())
         .emit();
   };
 
@@ -62,5 +77,44 @@ int main() {
   t.print(std::cout);
   std::cout << "\nshape check: the last column should stay roughly flat "
                "(polylog drift) within each family.\n";
+
+  if (scale) {
+    std::cout << "\nE1-scale: BFS + spanning-forest sweep at n ≤ "
+              << scale_nmax << " (hot-loop memory tier)\n\n";
+    Table ts{{"family", "n", "m", "rounds", "node_steps", "wall_s",
+              "peak_rss_mb", "bytes/(n+m)"}};
+    const auto add_scale = [&](const std::string& family, const Graph& g) {
+      const ResourceUsage before = resource_usage_now();
+      const PipelineRun r =
+          run_bfs_forest_sweep(g, engine_threads, scheduling);
+      const ResourceUsage after = resource_usage_now();
+      const double bpe = (after.peak_rss_mb - before.peak_rss_mb) * 1024.0 *
+                         1024.0 /
+                         static_cast<double>(g.num_nodes() + g.num_edges());
+      ts.add_row({family, Table::cell(g.num_nodes()),
+                  Table::cell(g.num_edges()), Table::cell(r.total_rounds),
+                  Table::cell(r.node_steps), Table::cell(r.wall_seconds, 2),
+                  Table::cell(after.peak_rss_mb, 1), Table::cell(bpe, 1)});
+      JsonLine{"e1_scale"}
+          .field("family", family)
+          .field("n", std::uint64_t{g.num_nodes()})
+          .field("m", std::uint64_t{g.num_edges()})
+          .rates(r)
+          .usage(before, g.num_nodes(), g.num_edges())
+          .emit();
+    };
+    // Small → large: each instance sets a fresh RSS high-water, so the
+    // per-instance deltas stay attributable.
+    for (const std::size_t n : {std::size_t{10000}, std::size_t{100000},
+                                std::size_t{1000000}}) {
+      if (n > scale_nmax) continue;
+      add_scale("path", make_path(n));
+      const std::size_t side = isqrt_ceil(n);
+      add_scale("torus", make_torus(side, side));
+      add_scale("random_regular(4)", make_random_regular(n, 4, 2));
+    }
+    ts.print(std::cout);
+  }
+  emit_usage_summary("e1");
   return 0;
 }

@@ -43,5 +43,6 @@ int main() {
   std::cout << "\nshape check: rounds/tree is λ-independent (the Õ(√n+D) "
                "per-tree cost); total rounds grow only through the tree "
                "count, and every row is exact.\n";
+  emit_usage_summary("e2");
   return 0;
 }

@@ -63,5 +63,6 @@ int main() {
   t.print(std::cout);
   std::cout << "\nshape check: '(1+eps)' rows stay ≤ 1+ε; the (2+ε) row may "
                "drift toward 2; estimators never output a cut.\n";
+  emit_usage_summary("e3");
   return 0;
 }

@@ -39,5 +39,6 @@ int main() {
   std::cout << "\nshape check: 'gap/log²n' stays roughly constant within a "
                "family while n quadruples — the algorithm tracks the lower "
                "bound up to polylogs, matching the 'almost-tight' claim.\n";
+  emit_usage_summary("e4");
   return 0;
 }

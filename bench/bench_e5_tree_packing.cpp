@@ -68,5 +68,6 @@ int main() {
   std::cout << "\nshape check: 'trees needed' stays orders of magnitude "
                "below the λ⁷log³n bound — the practical poly(λ) factor is "
                "tiny, which is why the exact algorithm is usable.\n";
+  emit_usage_summary("e5");
   return 0;
 }

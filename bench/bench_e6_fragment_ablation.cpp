@@ -39,5 +39,6 @@ int main() {
                "(global broadcasts of Θ(n/S) items dominate); very large S "
                "inflates fragment diameters (intra-fragment pipelining "
                "dominates); S=√n sits at/near the minimum.\n";
+  emit_usage_summary("e6");
   return 0;
 }

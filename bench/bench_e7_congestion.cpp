@@ -55,5 +55,6 @@ int main() {
   std::cout << "\nshape check: every row shows ≤ 1 msg/edge/round and ≤ "
             << int{kMaxWords}
             << " words/msg — all algorithms are legal CONGEST algorithms.\n";
+  emit_usage_summary("e7");
   return 0;
 }

@@ -89,12 +89,9 @@ double secs(Clock::time_point a, Clock::time_point b) {
 }
 
 /// Process CPU seconds — immune to being scheduled out, which on shared
-/// CI runners dwarfs the mixed workload's structural margin.
-double cpu_now() {
-  timespec ts{};
-  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
-  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
-}
+/// CI runners dwarfs the mixed workload's structural margin.  (Shared
+/// definition: bench_common.h, also used for rusage accounting.)
+double cpu_now() { return dmc::bench::process_cpu_seconds(); }
 
 }  // namespace
 
@@ -234,5 +231,6 @@ int main() {
                "opener, and the first packing tree amortized away by the "
                "warm infrastructure cache; ~1.15x on simulation-heavy "
                "mixed batches, >2x on estimate-serving lookups.\n";
+  emit_usage_summary("e9");
   return 0;
 }

@@ -72,9 +72,9 @@ int main() {
   }
   {
     std::string s = "A(15): own={";
-    for (const auto& e : ad.own_chain[15]) s += Table::cell(e.node) + " ";
+    for (const auto e : ad.own_chain(15)) s += Table::cell(e) + " ";
     s += "} parent={";
-    for (const auto& e : ad.parent_chain[15]) s += Table::cell(e.node) + " ";
+    for (const auto e : ad.parent_chain(15)) s += Table::cell(e) + " ";
     s += "}";
     panels.add_row({"(c) ancestor sets", s});
   }

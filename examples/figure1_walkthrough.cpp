@@ -75,9 +75,9 @@ int main() {
   std::cout << "\n=== Step 2: ancestor sets (Figure 1c shows A(15)) ===\n";
   const AncestorData ad = compute_ancestors(sched, fs);
   std::cout << "A(15): own fragment:";
-  for (const auto& e : ad.own_chain[15]) std::cout << ' ' << e.node;
+  for (const auto e : ad.own_chain(15)) std::cout << ' ' << e;
   std::cout << " | parent fragment:";
-  for (const auto& e : ad.parent_chain[15]) std::cout << ' ' << e.node;
+  for (const auto e : ad.parent_chain(15)) std::cout << ' ' << e;
   std::cout << "\nF(1) (fragments fully below node 1):";
   for (const auto f : fs.closure(ad.attach[1])) std::cout << ' ' << f;
   std::cout << "\n";

@@ -37,11 +37,12 @@ class SequentialEngine final : public Engine {
 };
 
 /// Persistent worker pool.  Workers sleep between rounds; every round the
-/// coordinator publishes a job generation, each worker sweeps its own
-/// contiguous node shard, and the coordinator (which doubles as shard 0)
-/// waits for all shards to finish — that rendezvous is the synchronous-
-/// round barrier, and its mutex hand-off is what sequences slot writes
-/// before next round's slot reads.
+/// coordinator publishes a job generation plus a chunk decomposition of
+/// the round's domain, each worker claims chunks off a shared atomic
+/// ticket counter (after one reserved starter chunk), and the coordinator
+/// (which doubles as shard 0) waits for all shards to finish — that
+/// rendezvous is the synchronous-round barrier, and its mutex hand-off is
+/// what sequences slot writes before next round's slot reads.
 class ShardedEngine final : public Engine {
  public:
   explicit ShardedEngine(unsigned threads)
@@ -78,6 +79,19 @@ class ShardedEngine final : public Engine {
       pending_ = threads_ - 1;
       failed_.store(false, std::memory_order_relaxed);
       error_ = nullptr;
+      // Chunk geometry for this round's domain.  ~8 chunks per thread
+      // bounds the imbalance from a skewed active list at ~1/8 of one
+      // thread's share, while a 64-node floor keeps the ticket counter
+      // cold on tiny rounds.  Tickets start at threads_: chunk s < threads_
+      // is reserved for shard s (below the counter's start, so no ticket
+      // ever returns it), which gives every shard a deterministic first
+      // chunk regardless of scheduling timing.
+      const std::size_t total =
+          net.dense_round() ? net.num_nodes() : net.active_nodes().size();
+      chunk_size_ = std::max<std::size_t>(
+          64, (total + 8 * threads_ - 1) / (8 * threads_));
+      num_chunks_ = (total + chunk_size_ - 1) / chunk_size_;
+      next_ticket_.store(threads_, std::memory_order_relaxed);
       ++generation_;
     }
     cv_work_.notify_all();
@@ -100,19 +114,32 @@ class ShardedEngine final : public Engine {
  private:
   void run_shard(Network& net, Protocol& p, unsigned shard) {
     net.bind_shard(shard);
-    // Contiguous chunks of the round's domain: the node range when dense,
-    // the sorted active list when sparse.  Either way every domain entry
-    // is owned by exactly one shard, so activation buckets and done
-    // deltas stay single-writer.
+    // Dynamic chunk tickets over the round's domain: the node range when
+    // dense, the sorted active list when sparse.  Each chunk is claimed
+    // exactly once — the reserved chunks sit below the ticket counter's
+    // starting value, and fetch_add hands out each higher index once — so
+    // every domain entry is executed by exactly one shard and activation
+    // buckets / done deltas stay single-writer.  Which shard runs which
+    // chunk is timing-dependent, but that is unobservable: node programs
+    // are order-independent (slot-addressed mail) and stats merge with
+    // commutative reductions.
     const bool dense = net.dense_round();
     const std::vector<NodeId>* active = dense ? nullptr : &net.active_nodes();
     const std::size_t total = dense ? net.num_nodes() : active->size();
-    const std::size_t chunk = (total + threads_ - 1) / threads_;
-    const std::size_t lo = std::min<std::size_t>(total, shard * chunk);
-    const std::size_t hi = std::min<std::size_t>(total, lo + chunk);
-    for (std::size_t i = lo; i < hi; ++i) {
-      if (failed_.load(std::memory_order_relaxed)) return;
-      net.execute_node(dense ? static_cast<NodeId>(i) : (*active)[i], p);
+    const auto run_chunk = [&](std::size_t c) {
+      const std::size_t lo = c * chunk_size_;
+      const std::size_t hi = std::min(total, lo + chunk_size_);
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (failed_.load(std::memory_order_relaxed)) return;
+        net.execute_node(dense ? static_cast<NodeId>(i) : (*active)[i], p);
+      }
+    };
+    if (shard < num_chunks_) run_chunk(shard);
+    for (;;) {
+      const std::size_t c =
+          next_ticket_.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks_) return;
+      run_chunk(c);
     }
   }
 
@@ -150,6 +177,9 @@ class ShardedEngine final : public Engine {
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
   std::uint64_t generation_{0};
+  std::size_t chunk_size_{0};   ///< published with generation_, under mu_
+  std::size_t num_chunks_{0};
+  std::atomic<std::size_t> next_ticket_{0};
   unsigned pending_{0};
   bool stop_{false};
   Network* net_{nullptr};

@@ -4,8 +4,11 @@
 // implementations ship:
 //
 //   * SequentialEngine — the classic deterministic ascending-id loop;
-//   * ShardedEngine    — a persistent worker pool that partitions the node
-//     range into contiguous shards and executes them concurrently.
+//   * ShardedEngine    — a persistent worker pool whose workers claim
+//     fixed-size chunks of the round's domain off an atomic ticket
+//     counter (each shard also owns one reserved starter chunk), so
+//     skewed active lists spread over all workers instead of serializing
+//     on whichever shard owns the hot node range.
 //
 // Both produce BIT-IDENTICAL protocol results and statistics.  The
 // argument (see DESIGN.md):

@@ -4,10 +4,15 @@
 //
 // Deliveries live in fixed slots — one per directed edge, CSR-indexed by
 // (receiver, receiver port) — so the inbox is not a materialized list but a
-// zero-copy view over the node's slot range.  A slot holds this round's
-// message iff its stamp equals the delivering round's token; iteration
-// skips empty slots and therefore yields messages in ascending port order
-// by construction (no sort, no allocation).
+// zero-copy view over the node's slot range.  Slot storage is
+// structure-of-arrays: a 32-bit epoch stamp plane (the only plane the scan
+// loop touches — 16 stamps per cache line), a packed tag/size header
+// plane, and a payload-word plane.  A slot holds this round's message iff
+// its stamp equals the delivering round's token; iteration skips empty
+// slots and therefore yields messages in ascending port order by
+// construction (no sort, no allocation).  The iterator materializes each
+// Delivery on demand — the slot index IS the port, so ports are never
+// stored.
 #pragma once
 
 #include <cstdint>
@@ -26,15 +31,21 @@ class InboxView {
    public:
     using value_type = Delivery;
     using difference_type = std::ptrdiff_t;
-    using reference = const Delivery&;
+    using reference = Delivery;
 
     iterator(const InboxView* view, std::uint32_t i) : view_(view), i_(i) {
       skip_empty();
     }
 
-    [[nodiscard]] reference operator*() const { return view_->slots_[i_]; }
-    [[nodiscard]] const Delivery* operator->() const {
-      return &view_->slots_[i_];
+    [[nodiscard]] Delivery operator*() const {
+      Delivery d;
+      d.port = i_;
+      const std::uint32_t hdr = view_->hdr_[i_];
+      d.msg.tag = hdr >> 8;
+      d.msg.size = static_cast<std::uint8_t>(hdr & 0xffu);
+      const Word* w = view_->payload_ + std::size_t{i_} * kMaxWords;
+      for (std::uint8_t k = 0; k < d.msg.size; ++k) d.msg.w[k] = w[k];
+      return d;
     }
     iterator& operator++() {
       ++i_;
@@ -60,9 +71,14 @@ class InboxView {
   };
 
   InboxView() = default;
-  InboxView(const Delivery* slots, const std::uint64_t* stamps,
-            std::uint32_t degree, std::uint64_t token)
-      : slots_(slots), stamps_(stamps), degree_(degree), token_(token) {}
+  InboxView(const Word* payload, const std::uint32_t* hdr,
+            const std::uint32_t* stamps, std::uint32_t degree,
+            std::uint32_t token)
+      : payload_(payload),
+        hdr_(hdr),
+        stamps_(stamps),
+        degree_(degree),
+        token_(token) {}
 
   [[nodiscard]] iterator begin() const { return iterator{this, 0}; }
   [[nodiscard]] iterator end() const { return iterator{this, degree_}; }
@@ -70,10 +86,11 @@ class InboxView {
 
  private:
   friend class iterator;
-  const Delivery* slots_{nullptr};
-  const std::uint64_t* stamps_{nullptr};
+  const Word* payload_{nullptr};
+  const std::uint32_t* hdr_{nullptr};
+  const std::uint32_t* stamps_{nullptr};
   std::uint32_t degree_{0};
-  std::uint64_t token_{0};
+  std::uint32_t token_{0};
 };
 
 class Mailbox {

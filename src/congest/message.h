@@ -22,6 +22,13 @@ using Word = std::uint64_t;
 /// (pipeline-MST stream items: edge id, load, weight, two fragment ids).
 inline constexpr std::uint8_t kMaxWords = 6;
 
+/// Message tags are protocol-local discriminators, not payload: the mail
+/// slots store tag and size packed into one 32-bit header word (tag in the
+/// top 24 bits), so tags must stay below 2^24.  Every protocol in the
+/// library uses single-digit tags or two-character mnemonics; the network
+/// enforces the bound at send time.
+inline constexpr std::uint32_t kMaxTag = (1u << 24) - 1;
+
 struct Message {
   std::uint32_t tag{0};
   std::uint8_t size{0};

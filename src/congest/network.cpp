@@ -44,18 +44,27 @@ Network::Network(const Graph& g, std::unique_ptr<Engine> engine)
     }
   }
 
-  // Delivery slots: the port field of slot (u, i) is i forever; only the
-  // message payload is rewritten by sends.
-  for (auto& plane : slots_) {
-    plane.resize(slots);
-    for (NodeId v = 0; v < n; ++v)
-      for (std::uint32_t i = 0; i < g.degree(v); ++i)
-        plane[port_base_[v] + i].port = i;
+  // SoA slot planes.  Headers and payload words are deliberately left
+  // uninitialized — every read is gated on the stamp matching the read
+  // token, and a stamp only reaches a token value after send_from wrote
+  // the header and payload it guards.
+  for (auto& plane : payload_)
+    plane = std::make_unique_for_overwrite<Word[]>(std::size_t{slots} *
+                                                   kMaxWords);
+  for (auto& plane : hdr_)
+    plane = std::make_unique_for_overwrite<std::uint32_t[]>(slots);
+  for (auto& plane : stamps_) plane.assign(slots, kNeverStamp32);
+
+  const std::size_t shards = engine_->shard_count();
+  counters_.resize(shards);
+  shard_node_steps_.assign(shards, 0);
+  owner_stride_ = static_cast<std::uint32_t>(
+      n == 0 ? 1 : (n + shards - 1) / shards);
+  buckets_.resize(shards);
+  for (ActivationBucket& b : buckets_) {
+    b.by_owner.resize(shards);
+    b.mark.assign(n, kNeverStamp32);
   }
-  for (auto& plane : stamps_) plane.assign(slots, kNeverStamp);
-  counters_.resize(engine_->shard_count());
-  buckets_.resize(engine_->shard_count());
-  for (ActivationBucket& b : buckets_) b.mark.assign(n, kNeverStamp);
   done_flag_.assign(n, 0);
 }
 
@@ -64,20 +73,31 @@ void Network::reset() {
   // retained, so a reset is O(n + m) writes with zero allocation, and the
   // engine (with any worker pool it spawned) is untouched.
   round_ = 0;
+  epoch_base_ = 0;
+  wtoken_ = 0;
+  rtoken_ = 0;
   stats_.reset();
   arena_.rewind();
   for (auto& plane : stamps_)
-    std::fill(plane.begin(), plane.end(), kNeverStamp);
+    std::fill(plane.begin(), plane.end(), kNeverStamp32);
   for (ActivationBucket& b : buckets_) {
-    b.nodes.clear();
-    std::fill(b.mark.begin(), b.mark.end(), kNeverStamp);
+    for (auto& run : b.by_owner) run.clear();
+    std::fill(b.mark.begin(), b.mark.end(), kNeverStamp32);
   }
   active_.clear();
   std::fill(done_flag_.begin(), done_flag_.end(), std::uint8_t{0});
   done_count_ = 0;
+  std::fill(shard_node_steps_.begin(), shard_node_steps_.end(),
+            std::uint64_t{0});
   mode_ = Scheduling::kDense;
   dense_round_ = true;
   first_round_ = 0;
+}
+
+void Network::set_stamp_epoch_limit_for_test(std::uint32_t limit) {
+  DMC_REQUIRE_MSG(limit >= 4 && limit <= kDefaultEpochLimit,
+                  "epoch limit " << limit << " out of range");
+  epoch_limit_ = limit;
 }
 
 void Mailbox::send(std::uint32_t port, const Message& m) {
@@ -99,9 +119,9 @@ void Network::bind_shard(std::size_t shard) {
 void Network::activate(NodeId u) {
   DMC_ASSERT(tls_net == this);
   ActivationBucket& b = buckets_[tls_shard];
-  if (b.mark[u] == round_) return;
-  b.mark[u] = round_;
-  b.nodes.push_back(u);
+  if (b.mark[u] == wtoken_) return;
+  b.mark[u] = wtoken_;
+  b.by_owner[u / owner_stride_].push_back(u);
 }
 
 void Network::request_wake(NodeId v) {
@@ -114,22 +134,26 @@ void Network::send_from(NodeId from, std::uint32_t port, const Message& m) {
   DMC_REQUIRE_MSG(port < g_->degree(from),
                   "node " << from << " has no port " << port);
   DMC_REQUIRE_MSG(m.size <= kMaxWords, "message exceeds word budget");
+  DMC_REQUIRE_MSG(m.tag <= kMaxTag, "message tag " << m.tag
+                                    << " exceeds kMaxTag");
 
   const std::size_t parity = round_ & 1;
   const std::uint32_t slot = reverse_slot_[port_base_[from] + port];
-  std::uint64_t& stamp = stamps_[parity][slot];
+  std::uint32_t& stamp = stamps_[parity][slot];
 
   // Observed per-directed-edge congestion this round: derived from slot
   // occupancy (not assumed), so E7 certifies the ≤ 1 legality bound.
   DMC_ASSERT(tls_net == this);
   ShardCounters& c = counters_[tls_shard];
-  const std::uint32_t occupancy = stamp == round_ ? 2 : 1;
+  const std::uint32_t occupancy = stamp == wtoken_ ? 2 : 1;
   c.max_edge_msgs = std::max(c.max_edge_msgs, occupancy);
   DMC_REQUIRE_MSG(occupancy == 1, "node " << from << " sent twice on port "
                                           << port << " in one round");
 
-  stamp = round_;
-  slots_[parity][slot].msg = m;
+  stamp = wtoken_;
+  hdr_[parity][slot] = (m.tag << 8) | m.size;
+  Word* w = payload_[parity].get() + std::size_t{slot} * kMaxWords;
+  for (std::uint8_t k = 0; k < m.size; ++k) w[k] = m.w[k];
   ++c.messages;
   c.words += m.size;
   c.max_words = std::max(c.max_words, m.size);
@@ -143,9 +167,11 @@ void Network::execute_node(NodeId v, Protocol& p) {
   const std::size_t read_parity = (round_ - 1) & 1;
   const std::uint32_t base = port_base_[v];
   Mailbox mb{*this, v,
-             InboxView{slots_[read_parity].data() + base,
+             InboxView{payload_[read_parity].get() +
+                           std::size_t{base} * kMaxWords,
+                       hdr_[read_parity].get() + base,
                        stamps_[read_parity].data() + base,
-                       port_base_[v + 1] - base, round_ - 1}};
+                       port_base_[v + 1] - base, rtoken_}};
   p.round(v, mb);
 
   // Quiescence bookkeeping: only an executed node can change its done bit
@@ -160,22 +186,53 @@ void Network::execute_node(NodeId v, Protocol& p) {
   }
 }
 
+void Network::renormalize_epoch() {
+  // Called between rounds (round_ already advanced, no node executing).
+  // The only token that still matters is last round's: the read plane's
+  // deliveries for the round about to execute.  Map it to 1, everything
+  // else — the write plane (whose newest stamps are two rounds old, hence
+  // dead) and the activation marks (compared only against the current
+  // round's write token) — to never.  Re-basing the epoch two rounds back
+  // makes last round's token 1 and this round's 2, so tokens stay unique
+  // until the next renormalization.
+  const std::uint32_t live = token(round_ - 1);
+  std::vector<std::uint32_t>& read_plane = stamps_[(round_ - 1) & 1];
+  for (std::uint32_t& s : read_plane)
+    s = s == live ? 1u : kNeverStamp32;
+  std::vector<std::uint32_t>& write_plane = stamps_[round_ & 1];
+  std::fill(write_plane.begin(), write_plane.end(), kNeverStamp32);
+  for (ActivationBucket& b : buckets_)
+    std::fill(b.mark.begin(), b.mark.end(), kNeverStamp32);
+  epoch_base_ = round_ - 2;
+}
+
 void Network::begin_round() {
   ++round_;
+  if (round_ - epoch_base_ >= epoch_limit_) renormalize_epoch();
+  wtoken_ = token(round_);
+  rtoken_ = token(round_ - 1);
   for (ShardCounters& c : counters_) c = ShardCounters{};
   if (mode_ == Scheduling::kEventDriven && round_ != first_round_) {
     // Merge the per-shard buckets filled last round into one sorted,
     // duplicate-free active list.  Sorting makes the sweep order — and
     // therefore everything observable — independent of which shard
-    // recorded an activation first.
+    // recorded an activation first.  Buckets are sub-bucketed by owner
+    // range, and owner ranges partition the id space in ascending blocks,
+    // so merging one range at a time sorts S short runs per range instead
+    // of one global list — and the concatenation is globally ascending by
+    // construction.
     active_.clear();
-    for (ActivationBucket& b : buckets_) {
-      active_.insert(active_.end(), b.nodes.begin(), b.nodes.end());
-      b.nodes.clear();
+    for (std::size_t o = 0; o < buckets_.size(); ++o) {
+      const auto seg = static_cast<std::ptrdiff_t>(active_.size());
+      for (ActivationBucket& b : buckets_) {
+        std::vector<NodeId>& run = b.by_owner[o];
+        active_.insert(active_.end(), run.begin(), run.end());
+        run.clear();
+      }
+      std::sort(active_.begin() + seg, active_.end());
+      active_.erase(std::unique(active_.begin() + seg, active_.end()),
+                    active_.end());
     }
-    std::sort(active_.begin(), active_.end());
-    active_.erase(std::unique(active_.begin(), active_.end()),
-                  active_.end());
     dense_round_ = false;
   } else {
     dense_round_ = true;
@@ -185,11 +242,13 @@ void Network::begin_round() {
 std::uint64_t Network::end_round() {
   std::uint64_t sent = 0;
   std::int64_t done_delta = 0;
-  for (const ShardCounters& c : counters_) {
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    const ShardCounters& c = counters_[i];
     sent += c.messages;
     stats_.messages += c.messages;
     stats_.words += c.words;
     stats_.node_steps += c.node_steps;
+    shard_node_steps_[i] += c.node_steps;
     done_delta += c.done_delta;
     stats_.max_words_per_message =
         std::max(stats_.max_words_per_message, c.max_words);
@@ -212,7 +271,10 @@ std::uint64_t Network::run(Protocol& p, std::uint64_t max_rounds) {
   // run's final-round wakes must not leak into this protocol).
   std::fill(done_flag_.begin(), done_flag_.end(), std::uint8_t{0});
   done_count_ = 0;
-  for (ActivationBucket& b : buckets_) b.nodes.clear();
+  for (ActivationBucket& b : buckets_)
+    for (auto& run : b.by_owner) run.clear();
+  std::fill(shard_node_steps_.begin(), shard_node_steps_.end(),
+            std::uint64_t{0});
 
   std::uint64_t executed = 0;
   const std::uint64_t messages_before = stats_.messages;

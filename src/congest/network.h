@@ -24,13 +24,28 @@
 // from the previous round's plane), and occupancy is tracked by per-slot
 // round stamps so nothing is ever cleared between rounds.
 //
+// Slot storage is structure-of-arrays (see DESIGN.md "Hot-loop memory
+// layout"): per plane, a 32-bit stamp array (the only array the inbox scan
+// touches — 16 slots per cache line), a packed tag/size header array, and
+// a payload-word array.  Stamps are epoch-relative: the stored token is
+// uint32(round − epoch_base).  When a very long session approaches the
+// 32-bit token range the Network renormalizes between rounds — remaps the
+// one live token in the read plane, wipes the dead write plane and
+// activation marks to kNeverStamp32, and rebases the epoch.  Quiescence at
+// run() boundaries plus parity-disjoint planes make the sweep invisible:
+// results and stats are bit-identical whether or not it fires (enforced by
+// tests/test_stamp_epoch.cpp with a tiny forced epoch).
+//
 // Scheduling: a protocol declares Dense (every node, every round) or
 // EventDriven via Protocol::scheduling().  Under EventDriven the Network
 // records, at send time, the receiver of every message into the sending
 // shard's activation bucket (dedup'd by a per-shard round-stamp array, so
 // the sharded engine stays contention-free); nodes with round-r+1 work but
-// no incoming mail call Mailbox::request_wake().  begin_round() merges the
-// buckets into one sorted duplicate-free active list, and both engines
+// no incoming mail call Mailbox::request_wake().  Buckets are sub-bucketed
+// by owner shard (owner_of(u) = u / ceil(n/S)), so begin_round() merges
+// them one owner range at a time: each range concatenates S short runs and
+// is sorted/dedup'd independently, and the owner ranges concatenate into a
+// globally ascending active list without a global sort.  Both engines
 // iterate only that list — node-step cost falls from rounds·n to
 // Σ_r active(r), with bit-identical results and stats (see DESIGN.md
 // "Sparse scheduling").
@@ -72,13 +87,14 @@ class Network {
 
   /// Returns the network to the pristine just-constructed state — stats
   /// zeroed, every mail-slot stamp and activation mark back to
-  /// kNeverStamp, round counter at 0 — WITHOUT reallocating any buffer or
-  /// restarting the engine's worker pool.  A protocol run after reset()
-  /// is bit-identical (results and all stats) to the same run on a fresh
-  /// Network over the same graph and engine; see DESIGN.md "Serving
-  /// layer" for the argument, tests/test_session.cpp for the enforcement.
-  /// The forced-scheduling override and the installed observer are
-  /// configuration, not run state, and survive the reset.
+  /// kNeverStamp32, round counter and stamp epoch at 0 — WITHOUT
+  /// reallocating any buffer or restarting the engine's worker pool.  A
+  /// protocol run after reset() is bit-identical (results and all stats)
+  /// to the same run on a fresh Network over the same graph and engine;
+  /// see DESIGN.md "Serving layer" for the argument,
+  /// tests/test_session.cpp for the enforcement.  The forced-scheduling
+  /// override and the installed observer are configuration, not run
+  /// state, and survive the reset.
   void reset();
 
   /// Installs a phase/round observer (nullptr to clear).  Borrowed, not
@@ -101,6 +117,22 @@ class Network {
 
   /// Scheduling mode of the current (or most recent) run.
   [[nodiscard]] Scheduling scheduling() const { return mode_; }
+
+  /// Shrinks the stamp epoch so renormalization fires every `limit`
+  /// rounds instead of every ~2^32 — the hook the wraparound regression
+  /// test uses to exercise the sweep in seconds.  limit must be ≥ 4 (the
+  /// renormalized epoch re-bases two rounds back, so smaller limits would
+  /// renormalize every round).
+  void set_stamp_epoch_limit_for_test(std::uint32_t limit);
+
+  /// Node steps charged to each engine shard during the most recent run()
+  /// (reset at every run() start) — the observability hook the skewed
+  /// active-list test uses to prove dynamic chunking touched every shard.
+  /// Deliberately not part of CongestStats: the split across shards is
+  /// engine-dependent by design, only the total is schedule-invariant.
+  [[nodiscard]] const std::vector<std::uint64_t>& shard_node_steps() const {
+    return shard_node_steps_;
+  }
 
   // --- engine hooks (called by Engine implementations only) -------------
 
@@ -127,6 +159,13 @@ class Network {
  private:
   friend class Mailbox;
 
+  /// Stamp value no round ever produces (epoch tokens stay strictly below
+  /// the epoch limit, which is below this).
+  static constexpr std::uint32_t kNeverStamp32 = ~std::uint32_t{0};
+  /// Default renormalization period: epochs re-base a little before the
+  /// token space is exhausted, leaving headroom below kNeverStamp32.
+  static constexpr std::uint32_t kDefaultEpochLimit = 0xfffffff0u;
+
   /// Per-shard, per-round statistics; merged with commutative reductions
   /// at the end of every round, so totals are schedule-independent.
   /// Padded to a cache line to avoid false sharing between workers.
@@ -139,14 +178,16 @@ class Network {
     std::uint32_t max_edge_msgs{0};
   };
 
-  /// Per-shard bucket of nodes activated for the NEXT round.  `mark[v] ==
-  /// round_` means v is already in this shard's bucket this round, so each
-  /// bucket is duplicate-free without clearing (stamps, like the mail
-  /// slots); cross-shard duplicates are removed by the sort+unique merge
-  /// in begin_round().  Only the owning worker thread touches a bucket.
+  /// Per-shard bucket of nodes activated for the NEXT round, sub-bucketed
+  /// by owner shard (owner_of(u) = u / owner_stride_) so begin_round()
+  /// can merge per owner range instead of globally.  `mark[v] == wtoken_`
+  /// means v is already in this shard's bucket this round, so each bucket
+  /// is duplicate-free without clearing (epoch stamps, like the mail
+  /// slots); cross-shard duplicates are removed by the per-range
+  /// sort+unique merge.  Only the owning worker thread touches a bucket.
   struct alignas(64) ActivationBucket {
-    std::vector<NodeId> nodes;
-    std::vector<std::uint64_t> mark;
+    std::vector<std::vector<NodeId>> by_owner;
+    std::vector<std::uint32_t> mark;
   };
 
   void send_from(NodeId from, std::uint32_t port, const Message& m);
@@ -158,6 +199,13 @@ class Network {
   /// Folds shard counters into stats_ and the done-counter; returns
   /// messages sent this round.
   std::uint64_t end_round();
+  /// Epoch-relative stamp token of round r.
+  [[nodiscard]] std::uint32_t token(std::uint64_t r) const {
+    return static_cast<std::uint32_t>(r - epoch_base_);
+  }
+  /// Re-bases the stamp epoch (see file comment).  Called from
+  /// begin_round() with round_ already advanced and no node executing.
+  void renormalize_epoch();
 
   const Graph* g_;
   std::unique_ptr<Engine> engine_;
@@ -165,23 +213,31 @@ class Network {
   Arena arena_;
   RoundObserver* observer_{nullptr};
 
-  // Flat CSR mail slots, one per directed edge, in two planes alternated
-  // by round parity.  slot port fields are filled once at construction;
-  // stamps_ start at kNeverStamp so nothing predates round 1.
-  static constexpr std::uint64_t kNeverStamp = ~std::uint64_t{0};
+  // Flat CSR mail slots, one per directed edge, in two structure-of-array
+  // planes alternated by round parity.  Headers pack (tag << 8) | size;
+  // payload words live at slot·kMaxWords.  Header and payload bytes are
+  // never initialized or cleared (reads are stamp-gated); stamps_ start at
+  // kNeverStamp32 so nothing predates round 1.
   std::vector<std::uint32_t> port_base_;   ///< node → directed-slot offset
   std::vector<std::uint32_t> reverse_slot_;  ///< directed port → peer slot
-  std::vector<Delivery> slots_[2];
-  std::vector<std::uint64_t> stamps_[2];
+  std::unique_ptr<Word[]> payload_[2];
+  std::unique_ptr<std::uint32_t[]> hdr_[2];
+  std::vector<std::uint32_t> stamps_[2];
 
   std::uint64_t round_{0};  ///< 1-based; write token of the current round
+  std::uint64_t epoch_base_{0};   ///< stamp tokens are round − epoch_base_
+  std::uint32_t epoch_limit_{kDefaultEpochLimit};
+  std::uint32_t wtoken_{0};  ///< token(round_), cached per round
+  std::uint32_t rtoken_{0};  ///< token(round_ − 1), cached per round
   std::vector<ShardCounters> counters_;
+  std::vector<std::uint64_t> shard_node_steps_;  ///< per-run accumulation
 
   // --- scheduling state (per run; round_ is global across runs) ---------
   Scheduling mode_{Scheduling::kDense};
   std::optional<Scheduling> forced_;
   bool dense_round_{true};
   std::uint64_t first_round_{0};  ///< first round of the current run
+  std::uint32_t owner_stride_{1};  ///< nodes per owner range (ceil(n/S))
   std::vector<NodeId> active_;    ///< this round's sorted active set
   std::vector<ActivationBucket> buckets_;
   std::vector<std::uint8_t> done_flag_;  ///< last observed local_done(v)

@@ -33,6 +33,7 @@ AggregateBroadcastProtocol::AggregateBroadcastProtocol(
   const std::size_t n = g.num_nodes();
   st_.resize(n);
   final_.assign(n, {});
+  if (opt_.keep) root_list_.assign(n, {});
   tapped_.assign(n, {});
   absorbed_.assign(n, {});
   for (NodeId v = 0; v < n; ++v) {
@@ -142,7 +143,7 @@ void AggregateBroadcastProtocol::round(NodeId v, Mailbox& mb) {
         DMC_ASSERT(d.port == tv_->parent_port(v));
         const AggItem it{d.msg.at(0),
                          {d.msg.at(1), d.msg.at(2), d.msg.at(3)}};
-        final_[v].push_back(it);
+        if (!opt_.keep || opt_.keep(v, it.key)) final_[v].push_back(it);
         s.down_queue.push_back(it);
         break;
       }
@@ -158,13 +159,24 @@ void AggregateBroadcastProtocol::round(NodeId v, Mailbox& mb) {
   if (!s.up_complete) {
     if (tv_->is_root(v)) {
       // The root absorbs greedily: its children deliver at most one item
-      // each per round, so draining is local computation.
+      // each per round, so draining is local computation.  With a keep
+      // filter the full stream goes to root_list_ (the down phase must
+      // replay it) and only kept items land in final_.
+      std::vector<AggItem>& full =
+          opt_.keep ? root_list_[v] : final_[v];
       AggItem it;
       while (next_outgoing(v, it)) {
-        if (!final_[v].empty() && final_[v].back().key == it.key)
-          final_[v].back() = combine_items(opt_.op, final_[v].back(), it);
+        if (!full.empty() && full.back().key == it.key)
+          full.back() = combine_items(opt_.op, full.back(), it);
         else
-          final_[v].push_back(it);
+          full.push_back(it);
+        if (opt_.keep && opt_.keep(v, it.key)) {
+          if (!final_[v].empty() && final_[v].back().key == it.key)
+            final_[v].back() =
+                combine_items(opt_.op, final_[v].back(), it);
+          else
+            final_[v].push_back(it);
+        }
       }
       if (up_exhausted(s)) s.up_complete = true;
     } else {
@@ -195,8 +207,10 @@ void AggregateBroadcastProtocol::round(NodeId v, Mailbox& mb) {
   }
   if (tv_->is_root(v)) {
     if (s.up_complete && !s.down_done_sent) {
-      if (s.root_down_ptr < final_[v].size()) {
-        const AggItem& it = final_[v][s.root_down_ptr++];
+      const std::vector<AggItem>& down_src =
+          opt_.keep ? root_list_[v] : final_[v];
+      if (s.root_down_ptr < down_src.size()) {
+        const AggItem& it = down_src[s.root_down_ptr++];
         const Message m = Message::make(
             kTagDownItem, {it.key, it.p[0], it.p[1], it.p[2]});
         for (const std::uint32_t cp : children) mb.send(cp, m);

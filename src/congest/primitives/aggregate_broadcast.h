@@ -21,11 +21,12 @@
 #pragma once
 
 #include <array>
-#include <deque>
+#include <functional>
 #include <vector>
 
 #include "congest/protocol.h"
 #include "congest/tree_view.h"
+#include "util/small_queue.h"
 
 namespace dmc {
 
@@ -49,6 +50,15 @@ struct AggOptions {
   bool deliver_all{false};  ///< pipeline the final list back down
   bool tap{false};          ///< record items passing through each node
   bool absorb{false};       ///< item with key == node id stops there
+
+  /// Storage filter: when set, node v records a combined item in items(v)
+  /// only if keep(v, key).  Messages, rounds, and stats are UNCHANGED —
+  /// every item still travels the full tree — only the per-node final_
+  /// retention shrinks, from O(n·k) words to what nodes actually read.
+  /// The canonical deliver_all consumers read one or two keys per node
+  /// (their own id, a fragment index, the root's list), so this turns the
+  /// dominant protocol-side allocation at scale into O(n + k).
+  std::function<bool(NodeId, Word)> keep{};
 };
 
 class AggregateBroadcastProtocol final : public Protocol {
@@ -71,6 +81,7 @@ class AggregateBroadcastProtocol final : public Protocol {
   }
 
   /// Final combined list: at every node if deliver_all, else at roots.
+  /// With AggOptions::keep set, only the kept subset (still key-sorted).
   [[nodiscard]] const std::vector<AggItem>& items(NodeId v) const {
     return final_[v];
   }
@@ -84,8 +95,12 @@ class AggregateBroadcastProtocol final : public Protocol {
   }
 
  private:
+  // Relay queues are SmallQueue, not std::deque: a deque costs ~600 B of
+  // heap even when empty, and this protocol holds one queue per node plus
+  // one per tree child — at the 10^6-node tier that dominated the
+  // simulator's resident memory.
   struct ChildStream {
-    std::deque<AggItem> buf;
+    SmallQueue<AggItem> buf;
     bool done{false};
   };
   struct State {
@@ -94,7 +109,7 @@ class AggregateBroadcastProtocol final : public Protocol {
     std::vector<ChildStream> child;   ///< parallel to children_ports
     bool up_complete{false};
     bool up_done_sent{false};
-    std::deque<AggItem> down_queue;
+    SmallQueue<AggItem> down_queue;
     bool parent_down_done{false};
     bool down_done_sent{false};
     std::size_t root_down_ptr{0};
@@ -112,6 +127,9 @@ class AggregateBroadcastProtocol final : public Protocol {
   AggOptions opt_;
   std::vector<State> st_;
   std::vector<std::vector<AggItem>> final_;
+  /// Roots' unfiltered lists when opt_.keep is set: the down stream must
+  /// carry every item even when the root itself keeps only a few.
+  std::vector<std::vector<AggItem>> root_list_;
   std::vector<std::vector<AggItem>> tapped_;
   std::vector<std::vector<AggItem>> absorbed_;
 };

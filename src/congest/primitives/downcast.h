@@ -15,12 +15,12 @@
 #pragma once
 
 #include <array>
-#include <deque>
 #include <functional>
 #include <vector>
 
 #include "congest/protocol.h"
 #include "congest/tree_view.h"
+#include "util/small_queue.h"
 
 namespace dmc {
 
@@ -54,7 +54,8 @@ class PipelinedDowncastProtocol final : public Protocol {
  private:
   const TreeView* tv_;
   ReceiveFn on_receive_;
-  std::vector<std::deque<DownItem>> queue_;
+  /// Per-node relay FIFOs; SmallQueue so idle nodes cost no heap.
+  std::vector<SmallQueue<DownItem>> queue_;
 };
 
 }  // namespace dmc

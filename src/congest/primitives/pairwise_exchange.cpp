@@ -7,50 +7,140 @@ constexpr std::uint32_t kTagWord = 1;
 constexpr std::uint32_t kTagEnd = 2;
 }  // namespace
 
-PairwiseExchangeProtocol::PairwiseExchangeProtocol(
-    const Graph& g, std::vector<std::vector<std::vector<Word>>> outgoing)
-    : outgoing_(std::move(outgoing)) {
-  DMC_REQUIRE(outgoing_.size() == g.num_nodes());
-  received_.resize(g.num_nodes());
-  ps_.resize(g.num_nodes());
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    DMC_REQUIRE(outgoing_[v].size() == g.degree(v));
-    received_[v].resize(g.degree(v));
-    ps_[v].resize(g.degree(v));
+PairwiseExchangeProtocol::Lists::Lists(const Graph& g, bool narrow)
+    : g_(&g), narrow_(narrow), len_(g.port_offset(g.num_nodes()), 0) {}
+
+void PairwiseExchangeProtocol::Lists::add(NodeId v, std::uint32_t port,
+                                          Word w) {
+  const std::uint32_t dir = g_->port_offset(v) + port;
+  DMC_REQUIRE(port < g_->degree(v));
+  DMC_REQUIRE_MSG(dir >= cur_,
+                  "Lists::add out of order: directed port " << dir
+                  << " after " << cur_);
+  cur_ = dir;
+  ++len_[dir];
+  if (narrow_) {
+    DMC_REQUIRE_MSG(w <= 0xffffffffull,
+                    "word " << w << " does not fit the narrow exchange");
+    w32_.push_back(static_cast<std::uint32_t>(w));
+  } else {
+    w64_.push_back(w);
   }
 }
 
+PairwiseExchangeProtocol::PairwiseExchangeProtocol(const Graph& g,
+                                                   Lists outgoing)
+    : g_(&g), narrow_(outgoing.narrow_) {
+  DMC_REQUIRE(outgoing.g_ == &g);
+  const std::uint32_t dirs = g.port_offset(g.num_nodes());
+  out_off_.assign(dirs + 1, 0);
+  for (std::uint32_t d = 0; d < dirs; ++d)
+    out_off_[d + 1] = out_off_[d] + outgoing.len_[d];
+  out64_ = std::move(outgoing.w64_);
+  out32_ = std::move(outgoing.w32_);
+
+  // Pair the two directed copies of every edge (as the Network does for
+  // its reverse-slot table): port d will receive exactly the peer port's
+  // outgoing length, so the receive CSR is exact — no push_back growth.
+  std::vector<std::uint32_t> reverse(dirs, 0);
+  {
+    std::vector<std::uint32_t> first_dir(g.num_edges(), ~std::uint32_t{0});
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto ports = g.ports(v);
+      for (std::uint32_t i = 0; i < ports.size(); ++i) {
+        const std::uint32_t dir = g.port_offset(v) + i;
+        std::uint32_t& other = first_dir[ports[i].edge];
+        if (other == ~std::uint32_t{0}) {
+          other = dir;
+        } else {
+          reverse[dir] = other;
+          reverse[other] = dir;
+        }
+      }
+    }
+  }
+  recv_off_.assign(dirs + 1, 0);
+  for (std::uint32_t d = 0; d < dirs; ++d)
+    recv_off_[d + 1] =
+        recv_off_[d] + (out_off_[reverse[d] + 1] - out_off_[reverse[d]]);
+  if (narrow_)
+    recv32_.resize(recv_off_[dirs]);
+  else
+    recv64_.resize(recv_off_[dirs]);
+
+  sent_.assign(dirs, 0);
+  recv_cnt_.assign(dirs, 0);
+  flags_.assign(dirs, 0);
+}
+
+namespace {
+PairwiseExchangeProtocol::Lists nested_to_lists(
+    const Graph& g, std::vector<std::vector<std::vector<Word>>> outgoing) {
+  DMC_REQUIRE(outgoing.size() == g.num_nodes());
+  PairwiseExchangeProtocol::Lists lists{g};
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    DMC_REQUIRE(outgoing[v].size() == g.degree(v));
+    for (std::uint32_t p = 0; p < outgoing[v].size(); ++p)
+      for (const Word w : outgoing[v][p]) lists.add(v, p, w);
+  }
+  return lists;
+}
+}  // namespace
+
+PairwiseExchangeProtocol::PairwiseExchangeProtocol(
+    const Graph& g, std::vector<std::vector<std::vector<Word>>> outgoing)
+    : PairwiseExchangeProtocol(g, nested_to_lists(g, std::move(outgoing))) {}
+
 void PairwiseExchangeProtocol::round(NodeId v, Mailbox& mb) {
+  const std::uint32_t base = g_->port_offset(v);
   for (const Delivery& d : mb.inbox()) {
-    PortState& p = ps_[v][d.port];
+    const std::uint32_t dir = base + d.port;
     if (d.msg.tag == kTagWord) {
-      DMC_ASSERT(!p.end_received);
-      received_[v][d.port].push_back(d.msg.at(0));
+      DMC_ASSERT(!(flags_[dir] & kEndReceived));
+      const std::uint32_t at = recv_off_[dir] + recv_cnt_[dir]++;
+      DMC_ASSERT(at < recv_off_[dir + 1]);
+      if (narrow_)
+        recv32_[at] = static_cast<std::uint32_t>(d.msg.at(0));
+      else
+        recv64_[at] = d.msg.at(0);
     } else {
       DMC_ASSERT(d.msg.tag == kTagEnd);
-      p.end_received = true;
+      flags_[dir] |= kEndReceived;
     }
   }
   bool more_to_send = false;
-  for (std::uint32_t port = 0; port < ps_[v].size(); ++port) {
-    PortState& p = ps_[v][port];
-    if (p.sent < outgoing_[v][port].size()) {
-      mb.send(port,
-              Message::make(kTagWord, {outgoing_[v][port][p.sent]}));
-      ++p.sent;
+  const std::uint32_t degree = g_->port_offset(v + 1) - base;
+  for (std::uint32_t port = 0; port < degree; ++port) {
+    const std::uint32_t dir = base + port;
+    if (out_off_[dir] + sent_[dir] < out_off_[dir + 1]) {
+      const std::uint32_t at = out_off_[dir] + sent_[dir];
+      const Word w = narrow_ ? Word{out32_[at]} : out64_[at];
+      mb.send(port, Message::make(kTagWord, {w}));
+      ++sent_[dir];
       more_to_send = true;  // at least the END marker is still owed
-    } else if (!p.end_sent) {
+    } else if (!(flags_[dir] & kEndSent)) {
       mb.send(port, Message::make(kTagEnd, {}));
-      p.end_sent = true;
+      flags_[dir] |= kEndSent;
     }
   }
   if (more_to_send) mb.request_wake();
 }
 
 bool PairwiseExchangeProtocol::local_done(NodeId v) const {
-  for (const PortState& p : ps_[v])
-    if (!p.end_sent || !p.end_received) return false;
+  const std::uint32_t base = g_->port_offset(v);
+  const std::uint32_t end = g_->port_offset(v + 1);
+  for (std::uint32_t dir = base; dir < end; ++dir)
+    if (flags_[dir] != (kEndSent | kEndReceived)) return false;
   return true;
+}
+
+PairwiseExchangeProtocol::WordView PairwiseExchangeProtocol::received(
+    NodeId v, std::uint32_t port) const {
+  DMC_REQUIRE(port < g_->degree(v));
+  const std::uint32_t dir = g_->port_offset(v) + port;
+  const std::uint32_t off = recv_off_[dir];
+  if (narrow_) return WordView{nullptr, recv32_.data() + off, recv_cnt_[dir]};
+  return WordView{recv64_.data() + off, nullptr, recv_cnt_[dir]};
 }
 
 }  // namespace dmc

@@ -6,6 +6,15 @@
 // O(√n) messages through edge (x,y)": all edges run concurrently, each
 // edge's traffic rides only on itself, so the round cost is
 // max_e(list length) + 1.
+//
+// Storage is flat CSR indexed by directed-port id (Graph::port_offset(v)
+// + port): outgoing lists are built through the Lists appender, and the
+// receive side is sized EXACTLY up front — each directed port receives
+// precisely the peer port's outgoing length, known from the reverse-port
+// pairing — so a protocol instance is a handful of O(m)-proportioned
+// arrays with no per-node or per-port heap blocks.  Lists supports a
+// narrow mode that stores 32-bit words (ids, packed flags) at half the
+// memory; the wire format is unchanged.
 #pragma once
 
 #include <vector>
@@ -16,8 +25,83 @@ namespace dmc {
 
 class PairwiseExchangeProtocol final : public Protocol {
  public:
-  /// outgoing[v][port] = the word list v sends over that port.
-  explicit PairwiseExchangeProtocol(
+  /// Builder for the per-directed-port outgoing word lists.  Append with
+  /// add(v, port, w); the (v, port) pairs must be non-decreasing in
+  /// directed-port order — the natural "for v ascending, for port
+  /// ascending" fill — so the words land in CSR order without a second
+  /// pass.  With narrow == true every word must fit 32 bits (checked) and
+  /// is stored in half the space.
+  class Lists {
+   public:
+    explicit Lists(const Graph& g, bool narrow = false);
+    void add(NodeId v, std::uint32_t port, Word w);
+
+   private:
+    friend class PairwiseExchangeProtocol;
+    const Graph* g_;
+    bool narrow_;
+    std::vector<std::uint32_t> len_;  ///< per directed port
+    std::vector<Word> w64_;
+    std::vector<std::uint32_t> w32_;
+    std::uint32_t cur_{0};  ///< highest directed port appended so far
+  };
+
+  /// Read-only view of one port's received words; widens transparently
+  /// when the exchange ran narrow.
+  class WordView {
+   public:
+    WordView(const Word* w64, const std::uint32_t* w32, std::uint32_t size)
+        : w64_(w64), w32_(w32), size_(size) {}
+
+    [[nodiscard]] std::size_t size() const { return size_; }
+    [[nodiscard]] bool empty() const { return size_ == 0; }
+    [[nodiscard]] Word operator[](std::size_t i) const {
+      DMC_ASSERT(i < size_);
+      return w64_ ? w64_[i] : Word{w32_[i]};
+    }
+    [[nodiscard]] Word at(std::size_t i) const {
+      DMC_REQUIRE(i < size_);
+      return (*this)[i];
+    }
+
+    class iterator {
+     public:
+      using value_type = Word;
+      using difference_type = std::ptrdiff_t;
+      iterator(const WordView* view, std::size_t i) : view_(view), i_(i) {}
+      [[nodiscard]] Word operator*() const { return (*view_)[i_]; }
+      iterator& operator++() {
+        ++i_;
+        return *this;
+      }
+      [[nodiscard]] friend bool operator==(const iterator& a,
+                                           const iterator& b) {
+        return a.i_ == b.i_;
+      }
+
+     private:
+      const WordView* view_;
+      std::size_t i_;
+    };
+    [[nodiscard]] iterator begin() const { return {this, 0}; }
+    [[nodiscard]] iterator end() const { return {this, size_}; }
+
+    [[nodiscard]] std::vector<Word> to_vector() const {
+      std::vector<Word> out(size_);
+      for (std::size_t i = 0; i < size_; ++i) out[i] = (*this)[i];
+      return out;
+    }
+
+   private:
+    const Word* w64_;
+    const std::uint32_t* w32_;
+    std::uint32_t size_;
+  };
+
+  PairwiseExchangeProtocol(const Graph& g, Lists outgoing);
+  /// Convenience for small call sites: outgoing[v][port] = the word list v
+  /// sends over that port (converted to the flat layout up front).
+  PairwiseExchangeProtocol(
       const Graph& g, std::vector<std::vector<std::vector<Word>>> outgoing);
 
   [[nodiscard]] std::string name() const override {
@@ -33,20 +117,28 @@ class PairwiseExchangeProtocol final : public Protocol {
   }
 
   /// Words received by v on `port` (valid after the run).
-  [[nodiscard]] const std::vector<Word>& received(NodeId v,
-                                                  std::uint32_t port) const {
-    return received_[v][port];
-  }
+  [[nodiscard]] WordView received(NodeId v, std::uint32_t port) const;
 
  private:
-  struct PortState {
-    std::size_t sent{0};
-    bool end_sent{false};
-    bool end_received{false};
-  };
-  std::vector<std::vector<std::vector<Word>>> outgoing_;
-  std::vector<std::vector<std::vector<Word>>> received_;
-  std::vector<std::vector<PortState>> ps_;
+  static constexpr std::uint8_t kEndSent = 1;
+  static constexpr std::uint8_t kEndReceived = 2;
+
+  const Graph* g_;
+  bool narrow_;
+  // Outgoing CSR (from Lists): words of directed port d live at
+  // [out_off_[d], out_off_[d+1]).
+  std::vector<std::uint32_t> out_off_;
+  std::vector<Word> out64_;
+  std::vector<std::uint32_t> out32_;
+  // Receive CSR, sized exactly at construction: port d receives
+  // out length of its reverse port.
+  std::vector<std::uint32_t> recv_off_;
+  std::vector<Word> recv64_;
+  std::vector<std::uint32_t> recv32_;
+  // Per-directed-port progress.
+  std::vector<std::uint32_t> sent_;
+  std::vector<std::uint32_t> recv_cnt_;
+  std::vector<std::uint8_t> flags_;
 };
 
 }  // namespace dmc

@@ -10,24 +10,39 @@ namespace dmc {
 TreeView TreeView::from_parent_ports(const Graph& g,
                                      std::vector<std::uint32_t> parent_port) {
   DMC_REQUIRE(parent_port.size() == g.num_nodes());
+  const std::size_t n = g.num_nodes();
   TreeView tv;
   tv.parent_port_ = std::move(parent_port);
-  tv.children_ports_.assign(g.num_nodes(), {});
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+
+  // Two passes over the parent pointers fill the children CSR in place:
+  // count per parent, prefix-sum, then scatter the reverse ports.
+  tv.child_off_.assign(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
     const std::uint32_t pp = tv.parent_port_[v];
     if (pp == kNoPort) continue;
     DMC_REQUIRE(pp < g.degree(v));
+    ++tv.child_off_[g.ports(v)[pp].peer + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) tv.child_off_[v + 1] += tv.child_off_[v];
+  tv.child_ports_.resize(tv.child_off_[n]);
+  std::vector<std::uint32_t> fill(tv.child_off_.begin(),
+                                  tv.child_off_.end() - 1);
+  for (NodeId v = 0; v < n; ++v) {
+    const std::uint32_t pp = tv.parent_port_[v];
+    if (pp == kNoPort) continue;
     const Port port = g.ports(v)[pp];
     // Find the reverse port at the parent.
     const auto peer_ports = g.ports(port.peer);
     for (std::uint32_t i = 0; i < peer_ports.size(); ++i) {
       if (peer_ports[i].edge == port.edge) {
-        tv.children_ports_[port.peer].push_back(i);
+        tv.child_ports_[fill[port.peer]++] = i;
         break;
       }
     }
   }
-  for (auto& c : tv.children_ports_) std::sort(c.begin(), c.end());
+  for (NodeId v = 0; v < n; ++v)
+    std::sort(tv.child_ports_.begin() + tv.child_off_[v],
+              tv.child_ports_.begin() + tv.child_off_[v + 1]);
   tv.validate(g);
   return tv;
 }
@@ -51,7 +66,7 @@ std::vector<std::uint32_t> TreeView::depths(const Graph& g) const {
   while (!q.empty()) {
     const NodeId v = q.front();
     q.pop();
-    for (const std::uint32_t cp : children_ports_[v]) {
+    for (const std::uint32_t cp : children_ports(v)) {
       const NodeId c = g.ports(v)[cp].peer;
       DMC_ASSERT(depth[c] == static_cast<std::uint32_t>(-1));
       depth[c] = depth[v] + 1;
@@ -77,7 +92,7 @@ void TreeView::validate(const Graph& g) const {
   (void)depths(g);
   // Children/parent consistency.
   for (NodeId v = 0; v < num_nodes(); ++v) {
-    for (const std::uint32_t cp : children_ports_[v]) {
+    for (const std::uint32_t cp : children_ports(v)) {
       DMC_ASSERT(cp < g.degree(v));
       const Port port = g.ports(v)[cp];
       const std::uint32_t child_pp = parent_port_[port.peer];

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -35,9 +36,12 @@ class TreeView {
   [[nodiscard]] std::uint32_t parent_port(NodeId v) const {
     return parent_port_[v];
   }
-  [[nodiscard]] const std::vector<std::uint32_t>& children_ports(
+  /// Children ports of v, ascending.  CSR-backed: a forest over 10^6
+  /// nodes costs two flat arrays, not 10^6 heap blocks.
+  [[nodiscard]] std::span<const std::uint32_t> children_ports(
       NodeId v) const {
-    return children_ports_[v];
+    return {child_ports_.data() + child_off_[v],
+            child_off_[v + 1] - child_off_[v]};
   }
 
   /// The parent NODE (simulator-side convenience; protocols use ports).
@@ -55,7 +59,8 @@ class TreeView {
 
  private:
   std::vector<std::uint32_t> parent_port_;
-  std::vector<std::vector<std::uint32_t>> children_ports_;
+  std::vector<std::uint32_t> child_off_;    ///< n+1 offsets
+  std::vector<std::uint32_t> child_ports_;  ///< sorted per segment
 };
 
 }  // namespace dmc

@@ -1,11 +1,21 @@
 #include "core/ancestors.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "congest/primitives/aggregate_broadcast.h"
 #include "congest/primitives/downcast.h"
 
 namespace dmc {
+
+NodeId AncestorData::lowest_anc(NodeId v, std::uint32_t f) const {
+  const auto ents = lowest_entries(v);
+  const auto it = std::lower_bound(
+      ents.begin(), ents.end(), f,
+      [](const LEntry& e, std::uint32_t key) { return e.frag < key; });
+  if (it == ents.end() || it->frag != f) return kNoNode;
+  return it->node;
+}
 
 bool AncestorData::in_f_of(const FragmentStructure& fs, NodeId v,
                            std::uint32_t f_prime) const {
@@ -14,16 +24,46 @@ bool AncestorData::in_f_of(const FragmentStructure& fs, NodeId v,
   return false;
 }
 
+namespace {
+
+/// Flattens (receiver, node) pairs into a CSR indexed by receiver, each
+/// segment ordered by depth (shallowest first, fs.depth_key ties by id).
+void build_chain_csr(const FragmentStructure& fs, std::size_t n,
+                     std::vector<std::pair<NodeId, NodeId>>& pairs,
+                     std::vector<std::uint32_t>& off,
+                     std::vector<NodeId>& nodes) {
+  std::sort(pairs.begin(), pairs.end(),
+            [&fs](const std::pair<NodeId, NodeId>& a,
+                  const std::pair<NodeId, NodeId>& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return fs.depth_key(a.second) < fs.depth_key(b.second);
+            });
+  off.assign(n + 1, 0);
+  for (const auto& [w, node] : pairs) ++off[w + 1];
+  for (std::size_t v = 0; v < n; ++v) off[v + 1] += off[v];
+  nodes.resize(pairs.size());
+  std::size_t i = 0;
+  for (const auto& [w, node] : pairs) nodes[i++] = node;
+  pairs.clear();
+  pairs.shrink_to_fit();
+}
+
+/// Working L(v) slot during the downcast: deepest origin wins per fragment.
+struct LBest {
+  std::uint32_t frag;
+  NodeId node;
+  std::uint64_t depth_key;
+};
+
+}  // namespace
+
 AncestorData compute_ancestors(Schedule& sched, const FragmentStructure& fs) {
   Network& net = sched.network();
   const Graph& g = net.graph();
   const std::size_t n = g.num_nodes();
 
   AncestorData ad;
-  ad.own_chain.resize(n);
-  ad.parent_chain.resize(n);
   ad.attach.resize(n);
-  ad.lowest_anc.resize(n);
 
   // --- Attach(v): pipelined tap-upcast of child-fragment attachments ---
   {
@@ -60,36 +100,32 @@ AncestorData compute_ancestors(Schedule& sched, const FragmentStructure& fs) {
   };
 
   // --- A(v): downcast ancestor ids through own + child fragments ---
+  // Received pairs accumulate in two flat buffers (8 bytes each, not a
+  // 16-byte entry in a per-node vector); depth keys are re-derived when
+  // the CSR is ordered.
   {
+    std::vector<std::pair<NodeId, NodeId>> own_pairs, parent_pairs;
     std::vector<std::vector<DownItem>> orig(n);
     for (NodeId u = 0; u < n; ++u)
-      orig[u].push_back(DownItem{{u, fs.frag_idx[u], fs.depth_key(u), 0}});
+      orig[u].push_back(DownItem{{u, fs.frag_idx[u], 0, 0}});
     PipelinedDowncastProtocol dc{
         g, fs.t_view, std::move(orig),
         [&](NodeId w, const DownItem& it) {
           const std::uint32_t fo = static_cast<std::uint32_t>(it.w[1]);
           const std::uint32_t fw = fs.frag_idx[w];
           if (fw == fo) {
-            ad.own_chain[w].push_back(
-                AncestorEntry{static_cast<NodeId>(it.w[0]), it.w[2]});
+            own_pairs.emplace_back(w, static_cast<NodeId>(it.w[0]));
             return true;
           }
           if (fs.frag_parent[fw] == fo) {
-            ad.parent_chain[w].push_back(
-                AncestorEntry{static_cast<NodeId>(it.w[0]), it.w[2]});
+            parent_pairs.emplace_back(w, static_cast<NodeId>(it.w[0]));
             return true;  // keep flowing within this child fragment
           }
           return false;  // grandchild fragment: out of scope
         }};
     sched.run(dc);
-    const auto by_depth = [](const AncestorEntry& a, const AncestorEntry& b) {
-      return a.depth_key < b.depth_key;
-    };
-    for (NodeId v = 0; v < n; ++v) {
-      std::sort(ad.own_chain[v].begin(), ad.own_chain[v].end(), by_depth);
-      std::sort(ad.parent_chain[v].begin(), ad.parent_chain[v].end(),
-                by_depth);
-    }
+    build_chain_csr(fs, n, own_pairs, ad.own_off, ad.own_nodes);
+    build_chain_csr(fs, n, parent_pairs, ad.parent_off, ad.parent_nodes);
   }
 
   // --- L(v): downcast (u, F') pairs, filtered by F' ∉ F(receiver) ---
@@ -100,9 +136,9 @@ AncestorData compute_ancestors(Schedule& sched, const FragmentStructure& fs) {
         orig[u].push_back(
             DownItem{{u, f_prime, fs.frag_idx[u], fs.depth_key(u)}});
 
-    // Track the deepest origin seen per (node, fragment).
-    std::vector<std::unordered_map<std::uint32_t, std::uint64_t>> best_depth(
-        n);
+    // Deepest origin seen per (node, fragment), in per-node fragment-sorted
+    // runs (tiny: |F(v)|-ish entries each) instead of n hash maps.
+    std::vector<std::vector<LBest>> lbest(n);
     PipelinedDowncastProtocol dc{
         g, fs.t_view, std::move(orig),
         [&](NodeId w, const DownItem& it) {
@@ -113,21 +149,50 @@ AncestorData compute_ancestors(Schedule& sched, const FragmentStructure& fs) {
           const std::uint32_t fw = fs.frag_idx[w];
           const bool in_scope = (fw == fo) || (fs.frag_parent[fw] == fo);
           if (!in_scope) return false;
-          auto [slot, inserted] = best_depth[w].try_emplace(f_prime, dk);
-          if (inserted || dk > slot->second) {
-            slot->second = dk;
-            ad.lowest_anc[w][f_prime] = u;
+          auto& run = lbest[w];
+          const auto slot = std::lower_bound(
+              run.begin(), run.end(), f_prime,
+              [](const LBest& e, std::uint32_t key) { return e.frag < key; });
+          if (slot == run.end() || slot->frag != f_prime) {
+            run.insert(slot, LBest{f_prime, u, dk});
+          } else if (dk > slot->depth_key) {
+            slot->node = u;
+            slot->depth_key = dk;
           }
           // The paper's filter: stop once the receiver itself contains F'.
           return !in_closure(w, f_prime);
         }};
     sched.run(dc);
-  }
 
-  // Self entries dominate anything received from above.
-  for (NodeId v = 0; v < n; ++v)
-    for (const std::uint32_t f_prime : f_closure[v])
-      ad.lowest_anc[v][f_prime] = v;
+    // Flatten, with self entries dominating anything received from above:
+    // every F' ∈ F(v) maps to v itself.
+    ad.l_off.assign(n + 1, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      // Merged size = |lbest[v] ∪ f_closure[v]| (both fragment-sorted).
+      std::size_t cnt = f_closure[v].size();
+      for (const LBest& e : lbest[v])
+        if (!in_closure(v, e.frag)) ++cnt;
+      ad.l_off[v + 1] = ad.l_off[v] + static_cast<std::uint32_t>(cnt);
+    }
+    ad.l_entries.resize(ad.l_off[n]);
+    for (NodeId v = 0; v < n; ++v) {
+      std::size_t i = ad.l_off[v];
+      auto rit = lbest[v].begin();
+      auto cit = f_closure[v].begin();
+      while (rit != lbest[v].end() || cit != f_closure[v].end()) {
+        if (cit == f_closure[v].end() ||
+            (rit != lbest[v].end() && rit->frag < *cit)) {
+          ad.l_entries[i++] = AncestorData::LEntry{rit->frag, rit->node};
+          ++rit;
+        } else {
+          if (rit != lbest[v].end() && rit->frag == *cit) ++rit;
+          ad.l_entries[i++] = AncestorData::LEntry{*cit, v};
+          ++cit;
+        }
+      }
+      DMC_ASSERT(i == ad.l_off[v + 1]);
+    }
+  }
 
   return ad;
 }

@@ -11,9 +11,15 @@
 // pipelined downcasts scoped to "own fragment + child fragments"
 // (ancestor ids; (u, F') pairs filtered by F' ∉ F(receiver)).
 // All are O(√n) rounds on (√n, O(√n)) partitions.
+//
+// Storage is flat: the Θ(n√n)-entry ancestor chains live in two CSR
+// blocks of 4-byte node ids (depth order is implied, never stored — it is
+// re-derivable from fs.depth_key), and L(v) is a CSR of 8-byte
+// (fragment, node) entries sorted by fragment per node.  The per-node
+// nested containers this replaces cost ~6x as much resident memory.
 #pragma once
 
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "congest/schedule.h"
@@ -21,26 +27,43 @@
 
 namespace dmc {
 
-struct AncestorEntry {
-  NodeId node{kNoNode};
-  std::uint64_t depth_key{0};  ///< fs.depth_key(node); orders the chain
-};
-
 struct AncestorData {
+  /// One L(v) entry: the lowest ancestor-or-self `node` of v with
+  /// `frag` ∈ F(node).
+  struct LEntry {
+    std::uint32_t frag{0};
+    NodeId node{kNoNode};
+  };
+
   /// Proper ancestors of v inside v's own fragment, shallowest first
   /// (starts at the fragment root unless v is the root itself).
-  std::vector<std::vector<AncestorEntry>> own_chain;
+  [[nodiscard]] std::span<const NodeId> own_chain(NodeId v) const {
+    return {own_nodes.data() + own_off[v], own_off[v + 1] - own_off[v]};
+  }
   /// Ancestors of v inside the parent fragment, shallowest first.
-  std::vector<std::vector<AncestorEntry>> parent_chain;
-  /// Child fragments of frag(v) attached strictly inside v's fragment
-  /// subtree (sorted fragment indices).  F(v) = fs.closure(attach[v]).
-  std::vector<std::vector<std::uint32_t>> attach;
-  /// L(v): fragment index → lowest ancestor-or-self u with F' ∈ F(u).
-  std::vector<std::unordered_map<std::uint32_t, NodeId>> lowest_anc;
+  [[nodiscard]] std::span<const NodeId> parent_chain(NodeId v) const {
+    return {parent_nodes.data() + parent_off[v],
+            parent_off[v + 1] - parent_off[v]};
+  }
+  /// All of L(v), sorted by fragment index.
+  [[nodiscard]] std::span<const LEntry> lowest_entries(NodeId v) const {
+    return {l_entries.data() + l_off[v], l_off[v + 1] - l_off[v]};
+  }
+  /// L(v)[f]: lowest ancestor-or-self u with f ∈ F(u); kNoNode if absent.
+  [[nodiscard]] NodeId lowest_anc(NodeId v, std::uint32_t f) const;
 
   /// Membership test F' ∈ F(v) (locally computable at v).
   [[nodiscard]] bool in_f_of(const FragmentStructure& fs, NodeId v,
                              std::uint32_t f_prime) const;
+
+  /// Child fragments of frag(v) attached strictly inside v's fragment
+  /// subtree (sorted fragment indices).  F(v) = fs.closure(attach[v]).
+  std::vector<std::vector<std::uint32_t>> attach;
+
+  // --- flat storage (filled by compute_ancestors; read via accessors) ---
+  std::vector<std::uint32_t> own_off, parent_off, l_off;  ///< n+1 each
+  std::vector<NodeId> own_nodes, parent_nodes;
+  std::vector<LEntry> l_entries;
 };
 
 [[nodiscard]] AncestorData compute_ancestors(Schedule& sched,

@@ -8,7 +8,9 @@
 namespace dmc {
 
 namespace {
-constexpr Word kNone64 = ~Word{0};
+/// "No L answer" sentinel in the narrow (32-bit) exchange: node ids stay
+/// below kNoNode, so the all-ones pattern is free.
+constexpr Word kNone32 = 0xffffffffull;
 }
 
 std::vector<Weight> compute_rho(Schedule& sched, const TreeView& bfs,
@@ -21,24 +23,29 @@ std::vector<Weight> compute_rho(Schedule& sched, const TreeView& bfs,
   DMC_REQUIRE(weights.size() == g.num_edges());
 
   // --- pairwise exchange: per edge, what the peer needs for the LCA ---
-  std::vector<std::vector<std::vector<Word>>> outgoing(n);
+  // Everything shipped is a node id, so the exchange runs narrow (32-bit
+  // storage): the dominant O(√n)-words-per-edge buffer costs 4 bytes per
+  // word on each side instead of 8, in one flat CSR block.
+  PairwiseExchangeProtocol::Lists outgoing{g, /*narrow=*/true};
   for (NodeId v = 0; v < n; ++v) {
-    outgoing[v].resize(g.degree(v));
     for (std::uint32_t p = 0; p < g.degree(v); ++p) {
       const std::uint32_t peer_frag = fs.port_frag_idx[v][p];
-      std::vector<Word>& out = outgoing[v][p];
       if (peer_frag == fs.frag_idx[v]) {
-        // Case 1: ship the in-fragment ancestor chain, shallowest first,
-        // ending with v itself.
-        out.reserve(ad.own_chain[v].size() + 1);
-        for (const AncestorEntry& e : ad.own_chain[v]) out.push_back(e.node);
-        out.push_back(v);
+        // Case 1: only the keeper endpoint (min id — the one that will
+        // materialize the ⟨z⟩ message) computes the LCA, so only the
+        // other endpoint ships its chain; this halves the dominant
+        // O(√n)-per-edge buffer.  Shipped shallowest first, ending with
+        // the sender itself.
+        const NodeId peer = g.ports(v)[p].peer;
+        if (v > peer) {
+          for (const NodeId a : ad.own_chain(v)) outgoing.add(v, p, a);
+          outgoing.add(v, p, v);
+        }
       } else {
         // Cases 2/3: the L answer for the peer's fragment + a(v).
-        const auto it = ad.lowest_anc[v].find(peer_frag);
-        out.push_back(it == ad.lowest_anc[v].end() ? kNone64
-                                                   : Word{it->second});
-        out.push_back(tfp.lowest_tf[v]);
+        const NodeId la = ad.lowest_anc(v, peer_frag);
+        outgoing.add(v, p, la == kNoNode ? kNone32 : Word{la});
+        outgoing.add(v, p, tfp.lowest_tf[v]);
       }
     }
   }
@@ -54,37 +61,41 @@ std::vector<Weight> compute_rho(Schedule& sched, const TreeView& bfs,
       const Weight w = weights[port.edge];
       const std::uint32_t fv = fs.frag_idx[v];
       const std::uint32_t fp = fs.port_frag_idx[v][p];
-      const std::vector<Word>& in = px.received(v, p);
 
       NodeId z = kNoNode;
       std::uint32_t frag_z = kNoFrag;
       if (fp == fv) {
-        // Case 1: longest common prefix of the two root-anchored chains.
-        std::vector<NodeId> mine;
-        mine.reserve(ad.own_chain[v].size() + 1);
-        for (const AncestorEntry& e : ad.own_chain[v]) mine.push_back(e.node);
-        mine.push_back(v);
-        const std::size_t limit = std::min(mine.size(), in.size());
+        // Case 1: the keeper compares the peer's root-anchored chain with
+        // its own; the non-keeper shipped its chain and is done.
+        if (v > peer) continue;
+        const auto in = px.received(v, p);
+        const auto mine = ad.own_chain(v);
+        const std::size_t limit = std::min(mine.size() + 1, in.size());
         std::size_t i = 0;
-        while (i < limit && mine[i] == static_cast<NodeId>(in[i])) ++i;
+        while (i < limit) {
+          const NodeId m = i < mine.size() ? mine[i] : v;
+          if (m != static_cast<NodeId>(in[i])) break;
+          ++i;
+        }
         DMC_ASSERT_MSG(i > 0, "same-fragment chains must share the root");
-        z = mine[i - 1];
+        z = i - 1 < mine.size() ? mine[i - 1] : v;
         frag_z = fv;
       } else if (fs.tf_is_ancestor(fv, fp)) {
         // Case 3 at v: the LCA lies in v's own fragment.
-        const auto it = ad.lowest_anc[v].find(fp);
-        DMC_ASSERT_MSG(it != ad.lowest_anc[v].end(),
+        z = ad.lowest_anc(v, fp);
+        DMC_ASSERT_MSG(z != kNoNode,
                        "L(v) must contain a T_F-descendant fragment");
-        z = it->second;
         frag_z = fv;
       } else if (fs.tf_is_ancestor(fp, fv)) {
         // Case 3 at the peer: it shipped L(peer)[frag(v)].
+        const auto in = px.received(v, p);
         DMC_ASSERT(in.size() == 2);
-        DMC_ASSERT_MSG(in[0] != kNone64, "peer's L answer must exist");
+        DMC_ASSERT_MSG(in[0] != kNone32, "peer's L answer must exist");
         z = static_cast<NodeId>(in[0]);
         frag_z = fp;
       } else {
         // Case 2: z is a merging node, the T'_F LCA of the two anchors.
+        const auto in = px.received(v, p);
         DMC_ASSERT(in.size() == 2);
         const NodeId a_peer = static_cast<NodeId>(in[1]);
         z = tfp.lca(tfp.lowest_tf[v], a_peer);
@@ -112,9 +123,11 @@ std::vector<Weight> compute_rho(Schedule& sched, const TreeView& bfs,
   }
 
   // --- type (i): global keyed sums over the BFS tree ---
-  AggregateBroadcastProtocol sum1{
-      g, bfs, AggOptions{AggOp::kSum, /*deliver_all=*/true, false, false},
-      std::move(type1)};
+  // Every node reads only its own key from the delivered list, so the
+  // keep filter drops the O(n·k) replication to one item per node.
+  AggOptions opt1{AggOp::kSum, /*deliver_all=*/true, false, false};
+  opt1.keep = [](NodeId v, Word key) { return key == v; };
+  AggregateBroadcastProtocol sum1{g, bfs, opt1, std::move(type1)};
   sched.run(sum1);
 
   // --- type (ii): absorb-convergecast up the fragment trees ---

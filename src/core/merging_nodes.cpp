@@ -110,9 +110,11 @@ TfPrime compute_merging_nodes(Schedule& sched, const TreeView& bfs,
     for (NodeId v = 0; v < n; ++v)
       if (tfp.is_merging[v])
         contrib[v].push_back(AggItem{v, {fs.frag_idx[v], 0, 0}});
-    AggregateBroadcastProtocol bc{
-        g, bfs, AggOptions{AggOp::kUnique, true, false, false},
-        std::move(contrib)};
+    // The orchestrator reads one copy of the (globally identical) list;
+    // storing it at every node would be pure replication.
+    AggOptions opt{AggOp::kUnique, true, false, false};
+    opt.keep = [](NodeId v, Word) { return v == 0; };
+    AggregateBroadcastProtocol bc{g, bfs, opt, std::move(contrib)};
     sched.run(bc);
     for (const AggItem& it : bc.items(0)) {
       const NodeId m = static_cast<NodeId>(it.key);
@@ -140,10 +142,10 @@ TfPrime compute_merging_nodes(Schedule& sched, const TreeView& bfs,
       tfp.lowest_tf[v] = v;
       continue;
     }
-    for (auto it = ad.own_chain[v].rbegin(); it != ad.own_chain[v].rend();
-         ++it) {
-      if (in_tfp(it->node)) {
-        tfp.lowest_tf[v] = it->node;
+    const auto oc = ad.own_chain(v);
+    for (auto it = oc.rbegin(); it != oc.rend(); ++it) {
+      if (in_tfp(*it)) {
+        tfp.lowest_tf[v] = *it;
         break;
       }
     }
@@ -159,26 +161,27 @@ TfPrime compute_merging_nodes(Schedule& sched, const TreeView& bfs,
       if (!in_tfp(v)) continue;
       if (v == fs.global_root) continue;  // T'_F root
       NodeId parent = kNoNode;
-      for (auto it = ad.own_chain[v].rbegin(); it != ad.own_chain[v].rend();
-           ++it)
-        if (in_tfp(it->node)) {
-          parent = it->node;
+      const auto oc = ad.own_chain(v);
+      for (auto it = oc.rbegin(); it != oc.rend(); ++it)
+        if (in_tfp(*it)) {
+          parent = *it;
           break;
         }
-      if (parent == kNoNode)
-        for (auto it = ad.parent_chain[v].rbegin();
-             it != ad.parent_chain[v].rend(); ++it)
-          if (in_tfp(it->node)) {
-            parent = it->node;
+      if (parent == kNoNode) {
+        const auto pc = ad.parent_chain(v);
+        for (auto it = pc.rbegin(); it != pc.rend(); ++it)
+          if (in_tfp(*it)) {
+            parent = *it;
             break;
           }
+      }
       DMC_ASSERT_MSG(parent != kNoNode,
                      "non-root T'_F node must see a T'_F ancestor");
       contrib[v].push_back(AggItem{v, {parent, 0, 0}});
     }
-    AggregateBroadcastProtocol bc{
-        g, bfs, AggOptions{AggOp::kUnique, true, false, false},
-        std::move(contrib)};
+    AggOptions opt{AggOp::kUnique, true, false, false};
+    opt.keep = [](NodeId v, Word) { return v == 0; };
+    AggregateBroadcastProtocol bc{g, bfs, opt, std::move(contrib)};
     sched.run(bc);
     for (const AggItem& it : bc.items(0))
       tfp.parent[static_cast<NodeId>(it.key)] =

@@ -75,9 +75,14 @@ OneRespectResult one_respect_min_cut(Schedule& sched, const TreeView& bfs,
       for (const std::uint32_t fj : fs.closure(ad.attach[out.v_star]))
         c.push_back(AggItem{Word{1} + fj, {0, 0, 0}});
     }
-    AggregateBroadcastProtocol bc{
-        g, bfs, AggOptions{AggOp::kUnique, true, false, false},
-        std::move(contrib)};
+    // Each node reads exactly two keys: the v* announcement (key 0) and
+    // its own fragment's membership bit — everything else is dropped at
+    // delivery instead of stored n times over.
+    AggOptions opt{AggOp::kUnique, true, false, false};
+    opt.keep = [&fs](NodeId u, Word key) {
+      return key == 0 || key == Word{1} + fs.frag_idx[u];
+    };
+    AggregateBroadcastProtocol bc{g, bfs, opt, std::move(contrib)};
     sched.run(bc);
     out.in_cut.assign(n, false);
     for (NodeId u = 0; u < n; ++u) {
@@ -94,8 +99,8 @@ OneRespectResult one_respect_min_cut(Schedule& sched, const TreeView& bfs,
         if (u == vstar) {
           in = true;
         } else {
-          for (const AncestorEntry& e : ad.own_chain[u])
-            if (e.node == vstar) {
+          for (const NodeId a : ad.own_chain(u))
+            if (a == vstar) {
               in = true;
               break;
             }

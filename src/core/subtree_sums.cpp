@@ -31,9 +31,20 @@ std::vector<std::uint64_t> subtree_sums(Schedule& sched, const TreeView& bfs,
     if (fs.is_frag_root(v))
       contrib[v].push_back(
           AggItem{fs.frag_idx[v], {cc.subtree_value(v).w0, 0, 0}});
-  AggregateBroadcastProtocol bc{
-      g, bfs, AggOptions{AggOp::kUnique, /*deliver_all=*/true, false, false},
-      std::move(contrib)};
+  // Node v only reads the totals of the fragments in F(v); precompute
+  // those key sets once so delivery keeps just them instead of all k
+  // totals at every node.
+  std::vector<std::vector<std::uint32_t>> need(n);
+  for (NodeId v = 0; v < n; ++v) {
+    need[v] = fs.closure(ad.attach[v]);
+    std::sort(need[v].begin(), need[v].end());
+  }
+  AggOptions opt{AggOp::kUnique, /*deliver_all=*/true, false, false};
+  opt.keep = [&need](NodeId v, Word key) {
+    return std::binary_search(need[v].begin(), need[v].end(),
+                              static_cast<std::uint32_t>(key));
+  };
+  AggregateBroadcastProtocol bc{g, bfs, opt, std::move(contrib)};
   sched.run(bc);
 
   // Combine locally: x↓(v) = intra-fragment part + Σ_{F_j ∈ F(v)} total.
@@ -41,7 +52,7 @@ std::vector<std::uint64_t> subtree_sums(Schedule& sched, const TreeView& bfs,
   for (NodeId v = 0; v < n; ++v) {
     const auto& items = bc.items(v);
     std::uint64_t sum = cc.subtree_value(v).w0;
-    for (const std::uint32_t fj : fs.closure(ad.attach[v])) {
+    for (const std::uint32_t fj : need[v]) {
       const auto it = std::lower_bound(
           items.begin(), items.end(), fj,
           [](const AggItem& a, std::uint32_t key) { return a.key < key; });

@@ -248,27 +248,29 @@ DistMstResult ghs_mst(Schedule& sched, const TreeView& bfs,
     const std::uint32_t phase = out.superphases;
 
     // (a) status exchange: every edge learns both endpoints' fragment and
-    // phase-start status (2 rounds, one word).
-    std::vector<std::vector<NodeId>> port_frag(n);
-    std::vector<std::vector<std::uint8_t>> port_frozen(n), port_sat(n);
+    // phase-start status (2 rounds, one word).  Flat per-directed-port
+    // tables (indexed by g.port_offset(v) + p) — no per-node heap blocks.
+    // The packed status spans 34 bits, so this exchange stays wide.
+    const std::uint32_t dirs = g.port_offset(static_cast<NodeId>(n));
+    std::vector<NodeId> port_frag(dirs);
+    std::vector<std::uint8_t> port_frozen(dirs), port_sat(dirs);
     {
-      std::vector<std::vector<std::vector<Word>>> outgoing(n);
+      PairwiseExchangeProtocol::Lists outgoing{g};
       for (NodeId v = 0; v < n; ++v) {
         const NodeId f = out.fragment_of[v];
-        outgoing[v].assign(g.degree(v),
-                           {pack_status(f, is_frozen(f), is_saturated(f))});
+        const Word s = pack_status(f, is_frozen(f), is_saturated(f));
+        for (std::uint32_t p = 0; p < g.degree(v); ++p)
+          outgoing.add(v, p, s);
       }
       PairwiseExchangeProtocol px{g, std::move(outgoing)};
       sched.run_uncharged(px);
       for (NodeId v = 0; v < n; ++v) {
-        port_frag[v].resize(g.degree(v));
-        port_frozen[v].resize(g.degree(v));
-        port_sat[v].resize(g.degree(v));
+        const std::uint32_t base = g.port_offset(v);
         for (std::uint32_t p = 0; p < g.degree(v); ++p) {
           const Word w = px.received(v, p).at(0);
-          port_frag[v][p] = static_cast<NodeId>(w & 0xffffffffu);
-          port_frozen[v][p] = (w >> 32) & 1;
-          port_sat[v][p] = (w >> 33) & 1;
+          port_frag[base + p] = static_cast<NodeId>(w & 0xffffffffu);
+          port_frozen[base + p] = (w >> 32) & 1;
+          port_sat[base + p] = (w >> 33) & 1;
         }
       }
     }
@@ -281,9 +283,10 @@ DistMstResult ghs_mst(Schedule& sched, const TreeView& bfs,
       for (NodeId v = 0; v < n; ++v) {
         const NodeId f = out.fragment_of[v];
         if (is_frozen(f)) continue;
+        const std::uint32_t base = g.port_offset(v);
         EdgeId best = kNoEdge;
         for (std::uint32_t p = 0; p < g.degree(v); ++p) {
-          if (port_frag[v][p] == f) continue;
+          if (port_frag[base + p] == f) continue;
           const EdgeId e = g.ports(v)[p].edge;
           if (best == kNoEdge || keys[e] < keys[best]) best = e;
         }
@@ -303,8 +306,9 @@ DistMstResult ghs_mst(Schedule& sched, const TreeView& bfs,
         if (is_frozen(f) || bc.items(v).empty()) continue;
         const EdgeId e =
             static_cast<EdgeId>(bc.items(v)[0].p[2] >> 32);
+        const std::uint32_t base = g.port_offset(v);
         for (std::uint32_t p = 0; p < g.degree(v); ++p)
-          if (g.ports(v)[p].edge == e && port_frag[v][p] != f)
+          if (g.ports(v)[p].edge == e && port_frag[base + p] != f)
             moe[f] = {e, (Word{v} << 32) | p};
       }
     }
@@ -332,10 +336,11 @@ DistMstResult ghs_mst(Schedule& sched, const TreeView& bfs,
       const NodeId v = static_cast<NodeId>(packed >> 32);
       const std::uint32_t p = static_cast<std::uint32_t>(packed &
                                                          0xffffffffu);
-      const NodeId target = port_frag[v][p];
+      const std::uint32_t dir = g.port_offset(v) + p;
+      const NodeId target = port_frag[dir];
       bool move = false;
-      if (port_frozen[v][p]) {
-        if (port_sat[v][p]) {
+      if (port_frozen[dir]) {
+        if (port_sat[dir]) {
           // Saturated absorber: the MST edge is deferred to phase 2 and f
           // permanently stands down (the rare "self-frozen straggler").
           self_frozen[f] = 1;
@@ -399,18 +404,21 @@ DistMstResult ghs_mst(Schedule& sched, const TreeView& bfs,
   // ---------------------------------------------------------------------
   if (num_fragments > 1) {
     // Final fragment ids per port (one exchange; phase-1 statuses are
-    // stale after the last merge wave).
-    std::vector<std::vector<NodeId>> port_frag(n);
+    // stale after the last merge wave).  Fragment ids are node ids, so
+    // the exchange runs narrow into one flat per-directed-port table.
+    std::vector<NodeId> port_frag(g.port_offset(static_cast<NodeId>(n)));
     {
-      std::vector<std::vector<std::vector<Word>>> outgoing(n);
+      PairwiseExchangeProtocol::Lists outgoing{g, /*narrow=*/true};
       for (NodeId v = 0; v < n; ++v)
-        outgoing[v].assign(g.degree(v), {Word{out.fragment_of[v]}});
+        for (std::uint32_t p = 0; p < g.degree(v); ++p)
+          outgoing.add(v, p, Word{out.fragment_of[v]});
       PairwiseExchangeProtocol px{g, std::move(outgoing)};
       sched.run(px);
       for (NodeId v = 0; v < n; ++v) {
-        port_frag[v].resize(g.degree(v));
+        const std::uint32_t base = g.port_offset(v);
         for (std::uint32_t p = 0; p < g.degree(v); ++p)
-          port_frag[v][p] = static_cast<NodeId>(px.received(v, p).at(0));
+          port_frag[base + p] =
+              static_cast<NodeId>(px.received(v, p).at(0));
       }
     }
 
@@ -423,23 +431,27 @@ DistMstResult ghs_mst(Schedule& sched, const TreeView& bfs,
       std::vector<std::vector<AggItem>> contrib(n);
       for (NodeId v = 0; v < n; ++v) {
         const NodeId c = static_cast<NodeId>(comp.find(out.fragment_of[v]));
+        const std::uint32_t base = g.port_offset(v);
         EdgeId best = kNoEdge;
         NodeId best_target = kNoNode;
         for (std::uint32_t p = 0; p < g.degree(v); ++p) {
-          if (static_cast<NodeId>(comp.find(port_frag[v][p])) == c) continue;
+          if (static_cast<NodeId>(comp.find(port_frag[base + p])) == c)
+            continue;
           const EdgeId e = g.ports(v)[p].edge;
           if (best == kNoEdge || keys[e] < keys[best]) {
             best = e;
-            best_target = port_frag[v][p];
+            best_target = port_frag[base + p];
           }
         }
         if (best != kNoEdge)
           contrib[v].push_back(
               AggItem{c, moe_payload(keys[best], best, best_target)});
       }
-      AggregateBroadcastProtocol bc{
-          g, bfs, AggOptions{AggOp::kMin, /*deliver_all=*/true, false, false},
-          std::move(contrib)};
+      // Only node 0's copy of the broadcast list is read below, so the
+      // other n−1 copies need not be stored (messages are unchanged).
+      AggOptions opt{AggOp::kMin, /*deliver_all=*/true, false, false};
+      opt.keep = [](NodeId v, Word) { return v == 0; };
+      AggregateBroadcastProtocol bc{g, bfs, opt, std::move(contrib)};
       sched.run(bc);
 
       // Everyone merges the announced component MOEs identically, in key

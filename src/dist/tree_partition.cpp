@@ -190,10 +190,12 @@ FragmentStructure build_fragment_structure(Schedule& sched,
                   {ie.node_a, ie.node_b,
                    (Word{ie.frag_a} << 32) | ie.frag_b}});
     }
-    AggregateBroadcastProtocol bc{
-        g, bfs, AggOptions{AggOp::kUnique, /*deliver_all=*/true, false,
-                           false},
-        std::move(contrib)};
+    // The rounds/messages are what this broadcast is charged for; no node
+    // re-reads the delivered copies (the orchestrator works from
+    // mst.inter_edges below), so nothing needs to be retained.
+    AggOptions opt{AggOp::kUnique, /*deliver_all=*/true, false, false};
+    opt.keep = [](NodeId, Word) { return false; };
+    AggregateBroadcastProtocol bc{g, bfs, opt, std::move(contrib)};
     sched.run(bc);
   }
   // Every node now derives the same global picture; the orchestrator
@@ -280,9 +282,10 @@ FragmentStructure build_fragment_structure(Schedule& sched,
   // --- (3) neighbors' fragments: one pairwise exchange ---
   std::vector<std::vector<std::uint32_t>> port_frag_idx(n);
   {
-    std::vector<std::vector<std::vector<Word>>> outgoing(n);
+    PairwiseExchangeProtocol::Lists outgoing{g, /*narrow=*/true};
     for (NodeId v = 0; v < n; ++v)
-      outgoing[v].assign(g.degree(v), {Word{frag_idx[v]}});
+      for (std::uint32_t p = 0; p < g.degree(v); ++p)
+        outgoing.add(v, p, Word{frag_idx[v]});
     PairwiseExchangeProtocol px{g, std::move(outgoing)};
     sched.run(px);
     for (NodeId v = 0; v < n; ++v) {
@@ -306,10 +309,10 @@ FragmentStructure build_fragment_structure(Schedule& sched,
       contrib[parent_end].push_back(
           AggItem{f, {depth_in_frag[parent_end], 0, 0}});
     }
-    AggregateBroadcastProtocol bc{
-        g, bfs, AggOptions{AggOp::kUnique, /*deliver_all=*/true, false,
-                           false},
-        std::move(contrib)};
+    // Only the orchestrator's copy (node 0) is consulted below.
+    AggOptions opt{AggOp::kUnique, /*deliver_all=*/true, false, false};
+    opt.keep = [](NodeId v, Word) { return v == 0; };
+    AggregateBroadcastProtocol bc{g, bfs, opt, std::move(contrib)};
     sched.run(bc);
 
     std::vector<std::uint32_t> base(k, 0);

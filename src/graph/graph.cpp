@@ -4,10 +4,8 @@
 
 namespace dmc {
 
-Graph::Graph(std::size_t n) : adjacency_(n) {}
-
 EdgeId Graph::add_edge(NodeId u, NodeId v, Weight w) {
-  DMC_REQUIRE(u < adjacency_.size() && v < adjacency_.size());
+  DMC_REQUIRE(u < n_ && v < n_);
   DMC_REQUIRE_MSG(u != v, "self-loops are not allowed (node " << u << ")");
   // Weight-range violations are invariant (not precondition) errors: a
   // weight above kMaxWeight would not fail at insertion but silently
@@ -21,9 +19,29 @@ EdgeId Graph::add_edge(NodeId u, NodeId v, Weight w) {
                  "zero-capacity edge (w == 0)");
   const EdgeId id = static_cast<EdgeId>(edges_.size());
   edges_.push_back(Edge{u, v, w});
-  adjacency_[u].push_back(Port{v, id});
-  adjacency_[v].push_back(Port{u, id});
+  dirty_ = true;
   return id;
+}
+
+void Graph::finalize() const {
+  // Counting sort of the 2m directed ports by owner, stable in edge-id
+  // order — per node that is exactly the insertion order the old
+  // vector-of-vectors adjacency produced, so port numbers (and therefore
+  // every protocol's observable behavior) are unchanged.
+  offset_.assign(n_ + 1, 0);
+  for (const Edge& e : edges_) {
+    ++offset_[e.u + 1];
+    ++offset_[e.v + 1];
+  }
+  for (std::size_t v = 0; v < n_; ++v) offset_[v + 1] += offset_[v];
+  flat_ports_.resize(2 * edges_.size());
+  std::vector<std::uint32_t> cursor(offset_.begin(), offset_.end() - 1);
+  for (EdgeId id = 0; id < edges_.size(); ++id) {
+    const Edge& e = edges_[id];
+    flat_ports_[cursor[e.u]++] = Port{e.v, id};
+    flat_ports_[cursor[e.v]++] = Port{e.u, id};
+  }
+  dirty_ = false;
 }
 
 Weight Graph::weighted_degree(NodeId v) const {
@@ -66,10 +84,14 @@ Graph Graph::edge_subgraph(const std::vector<bool>& keep,
 }
 
 void Graph::validate() const {
+  for (const Edge& e : edges_) {
+    DMC_ASSERT(e.u < n_ && e.v < n_ && e.u != e.v);
+    DMC_ASSERT(e.w >= 1 && e.w <= kMaxWeight);
+  }
   std::size_t port_count = 0;
-  for (NodeId v = 0; v < adjacency_.size(); ++v) {
-    for (const Port& p : adjacency_[v]) {
-      DMC_ASSERT(p.peer < adjacency_.size());
+  for (NodeId v = 0; v < n_; ++v) {
+    for (const Port& p : ports(v)) {
+      DMC_ASSERT(p.peer < n_);
       DMC_ASSERT(p.edge < edges_.size());
       const Edge& e = edges_[p.edge];
       DMC_ASSERT((e.u == v && e.v == p.peer) || (e.v == v && e.u == p.peer));

@@ -47,7 +47,7 @@ struct Port {
 class Graph {
  public:
   Graph() = default;
-  explicit Graph(std::size_t n);
+  explicit Graph(std::size_t n) : n_(n) {}
 
   /// Adds an undirected edge; returns its EdgeId.  Parallel edges and
   /// self-loop-free multigraphs are supported (self-loops are rejected:
@@ -56,7 +56,7 @@ class Graph {
   /// arithmetic downstream, w == 0 a zero-capacity pseudo-edge.
   EdgeId add_edge(NodeId u, NodeId v, Weight w = 1);
 
-  [[nodiscard]] std::size_t num_nodes() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t num_nodes() const { return n_; }
   [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
 
   [[nodiscard]] const Edge& edge(EdgeId e) const {
@@ -67,13 +67,31 @@ class Graph {
 
   /// The ports (incident links) of node v, in insertion order.  Port index
   /// within this span is the CONGEST "port number" of the link at v.
+  ///
+  /// Adjacency is one flat CSR array (ports of v are contiguous at
+  /// [port_offset(v), port_offset(v+1))), rebuilt lazily from the edge
+  /// list on the first read after a mutation — a Graph is 2m Ports + n+1
+  /// offsets, with no per-node heap blocks.  The rebuild is not
+  /// thread-safe: call any read accessor once (e.g. by constructing the
+  /// Network) before sharing a mutated Graph across threads.
   [[nodiscard]] std::span<const Port> ports(NodeId v) const {
-    DMC_REQUIRE(v < adjacency_.size());
-    return adjacency_[v];
+    DMC_REQUIRE(v < n_);
+    if (dirty_) finalize();
+    return {flat_ports_.data() + offset_[v], offset_[v + 1] - offset_[v]};
   }
 
   [[nodiscard]] std::size_t degree(NodeId v) const {
     return ports(v).size();
+  }
+
+  /// Directed-port id of (v, port 0): ports are globally numbered by the
+  /// CSR layout, so (v, p) ↦ port_offset(v) + p is a dense id in
+  /// [0, 2·num_edges()).  Flat per-directed-port protocol state (fragment
+  /// tables, exchange buffers, mail slots) is indexed by it.
+  [[nodiscard]] std::uint32_t port_offset(NodeId v) const {
+    DMC_REQUIRE(v <= n_);
+    if (dirty_) finalize();
+    return offset_[v];
   }
 
   /// δ(v): sum of weights of edges incident to v.
@@ -99,8 +117,14 @@ class Graph {
   void validate() const;
 
  private:
+  void finalize() const;
+
+  std::size_t n_{0};
   std::vector<Edge> edges_;
-  std::vector<std::vector<Port>> adjacency_;
+  // Lazy CSR adjacency cache over edges_ (see ports()).
+  mutable std::vector<Port> flat_ports_;
+  mutable std::vector<std::uint32_t> offset_;
+  mutable bool dirty_{true};
 };
 
 }  // namespace dmc

@@ -1,0 +1,54 @@
+// SmallQueue: a FIFO that costs nothing until the first push.
+//
+// std::deque is the wrong tool for per-node relay queues: libstdc++
+// eagerly allocates a block map plus one 512-byte node for every deque,
+// even one that never sees an element.  A protocol holding one queue per
+// node (and one per tree child) therefore pays ~1.5 KB/node of resident
+// memory before the first message moves — the dominant allocation at the
+// 10^5–10^6-node scaling tier.  This queue is a vector plus a head index:
+// an empty queue is 32 bytes of inline storage and zero heap, push_back
+// amortizes like vector, and the dead prefix is compacted once it
+// dominates the buffer, keeping space O(live elements).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace dmc {
+
+template <typename T>
+class SmallQueue {
+ public:
+  [[nodiscard]] bool empty() const { return head_ == buf_.size(); }
+  [[nodiscard]] std::size_t size() const { return buf_.size() - head_; }
+
+  void push_back(const T& t) { buf_.push_back(t); }
+  void push_back(T&& t) { buf_.push_back(std::move(t)); }
+
+  [[nodiscard]] T& front() { return buf_[head_]; }
+  [[nodiscard]] const T& front() const { return buf_[head_]; }
+
+  void pop_front() {
+    ++head_;
+    if (head_ == buf_.size()) {
+      buf_.clear();
+      head_ = 0;
+    } else if (head_ >= 16 && head_ * 2 >= buf_.size()) {
+      buf_.erase(buf_.begin(),
+                 buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+  void clear() {
+    buf_.clear();
+    head_ = 0;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_{0};
+};
+
+}  // namespace dmc

@@ -72,9 +72,9 @@ void check_step2(const Graph& g, std::size_t freeze = 0) {
     for (NodeId u = t.parent(v); u != kNoNode; u = t.parent(u))
       if (p.fs.frag_idx[u] == p.fs.frag_idx[v]) expect_own.push_back(u);
     std::reverse(expect_own.begin(), expect_own.end());
-    ASSERT_EQ(ad.own_chain[v].size(), expect_own.size()) << "node " << v;
+    ASSERT_EQ(ad.own_chain(v).size(), expect_own.size()) << "node " << v;
     for (std::size_t i = 0; i < expect_own.size(); ++i)
-      EXPECT_EQ(ad.own_chain[v][i].node, expect_own[i]) << "node " << v;
+      EXPECT_EQ(ad.own_chain(v)[i], expect_own[i]) << "node " << v;
 
     // --- parent-fragment chain ---
     const std::uint32_t pf = p.fs.frag_parent[p.fs.frag_idx[v]];
@@ -84,10 +84,10 @@ void check_step2(const Graph& g, std::size_t freeze = 0) {
         if (p.fs.frag_idx[u] == pf) expect_parent.push_back(u);
       std::reverse(expect_parent.begin(), expect_parent.end());
     }
-    ASSERT_EQ(ad.parent_chain[v].size(), expect_parent.size())
+    ASSERT_EQ(ad.parent_chain(v).size(), expect_parent.size())
         << "node " << v;
     for (std::size_t i = 0; i < expect_parent.size(); ++i)
-      EXPECT_EQ(ad.parent_chain[v][i].node, expect_parent[i]);
+      EXPECT_EQ(ad.parent_chain(v)[i], expect_parent[i]);
 
     // --- F(v) = closure(Attach(v)) vs brute-force containment ---
     const auto closure = p.fs.closure(ad.attach[v]);
@@ -98,7 +98,7 @@ void check_step2(const Graph& g, std::size_t freeze = 0) {
     // --- L(v): for every fragment F' it reports the LOWEST ancestor-or-
     // self u with F' ∈ F(u); verify each claimed entry and the needed
     // existence cases ---
-    for (const auto& [f_prime, u] : ad.lowest_anc[v]) {
+    for (const auto& [f_prime, u] : ad.lowest_entries(v)) {
       EXPECT_TRUE(u == v || t.is_ancestor(u, v));
       const auto fu = oracle_f_of(t, p.fs, u);
       EXPECT_TRUE(fu.count(f_prime))

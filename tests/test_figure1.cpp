@@ -88,13 +88,13 @@ TEST(Figure1, AncestorsOfNode15MatchPanelC) {
   sched.set_barrier_height(4);
   const AncestorData ad = compute_ancestors(sched, fs);
   // Own-fragment ancestors of 15: just 7.
-  ASSERT_EQ(ad.own_chain[15].size(), 1u);
-  EXPECT_EQ(ad.own_chain[15][0].node, 7u);
+  ASSERT_EQ(ad.own_chain(15).size(), 1u);
+  EXPECT_EQ(ad.own_chain(15)[0], 7u);
   // Parent-fragment ancestors of 15: 0, 2, 4 in that (depth) order.
-  ASSERT_EQ(ad.parent_chain[15].size(), 3u);
-  EXPECT_EQ(ad.parent_chain[15][0].node, 0u);
-  EXPECT_EQ(ad.parent_chain[15][1].node, 2u);
-  EXPECT_EQ(ad.parent_chain[15][2].node, 4u);
+  ASSERT_EQ(ad.parent_chain(15).size(), 3u);
+  EXPECT_EQ(ad.parent_chain(15)[0], 0u);
+  EXPECT_EQ(ad.parent_chain(15)[1], 2u);
+  EXPECT_EQ(ad.parent_chain(15)[2], 4u);
   // F(v) examples: F(1) = {F5, F6}; F(2) = {F7}; F(0's root) = all three.
   EXPECT_EQ(fs.closure(ad.attach[1]),
             (std::vector<std::uint32_t>{1, 2}));

@@ -295,9 +295,9 @@ TEST(PairwiseExchange, SwapsLists) {
   Network net{g};
   PairwiseExchangeProtocol px{g, std::move(out)};
   const auto rounds = net.run(px);
-  EXPECT_EQ(px.received(1, 0), (std::vector<Word>{10, 11, 12}));
-  EXPECT_EQ(px.received(0, 0), (std::vector<Word>{20}));
-  EXPECT_EQ(px.received(2, 0), (std::vector<Word>{21, 22}));
+  EXPECT_EQ(px.received(1, 0).to_vector(), (std::vector<Word>{10, 11, 12}));
+  EXPECT_EQ(px.received(0, 0).to_vector(), (std::vector<Word>{20}));
+  EXPECT_EQ(px.received(2, 0).to_vector(), (std::vector<Word>{21, 22}));
   EXPECT_TRUE(px.received(1, 1).empty());
   EXPECT_LE(rounds, 3u + 2u);  // max list + end marker
 }

@@ -1,0 +1,128 @@
+// Skewed active lists: when every active node lives in ONE shard's owner
+// range, the sharded engine's dynamic chunk tickets must still spread the
+// work across all workers (engine.h) — and remain bit-identical to the
+// sequential reference.  This is the adversarial load shape for static
+// owner-partitioned execution: without work stealing, one shard would run
+// the whole round while the others idle.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "congest/network.h"
+#include "graph/generators.h"
+
+namespace dmc {
+namespace {
+
+/// Keeps exactly the nodes v < hot_n active for `budget` rounds: each hot
+/// node sends a node-and-step-dependent word downward every round and
+/// requests a wake while it has steps left.  Cold nodes never act, never
+/// receive, and are locally done from the start — under event-driven
+/// scheduling the active list is exactly [0, hot_n) after the bootstrap
+/// round.
+class HotRangeProtocol final : public Protocol {
+ public:
+  HotRangeProtocol(const Graph& g, NodeId hot_n, std::uint32_t budget)
+      : g_(&g),
+        hot_n_(hot_n),
+        budget_(budget),
+        steps_(g.num_nodes(), 0),
+        received_(g.num_nodes(), 0) {}
+
+  [[nodiscard]] std::string name() const override { return "hot_range"; }
+
+  void round(NodeId v, Mailbox& mb) override {
+    for (const Delivery d : mb.inbox()) received_[v] += d.msg.w[0];
+    if (v < hot_n_ && steps_[v] < budget_) {
+      ++steps_[v];
+      // The payload folds (node, step) so any reordering or dropped
+      // execution shows up in the received_ checksums, not just counts.
+      mb.send(0, Message::make(7, {Word{v} * 1000003u + steps_[v]}));
+      if (steps_[v] < budget_) mb.request_wake();
+    }
+  }
+
+  [[nodiscard]] bool local_done(NodeId v) const override {
+    return v >= hot_n_ || steps_[v] == budget_;
+  }
+
+  [[nodiscard]] Scheduling scheduling() const override {
+    return Scheduling::kEventDriven;
+  }
+
+  [[nodiscard]] const std::vector<Word>& received() const {
+    return received_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& steps() const {
+    return steps_;
+  }
+
+ private:
+  const Graph* g_;
+  NodeId hot_n_;
+  std::uint32_t budget_;
+  std::vector<std::uint32_t> steps_;
+  std::vector<Word> received_;
+};
+
+struct HotOut {
+  std::vector<Word> received;
+  std::vector<std::uint32_t> steps;
+  CongestStats stats;
+  std::vector<std::uint64_t> shard_steps;
+};
+
+HotOut run_hot(const Graph& g, std::unique_ptr<Engine> engine, NodeId hot_n,
+               std::uint32_t budget) {
+  Network net{g, std::move(engine)};
+  HotRangeProtocol p{g, hot_n, budget};
+  net.run(p);
+  return {p.received(), p.steps(), net.stats(), net.shard_node_steps()};
+}
+
+TEST(SkewedActive, OneHotShardStaysBitIdenticalAndUsesAllWorkers) {
+  // 4096 nodes, hot range = the first quarter — exactly shard 0's owner
+  // range under 4 shards.  1024 active nodes per round is ≥ chunk_size ×
+  // shards for both thread counts below, so every shard is guaranteed at
+  // least its reserved chunk of real work each round.
+  constexpr std::size_t kN = 4096;
+  constexpr NodeId kHot = kN / 4;
+  constexpr std::uint32_t kBudget = 20;
+  const Graph g = make_path(kN);
+
+  const HotOut seq = run_hot(g, make_sequential_engine(), kHot, kBudget);
+  // The schedule really was skewed: event-driven node_steps stay near
+  // bootstrap + hot activity, nowhere near rounds × n.
+  ASSERT_GT(seq.stats.rounds, kBudget);
+  EXPECT_LT(seq.stats.node_steps, seq.stats.rounds * kN / 2);
+  EXPECT_LE(seq.stats.node_steps, kN + std::uint64_t{kHot} * (kBudget + 1));
+  for (NodeId v = 0; v < kHot; ++v)
+    EXPECT_EQ(seq.steps[v], kBudget) << "hot node " << v;
+  for (NodeId v = kHot; v < kN; ++v)
+    EXPECT_EQ(seq.steps[v], 0u) << "cold node " << v;
+
+  for (const unsigned threads : {4u, 8u}) {
+    const HotOut par = run_hot(g, make_sharded_engine(threads), kHot, kBudget);
+    EXPECT_EQ(seq.received, par.received) << threads << " threads";
+    EXPECT_EQ(seq.steps, par.steps) << threads << " threads";
+    EXPECT_TRUE(seq.stats == par.stats)
+        << "stats diverged at " << threads << " threads";
+    // Dynamic chunk tickets: the hot quarter is owned by one shard, yet
+    // every worker must have executed nodes.  The SPLIT across shards is
+    // engine-dependent (that is why shard_node_steps is not in
+    // CongestStats); only "nobody idled" is asserted.
+    ASSERT_EQ(par.shard_steps.size(), threads);
+    std::uint64_t total = 0;
+    for (unsigned s = 0; s < threads; ++s) {
+      EXPECT_GT(par.shard_steps[s], 0u)
+          << "shard " << s << " of " << threads << " never ran a node";
+      total += par.shard_steps[s];
+    }
+    EXPECT_EQ(total, par.stats.node_steps);
+  }
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,182 @@
+// Stamp-epoch wraparound: the Network stamps delivery slots with 32-bit
+// round tokens and renormalizes them when the epoch nears exhaustion
+// (network.h).  Renormalization must be INVISIBLE — same protocol results,
+// same CongestStats bit for bit — no matter how often it fires, under every
+// engine and both scheduling modes.  These tests shrink the epoch with
+// set_stamp_epoch_limit_for_test so the renormalization sweep runs dozens
+// of times in a workload that would otherwise never trigger it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "congest/network.h"
+#include "congest/primitives/leader_bfs.h"
+#include "congest/schedule.h"
+#include "core/one_respect.h"
+#include "dist/ghs_mst.h"
+#include "dist/tree_partition.h"
+#include "graph/generators.h"
+#include "graph/mst.h"
+
+namespace dmc {
+namespace {
+
+/// A relay chain: node 0 emits `count` numbered tokens, one per round;
+/// every node forwards tokens up the path; the last node records what
+/// arrives, in order.  Each token is in flight for ~n rounds, so a tiny
+/// epoch limit renormalizes live slot stamps under it many times — if the
+/// sweep ever corrupted or dropped a live stamp, the recorded sequence
+/// would change.
+class RelayChainProtocol final : public Protocol {
+ public:
+  RelayChainProtocol(const Graph& g, std::uint32_t count)
+      : g_(&g), count_(count) {}
+
+  [[nodiscard]] std::string name() const override { return "relay_chain"; }
+
+  void round(NodeId v, Mailbox& mb) override {
+    const NodeId last = g_->num_nodes() - 1;
+    for (const Delivery d : mb.inbox()) {
+      if (v == last) {
+        received_.push_back(d.msg.w[0]);
+      } else {
+        // Forward to the upward neighbour, whichever port that is.
+        const auto ports = g_->ports(v);
+        for (std::uint32_t p = 0; p < ports.size(); ++p)
+          if (ports[p].peer == v + 1) mb.send(p, d.msg);
+      }
+    }
+    if (v == 0 && emitted_ < count_) {
+      mb.send(0, Message::make(3, {Word{emitted_} * 0x9e3779b9u + 1}));
+      ++emitted_;
+      if (emitted_ < count_) mb.request_wake();
+    }
+  }
+
+  [[nodiscard]] bool local_done(NodeId v) const override {
+    return v != 0 || emitted_ == count_;
+  }
+
+  [[nodiscard]] Scheduling scheduling() const override {
+    return Scheduling::kEventDriven;
+  }
+
+  [[nodiscard]] const std::vector<Word>& received() const {
+    return received_;
+  }
+
+ private:
+  const Graph* g_;
+  std::uint32_t count_;
+  std::uint32_t emitted_{0};
+  std::vector<Word> received_;
+};
+
+struct RelayOut {
+  std::vector<Word> received;
+  CongestStats stats;
+};
+
+RelayOut run_relay(const Graph& g, std::unique_ptr<Engine> engine,
+                   Scheduling forced,
+                   std::optional<std::uint32_t> epoch_limit) {
+  Network net{g, std::move(engine)};
+  if (epoch_limit) net.set_stamp_epoch_limit_for_test(*epoch_limit);
+  net.force_scheduling(forced);
+  RelayChainProtocol p{g, /*count=*/24};
+  net.run(p);
+  return {p.received(), net.stats()};
+}
+
+TEST(StampEpoch, RelayChainSurvivesConstantRenormalization) {
+  const Graph g = make_path(40);
+  for (const Scheduling forced :
+       {Scheduling::kDense, Scheduling::kEventDriven}) {
+    const RelayOut base =
+        run_relay(g, make_sequential_engine(), forced, std::nullopt);
+    // 24 tokens over a 40-hop path: >60 rounds, so limit 4 renormalizes
+    // every other round while payloads are in flight.
+    ASSERT_GT(base.stats.rounds, 60u);
+    ASSERT_EQ(base.received.size(), 24u);
+    for (const std::uint32_t limit : {4u, 8u, 13u}) {
+      const RelayOut renorm =
+          run_relay(g, make_sequential_engine(), forced, limit);
+      EXPECT_EQ(base.received, renorm.received) << "limit " << limit;
+      EXPECT_TRUE(base.stats == renorm.stats)
+          << "stats diverged at limit " << limit;
+    }
+    for (const unsigned threads : {2u, 8u}) {
+      const RelayOut par =
+          run_relay(g, make_sharded_engine(threads), forced, 4u);
+      EXPECT_EQ(base.received, par.received) << threads << " threads";
+      EXPECT_TRUE(base.stats == par.stats)
+          << "stats diverged at " << threads << " threads";
+    }
+  }
+}
+
+struct PipelineOut {
+  OneRespectResult r;
+  CongestStats stats;
+};
+
+/// The one-respecting pipeline (leader BFS + GHS + fragment structure +
+/// Steps 2–5) under a given engine / scheduling / epoch limit.
+PipelineOut run_pipeline(const Graph& g, std::unique_ptr<Engine> engine,
+                         Scheduling forced,
+                         std::optional<std::uint32_t> epoch_limit) {
+  Network net{g, std::move(engine)};
+  if (epoch_limit) net.set_stamp_epoch_limit_for_test(*epoch_limit);
+  net.force_scheduling(forced);
+  Schedule sched{net};
+  LeaderBfsProtocol lb{g};
+  sched.run_uncharged(lb);
+  const TreeView bfs = lb.tree_view(g);
+  sched.set_barrier_height(bfs.height(g));
+  sched.charge_barrier();
+  const DistMstResult mst = ghs_mst(sched, bfs, weight_keys(g));
+  const FragmentStructure fs =
+      build_fragment_structure(sched, bfs, lb.leader(), mst);
+  std::vector<Weight> w(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) w[e] = g.edge(e).w;
+  const OneRespectResult r = one_respect_min_cut(sched, bfs, fs, w);
+  return {r, net.stats()};
+}
+
+TEST(StampEpoch, OneRespectPipelineBitIdenticalUnderForcedRenorm) {
+  const Graph g = make_planted_cut(36, 0.45, /*cross=*/3, /*cross_w=*/1,
+                                   /*seed=*/5);
+  for (const Scheduling forced :
+       {Scheduling::kDense, Scheduling::kEventDriven}) {
+    const PipelineOut base =
+        run_pipeline(g, make_sequential_engine(), forced, std::nullopt);
+    // The pipeline runs far more rounds than the forced limit, so the
+    // renormalized runs below re-base their epochs many times.
+    ASSERT_GT(base.stats.rounds, 8u);
+    const struct {
+      const char* what;
+      std::unique_ptr<Engine> (*make)();
+    } engines[] = {
+        {"sequential", +[] { return make_sequential_engine(); }},
+        {"sharded(2)", +[] { return make_sharded_engine(2); }},
+        {"sharded(8)", +[] { return make_sharded_engine(8); }},
+    };
+    for (const auto& e : engines) {
+      const PipelineOut renorm = run_pipeline(g, e.make(), forced, 8u);
+      EXPECT_EQ(base.r.c_star, renorm.r.c_star) << e.what;
+      EXPECT_EQ(base.r.v_star, renorm.r.v_star) << e.what;
+      EXPECT_EQ(base.r.cut_down, renorm.r.cut_down) << e.what;
+      EXPECT_EQ(base.r.delta_down, renorm.r.delta_down) << e.what;
+      EXPECT_EQ(base.r.rho_down, renorm.r.rho_down) << e.what;
+      EXPECT_EQ(base.r.in_cut, renorm.r.in_cut) << e.what;
+      EXPECT_TRUE(base.stats == renorm.stats)
+          << e.what << ": stats diverged under forced renormalization";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dmc
