@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <exception>
 #include <sstream>
+#include <string_view>
 #include <utility>
 
 #include "congest/message.h"
@@ -36,6 +37,7 @@ struct GraphCheck {
   Weight lambda{0};
   std::size_t oracles_consulted{0};
   std::size_t assertions{0};
+  bool rejected{false};  ///< the fault plan was rejected loudly (see cell)
   MinCutReport report;
 };
 
@@ -45,6 +47,13 @@ MinCutRequest request_for(const Scenario& s, std::uint64_t seed) {
   req.eps = kApproxEps;
   req.seed = derive_seed(seed, s.id, 7);
   return req;
+}
+
+/// The loud-rejection marker Network::run stamps into the InvariantError
+/// it throws when a fault of an undeclared kind fires.
+[[nodiscard]] bool is_fault_rejection(const std::exception& e) {
+  return std::string_view{e.what()}.find(
+             "does not tolerate injected faults") != std::string_view::npos;
 }
 
 /// λ and the algorithm contract on one concrete graph.  Deterministic in
@@ -71,9 +80,38 @@ GraphCheck check_graph(const Graph& g, const Scenario& s, std::uint64_t seed,
       return out;
     }
 
-    // 2. Run the system under test through the session façade.
-    Session session{g, SessionOptions{s.engine_threads, s.scheduling}};
-    out.report = session.solve(request_for(s, seed));
+    // 2. Run the system under test through the session façade — under the
+    //    cell's deterministic fault plan when the fault axis is active.
+    SessionOptions sopt{s.engine_threads, s.scheduling};
+    if (s.faults != FaultProfile::kNone)
+      sopt.fault_plan = fault_plan_for(s.faults, g.num_nodes(),
+                                       derive_seed(seed, s.id, 11));
+    Session session{g, sopt};
+    try {
+      out.report = session.solve(request_for(s, seed));
+    } catch (const InvariantError& e) {
+      ++out.assertions;
+      // Loud rejection — never a wrong λ — is the accepted outcome for
+      // kDrop/kDupReorder (some pipeline protocol is drop/dup-intolerant)
+      // and the REQUIRED one for kCrash.  Reorder is declared by every
+      // protocol in the pipeline, so a kReorder rejection is a real bug.
+      if (s.faults != FaultProfile::kNone &&
+          s.faults != FaultProfile::kReorder && is_fault_rejection(e)) {
+        out.rejected = true;
+        return out;
+      }
+      throw;  // re-caught below as a cell failure
+    }
+    if (s.faults != FaultProfile::kNone) {
+      ++out.assertions;
+      if (s.faults == FaultProfile::kCrash) {
+        // The crash window fires in round 2 of the (crash-intolerant)
+        // bootstrap leader election of every cold solve, so completing
+        // means the injection silently vanished.
+        fail("crash plan produced an answer instead of a loud rejection");
+        return out;
+      }
+    }
     const MinCutReport& rep = out.report;
     std::ostringstream why;
 
@@ -170,12 +208,53 @@ std::pair<Weight, Weight> weight_range(WeightRegime r) {
   return {1, 1};
 }
 
+const char* to_string(FaultProfile p) {
+  switch (p) {
+    case FaultProfile::kNone: return "none";
+    case FaultProfile::kReorder: return "reorder";
+    case FaultProfile::kDupReorder: return "dupreorder";
+    case FaultProfile::kDrop: return "drop";
+    case FaultProfile::kCrash: return "crash";
+  }
+  return "?";
+}
+
+FaultPlan fault_plan_for(FaultProfile p, std::size_t n, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  switch (p) {
+    case FaultProfile::kNone:
+      break;
+    case FaultProfile::kReorder:
+      plan.reorder_within_round = 1.0;
+      break;
+    case FaultProfile::kDupReorder:
+      plan.dup_rate = 0.1;
+      plan.reorder_within_round = 0.5;
+      break;
+    case FaultProfile::kDrop:
+      plan.drop_rate = 0.1;
+      break;
+    case FaultProfile::kCrash:
+      // Window [2, 4) fires in round 2 of EVERY run (rounds are
+      // run-local), i.e. already during the bootstrap leader election —
+      // which is crash-intolerant, so the rejection is deterministic on
+      // any multi-round instance.
+      plan.crash_schedule = {
+          CrashWindow{n > 1 ? NodeId{1} : NodeId{0}, 2, 4}};
+      break;
+  }
+  return plan;
+}
+
 std::string Scenario::name() const {
   std::ostringstream os;
   os << 's' << id << '_' << family << "_n" << n << '_'
      << check::to_string(regime) << '_' << dmc::to_string(algo) << '_'
      << (scheduling == Scheduling::kDense ? "dense" : "event") << "_t"
      << engine_threads;
+  if (faults != FaultProfile::kNone)
+    os << "_f" << check::to_string(faults);
   return os.str();
 }
 
@@ -186,6 +265,9 @@ ScenarioMatrix::ScenarioMatrix(std::string name, ScenarioAxes axes)
                       !axes_.schedulings.empty() &&
                       !axes_.engine_threads.empty(),
                   "every scenario axis needs at least one value");
+  // A singleton {kNone} axis multiplies the size by 1 and decodes every
+  // id to "no faults" — matrices predating the fault axis keep their ids.
+  if (axes_.faults.empty()) axes_.faults = {FaultProfile::kNone};
   for (const std::string& f : axes_.families) {
     const GraphFamily& fam = graph_family(f);  // throws on unknown names
     for (const std::size_t n : axes_.sizes)
@@ -194,7 +276,7 @@ ScenarioMatrix::ScenarioMatrix(std::string name, ScenarioAxes axes)
   }
   size_ = axes_.families.size() * axes_.sizes.size() * axes_.regimes.size() *
           axes_.algos.size() * axes_.schedulings.size() *
-          axes_.engine_threads.size();
+          axes_.engine_threads.size() * axes_.faults.size();
 }
 
 Scenario ScenarioMatrix::decode(std::uint64_t id) const {
@@ -216,6 +298,8 @@ Scenario ScenarioMatrix::decode(std::uint64_t id) const {
   s.algo = axes_.algos[take(axes_.algos.size())];
   s.scheduling = axes_.schedulings[take(axes_.schedulings.size())];
   s.engine_threads = axes_.engine_threads[take(axes_.engine_threads.size())];
+  // Appended LAST so every pre-fault-axis id decodes unchanged.
+  s.faults = axes_.faults[take(axes_.faults.size())];
   return s;
 }
 
@@ -249,6 +333,22 @@ const ScenarioMatrix& ScenarioMatrix::nightly() {
   return m;
 }
 
+const ScenarioMatrix& ScenarioMatrix::tier1_faults() {
+  static const ScenarioMatrix m{
+      "tier1_faults",
+      ScenarioAxes{
+          {"erdos_renyi", "torus"},
+          {16, 26},
+          {WeightRegime::kUnit},
+          {Algo::kExact, Algo::kApprox, Algo::kSu, Algo::kGk},
+          {Scheduling::kDense, Scheduling::kEventDriven},
+          {1u, 2u},
+          {FaultProfile::kReorder, FaultProfile::kDupReorder,
+           FaultProfile::kDrop, FaultProfile::kCrash},
+      }};
+  return m;
+}
+
 std::string replay_line(std::string_view matrix_name,
                         std::uint64_t scenario_id, std::uint64_t seed) {
   std::ostringstream os;
@@ -271,7 +371,8 @@ Graph ScenarioRunner::instance(const Scenario& s, std::uint64_t seed) const {
 
 CellReport ScenarioRunner::run_cell(std::uint64_t scenario_id,
                                     std::uint64_t seed) const {
-  const Scenario s = matrix_->decode(scenario_id);
+  Scenario s = matrix_->decode(scenario_id);
+  if (opt_.force_faults) s.faults = *opt_.force_faults;
   CellReport cell;
   cell.scenario = s;
   cell.seed = seed;
@@ -312,6 +413,7 @@ CellReport ScenarioRunner::run_cell(std::uint64_t scenario_id,
   cell.lambda = base.lambda;
   cell.oracles_consulted = base.oracles_consulted;
   cell.assertions = base.assertions;
+  cell.rejected = base.rejected;
   cell.report = std::move(base.report);
   if (!base.ok) {
     report_failure(g, "", base.message);
@@ -320,7 +422,10 @@ CellReport ScenarioRunner::run_cell(std::uint64_t scenario_id,
 
   // Metamorphic expansion: replay the same algorithm on derived graphs
   // whose λ is known from the base consensus — no further oracle work.
-  if (opt_.metamorphic && g.num_nodes() <= opt_.metamorphic_max_n) {
+  // Skipped for fault cells: the λ-mapping contracts assume the solve
+  // COMPLETES, while a fault cell's accepted outcome may be rejection.
+  if (s.faults == FaultProfile::kNone && opt_.metamorphic &&
+      g.num_nodes() <= opt_.metamorphic_max_n) {
     for (DerivedInstance& derived :
          metamorphic_suite(g, derive_seed(seed, scenario_id, 3))) {
       // Su tracks the minimum 1-RESPECT cut of its packed tree.  The

@@ -40,8 +40,32 @@ enum class WeightRegime : std::uint8_t { kUnit, kSmall, kWide };
 /// The [min_w, max_w] range a regime draws from.
 [[nodiscard]] std::pair<Weight, Weight> weight_range(WeightRegime r);
 
+/// Fault axis of a cell: which deterministic FaultPlan shape perturbs the
+/// session (congest/faults.h).  kReorder cells must still satisfy the full
+/// λ contract (every protocol in the pipeline is audited reorder-
+/// tolerant); kDrop / kDupReorder cells must EITHER satisfy the contract
+/// OR reject loudly (InvariantError naming the protocol and fault) —
+/// never return a wrong λ; kCrash cells must always reject (the bootstrap
+/// leader election is crash-intolerant and the plan's window fires in its
+/// second round).
+enum class FaultProfile : std::uint8_t {
+  kNone,
+  kReorder,     ///< reorder_within_round = 1.0
+  kDupReorder,  ///< dup_rate = 0.1, reorder_within_round = 0.5
+  kDrop,        ///< drop_rate = 0.1
+  kCrash,       ///< one node crashes for run-local rounds [2, 4)
+};
+
+[[nodiscard]] const char* to_string(FaultProfile p);
+/// The concrete deterministic plan a profile denotes on an n-node
+/// instance, seeded for replayability.
+[[nodiscard]] FaultPlan fault_plan_for(FaultProfile p, std::size_t n,
+                                       std::uint64_t seed);
+
 /// The declarative matrix: one vector per axis; the matrix is their cross
-/// product.  Axes must be non-empty.
+/// product.  Axes must be non-empty — except `faults`, where empty is
+/// normalized to {kNone} so matrices predating the fault axis keep their
+/// printed scenario ids.
 struct ScenarioAxes {
   std::vector<std::string> families;  ///< names from graph_families()
   std::vector<std::size_t> sizes;
@@ -49,6 +73,7 @@ struct ScenarioAxes {
   std::vector<Algo> algos;
   std::vector<Scheduling> schedulings;
   std::vector<unsigned> engine_threads;
+  std::vector<FaultProfile> faults;  ///< empty ⇒ {kNone}
 };
 
 /// One decoded cell (still parameterized by the per-run seed).
@@ -60,9 +85,10 @@ struct Scenario {
   Algo algo{Algo::kExact};
   Scheduling scheduling{Scheduling::kDense};
   unsigned engine_threads{1};
+  FaultProfile faults{FaultProfile::kNone};
 
   /// Compact unique label, e.g. "s217_barbell_n26_small_approx_event_t2"
-  /// — legal as a gtest parameter name.
+  /// (fault cells append "_fdrop" etc.) — legal as a gtest parameter name.
   [[nodiscard]] std::string name() const;
 };
 
@@ -84,6 +110,11 @@ class ScenarioMatrix {
   /// The full grid (all families, three sizes up to 64, wide weights,
   /// up to 8 engine threads) for the scheduled nightly sweep.
   [[nodiscard]] static const ScenarioMatrix& nightly();
+  /// The fault grid: two families × two sizes × unit weights × every
+  /// algorithm × both schedulings × 1/2 threads × the four active fault
+  /// profiles — 256 cells asserting the per-profile contract described at
+  /// FaultProfile.  Push-gated alongside tier1.
+  [[nodiscard]] static const ScenarioMatrix& tier1_faults();
 
  private:
   std::string name_;
@@ -111,6 +142,9 @@ struct RunnerOptions {
   /// Delta-debug a failing instance to a locally-minimal counterexample
   /// before reporting (adds shrink time only on failure).
   bool shrink_on_failure{true};
+  /// Force every cell's fault axis to this profile, overriding the
+  /// decoded value — the dmc_check --faults knob.  nullopt = decoded.
+  std::optional<FaultProfile> force_faults{};
 };
 
 struct CellReport {
@@ -119,6 +153,11 @@ struct CellReport {
   Weight lambda{0};                  ///< consensus λ of the base instance
   std::size_t oracles_consulted{0};  ///< per acceptance: must be ≥ 2
   std::size_t assertions{0};         ///< contract checks that ran (incl. derived)
+  /// True when an active fault plan made the session reject loudly
+  /// (InvariantError naming the protocol and fault) — the PASSING outcome
+  /// for kCrash cells and an accepted one for kDrop/kDupReorder; `report`
+  /// is then default-constructed.
+  bool rejected{false};
   MinCutReport report;               ///< the session's answer on the base
   /// Empty ⇔ the cell passed.  Otherwise a multi-line report containing
   /// the violated contract, the replay line, and (when shrinking is on)

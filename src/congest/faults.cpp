@@ -1,0 +1,75 @@
+#include "congest/faults.h"
+
+#include <sstream>
+
+#include "util/assert.h"
+#include "util/prng.h"
+
+namespace dmc {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDup: return "dup";
+    case FaultKind::kReorder: return "reorder";
+    case FaultKind::kCrash: return "crash";
+  }
+  return "?";
+}
+
+void FaultPlan::validate(std::size_t n) const {
+  const auto rate_ok = [](double r) { return r >= 0.0 && r <= 1.0; };
+  DMC_REQUIRE_MSG(rate_ok(drop_rate) && rate_ok(dup_rate) &&
+                      rate_ok(reorder_within_round),
+                  "fault rates must lie in [0, 1]");
+  std::vector<std::uint8_t> seen(n, 0);
+  for (const CrashWindow& w : crash_schedule) {
+    DMC_REQUIRE_MSG(w.node < n,
+                    "crash window names node " << w.node << " but the graph"
+                                               << " has " << n << " nodes");
+    DMC_REQUIRE_MSG(w.r0 >= 1 && w.r0 < w.r1,
+                    "crash window [" << w.r0 << ", " << w.r1
+                                     << ") on node " << w.node
+                                     << " is empty or starts before round 1");
+    DMC_REQUIRE_MSG(!seen[w.node], "node " << w.node
+                                           << " has two crash windows");
+    seen[w.node] = 1;
+  }
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  os << "FaultPlan(seed=" << seed;
+  if (drop_rate > 0.0) os << ", drop=" << drop_rate;
+  if (dup_rate > 0.0) os << ", dup=" << dup_rate;
+  if (reorder_within_round > 0.0) os << ", reorder=" << reorder_within_round;
+  if (!crash_schedule.empty()) {
+    os << ", crash=[";
+    for (std::size_t i = 0; i < crash_schedule.size(); ++i) {
+      const CrashWindow& w = crash_schedule[i];
+      if (i) os << ", ";
+      os << w.node << "@[" << w.r0 << ", ";
+      if (w.r1 == CrashWindow::kNoRestart)
+        os << "inf)";
+      else
+        os << w.r1 << ')';
+    }
+    os << ']';
+  }
+  os << ')';
+  return os.str();
+}
+
+std::uint64_t fault_hash(std::uint64_t seed, std::uint32_t stream,
+                         std::uint64_t round, std::uint64_t index) {
+  // Three chained SplitMix64 steps over the coordinates, each offset by a
+  // distinct odd constant so (stream, round, index) permutations cannot
+  // collide by commutativity.  Purely positional — no state is consumed,
+  // so the value is independent of evaluation order (the whole point).
+  std::uint64_t h = mix64(seed ^ (0x9e3779b97f4a7c15ull * (stream + 1)));
+  h = mix64(h ^ (round * 0xbf58476d1ce4e5b9ull));
+  h = mix64(h ^ (index * 0x94d049bb133111ebull));
+  return h;
+}
+
+}  // namespace dmc

@@ -1,0 +1,116 @@
+// Deterministic fault injection for the CONGEST simulator.
+//
+// A FaultPlan perturbs deliveries at the slot→mailbox boundary: a delivery
+// may be dropped or duplicated, a node's inbox view may be permuted within
+// a round, and a node may crash for a window of rounds [r0, r1) — its
+// local protocol state and pending mailbox are wiped and it re-enters via
+// Protocol::on_crash_restart.  Every decision is driven by a counter-based
+// hash of (plan seed, stream, run-local round, slot-or-node index), never
+// by a stateful RNG consumed in execution order.  Because the coordinates
+// are the same no matter which engine, thread count, or scheduling mode
+// executes the round, the exact same faults fire everywhere: a faulted run
+// is bit-identical across {sequential, sharded(k)} × {Dense, EventDriven}
+// and replayable from the one (plan, seed) coordinate.  DESIGN.md "Fault
+// model and determinism" carries the full argument.
+//
+// Rounds in a plan are RUN-LOCAL (1-based from each Network::run), so one
+// plan perturbs every protocol of a multi-phase pipeline the same way and
+// a replayed phase sees the same faults as the original.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dmc {
+
+/// The four injectable fault classes.  Values double as bit positions in
+/// the FaultTolerance mask below.
+enum class FaultKind : std::uint8_t {
+  kDrop = 0,     ///< a delivery vanishes before the receiver sees it
+  kDup = 1,      ///< a delivery appears twice in the receiver's inbox
+  kReorder = 2,  ///< a node's inbox view is permuted within the round
+  kCrash = 3,    ///< a node is silent for [r0, r1), state wiped at restart
+};
+
+[[nodiscard]] const char* to_string(FaultKind k);
+
+/// Protocol fault-tolerance declarations — a bitmask over FaultKind.  A
+/// protocol declares exactly the perturbations it has been audited to
+/// absorb; when a fault of an undeclared kind fires during its run, the
+/// Network fails loudly (InvariantError naming the protocol and the first
+/// injected fault) instead of computing a silently wrong answer.
+enum FaultTolerance : unsigned {
+  kReliableOnly = 0u,  ///< the default: assumes a perfect network
+  kTolerateDrop = 1u << static_cast<unsigned>(FaultKind::kDrop),
+  kTolerateDup = 1u << static_cast<unsigned>(FaultKind::kDup),
+  kTolerateReorder = 1u << static_cast<unsigned>(FaultKind::kReorder),
+  kTolerateCrash = 1u << static_cast<unsigned>(FaultKind::kCrash),
+  kFaultTolerant =
+      kTolerateDrop | kTolerateDup | kTolerateReorder | kTolerateCrash,
+};
+
+/// Bit of `k` in a FaultTolerance mask.
+[[nodiscard]] constexpr unsigned tolerance_bit(FaultKind k) {
+  return 1u << static_cast<unsigned>(k);
+}
+
+/// One crash window: `node` is silent for run-local rounds [r0, r1).  At
+/// the start of round r0 the node stops executing (it counts as locally
+/// done so live nodes can quiesce around a permanent crash); at the start
+/// of round r1 its protocol state is wiped (Protocol::on_crash_restart),
+/// any mail delivered while down is discarded, and it executes again from
+/// round r1 on.  r1 == kNoRestart means the node never comes back.
+struct CrashWindow {
+  NodeId node{kNoNode};
+  std::uint64_t r0{0};
+  std::uint64_t r1{0};
+
+  static constexpr std::uint64_t kNoRestart = ~std::uint64_t{0};
+};
+
+/// A deterministic fault schedule.  Rates are probabilities in [0, 1]
+/// evaluated per (round, slot) for drop/dup and per (round, node) for
+/// reorder; the crash schedule is explicit.  A default-constructed plan
+/// (all rates zero, no windows) is inactive: setting it on a Network is
+/// bit-identical to setting none at all.
+struct FaultPlan {
+  std::uint64_t seed{0};
+  double drop_rate{0.0};
+  double dup_rate{0.0};
+  double reorder_within_round{0.0};
+  std::vector<CrashWindow> crash_schedule;
+
+  /// True when the plan can perturb anything at all.
+  [[nodiscard]] bool active() const {
+    return drop_rate > 0.0 || dup_rate > 0.0 || reorder_within_round > 0.0 ||
+           !crash_schedule.empty();
+  }
+
+  /// Throws PreconditionError unless rates are in [0, 1] and every crash
+  /// window names a node < n with 1 ≤ r0 < r1 and at most one window per
+  /// node (overlapping windows on one node have no coherent semantics).
+  void validate(std::size_t n) const;
+
+  /// One-line human-readable summary, e.g.
+  /// "FaultPlan(seed=7, drop=0.25, crash=[12@[2,5)])".
+  [[nodiscard]] std::string describe() const;
+};
+
+/// The counter-based fault hash: a well-mixed 64-bit value determined
+/// solely by its four coordinates.  `stream` separates the independent
+/// decision families (drop vs dup vs reorder vs the permutation seed) so
+/// raising one rate never shifts another family's decisions.
+[[nodiscard]] std::uint64_t fault_hash(std::uint64_t seed,
+                                       std::uint32_t stream,
+                                       std::uint64_t round,
+                                       std::uint64_t index);
+
+/// Uniform [0, 1) from a fault_hash value (53-bit mantissa path).
+[[nodiscard]] inline double fault_u01(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace dmc

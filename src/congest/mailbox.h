@@ -13,6 +13,13 @@
 // construction (no sort, no allocation).  The iterator materializes each
 // Delivery on demand — the slot index IS the port, so ports are never
 // stored.
+//
+// Under an active FaultPlan the Network instead hands the mailbox a
+// MATERIALIZED inbox (the second constructor): a span of Delivery records
+// built after applying drop/duplicate/permute decisions at the slot
+// boundary.  The iterator then walks the list verbatim — duplicates and
+// permuted orders are representable, which fixed slots are not.  The
+// zero-copy slot view remains the only path reliable runs touch.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +45,7 @@ class InboxView {
     }
 
     [[nodiscard]] Delivery operator*() const {
+      if (view_->list_ != nullptr) return view_->list_[i_];
       Delivery d;
       d.port = i_;
       const std::uint32_t hdr = view_->hdr_[i_];
@@ -63,6 +71,7 @@ class InboxView {
 
    private:
     void skip_empty() {
+      if (view_->list_ != nullptr) return;  // list mode: every entry real
       while (i_ < view_->degree_ && view_->stamps_[i_] != view_->token_)
         ++i_;
     }
@@ -79,6 +88,12 @@ class InboxView {
         stamps_(stamps),
         degree_(degree),
         token_(token) {}
+  /// Materialized-list mode (fault-injected rounds): iterate `count`
+  /// prebuilt deliveries verbatim.  The list is borrowed and must outlive
+  /// the node's round() call — the Network keeps it on the executing
+  /// worker's stack.
+  InboxView(const Delivery* list, std::uint32_t count)
+      : degree_(count), list_(list) {}
 
   [[nodiscard]] iterator begin() const { return iterator{this, 0}; }
   [[nodiscard]] iterator end() const { return iterator{this, degree_}; }
@@ -89,8 +104,9 @@ class InboxView {
   const Word* payload_{nullptr};
   const std::uint32_t* hdr_{nullptr};
   const std::uint32_t* stamps_{nullptr};
-  std::uint32_t degree_{0};
+  std::uint32_t degree_{0};  ///< slot count, or list length in list mode
   std::uint32_t token_{0};
+  const Delivery* list_{nullptr};  ///< non-null ⇒ materialized-list mode
 };
 
 class Mailbox {

@@ -1,6 +1,9 @@
 #include "congest/network.h"
 
 #include <algorithm>
+#include <sstream>
+
+#include "util/prng.h"
 
 namespace dmc {
 
@@ -10,6 +13,13 @@ namespace {
 /// pointer never dangles across rounds or Networks.
 thread_local Network* tls_net = nullptr;
 thread_local std::size_t tls_shard = 0;
+
+/// fault_hash stream ids — one per independent decision family, so raising
+/// one rate never shifts another family's coin flips.
+constexpr std::uint32_t kStreamDrop = 0;
+constexpr std::uint32_t kStreamDup = 1;
+constexpr std::uint32_t kStreamReorder = 2;
+constexpr std::uint32_t kStreamPermute = 3;
 }  // namespace
 
 Network::Network(const Graph& g, std::unique_ptr<Engine> engine)
@@ -92,6 +102,26 @@ void Network::reset() {
   mode_ = Scheduling::kDense;
   dense_round_ = true;
   first_round_ = 0;
+  // Per-run fault scratch (the plan itself is configuration and stays).
+  faults_on_ = false;
+  std::fill(crashed_.begin(), crashed_.end(), std::uint8_t{0});
+  std::fill(restart_mask_.begin(), restart_mask_.end(), std::uint8_t{0});
+  restarted_.clear();
+  pending_restarts_ = 0;
+  round_fault_mask_ = 0;
+  round_bad_fault_.clear();
+  first_fault_.clear();
+  last_fault_.clear();
+}
+
+void Network::set_fault_plan(std::optional<FaultPlan> plan) {
+  if (plan) plan->validate(g_->num_nodes());
+  plan_ = std::move(plan);
+  if (plan_ && plan_->active()) {
+    const std::size_t n = g_->num_nodes();
+    crashed_.assign(n, 0);
+    restart_mask_.assign(n, 0);
+  }
 }
 
 void Network::set_stamp_epoch_limit_for_test(std::uint32_t limit) {
@@ -164,6 +194,10 @@ void Network::send_from(NodeId from, std::uint32_t port, const Message& m) {
 }
 
 void Network::execute_node(NodeId v, Protocol& p) {
+  if (faults_on_) [[unlikely]] {
+    execute_node_faulted(v, p);
+    return;
+  }
   const std::size_t read_parity = (round_ - 1) & 1;
   const std::uint32_t base = port_base_[v];
   Mailbox mb{*this, v,
@@ -184,6 +218,178 @@ void Network::execute_node(NodeId v, Protocol& p) {
     done_flag_[v] = now;
     c.done_delta += now ? 1 : -1;
   }
+}
+
+bool Network::note_read_fault(ShardCounters& c, FaultKind k,
+                              std::uint64_t index) {
+  const std::uint64_t code =
+      (index << 2) | static_cast<std::uint64_t>(k);
+  c.first_code = std::min(c.first_code, code);
+  if ((tolerance_ & tolerance_bit(k)) != 0u) return false;
+  c.first_bad_code = std::min(c.first_bad_code, code);
+  return true;
+}
+
+void Network::execute_node_faulted(NodeId v, Protocol& p) {
+  // A crashed node neither computes, reads, nor pays a node_step.
+  if (crashed_[v]) return;
+  const FaultPlan& plan = *plan_;
+  ShardCounters& c = counters_[tls_shard];
+  // Run-local 1-based round — the coordinate the plan's hashes are keyed
+  // on, so one plan hits every protocol of a pipeline identically.
+  const std::uint64_t e = round_ - first_round_ + 1;
+  const std::uint32_t base = port_base_[v];
+  const std::uint32_t degree = port_base_[v + 1] - base;
+
+  // Materialize the inbox, applying per-(round, slot) drop/dup decisions
+  // and an optional per-(round, node) permutation.  Decisions depend on
+  // counter-hash coordinates alone — never on which engine, thread, or
+  // scheduling mode got here first — so the same faults fire everywhere.
+  std::vector<Delivery> list;
+  if (!restart_mask_[v]) {
+    list.reserve(degree);
+    const std::size_t read_parity = (round_ - 1) & 1;
+    const std::uint32_t* stamps = stamps_[read_parity].data() + base;
+    const std::uint32_t* hdr = hdr_[read_parity].get() + base;
+    const Word* payload =
+        payload_[read_parity].get() + std::size_t{base} * kMaxWords;
+    for (std::uint32_t i = 0; i < degree; ++i) {
+      if (stamps[i] != rtoken_) continue;
+      const std::uint64_t slot = base + i;
+      if (plan.drop_rate > 0.0 &&
+          fault_u01(fault_hash(plan.seed, kStreamDrop, e, slot)) <
+              plan.drop_rate) {
+        ++c.drops;
+        // An intolerable fault dooms the round to the named rejection at
+        // end_round; don't hand the protocol an inbox it never claimed
+        // to absorb (it could trip its own asserts mid-round instead of
+        // failing with the fault diagnostic).  Deterministic: tolerance_
+        // is run-constant and the coin is counter-hashed.
+        if (note_read_fault(c, FaultKind::kDrop, slot)) return;
+        continue;
+      }
+      Delivery d;
+      d.port = i;
+      const std::uint32_t h = hdr[i];
+      d.msg.tag = h >> 8;
+      d.msg.size = static_cast<std::uint8_t>(h & 0xffu);
+      const Word* w = payload + std::size_t{i} * kMaxWords;
+      for (std::uint8_t k = 0; k < d.msg.size; ++k) d.msg.w[k] = w[k];
+      list.push_back(d);
+      if (plan.dup_rate > 0.0 &&
+          fault_u01(fault_hash(plan.seed, kStreamDup, e, slot)) <
+              plan.dup_rate) {
+        ++c.dups;
+        if (note_read_fault(c, FaultKind::kDup, slot)) return;
+        list.push_back(d);
+      }
+    }
+    if (list.size() >= 2 && plan.reorder_within_round > 0.0 &&
+        fault_u01(fault_hash(plan.seed, kStreamReorder, e, v)) <
+            plan.reorder_within_round) {
+      Prng perm{fault_hash(plan.seed, kStreamPermute, e, v)};
+      perm.shuffle(list);
+      ++c.reorders;
+      // Slot-space index (the node's first slot) keeps one total order
+      // across all three read-fault families; kind bits break ties.
+      if (note_read_fault(c, FaultKind::kReorder, base)) return;
+    }
+  }
+  // restart_mask_: the node restarted at the top of this round — mail
+  // delivered while it was down is discarded, so it sees an empty inbox.
+
+  Mailbox mb{*this, v,
+             InboxView{list.data(), static_cast<std::uint32_t>(list.size())}};
+  p.round(v, mb);
+
+  ++c.node_steps;
+  const std::uint8_t now = p.local_done(v) ? 1 : 0;
+  if (now != done_flag_[v]) {
+    done_flag_[v] = now;
+    c.done_delta += now ? 1 : -1;
+  }
+}
+
+void Network::apply_crash_transitions(Protocol& p) {
+  // Coordinator only, between begin_round() and the engine sweep: crash
+  // state is plain (non-atomic) because workers observe it strictly after
+  // the engine's round barrier.
+  for (const NodeId v : restarted_) restart_mask_[v] = 0;
+  restarted_.clear();
+  const std::uint64_t e = round_ - first_round_ + 1;
+  for (const CrashWindow& w : plan_->crash_schedule) {
+    if (w.r0 == e) {
+      crashed_[w.node] = 1;
+      if (w.r1 != CrashWindow::kNoRestart) ++pending_restarts_;
+      ++stats_.faults.crashes;
+      // A crashed node must not block quiescence: mark it done so live
+      // nodes can finish around a permanent crash.  pending_restarts_
+      // keeps a run with a scheduled restart alive until it happens.
+      if (!done_flag_[w.node]) {
+        done_flag_[w.node] = 1;
+        ++done_count_;
+      }
+      round_fault_mask_ |= tolerance_bit(FaultKind::kCrash);
+      std::ostringstream os;
+      os << "crash(round=" << e << ", node=" << w.node << ")";
+      last_fault_ = os.str();
+      if (first_fault_.empty()) first_fault_ = last_fault_;
+      if ((tolerance_ & kTolerateCrash) == 0u && round_bad_fault_.empty())
+        round_bad_fault_ = last_fault_;
+    }
+    if (w.r1 == e) {
+      crashed_[w.node] = 0;
+      --pending_restarts_;
+      ++stats_.faults.restarts;
+      p.on_crash_restart(w.node);
+      restart_mask_[w.node] = 1;
+      restarted_.push_back(w.node);
+      if (done_flag_[w.node]) {
+        done_flag_[w.node] = 0;
+        --done_count_;
+      }
+      // The wiped node must execute this round even under event-driven
+      // scheduling — it has no delivery (its mail was discarded), so
+      // nothing else would activate it.
+      if (!dense_round_) {
+        const auto it =
+            std::lower_bound(active_.begin(), active_.end(), w.node);
+        if (it == active_.end() || *it != w.node)
+          active_.insert(it, w.node);
+      }
+    }
+  }
+  if ((round_fault_mask_ & ~tolerance_) != 0u) throw_fault_rejection(p);
+}
+
+std::string Network::describe_read_fault(std::uint64_t code) const {
+  const auto kind = static_cast<FaultKind>(code & 3u);
+  const std::uint64_t index = code >> 2;
+  const std::uint64_t e = round_ - first_round_ + 1;
+  // Recover the receiver owning this slot (reorder codes use the node's
+  // first slot, so the same lookup works for all three families).
+  const auto it =
+      std::upper_bound(port_base_.begin(), port_base_.end(),
+                       static_cast<std::uint32_t>(index));
+  const NodeId v =
+      static_cast<NodeId>((it - port_base_.begin()) - 1);
+  std::ostringstream os;
+  if (kind == FaultKind::kReorder) {
+    os << "reorder(round=" << e << ", node=" << v << ")";
+  } else {
+    os << to_string(kind) << "(round=" << e << ", to=" << v
+       << ", port=" << index - port_base_[v] << ")";
+  }
+  return os.str();
+}
+
+void Network::throw_fault_rejection(const Protocol& p) const {
+  std::ostringstream os;
+  os << "protocol '" << p.name()
+     << "' does not tolerate injected faults: first intolerable fault "
+     << round_bad_fault_ << " under " << plan_->describe()
+     << " (first injected fault of the run: " << first_fault_ << ")";
+  throw InvariantError{os.str()};
 }
 
 void Network::renormalize_epoch() {
@@ -212,6 +418,8 @@ void Network::begin_round() {
   wtoken_ = token(round_);
   rtoken_ = token(round_ - 1);
   for (ShardCounters& c : counters_) c = ShardCounters{};
+  round_fault_mask_ = 0;
+  round_bad_fault_.clear();
   if (mode_ == Scheduling::kEventDriven && round_ != first_round_) {
     // Merge the per-shard buckets filled last round into one sorted,
     // duplicate-free active list.  Sorting makes the sweep order — and
@@ -257,6 +465,30 @@ std::uint64_t Network::end_round() {
   }
   done_count_ = static_cast<std::uint64_t>(
       static_cast<std::int64_t>(done_count_) + done_delta);
+  if (faults_on_) {
+    std::uint64_t drops = 0, dups = 0, reorders = 0;
+    std::uint64_t first = kNoFaultCode;
+    std::uint64_t first_bad = kNoFaultCode;
+    for (const ShardCounters& c : counters_) {
+      drops += c.drops;
+      dups += c.dups;
+      reorders += c.reorders;
+      first = std::min(first, c.first_code);
+      first_bad = std::min(first_bad, c.first_bad_code);
+    }
+    stats_.faults.drops += drops;
+    stats_.faults.dups += dups;
+    stats_.faults.reordered_inboxes += reorders;
+    if (drops) round_fault_mask_ |= tolerance_bit(FaultKind::kDrop);
+    if (dups) round_fault_mask_ |= tolerance_bit(FaultKind::kDup);
+    if (reorders) round_fault_mask_ |= tolerance_bit(FaultKind::kReorder);
+    if (first != kNoFaultCode) {
+      last_fault_ = describe_read_fault(first);
+      if (first_fault_.empty()) first_fault_ = last_fault_;
+    }
+    if (first_bad != kNoFaultCode && round_bad_fault_.empty())
+      round_bad_fault_ = describe_read_fault(first_bad);
+  }
   return sent;
 }
 
@@ -267,6 +499,18 @@ std::uint64_t Network::run(Protocol& p, std::uint64_t max_rounds) {
   const std::size_t n = g_->num_nodes();
   mode_ = forced_ ? *forced_ : p.scheduling();
   first_round_ = round_ + 1;
+  // Latch fault state for this run.  tolerance_ is run-constant, so
+  // worker threads may read it freely inside note_read_fault.
+  faults_on_ = plan_.has_value() && plan_->active();
+  tolerance_ = faults_on_ ? p.fault_tolerance() : kFaultTolerant;
+  if (faults_on_) {
+    std::fill(crashed_.begin(), crashed_.end(), std::uint8_t{0});
+    std::fill(restart_mask_.begin(), restart_mask_.end(), std::uint8_t{0});
+    restarted_.clear();
+    pending_restarts_ = 0;
+    first_fault_.clear();
+    last_fault_.clear();
+  }
   // Reset the quiescence tracker and drop stale activations (a previous
   // run's final-round wakes must not leak into this protocol).
   std::fill(done_flag_.begin(), done_flag_.end(), std::uint8_t{0});
@@ -285,10 +529,17 @@ std::uint64_t Network::run(Protocol& p, std::uint64_t max_rounds) {
 
   for (;;) {
     begin_round();
+    if (faults_on_) apply_crash_transitions(p);
     engine_->execute_round(*this, p);
     const std::uint64_t sent = end_round();
     ++executed;
     ++stats_.rounds;
+
+    // A fault of a kind the protocol did not declare fired this round:
+    // fail loudly (never a silently wrong answer).  Crash entries were
+    // already rejected at the top of the round by apply_crash_transitions.
+    if (faults_on_ && (round_fault_mask_ & ~tolerance_) != 0u)
+      throw_fault_rejection(p);
 
     // Cooperative cancellation: checked between rounds on this (the
     // coordinator) thread, so the worker pool is always quiescent when
@@ -301,11 +552,24 @@ std::uint64_t Network::run(Protocol& p, std::uint64_t max_rounds) {
 
     // Quiescent?  Nothing in flight and every node locally done — read
     // off the incremental counter; no O(n) scan in any scheduling mode.
-    if (sent == 0 && done_count_ == n) break;
+    // A crash window with a scheduled restart keeps the run alive until
+    // the restart happens, even though the crashed node counts as done.
+    if (sent == 0 && done_count_ == n && pending_restarts_ == 0) break;
 
-    DMC_ASSERT_MSG(executed < max_rounds,
-                   "protocol '" << p.name() << "' exceeded " << max_rounds
-                                << " rounds (deadlock?)");
+    DMC_ASSERT_MSG(
+        executed < max_rounds,
+        "protocol '" << p.name() << "' exceeded " << max_rounds
+                     << " rounds (deadlock?) at round " << round_ << "; "
+                     << (n - done_count_) << " of " << n
+                     << " nodes not locally done"
+                     << (faults_on_
+                             ? "; active " + plan_->describe() +
+                                   (last_fault_.empty()
+                                        ? std::string{
+                                              ", no fault injected yet"}
+                                        : ", last injected fault: " +
+                                              last_fault_)
+                             : std::string{}));
   }
 
   stats_.per_protocol.push_back(ProtocolStats{

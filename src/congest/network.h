@@ -54,10 +54,12 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "congest/arena.h"
 #include "congest/engine.h"
+#include "congest/faults.h"
 #include "congest/mailbox.h"
 #include "congest/message.h"
 #include "congest/observer.h"
@@ -108,6 +110,28 @@ class Network {
   /// instead of the heap; reset() rewinds it, so at steady state a warm
   /// query performs no allocation for arena-backed state.
   [[nodiscard]] Arena& arena() { return arena_; }
+
+  /// Installs a deterministic fault plan for every subsequent run()
+  /// (faults.h); nullopt — or an inactive plan — restores the reliable
+  /// network bit-for-bit.  Validated against the graph (throws
+  /// PreconditionError on bad rates / crash windows).  Like the
+  /// scheduling override and the observer, the plan is configuration,
+  /// not run state: it survives reset().  Faults are injected at the
+  /// slot→mailbox boundary when the receiver executes, keyed on
+  /// (plan seed, run-local round, slot/node) counter hashes alone, so a
+  /// faulted run stays bit-identical across engines, thread counts, and
+  /// scheduling modes; crash windows are processed between rounds on the
+  /// coordinator.  A protocol whose fault_tolerance() does not cover a
+  /// fired kind makes run() throw InvariantError naming the protocol and
+  /// the first injected fault — never a silently wrong answer.
+  void set_fault_plan(std::optional<FaultPlan> plan);
+  [[nodiscard]] const FaultPlan* fault_plan() const {
+    return plan_ ? &*plan_ : nullptr;
+  }
+  /// True when an installed plan can actually perturb runs.
+  [[nodiscard]] bool fault_plan_active() const {
+    return plan_ && plan_->active();
+  }
 
   /// Forces a scheduling mode for every subsequent run(), overriding the
   /// protocols' own declarations — the A/B hook the scheduling-equivalence
@@ -166,6 +190,9 @@ class Network {
   /// token space is exhausted, leaving headroom below kNeverStamp32.
   static constexpr std::uint32_t kDefaultEpochLimit = 0xfffffff0u;
 
+  /// "No fault recorded": above every packed (index << 2 | kind) code.
+  static constexpr std::uint64_t kNoFaultCode = ~std::uint64_t{0};
+
   /// Per-shard, per-round statistics; merged with commutative reductions
   /// at the end of every round, so totals are schedule-independent.
   /// Padded to a cache line to avoid false sharing between workers.
@@ -176,6 +203,16 @@ class Network {
     std::int64_t done_delta{0};  ///< Σ (done bit flips) of executed nodes
     std::uint8_t max_words{0};
     std::uint32_t max_edge_msgs{0};
+    // Fault-injection tallies (zero on reliable runs).  first_code packs
+    // (slot-space index << 2 | FaultKind) of the shard's earliest
+    // injected read-side fault this round in the canonical slot order;
+    // first_bad_code restricts to kinds outside the running protocol's
+    // tolerance.  Both merge via min, so "first" is engine-independent.
+    std::uint64_t drops{0};
+    std::uint64_t dups{0};
+    std::uint64_t reorders{0};
+    std::uint64_t first_code{kNoFaultCode};
+    std::uint64_t first_bad_code{kNoFaultCode};
   };
 
   /// Per-shard bucket of nodes activated for the NEXT round, sub-bucketed
@@ -195,6 +232,20 @@ class Network {
   void activate(NodeId u);
   /// Mailbox::request_wake target; no-op outside EventDriven runs.
   void request_wake(NodeId v);
+  /// execute_node's slow path under an active plan: materializes v's
+  /// inbox with drop/dup/permute decisions applied, or skips v entirely
+  /// while it is crashed.
+  void execute_node_faulted(NodeId v, Protocol& p);
+  /// Records one injected read-side fault into the shard counter block;
+  /// returns true when the kind is outside the running protocol's
+  /// tolerance (the round is then doomed to the named rejection).
+  bool note_read_fault(ShardCounters& c, FaultKind k, std::uint64_t index);
+  /// Processes crash entries/restarts scheduled for the current round —
+  /// coordinator only, between begin_round() and the engine sweep.
+  void apply_crash_transitions(Protocol& p);
+  /// Decodes a packed read-fault code into forensic text.
+  [[nodiscard]] std::string describe_read_fault(std::uint64_t code) const;
+  [[noreturn]] void throw_fault_rejection(const Protocol& p) const;
   void begin_round();
   /// Folds shard counters into stats_ and the done-counter; returns
   /// messages sent this round.
@@ -242,6 +293,19 @@ class Network {
   std::vector<ActivationBucket> buckets_;
   std::vector<std::uint8_t> done_flag_;  ///< last observed local_done(v)
   std::uint64_t done_count_{0};          ///< Σ done_flag_ (incremental)
+
+  // --- fault injection (plan is configuration; the rest is per-run) -----
+  std::optional<FaultPlan> plan_;
+  bool faults_on_{false};  ///< latched at run() start: plan_ is active
+  unsigned tolerance_{kFaultTolerant};  ///< running protocol's declaration
+  std::vector<std::uint8_t> crashed_;   ///< inside a crash window now
+  std::vector<std::uint8_t> restart_mask_;  ///< restarted THIS round
+  std::vector<NodeId> restarted_;  ///< nodes with restart_mask_ set
+  std::size_t pending_restarts_{0};  ///< entered windows awaiting restart
+  std::uint32_t round_fault_mask_{0};  ///< FaultKind bits fired this round
+  std::string round_bad_fault_;  ///< first intolerable fault this round
+  std::string first_fault_;      ///< first injected fault of the run
+  std::string last_fault_;       ///< most recent (deadlock forensics)
 };
 
 }  // namespace dmc

@@ -79,6 +79,14 @@ class AggregateBroadcastProtocol final : public Protocol {
   [[nodiscard]] Scheduling scheduling() const override {
     return Scheduling::kEventDriven;
   }
+  /// Fault audit — reorder: up-stream items land in per-child slots and
+  /// down-stream items arrive only from the unique parent (≤ 1 per
+  /// round), so a within-round permutation only interleaves writes to
+  /// disjoint buffers.  The up/down pipelines sequence items, which dup
+  /// duplicates and drop punctures, so neither is declared.
+  [[nodiscard]] unsigned fault_tolerance() const override {
+    return kTolerateReorder;
+  }
 
   /// Final combined list: at every node if deliver_all, else at roots.
   /// With AggOptions::keep set, only the kept subset (still key-sorted).

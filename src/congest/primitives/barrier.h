@@ -27,6 +27,14 @@ class BarrierProtocol final : public Protocol {
   [[nodiscard]] Scheduling scheduling() const override {
     return Scheduling::kEventDriven;
   }
+  /// Fault audit — reorder: one DONE per child and at most one GO per
+  /// round arrive on distinct ports; the countdown and GO forwarding fold
+  /// them commutatively, so inbox order is invisible.  A duplicated DONE
+  /// would double-decrement the countdown and a dropped one would wedge
+  /// the barrier, so only reorder is declared.
+  [[nodiscard]] unsigned fault_tolerance() const override {
+    return kTolerateReorder;
+  }
 
   /// True once v observed GO (valid after the run: true everywhere).
   [[nodiscard]] bool released(NodeId v) const { return go_[v] != 0; }

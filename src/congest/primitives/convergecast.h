@@ -50,6 +50,14 @@ class ConvergecastProtocol final : public Protocol {
   [[nodiscard]] Scheduling scheduling() const override {
     return Scheduling::kEventDriven;
   }
+  /// Fault audit — reorder: child reports land on distinct ports and fold
+  /// through a commutative aggregate, so any within-round permutation
+  /// produces the same sum and the same pending-child countdown.  A
+  /// duplicate report would be aggregated twice and a dropped one stalls
+  /// the subtree forever, so only reorder is declared.
+  [[nodiscard]] unsigned fault_tolerance() const override {
+    return kTolerateReorder;
+  }
 
   /// v's subtree aggregate (valid after the run).
   [[nodiscard]] const CValue& subtree_value(NodeId v) const {

@@ -50,6 +50,15 @@ class PipelinedDowncastProtocol final : public Protocol {
   [[nodiscard]] Scheduling scheduling() const override {
     return Scheduling::kEventDriven;
   }
+  /// Fault audit — reorder: each node receives at most one stream item per
+  /// round (from its unique parent), so a within-round permutation can
+  /// only shuffle deliveries of unrelated nodes — per-node behaviour is
+  /// untouched.  The pipeline's item sequencing breaks under dup (item
+  /// forwarded twice) and drop (hole in the stream), so neither is
+  /// declared.
+  [[nodiscard]] unsigned fault_tolerance() const override {
+    return kTolerateReorder;
+  }
 
  private:
   const TreeView* tv_;

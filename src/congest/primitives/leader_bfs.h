@@ -35,6 +35,16 @@ class LeaderBfsProtocol final : public Protocol {
   [[nodiscard]] Scheduling scheduling() const override {
     return Scheduling::kEventDriven;
   }
+  /// Fault audit — reorder: the adoption fold is a strict-< lexicographic
+  /// minimum over the inbox, and ties break toward the incumbent whatever
+  /// the arrival order, so any permutation yields the same state.  Dup: a
+  /// second copy of (root, dist) loses the strict-< comparison against the
+  /// state the first copy just installed — a no-op.  Drops lose waves
+  /// forever and a crash wipes adopted candidates; neither is recoverable
+  /// without retransmission, so neither is declared.
+  [[nodiscard]] unsigned fault_tolerance() const override {
+    return kTolerateReorder | kTolerateDup;
+  }
 
   /// Results, valid after the run.
   [[nodiscard]] NodeId leader() const;

@@ -115,6 +115,15 @@ class PairwiseExchangeProtocol final : public Protocol {
   [[nodiscard]] Scheduling scheduling() const override {
     return Scheduling::kEventDriven;
   }
+  /// Fault audit — reorder: incoming words append to per-PORT receive
+  /// buffers, and one round delivers at most one message per port, so a
+  /// within-round permutation interleaves appends to disjoint buffers —
+  /// every buffer ends the round with identical contents.  Dup corrupts a
+  /// stream (word counted twice) and drop truncates it, so neither is
+  /// declared.
+  [[nodiscard]] unsigned fault_tolerance() const override {
+    return kTolerateReorder;
+  }
 
   /// Words received by v on `port` (valid after the run).
   [[nodiscard]] WordView received(NodeId v, std::uint32_t port) const;

@@ -1,0 +1,134 @@
+#include "congest/primitives/stable_leader.h"
+
+namespace dmc {
+
+namespace {
+constexpr std::uint32_t kTagClaim = 1;
+/// Cache sentinel: "nothing heard on this port yet"; loses to any claim.
+constexpr std::uint64_t kNoLeader = ~std::uint64_t{0};
+}  // namespace
+
+StableLeaderProtocol::StableLeaderProtocol(const Graph& g,
+                                           std::uint32_t hop_cap,
+                                           std::uint32_t repeats)
+    : g_(&g),
+      hop_cap_(hop_cap == 0 ? static_cast<std::uint32_t>(g.num_nodes())
+                            : hop_cap),
+      repeats_(repeats) {
+  DMC_REQUIRE_MSG(repeats_ >= 1, "stable_leader needs repeats >= 1");
+  const std::size_t n = g.num_nodes();
+  st_.resize(n);
+  cache_base_.resize(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v)
+    cache_base_[v + 1] =
+        cache_base_[v] + static_cast<std::uint32_t>(g.degree(v));
+  cache_.assign(cache_base_[n], Claim{kNoLeader, 0});
+  for (NodeId v = 0; v < n; ++v) reset_node(v);
+}
+
+void StableLeaderProtocol::reset_node(NodeId v) {
+  st_[v] = State{/*claim=*/Claim{v, 0}, /*parent_port=*/kNoPort,
+                 /*countdown=*/0, /*started=*/false};
+}
+
+void StableLeaderProtocol::round(NodeId v, Mailbox& mb) {
+  State& s = st_[v];
+  const bool fresh = !s.started;
+  s.started = true;
+  Claim* cache = cache_.data() + cache_base_[v];
+
+  // Pass 1: fold heard claims into the per-port cache.  Assignments to
+  // distinct per-port entries, last-write idempotent — inbox order and
+  // duplicate deliveries cannot change the outcome of the recompute below.
+  for (const Delivery& d : mb.inbox()) {
+    DMC_ASSERT(d.msg.tag == kTagClaim);
+    cache[d.port] =
+        Claim{d.msg.at(0), static_cast<std::uint32_t>(d.msg.at(1))};
+  }
+
+  // Recompute the claim from scratch (never patched incrementally): the
+  // lex-min of self-candidacy and every cached claim stepped one hop,
+  // lowest achieving port breaking ties as the parent.
+  Claim best{v, 0};
+  std::uint32_t parent = kNoPort;
+  const std::uint32_t deg = cache_base_[v + 1] - cache_base_[v];
+  for (std::uint32_t pt = 0; pt < deg; ++pt) {
+    const Claim& heard = cache[pt];
+    if (heard.leader == kNoLeader || heard.hop + 1 > hop_cap_) continue;
+    const Claim via{heard.leader, heard.hop + 1};
+    if (less(via, best)) {
+      best = via;
+      parent = pt;
+    }
+  }
+  const bool changed = fresh || best.leader != s.claim.leader ||
+                       best.hop != s.claim.hop;
+  s.claim = best;
+  s.parent_port = parent;
+
+  // Pass 2 (correction): a sender whose claim is strictly worse than what
+  // v could offer it just lost state (restart) or missed a wave — re-arm
+  // the rebroadcast so v teaches it, even though v's own claim is stable.
+  bool correct = false;
+  if (!changed) {
+    const Claim offer{s.claim.leader, s.claim.hop + 1};
+    for (const Delivery& d : mb.inbox()) {
+      const Claim heard{d.msg.at(0),
+                        static_cast<std::uint32_t>(d.msg.at(1))};
+      if (less(offer, heard)) {
+        correct = true;
+        break;
+      }
+    }
+  }
+
+  if (changed || correct) s.countdown = repeats_;
+  if (s.countdown > 0) {
+    const Message m =
+        Message::make(kTagClaim, {s.claim.leader, s.claim.hop});
+    for (std::uint32_t pt = 0; pt < deg; ++pt) mb.send(pt, m);
+    --s.countdown;
+    if (s.countdown > 0) mb.request_wake();
+  }
+}
+
+bool StableLeaderProtocol::local_done(NodeId v) const {
+  return st_[v].started && st_[v].countdown == 0;
+}
+
+void StableLeaderProtocol::on_crash_restart(NodeId v) {
+  reset_node(v);
+  Claim* cache = cache_.data() + cache_base_[v];
+  const std::uint32_t deg = cache_base_[v + 1] - cache_base_[v];
+  for (std::uint32_t pt = 0; pt < deg; ++pt)
+    cache[pt] = Claim{kNoLeader, 0};
+}
+
+NodeId StableLeaderProtocol::leader() const {
+  return static_cast<NodeId>(st_[0].claim.leader);
+}
+
+bool StableLeaderProtocol::agreed() const {
+  for (const State& s : st_)
+    if (s.claim.leader != st_[0].claim.leader) return false;
+  return true;
+}
+
+TreeView StableLeaderProtocol::tree_view(const Graph& g) const {
+  std::vector<std::uint32_t> pp(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) pp[v] = st_[v].parent_port;
+  return TreeView::from_parent_ports(g, std::move(pp));
+}
+
+void record_stabilization(CongestStats& stats) {
+  for (auto it = stats.per_protocol.rbegin();
+       it != stats.per_protocol.rend(); ++it) {
+    if (it->name == "stable_leader") {
+      stats.faults.stabilization_rounds += it->rounds;
+      stats.faults.stabilization_messages += it->messages;
+      return;
+    }
+  }
+}
+
+}  // namespace dmc

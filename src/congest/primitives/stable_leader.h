@@ -1,0 +1,120 @@
+// Self-stabilizing leader election + BFS tree (PraSLE-style lexicographic
+// rule), built to run under an active FaultPlan.
+//
+// Every node v maintains a claim (leader, hop) — "I can reach `leader` in
+// `hop` hops" — plus a per-port cache of the last claim heard on each port.
+// Each execution recomputes the claim from scratch as the lexicographic
+// minimum of {(v, 0)} and {(L, h + 1) : (L, h) cached on some port,
+// h + 1 ≤ hop cap}; the lowest port achieving the minimum becomes the
+// parent port.  Because the claim is re-derived from the cache every time
+// (never incrementally patched), a crash-restarted node — state wiped via
+// on_crash_restart, pending mail discarded — rebuilds a correct claim from
+// whatever it hears next, with no global reset().
+//
+// Two mechanisms make this converge under faults rather than merely under
+// a perfect network:
+//   * R-round rebroadcast: any claim change (or fresh start) arms a
+//     countdown of `repeats` rounds during which the node re-announces its
+//     claim on every port, so a single dropped copy is retried.
+//   * Correction rule: when v hears a claim strictly lex-greater than what
+//     v itself could offer the sender — received (L, h) with
+//     (v.leader, v.hop + 1) <lex (L, h) — the sender is worse-informed
+//     (e.g. it just restarted), so v re-arms its countdown even though its
+//     own claim did not change.  This is what re-teaches a restarted node
+//     whose neighbours are already converged and would otherwise stay
+//     silent.
+//
+// Phantom containment: a claim chain is supported hop-by-hop and grounded
+// at hop 0 only by the leader itself, so a stale (phantom) claim cannot
+// out-compete the true minimum forever — its hop count grows past the cap
+// within O(cap) rounds and it is discarded.  Convergence after a crash
+// restart takes O(dist to the restarted region) + repeats rounds ≤ O(D).
+//
+// Audited tolerance: ALL four fault kinds.  Reorder/dup — the cache fold
+// writes distinct per-port entries with idempotent assignments, and the
+// claim is recomputed only after the full fold, so inbox order and
+// duplicate deliveries are invisible.  Drop — absorbed by the rebroadcast
+// countdown plus the correction rule (a run can still quiesce disagreeing
+// if EVERY copy across a countdown window drops in both directions on some
+// edge, probability ≤ drop_rate^(2·repeats) per edge per change;
+// deterministic per plan seed — see DESIGN.md).  Crash — handled by
+// on_crash_restart as above.  Known limitation, also in DESIGN.md: a
+// PERMANENT leader crash is not recovered (neighbour caches hold its claim
+// forever; aging caches out needs timeouts this synchronous layer does not
+// model) — crash-RESTART is the supported recovery scenario.
+#pragma once
+
+#include <vector>
+
+#include "congest/protocol.h"
+#include "congest/stats.h"
+#include "congest/tree_view.h"
+
+namespace dmc {
+
+class StableLeaderProtocol final : public Protocol {
+ public:
+  /// `hop_cap` bounds believable claim distances (0 ⇒ n, always sound on a
+  /// connected graph); `repeats` is the rebroadcast window R.
+  explicit StableLeaderProtocol(const Graph& g, std::uint32_t hop_cap = 0,
+                                std::uint32_t repeats = 3);
+
+  [[nodiscard]] std::string name() const override { return "stable_leader"; }
+  void round(NodeId v, Mailbox& mb) override;
+  [[nodiscard]] bool local_done(NodeId v) const override;
+  /// Event-driven audit: an idle execution (empty inbox, countdown == 0)
+  /// folds nothing, recomputes the identical claim from the unchanged
+  /// cache, and sends nothing; while countdown > 0 the node requests its
+  /// own wake, so quiescence never drops a pending rebroadcast.
+  [[nodiscard]] Scheduling scheduling() const override {
+    return Scheduling::kEventDriven;
+  }
+  /// See the file comment for the per-kind audit arguments.
+  [[nodiscard]] unsigned fault_tolerance() const override {
+    return kFaultTolerant;
+  }
+  /// Wipes v back to its just-constructed claim (v, 0) and forgets v's own
+  /// port cache.  Neighbour caches still hold v's old claims; the
+  /// correction rule re-teaches v and the stale entries are overwritten by
+  /// v's fresh announcements.
+  void on_crash_restart(NodeId v) override;
+
+  /// Results, valid after the run (all nodes agree at a converged
+  /// quiescence).
+  [[nodiscard]] NodeId leader() const;
+  [[nodiscard]] std::uint32_t hop(NodeId v) const { return st_[v].claim.hop; }
+  [[nodiscard]] bool agreed() const;  ///< every node names the same leader
+  [[nodiscard]] TreeView tree_view(const Graph& g) const;
+
+ private:
+  struct Claim {
+    std::uint64_t leader;
+    std::uint32_t hop;
+  };
+  struct State {
+    Claim claim;
+    std::uint32_t parent_port;
+    std::uint32_t countdown;  ///< rebroadcast rounds still owed
+    bool started;
+  };
+  [[nodiscard]] static bool less(const Claim& a, const Claim& b) {
+    return a.leader < b.leader || (a.leader == b.leader && a.hop < b.hop);
+  }
+  void reset_node(NodeId v);
+
+  const Graph* g_;
+  std::uint32_t hop_cap_;
+  std::uint32_t repeats_;
+  std::vector<State> st_;
+  std::vector<std::uint32_t> cache_base_;  ///< CSR offsets into cache_
+  std::vector<Claim> cache_;  ///< last claim heard per directed port
+};
+
+/// Folds the most recent `stable_leader` per-protocol entry of `stats`
+/// into its FaultStats stabilization counters — the "how long did
+/// re-stabilization take, and what message overhead did it pay" metrics
+/// the robustness tests and dmc_check report.  No-op if the protocol has
+/// no entry.
+void record_stabilization(CongestStats& stats);
+
+}  // namespace dmc

@@ -22,8 +22,10 @@
 
 #include <string>
 
+#include "congest/faults.h"
 #include "congest/mailbox.h"
 #include "graph/graph.h"
+#include "util/assert.h"
 
 namespace dmc {
 
@@ -70,6 +72,32 @@ class Protocol {
   /// stats must be bit-identical to a dense run — only node_steps shrinks.
   [[nodiscard]] virtual Scheduling scheduling() const {
     return Scheduling::kDense;
+  }
+
+  /// Fault-tolerance declaration — a FaultTolerance bitmask over the
+  /// FaultKinds this protocol has been AUDITED to absorb (faults.h).  The
+  /// default declares none: under an active FaultPlan, the first injected
+  /// fault of an undeclared kind makes Network::run throw InvariantError
+  /// naming the protocol and the fault, so a reliable-only protocol can
+  /// never return a silently wrong answer from a perturbed run.  An
+  /// override is a correctness claim, not a wish — each one should carry
+  /// the audit argument in a comment (see the primitives for examples).
+  [[nodiscard]] virtual unsigned fault_tolerance() const {
+    return kReliableOnly;
+  }
+
+  /// Crash-restart hook: called once, between rounds on the coordinator
+  /// thread, when node v restarts after a crash window.  An implementation
+  /// must reinitialize exactly v's slice of protocol state to its
+  /// just-constructed value (the network discards v's pending mail
+  /// itself).  Only meaningful for protocols declaring kTolerateCrash; the
+  /// default throws, which keeps an unaudited protocol from silently
+  /// resuming a wiped node with stale state.
+  virtual void on_crash_restart(NodeId v) {
+    DMC_ASSERT_MSG(false, "protocol '"
+                              << name() << "' declares no crash tolerance "
+                              << "but node " << v
+                              << " was crash-restarted by a FaultPlan");
   }
 };
 

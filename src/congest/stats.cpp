@@ -19,6 +19,7 @@ void CongestStats::reset() {
   node_steps = 0;
   max_words_per_message = 0;
   max_messages_edge_round = 0;
+  faults = FaultStats{};
   per_protocol.clear();
 }
 
@@ -27,6 +28,13 @@ void CongestStats::print(std::ostream& os) const {
      << " barrier) messages=" << messages << " words=" << words
      << " node_steps=" << node_steps
      << " max_words/msg=" << static_cast<int>(max_words_per_message) << '\n';
+  if (faults.any() || faults.stabilization_rounds)
+    os << "  faults: drops=" << faults.drops << " dups=" << faults.dups
+       << " reordered=" << faults.reordered_inboxes
+       << " crashes=" << faults.crashes << " restarts=" << faults.restarts
+       << " stabilization_rounds=" << faults.stabilization_rounds
+       << " stabilization_messages=" << faults.stabilization_messages
+       << '\n';
   for (const ProtocolStats& p : per_protocol)
     os << "  " << p.name << ": rounds=" << p.rounds
        << " messages=" << p.messages << " node_steps=" << p.node_steps

@@ -23,6 +23,29 @@ struct ProtocolStats {
                                        const ProtocolStats&) = default;
 };
 
+/// Fault-injection accounting (faults.h).  All zero on reliable runs.
+/// Drop/dup/reorder counters flow through the per-shard counter blocks
+/// (commutative sums, so they are engine- and scheduling-independent);
+/// crash/restart events are counted on the coordinator straight from the
+/// plan.  The stabilization pair is written by record_stabilization
+/// (primitives/stable_leader.h): the rounds and messages a
+/// self-stabilizing protocol spent reaching its fixpoint.
+struct FaultStats {
+  std::uint64_t drops{0};
+  std::uint64_t dups{0};
+  std::uint64_t reordered_inboxes{0};
+  std::uint64_t crashes{0};
+  std::uint64_t restarts{0};
+  std::uint64_t stabilization_rounds{0};
+  std::uint64_t stabilization_messages{0};
+
+  [[nodiscard]] bool any() const {
+    return drops || dups || reordered_inboxes || crashes || restarts;
+  }
+  [[nodiscard]] friend bool operator==(const FaultStats&,
+                                       const FaultStats&) = default;
+};
+
 struct CongestStats {
   std::uint64_t rounds{0};          ///< real executed rounds
   std::uint64_t barrier_rounds{0};  ///< charged phase-transition rounds
@@ -34,6 +57,8 @@ struct CongestStats {
   std::uint8_t max_words_per_message{0};
   /// Max messages observed over one directed edge in one round (legal: 1).
   std::uint32_t max_messages_edge_round{0};
+  /// Injected-fault counters; all zero unless a FaultPlan was active.
+  FaultStats faults;
   std::vector<ProtocolStats> per_protocol;
 
   [[nodiscard]] std::uint64_t total_rounds() const {

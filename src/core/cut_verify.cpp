@@ -40,6 +40,12 @@ class SideExchange final : public Protocol {
   [[nodiscard]] Scheduling scheduling() const override {
     return Scheduling::kEventDriven;
   }
+  /// Fault audit — reorder: crossing weight accumulates as a commutative
+  /// sum over the inbox, so arrival order is invisible.  Dup double-counts
+  /// an edge's weight and drop loses it, so neither is declared.
+  [[nodiscard]] unsigned fault_tolerance() const override {
+    return kTolerateReorder;
+  }
   [[nodiscard]] Weight local_cross(NodeId v) const {
     return local_cross_[v];
   }

@@ -53,6 +53,13 @@ class ChildBitProtocol final : public Protocol {
   [[nodiscard]] Scheduling scheduling() const override {
     return Scheduling::kEventDriven;
   }
+  /// Fault audit — reorder: round 2 counts set bits over the inbox — a
+  /// commutative sum, indifferent to arrival order.  A duplicated bit
+  /// would be counted twice and a dropped one undercounts, so only
+  /// reorder is declared.
+  [[nodiscard]] unsigned fault_tolerance() const override {
+    return kTolerateReorder;
+  }
 
   /// Number of children branches of v containing a whole fragment.
   [[nodiscard]] std::uint32_t branches(NodeId v) const {

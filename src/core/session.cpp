@@ -195,6 +195,7 @@ GkEstimateResult to_gk_result(const MinCutReport& rep) {
 Session::Session(const Graph& g, SessionOptions opt)
     : g_(&g), opt_(opt), net_(g, make_engine(opt.engine_threads)) {
   net_.force_scheduling(opt.scheduling);
+  net_.set_fault_plan(opt.fault_plan);
 }
 
 Session::~Session() = default;
@@ -205,6 +206,12 @@ const SessionInfra* Session::warm_infra(const MinCutRequest& req) {
   // either way (warm replay restores the exact bootstrap snapshot), only
   // the events differ.  The internal BudgetGuard has no such contract.
   if (observer_ != nullptr) return nullptr;
+
+  // An active fault plan also forces cold solves: the cache records a
+  // RELIABLE bootstrap, so replaying it would hand the query a bootstrap
+  // that never absorbed the plan's faults — silently un-injecting them.
+  // (core/warm.cpp rejects build/replay under an active plan outright.)
+  if (net_.fault_plan_active()) return nullptr;
 
   // Stages build lazily, each on a clean post-bootstrap base, and only
   // for the algorithms that consume them — a one-shot session must never

@@ -54,6 +54,12 @@ struct SessionOptions {
   /// Scheduling override for every run; nullopt = per-protocol
   /// declarations (see Scheduling).  Only node_steps may change.
   std::optional<Scheduling> scheduling{};
+  /// Deterministic fault plan applied to every run of every solve
+  /// (congest/faults.h); nullopt = reliable network.  An ACTIVE plan
+  /// disables the warm-infrastructure cache: the bootstrap must re-run —
+  /// and re-absorb its faults — under every query, so replaying a
+  /// recorded reliable bootstrap would silently un-inject the plan.
+  std::optional<FaultPlan> fault_plan{};
 };
 
 /// The algorithms a Session can dispatch.

@@ -61,6 +61,13 @@ class MaskedFlood final : public Protocol {
   [[nodiscard]] Scheduling scheduling() const override {
     return Scheduling::kEventDriven;
   }
+  /// Fault audit — reorder/dup: reaching a node sets a sticky bit; a
+  /// second copy (any order, any port) finds the bit already set and
+  /// no-ops, so the fold is idempotent AND commutative.  Drop severs the
+  /// flood with no retransmission, so it is not declared.
+  [[nodiscard]] unsigned fault_tolerance() const override {
+    return kTolerateReorder | kTolerateDup;
+  }
   [[nodiscard]] bool reached(NodeId v) const { return reached_[v] != 0; }
 
  private:

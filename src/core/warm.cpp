@@ -87,6 +87,12 @@ SessionInfra build_session_infra(Schedule& sched) {
   DMC_REQUIRE_MSG(net.stats().rounds == 0 && net.stats().per_protocol.empty(),
                   "session infra must be built on a pristine network");
 
+  // NOTE: building under an active FaultPlan is legitimate — this IS the
+  // cold path's bootstrap, and it must run live so the plan's faults hit
+  // it (the crash profile rejects right here, in leader election).  Only
+  // REPLAYING a cached build is guarded below: a recorded bootstrap
+  // predates the plan's perturbations.
+
   SessionInfra infra;
   LeaderBfsProtocol lb{g};
   sched.run_uncharged(lb);
@@ -105,6 +111,10 @@ void replay_session_infra(Schedule& sched, const SessionInfra& infra) {
                   "session infra replayed onto a non-pristine network");
   DMC_REQUIRE_MSG(infra.bfs.num_nodes() == net.graph().num_nodes(),
                   "session infra belongs to a different graph");
+  DMC_REQUIRE_MSG(!net.fault_plan_active(),
+                  "session infra cannot be replayed under an active "
+                  "FaultPlan (" << net.fault_plan()->describe()
+                      << ") — fault-injected sessions must solve cold");
   net.stats() = infra.bootstrap;
   sched.set_barrier_height(infra.height);
 

@@ -89,6 +89,14 @@ class MergeRequestProtocol final : public Protocol {
   [[nodiscard]] Scheduling scheduling() const override {
     return Scheduling::kEventDriven;
   }
+  /// Fault audit — reorder: received requests are keyed by (receiver,
+  /// port) and sorted before use, so within-round arrival order is erased
+  /// anyway.  A duplicated request would register one merge edge twice and
+  /// a dropped one silently severs a fragment merge, so only reorder is
+  /// declared.
+  [[nodiscard]] unsigned fault_tolerance() const override {
+    return kTolerateReorder;
+  }
 
   /// Requests delivered to v: (receiver, receiver port, requesting
   /// fragment).
@@ -161,6 +169,14 @@ class MergeFloodProtocol final : public Protocol {
   /// (started, empty inbox) is a no-op.
   [[nodiscard]] Scheduling scheduling() const override {
     return Scheduling::kEventDriven;
+  }
+  /// Fault audit — reorder: the flood adopts the minimum seed over the
+  /// inbox with a strict-< fold, so any within-round permutation reaches
+  /// the same minimum.  Drop loses a wave forever (no retransmission) and
+  /// dup re-triggers the adoption check whose parent assignment is not
+  /// idempotent across copies, so neither is declared.
+  [[nodiscard]] unsigned fault_tolerance() const override {
+    return kTolerateReorder;
   }
 
   [[nodiscard]] NodeId new_frag(NodeId v) const { return new_frag_[v]; }

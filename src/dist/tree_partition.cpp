@@ -68,6 +68,14 @@ class OrientFloodProtocol final : public Protocol {
   [[nodiscard]] Scheduling scheduling() const override {
     return Scheduling::kEventDriven;
   }
+  /// Fault audit — reorder: a node adopts the first seed it hears, and on
+  /// a tree at most ONE port can deliver a seed in any round (the wave
+  /// arrives from the unique parent side), so within-round order never
+  /// offers a choice.  Drop kills the wave and dup re-runs a non-
+  /// idempotent adoption, so neither is declared.
+  [[nodiscard]] unsigned fault_tolerance() const override {
+    return kTolerateReorder;
+  }
 
   [[nodiscard]] std::uint32_t depth(NodeId v) const { return depth_[v]; }
   [[nodiscard]] std::uint32_t parent_port(NodeId v) const {

@@ -1,0 +1,511 @@
+// The fault-injection layer (congest/faults.h) and its flagship consumer,
+// the self-stabilizing leader election (congest/primitives/stable_leader.h).
+//
+// The determinism contract under test: a FaultPlan's decisions are
+// counter-hashed per (round, slot/node), never drawn from a stateful RNG
+// consumed in execution order — so the exact same faults fire under every
+// engine, thread count, and scheduling mode, and a faulted run is
+// bit-identical across {sequential, sharded(1,2,8)} × {Dense, EventDriven}
+// and replayable from the one (plan, seed) coordinate.
+//
+// The robustness contract: a protocol that did not declare tolerance for a
+// fault kind fails LOUDLY (InvariantError naming the protocol and the
+// first injected fault) — it never runs a round on a perturbed inbox it
+// cannot absorb, and never returns a silently wrong answer.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "check/check.h"
+#include "congest/network.h"
+#include "congest/primitives/leader_bfs.h"
+#include "congest/primitives/pairwise_exchange.h"
+#include "congest/primitives/stable_leader.h"
+#include "core/session.h"
+#include "graph/generators.h"
+#include "util/prng.h"
+
+namespace dmc {
+namespace {
+
+constexpr unsigned kEngines[] = {0u, 1u, 2u, 8u};  // 0 = sequential
+
+std::unique_ptr<Engine> make_test_engine(unsigned cfg) {
+  return cfg == 0 ? make_sequential_engine() : make_sharded_engine(cfg);
+}
+
+std::string engine_label(unsigned cfg) {
+  return cfg == 0 ? "sequential" : "sharded(" + std::to_string(cfg) + ")";
+}
+
+/// A mixed plan exercising all four fault kinds at once.
+FaultPlan mixed_plan(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.drop_rate = 0.15;
+  plan.dup_rate = 0.15;
+  plan.reorder_within_round = 0.5;
+  plan.crash_schedule = {CrashWindow{3, 4, 7}};
+  return plan;
+}
+
+struct RunOutput {
+  std::string obs;
+  CongestStats stats;
+};
+
+/// One faulted stable-leader run under the given engine/scheduling cell.
+RunOutput run_stable_leader(const Graph& g, const FaultPlan& plan,
+                            unsigned engine_cfg,
+                            std::optional<Scheduling> forced) {
+  Network net{g, make_test_engine(engine_cfg)};
+  net.force_scheduling(forced);
+  net.set_fault_plan(plan);
+  StableLeaderProtocol sl{g};
+  net.run(sl);
+  std::ostringstream os;
+  os << "leader=" << sl.leader() << ";agreed=" << sl.agreed() << ';';
+  for (NodeId v = 0; v < g.num_nodes(); ++v) os << sl.hop(v) << ',';
+  const TreeView tv = sl.tree_view(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    os << (tv.is_root(v) ? -1 : static_cast<int>(tv.parent_port(v))) << ';';
+  return RunOutput{os.str(), net.stats()};
+}
+
+// ---------------------------------------------------------------------
+// Determinism: bit-identity across engines, threads, scheduling modes.
+// ---------------------------------------------------------------------
+
+TEST(FaultDeterminism, BitIdenticalAcrossEnginesAndScheduling) {
+  const Graph graphs[] = {
+      make_path(17),
+      make_torus(4, 5),
+      make_random_regular(24, 3, /*seed=*/9),
+  };
+  const FaultPlan plan = mixed_plan(/*seed=*/42);
+  for (const Graph& g : graphs) {
+    const RunOutput dense_seq =
+        run_stable_leader(g, plan, 0, Scheduling::kDense);
+    const RunOutput event_seq =
+        run_stable_leader(g, plan, 0, Scheduling::kEventDriven);
+
+    // Across scheduling modes: identical observables, identical stats
+    // modulo node_steps — including every injected-fault counter.
+    EXPECT_EQ(event_seq.obs, dense_seq.obs);
+    EXPECT_TRUE(event_seq.stats.without_node_steps() ==
+                dense_seq.stats.without_node_steps())
+        << "stats (mod node_steps) diverged across scheduling modes";
+    EXPECT_TRUE(event_seq.stats.faults == dense_seq.stats.faults)
+        << "fault counters must not depend on the scheduling mode";
+
+    // Within a mode: every engine × thread count bit-identical to the
+    // mode's sequential run, node_steps included.
+    for (const Scheduling mode :
+         {Scheduling::kDense, Scheduling::kEventDriven}) {
+      const RunOutput& baseline =
+          mode == Scheduling::kDense ? dense_seq : event_seq;
+      for (const unsigned cfg : kEngines) {
+        if (cfg == 0) continue;
+        const RunOutput r = run_stable_leader(g, plan, cfg, mode);
+        EXPECT_EQ(r.obs, baseline.obs) << engine_label(cfg);
+        EXPECT_TRUE(r.stats == baseline.stats)
+            << engine_label(cfg) << ": faulted stats diverged from the "
+            << "mode's sequential run";
+      }
+    }
+  }
+}
+
+TEST(FaultDeterminism, SamePlanReplaysBitIdentically) {
+  const Graph g = make_random_regular(20, 4, /*seed=*/5);
+  const FaultPlan plan = mixed_plan(/*seed=*/7);
+  const RunOutput a = run_stable_leader(g, plan, 2, std::nullopt);
+  const RunOutput b = run_stable_leader(g, plan, 2, std::nullopt);
+  EXPECT_EQ(a.obs, b.obs);
+  EXPECT_TRUE(a.stats == b.stats);
+}
+
+TEST(FaultDeterminism, DistinctSeedsPerturbDifferently) {
+  const Graph g = make_torus(4, 4);
+  FaultPlan a = mixed_plan(1), b = mixed_plan(2);
+  a.crash_schedule.clear();
+  b.crash_schedule.clear();
+  const RunOutput ra = run_stable_leader(g, a, 0, std::nullopt);
+  const RunOutput rb = run_stable_leader(g, b, 0, std::nullopt);
+  // Same rates, different seed: the coin pattern must actually move (the
+  // hash is seed-sensitive, not rate-bucketed).
+  EXPECT_FALSE(ra.stats.faults == rb.stats.faults)
+      << "two seeds produced the exact same fault pattern";
+}
+
+TEST(FaultDeterminism, InactivePlanIsExactlyNoPlan) {
+  const Graph g = make_planted_cut(24, 0.5, 3, 1, 13);
+  const auto run_leader_bfs = [&](bool with_inactive_plan) {
+    Network net{g};
+    if (with_inactive_plan) net.set_fault_plan(FaultPlan{});  // all zero
+    LeaderBfsProtocol lb{g};
+    net.run(lb);
+    std::ostringstream os;
+    os << lb.leader() << ';';
+    for (NodeId v = 0; v < g.num_nodes(); ++v) os << lb.depth(v) << ',';
+    return RunOutput{os.str(), net.stats()};
+  };
+  const RunOutput none = run_leader_bfs(false);
+  const RunOutput inactive = run_leader_bfs(true);
+  EXPECT_EQ(inactive.obs, none.obs);
+  EXPECT_TRUE(inactive.stats == none.stats)
+      << "an inactive plan must be bit-identical to no plan at all";
+  EXPECT_FALSE(none.stats.faults.any());
+}
+
+// ---------------------------------------------------------------------
+// Self-stabilizing leader election.
+// ---------------------------------------------------------------------
+
+/// Runs stable_leader on a reliable network and checks full agreement on
+/// the lexicographic minimum (node 0) with exact BFS hop counts.
+void expect_reliable_convergence(const Graph& g) {
+  Network net{g};
+  StableLeaderProtocol sl{g};
+  net.run(sl);
+  EXPECT_TRUE(sl.agreed());
+  EXPECT_EQ(sl.leader(), NodeId{0});
+  LeaderBfsProtocol lb{g, /*root=*/0};
+  Network ref{g};
+  ref.run(lb);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    EXPECT_EQ(sl.hop(v), lb.depth(v)) << "node " << v;
+  const TreeView tv = sl.tree_view(g);
+  EXPECT_TRUE(tv.is_root(0));
+}
+
+TEST(StableLeader, ConvergesOnReliableNetwork) {
+  expect_reliable_convergence(make_path(17));
+  expect_reliable_convergence(make_torus(4, 5));
+  expect_reliable_convergence(make_random_regular(24, 3, /*seed=*/3));
+}
+
+/// Crash-restarts `victim` over [r0, r1) and checks the protocol reaches
+/// full agreement again without any global reset, within r1 + c·D rounds.
+void expect_crash_recovery(const Graph& g, NodeId victim,
+                           std::uint64_t diameter) {
+  const std::uint64_t r0 = 3, r1 = 6;
+  FaultPlan plan;
+  plan.seed = 1;
+  plan.crash_schedule = {CrashWindow{victim, r0, r1}};
+  Network net{g};
+  net.set_fault_plan(plan);
+  StableLeaderProtocol sl{g};
+  const std::uint64_t rounds = net.run(sl);
+  EXPECT_TRUE(sl.agreed()) << "victim=" << victim;
+  EXPECT_EQ(sl.leader(), NodeId{0});
+  EXPECT_EQ(net.stats().faults.crashes, 1u);
+  EXPECT_EQ(net.stats().faults.restarts, 1u);
+  // Convergence bound: the restarted region is re-taught in O(D) plus the
+  // rebroadcast window; generous constants, but still O(D).
+  EXPECT_LE(rounds, r1 + 2 * diameter + 16)
+      << "crash recovery exceeded the O(D) re-stabilization bound";
+
+  // The stabilization metrics fold into FaultStats on request.
+  CongestStats st = net.stats();
+  record_stabilization(st);
+  EXPECT_EQ(st.faults.stabilization_rounds, st.per_protocol.back().rounds);
+  EXPECT_EQ(st.faults.stabilization_messages,
+            st.per_protocol.back().messages);
+}
+
+TEST(StableLeader, RecoversFromCrashRestartWithoutReset) {
+  expect_crash_recovery(make_path(17), /*victim=*/8, /*diameter=*/16);
+  expect_crash_recovery(make_torus(4, 5), /*victim=*/7, /*diameter=*/4);
+  expect_crash_recovery(make_random_regular(24, 3, /*seed=*/11),
+                        /*victim=*/5, /*diameter=*/8);
+}
+
+TEST(StableLeader, RecoversWhenTheLeaderItselfRestarts) {
+  // Node 0 IS the converged leader; wiping it resets its claim to (0, 0),
+  // which is still the lexicographic minimum — neighbours re-learn it and
+  // 0's own fresh announcements overwrite any stale cache entries.
+  expect_crash_recovery(make_torus(4, 4), /*victim=*/0, /*diameter=*/4);
+}
+
+TEST(StableLeader, PermanentNonLeaderCrashStillQuiesces) {
+  // r1 == kNoRestart: nobody is pending, so the run must terminate with
+  // the crashed node counted as done — not hang until the deadlock guard.
+  const Graph g = make_torus(4, 4);
+  FaultPlan plan;
+  plan.crash_schedule = {
+      CrashWindow{15, 3, CrashWindow::kNoRestart}};
+  Network net{g};
+  net.set_fault_plan(plan);
+  StableLeaderProtocol sl{g};
+  net.run(sl, /*max_rounds=*/512);
+  EXPECT_EQ(net.stats().faults.crashes, 1u);
+  EXPECT_EQ(net.stats().faults.restarts, 0u);
+  EXPECT_EQ(sl.leader(), NodeId{0});
+}
+
+TEST(StableLeader, SurvivesTheFullMixedPlan) {
+  // All four kinds at once; the protocol declares kFaultTolerant, so the
+  // run must complete and agree — and faults must actually have fired.
+  const Graph g = make_random_regular(24, 4, /*seed=*/17);
+  const RunOutput r = run_stable_leader(g, mixed_plan(3), 0, std::nullopt);
+  EXPECT_NE(r.obs.find("agreed=1"), std::string::npos);
+  EXPECT_TRUE(r.stats.faults.any());
+  EXPECT_GT(r.stats.faults.drops, 0u);
+  EXPECT_GT(r.stats.faults.dups, 0u);
+  EXPECT_GT(r.stats.faults.reordered_inboxes, 0u);
+  EXPECT_EQ(r.stats.faults.crashes, 1u);
+  EXPECT_EQ(r.stats.faults.restarts, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Loud rejection: undeclared fault kinds must never corrupt a protocol.
+// ---------------------------------------------------------------------
+
+/// Runs `body` expecting the named-fault rejection; returns the message.
+template <typename Body>
+std::string expect_fault_rejection(Body&& body) {
+  try {
+    body();
+  } catch (const InvariantError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("does not tolerate injected faults"),
+              std::string::npos)
+        << msg;
+    return msg;
+  }
+  ADD_FAILURE() << "expected the named-fault InvariantError";
+  return {};
+}
+
+TEST(FaultRejection, DupIntolerantProtocolRejectsBeforeCorruption) {
+  // pairwise_exchange sizes its receive buffers exactly; a duplicated
+  // delivery must produce the named rejection, NOT an out-of-bounds
+  // assert from inside the protocol.
+  const Graph g = make_planted_cut(16, 0.5, 2, 1, 29);
+  FaultPlan plan;
+  plan.dup_rate = 1.0;
+  const std::string msg = expect_fault_rejection([&] {
+    Network net{g};
+    net.set_fault_plan(plan);
+    const std::size_t n = g.num_nodes();
+    std::vector<std::vector<std::vector<Word>>> outgoing(n);
+    for (NodeId v = 0; v < n; ++v) {
+      outgoing[v].resize(g.degree(v));
+      for (std::uint32_t p = 0; p < g.degree(v); ++p)
+        outgoing[v][p].push_back(Word{v} * 100 + p);
+    }
+    PairwiseExchangeProtocol px{g, std::move(outgoing)};
+    net.run(px);
+  });
+  EXPECT_NE(msg.find("pairwise_exchange"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("dup("), std::string::npos) << msg;
+}
+
+TEST(FaultRejection, DropIntolerantProtocolRejectsByName) {
+  const Graph g = make_torus(4, 4);
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.drop_rate = 1.0;
+  const std::string msg = expect_fault_rejection([&] {
+    Network net{g};
+    net.set_fault_plan(plan);
+    LeaderBfsProtocol lb{g};
+    net.run(lb);
+  });
+  EXPECT_NE(msg.find("leader_bfs"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("drop("), std::string::npos) << msg;
+  EXPECT_NE(msg.find("FaultPlan("), std::string::npos)
+      << "the rejection must carry the plan for replay: " << msg;
+}
+
+TEST(FaultRejection, CrashRejectedAtEntryByIntolerantProtocol) {
+  const Graph g = make_torus(4, 4);
+  FaultPlan plan;
+  plan.crash_schedule = {CrashWindow{1, 2, 4}};
+  const std::string msg = expect_fault_rejection([&] {
+    Network net{g};
+    net.set_fault_plan(plan);
+    LeaderBfsProtocol lb{g};
+    net.run(lb);
+  });
+  EXPECT_NE(msg.find("leader_bfs"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("crash(round=2, node=1)"), std::string::npos) << msg;
+}
+
+TEST(FaultRejection, ToleratedKindsDoNotTripTheRejection) {
+  // leader_bfs declares reorder + dup tolerance; a plan exercising only
+  // those kinds must run to completion with the reliable-network answer.
+  const Graph g = make_planted_cut(24, 0.5, 3, 1, 31);
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.dup_rate = 0.3;
+  plan.reorder_within_round = 1.0;
+  Network net{g};
+  net.set_fault_plan(plan);
+  LeaderBfsProtocol lb{g};
+  net.run(lb);
+  Network ref{g};
+  LeaderBfsProtocol ref_lb{g};
+  ref.run(ref_lb);
+  EXPECT_EQ(lb.leader(), ref_lb.leader());
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    EXPECT_EQ(lb.depth(v), ref_lb.depth(v));
+  EXPECT_GT(net.stats().faults.dups, 0u);
+  EXPECT_GT(net.stats().faults.reordered_inboxes, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Plan validation.
+// ---------------------------------------------------------------------
+
+TEST(FaultPlanValidate, RejectsMalformedPlans) {
+  const Graph g = make_path(8);
+  Network net{g};
+  FaultPlan p;
+  p.drop_rate = 1.5;
+  EXPECT_THROW(net.set_fault_plan(p), PreconditionError);
+  p = FaultPlan{};
+  p.crash_schedule = {CrashWindow{99, 2, 4}};  // node ≥ n
+  EXPECT_THROW(net.set_fault_plan(p), PreconditionError);
+  p = FaultPlan{};
+  p.crash_schedule = {CrashWindow{1, 0, 4}};  // r0 < 1
+  EXPECT_THROW(net.set_fault_plan(p), PreconditionError);
+  p = FaultPlan{};
+  p.crash_schedule = {CrashWindow{1, 2, 4},
+                      CrashWindow{1, 5, 6}};  // two windows, one node
+  EXPECT_THROW(net.set_fault_plan(p), PreconditionError);
+}
+
+// ---------------------------------------------------------------------
+// The serving layer: sessions under a plan.
+// ---------------------------------------------------------------------
+
+TEST(FaultSession, ReorderPlanSolvesColdAndDeterministically) {
+  const Graph g = make_planted_cut(20, 0.5, 3, 1, 7);
+  SessionOptions opt;
+  opt.fault_plan = FaultPlan{};
+  opt.fault_plan->seed = 9;
+  opt.fault_plan->reorder_within_round = 1.0;
+  Session session{g, opt};
+  MinCutRequest req;
+  req.algo = Algo::kExact;
+  // Every pipeline protocol tolerates reorder, so both queries complete;
+  // the warm-infra cache is disabled under an active plan, so the second
+  // solve re-runs the bootstrap cold — and must still be bit-identical.
+  const MinCutReport a = session.solve(req);
+  const MinCutReport b = session.solve(req);
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.side, b.side);
+  EXPECT_TRUE(a.stats == b.stats)
+      << "faulted session queries must be bit-identical run to run";
+
+  // And equal to a fresh session's answer (no hidden warm-path reuse).
+  Session fresh{g, opt};
+  const MinCutReport c = fresh.solve(req);
+  EXPECT_EQ(c.value, a.value);
+  EXPECT_TRUE(c.stats == a.stats);
+}
+
+TEST(FaultSession, DropPlanFailsLoudlyInsteadOfWrongLambda) {
+  const Graph g = make_planted_cut(20, 0.5, 3, 1, 7);
+  SessionOptions opt;
+  opt.fault_plan = FaultPlan{};
+  opt.fault_plan->drop_rate = 1.0;
+  Session session{g, opt};
+  MinCutRequest req;
+  req.algo = Algo::kExact;
+  expect_fault_rejection([&] { (void)session.solve(req); });
+}
+
+// ---------------------------------------------------------------------
+// The enriched deadlock guard.
+// ---------------------------------------------------------------------
+
+TEST(FaultGuard, DeadlockDiagnosisNamesRoundPlanAndLastFault) {
+  // A fault-tolerant protocol that never finishes: the guard must fire
+  // with the round, the not-done count, and the active plan — the triage
+  // trail for a fault-induced livelock.
+  class NeverDone final : public Protocol {
+   public:
+    [[nodiscard]] std::string name() const override { return "never_done"; }
+    void round(NodeId, Mailbox& mb) override {
+      mb.send(0, Message::make(1, {1}));
+    }
+    [[nodiscard]] bool local_done(NodeId) const override { return false; }
+    [[nodiscard]] unsigned fault_tolerance() const override {
+      return kFaultTolerant;
+    }
+  };
+  const Graph g = make_path(4);
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.drop_rate = 0.5;
+  Network net{g};
+  net.set_fault_plan(plan);
+  NeverDone p;
+  try {
+    net.run(p, /*max_rounds=*/8);
+    FAIL() << "expected the deadlock guard";
+  } catch (const InvariantError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("never_done"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("exceeded 8 rounds"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("4 of 4 nodes not locally done"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("FaultPlan(seed=7"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("fault"), std::string::npos) << msg;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// The tier1_faults matrix, one gtest case per cell — same harness as
+// tests/test_property_sweeps.cpp, plus the fault axis: reorder cells must
+// pass the full differential contract, crash cells must reject loudly,
+// drop/dupreorder cells must do one or the other (never a wrong λ).
+// ---------------------------------------------------------------------
+
+namespace check {
+namespace {
+
+const ScenarioRunner& faults_runner() {
+  static const ScenarioRunner runner{ScenarioMatrix::tier1_faults()};
+  return runner;
+}
+
+std::uint64_t seed_for(std::uint64_t scenario_id) {
+  const Scenario s = ScenarioMatrix::tier1_faults().decode(scenario_id);
+  std::uint64_t h = 0;
+  for (const char c : s.family) h = h * 31 + static_cast<unsigned char>(c);
+  return 1 + mix64(h ^ (s.n * 131)) % 1021;
+}
+
+class Tier1FaultsCell : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Tier1FaultsCell, PassesOrRejectsLoudly) {
+  const std::uint64_t id = GetParam();
+  const CellReport cell = faults_runner().run_cell(id, seed_for(id));
+  ASSERT_TRUE(cell.ok()) << cell.failure;
+  if (cell.scenario.faults == FaultProfile::kCrash)
+    EXPECT_TRUE(cell.rejected)
+        << cell.scenario.name()
+        << ": a crash plan must reject, never produce an answer";
+}
+
+std::string cell_name(const ::testing::TestParamInfo<std::uint64_t>& info) {
+  return ScenarioMatrix::tier1_faults().decode(info.param).name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, Tier1FaultsCell,
+    ::testing::Range<std::uint64_t>(0,
+                                    ScenarioMatrix::tier1_faults().size()),
+    cell_name);
+
+}  // namespace
+}  // namespace check
+}  // namespace dmc

@@ -43,13 +43,25 @@ class PlantedLiarOracle final : public CutOracle {
 const ScenarioMatrix& matrix_by_name(const std::string& name) {
   if (name == "tier1") return ScenarioMatrix::tier1();
   if (name == "nightly") return ScenarioMatrix::nightly();
+  if (name == "tier1_faults") return ScenarioMatrix::tier1_faults();
   throw PreconditionError{"unknown matrix '" + name +
-                          "' (known: tier1, nightly)"};
+                          "' (known: tier1, nightly, tier1_faults)"};
+}
+
+FaultProfile fault_profile_by_name(const std::string& name) {
+  if (name == "none") return FaultProfile::kNone;
+  if (name == "reorder") return FaultProfile::kReorder;
+  if (name == "dupreorder") return FaultProfile::kDupReorder;
+  if (name == "drop") return FaultProfile::kDrop;
+  if (name == "crash") return FaultProfile::kCrash;
+  throw PreconditionError{
+      "unknown fault profile '" + name +
+      "' (known: none, reorder, dupreorder, drop, crash)"};
 }
 
 int run(const Options& opt) {
-  const ScenarioMatrix& matrix =
-      matrix_by_name(opt.get_enum("matrix", "tier1", {"tier1", "nightly"}));
+  const ScenarioMatrix& matrix = matrix_by_name(opt.get_enum(
+      "matrix", "tier1", {"tier1", "nightly", "tier1_faults"}));
 
   if (opt.get_bool("list", false)) {
     for (std::uint64_t id = 0; id < matrix.size(); ++id)
@@ -66,15 +78,26 @@ int run(const Options& opt) {
   ropt.metamorphic = opt.get_bool("metamorphic", true);
   ropt.audit_distributed = opt.get_bool("audit", true);
   ropt.shrink_on_failure = opt.get_bool("shrink", true);
+  // --faults=<profile> forces every executed cell under that fault
+  // profile (overriding the matrix's fault axis), e.g.
+  //   ./build/dmc_check --matrix=tier1 --scenario=217 --faults=reorder
+  if (opt.has("faults"))
+    ropt.force_faults =
+        fault_profile_by_name(opt.get_enum("faults", "none",
+                                           {"none", "reorder", "dupreorder",
+                                            "drop", "crash"}));
   const ScenarioRunner runner{matrix, ropt};
 
   const auto run_one = [&](std::uint64_t id, std::uint64_t seed) {
     const CellReport cell = runner.run_cell(id, seed);
     if (cell.ok()) {
       std::cout << "ok " << cell.scenario.name() << " seed=" << seed
-                << " lambda=" << cell.lambda << " value="
-                << cell.report.value << " oracles="
-                << cell.oracles_consulted << " assertions="
+                << " lambda=" << cell.lambda;
+      if (cell.rejected)
+        std::cout << " rejected=1";
+      else
+        std::cout << " value=" << cell.report.value;
+      std::cout << " oracles=" << cell.oracles_consulted << " assertions="
                 << cell.assertions << '\n';
       return true;
     }
@@ -106,7 +129,8 @@ int main(int argc, char** argv) {
   try {
     const Options opt{argc, argv,
                       {"matrix", "scenario", "seed", "seeds", "list",
-                       "metamorphic", "audit", "shrink", "inject-failure"}};
+                       "metamorphic", "audit", "shrink", "inject-failure",
+                       "faults"}};
     return run(opt);
   } catch (const std::exception& e) {
     std::cerr << "dmc_check: " << e.what() << '\n';
