@@ -1,0 +1,15 @@
+// Public umbrella header for the dmc library.
+//
+// Pulls in the whole embedder-facing surface: the one-shot min-cut API
+// (core/api.h), graphs and generators, sessions and pools
+// (<dmc/session.h>), and the multi-graph serving layer (<dmc/serve.h>).
+// Add both include/ and src/ to the include path (CMake consumers get
+// them from the `dmc` target) and write `#include <dmc/dmc.h>`.
+#pragma once
+
+#include "core/api.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+#include "dmc/serve.h"
+#include "dmc/session.h"

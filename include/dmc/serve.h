@@ -1,0 +1,9 @@
+// Public header: the multi-graph serving layer.
+//
+// Re-exports dmc::Server, GraphRegistry, AdmissionController, the
+// workload synthesis/trace tools, and the serve stats structs
+// (src/serve/serve.h).  Use as `#include <dmc/serve.h>` with include/ on
+// the include path.
+#pragma once
+
+#include "serve/serve.h"

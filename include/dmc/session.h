@@ -1,0 +1,11 @@
+// Public header: the solve-session layer.
+//
+// Re-exports dmc::Session / SessionOptions / MinCutRequest / MinCutReport
+// (core/session.h) and dmc::SessionPool (core/session_pool.h) under the
+// installable include/dmc/ prefix.  Embedders add include/ to their
+// include path and write `#include <dmc/session.h>`; the internal src/
+// tree stays the single source of truth.
+#pragma once
+
+#include "core/session.h"
+#include "core/session_pool.h"

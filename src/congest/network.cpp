@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "util/mem.h"
 #include "util/prng.h"
 
 namespace dmc {
@@ -112,6 +113,24 @@ void Network::reset() {
   round_bad_fault_.clear();
   first_fault_.clear();
   last_fault_.clear();
+}
+
+std::size_t Network::memory_bytes() const {
+  const std::size_t slots = reverse_slot_.size();
+  std::size_t total = vec_bytes(port_base_) + vec_bytes(reverse_slot_);
+  // The two SoA slot planes: payload words, packed headers, stamps.
+  total += 2 * slots * (std::size_t{kMaxWords} * sizeof(Word) +
+                        sizeof(std::uint32_t));
+  for (const auto& plane : stamps_) total += vec_bytes(plane);
+  total += vec_bytes(counters_) + vec_bytes(shard_node_steps_) +
+           vec_bytes(active_) + vec_bytes(done_flag_);
+  for (const ActivationBucket& b : buckets_)
+    total += vec_bytes(b.by_owner) + vec_bytes(b.mark);
+  total += vec_bytes(buckets_);
+  total += vec_bytes(crashed_) + vec_bytes(restart_mask_) +
+           vec_bytes(restarted_);
+  total += stats_.memory_bytes() + arena_.bytes_reserved();
+  return total;
 }
 
 void Network::set_fault_plan(std::optional<FaultPlan> plan) {

@@ -149,6 +149,13 @@ class Network {
   /// renormalize every round).
   void set_stamp_epoch_limit_for_test(std::uint32_t limit);
 
+  /// Heap bytes of the simulator's retained buffers — slot planes (stamp,
+  /// header, payload), CSR port tables, activation buckets, done tracking,
+  /// and the per-solve arena high-water — the dominant share of a warm
+  /// session's footprint and the basis of the serving registry's LRU byte
+  /// budget (serve/registry.h).  Capacity-based, excludes sizeof(*this).
+  [[nodiscard]] std::size_t memory_bytes() const;
+
   /// Node steps charged to each engine shard during the most recent run()
   /// (reset at every run() start) — the observability hook the skewed
   /// active-list test uses to prove dynamic chunking touched every shard.

@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "util/mem.h"
+
 namespace dmc {
 
 CongestStats CongestStats::without_node_steps() const {
@@ -39,6 +41,12 @@ void CongestStats::print(std::ostream& os) const {
     os << "  " << p.name << ": rounds=" << p.rounds
        << " messages=" << p.messages << " node_steps=" << p.node_steps
        << '\n';
+}
+
+std::size_t CongestStats::memory_bytes() const {
+  std::size_t total = vec_bytes(per_protocol);
+  for (const ProtocolStats& p : per_protocol) total += str_bytes(p.name);
+  return total;
 }
 
 }  // namespace dmc

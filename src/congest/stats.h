@@ -84,6 +84,9 @@ struct CongestStats {
   void reset();
 
   void print(std::ostream& os) const;
+
+  /// Heap bytes of the per-protocol entries (registry byte accounting).
+  [[nodiscard]] std::size_t memory_bytes() const;
 };
 
 }  // namespace dmc

@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "util/assert.h"
+#include "util/mem.h"
 
 namespace dmc {
 
@@ -100,6 +101,11 @@ void TreeView::validate(const Graph& g) const {
       DMC_ASSERT(g.ports(port.peer)[child_pp].edge == port.edge);
     }
   }
+}
+
+std::size_t TreeView::memory_bytes() const {
+  return vec_bytes(parent_port_) + vec_bytes(child_off_) +
+         vec_bytes(child_ports_);
 }
 
 }  // namespace dmc

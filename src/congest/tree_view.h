@@ -57,6 +57,9 @@ class TreeView {
   /// Checks the forest is acyclic and parent/children are consistent.
   void validate(const Graph& g) const;
 
+  /// Heap bytes of the three flat arrays (registry byte accounting).
+  [[nodiscard]] std::size_t memory_bytes() const;
+
  private:
   std::vector<std::uint32_t> parent_port_;
   std::vector<std::uint32_t> child_off_;    ///< n+1 offsets

@@ -304,6 +304,10 @@ MinCutReport Session::solve(const MinCutRequest& req) {
   return rep;
 }
 
+std::size_t Session::memory_bytes() const {
+  return net_.memory_bytes() + (infra_ ? infra_->memory_bytes() : 0);
+}
+
 std::vector<MinCutReport> Session::solve_many(
     std::span<const MinCutRequest> reqs) {
   std::vector<MinCutReport> reports;

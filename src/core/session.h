@@ -185,6 +185,13 @@ class Session {
   /// built — i.e. after the first uncancelled warm-eligible solve().
   [[nodiscard]] bool warmed() const { return infra_ != nullptr; }
 
+  /// Heap bytes this session retains between queries: the Network's slot
+  /// planes / buckets / arena plus the warm infrastructure cache (once
+  /// built).  The serving registry's LRU byte budget charges entries by
+  /// this measure (serve/registry.h); it grows as stages build lazily, so
+  /// the registry re-reads it after every dispatched batch.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
  private:
   /// Returns the warm infra for this solve — building, on first use, the
   /// stages the request's algorithm consumes — or nullptr when the solve

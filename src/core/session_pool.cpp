@@ -1,11 +1,34 @@
 #include "core/session_pool.h"
 
 #include <atomic>
-#include <exception>
 #include <functional>
 #include <thread>
+#include <utility>
+
+#include "util/assert.h"
 
 namespace dmc {
+
+/// Counts a solve call in and out of the pool.  Entering a closed pool
+/// throws; the last exit wakes drain()/the destructor.
+class SessionPool::InflightGuard {
+ public:
+  explicit InflightGuard(SessionPool& pool) : pool_(&pool) {
+    std::lock_guard lock{pool_->mu_};
+    DMC_REQUIRE_MSG(!pool_->closed_,
+                    "SessionPool is drained — no further solves");
+    ++pool_->inflight_;
+  }
+  ~InflightGuard() {
+    std::lock_guard lock{pool_->mu_};
+    if (--pool_->inflight_ == 0) pool_->idle_cv_.notify_all();
+  }
+  InflightGuard(const InflightGuard&) = delete;
+  InflightGuard& operator=(const InflightGuard&) = delete;
+
+ private:
+  SessionPool* pool_;
+};
 
 SessionPool::SessionPool(const Graph& g, std::size_t sessions,
                          SessionOptions opt) {
@@ -18,10 +41,18 @@ SessionPool::SessionPool(const Graph& g, std::size_t sessions,
     sessions_.push_back(std::make_unique<Session>(g, opt));
 }
 
-std::vector<MinCutReport> SessionPool::solve_many(
+SessionPool::~SessionPool() { drain(); }
+
+void SessionPool::drain() {
+  std::unique_lock lock{mu_};
+  closed_ = true;
+  idle_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+std::vector<SessionPool::SolveOutcome> SessionPool::solve_each(
     std::span<const MinCutRequest> reqs) {
-  std::vector<MinCutReport> reports(reqs.size());
-  std::vector<std::exception_ptr> errors(reqs.size());
+  InflightGuard inflight{*this};
+  std::vector<SolveOutcome> outcomes(reqs.size());
   std::atomic<std::size_t> next{0};
 
   // Work stealing by atomic index: each worker owns one session and pulls
@@ -32,9 +63,9 @@ std::vector<MinCutReport> SessionPool::solve_many(
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= reqs.size()) return;
       try {
-        reports[i] = session.solve(reqs[i]);
+        outcomes[i].report = session.solve(reqs[i]);
       } catch (...) {
-        errors[i] = std::current_exception();
+        outcomes[i].error = std::current_exception();
       }
     }
   };
@@ -58,15 +89,29 @@ std::vector<MinCutReport> SessionPool::solve_many(
     }
     for (std::thread& t : threads) t.join();
   }
+  return outcomes;
+}
 
-  for (std::exception_ptr& e : errors)
-    if (e) std::rethrow_exception(e);
+std::vector<MinCutReport> SessionPool::solve_many(
+    std::span<const MinCutRequest> reqs) {
+  std::vector<SolveOutcome> outcomes = solve_each(reqs);
+  for (SolveOutcome& o : outcomes)
+    if (o.error) std::rethrow_exception(o.error);
+  std::vector<MinCutReport> reports;
+  reports.reserve(outcomes.size());
+  for (SolveOutcome& o : outcomes) reports.push_back(std::move(o.report));
   return reports;
 }
 
 std::size_t SessionPool::queries_served() const {
   std::size_t total = 0;
   for (const auto& s : sessions_) total += s->queries_served();
+  return total;
+}
+
+std::size_t SessionPool::memory_bytes() const {
+  std::size_t total = 0;
+  for (const auto& s : sessions_) total += s->memory_bytes();
   return total;
 }
 

@@ -11,13 +11,23 @@
 // regardless of which session served which request — test-enforced in
 // tests/test_session.cpp.
 //
+// Teardown ordering: every solve path enters an in-flight gate, and both
+// drain() and the destructor wait on it, so destroying a pool — e.g. the
+// serving registry evicting a warm entry (serve/registry.h) — can never
+// race a solve that is still running on another thread.  After drain()
+// the pool is closed: further solves throw PreconditionError instead of
+// touching half-destroyed sessions.  TSan-covered in tests/test_serve.cpp.
+//
 // Memory: each pooled session owns its own slot planes and arena, so the
 // footprint is k× a single session; size the pool to the expected
 // concurrency, not the batch size.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -27,10 +37,20 @@ namespace dmc {
 
 class SessionPool {
  public:
+  /// One request's result under solve_each: the report, or the exception
+  /// that ended it (CancelledError on budget overruns, InvariantError on
+  /// e.g. fault rejections).  `error == nullptr` means `report` is valid.
+  struct SolveOutcome {
+    MinCutReport report;
+    std::exception_ptr error;
+  };
+
   /// Builds `sessions` warm-capable sessions over `g` (borrowed, must
   /// outlive the pool).  `sessions == 0` picks the hardware concurrency.
   explicit SessionPool(const Graph& g, std::size_t sessions = 0,
                        SessionOptions opt = {});
+  /// Waits for in-flight solves (drain()), then tears the sessions down.
+  ~SessionPool();
 
   SessionPool(const SessionPool&) = delete;
   SessionPool& operator=(const SessionPool&) = delete;
@@ -50,11 +70,36 @@ class SessionPool {
   [[nodiscard]] std::vector<MinCutReport> solve_many(
       std::span<const MinCutRequest> reqs);
 
+  /// Serving-layer variant: same dispatch, but every request's outcome is
+  /// captured individually — one failed (budget-cancelled, fault-rejected)
+  /// request never discards its neighbours' completed reports.  Outcomes
+  /// come back in request order.
+  [[nodiscard]] std::vector<SolveOutcome> solve_each(
+      std::span<const MinCutRequest> reqs);
+
+  /// Blocks until every in-flight solve has finished, then closes the
+  /// pool: subsequent solve calls throw PreconditionError.  Idempotent.
+  /// This is the explicit form of the destructor's ordering guarantee —
+  /// call it when eviction must complete before the owner releases other
+  /// resources (e.g. the graph) the sessions borrow.
+  void drain();
+
   /// Queries served to completion across all pooled sessions.
   [[nodiscard]] std::size_t queries_served() const;
 
+  /// Σ session.memory_bytes() — the registry's per-entry byte charge.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
  private:
+  /// RAII pass through the in-flight gate; throws if the pool is drained.
+  class InflightGuard;
+
   std::vector<std::unique_ptr<Session>> sessions_;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::size_t inflight_{0};
+  bool closed_{false};
 };
 
 }  // namespace dmc

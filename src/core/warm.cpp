@@ -7,6 +7,7 @@
 #include "congest/primitives/convergecast.h"
 #include "congest/primitives/leader_bfs.h"
 #include "graph/mst.h"
+#include "util/mem.h"
 
 namespace dmc {
 
@@ -191,6 +192,51 @@ Weight acquire_min_degree(Schedule& sched, const TreeView& bfs,
     return warm->min_degree;
   }
   return run_min_degree_convergecast(sched, bfs);
+}
+
+// --- registry byte accounting (util/mem.h conventions) ---------------------
+
+namespace {
+
+std::size_t mst_bytes(const DistMstResult& r) {
+  return vec_bytes(r.tree_edge) + vec_bytes(r.phase1_edge) +
+         vec_bytes(r.fragment_of) + vec_bytes(r.inter_edges);
+}
+
+std::size_t fragment_bytes(const FragmentStructure& fs) {
+  return fs.t_view.memory_bytes() + fs.frag_forest.memory_bytes() +
+         vec_bytes(fs.parent_port_T) + vec_bytes(fs.frag_idx) +
+         vec_bytes(fs.depth_in_frag) + vec_bytes(fs.depth_T) +
+         vec_bytes(fs.port_frag_idx) + vec_bytes(fs.frag_root_node) +
+         vec_bytes(fs.frag_parent) + vec_bytes(fs.frag_parent_eid) +
+         vec_bytes(fs.tf_depth) + vec_bytes(fs.tf_tin) + vec_bytes(fs.tf_tout);
+}
+
+std::size_t one_respect_bytes(const OneRespectResult& r) {
+  return vec_bytes(r.delta_down) + vec_bytes(r.rho_down) +
+         vec_bytes(r.cut_down) + vec_bytes(r.in_cut);
+}
+
+}  // namespace
+
+std::size_t PhaseDelta::memory_bytes() const {
+  std::size_t total = vec_bytes(phases);
+  for (const ProtocolStats& p : phases) total += str_bytes(p.name);
+  return total;
+}
+
+std::size_t TreeScaffold::memory_bytes() const {
+  return mst_bytes(mst) + fragment_bytes(fs) + delta.memory_bytes();
+}
+
+std::size_t SessionInfra::memory_bytes() const {
+  std::size_t total = bfs.memory_bytes() + bootstrap.memory_bytes() +
+                      min_degree_delta.memory_bytes();
+  if (has_su_tree) total += su_tree.memory_bytes();
+  if (has_packing_tree)
+    total += packing_first.memory_bytes() + one_respect_bytes(first_sweep) +
+             first_sweep_delta.memory_bytes();
+  return total;
 }
 
 }  // namespace dmc

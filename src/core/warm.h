@@ -71,6 +71,8 @@ struct PhaseDelta {
   [[nodiscard]] static PhaseDelta capture(const CongestStats& before,
                                           const CongestStats& after);
   void replay(Network& net, const char* what) const;
+
+  [[nodiscard]] std::size_t memory_bytes() const;
 };
 
 /// One cached MST + fragment scaffold (the `ghs_mst` +
@@ -79,6 +81,8 @@ struct TreeScaffold {
   DistMstResult mst;
   FragmentStructure fs;
   PhaseDelta delta;
+
+  [[nodiscard]] std::size_t memory_bytes() const;
 };
 
 /// The per-graph bootstrap product shared by all four drivers
@@ -107,6 +111,11 @@ struct SessionInfra {
   /// iteration of every default-weights packing run, results and stats.
   OneRespectResult first_sweep;
   PhaseDelta first_sweep_delta;
+
+  /// Heap bytes of every cached stage (built stages only) — what the
+  /// serving registry charges a warm entry for beyond its Network
+  /// (serve/registry.h; util/mem.h accounting conventions).
+  [[nodiscard]] std::size_t memory_bytes() const;
 };
 
 /// Runs the bootstrap live on `sched`'s network (which must be pristine:

@@ -1,6 +1,7 @@
 #include "graph/graph.h"
 
 #include "util/checked.h"
+#include "util/mem.h"
 
 namespace dmc {
 
@@ -99,6 +100,10 @@ void Graph::validate() const {
     }
   }
   DMC_ASSERT(port_count == 2 * edges_.size());
+}
+
+std::size_t Graph::memory_bytes() const {
+  return vec_bytes(edges_) + vec_bytes(flat_ports_) + vec_bytes(offset_);
 }
 
 }  // namespace dmc

@@ -116,6 +116,11 @@ class Graph {
   /// Structural sanity check; throws InvariantError on corruption.
   void validate() const;
 
+  /// Heap bytes held by the edge list and the CSR adjacency cache — the
+  /// serving registry's byte-budget accounting (util/mem.h conventions:
+  /// capacity-based, excludes sizeof(*this)).
+  [[nodiscard]] std::size_t memory_bytes() const;
+
  private:
   void finalize() const;
 

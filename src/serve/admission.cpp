@@ -1,0 +1,34 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace dmc {
+
+AdmissionController::Decision AdmissionController::offer(std::size_t bytes) {
+  ++stats_.submitted;
+  if (opt_.max_queue_depth != 0 && stats_.queue_depth >= opt_.max_queue_depth) {
+    ++stats_.rejected_depth;
+    return Decision::kRejectDepth;
+  }
+  if (opt_.max_queue_bytes != 0 &&
+      stats_.queued_bytes + bytes > opt_.max_queue_bytes) {
+    ++stats_.rejected_bytes;
+    return Decision::kRejectBytes;
+  }
+  ++stats_.admitted;
+  ++stats_.queue_depth;
+  stats_.queued_bytes += bytes;
+  stats_.queue_depth_high_water =
+      std::max(stats_.queue_depth_high_water, stats_.queue_depth);
+  return Decision::kAdmit;
+}
+
+void AdmissionController::release(std::size_t bytes) {
+  DMC_ASSERT(stats_.queue_depth > 0 && stats_.queued_bytes >= bytes);
+  --stats_.queue_depth;
+  stats_.queued_bytes -= bytes;
+}
+
+}  // namespace dmc

@@ -1,0 +1,62 @@
+// Admission control for the serving queue: a bounded backlog with two
+// watermarks, rejected loudly instead of buffered without limit.
+//
+// The controller is deliberately a pure occupancy automaton: a decision
+// depends only on (current depth, current queued bytes, the watermarks) —
+// never on wall time, thread timing, or the dispatcher's progress within
+// a round.  That makes rejection DETERMINISTIC under a replayed arrival
+// trace: feed the same sequence of offer()/release() calls and exactly
+// the same requests are rejected (test-enforced in tests/test_serve.cpp).
+// The Server serializes offer/release under its queue mutex; the
+// controller itself carries no lock.
+//
+// Rationale for rejecting at admission rather than queueing forever: a
+// λ-query is cheap to ANSWER warm but expensive to warm up (the paper's
+// cost shape), so under overload an unbounded queue converts transient
+// bursts into unbounded latency for everyone.  Shedding at a depth/bytes
+// watermark keeps the served requests' latency bounded and gives clients
+// an immediate, retryable Overloaded signal.
+#pragma once
+
+#include <cstddef>
+
+#include "serve/stats.h"
+
+namespace dmc {
+
+class AdmissionController {
+ public:
+  struct Options {
+    /// Reject once the queue already holds this many requests (0 = no
+    /// depth watermark).
+    std::size_t max_queue_depth{256};
+    /// Reject once the queued requests' accounted bytes reach this (0 =
+    /// no bytes watermark).
+    std::size_t max_queue_bytes{0};
+  };
+
+  enum class Decision : unsigned char {
+    kAdmit,
+    kRejectDepth,  ///< Overloaded: depth watermark
+    kRejectBytes,  ///< Overloaded: bytes watermark
+  };
+
+  explicit AdmissionController(Options opt) : opt_(opt) {}
+
+  /// Offers one request of `bytes` accounted size.  kAdmit charges the
+  /// occupancy; a rejection changes nothing but the counters.
+  [[nodiscard]] Decision offer(std::size_t bytes);
+
+  /// The request left the queue (dispatched or abandoned); must pair with
+  /// a successful offer() of the same `bytes`.
+  void release(std::size_t bytes);
+
+  [[nodiscard]] const AdmissionStats& stats() const { return stats_; }
+  [[nodiscard]] const Options& options() const { return opt_; }
+
+ private:
+  Options opt_;
+  AdmissionStats stats_;
+};
+
+}  // namespace dmc

@@ -1,0 +1,133 @@
+#include "serve/registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace dmc {
+
+GraphRegistry::GraphRegistry(Options opt) : opt_(std::move(opt)) {
+  DMC_REQUIRE_MSG(!opt_.session.fault_plan || !opt_.session.fault_plan->active(),
+                  "registry sessions must be reliable — faulted queries "
+                  "bypass the warm cache (Server routes them cold)");
+  if (opt_.pool_sessions == 0) opt_.pool_sessions = 1;
+}
+
+GraphId GraphRegistry::add(Graph g) {
+  // Finalize the CSR adjacency before the graph is shared across threads
+  // (Graph::ports() rebuilds lazily and is not thread-safe while dirty).
+  if (g.num_nodes() > 0) (void)g.port_offset(0);
+  std::lock_guard lock{mu_};
+  const GraphId id = next_id_++;
+  Entry e;
+  e.graph = std::make_shared<const Graph>(std::move(g));
+  entries_.emplace(id, std::move(e));
+  ++stats_.graphs_registered;
+  return id;
+}
+
+bool GraphRegistry::erase(GraphId id) {
+  std::lock_guard lock{mu_};
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  if (it->second.warm) drop_warm_locked(it->second);
+  entries_.erase(it);
+  --stats_.graphs_registered;
+  return true;
+}
+
+std::shared_ptr<const Graph> GraphRegistry::graph(GraphId id) const {
+  std::lock_guard lock{mu_};
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : it->second.graph;
+}
+
+std::shared_ptr<GraphRegistry::WarmEntry> GraphRegistry::acquire(
+    GraphId id, bool* warm_hit) {
+  std::lock_guard lock{mu_};
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return nullptr;
+  Entry& e = it->second;
+
+  const bool hit = e.warm != nullptr;
+  if (hit) {
+    ++stats_.hits;
+    lru_.erase(e.lru);  // touch: move to the front
+  } else {
+    ++stats_.misses;
+    if (e.was_warm_before) ++stats_.rewarms;
+    // Built under mu_: construction is cheap (the expensive warm stages
+    // build lazily inside the first solves), and holding the lock keeps a
+    // concurrent acquire of the same id from racing a second build.
+    e.warm = std::make_shared<WarmEntry>(e.graph, opt_.pool_sessions,
+                                         opt_.session);
+    e.warm_bytes = e.warm->pool.memory_bytes();
+    stats_.warm_bytes_resident += e.warm_bytes;
+  }
+  lru_.push_front(id);
+  e.lru = lru_.begin();
+  stats_.warm_bytes_high_water =
+      std::max(stats_.warm_bytes_high_water, stats_.warm_bytes_resident);
+  evict_to_budget_locked(/*keep=*/id);
+  if (warm_hit) *warm_hit = hit;
+  return e.warm;
+}
+
+void GraphRegistry::update_bytes(GraphId id) {
+  std::lock_guard lock{mu_};
+  const auto it = entries_.find(id);
+  if (it == entries_.end() || !it->second.warm) return;
+  Entry& e = it->second;
+  const std::size_t now = e.warm->pool.memory_bytes();
+  stats_.warm_bytes_resident = stats_.warm_bytes_resident - e.warm_bytes + now;
+  e.warm_bytes = now;
+  stats_.warm_bytes_high_water =
+      std::max(stats_.warm_bytes_high_water, stats_.warm_bytes_resident);
+  evict_to_budget_locked(/*keep=*/id);
+}
+
+bool GraphRegistry::evict(GraphId id) {
+  std::lock_guard lock{mu_};
+  const auto it = entries_.find(id);
+  if (it == entries_.end() || !it->second.warm) return false;
+  drop_warm_locked(it->second);
+  ++stats_.evictions;
+  return true;
+}
+
+void GraphRegistry::note_fault_bypass() {
+  std::lock_guard lock{mu_};
+  ++stats_.fault_bypasses;
+}
+
+RegistryStats GraphRegistry::stats() const {
+  std::lock_guard lock{mu_};
+  return stats_;
+}
+
+void GraphRegistry::evict_to_budget_locked(GraphId keep) {
+  if (opt_.warm_byte_budget == 0) return;
+  while (stats_.warm_bytes_resident > opt_.warm_byte_budget && !lru_.empty()) {
+    const GraphId victim = lru_.back();
+    // Never evict the entry just touched: an oversized single graph must
+    // serve over budget, not rebuild on every query.
+    if (victim == keep) break;
+    const auto it = entries_.find(victim);
+    DMC_ASSERT(it != entries_.end() && it->second.warm);
+    drop_warm_locked(it->second);
+    ++stats_.evictions;
+  }
+}
+
+void GraphRegistry::drop_warm_locked(Entry& e) {
+  // Dropping the registry's reference; an in-flight lease keeps the pool
+  // alive until its dispatch completes (the pool destructor drains).
+  stats_.warm_bytes_resident -= e.warm_bytes;
+  e.warm_bytes = 0;
+  e.warm.reset();
+  e.was_warm_before = true;
+  lru_.erase(e.lru);
+}
+
+}  // namespace dmc

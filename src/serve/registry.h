@@ -1,0 +1,137 @@
+// The multi-graph registry: GraphId → owned graph + byte-budgeted LRU
+// cache of warm serving state.
+//
+// The north-star workload is "millions of users, each with their own
+// graph": far more registered graphs than fit in memory as warm
+// simulators.  The cost shape of Nanongkai (PODC'14) / Nanongkai–Su
+// (arXiv:1408.0557) makes λ-queries cheap to ANSWER once the per-graph
+// infrastructure (slot planes, leader/BFS, scaffolds — core/warm.h)
+// exists, but expensive to WARM UP — exactly the shape an LRU exploits:
+// hot graphs keep their warm SessionPool resident, cold graphs hold only
+// their Graph (CSR edge lists, ~100× smaller) and rebuild on next touch.
+//
+// Keying: one registry serves one (scheduling, engine_threads)
+// configuration — those are pinned in Options::session at construction,
+// so the warm state cached per GraphId is exactly the warm state per
+// (graph, scheduling, engine_threads) triple.  Eviction and rewarm are
+// CORRECTNESS-NEUTRAL: warm infrastructure is a pure function of that
+// triple (test-enforced bit-identicality in tests/test_session.cpp), so a
+// rebuilt entry answers bit-identically to the evicted one and to a fresh
+// cold session (tests/test_serve.cpp closes the loop through this class).
+//
+// Concurrency: every method is safe to call from any thread (one internal
+// mutex).  acquire() hands out shared_ptr leases; eviction drops the
+// registry's reference, and an entry still leased by an in-flight
+// dispatch is destroyed when the last lease releases — SessionPool's
+// drain()-ordered destructor makes that teardown safe (TSan-covered).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/session_pool.h"
+#include "serve/stats.h"
+
+namespace dmc {
+
+/// Dense handle for a registered graph; assigned by the registry,
+/// starting at 1 (0 is never a valid id).
+using GraphId = std::uint64_t;
+
+class GraphRegistry {
+ public:
+  struct Options {
+    /// Evict least-recently-used warm entries once their summed
+    /// memory_bytes() exceeds this; 0 = never evict.  The most recently
+    /// acquired entry is never evicted, so one oversized graph still
+    /// serves (over budget) rather than thrashing.
+    std::size_t warm_byte_budget{std::size_t{64} << 20};
+    /// Sessions per warm entry (SessionPool size).
+    std::size_t pool_sessions{1};
+    /// Simulator configuration every entry is built with.  fault_plan
+    /// must stay empty: faulted queries bypass the registry entirely
+    /// (Server routes them cold; note_fault_bypass() keeps the count).
+    SessionOptions session{};
+  };
+
+  /// One live warm entry: the shared graph plus its warm pool.  The
+  /// shared_ptr returned by acquire() is a lease — hold it across the
+  /// whole dispatch so eviction can never pull the pool out from under a
+  /// running solve.
+  struct WarmEntry {
+    std::shared_ptr<const Graph> graph;
+    SessionPool pool;
+    /// Serializes dispatches onto `pool` (SessionPool::solve_each calls
+    /// must not overlap — workers claim sessions by fixed index).  Held
+    /// by the Server around each coalesced run, and across the
+    /// update_bytes() that follows it (byte reads need a quiescent pool).
+    std::mutex dispatch_mu;
+
+    WarmEntry(std::shared_ptr<const Graph> g, std::size_t sessions,
+              const SessionOptions& opt)
+        : graph(std::move(g)), pool(*graph, sessions, opt) {}
+  };
+
+  explicit GraphRegistry(Options opt);
+
+  /// Registers a graph and returns its id.  The graph is owned by the
+  /// registry (shared with leases), so callers hand over by value.
+  [[nodiscard]] GraphId add(Graph g);
+
+  /// Unregisters `id`: drops the graph and any warm state.  Live leases
+  /// keep both alive until released.  False when the id is unknown.
+  bool erase(GraphId id);
+
+  /// The registered graph, or nullptr when unknown.
+  [[nodiscard]] std::shared_ptr<const Graph> graph(GraphId id) const;
+
+  /// A warm lease for `id`, building the entry on a miss; LRU-touches the
+  /// entry and evicts colder entries past the byte budget.  Returns
+  /// nullptr when the id is unknown.  `*warm_hit` (optional) reports
+  /// whether a live warm entry served the call.
+  [[nodiscard]] std::shared_ptr<WarmEntry> acquire(GraphId id,
+                                                   bool* warm_hit = nullptr);
+
+  /// Re-reads the entry's memory_bytes() and re-applies the budget.  Call
+  /// after a dispatched batch, while the pool is quiescent from the
+  /// caller's side (warm stages build lazily, so bytes grow after the
+  /// first queries of each algorithm class).
+  void update_bytes(GraphId id);
+
+  /// Drops `id`'s warm state only (the graph stays registered); false
+  /// when the id is unknown or already cold.  The budget sweep uses this
+  /// internally; exposed for tests and operational tooling.
+  bool evict(GraphId id);
+
+  /// Counts one query that routed around the warm cache because it
+  /// carries a fault plan (Server's cold path — see stats.h).
+  void note_fault_bypass();
+
+  [[nodiscard]] RegistryStats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Graph> graph;
+    std::shared_ptr<WarmEntry> warm;  ///< nullptr = cold
+    std::size_t warm_bytes{0};
+    bool was_warm_before{false};  ///< a prior warm entry was evicted
+    std::list<GraphId>::iterator lru;  ///< valid iff warm != nullptr
+  };
+
+  /// Evicts LRU-tail entries (except `keep`) until within budget.
+  /// Requires mu_ held.
+  void evict_to_budget_locked(GraphId keep);
+  void drop_warm_locked(Entry& e);
+
+  mutable std::mutex mu_;
+  Options opt_;
+  std::unordered_map<GraphId, Entry> entries_;
+  std::list<GraphId> lru_;  ///< front = most recently used warm entry
+  GraphId next_id_{1};
+  RegistryStats stats_;
+};
+
+}  // namespace dmc

@@ -1,0 +1,16 @@
+// Umbrella header for dmc::serve — the multi-graph serving layer.
+//
+//   serve/registry.h   GraphId, GraphRegistry (LRU byte-budgeted warm cache)
+//   serve/admission.h  AdmissionController (bounded backlog, deterministic)
+//   serve/server.h     Server, ServeRequest/Response, ServeOutcome
+//   serve/workload.h   Workload synthesis + trace text format
+//   serve/stats.h      RegistryStats, AdmissionStats, DispatchStats
+//
+// DESIGN.md "Multi-graph serving architecture" carries the design notes.
+#pragma once
+
+#include "serve/admission.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "serve/stats.h"
+#include "serve/workload.h"

@@ -1,0 +1,358 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.h"
+#include "util/mem.h"
+
+namespace dmc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secs(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Admission byte charge for one queued request: the queue node plus the
+/// only heap payload a request can carry (a fault plan's crash schedule).
+std::size_t request_bytes(const ServeRequest& req) {
+  std::size_t bytes = sizeof(ServeRequest) + sizeof(std::promise<ServeResponse>);
+  if (req.fault_plan) bytes += vec_bytes(req.fault_plan->crash_schedule);
+  return bytes;
+}
+
+/// Remaining deadline seconds at `now`; negative = already expired.
+double remaining_deadline(const ServeRequest& req, Clock::time_point arrival,
+                          Clock::time_point now) {
+  return req.deadline_s - secs(arrival, now);
+}
+
+}  // namespace
+
+const char* to_string(ServeOutcome o) {
+  switch (o) {
+    case ServeOutcome::kOk: return "ok";
+    case ServeOutcome::kOverloaded: return "overloaded";
+    case ServeOutcome::kUnknownGraph: return "unknown_graph";
+    case ServeOutcome::kDeadlineExpired: return "deadline_expired";
+    case ServeOutcome::kCancelled: return "cancelled";
+    case ServeOutcome::kFailed: return "failed";
+  }
+  return "?";
+}
+
+Server::Server(ServeOptions opt)
+    : opt_(opt),
+      registry_([&] {
+        GraphRegistry::Options r;
+        r.warm_byte_budget = opt.warm_byte_budget;
+        r.pool_sessions = opt.pool_sessions;
+        r.session.engine_threads = opt.engine_threads;
+        r.session.scheduling = opt.scheduling;
+        return r;
+      }()),
+      admission_({opt.max_queue_depth, opt.max_queue_bytes}) {
+  if (opt_.start_dispatcher)
+    dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+Server::~Server() {
+  stop();
+  // Admitted work is never dropped: the backlog resolves before the
+  // registry and queue are torn down.
+  (void)drain_queued();
+}
+
+GraphId Server::register_graph(Graph g) { return registry_.add(std::move(g)); }
+
+bool Server::release_graph(GraphId id) { return registry_.erase(id); }
+
+std::future<ServeResponse> Server::submit(const ServeRequest& req) {
+  Pending p;
+  p.req = req;
+  p.arrival = Clock::now();
+  p.bytes = request_bytes(req);
+  std::future<ServeResponse> fut = p.promise.get_future();
+
+  // Unknown ids resolve immediately (dispatch re-checks — a graph can be
+  // released while its requests sit queued).
+  if (!registry_.graph(req.graph)) {
+    {
+      std::lock_guard lock{dispatch_mu_};
+      ++dispatch_.unknown_graph;
+    }
+    ServeResponse r;
+    r.outcome = ServeOutcome::kUnknownGraph;
+    p.promise.set_value(std::move(r));
+    return fut;
+  }
+
+  {
+    std::lock_guard lock{queue_mu_};
+    if (admission_.offer(p.bytes) != AdmissionController::Decision::kAdmit) {
+      ServeResponse r;
+      r.outcome = ServeOutcome::kOverloaded;
+      p.promise.set_value(std::move(r));
+      return fut;
+    }
+    queue_.push_back(std::move(p));
+  }
+  queue_cv_.notify_one();
+  return fut;
+}
+
+ServeResponse Server::serve(const ServeRequest& req) {
+  std::future<ServeResponse> fut = submit(req);
+  if (!dispatcher_.joinable()) (void)drain_queued();
+  return fut.get();
+}
+
+std::vector<ServeResponse> Server::serve_many(
+    std::span<const ServeRequest> reqs) {
+  std::vector<std::future<ServeResponse>> futures;
+  futures.reserve(reqs.size());
+  for (const ServeRequest& req : reqs) futures.push_back(submit(req));
+  if (!dispatcher_.joinable()) (void)drain_queued();
+  std::vector<ServeResponse> responses;
+  responses.reserve(futures.size());
+  for (auto& f : futures) responses.push_back(f.get());
+  return responses;
+}
+
+void Server::stop() {
+  {
+    std::lock_guard lock{queue_mu_};
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+ServeStats Server::stats() const {
+  ServeStats s;
+  {
+    std::lock_guard lock{queue_mu_};
+    s.admission = admission_.stats();
+  }
+  s.registry = registry_.stats();
+  {
+    std::lock_guard lock{dispatch_mu_};
+    s.dispatch = dispatch_;
+  }
+  return s;
+}
+
+void Server::dispatcher_loop() {
+  for (;;) {
+    std::vector<Pending> run;
+    {
+      std::unique_lock lock{queue_mu_};
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      run = pop_run_locked();
+    }
+    dispatch_run(std::move(run));
+  }
+}
+
+std::size_t Server::drain_queued() {
+  std::size_t served = 0;
+  for (;;) {
+    std::vector<Pending> run;
+    {
+      std::lock_guard lock{queue_mu_};
+      run = pop_run_locked();
+    }
+    if (run.empty()) return served;
+    served += run.size();
+    dispatch_run(std::move(run));
+  }
+}
+
+std::vector<Server::Pending> Server::pop_run_locked() {
+  std::vector<Pending> run;
+  if (queue_.empty()) return run;
+  const GraphId gid = queue_.front().req.graph;
+  const bool faulted = queue_.front().req.fault_plan &&
+                       queue_.front().req.fault_plan->active();
+  while (!queue_.empty() &&
+         (opt_.max_coalesce == 0 || run.size() < opt_.max_coalesce)) {
+    Pending& front = queue_.front();
+    const bool front_faulted =
+        front.req.fault_plan && front.req.fault_plan->active();
+    // Coalesce only same-graph, same-path (warm vs fault-bypass) runs;
+    // faulted requests each need a private cold session anyway.
+    if (front.req.graph != gid || front_faulted != faulted) break;
+    if (faulted && !run.empty()) break;
+    admission_.release(front.bytes);
+    run.push_back(std::move(front));
+    queue_.pop_front();
+  }
+  return run;
+}
+
+void Server::dispatch_run(std::vector<Pending> run) {
+  const auto start = Clock::now();
+  const GraphId gid = run.front().req.graph;
+  {
+    std::lock_guard lock{dispatch_mu_};
+    ++dispatch_.coalesced_runs;
+    if (run.size() >= 2) dispatch_.coalesced_queries += run.size();
+  }
+
+  const bool faulted =
+      run.front().req.fault_plan && run.front().req.fault_plan->active();
+  if (faulted) {
+    // Fault-plan route: AROUND the warm registry, loudly counted.  The
+    // cached bootstrap is reliable — replaying it would silently
+    // un-inject the plan (core/warm.h), and a faulted build must never
+    // pollute the cache.
+    const std::shared_ptr<const Graph> g = registry_.graph(gid);
+    for (Pending& p : run) {
+      if (!g) {
+        std::lock_guard lock{dispatch_mu_};
+        ++dispatch_.unknown_graph;
+        ServeResponse r;
+        r.outcome = ServeOutcome::kUnknownGraph;
+        p.promise.set_value(std::move(r));
+        continue;
+      }
+      registry_.note_fault_bypass();
+      dispatch_cold(p, *g, /*warm_hit=*/false);
+    }
+    return;
+  }
+
+  bool warm_hit = false;
+  const std::shared_ptr<GraphRegistry::WarmEntry> lease =
+      registry_.acquire(gid, &warm_hit);
+  if (!lease) {
+    for (Pending& p : run) {
+      std::lock_guard lock{dispatch_mu_};
+      ++dispatch_.unknown_graph;
+      ServeResponse r;
+      r.outcome = ServeOutcome::kUnknownGraph;
+      p.promise.set_value(std::move(r));
+    }
+    return;
+  }
+
+  // Deadline pass: expired requests settle without solving; live ones get
+  // the remaining deadline folded into their cooperative time budget.
+  std::vector<MinCutRequest> effective;
+  std::vector<std::size_t> live;
+  effective.reserve(run.size());
+  live.reserve(run.size());
+  for (std::size_t i = 0; i < run.size(); ++i) {
+    Pending& p = run[i];
+    MinCutRequest q = p.req.query;
+    if (p.req.deadline_s > 0.0) {
+      const double left = remaining_deadline(p.req, p.arrival, Clock::now());
+      if (left <= 0.0) {
+        std::lock_guard lock{dispatch_mu_};
+        ++dispatch_.deadline_expired;
+        ServeResponse r;
+        r.outcome = ServeOutcome::kDeadlineExpired;
+        r.warm_hit = warm_hit;
+        r.queue_seconds = secs(p.arrival, start);
+        p.promise.set_value(std::move(r));
+        continue;
+      }
+      q.time_budget_s =
+          q.time_budget_s > 0.0 ? std::min(q.time_budget_s, left) : left;
+    }
+    effective.push_back(q);
+    live.push_back(i);
+  }
+
+  {
+    // Serialize onto this entry's pool (solve_each calls must not
+    // overlap) and keep the byte re-read inside the quiescent window.
+    std::lock_guard dispatch_lock{lease->dispatch_mu};
+    std::vector<SessionPool::SolveOutcome> outcomes =
+        lease->pool.solve_each(effective);
+    for (std::size_t j = 0; j < outcomes.size(); ++j)
+      settle(run[live[j]], std::move(outcomes[j]), warm_hit,
+             /*cold_bypass=*/false, start);
+    registry_.update_bytes(gid);
+  }
+}
+
+void Server::dispatch_cold(Pending& p, const Graph& g, bool warm_hit) {
+  const auto start = Clock::now();
+  SessionOptions sopt;
+  sopt.engine_threads = opt_.engine_threads;
+  sopt.scheduling = opt_.scheduling;
+  sopt.fault_plan = p.req.fault_plan;
+
+  MinCutRequest q = p.req.query;
+  if (p.req.deadline_s > 0.0) {
+    const double left = remaining_deadline(p.req, p.arrival, Clock::now());
+    if (left <= 0.0) {
+      std::lock_guard lock{dispatch_mu_};
+      ++dispatch_.deadline_expired;
+      ServeResponse r;
+      r.outcome = ServeOutcome::kDeadlineExpired;
+      r.queue_seconds = secs(p.arrival, start);
+      p.promise.set_value(std::move(r));
+      return;
+    }
+    q.time_budget_s =
+        q.time_budget_s > 0.0 ? std::min(q.time_budget_s, left) : left;
+  }
+
+  SessionPool::SolveOutcome outcome;
+  try {
+    Session session{g, sopt};
+    outcome.report = session.solve(q);
+  } catch (...) {
+    outcome.error = std::current_exception();
+  }
+  settle(p, std::move(outcome), warm_hit, /*cold_bypass=*/true, start);
+}
+
+void Server::settle(Pending& p, SessionPool::SolveOutcome&& outcome,
+                    bool warm_hit, bool cold_bypass,
+                    Clock::time_point dispatch_start) {
+  ServeResponse r;
+  r.warm_hit = warm_hit;
+  r.cold_bypass = cold_bypass;
+  r.queue_seconds = secs(p.arrival, dispatch_start);
+  r.solve_seconds = secs(dispatch_start, Clock::now());
+
+  std::lock_guard lock{dispatch_mu_};
+  if (!outcome.error) {
+    r.outcome = ServeOutcome::kOk;
+    r.report = std::move(outcome.report);
+    ++dispatch_.completed;
+    if (warm_hit)
+      ++dispatch_.warm_hits;
+    else
+      ++dispatch_.cold_serves;
+  } else {
+    try {
+      std::rethrow_exception(outcome.error);
+    } catch (const CancelledError&) {
+      // A deadline-derived budget and the request's own budget both
+      // surface as CancelledError; the deadline clock disambiguates.
+      if (p.req.deadline_s > 0.0 &&
+          remaining_deadline(p.req, p.arrival, Clock::now()) <= 0.0) {
+        r.outcome = ServeOutcome::kDeadlineExpired;
+        ++dispatch_.deadline_expired;
+      } else {
+        r.outcome = ServeOutcome::kCancelled;
+        ++dispatch_.cancelled;
+      }
+    } catch (const std::exception& e) {
+      r.outcome = ServeOutcome::kFailed;
+      r.error = e.what();
+      ++dispatch_.failed;
+    }
+  }
+  p.promise.set_value(std::move(r));
+}
+
+}  // namespace dmc

@@ -1,0 +1,201 @@
+// dmc::Server — the library-level multi-graph serving layer.
+//
+// A long-lived Server fronts the warm-session machinery (core/session.h,
+// core/warm.h, core/session_pool.h) for MANY graphs at once:
+//
+//   * a GraphRegistry (serve/registry.h) owns the registered graphs and
+//     an LRU, byte-budgeted cache of warm per-graph serving state;
+//   * an AdmissionController (serve/admission.h) bounds the request
+//     backlog — past a depth/bytes watermark a request is rejected
+//     immediately with Overloaded instead of queued without limit;
+//   * a single dispatcher drains the queue in arrival order, COALESCING
+//     each contiguous run of same-graph requests into one batch on that
+//     graph's warm pool, so a hot graph amortizes its warm infrastructure
+//     across the run while cold graphs build lazily on first touch;
+//   * per-request deadlines ride the existing cooperative-cancellation
+//     budgets: the remaining deadline becomes the query's time budget,
+//     and an expired request reports DeadlineExpired, never a stale
+//     answer.
+//
+// Correctness contract: every Ok response is BIT-IDENTICAL (value, side,
+// every stat) to what a fresh cold Session over the same graph would
+// produce for the same request — through warm hits, LRU eviction and
+// rewarm cycles, and pool dispatch alike (tests/test_serve.cpp enforces
+// all three).  Requests carrying a FaultPlan route AROUND the registry:
+// a faulted bootstrap must re-run under every query (the warm cache
+// records a reliable bootstrap — core/warm.h refuses to replay under a
+// plan), so they solve on a private cold session and are counted loudly
+// (RegistryStats::fault_bypasses) instead of silently missing the cache.
+//
+//   Server server;                       // default options
+//   GraphId g = server.register_graph(make_erdos_renyi(256, 0.02, 1));
+//   ServeRequest req;
+//   req.graph = g;
+//   req.query.algo = Algo::kGk;
+//   ServeResponse r = server.serve(req); // admission → queue → dispatch
+//   // r.outcome == ServeOutcome::kOk, r.report.value, r.warm_hit, …
+//
+// Threading: register/release/submit/serve/stats are safe from any
+// thread.  One dispatcher thread (started by default) serializes all
+// solving; with ServeOptions::start_dispatcher == false the owner drains
+// explicitly via drain_queued() — the deterministic mode the admission
+// tests and the latency bench's closed-loop phases use.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/admission.h"
+#include "serve/registry.h"
+#include "serve/stats.h"
+
+namespace dmc {
+
+struct ServeOptions {
+  /// Registry: LRU byte budget for warm state and sessions per entry.
+  std::size_t warm_byte_budget{std::size_t{64} << 20};
+  std::size_t pool_sessions{1};
+  /// Simulator configuration shared by every entry (one Server = one
+  /// (scheduling, engine_threads) cell; see registry.h "Keying").
+  unsigned engine_threads{1};
+  std::optional<Scheduling> scheduling{};
+  /// Admission watermarks (admission.h; 0 disables the respective one).
+  std::size_t max_queue_depth{256};
+  std::size_t max_queue_bytes{0};
+  /// Longest same-graph run one dispatch may coalesce (0 = unlimited).
+  /// Bounding it keeps a hot graph from starving a cold one forever.
+  std::size_t max_coalesce{64};
+  /// false = no dispatcher thread; the owner calls drain_queued().
+  bool start_dispatcher{true};
+};
+
+struct ServeRequest {
+  GraphId graph{0};
+  MinCutRequest query{};
+  /// Deterministic fault plan for THIS query (congest/faults.h).  An
+  /// active plan bypasses the warm registry: the query solves on a
+  /// private cold session so its bootstrap re-absorbs the plan's faults,
+  /// and the bypass is counted (never cached, never silent).
+  std::optional<FaultPlan> fault_plan{};
+  /// Seconds from submission the response stops being useful; 0 = none.
+  /// Enforced cooperatively: the remaining deadline at dispatch becomes
+  /// the query's time budget (min with query.time_budget_s).
+  double deadline_s{0.0};
+};
+
+enum class ServeOutcome : std::uint8_t {
+  kOk,
+  kOverloaded,       ///< rejected at admission (depth/bytes watermark)
+  kUnknownGraph,     ///< GraphId not registered (or released meanwhile)
+  kDeadlineExpired,  ///< deadline passed before or during the solve
+  kCancelled,        ///< the query's own round/time budget fired
+  kFailed,           ///< solver threw (e.g. fault-tolerance rejection)
+};
+
+[[nodiscard]] const char* to_string(ServeOutcome o);
+
+struct ServeResponse {
+  ServeOutcome outcome{ServeOutcome::kOk};
+  /// Valid iff outcome == kOk.
+  MinCutReport report{};
+  /// The dispatch found a live warm entry for the graph (registry hit).
+  bool warm_hit{false};
+  /// Served on a private cold session because of a fault plan.
+  bool cold_bypass{false};
+  double queue_seconds{0.0};  ///< submission → dispatch start
+  double solve_seconds{0.0};  ///< dispatch start → completion
+  /// Diagnostic for kFailed (the solver exception's message).
+  std::string error;
+};
+
+class Server {
+ public:
+  explicit Server(ServeOptions opt = {});
+  /// Stops the dispatcher, then serves the remaining backlog inline so
+  /// every outstanding future resolves (admitted work is never dropped).
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Registers a graph for serving; the returned id names it in requests.
+  [[nodiscard]] GraphId register_graph(Graph g);
+  /// Unregisters; queued requests for the id resolve as kUnknownGraph.
+  bool release_graph(GraphId id);
+
+  /// Admission (immediate Overloaded/UnknownGraph resolution) or enqueue.
+  /// The future resolves when the dispatcher — or a drain_queued() call —
+  /// serves the request.
+  [[nodiscard]] std::future<ServeResponse> submit(const ServeRequest& req);
+
+  /// Synchronous convenience: submit and wait.  Without a dispatcher the
+  /// calling thread drains the queue itself.
+  [[nodiscard]] ServeResponse serve(const ServeRequest& req);
+
+  /// Submits the whole batch (preserving adjacency, so same-graph runs
+  /// coalesce) and waits for every response, in request order.
+  [[nodiscard]] std::vector<ServeResponse> serve_many(
+      std::span<const ServeRequest> reqs);
+
+  /// Processes queued requests until the queue is empty; returns how many
+  /// requests were served.  The manual-dispatch mode
+  /// (start_dispatcher == false); also safe after stop().
+  std::size_t drain_queued();
+
+  /// Stops the dispatcher thread after its current run (idempotent).
+  /// Queued requests stay queued for drain_queued() or the destructor.
+  void stop();
+
+  [[nodiscard]] ServeStats stats() const;
+  /// Direct registry access for tests and operational tooling (eviction,
+  /// byte interrogation).  Thread-safe.
+  [[nodiscard]] GraphRegistry& registry() { return registry_; }
+  [[nodiscard]] const ServeOptions& options() const { return opt_; }
+
+ private:
+  struct Pending {
+    ServeRequest req;
+    std::promise<ServeResponse> promise;
+    std::chrono::steady_clock::time_point arrival;
+    std::size_t bytes{0};  ///< admission charge, released at dispatch
+  };
+
+  void dispatcher_loop();
+  /// Pops the longest coalescible same-graph run off the queue front.
+  /// Requires queue_mu_ held; returns empty when the queue is empty.
+  [[nodiscard]] std::vector<Pending> pop_run_locked();
+  void dispatch_run(std::vector<Pending> run);
+  /// The fault-plan cold path: a private Session per request.
+  void dispatch_cold(Pending& p, const Graph& g, bool warm_hit);
+  /// Classifies one solved outcome into a response (deadline vs budget
+  /// cancellation vs failure) and fulfils the promise.
+  void settle(Pending& p, SessionPool::SolveOutcome&& outcome,
+              bool warm_hit, bool cold_bypass,
+              std::chrono::steady_clock::time_point dispatch_start);
+
+  ServeOptions opt_;
+  GraphRegistry registry_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  AdmissionController admission_;  ///< guarded by queue_mu_
+  std::deque<Pending> queue_;      ///< guarded by queue_mu_
+  bool stop_{false};               ///< guarded by queue_mu_
+
+  mutable std::mutex dispatch_mu_;  ///< guards dispatch_
+  DispatchStats dispatch_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace dmc

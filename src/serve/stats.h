@@ -1,0 +1,72 @@
+// Serving-layer counters — one snapshot struct covering admission, the
+// graph registry, coalescing, and per-outcome totals.
+//
+// The Server assembles a ServeStats from its components under its own
+// locks, so a snapshot is internally consistent; individual counters are
+// monotone except the two gauges (queue_depth, warm_bytes_resident).
+// Everything here is observable cheaply — the latency-tier bench (E10)
+// and the dmc_serve CLI print these next to their percentile tables.
+#pragma once
+
+#include <cstdint>
+
+namespace dmc {
+
+/// Registry-side counters (serve/registry.h).
+struct RegistryStats {
+  std::uint64_t hits{0};    ///< acquire found a live warm entry
+  std::uint64_t misses{0};  ///< acquire had to build one (first touch)
+  /// Misses on a graph whose warm entry existed before — i.e. an LRU
+  /// eviction was paid back by a rebuild.  Subset of `misses`.
+  std::uint64_t rewarms{0};
+  std::uint64_t evictions{0};  ///< warm entries destroyed by the budget
+  /// Queries that deliberately routed AROUND the registry because they
+  /// carry a fault plan: a faulted bootstrap must re-run per query, and a
+  /// faulted build may not pollute the warm cache (PR 7's warm-replay
+  /// refusal).  Loud by design — a silent bypass would read as a miss.
+  std::uint64_t fault_bypasses{0};
+  std::uint64_t warm_bytes_resident{0};  ///< gauge: Σ live entry bytes
+  std::uint64_t warm_bytes_high_water{0};
+  std::uint64_t graphs_registered{0};  ///< gauge: live GraphIds
+
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+/// Admission-control counters (serve/admission.h).
+struct AdmissionStats {
+  std::uint64_t submitted{0};
+  std::uint64_t admitted{0};
+  std::uint64_t rejected_depth{0};  ///< Overloaded: queue depth watermark
+  std::uint64_t rejected_bytes{0};  ///< Overloaded: queued-bytes watermark
+  std::uint64_t queue_depth{0};     ///< gauge
+  std::uint64_t queue_depth_high_water{0};
+  std::uint64_t queued_bytes{0};  ///< gauge
+};
+
+/// Dispatch-side counters (serve/server.h).
+struct DispatchStats {
+  std::uint64_t completed{0};         ///< served to an Ok report
+  std::uint64_t deadline_expired{0};  ///< deadline hit before/mid solve
+  std::uint64_t cancelled{0};         ///< the request's own budget fired
+  std::uint64_t failed{0};            ///< solver threw (e.g. fault reject)
+  std::uint64_t unknown_graph{0};
+  /// Contiguous same-graph runs drained as one batch, and the queries
+  /// served inside runs of length ≥ 2 (the coalescing win).
+  std::uint64_t coalesced_runs{0};
+  std::uint64_t coalesced_queries{0};
+  std::uint64_t warm_hits{0};  ///< responses served off a live warm entry
+  std::uint64_t cold_serves{0};  ///< cold builds + fault bypasses
+};
+
+/// The full serving snapshot (Server::stats()).
+struct ServeStats {
+  AdmissionStats admission;
+  RegistryStats registry;
+  DispatchStats dispatch;
+};
+
+}  // namespace dmc

@@ -1,0 +1,162 @@
+#include "serve/workload.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.h"
+#include "util/prng.h"
+
+namespace dmc {
+
+namespace {
+
+/// Inverse-CDF Zipf sampler over [0, n): P(i) ∝ 1/(i+1)^s.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    DMC_REQUIRE(n > 0);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  [[nodiscard]] std::size_t draw(Prng& prng) const {
+    const double u = prng.next_double();
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+Workload synth_workload(const SynthOptions& opt) {
+  DMC_REQUIRE(opt.num_graphs > 0);
+  DMC_REQUIRE(opt.zipf_s >= 0.0);
+  DMC_REQUIRE(opt.mean_interarrival_s >= 0.0);
+
+  Workload w;
+  w.graphs.reserve(opt.num_graphs);
+  for (std::size_t i = 0; i < opt.num_graphs; ++i) {
+    WorkloadGraphSpec spec;
+    spec.family = opt.family;
+    spec.n = opt.n;
+    spec.min_w = opt.min_w;
+    spec.max_w = opt.max_w;
+    spec.seed = derive_seed(opt.seed, /*a=*/1, /*b=*/i);
+    w.graphs.push_back(std::move(spec));
+  }
+
+  const ZipfSampler zipf{opt.num_graphs, opt.zipf_s};
+  Prng prng{derive_seed(opt.seed, /*a=*/2)};
+  double t = 0.0;
+  w.requests.reserve(opt.num_requests);
+  for (std::size_t i = 0; i < opt.num_requests; ++i) {
+    WorkloadRequest req;
+    req.graph = zipf.draw(prng);
+    req.algo = opt.algo;
+    req.eps = opt.eps;
+    req.deadline_s = opt.deadline_s;
+    req.seed = derive_seed(opt.seed, /*a=*/3, /*b=*/i);
+    if (opt.mean_interarrival_s > 0.0) {
+      // Exponential gap; 1 - u ∈ (0, 1] keeps the log finite.
+      t += -opt.mean_interarrival_s * std::log(1.0 - prng.next_double());
+    }
+    req.at_s = t;
+    w.requests.push_back(req);
+  }
+  return w;
+}
+
+Graph build_graph(const WorkloadGraphSpec& spec) {
+  const GraphFamily& family = graph_family(spec.family);
+  return family.make(spec.n, spec.seed, spec.min_w, spec.max_w);
+}
+
+std::string write_workload(const Workload& w) {
+  std::ostringstream out;
+  out << "# dmc_serve workload: " << w.graphs.size() << " graphs, "
+      << w.requests.size() << " requests\n";
+  out << "# graph <family> <n> <min_w> <max_w> <seed>\n";
+  for (const WorkloadGraphSpec& g : w.graphs)
+    out << "graph " << g.family << ' ' << g.n << ' ' << g.min_w << ' '
+        << g.max_w << ' ' << g.seed << '\n';
+  out << "# req <at_s> <graph_index> <algo> <seed> <eps> <deadline_s>\n";
+  for (const WorkloadRequest& r : w.requests)
+    out << "req " << r.at_s << ' ' << r.graph << ' ' << to_string(r.algo)
+        << ' ' << r.seed << ' ' << r.eps << ' ' << r.deadline_s << '\n';
+  return out.str();
+}
+
+Workload parse_workload(const std::string& text) {
+  Workload w;
+  std::istringstream in{text};
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields{line};
+    std::string kind;
+    fields >> kind;
+    if (kind == "graph") {
+      WorkloadGraphSpec g;
+      fields >> g.family >> g.n >> g.min_w >> g.max_w >> g.seed;
+      DMC_REQUIRE_MSG(static_cast<bool>(fields),
+                      "workload line " + std::to_string(lineno) +
+                          ": expected 'graph <family> <n> <min_w> <max_w> "
+                          "<seed>'");
+      (void)graph_family(g.family);  // validate the name now, loudly
+      w.graphs.push_back(std::move(g));
+    } else if (kind == "req") {
+      WorkloadRequest r;
+      std::string algo;
+      fields >> r.at_s >> r.graph >> algo >> r.seed >> r.eps >> r.deadline_s;
+      DMC_REQUIRE_MSG(static_cast<bool>(fields),
+                      "workload line " + std::to_string(lineno) +
+                          ": expected 'req <at_s> <graph_index> <algo> "
+                          "<seed> <eps> <deadline_s>'");
+      r.algo = algo_from_string(algo);
+      DMC_REQUIRE_MSG(r.graph < w.graphs.size(),
+                      "workload line " + std::to_string(lineno) +
+                          ": graph_index " + std::to_string(r.graph) +
+                          " out of range (graph lines must come first)");
+      w.requests.push_back(r);
+    } else {
+      DMC_REQUIRE_MSG(false, "workload line " + std::to_string(lineno) +
+                                 ": unknown record '" + kind + "'");
+    }
+  }
+  return w;
+}
+
+void save_workload(const Workload& w, const std::string& path) {
+  std::ofstream out{path};
+  DMC_REQUIRE_MSG(out.good(), "cannot open for write: " + path);
+  out << write_workload(w);
+  DMC_REQUIRE_MSG(out.good(), "write failed: " + path);
+}
+
+Workload load_workload(const std::string& path) {
+  std::ifstream in{path};
+  DMC_REQUIRE_MSG(in.good(), "cannot open workload file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_workload(buf.str());
+}
+
+}  // namespace dmc

@@ -1,0 +1,94 @@
+// Serving workloads: a deterministic synthesis of "many graphs, skewed
+// popularity" request traces, plus a line-oriented text format shared by
+// the dmc_serve CLI replayer (tools/dmc_serve.cpp) and the E10 latency
+// bench (bench/bench_e10_serve_latency.cpp).
+//
+// A workload is G graph specs plus a time-stamped request trace.  The
+// synthesizer draws each request's graph from a Zipf(s) popularity law
+// (P(i) ∝ 1/(i+1)^s — a few graphs soak up most queries, the shape the
+// registry's LRU is built for) and arrival times from exponential
+// interarrivals (open-loop Poisson process), all from one seed, so the
+// same spec always produces byte-identical traces — which is what makes
+// admission-rejection patterns replayable (serve/admission.h).
+//
+// Text format (one record per line; '#' starts a comment):
+//
+//   graph <family> <n> <min_w> <max_w> <seed>
+//   req <at_s> <graph_index> <algo> <seed> <eps> <deadline_s>
+//
+// graph_index is 0-based into the graph lines in file order; at_s is the
+// arrival offset in seconds from trace start (0 everywhere = closed loop).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "graph/generators.h"
+
+namespace dmc {
+
+/// One registered graph, as parameters (instances rebuild via
+/// build_graph, deterministic in the spec).
+struct WorkloadGraphSpec {
+  std::string family{"erdos_renyi"};
+  std::size_t n{256};
+  Weight min_w{12};
+  Weight max_w{24};
+  std::uint64_t seed{1};
+};
+
+/// One timed query against one of the workload's graphs.
+struct WorkloadRequest {
+  double at_s{0.0};
+  std::size_t graph{0};  ///< index into Workload::graphs
+  Algo algo{Algo::kGk};
+  std::uint64_t seed{1};
+  double eps{0.25};
+  double deadline_s{0.0};  ///< 0 = no deadline
+};
+
+struct Workload {
+  std::vector<WorkloadGraphSpec> graphs;
+  std::vector<WorkloadRequest> requests;
+};
+
+/// Synthesis knobs.  Defaults target the E10 smoke shape: a handful of
+/// medium graphs, gk queries, heavy skew.
+struct SynthOptions {
+  std::size_t num_graphs{8};
+  std::size_t num_requests{200};
+  /// Zipf exponent for graph popularity; larger = more skew.
+  double zipf_s{1.1};
+  /// Mean of the exponential interarrival gaps; 0 = closed loop (all
+  /// requests at t = 0, back-to-back service).
+  double mean_interarrival_s{0.0};
+  /// Graph spec shared by every generated graph (seeds differ).
+  std::string family{"erdos_renyi"};
+  std::size_t n{256};
+  Weight min_w{12};
+  Weight max_w{24};
+  Algo algo{Algo::kGk};
+  double eps{0.25};
+  double deadline_s{0.0};
+  std::uint64_t seed{1};
+};
+
+/// Deterministic in `opt` (bit-identical trace for the same options).
+[[nodiscard]] Workload synth_workload(const SynthOptions& opt);
+
+/// Materializes a spec via the named-family registry
+/// (graph/generators.h); deterministic in the spec.
+[[nodiscard]] Graph build_graph(const WorkloadGraphSpec& spec);
+
+/// Serializes to / parses from the text format above.  parse_workload
+/// throws PreconditionError naming the offending line on malformed input.
+[[nodiscard]] std::string write_workload(const Workload& w);
+[[nodiscard]] Workload parse_workload(const std::string& text);
+
+/// File convenience wrappers; throw PreconditionError on I/O failure.
+void save_workload(const Workload& w, const std::string& path);
+[[nodiscard]] Workload load_workload(const std::string& path);
+
+}  // namespace dmc

@@ -1,0 +1,42 @@
+// Heap-footprint helpers for byte-budgeted caches (serve/registry.h).
+//
+// The serving layer's LRU eviction works in bytes, so the structures it
+// caches (Network slot planes, SessionInfra scaffolds, Graph CSR) expose a
+// memory_bytes() built from these helpers.  The accounting is capacity-
+// based (what the allocator holds, not what is logically in use) and
+// deliberately excludes the containing object's own sizeof — callers
+// charge that once at the top level if they care.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dmc {
+
+/// Heap bytes held by a vector (capacity, not size).
+template <class T>
+[[nodiscard]] inline std::size_t vec_bytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+/// vector<bool> packs ~8 bits per byte.
+[[nodiscard]] inline std::size_t vec_bytes(const std::vector<bool>& v) {
+  return v.capacity() / 8;
+}
+
+/// Strings below the SSO threshold hold no heap memory.
+[[nodiscard]] inline std::size_t str_bytes(const std::string& s) {
+  return s.capacity() > sizeof(std::string) ? s.capacity() : 0;
+}
+
+/// Nested vectors: the outer spine plus every inner vector's heap block.
+template <class T>
+[[nodiscard]] inline std::size_t vec_bytes(
+    const std::vector<std::vector<T>>& v) {
+  std::size_t total = v.capacity() * sizeof(std::vector<T>);
+  for (const std::vector<T>& inner : v) total += vec_bytes(inner);
+  return total;
+}
+
+}  // namespace dmc

@@ -1,0 +1,551 @@
+// dmc::serve — the multi-graph serving layer's correctness contract:
+//
+//   * every Ok response is bit-identical (value, side, every stat) to a
+//     fresh cold Session over the same graph — through warm hits, LRU
+//     eviction + rewarm cycles, pool dispatch, and coalescing alike;
+//   * the registry's byte accounting is coherent (resident = Σ entry
+//     bytes, eviction subtracts what acquire added, high-water is
+//     monotone) and the LRU evicts coldest-first, never the entry just
+//     touched;
+//   * admission control is a pure occupancy automaton: a seeded arrival
+//     trace replays to exactly the same rejection pattern;
+//   * fault-plan requests route AROUND the warm registry (cold solve,
+//     fault_bypasses counter, no cache pollution);
+//   * SessionPool's drain()/destructor ordering: a drained pool refuses
+//     further solves; solve_each captures per-request failures without
+//     discarding neighbours.
+//
+// The concurrent sections (ServeConcurrent*) are the TSan targets CI runs
+// alongside test_faults (.github/workflows/ci.yml).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "serve/serve.h"
+#include "util/assert.h"
+#include "util/prng.h"
+
+namespace dmc {
+namespace {
+
+void expect_report_identical(const MinCutReport& a, const MinCutReport& b,
+                             const std::string& what) {
+  EXPECT_EQ(a.algo, b.algo) << what;
+  EXPECT_EQ(a.value, b.value) << what;
+  EXPECT_EQ(a.side, b.side) << what;
+  EXPECT_EQ(a.v_star, b.v_star) << what;
+  EXPECT_EQ(a.trees_packed, b.trees_packed) << what;
+  EXPECT_EQ(a.tree_of_best, b.tree_of_best) << what;
+  EXPECT_EQ(a.fragments, b.fragments) << what;
+  EXPECT_EQ(a.p, b.p) << what;
+  EXPECT_EQ(a.lambda_hat, b.lambda_hat) << what;
+  EXPECT_EQ(a.sampled, b.sampled) << what;
+  EXPECT_EQ(a.attempts, b.attempts) << what;
+  EXPECT_EQ(a.q_threshold, b.q_threshold) << what;
+  EXPECT_TRUE(a.stats == b.stats) << what << ": stats diverged";
+}
+
+Graph test_graph(std::uint64_t seed, std::size_t n = 64) {
+  return make_erdos_renyi(n, 0.12, seed, /*min_w=*/2, /*max_w=*/9);
+}
+
+MinCutRequest gk_query(std::uint64_t seed) {
+  MinCutRequest q;
+  q.algo = Algo::kGk;
+  q.seed = seed;
+  return q;
+}
+
+/// Manual-dispatch server (no dispatcher thread): submissions queue until
+/// drain_queued() — the deterministic mode the admission tests need.
+ServeOptions manual_options() {
+  ServeOptions opt;
+  opt.start_dispatcher = false;
+  return opt;
+}
+
+// ---------------------------------------------------------------- serving
+
+TEST(Serve, OkResponseIsBitIdenticalToFreshColdSession) {
+  Server server{manual_options()};
+  const Graph g = test_graph(3);
+  const GraphId id = server.register_graph(test_graph(3));
+
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    ServeRequest req;
+    req.graph = id;
+    req.query = gk_query(seed);
+    const ServeResponse r = server.serve(req);
+    ASSERT_EQ(r.outcome, ServeOutcome::kOk);
+    EXPECT_EQ(r.warm_hit, seed > 1);  // first touch builds, then hits
+
+    Session cold{g};
+    expect_report_identical(r.report, cold.solve(req.query),
+                            "served vs fresh cold, seed " +
+                                std::to_string(seed));
+  }
+}
+
+TEST(Serve, EvictRewarmPreservesBitIdenticality) {
+  // Three answers for the same query: never-evicted warm, evicted +
+  // rewarmed, and a fresh cold session — all must match exactly.
+  Server server{manual_options()};
+  const GraphId id = server.register_graph(test_graph(5));
+  ServeRequest req;
+  req.graph = id;
+  req.query = gk_query(7);
+
+  const ServeResponse warm_first = server.serve(req);
+  const ServeResponse never_evicted = server.serve(req);
+  ASSERT_EQ(never_evicted.outcome, ServeOutcome::kOk);
+  EXPECT_TRUE(never_evicted.warm_hit);
+
+  ASSERT_TRUE(server.registry().evict(id));
+  const ServeResponse rewarmed = server.serve(req);
+  ASSERT_EQ(rewarmed.outcome, ServeOutcome::kOk);
+  EXPECT_FALSE(rewarmed.warm_hit);  // the rewarm rebuilds on a miss
+
+  const Graph g = test_graph(5);
+  Session cold{g};
+  const MinCutReport fresh = cold.solve(req.query);
+  expect_report_identical(warm_first.report, fresh, "first warm vs cold");
+  expect_report_identical(never_evicted.report, fresh,
+                          "never-evicted vs cold");
+  expect_report_identical(rewarmed.report, fresh, "evict+rewarm vs cold");
+
+  const RegistryStats rs = server.stats().registry;
+  EXPECT_EQ(rs.evictions, 1u);
+  EXPECT_EQ(rs.rewarms, 1u);  // the post-eviction miss counts as a rewarm
+}
+
+TEST(Serve, CoalescesContiguousSameGraphRuns) {
+  Server server{manual_options()};
+  const GraphId a = server.register_graph(test_graph(11));
+  const GraphId b = server.register_graph(test_graph(12));
+
+  // a a a b b a — three runs: [a a a] [b b] [a].
+  std::vector<ServeRequest> reqs;
+  for (const GraphId gid : {a, a, a, b, b, a}) {
+    ServeRequest req;
+    req.graph = gid;
+    req.query = gk_query(reqs.size() + 1);
+    reqs.push_back(req);
+  }
+  const std::vector<ServeResponse> responses = server.serve_many(reqs);
+  ASSERT_EQ(responses.size(), reqs.size());
+  for (const ServeResponse& r : responses)
+    EXPECT_EQ(r.outcome, ServeOutcome::kOk);
+
+  const DispatchStats ds = server.stats().dispatch;
+  EXPECT_EQ(ds.coalesced_runs, 3u);
+  EXPECT_EQ(ds.coalesced_queries, 5u);  // the two multi-request runs
+
+  // Coalesced dispatch must not perturb answers: each response matches a
+  // fresh cold session for its own graph.
+  const Graph ga = test_graph(11), gb = test_graph(12);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    Session cold{reqs[i].graph == a ? ga : gb};
+    expect_report_identical(responses[i].report, cold.solve(reqs[i].query),
+                            "coalesced request " + std::to_string(i));
+  }
+}
+
+TEST(Serve, UnknownGraphResolvesImmediately) {
+  Server server{manual_options()};
+  ServeRequest req;
+  req.graph = 999;
+  req.query = gk_query(1);
+  const ServeResponse r = server.serve(req);
+  EXPECT_EQ(r.outcome, ServeOutcome::kUnknownGraph);
+  EXPECT_EQ(server.stats().dispatch.unknown_graph, 1u);
+}
+
+TEST(Serve, ReleasedGraphResolvesQueuedRequestsAsUnknown) {
+  Server server{manual_options()};
+  const GraphId id = server.register_graph(test_graph(2));
+  ServeRequest req;
+  req.graph = id;
+  req.query = gk_query(1);
+  std::future<ServeResponse> fut = server.submit(req);
+  ASSERT_TRUE(server.release_graph(id));
+  EXPECT_EQ(server.drain_queued(), 1u);
+  EXPECT_EQ(fut.get().outcome, ServeOutcome::kUnknownGraph);
+}
+
+TEST(Serve, ExpiredDeadlineReportsDeadlineExpiredNotAStaleAnswer) {
+  Server server{manual_options()};
+  const GraphId id = server.register_graph(test_graph(2));
+  ServeRequest req;
+  req.graph = id;
+  req.query = gk_query(1);
+  req.deadline_s = 1e-9;  // expires before any drain can run
+  std::future<ServeResponse> fut = server.submit(req);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(server.drain_queued(), 1u);
+  EXPECT_EQ(fut.get().outcome, ServeOutcome::kDeadlineExpired);
+  EXPECT_EQ(server.stats().dispatch.deadline_expired, 1u);
+}
+
+TEST(Serve, RoundBudgetCancellationIsPerRequestNotPerBatch) {
+  // One impossibly tight budget inside a healthy batch: the budgeted
+  // request reports kCancelled, its neighbours still answer (solve_each's
+  // per-request capture, not solve_many's first-error rethrow).
+  Server server{manual_options()};
+  const GraphId id = server.register_graph(test_graph(4));
+  std::vector<ServeRequest> reqs(3);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    reqs[i].graph = id;
+    reqs[i].query = gk_query(i + 1);
+  }
+  reqs[1].query.round_budget = 1;
+  const std::vector<ServeResponse> responses = server.serve_many(reqs);
+  EXPECT_EQ(responses[0].outcome, ServeOutcome::kOk);
+  EXPECT_EQ(responses[1].outcome, ServeOutcome::kCancelled);
+  EXPECT_EQ(responses[2].outcome, ServeOutcome::kOk);
+  EXPECT_EQ(server.stats().dispatch.cancelled, 1u);
+}
+
+// -------------------------------------------------------------- admission
+
+TEST(ServeAdmission, RejectsPastDepthWatermarkAndIsDeterministic) {
+  // A seeded arrival trace in manual mode: bursts of submissions between
+  // drains.  Replaying the identical trace must reject the identical
+  // request indices — admission is a pure occupancy automaton.
+  const auto run_trace = [](std::uint64_t seed) -> std::vector<std::size_t> {
+    ServeOptions opt = manual_options();
+    opt.max_queue_depth = 4;
+    Server server{opt};
+    const GraphId id = server.register_graph(test_graph(1, /*n=*/24));
+
+    Prng prng{seed};
+    std::vector<std::size_t> rejected;
+    std::vector<std::future<ServeResponse>> futures;
+    for (std::size_t i = 0; i < 40; ++i) {
+      ServeRequest req;
+      req.graph = id;
+      req.query = gk_query(i + 1);
+      std::future<ServeResponse> fut = server.submit(req);
+      // A rejected future is resolved immediately.
+      if (fut.wait_for(std::chrono::seconds(0)) ==
+          std::future_status::ready) {
+        const ServeResponse r = fut.get();
+        EXPECT_EQ(r.outcome, ServeOutcome::kOverloaded);
+        rejected.push_back(i);
+      } else {
+        futures.push_back(std::move(fut));
+      }
+      if (prng.next_bool(0.25)) (void)server.drain_queued();
+    }
+    (void)server.drain_queued();
+    for (auto& f : futures)
+      EXPECT_EQ(f.get().outcome, ServeOutcome::kOk);
+    const AdmissionStats as = server.stats().admission;
+    EXPECT_EQ(as.submitted, 40u);
+    EXPECT_EQ(as.rejected_depth, rejected.size());
+    EXPECT_EQ(as.rejected_bytes, 0u);
+    EXPECT_LE(as.queue_depth_high_water, 4u);
+    return rejected;
+  };
+
+  const std::vector<std::size_t> first = run_trace(17);
+  EXPECT_FALSE(first.empty()) << "trace never hit the watermark";
+  EXPECT_EQ(first, run_trace(17)) << "same trace, different rejections";
+  EXPECT_NE(first, run_trace(18)) << "different trace should differ";
+}
+
+TEST(ServeAdmission, BytesWatermarkRejectsIndependently) {
+  AdmissionController ctrl{{/*max_queue_depth=*/0, /*max_queue_bytes=*/100}};
+  EXPECT_EQ(ctrl.offer(60), AdmissionController::Decision::kAdmit);
+  EXPECT_EQ(ctrl.offer(60), AdmissionController::Decision::kRejectBytes);
+  ctrl.release(60);
+  EXPECT_EQ(ctrl.offer(60), AdmissionController::Decision::kAdmit);
+  EXPECT_EQ(ctrl.stats().rejected_bytes, 1u);
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(ServeRegistry, LruEvictsColdestFirstUnderByteBudget) {
+  GraphRegistry::Options opt;
+  opt.warm_byte_budget = 1;  // every second acquire must evict
+  GraphRegistry registry{opt};
+  const GraphId a = registry.add(test_graph(1, 24));
+  const GraphId b = registry.add(test_graph(2, 24));
+
+  bool hit = false;
+  auto lease_a = registry.acquire(a, &hit);
+  ASSERT_NE(lease_a, nullptr);
+  EXPECT_FALSE(hit);
+  // Touch b: over budget, a is the LRU tail, b was just touched → evict a.
+  auto lease_b = registry.acquire(b, &hit);
+  ASSERT_NE(lease_b, nullptr);
+  EXPECT_FALSE(hit);
+
+  const RegistryStats after_b = registry.stats();
+  EXPECT_EQ(after_b.evictions, 1u);
+
+  // Re-acquiring a is a miss that counts as a rewarm; b gets evicted.
+  auto lease_a2 = registry.acquire(a, &hit);
+  EXPECT_FALSE(hit);
+  const RegistryStats after_a2 = registry.stats();
+  EXPECT_EQ(after_a2.rewarms, 1u);
+  EXPECT_EQ(after_a2.evictions, 2u);
+
+  // The leases still work after eviction (eviction drops the registry's
+  // reference, not the caller's).
+  EXPECT_NO_THROW((void)lease_b->pool.solve_many(
+      std::vector<MinCutRequest>{gk_query(1)}));
+}
+
+TEST(ServeRegistry, ByteAccountingIsCoherent) {
+  GraphRegistry registry{GraphRegistry::Options{}};
+  const GraphId a = registry.add(test_graph(1, 24));
+  const GraphId b = registry.add(test_graph(2, 48));
+
+  EXPECT_EQ(registry.stats().warm_bytes_resident, 0u);
+  auto lease_a = registry.acquire(a);
+  const std::size_t with_a = registry.stats().warm_bytes_resident;
+  EXPECT_EQ(with_a, lease_a->pool.memory_bytes());
+
+  auto lease_b = registry.acquire(b);
+  const std::size_t with_both = registry.stats().warm_bytes_resident;
+  EXPECT_EQ(with_both, with_a + lease_b->pool.memory_bytes());
+  EXPECT_GE(registry.stats().warm_bytes_high_water, with_both);
+
+  // Warm stages build lazily inside solves; update_bytes re-reads.
+  (void)lease_b->pool.solve_many(std::vector<MinCutRequest>{gk_query(1)});
+  registry.update_bytes(b);
+  const std::size_t after_solve = registry.stats().warm_bytes_resident;
+  EXPECT_EQ(after_solve, with_a + lease_b->pool.memory_bytes());
+  EXPECT_GT(after_solve, with_both) << "lazy warm stages should add bytes";
+
+  ASSERT_TRUE(registry.evict(b));
+  EXPECT_EQ(registry.stats().warm_bytes_resident, with_a);
+  ASSERT_TRUE(registry.evict(a));
+  EXPECT_EQ(registry.stats().warm_bytes_resident, 0u);
+  EXPECT_GE(registry.stats().warm_bytes_high_water, after_solve);
+}
+
+TEST(ServeRegistry, RejectsFaultedSessionOptions) {
+  GraphRegistry::Options opt;
+  FaultPlan plan;
+  plan.drop_rate = 0.5;
+  opt.session.fault_plan = plan;
+  EXPECT_THROW(GraphRegistry{opt}, PreconditionError);
+}
+
+// ------------------------------------------------------- fault-plan bypass
+
+TEST(ServeFaults, FaultPlanRoutesAroundWarmRegistry) {
+  Server server{manual_options()};
+  const GraphId id = server.register_graph(test_graph(9));
+
+  // Warm the entry, then serve a crash-plan request: it must not touch
+  // the warm cache (no hit, no pollution) and must count loudly.
+  ServeRequest plain;
+  plain.graph = id;
+  plain.query = gk_query(1);
+  const ServeResponse before = server.serve(plain);
+  ASSERT_EQ(before.outcome, ServeOutcome::kOk);
+
+  ServeRequest faulted = plain;
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.crash_schedule.push_back({/*node=*/3, /*r0=*/2, /*r1=*/4});
+  faulted.fault_plan = plan;
+  const RegistryStats rs_before = server.stats().registry;
+  const ServeResponse f = server.serve(faulted);
+  EXPECT_TRUE(f.cold_bypass);
+  EXPECT_FALSE(f.warm_hit);
+  // gk declares kReliableOnly, so the injected crash is rejected loudly —
+  // the bypass still routed the request onto a private cold session.
+  EXPECT_EQ(f.outcome, ServeOutcome::kFailed);
+
+  const RegistryStats rs_after = server.stats().registry;
+  EXPECT_EQ(rs_after.fault_bypasses, 1u);
+  EXPECT_EQ(rs_after.hits, rs_before.hits) << "bypass touched the cache";
+  EXPECT_EQ(rs_after.misses, rs_before.misses);
+
+  // The warm entry is unpolluted: the plain query still answers
+  // identically to a fresh cold session.
+  const ServeResponse after = server.serve(plain);
+  ASSERT_EQ(after.outcome, ServeOutcome::kOk);
+  EXPECT_TRUE(after.warm_hit);
+  const Graph g = test_graph(9);
+  Session cold{g};
+  expect_report_identical(after.report, cold.solve(plain.query),
+                          "post-bypass warm vs fresh cold");
+
+  // An inactive (default) plan is not a fault request at all.
+  ServeRequest inactive = plain;
+  inactive.fault_plan = FaultPlan{};
+  const ServeResponse i = server.serve(inactive);
+  EXPECT_FALSE(i.cold_bypass);
+  EXPECT_EQ(server.stats().registry.fault_bypasses, 1u);
+}
+
+// ------------------------------------------------------------ session pool
+
+TEST(ServePool, DrainClosesThePool) {
+  const Graph g = test_graph(1);
+  SessionPool pool{g, 2};
+  const std::vector<MinCutRequest> batch{gk_query(1), gk_query(2)};
+  EXPECT_NO_THROW((void)pool.solve_many(batch));
+  pool.drain();
+  pool.drain();  // idempotent
+  EXPECT_THROW((void)pool.solve_many(batch), PreconditionError);
+  EXPECT_THROW((void)pool.solve_each(batch), PreconditionError);
+}
+
+TEST(ServePool, SolveEachCapturesPerRequestFailures) {
+  const Graph g = test_graph(1);
+  SessionPool pool{g, 2};
+  std::vector<MinCutRequest> batch{gk_query(1), gk_query(2), gk_query(3)};
+  batch[1].round_budget = 1;
+  const std::vector<SessionPool::SolveOutcome> outcomes =
+      pool.solve_each(batch);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(outcomes[0].error, nullptr);
+  ASSERT_NE(outcomes[1].error, nullptr);
+  EXPECT_THROW(std::rethrow_exception(outcomes[1].error), CancelledError);
+  EXPECT_EQ(outcomes[2].error, nullptr);
+
+  // The captured neighbours match a fresh cold session.
+  Session cold{g};
+  expect_report_identical(outcomes[0].report, cold.solve(batch[0]),
+                          "outcome 0");
+  expect_report_identical(outcomes[2].report, cold.solve(batch[2]),
+                          "outcome 2");
+}
+
+// ------------------------------------------------------------- concurrency
+// The TSan targets: CI runs this suite under -fsanitize=thread next to
+// test_faults.  Keep the workloads small — the value is the interleaving.
+
+TEST(ServeConcurrent, RegisterQueryEvictRace) {
+  ServeOptions opt;  // real dispatcher thread
+  opt.warm_byte_budget = 1;  // every acquire evicts — maximum churn
+  Server server{opt};
+  constexpr std::size_t kGraphs = 3;
+  std::vector<GraphId> ids;
+  ids.reserve(kGraphs);
+  for (std::size_t i = 0; i < kGraphs; ++i)
+    ids.push_back(server.register_graph(test_graph(i + 1, /*n=*/24)));
+
+  std::atomic<bool> stop{false};
+  std::thread evictor{[&] {
+    std::size_t i = 0;
+    while (!stop.load(std::memory_order_relaxed))
+      (void)server.registry().evict(ids[i++ % kGraphs]);
+  }};
+  std::thread registrar{[&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const GraphId extra = server.register_graph(test_graph(99, /*n=*/24));
+      (void)server.release_graph(extra);
+    }
+  }};
+
+  std::vector<std::thread> clients;
+  std::atomic<std::size_t> served{0};
+  for (std::size_t c = 0; c < 2; ++c)
+    clients.emplace_back([&, c] {
+      for (std::size_t q = 0; q < 12; ++q) {
+        ServeRequest req;
+        req.graph = ids[(c + q) % kGraphs];
+        req.query = gk_query(q + 1);
+        const ServeResponse r = server.serve(req);
+        EXPECT_EQ(r.outcome, ServeOutcome::kOk);
+        served.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  for (std::thread& t : clients) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  evictor.join();
+  registrar.join();
+  EXPECT_EQ(served.load(), 24u);
+
+  // Under maximum eviction churn every answer still matches fresh cold.
+  ServeRequest probe;
+  probe.graph = ids[0];
+  probe.query = gk_query(1);
+  const ServeResponse r = server.serve(probe);
+  ASSERT_EQ(r.outcome, ServeOutcome::kOk);
+  const Graph g = test_graph(1, /*n=*/24);
+  Session cold{g};
+  expect_report_identical(r.report, cold.solve(probe.query),
+                          "post-race probe");
+}
+
+TEST(ServeConcurrent, PoolDrainWaitsForInflightSolves) {
+  const Graph g = test_graph(2);
+  auto pool = std::make_unique<SessionPool>(g, 2);
+  SessionPool* raw = pool.get();
+  std::vector<MinCutRequest> batch(6, gk_query(1));
+  for (std::size_t i = 0; i < batch.size(); ++i) batch[i].seed = i + 1;
+
+  std::thread solver{[raw, &batch] {
+    try {
+      const auto outcomes = raw->solve_each(batch);
+      for (const auto& o : outcomes) EXPECT_EQ(o.error, nullptr);
+    } catch (const PreconditionError&) {
+      // The destructor's drain won the race to the gate and closed the
+      // pool before this thread entered — the other legal outcome.
+    }
+  }};
+  // Destruction (which drains) must serialize after the in-flight batch —
+  // exactly the registry-eviction teardown path.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  pool.reset();
+  solver.join();
+}
+
+// --------------------------------------------------------------- workload
+
+TEST(ServeWorkload, SynthesisIsDeterministicAndRoundTrips) {
+  SynthOptions opt;
+  opt.num_graphs = 3;
+  opt.num_requests = 25;
+  opt.mean_interarrival_s = 0.004;
+  opt.seed = 42;
+  const Workload a = synth_workload(opt);
+  const Workload b = synth_workload(opt);
+  ASSERT_EQ(a.requests.size(), 25u);
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].graph, b.requests[i].graph);
+    EXPECT_EQ(a.requests[i].seed, b.requests[i].seed);
+    EXPECT_EQ(a.requests[i].at_s, b.requests[i].at_s);
+  }
+
+  const Workload parsed = parse_workload(write_workload(a));
+  ASSERT_EQ(parsed.graphs.size(), a.graphs.size());
+  ASSERT_EQ(parsed.requests.size(), a.requests.size());
+  for (std::size_t i = 0; i < a.graphs.size(); ++i) {
+    EXPECT_EQ(parsed.graphs[i].family, a.graphs[i].family);
+    EXPECT_EQ(parsed.graphs[i].seed, a.graphs[i].seed);
+  }
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(parsed.requests[i].graph, a.requests[i].graph);
+    EXPECT_EQ(parsed.requests[i].algo, a.requests[i].algo);
+    EXPECT_EQ(parsed.requests[i].seed, a.requests[i].seed);
+  }
+
+  // Zipf skew: the most popular graph must dominate.
+  std::vector<std::size_t> counts(opt.num_graphs, 0);
+  for (const WorkloadRequest& r : a.requests) ++counts[r.graph];
+  EXPECT_GT(counts[0], counts[opt.num_graphs - 1]);
+}
+
+TEST(ServeWorkload, ParseRejectsMalformedInput) {
+  EXPECT_THROW((void)parse_workload("frob 1 2 3\n"), PreconditionError);
+  EXPECT_THROW((void)parse_workload("graph erdos_renyi 32\n"),
+               PreconditionError);
+  EXPECT_THROW((void)parse_workload("req 0 0 gk 1 0.2 0\n"),
+               PreconditionError)
+      << "request referencing a graph that was never declared";
+  EXPECT_THROW(
+      (void)parse_workload("graph no_such_family 32 1 1 1\n"),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,246 @@
+// dmc_serve — replay a serving workload against a dmc::Server.
+//
+// Synthesize a workload file (deterministic in its knobs):
+//   ./build/dmc_serve --synth=wl.txt --graphs=8 --requests=200 \
+//       --zipf=1.1 --mean-gap-ms=10 --n=256 --seed=1
+//
+// Replay it (open loop when the trace carries arrival times, closed loop
+// otherwise), printing a latency table per outcome class on stdout and
+// machine-readable JSON lines on stderr:
+//   ./build/dmc_serve --workload=wl.txt --budget-mb=64 --pool=1 \
+//       --threads=1 --depth=256
+//
+// The replayer is the operational face of the serving layer: one client
+// thread submits on the trace's schedule, the Server's dispatcher coalesces
+// and solves, and the summary splits latency by warm-hit vs cold so cache
+// behaviour is visible at a glance.  --speed rescales the trace clock
+// (2 = twice as fast); --check re-solves every Ok response on a fresh cold
+// session and fails loudly on any byte of divergence.
+//
+// Exit code 0 ⇔ replay completed (and --check, if set, found every
+// response bit-identical); 1 ⇔ divergence or failed responses; 2 ⇔ usage.
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <iomanip>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/serve.h"
+#include "util/options.h"
+
+namespace {
+
+using namespace dmc;
+
+struct Timed {
+  ServeResponse response;
+  std::size_t graph{0};
+};
+
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(v.size()));
+  return v[std::min(idx, v.size() - 1)];
+}
+
+void print_latency_row(const std::string& label,
+                       const std::vector<double>& lat) {
+  std::cout << "  " << std::left << std::setw(12) << label << std::right
+            << std::setw(8) << lat.size();
+  if (!lat.empty())
+    std::cout << std::setw(12) << percentile(lat, 0.50) * 1e3 << std::setw(12)
+              << percentile(lat, 0.95) * 1e3 << std::setw(12)
+              << percentile(lat, 0.99) * 1e3;
+  std::cout << '\n';
+}
+
+int synth(const Options& opt) {
+  SynthOptions s;
+  s.num_graphs = opt.get_uint("graphs", 8);
+  s.num_requests = opt.get_uint("requests", 200);
+  s.zipf_s = opt.get_double("zipf", 1.1);
+  s.mean_interarrival_s = opt.get_double("mean-gap-ms", 0.0) * 1e-3;
+  s.family = opt.get_string("family", "erdos_renyi");
+  s.n = opt.get_uint("n", 256);
+  s.min_w = static_cast<Weight>(opt.get_uint("wmin", 12));
+  s.max_w = static_cast<Weight>(opt.get_uint("wmax", 24));
+  s.algo = algo_from_string(
+      opt.get_enum("algo", "gk", {"exact", "approx", "su", "gk"}));
+  s.eps = opt.get_double("eps", 0.25);
+  s.deadline_s = opt.get_double("deadline-s", 0.0);
+  s.seed = opt.get_uint("seed", 1);
+
+  const std::string path = opt.get_string("synth", "");
+  const Workload w = synth_workload(s);
+  save_workload(w, path);
+  std::cout << "wrote " << path << ": " << w.graphs.size() << " graphs, "
+            << w.requests.size() << " requests\n";
+  return 0;
+}
+
+int replay(const Options& opt) {
+  const Workload w = load_workload(opt.get_string("workload", ""));
+  DMC_REQUIRE_MSG(!w.requests.empty(), "workload has no requests");
+  const double speed = opt.get_double("speed", 1.0);
+  DMC_REQUIRE(speed > 0.0);
+  const bool check = opt.get_bool("check", false);
+
+  ServeOptions sopt;
+  sopt.warm_byte_budget = opt.get_uint("budget-mb", 64) << 20;
+  sopt.pool_sessions = opt.get_uint("pool", 1);
+  sopt.engine_threads = static_cast<unsigned>(opt.get_uint("threads", 1));
+  sopt.scheduling = bench::scheduling_from_env();
+  sopt.max_queue_depth = opt.get_uint("depth", 256);
+  sopt.max_queue_bytes = opt.get_uint("queue-bytes", 0);
+  sopt.max_coalesce = opt.get_uint("coalesce", 64);
+
+  Server server{sopt};
+  std::vector<GraphId> ids;
+  ids.reserve(w.graphs.size());
+  const bench::ResourceUsage before = bench::resource_usage_now();
+  for (const WorkloadGraphSpec& spec : w.graphs)
+    ids.push_back(server.register_graph(build_graph(spec)));
+
+  // Open-loop submission: one client thread follows the trace clock and
+  // never blocks on responses, so queueing pressure is the trace's, not
+  // the client's (closed loop when every at_s is 0).
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  std::vector<std::future<ServeResponse>> futures;
+  futures.reserve(w.requests.size());
+  for (const WorkloadRequest& r : w.requests) {
+    const auto due =
+        t0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double>(r.at_s / speed));
+    std::this_thread::sleep_until(due);
+    ServeRequest req;
+    req.graph = ids[r.graph];
+    req.query.algo = r.algo;
+    req.query.seed = r.seed;
+    req.query.eps = r.eps;
+    req.deadline_s = r.deadline_s;
+    futures.push_back(server.submit(req));
+  }
+
+  std::vector<Timed> done;
+  done.reserve(futures.size());
+  for (std::size_t i = 0; i < futures.size(); ++i)
+    done.push_back({futures[i].get(), w.requests[i].graph});
+  const double replay_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  server.stop();
+
+  // Bit-identicality audit: every Ok response must match a fresh cold
+  // session byte for byte (value, side, and every stat).
+  std::size_t divergent = 0;
+  if (check) {
+    for (std::size_t i = 0; i < done.size(); ++i) {
+      if (done[i].response.outcome != ServeOutcome::kOk) continue;
+      const WorkloadRequest& r = w.requests[i];
+      SessionOptions cold_opt;
+      cold_opt.engine_threads = sopt.engine_threads;
+      cold_opt.scheduling = sopt.scheduling;
+      const Graph g = build_graph(w.graphs[r.graph]);
+      Session cold{g, cold_opt};
+      MinCutRequest q;
+      q.algo = r.algo;
+      q.seed = r.seed;
+      q.eps = r.eps;
+      const MinCutReport fresh = cold.solve(q);
+      const MinCutReport& got = done[i].response.report;
+      if (got.value != fresh.value || got.side != fresh.side ||
+          got.stats != fresh.stats) {
+        ++divergent;
+        std::cout << "DIVERGENT response for request " << i << " (graph "
+                  << r.graph << ", algo " << to_string(r.algo) << ")\n";
+      }
+    }
+  }
+
+  // ---- human summary (stdout) -------------------------------------------
+  std::vector<double> warm_lat, cold_lat;
+  std::size_t by_outcome[6] = {};
+  for (const Timed& t : done) {
+    ++by_outcome[static_cast<std::size_t>(t.response.outcome)];
+    if (t.response.outcome != ServeOutcome::kOk) continue;
+    const double lat = t.response.queue_seconds + t.response.solve_seconds;
+    (t.response.warm_hit ? warm_lat : cold_lat).push_back(lat);
+  }
+  const ServeStats stats = server.stats();
+  std::cout << "replayed " << done.size() << " requests over "
+            << w.graphs.size() << " graphs in " << replay_seconds << " s\n";
+  std::cout << "outcomes:";
+  for (std::size_t o = 0; o < 6; ++o)
+    if (by_outcome[o])
+      std::cout << ' ' << to_string(static_cast<ServeOutcome>(o)) << '='
+                << by_outcome[o];
+  std::cout << '\n';
+  std::cout << "registry: hits=" << stats.registry.hits
+            << " misses=" << stats.registry.misses
+            << " rewarms=" << stats.registry.rewarms
+            << " evictions=" << stats.registry.evictions
+            << " fault_bypasses=" << stats.registry.fault_bypasses
+            << " hit_rate=" << stats.registry.hit_rate() << '\n';
+  std::cout << "admission: submitted=" << stats.admission.submitted
+            << " rejected_depth=" << stats.admission.rejected_depth
+            << " rejected_bytes=" << stats.admission.rejected_bytes
+            << " depth_high_water=" << stats.admission.queue_depth_high_water
+            << '\n';
+  std::cout << "dispatch: runs=" << stats.dispatch.coalesced_runs
+            << " coalesced=" << stats.dispatch.coalesced_queries
+            << " warm_hits=" << stats.dispatch.warm_hits
+            << " cold=" << stats.dispatch.cold_serves << '\n';
+  std::cout << "  class          count     p50(ms)     p95(ms)     p99(ms)\n";
+  print_latency_row("warm-hit", warm_lat);
+  print_latency_row("cold", cold_lat);
+  if (check)
+    std::cout << (divergent == 0 ? "identical: every Ok response matches a "
+                                   "fresh cold session\n"
+                                 : "DIVERGENCE detected\n");
+
+  // ---- machine-readable line (stderr) -----------------------------------
+  bench::JsonLine line{"dmc_serve"};
+  line.field("requests", std::uint64_t{done.size()})
+      .field("graphs", std::uint64_t{w.graphs.size()})
+      .field("replay_seconds", replay_seconds)
+      .field("ok", std::uint64_t{by_outcome[0]})
+      .field("overloaded", std::uint64_t{by_outcome[1]})
+      .field("registry_hit_rate", stats.registry.hit_rate())
+      .field("evictions", stats.registry.evictions)
+      .field("warm_p50_ms", percentile(warm_lat, 0.50) * 1e3)
+      .field("warm_p99_ms", percentile(warm_lat, 0.99) * 1e3)
+      .field("cold_p50_ms", percentile(cold_lat, 0.50) * 1e3)
+      .field("cold_p99_ms", percentile(cold_lat, 0.99) * 1e3);
+  if (check) line.field("identical", std::uint64_t{divergent == 0 ? 1u : 0u});
+  line.usage(before, 0, 0);
+  line.emit();
+  bench::emit_usage_summary("dmc_serve");
+
+  const bool failures = divergent > 0 || by_outcome[5] /*kFailed*/ > 0;
+  return failures ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const dmc::Options opt{
+        argc, argv,
+        {"synth", "graphs", "requests", "zipf", "mean-gap-ms", "family", "n",
+         "wmin", "wmax", "algo", "eps", "deadline-s", "seed", "workload",
+         "speed", "check", "budget-mb", "pool", "threads", "depth",
+         "queue-bytes", "coalesce"}};
+    if (opt.has("synth")) return synth(opt);
+    if (opt.has("workload")) return replay(opt);
+    std::cerr << "usage: dmc_serve --synth=<file> [knobs] | "
+                 "--workload=<file> [knobs]\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "dmc_serve: " << e.what() << '\n';
+    return 2;
+  }
+}
