@@ -1,0 +1,227 @@
+// E11 — dynamic graphs: batched updates into a warm session vs
+// rebuild-per-update.
+//
+// The serving shape this PR exists for: a live graph absorbs a stream of
+// edge-update batches with λ-queries in between.  Two ways to serve it:
+//
+//   * "apply": ONE warm session; each batch lands via Session::apply —
+//     the CSR is patched in place and the warm infrastructure is
+//     scope-invalidated (reweight-only batches under the damage
+//     threshold keep the bootstrap election/BFS and the packing
+//     scaffold; only the weight-dependent stages rebuild lazily);
+//   * "rebuild": the pre-dynamic-graphs shape — after each batch a fresh
+//     Session is constructed over the updated graph, paying simulator
+//     construction AND the full bootstrap per update.
+//
+// Both shapes serve the SAME stream (identical batches, identical
+// queries); answers are checksummed and must match — the differential
+// update/rebuild bit-identicality is test-enforced in test_dynamic.cpp,
+// the checksum here guards the bench itself.
+//
+// Methodology (as E9): one untimed warm-up per shape, then `reps` PAIRED
+// reps time both shapes back-to-back in process-CPU time; the speedup is
+// the MEDIAN of per-rep rebuild/apply ratios.  Reweight batches are
+// idempotent (absolute target weights), so re-running the stream leaves
+// the graphs bit-identical across reps.
+//
+// Env knobs (as in E1): DMC_ENGINE_THREADS, DMC_SCHEDULING ∈
+// {dense, event}, DMC_BENCH_REPS, DMC_BENCH_SMOKE=1 → smallest size.
+//
+// CI gate (bench-smoke): apply_speedup ≥ 1.2 with identical == 1.
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "bench_common.h"
+
+#include "core/api.h"
+#include "util/prng.h"
+
+namespace {
+
+using dmc::Algo;
+using dmc::EdgeId;
+using dmc::EdgeUpdate;
+using dmc::Graph;
+using dmc::MinCutReport;
+using dmc::MinCutRequest;
+using dmc::Prng;
+using dmc::Weight;
+
+/// Reweight-only batches against the initial edge ids (stable under
+/// reweights), targets inside the graph's weight regime.  Absolute
+/// targets make the stream idempotent across reps.
+std::vector<std::vector<EdgeUpdate>> make_batches(const Graph& g,
+                                                  std::size_t count,
+                                                  std::uint64_t seed) {
+  Prng rng{seed};
+  const std::size_t m = g.num_edges();
+  const std::size_t per_batch = std::max<std::size_t>(1, m / 10);
+  std::vector<std::vector<EdgeUpdate>> batches;
+  batches.reserve(count);
+  for (std::size_t b = 0; b < count; ++b) {
+    std::vector<EdgeId> ids(m);
+    for (std::size_t e = 0; e < m; ++e) ids[e] = static_cast<EdgeId>(e);
+    rng.shuffle(ids);
+    ids.resize(per_batch);
+    std::vector<EdgeUpdate> batch;
+    batch.reserve(per_batch);
+    for (const EdgeId e : ids)
+      batch.push_back(
+          EdgeUpdate::reweight(e, static_cast<Weight>(rng.next_in(12, 24))));
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+/// λ-estimate queries between updates — the lookup mix where per-graph
+/// infrastructure dominates per-query simulation (see E9 warm_serving).
+std::vector<MinCutRequest> query_block(std::size_t queries) {
+  std::vector<MinCutRequest> block;
+  for (std::size_t q = 0; q < queries; ++q) {
+    MinCutRequest gk;
+    gk.algo = Algo::kGk;
+    gk.seed = q + 1;
+    block.push_back(gk);
+  }
+  return block;
+}
+
+Weight checksum(const std::vector<MinCutReport>& reports) {
+  Weight sum = 0;
+  for (const MinCutReport& r : reports) sum += r.value;
+  return sum;
+}
+
+double cpu_now() { return dmc::bench::process_cpu_seconds(); }
+
+}  // namespace
+
+int main() {
+  using namespace dmc;
+  using namespace dmc::bench;
+  const unsigned engine_threads = [] {
+    const char* env = std::getenv("DMC_ENGINE_THREADS");
+    return env ? static_cast<unsigned>(std::atoi(env)) : 1u;
+  }();
+  const std::optional<Scheduling> scheduling = scheduling_from_env();
+  const bool smoke = std::getenv("DMC_BENCH_SMOKE") != nullptr;
+  const std::size_t reps = [] {
+    const char* env = std::getenv("DMC_BENCH_REPS");
+    const int v = env ? std::atoi(env) : 0;
+    return v > 0 ? static_cast<std::size_t>(v) : std::size_t{5};
+  }();
+  std::cout << "E11: batched updates into a warm session vs "
+               "rebuild-per-update\n\n";
+
+  Table t{{"family", "n", "updates", "queries", "apply q/s", "rebuild q/s",
+           "speedup", "identical?"}};
+
+  const auto measure = [&](const std::string& family, const Graph& base,
+                           std::size_t update_count, std::size_t queries) {
+    const SessionOptions sopt{engine_threads, scheduling};
+    const std::vector<std::vector<EdgeUpdate>> batches =
+        make_batches(base, update_count, 4);
+    const std::vector<MinCutRequest> block = query_block(queries);
+    const std::size_t total_queries = update_count * queries;
+
+    // Shape 1: one warm session, updates applied in place.
+    const auto run_apply = [&](Session& session) {
+      std::vector<MinCutReport> reports;
+      reports.reserve(total_queries);
+      for (const auto& batch : batches) {
+        (void)session.apply(batch);
+        for (const MinCutRequest& req : block)
+          reports.push_back(session.solve(req));
+      }
+      return reports;
+    };
+    // Shape 2: fresh session (construction + bootstrap) per update.
+    const auto run_rebuild = [&](Graph& g) {
+      std::vector<MinCutReport> reports;
+      reports.reserve(total_queries);
+      for (const auto& batch : batches) {
+        (void)g.apply_updates(batch);
+        Session fresh{g, sopt};
+        for (const MinCutRequest& req : block)
+          reports.push_back(fresh.solve(req));
+      }
+      return reports;
+    };
+
+    Graph apply_g = base;
+    Session apply_session{apply_g, sopt};
+    Graph rebuild_g = base;
+
+    std::vector<MinCutReport> apply_reports;
+    std::vector<MinCutReport> rebuild_reports;
+    double apply_s = std::numeric_limits<double>::infinity();
+    double rebuild_s = std::numeric_limits<double>::infinity();
+    std::vector<double> ratios;
+    (void)run_apply(apply_session);  // warm-up, untimed
+    (void)run_rebuild(rebuild_g);
+    for (std::size_t r = 0; r < reps; ++r) {
+      const double t0 = cpu_now();
+      apply_reports = run_apply(apply_session);
+      const double apply_rep = cpu_now() - t0;
+
+      const double t1 = cpu_now();
+      rebuild_reports = run_rebuild(rebuild_g);
+      const double rebuild_rep = cpu_now() - t1;
+
+      apply_s = std::min(apply_s, apply_rep);
+      rebuild_s = std::min(rebuild_s, rebuild_rep);
+      ratios.push_back(apply_rep > 0 ? rebuild_rep / apply_rep : 0);
+    }
+    std::sort(ratios.begin(), ratios.end());
+    const double speedup = ratios[ratios.size() / 2];
+    const bool identical = checksum(apply_reports) ==
+                               checksum(rebuild_reports) &&
+                           apply_reports.size() == rebuild_reports.size();
+
+    const double apply_qps =
+        apply_s > 0 ? static_cast<double>(total_queries) / apply_s : 0;
+    const double rebuild_qps =
+        rebuild_s > 0 ? static_cast<double>(total_queries) / rebuild_s : 0;
+    t.add_row({family, Table::cell(base.num_nodes()),
+               Table::cell(update_count), Table::cell(total_queries),
+               Table::cell(apply_qps, 1), Table::cell(rebuild_qps, 1),
+               Table::cell(speedup, 2), identical ? "yes" : "NO"});
+    JsonLine{"e11"}
+        .field("family", family)
+        .field("n", std::uint64_t{base.num_nodes()})
+        .field("m", std::uint64_t{base.num_edges()})
+        .field("engine_threads", std::uint64_t{engine_threads})
+        .field("scheduling", scheduling_label(scheduling))
+        .field("updates", std::uint64_t{update_count})
+        .field("queries_per_update", std::uint64_t{queries})
+        .field("apply_cpu_seconds", apply_s)
+        .field("rebuild_cpu_seconds", rebuild_s)
+        .field("apply_queries_per_sec", apply_qps)
+        .field("rebuild_queries_per_sec", rebuild_qps)
+        .field("apply_speedup", speedup)
+        .field("reps", std::uint64_t{reps})
+        .field("identical", std::uint64_t{identical ? 1u : 0u})
+        .emit();
+  };
+
+  // Weights 12–24 keep gk's min weighted degree above its first sampling
+  // level (genuine connectivity probes per query — see E9); update
+  // targets are drawn from the same range so the regime is stable under
+  // the stream.
+  const std::vector<unsigned> sizes =
+      smoke ? std::vector<unsigned>{128u} : std::vector<unsigned>{128u, 256u};
+  for (const unsigned n : sizes)
+    measure("erdos_renyi(deg≈6, w∈[12,24])",
+            make_erdos_renyi(n, 6.0 / static_cast<double>(n), 4, 12, 24),
+            /*update_count=*/8, /*queries=*/3);
+
+  t.print(std::cout);
+  std::cout << "\nshape check: identical answers both shapes.  The speedup "
+               "column is the dynamic-graph margin — per-update simulator "
+               "construction and bootstrap amortized away by in-place CSR "
+               "patching plus scoped invalidation of the warm "
+               "infrastructure.\n";
+  emit_usage_summary("e11");
+  return 0;
+}

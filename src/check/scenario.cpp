@@ -56,6 +56,86 @@ MinCutRequest request_for(const Scenario& s, std::uint64_t seed) {
              "does not tolerate injected faults") != std::string_view::npos;
 }
 
+/// First field on which two reports differ (ignoring wall time), or ""
+/// when bit-identical — the update axis's warm-vs-cold contract.
+std::string diff_reports(const MinCutReport& a, const MinCutReport& b) {
+  std::ostringstream os;
+  const auto field = [&os](const char* name, auto x, auto y) {
+    if (os.tellp() == 0 && !(x == y))
+      os << name << ": warm " << x << " vs fresh " << y;
+  };
+  field("algo", static_cast<int>(a.algo), static_cast<int>(b.algo));
+  field("value", a.value, b.value);
+  if (os.tellp() == 0 && a.side != b.side) os << "side bitmaps differ";
+  field("v_star", a.v_star, b.v_star);
+  field("trees_packed", a.trees_packed, b.trees_packed);
+  field("tree_of_best", a.tree_of_best, b.tree_of_best);
+  field("fragments", a.fragments, b.fragments);
+  field("p", a.p, b.p);
+  field("lambda_hat", a.lambda_hat, b.lambda_hat);
+  field("sampled", a.sampled, b.sampled);
+  field("attempts", a.attempts, b.attempts);
+  field("q_threshold", a.q_threshold, b.q_threshold);
+  // CongestStats::operator== is exact, per-protocol breakdown included.
+  if (os.tellp() == 0 && !(a.stats == b.stats)) os << "CONGEST stats differ";
+  return os.str();
+}
+
+/// One update rendered for failure reports, e.g. "reweight e3 -> 7".
+std::string format_update(const EdgeUpdate& u) {
+  std::ostringstream os;
+  switch (u.kind) {
+    case UpdateKind::kInsert:
+      os << "insert " << u.u << '-' << u.v << " w" << u.w;
+      break;
+    case UpdateKind::kDelete:
+      os << "delete e" << u.edge;
+      break;
+    case UpdateKind::kReweight:
+      os << "reweight e" << u.edge << " -> " << u.w;
+      break;
+  }
+  return os.str();
+}
+
+std::string format_updates(std::span<const EdgeUpdate> batch) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    os << (i ? "; " : "") << format_update(batch[i]);
+  return os.str();
+}
+
+/// Semantic pre-validation of a candidate batch against `m0` pre-batch
+/// edges — the shrinker removes arbitrary subsequences, which can orphan
+/// a delete/reweight of a batch-inserted id; such candidates are INVALID
+/// (not failing) and must never shrink-accept.  Mirrors the id rules of
+/// Graph::apply_updates exactly.
+bool valid_update_batch(std::size_t m0, std::span<const EdgeUpdate> batch,
+                        std::size_t n) {
+  std::size_t inserts = 0;
+  std::vector<bool> deleted(m0 + batch.size(), false);
+  for (const EdgeUpdate& u : batch) {
+    switch (u.kind) {
+      case UpdateKind::kInsert:
+        if (u.u >= n || u.v >= n || u.u == u.v || u.w < 1 ||
+            u.w > kMaxWeight)
+          return false;
+        ++inserts;
+        break;
+      case UpdateKind::kDelete:
+        if (u.edge >= m0 + inserts || deleted[u.edge]) return false;
+        deleted[u.edge] = true;
+        break;
+      case UpdateKind::kReweight:
+        if (u.edge >= m0 + inserts || deleted[u.edge] || u.w < 1 ||
+            u.w > kMaxWeight)
+          return false;
+        break;
+    }
+  }
+  return true;
+}
+
 /// λ and the algorithm contract on one concrete graph.  Deterministic in
 /// (g, s, seed); exceptions anywhere inside count as failures, so crashes
 /// shrink exactly like wrong answers.
@@ -188,6 +268,44 @@ GraphCheck check_graph(const Graph& g, const Scenario& s, std::uint64_t seed,
   return out;
 }
 
+/// The update axis's differential flow on one concrete (graph, batch):
+/// warm a mutable copy's session with one solve, apply the batch
+/// (Session::apply — scoped invalidation or fallback, per damage), solve
+/// again, then run the FULL graph contract on the updated graph (fresh
+/// oracle consensus, fresh cold session, witness + CONGEST audits) and
+/// require the warm answer to be bit-identical to the fresh one.
+/// Deterministic in (g, batch, s, seed); exceptions count as failures.
+GraphCheck check_update(const Graph& g, std::span<const EdgeUpdate> batch,
+                        const Scenario& s, std::uint64_t seed,
+                        const RunnerOptions& opt) {
+  GraphCheck out;
+  try {
+    Graph mut = g;
+    Session session{mut, SessionOptions{s.engine_threads, s.scheduling}};
+    // Warm-up solve: the update must land on BUILT warm infrastructure,
+    // or the repair/invalidate machinery under test never runs.
+    (void)session.solve(request_for(s, seed));
+    (void)session.apply(batch);
+    const MinCutReport warm = session.solve(request_for(s, seed));
+    // Full contract on the updated graph — also produces the fresh cold
+    // report the warm answer must match bit for bit.
+    out = check_graph(mut, s, seed, opt);
+    if (!out.ok) return out;
+    ++out.assertions;
+    const std::string diff = diff_reports(warm, out.report);
+    if (!diff.empty()) {
+      out.ok = false;
+      out.message =
+          "post-update warm solve differs from rebuild-from-scratch — " +
+          diff;
+    }
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.message = std::string{"exception: "} + e.what();
+  }
+  return out;
+}
+
 }  // namespace
 
 const char* to_string(WeightRegime r) {
@@ -247,6 +365,103 @@ FaultPlan fault_plan_for(FaultProfile p, std::size_t n, std::uint64_t seed) {
   return plan;
 }
 
+const char* to_string(UpdateProfile p) {
+  switch (p) {
+    case UpdateProfile::kNone: return "none";
+    case UpdateProfile::kReweight: return "reweight";
+    case UpdateProfile::kMixed: return "mixed";
+    case UpdateProfile::kChurn: return "churn";
+  }
+  return "?";
+}
+
+std::vector<EdgeUpdate> update_batch_for(UpdateProfile p, const Graph& g,
+                                         std::uint64_t seed) {
+  std::vector<EdgeUpdate> batch;
+  const std::size_t m = g.num_edges();
+  const std::size_t n = g.num_nodes();
+  if (p == UpdateProfile::kNone || m == 0 || n < 2) return batch;
+  Prng rng{seed};
+
+  const auto shuffled_ids = [&] {
+    std::vector<EdgeId> ids(m);
+    for (std::size_t e = 0; e < m; ++e) ids[e] = static_cast<EdgeId>(e);
+    rng.shuffle(ids);
+    return ids;
+  };
+  const auto reweight_some = [&](std::size_t count) {
+    std::vector<EdgeId> ids = shuffled_ids();
+    ids.resize(std::min(count, m));
+    for (const EdgeId e : ids) {
+      // Nudge off the current weight so no reweight is a silent no-op.
+      const Weight w = g.edge(e).w;
+      Weight nw = rng.next_in(1, 9);
+      if (nw == w) nw = w == 9 ? 1 : w + 1;
+      batch.push_back(EdgeUpdate::reweight(e, nw));
+    }
+  };
+
+  switch (p) {
+    case UpdateProfile::kNone:
+      break;
+    case UpdateProfile::kReweight:
+      // ≤ m/8 touched edges keeps damage() well under the 0.25 default
+      // threshold — the incremental-repair (scoped invalidation) path.
+      reweight_some(std::max<std::size_t>(std::size_t{1}, m / 8));
+      break;
+    case UpdateProfile::kChurn:
+      // > m/2 touched edges drives damage() past the threshold — the
+      // full-invalidation fallback, still reweight-only so the topology
+      // stages stay comparable across both policies.
+      reweight_some(m / 2 + 1);
+      break;
+    case UpdateProfile::kMixed: {
+      // Deletes first: up to two pre-batch edges whose joint removal
+      // keeps the graph connected (candidates re-checked cumulatively).
+      std::vector<EdgeId> dels;
+      for (const EdgeId e : shuffled_ids()) {
+        if (dels.size() == 2) break;
+        Graph h{n};
+        for (EdgeId f = 0; f < m; ++f) {
+          if (f == e ||
+              std::find(dels.begin(), dels.end(), f) != dels.end())
+            continue;
+          const Edge& ed = g.edge(f);
+          (void)h.add_edge(ed.u, ed.v, ed.w);
+        }
+        if (h.num_edges() > 0 && is_connected(h)) dels.push_back(e);
+      }
+      // Two inserts between random distinct endpoints (parallel edges are
+      // legal), two reweights of surviving pre-batch edges, with the
+      // kinds interleaved so ordering inside a batch is exercised.
+      std::vector<EdgeUpdate> inserts;
+      for (int i = 0; i < 2; ++i) {
+        const auto u = static_cast<NodeId>(rng.next_below(n));
+        auto v = static_cast<NodeId>(rng.next_below(n - 1));
+        if (v >= u) ++v;
+        inserts.push_back(
+            EdgeUpdate::insert(u, v, static_cast<Weight>(rng.next_in(1, 9))));
+      }
+      std::vector<EdgeUpdate> reweights;
+      for (const EdgeId e : shuffled_ids()) {
+        if (reweights.size() == 2) break;
+        if (std::find(dels.begin(), dels.end(), e) != dels.end()) continue;
+        const Weight w = g.edge(e).w;
+        Weight nw = rng.next_in(1, 9);
+        if (nw == w) nw = w == 9 ? 1 : w + 1;
+        reweights.push_back(EdgeUpdate::reweight(e, nw));
+      }
+      for (std::size_t i = 0; i < 2; ++i) {
+        if (i < inserts.size()) batch.push_back(inserts[i]);
+        if (i < reweights.size()) batch.push_back(reweights[i]);
+        if (i < dels.size()) batch.push_back(EdgeUpdate::remove(dels[i]));
+      }
+      break;
+    }
+  }
+  return batch;
+}
+
 std::string Scenario::name() const {
   std::ostringstream os;
   os << 's' << id << '_' << family << "_n" << n << '_'
@@ -255,6 +470,8 @@ std::string Scenario::name() const {
      << engine_threads;
   if (faults != FaultProfile::kNone)
     os << "_f" << check::to_string(faults);
+  if (updates != UpdateProfile::kNone)
+    os << "_u" << check::to_string(updates);
   return os.str();
 }
 
@@ -266,8 +483,10 @@ ScenarioMatrix::ScenarioMatrix(std::string name, ScenarioAxes axes)
                       !axes_.engine_threads.empty(),
                   "every scenario axis needs at least one value");
   // A singleton {kNone} axis multiplies the size by 1 and decodes every
-  // id to "no faults" — matrices predating the fault axis keep their ids.
+  // id to "no faults"/"no updates" — matrices predating these axes keep
+  // their printed ids.
   if (axes_.faults.empty()) axes_.faults = {FaultProfile::kNone};
+  if (axes_.updates.empty()) axes_.updates = {UpdateProfile::kNone};
   for (const std::string& f : axes_.families) {
     const GraphFamily& fam = graph_family(f);  // throws on unknown names
     for (const std::size_t n : axes_.sizes)
@@ -276,7 +495,8 @@ ScenarioMatrix::ScenarioMatrix(std::string name, ScenarioAxes axes)
   }
   size_ = axes_.families.size() * axes_.sizes.size() * axes_.regimes.size() *
           axes_.algos.size() * axes_.schedulings.size() *
-          axes_.engine_threads.size() * axes_.faults.size();
+          axes_.engine_threads.size() * axes_.faults.size() *
+          axes_.updates.size();
 }
 
 Scenario ScenarioMatrix::decode(std::uint64_t id) const {
@@ -298,8 +518,10 @@ Scenario ScenarioMatrix::decode(std::uint64_t id) const {
   s.algo = axes_.algos[take(axes_.algos.size())];
   s.scheduling = axes_.schedulings[take(axes_.schedulings.size())];
   s.engine_threads = axes_.engine_threads[take(axes_.engine_threads.size())];
-  // Appended LAST so every pre-fault-axis id decodes unchanged.
+  // Appended LAST (faults, then updates) so every pre-axis id decodes
+  // unchanged.
   s.faults = axes_.faults[take(axes_.faults.size())];
+  s.updates = axes_.updates[take(axes_.updates.size())];
   return s;
 }
 
@@ -349,6 +571,23 @@ const ScenarioMatrix& ScenarioMatrix::tier1_faults() {
   return m;
 }
 
+const ScenarioMatrix& ScenarioMatrix::tier1_updates() {
+  static const ScenarioMatrix m{
+      "tier1_updates",
+      ScenarioAxes{
+          {"erdos_renyi", "torus"},
+          {16, 26},
+          {WeightRegime::kUnit, WeightRegime::kSmall},
+          {Algo::kExact, Algo::kApprox, Algo::kSu, Algo::kGk},
+          {Scheduling::kDense, Scheduling::kEventDriven},
+          {1u},
+          {},  // faults: normalized to {kNone}
+          {UpdateProfile::kReweight, UpdateProfile::kMixed,
+           UpdateProfile::kChurn},
+      }};
+  return m;
+}
+
 std::string replay_line(std::string_view matrix_name,
                         std::uint64_t scenario_id, std::uint64_t seed) {
   std::ostringstream os;
@@ -373,6 +612,7 @@ CellReport ScenarioRunner::run_cell(std::uint64_t scenario_id,
                                     std::uint64_t seed) const {
   Scenario s = matrix_->decode(scenario_id);
   if (opt_.force_faults) s.faults = *opt_.force_faults;
+  if (opt_.force_updates) s.updates = *opt_.force_updates;
   CellReport cell;
   cell.scenario = s;
   cell.seed = seed;
@@ -409,6 +649,59 @@ CellReport ScenarioRunner::run_cell(std::uint64_t scenario_id,
   };
 
   const Graph g = instance(s, seed);
+
+  // Update cells run the dedicated differential flow: warm session →
+  // apply batch → re-solve, vs full contract + fresh cold session on the
+  // updated graph, bit-compared.  On failure the BATCH is delta-debugged
+  // (shrink_updates), not the graph — the minimal subsequence that still
+  // breaks warm-vs-rebuild identity is the actionable artifact.
+  if (s.updates != UpdateProfile::kNone) {
+    DMC_REQUIRE_MSG(s.faults == FaultProfile::kNone,
+                    "the update axis does not compose with the fault axis "
+                    "(updates patch a warm RELIABLE session)");
+    const std::vector<EdgeUpdate> batch =
+        update_batch_for(s.updates, g, derive_seed(seed, s.id, 13));
+    GraphCheck base = check_update(g, batch, s, seed, opt_);
+    cell.lambda = base.lambda;  // λ of the UPDATED graph
+    cell.oracles_consulted = base.oracles_consulted;
+    cell.assertions = base.assertions;
+    cell.report = std::move(base.report);
+    if (!base.ok) {
+      std::ostringstream os;
+      os << "FAILED cell (matrix=" << matrix_->name() << ", scenario="
+         << scenario_id << ", seed=" << seed << ") " << s.name() << '\n'
+         << base.message << '\n'
+         << "request: " << describe(request_for(s, seed)) << '\n'
+         << replay_line(matrix_->name(), scenario_id, seed);
+      if (opt_.force_updates)
+        os << " --updates=" << check::to_string(*opt_.force_updates);
+      os << '\n';
+      RunnerOptions inner = opt_;
+      inner.audit_distributed = false;  // candidates are checked centrally
+      const UpdateFailurePredicate reproduces =
+          [&](std::span<const EdgeUpdate> cand) {
+            // Subsequence removal can orphan a delete/reweight of a
+            // batch-inserted id — those candidates are invalid, not
+            // failing.
+            return valid_update_batch(g.num_edges(), cand, g.num_nodes()) &&
+                   !check_update(g, cand, s, seed, inner).ok;
+          };
+      if (opt_.shrink_on_failure && reproduces(batch)) {
+        const UpdateShrinkResult shrunk = shrink_updates(batch, reproduces);
+        os << "shrunk update sequence (" << shrunk.updates.size() << " of "
+           << batch.size() << " updates, " << shrunk.predicate_calls
+           << " predicate calls): " << format_updates(shrunk.updates)
+           << '\n';
+      } else {
+        os << "update batch: " << format_updates(batch) << '\n';
+      }
+      os << "instance (pre-update):\n";
+      write_graph(os, g);
+      cell.failure = os.str();
+    }
+    return cell;
+  }
+
   GraphCheck base = check_graph(g, s, seed, opt_);
   cell.lambda = base.lambda;
   cell.oracles_consulted = base.oracles_consulted;

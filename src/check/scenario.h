@@ -62,10 +62,34 @@ enum class FaultProfile : std::uint8_t {
 [[nodiscard]] FaultPlan fault_plan_for(FaultProfile p, std::size_t n,
                                        std::uint64_t seed);
 
+/// Update axis of a cell: which seeded edge-update batch is applied to a
+/// WARM session mid-cell (Session::apply).  An update cell runs the full
+/// differential contract on the UPDATED graph (fresh oracle consensus,
+/// witness audit, CONGEST legality) and additionally requires the warm
+/// session's post-update answer to be BIT-IDENTICAL — every report field
+/// and every CONGEST stat — to a fresh cold session over the updated
+/// graph.  kReweight stays under the damage threshold (scoped repair
+/// path); kChurn reweights past it (full-invalidation fallback); kMixed
+/// inserts + deletes + reweights (topology rebind path).
+enum class UpdateProfile : std::uint8_t {
+  kNone,
+  kReweight,  ///< ~m/8 edges reweighted — incremental-repair path
+  kMixed,     ///< inserts + connectivity-safe deletes + reweights
+  kChurn,     ///< > m/2 edges reweighted — damage-threshold fallback
+};
+
+[[nodiscard]] const char* to_string(UpdateProfile p);
+/// The concrete batch a profile denotes on `g`, deterministic in
+/// (profile, g, seed).  kMixed deletes only edges whose removal keeps the
+/// graph connected; kNone yields an empty batch.
+[[nodiscard]] std::vector<EdgeUpdate> update_batch_for(UpdateProfile p,
+                                                       const Graph& g,
+                                                       std::uint64_t seed);
+
 /// The declarative matrix: one vector per axis; the matrix is their cross
-/// product.  Axes must be non-empty — except `faults`, where empty is
-/// normalized to {kNone} so matrices predating the fault axis keep their
-/// printed scenario ids.
+/// product.  Axes must be non-empty — except `faults` and `updates`,
+/// where empty is normalized to {kNone} so matrices predating those axes
+/// keep their printed scenario ids.
 struct ScenarioAxes {
   std::vector<std::string> families;  ///< names from graph_families()
   std::vector<std::size_t> sizes;
@@ -73,7 +97,8 @@ struct ScenarioAxes {
   std::vector<Algo> algos;
   std::vector<Scheduling> schedulings;
   std::vector<unsigned> engine_threads;
-  std::vector<FaultProfile> faults;  ///< empty ⇒ {kNone}
+  std::vector<FaultProfile> faults;    ///< empty ⇒ {kNone}
+  std::vector<UpdateProfile> updates;  ///< empty ⇒ {kNone}
 };
 
 /// One decoded cell (still parameterized by the per-run seed).
@@ -86,9 +111,11 @@ struct Scenario {
   Scheduling scheduling{Scheduling::kDense};
   unsigned engine_threads{1};
   FaultProfile faults{FaultProfile::kNone};
+  UpdateProfile updates{UpdateProfile::kNone};
 
   /// Compact unique label, e.g. "s217_barbell_n26_small_approx_event_t2"
-  /// (fault cells append "_fdrop" etc.) — legal as a gtest parameter name.
+  /// (fault cells append "_fdrop", update cells "_umixed", etc.) — legal
+  /// as a gtest parameter name.
   [[nodiscard]] std::string name() const;
 };
 
@@ -115,6 +142,12 @@ class ScenarioMatrix {
   /// profiles — 256 cells asserting the per-profile contract described at
   /// FaultProfile.  Push-gated alongside tier1.
   [[nodiscard]] static const ScenarioMatrix& tier1_faults();
+  /// The dynamic-update grid: two families × two sizes × two weight
+  /// regimes × every algorithm × both schedulings × the three active
+  /// update profiles — 192 cells, each applying a seeded batch to a warm
+  /// session and running the full differential contract PLUS warm-vs-cold
+  /// bit-identicality on the updated graph.  Push-gated alongside tier1.
+  [[nodiscard]] static const ScenarioMatrix& tier1_updates();
 
  private:
   std::string name_;
@@ -145,6 +178,9 @@ struct RunnerOptions {
   /// Force every cell's fault axis to this profile, overriding the
   /// decoded value — the dmc_check --faults knob.  nullopt = decoded.
   std::optional<FaultProfile> force_faults{};
+  /// Force every cell's update axis to this profile, overriding the
+  /// decoded value — the dmc_check --updates knob.  nullopt = decoded.
+  std::optional<UpdateProfile> force_updates{};
 };
 
 struct CellReport {

@@ -172,4 +172,42 @@ ShrinkResult shrink_counterexample(Graph g, const FailurePredicate& fails,
   return ShrinkResult{std::move(g), budget.accepted, budget.calls};
 }
 
+UpdateShrinkResult shrink_updates(std::vector<EdgeUpdate> updates,
+                                  const UpdateFailurePredicate& fails) {
+  UpdateShrinkResult out;
+  out.updates = std::move(updates);
+  ++out.predicate_calls;
+  DMC_REQUIRE_MSG(fails(out.updates),
+                  "shrink_updates needs a failing input sequence");
+  // ddmin: try removing ever-finer chunks; any accepted removal restarts
+  // at the coarsest granularity on the (strictly shorter) survivor, so
+  // termination is by length; no removal at chunk size 1 ⇒ 1-minimal.
+  std::size_t granularity = 2;
+  while (!out.updates.empty()) {
+    const std::size_t n = out.updates.size();
+    const std::size_t chunk =
+        std::max<std::size_t>(1, (n + granularity - 1) / granularity);
+    bool accepted = false;
+    for (std::size_t start = 0; start < n && !accepted; start += chunk) {
+      const std::size_t end = std::min(start + chunk, n);
+      std::vector<EdgeUpdate> candidate;
+      candidate.reserve(n - (end - start));
+      for (std::size_t i = 0; i < n; ++i)
+        if (i < start || i >= end) candidate.push_back(out.updates[i]);
+      ++out.predicate_calls;
+      if (fails(candidate)) {
+        out.updates = std::move(candidate);
+        accepted = true;
+      }
+    }
+    if (accepted)
+      granularity = 2;
+    else if (chunk == 1)
+      break;  // 1-minimal
+    else
+      granularity = std::min(2 * granularity, 2 * n);
+  }
+  return out;
+}
+
 }  // namespace dmc::check

@@ -20,6 +20,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
+#include <vector>
 
 #include "graph/graph.h"
 
@@ -59,5 +61,25 @@ struct ShrinkResult {
 /// g with degree-2 node v replaced by one edge between its two distinct
 /// neighbors carrying min of the two incident weights (path contraction).
 [[nodiscard]] Graph smooth_vertex(const Graph& g, NodeId v);
+
+/// True ⇔ the failure reproduces when THIS update subsequence is applied
+/// (to a graph the caller closes over).  Candidates are arbitrary
+/// subsequences of the original batch — including the empty one — so the
+/// predicate must itself reject candidates its id semantics make invalid
+/// (a delete referencing a removed insert's id, say) by returning false.
+using UpdateFailurePredicate =
+    std::function<bool(std::span<const EdgeUpdate>)>;
+
+struct UpdateShrinkResult {
+  std::vector<EdgeUpdate> updates;  ///< locally-minimal failing sequence
+  std::size_t predicate_calls{0};
+};
+
+/// ddmin over an update SEQUENCE: chunk-halving subsequence removal,
+/// original order preserved, down to 1-minimality (no single remaining
+/// update can be removed without losing the failure).  Requires
+/// fails(updates) == true; deterministic in (updates, fails).
+[[nodiscard]] UpdateShrinkResult shrink_updates(
+    std::vector<EdgeUpdate> updates, const UpdateFailurePredicate& fails);
 
 }  // namespace dmc::check

@@ -27,7 +27,37 @@ Network::Network(const Graph& g, std::unique_ptr<Engine> engine)
     : g_(&g),
       engine_(engine ? std::move(engine) : make_sequential_engine()) {
   const std::size_t n = g.num_nodes();
-  port_base_.resize(n + 1, 0);
+  const std::uint32_t slots = rebuild_port_tables();
+
+  // SoA slot planes.  Headers and payload words are deliberately left
+  // uninitialized — every read is gated on the stamp matching the read
+  // token, and a stamp only reaches a token value after send_from wrote
+  // the header and payload it guards.
+  for (auto& plane : payload_)
+    plane = std::make_unique_for_overwrite<Word[]>(std::size_t{slots} *
+                                                   kMaxWords);
+  for (auto& plane : hdr_)
+    plane = std::make_unique_for_overwrite<std::uint32_t[]>(slots);
+  for (auto& plane : stamps_) plane.assign(slots, kNeverStamp32);
+
+  const std::size_t shards = engine_->shard_count();
+  counters_.resize(shards);
+  shard_node_steps_.assign(shards, 0);
+  owner_stride_ = static_cast<std::uint32_t>(
+      n == 0 ? 1 : (n + shards - 1) / shards);
+  buckets_.resize(shards);
+  for (ActivationBucket& b : buckets_) {
+    b.by_owner.resize(shards);
+    b.mark.assign(n, kNeverStamp32);
+  }
+  done_flag_.assign(n, 0);
+}
+
+std::uint32_t Network::rebuild_port_tables() {
+  const Graph& g = *g_;
+  const std::size_t n = g.num_nodes();
+  port_base_.resize(n + 1);
+  port_base_[0] = 0;
   for (NodeId v = 0; v < n; ++v)
     port_base_[v + 1] =
         port_base_[v] + static_cast<std::uint32_t>(g.degree(v));
@@ -54,29 +84,25 @@ Network::Network(const Graph& g, std::unique_ptr<Engine> engine)
       }
     }
   }
+  return slots;
+}
 
-  // SoA slot planes.  Headers and payload words are deliberately left
-  // uninitialized — every read is gated on the stamp matching the read
-  // token, and a stamp only reaches a token value after send_from wrote
-  // the header and payload it guards.
-  for (auto& plane : payload_)
-    plane = std::make_unique_for_overwrite<Word[]>(std::size_t{slots} *
-                                                   kMaxWords);
-  for (auto& plane : hdr_)
-    plane = std::make_unique_for_overwrite<std::uint32_t[]>(slots);
-  for (auto& plane : stamps_) plane.assign(slots, kNeverStamp32);
-
-  const std::size_t shards = engine_->shard_count();
-  counters_.resize(shards);
-  shard_node_steps_.assign(shards, 0);
-  owner_stride_ = static_cast<std::uint32_t>(
-      n == 0 ? 1 : (n + shards - 1) / shards);
-  buckets_.resize(shards);
-  for (ActivationBucket& b : buckets_) {
-    b.by_owner.resize(shards);
-    b.mark.assign(n, kNeverStamp32);
+void Network::rebind_graph() {
+  const std::uint32_t old_slots =
+      static_cast<std::uint32_t>(reverse_slot_.size());
+  const std::uint32_t slots = rebuild_port_tables();
+  if (slots != old_slots) {
+    // The slot count moved (inserts/deletes changed Σ degrees): the SoA
+    // planes must be re-sized.  Contents don't matter — reads are stamp-
+    // gated and reset() below returns every stamp to kNeverStamp32.
+    for (auto& plane : payload_)
+      plane = std::make_unique_for_overwrite<Word[]>(std::size_t{slots} *
+                                                     kMaxWords);
+    for (auto& plane : hdr_)
+      plane = std::make_unique_for_overwrite<std::uint32_t[]>(slots);
+    for (auto& plane : stamps_) plane.resize(slots);
   }
-  done_flag_.assign(n, 0);
+  reset();
 }
 
 void Network::reset() {

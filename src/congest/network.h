@@ -99,6 +99,18 @@ class Network {
   /// state, and survive the reset.
   void reset();
 
+  /// Re-derives every graph-dependent table after the borrowed Graph was
+  /// mutated in place (Graph::apply_updates): the port-offset CSR, the
+  /// reverse-port table, and — only when the directed-slot count changed —
+  /// the slot planes are rebuilt; allocations are reused otherwise.  Ends
+  /// in reset(), so the network is pristine over the updated topology.
+  /// The node count must be unchanged (updates touch edges only), and
+  /// configuration (scheduling override, observer, fault plan) survives
+  /// exactly as across reset().  Reweight-only batches don't move ports —
+  /// a plain reset() suffices for those; callers route here only on
+  /// topology changes.
+  void rebind_graph();
+
   /// Installs a phase/round observer (nullptr to clear).  Borrowed, not
   /// owned: the observer must outlive every run() it watches.  Observers
   /// are read-only except for cooperative cancellation (observer.h).
@@ -253,6 +265,9 @@ class Network {
   /// Decodes a packed read-fault code into forensic text.
   [[nodiscard]] std::string describe_read_fault(std::uint64_t code) const;
   [[noreturn]] void throw_fault_rejection(const Protocol& p) const;
+  /// (Re)computes port_base_ + reverse_slot_ from the graph's current
+  /// CSR; returns the directed-slot count.  Constructor + rebind_graph().
+  std::uint32_t rebuild_port_tables();
   void begin_round();
   /// Folds shard counters into stats_ and the done-counter; returns
   /// messages sent this round.

@@ -198,7 +198,55 @@ Session::Session(const Graph& g, SessionOptions opt)
   net_.set_fault_plan(opt.fault_plan);
 }
 
+Session::Session(Graph& g, SessionOptions opt)
+    : Session(static_cast<const Graph&>(g), opt) {
+  mutable_g_ = &g;
+}
+
 Session::~Session() = default;
+
+UpdateSummary Session::apply(std::span<const EdgeUpdate> batch) {
+  DMC_REQUIRE_MSG(mutable_g_ != nullptr,
+                  "Session::apply needs the mutable-graph constructor — "
+                  "this session borrows its graph as const");
+  const UpdateSummary summary = mutable_g_->apply_updates(batch);
+  absorb_update(summary);
+  return summary;
+}
+
+void Session::absorb_update(const UpdateSummary& summary) {
+  ++update_stats_.batches;
+  // Re-finalize the CSR before the network re-derives its tables (and
+  // before the graph is shared across pool threads again) — the lazy
+  // rebuild after a delete is not thread-safe.
+  if (g_->num_nodes() > 0) (void)g_->port_offset(0);
+
+  if (summary.topology_changed()) {
+    // Inserts/deletes move every port and the bootstrap's own message
+    // counts: re-derive the slot planes and drop the warm cache whole —
+    // it rebuilds lazily, stage by stage, on the next solves.
+    net_.rebind_graph();
+    if (infra_) {
+      infra_.reset();
+      ++update_stats_.full_invalidations;
+    }
+    return;
+  }
+
+  // Reweight-only: the network's tables are weight-blind — plain reset.
+  net_.reset();
+  if (!infra_) return;
+  if (summary.damage() > opt_.update_damage_threshold) {
+    // Past the damage threshold most of the cache is weight-dependent
+    // anyway; drop it whole rather than repair (policy only — both paths
+    // are bit-identical to a rebuild).
+    infra_.reset();
+    ++update_stats_.full_invalidations;
+    return;
+  }
+  reweight_session_infra(*infra_, *g_);
+  ++update_stats_.incremental_repairs;
+}
 
 const SessionInfra* Session::warm_infra(const MinCutRequest& req) {
   // A user observer is owed the full event stream, bootstrap phases
@@ -244,8 +292,15 @@ const SessionInfra* Session::warm_infra(const MinCutRequest& req) {
       algo == Algo::kApprox && req.eps > 0.0 && req.eps <= 1.0 &&
       skeleton_probability(graph().num_nodes(), req.eps,
                            infra_->min_degree) >= 1.0;
-  if ((algo == Algo::kExact || approx_exact_path) && !infra_->has_packing_tree)
-    on_clean_base(extend_session_infra_packing_tree);
+  if (algo == Algo::kExact || approx_exact_path) {
+    // Two stages: the weight-independent scaffold, then its 1-respect
+    // sweep under the current weights.  Split so a reweight update can
+    // keep the first and rebuild only the second (absorb_update).
+    if (!infra_->has_packing_tree)
+      on_clean_base(extend_session_infra_packing_tree);
+    if (!infra_->has_first_sweep)
+      on_clean_base(extend_session_infra_first_sweep);
+  }
   return infra_.get();
 }
 

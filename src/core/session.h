@@ -60,6 +60,14 @@ struct SessionOptions {
   /// and re-absorb its faults — under every query, so replaying a
   /// recorded reliable bootstrap would silently un-inject the plan.
   std::optional<FaultPlan> fault_plan{};
+  /// apply() fallback knob: a reweight-only batch touching more than this
+  /// fraction of the pre-batch edges drops the whole warm cache (full
+  /// lazy rebuild) instead of repairing stages in place — past that point
+  /// the weight-dependent stages dominate the cache and the repair
+  /// bookkeeping stops paying.  Policy only: both paths are bit-identical
+  /// to rebuild-from-scratch by construction (test-enforced in
+  /// tests/test_dynamic.cpp).
+  double update_damage_threshold{0.25};
 };
 
 /// The algorithms a Session can dispatch.
@@ -149,6 +157,10 @@ class Session {
   /// Builds the simulated network (mailbox planes, reverse-port table,
   /// worker pool) once.  `g` is borrowed and must outlive the session.
   explicit Session(const Graph& g, SessionOptions opt = {});
+  /// Mutable-graph session: identical, and additionally enables apply() —
+  /// batched in-place edge updates with scoped invalidation of the warm
+  /// state.  (A non-const Graph lvalue binds here automatically.)
+  explicit Session(Graph& g, SessionOptions opt = {});
   ~Session();
 
   Session(const Session&) = delete;
@@ -165,6 +177,39 @@ class Session {
   /// reports before it are lost, so batch budgeted queries separately.
   [[nodiscard]] std::vector<MinCutReport> solve_many(
       std::span<const MinCutRequest> reqs);
+
+  /// Applies a batched edge update (insert / delete / reweight —
+  /// graph/graph.h) to the session's graph IN PLACE, then re-derives the
+  /// session's state with SCOPED INVALIDATION: a topology change rebinds
+  /// the network's port tables and drops the warm cache whole (the
+  /// bootstrap's message counts moved); a reweight-only batch under
+  /// options().update_damage_threshold keeps the topology-only warm
+  /// stages and repairs the rest (core/warm.h reweight_session_infra),
+  /// falling back to a full drop past the threshold.  Either way every
+  /// subsequent solve is bit-identical (results + stats) to a fresh
+  /// session over the updated graph.  Requires the mutable-graph
+  /// constructor (PreconditionError otherwise); an invalid batch throws
+  /// InvariantError and changes nothing.  Not thread-safe against
+  /// concurrent solves — pools serialize via SessionPool::apply.
+  UpdateSummary apply(std::span<const EdgeUpdate> batch);
+
+  /// The pool path: the SHARED graph was already patched (summary in
+  /// hand) — re-derive this session's network tables and run the same
+  /// scoped invalidation, without touching the graph.  Also valid on
+  /// const-graph sessions.
+  void absorb_update(const UpdateSummary& summary);
+
+  /// How apply()/absorb_update() treated the warm cache so far — lets
+  /// tests assert that both the incremental-repair and the
+  /// damage-fallback paths actually exercised.
+  struct UpdateStats {
+    std::size_t batches{0};
+    std::size_t incremental_repairs{0};  ///< warm stages survived (scoped)
+    std::size_t full_invalidations{0};   ///< warm cache dropped entirely
+  };
+  [[nodiscard]] const UpdateStats& update_stats() const {
+    return update_stats_;
+  }
 
   /// Observer for every subsequent solve(): phase begin/end + per-round
   /// stats snapshots, and cooperative cancel (observer.h).  Borrowed;
@@ -200,10 +245,13 @@ class Session {
   [[nodiscard]] const SessionInfra* warm_infra(const MinCutRequest& req);
 
   const Graph* g_;
+  /// Non-null iff constructed over a mutable graph — the apply() gate.
+  Graph* mutable_g_{nullptr};
   SessionOptions opt_;
   Network net_;
   RoundObserver* observer_{nullptr};
   std::size_t served_{0};
+  UpdateStats update_stats_;
   /// Built once per session by warm_infra(); every subsequent solve
   /// replays it instead of re-running leader election + BFS.  Behind a
   /// unique_ptr so this façade header needs only the forward declaration

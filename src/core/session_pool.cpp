@@ -41,7 +41,27 @@ SessionPool::SessionPool(const Graph& g, std::size_t sessions,
     sessions_.push_back(std::make_unique<Session>(g, opt));
 }
 
+SessionPool::SessionPool(Graph& g, std::size_t sessions, SessionOptions opt)
+    : SessionPool(static_cast<const Graph&>(g), sessions, opt) {
+  mutable_g_ = &g;
+}
+
 SessionPool::~SessionPool() { drain(); }
+
+UpdateSummary SessionPool::apply(std::span<const EdgeUpdate> batch) {
+  std::unique_lock lock{mu_};
+  DMC_REQUIRE_MSG(!closed_, "SessionPool is drained — no further updates");
+  DMC_REQUIRE_MSG(mutable_g_ != nullptr,
+                  "SessionPool::apply needs the mutable-graph constructor — "
+                  "this pool borrows its graph as const");
+  // Exclusive window: wait out in-flight solves and keep holding mu_
+  // (every solve path enters through InflightGuard, which locks mu_), so
+  // the shared graph and all sessions are patched with nothing running.
+  idle_cv_.wait(lock, [this] { return inflight_ == 0; });
+  const UpdateSummary summary = mutable_g_->apply_updates(batch);
+  for (auto& session : sessions_) session->absorb_update(summary);
+  return summary;
+}
 
 void SessionPool::drain() {
   std::unique_lock lock{mu_};

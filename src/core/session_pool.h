@@ -49,6 +49,11 @@ class SessionPool {
   /// outlive the pool).  `sessions == 0` picks the hardware concurrency.
   explicit SessionPool(const Graph& g, std::size_t sessions = 0,
                        SessionOptions opt = {});
+  /// Mutable-graph pool: identical, and additionally enables apply() —
+  /// one batched update of the shared graph absorbed by every pooled
+  /// session.  (A non-const Graph lvalue binds here automatically.)
+  explicit SessionPool(Graph& g, std::size_t sessions = 0,
+                       SessionOptions opt = {});
   /// Waits for in-flight solves (drain()), then tears the sessions down.
   ~SessionPool();
 
@@ -77,6 +82,16 @@ class SessionPool {
   [[nodiscard]] std::vector<SolveOutcome> solve_each(
       std::span<const MinCutRequest> reqs);
 
+  /// Batched edge update of the SHARED graph under an exclusive window:
+  /// waits for every in-flight solve, patches the graph once
+  /// (Graph::apply_updates), then every pooled session absorbs the
+  /// summary with scoped invalidation (Session::absorb_update) — all
+  /// while holding the pool's gate, so no solve can start against a
+  /// half-updated pool.  Requires the mutable-graph constructor
+  /// (PreconditionError otherwise, as on a drained pool); an invalid
+  /// batch throws InvariantError with the pool unchanged.
+  UpdateSummary apply(std::span<const EdgeUpdate> batch);
+
   /// Blocks until every in-flight solve has finished, then closes the
   /// pool: subsequent solve calls throw PreconditionError.  Idempotent.
   /// This is the explicit form of the destructor's ordering guarantee —
@@ -95,6 +110,8 @@ class SessionPool {
   class InflightGuard;
 
   std::vector<std::unique_ptr<Session>> sessions_;
+  /// Non-null iff constructed over a mutable graph — the apply() gate.
+  Graph* mutable_g_{nullptr};
 
   mutable std::mutex mu_;
   std::condition_variable idle_cv_;

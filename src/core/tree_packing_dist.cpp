@@ -43,8 +43,9 @@ DistPackingResult dist_tree_packing(Schedule& sched, const TreeView& bfs,
   // Warm path: tree 1 with default weights is a pure function of the
   // graph — replay the cached MST + fragments + sweep (stats included)
   // and enter the loop at tree 2 with the loads it left behind.
-  if (opt.warm != nullptr && opt.warm->has_packing_tree && !opt.eval_weights &&
-      !opt.edge_enabled && !opt.packing_weights) {
+  if (opt.warm != nullptr && opt.warm->has_packing_tree &&
+      opt.warm->has_first_sweep && !opt.eval_weights && !opt.edge_enabled &&
+      !opt.packing_weights) {
     const SessionInfra& infra = *opt.warm;
     infra.packing_first.delta.replay(net, "packing tree 1");
     infra.first_sweep_delta.replay(net, "packing sweep 1");

@@ -168,21 +168,51 @@ void extend_session_infra_packing_tree(Schedule& sched, SessionInfra& infra) {
 
   // Tree 1 of the greedy packing: zero loads over graph weights — ratio 0
   // for every enabled edge, so the id tiebreak decides.  Deterministic
-  // per graph, like everything cached here.
+  // per graph, like everything cached here — and weight-independent, so
+  // a reweight-only update keeps this stage (reweight_session_infra).
   std::vector<EdgeKey> first_keys(g.num_edges());
   for (EdgeId e = 0; e < g.num_edges(); ++e)
     first_keys[e] = EdgeKey{0, g.edge(e).w, e};
   infra.packing_first = build_scaffold(sched, infra, first_keys);
+  infra.has_packing_tree = true;
+}
+
+void extend_session_infra_first_sweep(Schedule& sched, SessionInfra& infra) {
+  Network& net = sched.network();
+  const Graph& g = net.graph();
+  DMC_REQUIRE_MSG(net.stats() == infra.bootstrap,
+                  "tree stage must extend the post-bootstrap state");
+  DMC_REQUIRE_MSG(infra.has_packing_tree,
+                  "the 1-respect sweep stage extends the packing scaffold");
 
   // Tree 1's 1-respect sweep under original weights — the whole first
-  // iteration of a default-weights packing run.
+  // iteration of a default-weights packing run.  Built over the replayed
+  // scaffold delta, so the captured delta composes exactly as the warm
+  // driver replays the two stages in sequence (protocols are insensitive
+  // to absolute round numbers — the warm-replay property of DESIGN.md).
+  infra.packing_first.delta.replay(net, "packing scaffold");
   std::vector<Weight> eval(g.num_edges());
   for (EdgeId e = 0; e < g.num_edges(); ++e) eval[e] = g.edge(e).w;
   const CongestStats before = net.stats();
   infra.first_sweep =
       one_respect_min_cut(sched, infra.bfs, infra.packing_first.fs, eval);
   infra.first_sweep_delta = PhaseDelta::capture(before, net.stats());
-  infra.has_packing_tree = true;
+  infra.has_first_sweep = true;
+}
+
+void reweight_session_infra(SessionInfra& infra, const Graph& g) {
+  DMC_REQUIRE_MSG(infra.bfs.num_nodes() == g.num_nodes(),
+                  "reweight invalidation on a different graph's infra");
+  // Kept: bootstrap (topology-only) and the packing scaffold (id-ordered
+  // MST — see extend_session_infra_packing_tree).  Repaired: the
+  // min-degree VALUE (its convergecast delta is value-independent).
+  // Dropped: the weight-ordered su_tree and the 1-respect sweep.
+  if (infra.has_min_degree) infra.min_degree = g.min_weighted_degree();
+  infra.has_su_tree = false;
+  infra.su_tree = TreeScaffold{};
+  infra.has_first_sweep = false;
+  infra.first_sweep = OneRespectResult{};
+  infra.first_sweep_delta = PhaseDelta{};
 }
 
 Weight acquire_min_degree(Schedule& sched, const TreeView& bfs,
@@ -233,9 +263,9 @@ std::size_t SessionInfra::memory_bytes() const {
   std::size_t total = bfs.memory_bytes() + bootstrap.memory_bytes() +
                       min_degree_delta.memory_bytes();
   if (has_su_tree) total += su_tree.memory_bytes();
-  if (has_packing_tree)
-    total += packing_first.memory_bytes() + one_respect_bytes(first_sweep) +
-             first_sweep_delta.memory_bytes();
+  if (has_packing_tree) total += packing_first.memory_bytes();
+  if (has_first_sweep)
+    total += one_respect_bytes(first_sweep) + first_sweep_delta.memory_bytes();
   return total;
 }
 

@@ -109,6 +109,12 @@ struct SessionInfra {
   TreeScaffold packing_first;  ///< packing tree 1: zero loads over weights
   /// Tree 1's 1-respect minimum under ORIGINAL weights — the first
   /// iteration of every default-weights packing run, results and stats.
+  /// Its own stage, separate from the scaffold: the scaffold's MST is
+  /// id-ordered (zero loads make every EdgeKey comparison degenerate to
+  /// the id tiebreak) and therefore weight-INdependent, while this sweep
+  /// evaluates original weights — so a reweight-only update keeps the
+  /// scaffold and rebuilds only the sweep (reweight_session_infra).
+  bool has_first_sweep{false};
   OneRespectResult first_sweep;
   PhaseDelta first_sweep_delta;
 
@@ -145,6 +151,31 @@ void extend_session_infra_min_degree(Schedule& sched, SessionInfra& infra);
 /// network is left mid-build and must be reset before serving.
 void extend_session_infra_su_tree(Schedule& sched, SessionInfra& infra);
 void extend_session_infra_packing_tree(Schedule& sched, SessionInfra& infra);
+/// Tree 1's 1-respect sweep under original weights — requires the packing
+/// scaffold (has_packing_tree); replays its delta, then runs the sweep
+/// live, so the captured delta composes with the scaffold's on replay.
+void extend_session_infra_first_sweep(Schedule& sched, SessionInfra& infra);
+
+/// Scoped invalidation for a REWEIGHT-ONLY update batch on the session's
+/// graph (Graph::apply_updates with topology_changed() == false).  Keeps
+/// every topology-only stage, repairs the weight-derived min-degree value
+/// centrally, and drops the weight-dependent stages so they lazily
+/// rebuild:
+///   * bootstrap (leader, BFS tree, height, stats snapshot) — topology-
+///     only, kept verbatim;
+///   * min_degree — the convergecast's STATS are value-independent
+///     (one report up + one broadcast down per tree edge either way), so
+///     the delta is kept and only the value is recomputed centrally; it
+///     provably equals what the protocol would recompute (both are
+///     min_v δ(v), and the broadcast value is the weight component of the
+///     lexicographic minimum);
+///   * packing_first — the scaffold's MST under EdgeKey{0, w, e} orders
+///     by id alone (zero loads), weight-independent, kept;
+///   * su_tree (MST under the raw weight order) and first_sweep (weights
+///     evaluated directly) — dropped.
+/// Topology-changing batches must not come here: they invalidate the
+/// bootstrap itself (message counts move), so the whole infra is rebuilt.
+void reweight_session_infra(SessionInfra& infra, const Graph& g);
 
 /// The approx/gk opener: the global minimum weighted degree, known at
 /// every node after one charged min-convergecast over the BFS tree.

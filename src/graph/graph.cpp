@@ -24,6 +24,168 @@ EdgeId Graph::add_edge(NodeId u, NodeId v, Weight w) {
   return id;
 }
 
+const char* to_string(UpdateKind k) {
+  switch (k) {
+    case UpdateKind::kInsert: return "insert";
+    case UpdateKind::kDelete: return "delete";
+    case UpdateKind::kReweight: return "reweight";
+  }
+  return "?";
+}
+
+UpdateSummary Graph::apply_updates(std::span<const EdgeUpdate> batch) {
+  const std::size_t m0 = edges_.size();
+  UpdateSummary s;
+  s.edges_before = m0;
+
+  // Pass 1 — validate the whole batch against the evolving id space
+  // WITHOUT mutating anything, so a bad entry anywhere leaves the graph
+  // exactly as it was.  `alive` tracks pre-batch ids plus the batch's own
+  // inserts (ids m0, m0+1, … in batch order).
+  std::vector<std::uint8_t> dead(m0, 0);
+  std::vector<std::uint8_t> dead_new;
+  std::size_t inserts_seen = 0;
+  const auto alive = [&](EdgeId e) {
+    if (e < m0) return dead[e] == 0;
+    const std::size_t k = e - m0;
+    return k < inserts_seen && dead_new[k] == 0;
+  };
+  const auto mark_dead = [&](EdgeId e) {
+    if (e < m0)
+      dead[e] = 1;
+    else
+      dead_new[e - m0] = 1;
+  };
+  for (const EdgeUpdate& u : batch) {
+    switch (u.kind) {
+      case UpdateKind::kInsert:
+        // The add_edge contract, all as InvariantError: a bad entry deep
+        // in a batch is corruption-in-waiting, not a caller typo.
+        DMC_ASSERT_MSG(u.u < n_ && u.v < n_,
+                       "update inserts edge (" << u.u << ", " << u.v
+                           << ") with an endpoint out of range [0, " << n_
+                           << ")");
+        DMC_ASSERT_MSG(u.u != u.v, "update inserts a self-loop at node "
+                                       << u.u
+                                       << " — self-loops never affect any "
+                                          "cut and are not allowed");
+        DMC_ASSERT_MSG(u.w >= 1 && u.w <= kMaxWeight,
+                       "update edge weight " << u.w << " out of [1, 2^32) — "
+                           "would overflow 64-bit cut arithmetic "
+                           "(w > kMaxWeight) or produce a zero-capacity "
+                           "edge (w == 0)");
+        ++inserts_seen;
+        dead_new.push_back(0);
+        break;
+      case UpdateKind::kDelete:
+        DMC_ASSERT_MSG(u.edge < m0 + inserts_seen,
+                       "update deletes edge id " << u.edge
+                           << " out of range [0, " << m0 + inserts_seen
+                           << ")");
+        DMC_ASSERT_MSG(alive(u.edge), "update deletes edge id "
+                                          << u.edge
+                                          << " twice in the same batch");
+        mark_dead(u.edge);
+        break;
+      case UpdateKind::kReweight:
+        DMC_ASSERT_MSG(u.edge < m0 + inserts_seen,
+                       "update reweights edge id " << u.edge
+                           << " out of range [0, " << m0 + inserts_seen
+                           << ")");
+        DMC_ASSERT_MSG(alive(u.edge), "update reweights edge id "
+                                          << u.edge
+                                          << " already deleted in this "
+                                             "batch");
+        DMC_ASSERT_MSG(u.w >= 1 && u.w <= kMaxWeight,
+                       "update edge weight " << u.w << " out of [1, 2^32) — "
+                           "would overflow 64-bit cut arithmetic "
+                           "(w > kMaxWeight) or produce a zero-capacity "
+                           "edge (w == 0)");
+        break;
+    }
+  }
+
+  // Pass 2 — mutate, in batch order (inserts append as encountered, so a
+  // later delete/reweight of a batch-inserted id targets a real slot).
+  const bool csr_was_clean = !dirty_;
+  std::vector<std::uint8_t> touched(m0 + inserts_seen, 0);
+  edges_.reserve(m0 + inserts_seen);
+  for (const EdgeUpdate& u : batch) {
+    switch (u.kind) {
+      case UpdateKind::kInsert:
+        touched[edges_.size()] = 1;
+        edges_.push_back(Edge{u.u, u.v, u.w});
+        ++s.inserted;
+        break;
+      case UpdateKind::kDelete:
+        touched[u.edge] = 1;
+        ++s.deleted;
+        break;
+      case UpdateKind::kReweight:
+        touched[u.edge] = 1;
+        edges_[u.edge].w = u.w;
+        ++s.reweighted;
+        break;
+    }
+  }
+  for (const std::uint8_t t : touched) s.touched_edges += t;
+
+  if (s.deleted != 0) {
+    // Order-preserving compaction: surviving edges keep their relative
+    // order, so the renumbering matches a from-scratch rebuild.  Ids
+    // move, so the CSR goes through the full lazy counting-sort rebuild
+    // (which reuses the buffers' capacity).
+    std::size_t out = 0;
+    for (std::size_t e = 0; e < edges_.size(); ++e) {
+      const bool is_dead = e < m0 ? dead[e] != 0 : dead_new[e - m0] != 0;
+      if (!is_dead) edges_[out++] = edges_[e];
+    }
+    edges_.resize(out);
+    dirty_ = true;
+  } else if (s.inserted != 0 && csr_was_clean) {
+    patch_ports_for_inserts(m0);
+  }
+  // Reweight-only: ports store (peer, edge id), never weights — the CSR
+  // stays valid untouched.
+
+  s.edges_after = edges_.size();
+  return s;
+}
+
+void Graph::patch_ports_for_inserts(std::size_t first_new) const {
+  const std::size_t added = edges_.size() - first_new;
+  if (added == 0) return;
+  // extra[v] (after the prefix pass) = new ports of nodes < v; extra[n_]
+  // = 2·added, the total shift.
+  std::vector<std::uint32_t> extra(n_ + 1, 0);
+  for (std::size_t id = first_new; id < edges_.size(); ++id) {
+    ++extra[edges_[id].u + 1];
+    ++extra[edges_[id].v + 1];
+  }
+  for (std::size_t v = 0; v < n_; ++v) extra[v + 1] += extra[v];
+  flat_ports_.resize(flat_ports_.size() + 2 * added);
+  // Slide each node's old segment right by its prefix shift, highest node
+  // first — segments only move right, so a back-to-front walk never
+  // overwrites unread ports.
+  for (std::size_t v = n_; v-- > 0;) {
+    if (extra[v] == 0) break;  // nodes below have zero shift
+    const std::uint32_t len = offset_[v + 1] - offset_[v];
+    const std::uint32_t dst = offset_[v] + extra[v];
+    for (std::uint32_t i = len; i-- > 0;)
+      flat_ports_[dst + i] = flat_ports_[offset_[v] + i];
+  }
+  // New ports go at the end of each node's (shifted) segment, in edge-id
+  // order — exactly where the counting sort would place the largest ids.
+  std::vector<std::uint32_t> cursor(n_);
+  for (std::size_t v = 0; v < n_; ++v) cursor[v] = offset_[v + 1] + extra[v];
+  for (std::size_t id = first_new; id < edges_.size(); ++id) {
+    const Edge& e = edges_[id];
+    flat_ports_[cursor[e.u]++] = Port{e.v, static_cast<EdgeId>(id)};
+    flat_ports_[cursor[e.v]++] = Port{e.u, static_cast<EdgeId>(id)};
+  }
+  for (std::size_t v = 0; v <= n_; ++v) offset_[v] += extra[v];
+}
+
 void Graph::finalize() const {
   // Counting sort of the 2m directed ports by owner, stable in edge-id
   // order — per node that is exactly the insertion order the old

@@ -44,6 +44,75 @@ struct Port {
   EdgeId edge{kNoEdge};
 };
 
+/// One batched mutation (Graph::apply_updates): insert a new edge, delete
+/// an existing one, or change a weight in place.
+enum class UpdateKind : std::uint8_t { kInsert, kDelete, kReweight };
+
+[[nodiscard]] const char* to_string(UpdateKind k);
+
+/// A single entry of an update batch.  Edge ids refer to the PRE-BATCH
+/// numbering extended by the batch's own inserts: a batch over a graph
+/// with m edges numbers its inserts m, m+1, … in batch order, and later
+/// entries of the same batch may delete or reweight them.  After the
+/// batch, surviving edges are renumbered compactly in the original order
+/// (exactly the ids a rebuild-from-scratch of the updated graph assigns).
+struct EdgeUpdate {
+  UpdateKind kind{UpdateKind::kInsert};
+  NodeId u{kNoNode};     ///< kInsert: endpoints
+  NodeId v{kNoNode};
+  EdgeId edge{kNoEdge};  ///< kDelete / kReweight: target edge id
+  Weight w{1};           ///< kInsert / kReweight: weight
+
+  [[nodiscard]] static EdgeUpdate insert(NodeId u, NodeId v, Weight w = 1) {
+    EdgeUpdate e;
+    e.kind = UpdateKind::kInsert;
+    e.u = u;
+    e.v = v;
+    e.w = w;
+    return e;
+  }
+  [[nodiscard]] static EdgeUpdate remove(EdgeId edge) {
+    EdgeUpdate e;
+    e.kind = UpdateKind::kDelete;
+    e.edge = edge;
+    return e;
+  }
+  [[nodiscard]] static EdgeUpdate reweight(EdgeId edge, Weight w) {
+    EdgeUpdate e;
+    e.kind = UpdateKind::kReweight;
+    e.edge = edge;
+    e.w = w;
+    return e;
+  }
+};
+
+/// What one applied batch did — the contract between Graph::apply_updates
+/// and the warm-state invalidation above it (core/session.h).
+struct UpdateSummary {
+  std::size_t inserted{0};
+  std::size_t deleted{0};
+  std::size_t reweighted{0};
+  /// Distinct edges the batch named (inserts, deletes, reweight targets).
+  std::size_t touched_edges{0};
+  std::size_t edges_before{0};
+  std::size_t edges_after{0};
+
+  /// Inserts or deletes move ports and renumber ids — every structure
+  /// derived from the topology (CSR, reverse-port table, BFS tree) is
+  /// stale.  Reweight-only batches leave all of them valid.
+  [[nodiscard]] bool topology_changed() const {
+    return inserted != 0 || deleted != 0;
+  }
+  /// Fraction of the pre-batch edge set the batch touched — what
+  /// SessionOptions::update_damage_threshold compares against.
+  [[nodiscard]] double damage() const {
+    return edges_before == 0
+               ? 1.0
+               : static_cast<double>(touched_edges) /
+                     static_cast<double>(edges_before);
+  }
+};
+
 class Graph {
  public:
   Graph() = default;
@@ -55,6 +124,20 @@ class Graph {
   /// InvariantError — w > kMaxWeight would silently overflow 64-bit cut
   /// arithmetic downstream, w == 0 a zero-capacity pseudo-edge.
   EdgeId add_edge(NodeId u, NodeId v, Weight w = 1);
+
+  /// Applies a batch of inserts / deletes / reweights atomically: the
+  /// whole batch is validated first (self-loops, zero or overflowing
+  /// weights, out-of-range endpoints, unknown or already-deleted edge ids
+  /// all throw InvariantError — the same contract add_edge enforces) and
+  /// only then applied, so a throwing batch leaves the graph untouched.
+  /// Surviving edges keep their relative order and are renumbered
+  /// compactly, identical to rebuilding the updated graph from scratch.
+  /// The CSR adjacency is patched in place where the batch allows it
+  /// (reweights don't touch it at all; a pure-insert batch appends into
+  /// the existing layout); deletes fall back to the lazy rebuild.  Like
+  /// add_edge, not thread-safe — callers re-finalize (any read accessor)
+  /// before sharing across threads.
+  UpdateSummary apply_updates(std::span<const EdgeUpdate> batch);
 
   [[nodiscard]] std::size_t num_nodes() const { return n_; }
   [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
@@ -123,6 +206,10 @@ class Graph {
 
  private:
   void finalize() const;
+  /// In-place CSR append for a pure-insert batch: new edges have the
+  /// largest ids, so each node's new ports belong at the end of its
+  /// segment — slide segments right and fill, no counting re-sort.
+  void patch_ports_for_inserts(std::size_t first_new) const;
 
   std::size_t n_{0};
   std::vector<Edge> edges_;

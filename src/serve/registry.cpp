@@ -21,7 +21,7 @@ GraphId GraphRegistry::add(Graph g) {
   std::lock_guard lock{mu_};
   const GraphId id = next_id_++;
   Entry e;
-  e.graph = std::make_shared<const Graph>(std::move(g));
+  e.graph = std::make_shared<Graph>(std::move(g));
   entries_.emplace(id, std::move(e));
   ++stats_.graphs_registered;
   return id;
@@ -72,6 +72,42 @@ std::shared_ptr<GraphRegistry::WarmEntry> GraphRegistry::acquire(
   evict_to_budget_locked(/*keep=*/id);
   if (warm_hit) *warm_hit = hit;
   return e.warm;
+}
+
+bool GraphRegistry::apply_update(GraphId id,
+                                 std::span<const EdgeUpdate> batch,
+                                 UpdateSummary* summary) {
+  // Snapshot the graph + warm lease under mu_, then patch OUTSIDE it —
+  // SessionPool::apply can block on in-flight solves, and holding the
+  // registry lock across that would stall every other graph's dispatch.
+  std::shared_ptr<Graph> g;
+  std::shared_ptr<WarmEntry> warm;
+  {
+    std::lock_guard lock{mu_};
+    const auto it = entries_.find(id);
+    if (it == entries_.end()) return false;
+    g = it->second.graph;
+    warm = it->second.warm;
+  }
+  UpdateSummary s;
+  if (warm) {
+    // Serialize with dispatched runs exactly as the Server does, then let
+    // the pool run its exclusive quiescent window + scoped invalidation.
+    std::lock_guard dispatch_lock{warm->dispatch_mu};
+    s = warm->pool.apply(batch);
+  } else {
+    s = g->apply_updates(batch);
+    // Re-finalize before the graph is shared across threads again (the
+    // lazy CSR rebuild after a delete is not thread-safe).
+    if (g->num_nodes() > 0) (void)g->port_offset(0);
+  }
+  {
+    std::lock_guard lock{mu_};
+    ++stats_.updates_applied;
+  }
+  update_bytes(id);
+  if (summary) *summary = s;
+  return true;
 }
 
 void GraphRegistry::update_bytes(GraphId id) {

@@ -30,6 +30,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 
 #include "core/session_pool.h"
@@ -62,15 +63,18 @@ class GraphRegistry {
   /// whole dispatch so eviction can never pull the pool out from under a
   /// running solve.
   struct WarmEntry {
-    std::shared_ptr<const Graph> graph;
+    /// Mutable so apply_update() can patch a live entry through its pool;
+    /// read paths only ever see it as const (graph()).
+    std::shared_ptr<Graph> graph;
     SessionPool pool;
     /// Serializes dispatches onto `pool` (SessionPool::solve_each calls
     /// must not overlap — workers claim sessions by fixed index).  Held
     /// by the Server around each coalesced run, and across the
-    /// update_bytes() that follows it (byte reads need a quiescent pool).
+    /// update_bytes() that follows it (byte reads need a quiescent pool);
+    /// apply_update() holds it too, so updates serialize with runs.
     std::mutex dispatch_mu;
 
-    WarmEntry(std::shared_ptr<const Graph> g, std::size_t sessions,
+    WarmEntry(std::shared_ptr<Graph> g, std::size_t sessions,
               const SessionOptions& opt)
         : graph(std::move(g)), pool(*graph, sessions, opt) {}
   };
@@ -95,6 +99,17 @@ class GraphRegistry {
   [[nodiscard]] std::shared_ptr<WarmEntry> acquire(GraphId id,
                                                    bool* warm_hit = nullptr);
 
+  /// Patches a registered graph IN PLACE (Graph::apply_updates) and
+  /// re-accounts its warm bytes.  A live warm entry is patched through
+  /// its pool — exclusive quiescent window + scoped invalidation of every
+  /// pooled session (SessionPool::apply) — under the entry's dispatch_mu,
+  /// so updates serialize with dispatched runs; a cold graph is patched
+  /// directly and re-finalized.  Returns false when the id is unknown;
+  /// throws InvariantError on an invalid batch (the graph is unchanged).
+  /// `summary` (optional) receives what the batch did.
+  bool apply_update(GraphId id, std::span<const EdgeUpdate> batch,
+                    UpdateSummary* summary = nullptr);
+
   /// Re-reads the entry's memory_bytes() and re-applies the budget.  Call
   /// after a dispatched batch, while the pool is quiescent from the
   /// caller's side (warm stages build lazily, so bytes grow after the
@@ -114,7 +129,7 @@ class GraphRegistry {
 
  private:
   struct Entry {
-    std::shared_ptr<const Graph> graph;
+    std::shared_ptr<Graph> graph;  ///< read paths hand out const views
     std::shared_ptr<WarmEntry> warm;  ///< nullptr = cold
     std::size_t warm_bytes{0};
     bool was_warm_before{false};  ///< a prior warm entry was evicted

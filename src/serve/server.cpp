@@ -17,10 +17,12 @@ double secs(Clock::time_point a, Clock::time_point b) {
 }
 
 /// Admission byte charge for one queued request: the queue node plus the
-/// only heap payload a request can carry (a fault plan's crash schedule).
+/// heap payloads a request can carry (a fault plan's crash schedule, an
+/// update batch).
 std::size_t request_bytes(const ServeRequest& req) {
   std::size_t bytes = sizeof(ServeRequest) + sizeof(std::promise<ServeResponse>);
   if (req.fault_plan) bytes += vec_bytes(req.fault_plan->crash_schedule);
+  bytes += vec_bytes(req.updates);
   return bytes;
 }
 
@@ -178,15 +180,21 @@ std::vector<Server::Pending> Server::pop_run_locked() {
   const GraphId gid = queue_.front().req.graph;
   const bool faulted = queue_.front().req.fault_plan &&
                        queue_.front().req.fault_plan->active();
+  const bool update = !queue_.front().req.updates.empty();
   while (!queue_.empty() &&
          (opt_.max_coalesce == 0 || run.size() < opt_.max_coalesce)) {
     Pending& front = queue_.front();
     const bool front_faulted =
         front.req.fault_plan && front.req.fault_plan->active();
     // Coalesce only same-graph, same-path (warm vs fault-bypass) runs;
-    // faulted requests each need a private cold session anyway.
-    if (front.req.graph != gid || front_faulted != faulted) break;
-    if (faulted && !run.empty()) break;
+    // faulted requests each need a private cold session anyway.  Updates
+    // always pop alone and break any run: queue order defines which graph
+    // version each query sees, so an update may never be reordered into
+    // or past a query batch.
+    if (front.req.graph != gid || front_faulted != faulted ||
+        !front.req.updates.empty() != update)
+      break;
+    if ((faulted || update) && !run.empty()) break;
     admission_.release(front.bytes);
     run.push_back(std::move(front));
     queue_.pop_front();
@@ -197,6 +205,13 @@ std::vector<Server::Pending> Server::pop_run_locked() {
 void Server::dispatch_run(std::vector<Pending> run) {
   const auto start = Clock::now();
   const GraphId gid = run.front().req.graph;
+  if (!run.front().req.updates.empty()) {
+    // Updates pop alone (pop_run_locked) and don't count as coalesced
+    // runs — they are graph mutations, not query batches.
+    DMC_ASSERT(run.size() == 1);
+    dispatch_update(run.front(), start);
+    return;
+  }
   {
     std::lock_guard lock{dispatch_mu_};
     ++dispatch_.coalesced_runs;
@@ -279,6 +294,33 @@ void Server::dispatch_run(std::vector<Pending> run) {
              /*cold_bypass=*/false, start);
     registry_.update_bytes(gid);
   }
+}
+
+void Server::dispatch_update(Pending& p, Clock::time_point dispatch_start) {
+  ServeResponse r;
+  r.queue_seconds = secs(p.arrival, dispatch_start);
+  try {
+    UpdateSummary summary;
+    if (!registry_.apply_update(p.req.graph, p.req.updates, &summary)) {
+      r.outcome = ServeOutcome::kUnknownGraph;
+      std::lock_guard lock{dispatch_mu_};
+      ++dispatch_.unknown_graph;
+    } else {
+      r.outcome = ServeOutcome::kOk;
+      r.update = summary;
+      r.solve_seconds = secs(dispatch_start, Clock::now());
+      std::lock_guard lock{dispatch_mu_};
+      ++dispatch_.updates_applied;
+    }
+  } catch (const std::exception& e) {
+    // An invalid batch (InvariantError) leaves the graph unchanged — the
+    // submitter learns why; queued queries keep serving the old graph.
+    r.outcome = ServeOutcome::kFailed;
+    r.error = e.what();
+    std::lock_guard lock{dispatch_mu_};
+    ++dispatch_.failed;
+  }
+  p.promise.set_value(std::move(r));
 }
 
 void Server::dispatch_cold(Pending& p, const Graph& g, bool warm_hit) {

@@ -82,6 +82,13 @@ struct ServeOptions {
 struct ServeRequest {
   GraphId graph{0};
   MinCutRequest query{};
+  /// Non-empty = this is an UPDATE request: the batch patches the
+  /// registered graph in place (GraphRegistry::apply_update) and `query`,
+  /// `fault_plan`, and `deadline_s` are ignored — an admitted update is
+  /// never dropped, because every later query's answer depends on it.
+  /// Updates never coalesce with queries and always break a same-graph
+  /// run, so queue order defines which graph version each query sees.
+  std::vector<EdgeUpdate> updates{};
   /// Deterministic fault plan for THIS query (congest/faults.h).  An
   /// active plan bypasses the warm registry: the query solves on a
   /// private cold session so its bootstrap re-absorbs the plan's faults,
@@ -114,6 +121,9 @@ struct ServeResponse {
   bool cold_bypass{false};
   double queue_seconds{0.0};  ///< submission → dispatch start
   double solve_seconds{0.0};  ///< dispatch start → completion
+  /// Valid iff the request was an update and outcome == kOk: what the
+  /// batch did to the graph (counts + damage inputs).
+  UpdateSummary update{};
   /// Diagnostic for kFailed (the solver exception's message).
   std::string error;
 };
@@ -175,6 +185,10 @@ class Server {
   /// Requires queue_mu_ held; returns empty when the queue is empty.
   [[nodiscard]] std::vector<Pending> pop_run_locked();
   void dispatch_run(std::vector<Pending> run);
+  /// Serves one update request: patches the registered graph through the
+  /// registry (warm entries via their pool, cold graphs directly).
+  void dispatch_update(Pending& p,
+                       std::chrono::steady_clock::time_point dispatch_start);
   /// The fault-plan cold path: a private Session per request.
   void dispatch_cold(Pending& p, const Graph& g, bool warm_hit);
   /// Classifies one solved outcome into a response (deadline vs budget

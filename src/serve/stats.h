@@ -28,6 +28,9 @@ struct RegistryStats {
   std::uint64_t warm_bytes_resident{0};  ///< gauge: Σ live entry bytes
   std::uint64_t warm_bytes_high_water{0};
   std::uint64_t graphs_registered{0};  ///< gauge: live GraphIds
+  /// Update batches applied through apply_update() — warm (patched via
+  /// the entry's pool) and cold (patched directly) alike.
+  std::uint64_t updates_applied{0};
 
   [[nodiscard]] double hit_rate() const {
     const std::uint64_t total = hits + misses;
@@ -60,6 +63,7 @@ struct DispatchStats {
   std::uint64_t coalesced_queries{0};
   std::uint64_t warm_hits{0};  ///< responses served off a live warm entry
   std::uint64_t cold_serves{0};  ///< cold builds + fault bypasses
+  std::uint64_t updates_applied{0};  ///< Update requests served to kOk
 };
 
 /// The full serving snapshot (Server::stats()).

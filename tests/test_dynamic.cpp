@@ -1,0 +1,387 @@
+// Dynamic graphs — batched edge updates into warm sessions.
+//
+// The contract under test: after ANY Session::apply / SessionPool::apply
+// batch (insert / delete / reweight, any mix), every subsequent solve is
+// BIT-IDENTICAL — value, witness, every per-protocol CONGEST stat — to a
+// fresh session over the same updated graph, across all four algorithms
+// × {sequential, sharded(2), sharded(8)} × {Dense, EventDriven}.  The
+// scoped-invalidation machinery (incremental repair of reweight-only
+// batches vs the damage-threshold full-invalidation fallback vs the
+// topology rebind) is a POLICY choice, never answer-visible; UpdateStats
+// exposes which path fired so both are provably exercised.
+//
+// The second half drives the dmc::check update axis: every cell of the
+// tier1_updates matrix (192 cells: {erdos_renyi, torus} × {16, 26} ×
+// {unit, small} × all four algorithms × both schedulings × {reweight,
+// mixed, churn}) applies a seeded batch to a warm session and runs the
+// FULL differential contract — fresh oracle consensus, witness audit,
+// CONGEST legality, warm-vs-rebuild bit-comparison — on the updated
+// graph; plus the ddmin update-sequence shrinker's own guarantees.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/check.h"
+#include "core/session.h"
+#include "core/session_pool.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "util/prng.h"
+
+namespace dmc {
+namespace {
+
+/// Field-for-field report equality, wall time excluded (the one
+/// non-deterministic field).
+void expect_report_identical(const MinCutReport& a, const MinCutReport& b,
+                             const std::string& what) {
+  EXPECT_EQ(a.algo, b.algo) << what;
+  EXPECT_EQ(a.value, b.value) << what;
+  EXPECT_EQ(a.side, b.side) << what;
+  EXPECT_EQ(a.v_star, b.v_star) << what;
+  EXPECT_EQ(a.trees_packed, b.trees_packed) << what;
+  EXPECT_EQ(a.tree_of_best, b.tree_of_best) << what;
+  EXPECT_EQ(a.fragments, b.fragments) << what;
+  EXPECT_EQ(a.p, b.p) << what;
+  EXPECT_EQ(a.lambda_hat, b.lambda_hat) << what;
+  EXPECT_EQ(a.sampled, b.sampled) << what;
+  EXPECT_EQ(a.attempts, b.attempts) << what;
+  EXPECT_EQ(a.q_threshold, b.q_threshold) << what;
+  // CongestStats::operator== is exact, per-protocol breakdown included.
+  EXPECT_TRUE(a.stats == b.stats) << what << ": stats diverged";
+}
+
+/// One request per algorithm, small packing knobs for speed.
+std::vector<MinCutRequest> all_algo_requests() {
+  MinCutRequest exact;
+  exact.algo = Algo::kExact;
+  exact.max_trees = 6;
+  exact.patience = 3;
+  MinCutRequest approx;
+  approx.algo = Algo::kApprox;
+  approx.eps = 0.3;
+  approx.seed = 7;
+  MinCutRequest su;
+  su.algo = Algo::kSu;
+  su.seed = 11;
+  MinCutRequest gk;
+  gk.algo = Algo::kGk;
+  gk.seed = 13;
+  return {exact, approx, su, gk};
+}
+
+Graph base_graph(std::uint64_t seed = 3) {
+  return make_erdos_renyi(22, 0.2, seed);
+}
+
+/// The first `k` edges whose CUMULATIVE removal keeps `g` connected.
+std::vector<EdgeId> safe_deletes(const Graph& g, std::size_t k) {
+  std::vector<EdgeId> dels;
+  for (EdgeId e = 0; e < g.num_edges() && dels.size() < k; ++e) {
+    Graph h{g.num_nodes()};
+    for (EdgeId f = 0; f < g.num_edges(); ++f) {
+      if (f == e || std::find(dels.begin(), dels.end(), f) != dels.end())
+        continue;
+      const Edge& ed = g.edge(f);
+      (void)h.add_edge(ed.u, ed.v, ed.w);
+    }
+    if (h.num_edges() > 0 && is_connected(h)) dels.push_back(e);
+  }
+  return dels;
+}
+
+/// Per-kind batches over `g`: pure inserts, connectivity-safe deletes,
+/// under-threshold reweights — the three invalidation classes.
+std::vector<std::pair<std::string, std::vector<EdgeUpdate>>> kind_batches(
+    const Graph& g) {
+  std::vector<std::pair<std::string, std::vector<EdgeUpdate>>> out;
+  out.emplace_back("insert", std::vector<EdgeUpdate>{
+                                 EdgeUpdate::insert(0, 5, 3),
+                                 EdgeUpdate::insert(2, 9, 1),
+                             });
+  std::vector<EdgeUpdate> dels;
+  for (const EdgeId e : safe_deletes(g, 2))
+    dels.push_back(EdgeUpdate::remove(e));
+  out.emplace_back("delete", std::move(dels));
+  std::vector<EdgeUpdate> rew;
+  for (EdgeId e = 0; e < std::min<EdgeId>(3, g.num_edges()); ++e)
+    rew.push_back(EdgeUpdate::reweight(e, 2 + e));
+  out.emplace_back("reweight", std::move(rew));
+  return out;
+}
+
+TEST(DynamicUpdates, EveryKindBitIdenticalToRebuildAcrossEngines) {
+  const Graph base = base_graph();
+  const std::vector<MinCutRequest> reqs = all_algo_requests();
+  for (const auto& [kind, batch] : kind_batches(base)) {
+    ASSERT_FALSE(batch.empty()) << kind;
+    for (const Scheduling sched :
+         {Scheduling::kDense, Scheduling::kEventDriven}) {
+      for (const unsigned threads : {1u, 2u, 8u}) {
+        const SessionOptions sopt{threads, sched};
+        const std::string what =
+            kind + " sched=" +
+            (sched == Scheduling::kDense ? "dense" : "event") +
+            " t=" + std::to_string(threads);
+
+        // Warm session: build ALL warm stages, then patch in place.
+        Graph mut = base;
+        Session warm{mut, sopt};
+        for (const MinCutRequest& r : reqs) (void)warm.solve(r);
+        const UpdateSummary summary = warm.apply(batch);
+        EXPECT_EQ(summary.edges_after, mut.num_edges()) << what;
+
+        // Rebuild-from-scratch oracle: same batch on a fresh graph, a
+        // fresh session, the same request sequence.
+        Graph rebuilt = base;
+        const UpdateSummary again = rebuilt.apply_updates(batch);
+        EXPECT_EQ(summary.touched_edges, again.touched_edges) << what;
+        Session fresh{rebuilt, sopt};
+        for (std::size_t i = 0; i < reqs.size(); ++i)
+          expect_report_identical(warm.solve(reqs[i]), fresh.solve(reqs[i]),
+                                  what + " req#" + std::to_string(i));
+      }
+    }
+  }
+}
+
+TEST(DynamicUpdates, IncrementalRepairAndFallbackBothFire) {
+  const Graph base = base_graph(5);
+  Graph mut = base;
+  Session warm{mut, SessionOptions{}};
+  MinCutRequest exact = all_algo_requests()[0];
+  (void)warm.solve(exact);
+
+  // Small reweight batch: damage m/8 ≤ 0.25 ⇒ scoped repair.
+  const std::size_t m = mut.num_edges();
+  std::vector<EdgeUpdate> small;
+  for (EdgeId e = 0; e < std::max<std::size_t>(1, m / 8); ++e)
+    small.push_back(EdgeUpdate::reweight(e, 4));
+  const UpdateSummary s1 = warm.apply(small);
+  EXPECT_FALSE(s1.topology_changed());
+  EXPECT_LE(s1.damage(), warm.options().update_damage_threshold);
+  EXPECT_EQ(warm.update_stats().incremental_repairs, 1u);
+  EXPECT_EQ(warm.update_stats().full_invalidations, 0u);
+
+  // Churn: > m/2 reweights pushes damage past the threshold ⇒ fallback.
+  std::vector<EdgeUpdate> churn;
+  for (EdgeId e = 0; e < m / 2 + 1; ++e)
+    churn.push_back(EdgeUpdate::reweight(e, 2));
+  const UpdateSummary s2 = warm.apply(churn);
+  EXPECT_GT(s2.damage(), warm.options().update_damage_threshold);
+  EXPECT_EQ(warm.update_stats().full_invalidations, 1u);
+
+  // Re-warm (the invalidation left no infra to count against), then a
+  // topology change ⇒ always a full invalidation (rebind).
+  (void)warm.solve(exact);
+  const std::vector<EdgeUpdate> rebind{EdgeUpdate::insert(1, 7, 2)};
+  (void)warm.apply(rebind);
+  EXPECT_EQ(warm.update_stats().full_invalidations, 2u);
+  EXPECT_EQ(warm.update_stats().batches, 3u);
+
+  // All three paths must agree with one rebuild at the end.
+  Graph rebuilt = base;
+  (void)rebuilt.apply_updates(small);
+  (void)rebuilt.apply_updates(churn);
+  (void)rebuilt.apply_updates(rebind);
+  Session fresh{rebuilt, SessionOptions{}};
+  expect_report_identical(warm.solve(exact), fresh.solve(exact),
+                          "after repair+fallback+rebind");
+}
+
+TEST(DynamicUpdates, InterleavedWithCancellationStaysBitIdentical) {
+  const Graph base = base_graph(9);
+  Graph mut = base;
+  Session warm{mut, SessionOptions{}};
+  MinCutRequest exact = all_algo_requests()[0];
+  (void)warm.solve(exact);
+
+  // Cancel a query, apply, solve; cancel again, apply, solve — an update
+  // landing after a cancelled solve must see a clean session.
+  MinCutRequest starved = exact;
+  starved.round_budget = 1;
+  EXPECT_THROW((void)warm.solve(starved), CancelledError);
+  std::vector<EdgeUpdate> b1{EdgeUpdate::reweight(0, 5)};
+  (void)warm.apply(b1);
+
+  Graph rebuilt = base;
+  (void)rebuilt.apply_updates(b1);
+  {
+    Session fresh{rebuilt, SessionOptions{}};
+    expect_report_identical(warm.solve(exact), fresh.solve(exact),
+                            "post-cancel update #1");
+  }
+
+  EXPECT_THROW((void)warm.solve(starved), CancelledError);
+  std::vector<EdgeUpdate> b2{EdgeUpdate::insert(3, 11, 2)};
+  (void)warm.apply(b2);
+  (void)rebuilt.apply_updates(b2);
+  {
+    Session fresh{rebuilt, SessionOptions{}};
+    expect_report_identical(warm.solve(exact), fresh.solve(exact),
+                            "post-cancel update #2");
+  }
+}
+
+TEST(DynamicUpdates, SessionPoolApplyPatchesEveryPooledSession) {
+  const Graph base = base_graph(13);
+  Graph mut = base;
+  SessionPool pool{mut, 3, SessionOptions{}};
+  const std::vector<MinCutRequest> reqs = all_algo_requests();
+  (void)pool.solve_many(reqs);  // warm every pooled session's infra
+
+  std::vector<EdgeUpdate> batch{EdgeUpdate::reweight(1, 6),
+                                EdgeUpdate::insert(0, 9, 2)};
+  const UpdateSummary summary = pool.apply(batch);
+  EXPECT_TRUE(summary.topology_changed());
+
+  Graph rebuilt = base;
+  (void)rebuilt.apply_updates(batch);
+  Session fresh{rebuilt, SessionOptions{}};
+  // Warm-pool reuse after the update: dispatch ACROSS the pooled
+  // sessions; each report must equal the fresh session's.
+  const std::vector<MinCutReport> pooled = pool.solve_many(reqs);
+  ASSERT_EQ(pooled.size(), reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i)
+    expect_report_identical(pooled[i], fresh.solve(reqs[i]),
+                            "pool req#" + std::to_string(i));
+  EXPECT_EQ(pool.queries_served(), 2 * reqs.size());
+  EXPECT_GT(pool.memory_bytes(), 0u);
+}
+
+TEST(DynamicUpdates, ConstGraphSessionsRefuseApply) {
+  const Graph g = base_graph(17);
+  Session session{g};  // const-graph constructor: no mutable alias
+  std::vector<EdgeUpdate> batch{EdgeUpdate::reweight(0, 3)};
+  EXPECT_THROW((void)session.apply(batch), PreconditionError);
+  SessionPool pool{g, 2};
+  EXPECT_THROW((void)pool.apply(batch), PreconditionError);
+}
+
+TEST(DynamicUpdates, InvalidBatchIsAtomicAndLeavesWarmSessionServing) {
+  const Graph base = base_graph(21);
+  Graph mut = base;
+  Session warm{mut, SessionOptions{}};
+  MinCutRequest exact = all_algo_requests()[0];
+  const MinCutReport before = warm.solve(exact);
+
+  // Valid prefix, invalid tail (self-loop): NOTHING may be applied.
+  std::vector<EdgeUpdate> bad{EdgeUpdate::reweight(0, 9),
+                              EdgeUpdate::insert(4, 4, 1)};
+  EXPECT_THROW((void)warm.apply(bad), InvariantError);
+  EXPECT_EQ(mut.num_edges(), base.num_edges());
+  EXPECT_EQ(mut.edge(0).w, base.edge(0).w);
+  EXPECT_EQ(warm.update_stats().batches, 0u);
+  expect_report_identical(warm.solve(exact), before,
+                          "solve after rejected batch");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// The tier1_updates matrix, one gtest case per cell — the differential
+// update/rebuild contract: warm apply + re-solve vs fresh oracle
+// consensus + fresh cold session on the updated graph, bit-compared.
+// ---------------------------------------------------------------------
+
+namespace check {
+namespace {
+
+const ScenarioRunner& updates_runner() {
+  static const ScenarioRunner runner{ScenarioMatrix::tier1_updates()};
+  return runner;
+}
+
+std::uint64_t seed_for(std::uint64_t scenario_id) {
+  const Scenario s = ScenarioMatrix::tier1_updates().decode(scenario_id);
+  std::uint64_t h = 0;
+  for (const char c : s.family) h = h * 31 + static_cast<unsigned char>(c);
+  return 1 + mix64(h ^ (s.n * 131)) % 1021;
+}
+
+class Tier1UpdatesCell : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Tier1UpdatesCell, AppliesBatchAndMatchesRebuild) {
+  const std::uint64_t id = GetParam();
+  const CellReport cell = updates_runner().run_cell(id, seed_for(id));
+  EXPECT_TRUE(cell.ok()) << cell.failure;
+}
+
+std::string cell_name(const ::testing::TestParamInfo<std::uint64_t>& info) {
+  return ScenarioMatrix::tier1_updates().decode(info.param).name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, Tier1UpdatesCell,
+    ::testing::Range<std::uint64_t>(0,
+                                    ScenarioMatrix::tier1_updates().size()),
+    cell_name);
+
+TEST(UpdateBatchFor, ProfilesHitTheirInvalidationPaths) {
+  const Graph g = make_erdos_renyi(20, 0.25, 4);
+  const std::size_t m = g.num_edges();
+  const auto rew = update_batch_for(UpdateProfile::kReweight, g, 42);
+  ASSERT_FALSE(rew.empty());
+  EXPECT_LE(rew.size(), m / 8 + 1);
+  for (const EdgeUpdate& u : rew) EXPECT_EQ(u.kind, UpdateKind::kReweight);
+
+  const auto churn = update_batch_for(UpdateProfile::kChurn, g, 42);
+  EXPECT_GT(churn.size(), m / 2);
+
+  const auto mixed = update_batch_for(UpdateProfile::kMixed, g, 42);
+  bool ins = false, del = false, rw = false;
+  for (const EdgeUpdate& u : mixed) {
+    ins |= u.kind == UpdateKind::kInsert;
+    del |= u.kind == UpdateKind::kDelete;
+    rw |= u.kind == UpdateKind::kReweight;
+  }
+  EXPECT_TRUE(ins && del && rw) << "mixed batch must carry all three kinds";
+  // Deterministic in (profile, g, seed).
+  EXPECT_EQ(update_batch_for(UpdateProfile::kMixed, g, 42).size(),
+            mixed.size());
+  EXPECT_TRUE(update_batch_for(UpdateProfile::kNone, g, 42).empty());
+}
+
+TEST(ShrinkUpdates, MinimizesToTheGuiltySubsequenceInOrder) {
+  std::vector<EdgeUpdate> seq;
+  for (EdgeId e = 0; e < 12; ++e)
+    seq.push_back(EdgeUpdate::reweight(e, 2));
+  // Failure ⇔ both e3 and e7 survive, in that order.
+  const UpdateFailurePredicate fails =
+      [](std::span<const EdgeUpdate> cand) {
+        bool seen3 = false;
+        for (const EdgeUpdate& u : cand) {
+          if (u.edge == 3) seen3 = true;
+          if (u.edge == 7) return seen3;
+        }
+        return false;
+      };
+  const UpdateShrinkResult r = shrink_updates(seq, fails);
+  ASSERT_EQ(r.updates.size(), 2u);
+  EXPECT_EQ(r.updates[0].edge, 3u);
+  EXPECT_EQ(r.updates[1].edge, 7u);
+  EXPECT_GT(r.predicate_calls, 2u);
+}
+
+TEST(ShrinkUpdates, EmptySequenceIsAReachableMinimum) {
+  std::vector<EdgeUpdate> seq{EdgeUpdate::reweight(0, 2),
+                              EdgeUpdate::reweight(1, 3)};
+  const UpdateFailurePredicate always =
+      [](std::span<const EdgeUpdate>) { return true; };
+  EXPECT_TRUE(shrink_updates(seq, always).updates.empty());
+}
+
+TEST(ShrinkUpdates, RejectsPassingInput) {
+  std::vector<EdgeUpdate> seq{EdgeUpdate::reweight(0, 2)};
+  const UpdateFailurePredicate never =
+      [](std::span<const EdgeUpdate>) { return false; };
+  EXPECT_THROW((void)shrink_updates(seq, never), PreconditionError);
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace dmc

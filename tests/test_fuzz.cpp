@@ -85,5 +85,62 @@ TEST(Fuzz, RandomizedPackingKnobsStayExact) {
   }
 }
 
+// Random apply/solve interleavings against the rebuild oracle: a warm
+// session absorbs a stream of seeded update batches (all three profiles)
+// with solves — and the occasional budget cancellation — in between; a
+// shadow graph replays the same batches, and every completed solve must
+// be bit-identical to a fresh session over the shadow.  Small n here
+// (tier-1); tests/test_fuzz_dynamic_nightly.cpp runs the same loop at
+// nightly sizes.
+TEST(Fuzz, RandomUpdateSolveInterleavingsMatchRebuild) {
+  Prng rng{0xD15C};
+  constexpr UpdateProfile kProfiles[] = {
+      UpdateProfile::kReweight, UpdateProfile::kMixed, UpdateProfile::kChurn};
+  constexpr Algo kAlgos[] = {Algo::kExact, Algo::kApprox, Algo::kSu,
+                             Algo::kGk};
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 10 + rng.next_below(14);
+    const std::size_t m = std::min(n * (n - 1) / 2,
+                                   n - 1 + rng.next_below(2 * n));
+    Graph live = make_random_connected(n, m, rng.next_u64(), 1, 8);
+    Graph shadow = live;
+    const SessionOptions sopt{
+        rng.next_bool(0.5) ? 1u : 2u,
+        rng.next_bool(0.5) ? Scheduling::kDense : Scheduling::kEventDriven};
+    Session warm{live, sopt};
+
+    for (int step = 0; step < 5; ++step) {
+      MinCutRequest req;
+      req.algo = kAlgos[rng.next_below(4)];
+      req.max_trees = 6;
+      req.patience = 3;
+      req.seed = rng.next_u64();
+      if (rng.next_bool(0.25)) {
+        // A cancelled solve between updates must leave no residue.
+        MinCutRequest starved = req;
+        starved.round_budget = 1;
+        EXPECT_THROW((void)warm.solve(starved), CancelledError);
+      }
+      // Batch derived from the CURRENT graph, applied to both sides.
+      const std::vector<EdgeUpdate> batch = update_batch_for(
+          kProfiles[rng.next_below(3)], live, rng.next_u64());
+      const UpdateSummary a = warm.apply(batch);
+      const UpdateSummary b = shadow.apply_updates(batch);
+      ASSERT_EQ(a.touched_edges, b.touched_edges);
+      ASSERT_EQ(live.num_edges(), shadow.num_edges());
+
+      Session fresh{shadow, sopt};
+      const MinCutReport w = warm.solve(req);
+      const MinCutReport f = fresh.solve(req);
+      ASSERT_EQ(w.value, f.value) << "trial " << trial << " step " << step;
+      ASSERT_EQ(w.side, f.side) << "trial " << trial << " step " << step;
+      ASSERT_TRUE(w.stats == f.stats)
+          << "trial " << trial << " step " << step
+          << ": post-update warm stats diverged from rebuild";
+    }
+    EXPECT_GE(warm.update_stats().batches, 5u);
+  }
+}
+
 }  // namespace
 }  // namespace dmc::check

@@ -1,0 +1,78 @@
+// Nightly dynamic-update fuzz (ctest label "nightly"; not part of
+// tier-1): the same random apply/solve interleaving loop as
+// tests/test_fuzz.cpp's RandomUpdateSolveInterleavingsMatchRebuild, at
+// larger n and longer update streams — a warm session absorbs seeded
+// batches (reweight / mixed / churn) with solves and cancellations in
+// between, while a shadow graph replays the batches; every completed
+// solve must be bit-identical (value, witness, every CONGEST stat) to a
+// fresh session over the shadow.  Parametrized per trial so the 8-way
+// ctest shards split the work.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "check/check.h"
+#include "graph/generators.h"
+#include "util/prng.h"
+
+namespace dmc::check {
+namespace {
+
+class DynamicFuzzTrial : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DynamicFuzzTrial, InterleavedUpdatesMatchRebuild) {
+  Prng rng{derive_seed(0xD15C, GetParam(), 1)};
+  constexpr UpdateProfile kProfiles[] = {
+      UpdateProfile::kReweight, UpdateProfile::kMixed, UpdateProfile::kChurn};
+  constexpr Algo kAlgos[] = {Algo::kExact, Algo::kApprox, Algo::kSu,
+                             Algo::kGk};
+
+  const std::size_t n = 40 + rng.next_below(41);  // 40–80 nodes
+  const std::size_t m = std::min(n * (n - 1) / 2,
+                                 n - 1 + rng.next_below(4 * n));
+  Graph live = make_random_connected(n, m, rng.next_u64(), 1, 16);
+  Graph shadow = live;
+  const SessionOptions sopt{
+      rng.next_bool(0.5) ? 2u : 8u,
+      rng.next_bool(0.5) ? Scheduling::kDense : Scheduling::kEventDriven};
+  Session warm{live, sopt};
+
+  for (int step = 0; step < 12; ++step) {
+    MinCutRequest req;
+    req.algo = kAlgos[rng.next_below(4)];
+    req.max_trees = 8;
+    req.patience = 4;
+    req.seed = rng.next_u64();
+    if (rng.next_bool(0.25)) {
+      MinCutRequest starved = req;
+      starved.round_budget = 1;
+      EXPECT_THROW((void)warm.solve(starved), CancelledError);
+    }
+    const std::vector<EdgeUpdate> batch = update_batch_for(
+        kProfiles[rng.next_below(3)], live, rng.next_u64());
+    const UpdateSummary a = warm.apply(batch);
+    const UpdateSummary b = shadow.apply_updates(batch);
+    ASSERT_EQ(a.touched_edges, b.touched_edges);
+    ASSERT_EQ(live.num_edges(), shadow.num_edges());
+
+    Session fresh{shadow, sopt};
+    const MinCutReport w = warm.solve(req);
+    const MinCutReport f = fresh.solve(req);
+    ASSERT_EQ(w.value, f.value) << "step " << step;
+    ASSERT_EQ(w.side, f.side) << "step " << step;
+    ASSERT_TRUE(w.stats == f.stats)
+        << "step " << step
+        << ": post-update warm stats diverged from rebuild";
+  }
+  EXPECT_EQ(warm.update_stats().batches, 12u);
+  EXPECT_GT(warm.update_stats().incremental_repairs +
+                warm.update_stats().full_invalidations,
+            0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Stream, DynamicFuzzTrial,
+                         ::testing::Range<std::uint64_t>(0, 16));
+
+}  // namespace
+}  // namespace dmc::check

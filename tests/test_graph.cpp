@@ -106,6 +106,131 @@ TEST(Graph, EdgeSubgraph) {
   EXPECT_EQ(h.edge(1).w, 3u);
 }
 
+// ---------------------------------------------------------------------
+// Batched updates (Graph::apply_updates): validation contract, batch
+// atomicity, and in-place CSR patching vs a from-scratch rebuild.
+// ---------------------------------------------------------------------
+
+/// A fixture graph whose CSR is finalized before the batch lands, so the
+/// in-place patch paths (not just dirty-rebuild) are what's exercised.
+Graph finalized_triangle_plus() {
+  Graph g{5};
+  g.add_edge(0, 1, 2);
+  g.add_edge(1, 2, 3);
+  g.add_edge(2, 0, 4);
+  g.add_edge(2, 3, 5);
+  g.add_edge(3, 4, 6);
+  (void)g.port_offset(0);  // finalize
+  return g;
+}
+
+/// Ports of `g` as (node → sorted neighbor/edge pairs) for comparison.
+std::vector<std::vector<std::pair<NodeId, EdgeId>>> port_table(
+    const Graph& g) {
+  std::vector<std::vector<std::pair<NodeId, EdgeId>>> t(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    for (const Port& p : g.ports(v)) t[v].emplace_back(p.peer, p.edge);
+  return t;
+}
+
+TEST(GraphUpdates, RejectsInvalidUpdatesWithInvariantError) {
+  Graph g = finalized_triangle_plus();
+  using V = std::vector<EdgeUpdate>;
+  // Same contract as add_edge: self-loops, w == 0, w > kMaxWeight,
+  // out-of-range endpoints — all InvariantError, nothing applied.
+  EXPECT_THROW(g.apply_updates(V{EdgeUpdate::insert(1, 1, 1)}),
+               InvariantError);
+  EXPECT_THROW(g.apply_updates(V{EdgeUpdate::insert(0, 1, 0)}),
+               InvariantError);
+  EXPECT_THROW(g.apply_updates(V{EdgeUpdate::insert(0, 1, kMaxWeight + 1)}),
+               InvariantError);
+  EXPECT_THROW(g.apply_updates(V{EdgeUpdate::insert(0, 9, 1)}),
+               InvariantError);
+  // Bad edge ids: out of range, delete-twice, reweight-after-delete.
+  EXPECT_THROW(g.apply_updates(V{EdgeUpdate::remove(99)}), InvariantError);
+  EXPECT_THROW(g.apply_updates(V{EdgeUpdate::reweight(99, 2)}),
+               InvariantError);
+  EXPECT_THROW(
+      g.apply_updates(V{EdgeUpdate::remove(0), EdgeUpdate::remove(0)}),
+      InvariantError);
+  EXPECT_THROW(
+      g.apply_updates(V{EdgeUpdate::remove(0), EdgeUpdate::reweight(0, 2)}),
+      InvariantError);
+  EXPECT_THROW(g.apply_updates(V{EdgeUpdate::reweight(0, 0)}),
+               InvariantError);
+  EXPECT_EQ(g.num_edges(), 5u);
+  g.validate();
+}
+
+TEST(GraphUpdates, InvalidTailMeansNothingApplies) {
+  Graph g = finalized_triangle_plus();
+  const Weight w0 = g.edge(0).w;
+  std::vector<EdgeUpdate> batch{EdgeUpdate::reweight(0, 9),
+                                EdgeUpdate::insert(0, 2, 7),
+                                EdgeUpdate::insert(3, 3, 1)};  // invalid
+  EXPECT_THROW(g.apply_updates(batch), InvariantError);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.edge(0).w, w0);
+  g.validate();
+}
+
+TEST(GraphUpdates, BatchIdsCoverBatchInserts) {
+  // Ids m0, m0+1, … name the batch's own inserts, in batch order, and
+  // are deletable/reweightable later in the SAME batch.
+  Graph g = finalized_triangle_plus();
+  std::vector<EdgeUpdate> batch{
+      EdgeUpdate::insert(0, 3, 1),     // id 5
+      EdgeUpdate::insert(1, 4, 1),     // id 6
+      EdgeUpdate::reweight(5, 8),      // the first insert
+      EdgeUpdate::remove(6),           // the second insert
+  };
+  const UpdateSummary s = g.apply_updates(batch);
+  EXPECT_EQ(s.inserted, 2u);
+  EXPECT_EQ(s.deleted, 1u);
+  EXPECT_EQ(s.reweighted, 1u);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.edge(5).w, 8u);
+  g.validate();
+}
+
+TEST(GraphUpdates, PatchedCsrMatchesRebuiltGraph) {
+  // Inserts into a finalized CSR patch flat_ports_ in place; deletes
+  // compact with order-preserving renumbering.  Either way the port
+  // table must equal a graph REBUILT from the updated edge list.
+  const std::vector<std::vector<EdgeUpdate>> batches{
+      {EdgeUpdate::insert(4, 0, 2), EdgeUpdate::insert(1, 3, 3)},
+      {EdgeUpdate::remove(1), EdgeUpdate::reweight(0, 7)},
+      {EdgeUpdate::insert(2, 4, 1), EdgeUpdate::remove(3)},
+  };
+  Graph g = finalized_triangle_plus();
+  for (const auto& batch : batches) {
+    const UpdateSummary s = g.apply_updates(batch);
+    EXPECT_EQ(s.edges_after, g.num_edges());
+    g.validate();
+    Graph rebuilt{g.num_nodes()};
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const Edge& ed = g.edge(e);
+      (void)rebuilt.add_edge(ed.u, ed.v, ed.w);
+    }
+    EXPECT_EQ(port_table(g), port_table(rebuilt));
+    EXPECT_EQ(g.total_weight(), rebuilt.total_weight());
+  }
+}
+
+TEST(GraphUpdates, SummaryCountsAndDamage) {
+  Graph g = finalized_triangle_plus();
+  std::vector<EdgeUpdate> batch{EdgeUpdate::reweight(0, 9),
+                                EdgeUpdate::reweight(1, 9)};
+  const UpdateSummary s = g.apply_updates(batch);
+  EXPECT_EQ(s.edges_before, 5u);
+  EXPECT_EQ(s.edges_after, 5u);
+  EXPECT_EQ(s.touched_edges, 2u);
+  EXPECT_FALSE(s.topology_changed());
+  EXPECT_DOUBLE_EQ(s.damage(), 2.0 / 5.0);
+  std::vector<EdgeUpdate> ins{EdgeUpdate::insert(0, 4, 1)};
+  EXPECT_TRUE(g.apply_updates(ins).topology_changed());
+}
+
 TEST(GraphIo, RoundTrip) {
   Graph g{5};
   g.add_edge(0, 1, 3);

@@ -87,6 +87,72 @@ TEST(Serve, OkResponseIsBitIdenticalToFreshColdSession) {
   }
 }
 
+TEST(Serve, UpdateRequestPatchesWarmEntryAndStaysBitIdentical) {
+  Server server{manual_options()};
+  const Graph base = test_graph(5);
+  const GraphId id = server.register_graph(test_graph(5));
+
+  // Warm the entry, then stream: query, update, query — queue order
+  // defines which graph version each query sees (updates never coalesce).
+  ServeRequest query;
+  query.graph = id;
+  query.query = gk_query(2);
+  ASSERT_EQ(server.serve(query).outcome, ServeOutcome::kOk);
+  const std::size_t warm_bytes_before =
+      server.stats().registry.warm_bytes_resident;
+
+  ServeRequest update;
+  update.graph = id;
+  update.updates = {EdgeUpdate::reweight(0, 7), EdgeUpdate::insert(1, 9, 3)};
+  const ServeResponse u = server.serve(update);
+  ASSERT_EQ(u.outcome, ServeOutcome::kOk);
+  EXPECT_EQ(u.update.reweighted, 1u);
+  EXPECT_EQ(u.update.inserted, 1u);
+  EXPECT_TRUE(u.update.topology_changed());
+
+  const ServeResponse after = server.serve(query);
+  ASSERT_EQ(after.outcome, ServeOutcome::kOk);
+  EXPECT_TRUE(after.warm_hit) << "the update must patch, not evict";
+
+  Graph rebuilt = base;
+  (void)rebuilt.apply_updates(update.updates);
+  Session cold{rebuilt};
+  expect_report_identical(after.report, cold.solve(query.query),
+                          "post-update serve vs fresh cold on rebuilt");
+
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.registry.updates_applied, 1u);
+  EXPECT_EQ(stats.dispatch.updates_applied, 1u);
+  // memory_bytes() was re-accounted after the patch (a full invalidation
+  // dropped warm stages, so resident bytes moved).
+  EXPECT_NE(stats.registry.warm_bytes_resident, 0u);
+  EXPECT_LE(stats.registry.warm_bytes_resident,
+            stats.registry.warm_bytes_high_water);
+  (void)warm_bytes_before;  // informational; lazily-built stages may shift
+
+  // Cold-entry path: updating an unwarmed registered graph patches the
+  // graph directly; an unknown id reports kUnknownGraph.
+  const GraphId cold_id = server.register_graph(test_graph(6));
+  ServeRequest cold_update;
+  cold_update.graph = cold_id;
+  cold_update.updates = {EdgeUpdate::reweight(2, 5)};
+  EXPECT_EQ(server.serve(cold_update).outcome, ServeOutcome::kOk);
+  EXPECT_EQ(server.registry().graph(cold_id)->edge(2).w, 5u);
+  ServeRequest unknown;
+  unknown.graph = 999;
+  unknown.updates = {EdgeUpdate::reweight(0, 2)};
+  EXPECT_EQ(server.serve(unknown).outcome, ServeOutcome::kUnknownGraph);
+
+  // An invalid batch fails loudly and leaves the graph unchanged.
+  ServeRequest bad;
+  bad.graph = cold_id;
+  bad.updates = {EdgeUpdate::insert(3, 3, 1)};
+  const ServeResponse rb = server.serve(bad);
+  EXPECT_EQ(rb.outcome, ServeOutcome::kFailed);
+  EXPECT_FALSE(rb.error.empty());
+  EXPECT_EQ(server.registry().graph(cold_id)->edge(2).w, 5u);
+}
+
 TEST(Serve, EvictRewarmPreservesBitIdenticality) {
   // Three answers for the same query: never-evicted warm, evicted +
   // rewarmed, and a fresh cold session — all must match exactly.

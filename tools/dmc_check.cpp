@@ -44,8 +44,19 @@ const ScenarioMatrix& matrix_by_name(const std::string& name) {
   if (name == "tier1") return ScenarioMatrix::tier1();
   if (name == "nightly") return ScenarioMatrix::nightly();
   if (name == "tier1_faults") return ScenarioMatrix::tier1_faults();
-  throw PreconditionError{"unknown matrix '" + name +
-                          "' (known: tier1, nightly, tier1_faults)"};
+  if (name == "tier1_updates") return ScenarioMatrix::tier1_updates();
+  throw PreconditionError{
+      "unknown matrix '" + name +
+      "' (known: tier1, nightly, tier1_faults, tier1_updates)"};
+}
+
+UpdateProfile update_profile_by_name(const std::string& name) {
+  if (name == "none") return UpdateProfile::kNone;
+  if (name == "reweight") return UpdateProfile::kReweight;
+  if (name == "mixed") return UpdateProfile::kMixed;
+  if (name == "churn") return UpdateProfile::kChurn;
+  throw PreconditionError{"unknown update profile '" + name +
+                          "' (known: none, reweight, mixed, churn)"};
 }
 
 FaultProfile fault_profile_by_name(const std::string& name) {
@@ -61,7 +72,8 @@ FaultProfile fault_profile_by_name(const std::string& name) {
 
 int run(const Options& opt) {
   const ScenarioMatrix& matrix = matrix_by_name(opt.get_enum(
-      "matrix", "tier1", {"tier1", "nightly", "tier1_faults"}));
+      "matrix", "tier1",
+      {"tier1", "nightly", "tier1_faults", "tier1_updates"}));
 
   if (opt.get_bool("list", false)) {
     for (std::uint64_t id = 0; id < matrix.size(); ++id)
@@ -86,6 +98,13 @@ int run(const Options& opt) {
         fault_profile_by_name(opt.get_enum("faults", "none",
                                            {"none", "reorder", "dupreorder",
                                             "drop", "crash"}));
+  // --updates=<profile> forces every executed cell through the dynamic-
+  // update differential flow (warm apply vs rebuild, bit-compared), e.g.
+  //   ./build/dmc_check --matrix=tier1 --scenario=217 --updates=mixed
+  if (opt.has("updates"))
+    ropt.force_updates = update_profile_by_name(
+        opt.get_enum("updates", "none", {"none", "reweight", "mixed",
+                                         "churn"}));
   const ScenarioRunner runner{matrix, ropt};
 
   const auto run_one = [&](std::uint64_t id, std::uint64_t seed) {
@@ -130,7 +149,7 @@ int main(int argc, char** argv) {
     const Options opt{argc, argv,
                       {"matrix", "scenario", "seed", "seeds", "list",
                        "metamorphic", "audit", "shrink", "inject-failure",
-                       "faults"}};
+                       "faults", "updates"}};
     return run(opt);
   } catch (const std::exception& e) {
     std::cerr << "dmc_check: " << e.what() << '\n';
