@@ -63,10 +63,15 @@ int main() {
     std::string s;
     for (std::uint32_t f = 0; f < fs.k; ++f) {
       if (f) s += "; ";
-      s += "F" + Table::cell(fs.frag_root_node[f]) + "->" +
-           (fs.frag_parent[f] == kNoFrag
-                ? std::string{"root"}
-                : "F" + Table::cell(fs.frag_root_node[fs.frag_parent[f]]));
+      s += "F";
+      s += Table::cell(fs.frag_root_node[f]);
+      s += "->";
+      if (fs.frag_parent[f] == kNoFrag) {
+        s += "root";
+      } else {
+        s += "F";
+        s += Table::cell(fs.frag_root_node[fs.frag_parent[f]]);
+      }
     }
     panels.add_row({"(b) fragment tree T_F", s});
   }

@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "central/stoer_wagner.h"
+#include "util/checked.h"
 #include "util/dsu.h"
 
 namespace dmc {
@@ -68,17 +69,20 @@ Graph contract(const Graph& g, Dsu& dsu, std::vector<std::vector<NodeId>>&
   for (NodeId v = 0; v < g.num_nodes(); ++v)
     group_out[index[dsu.find(v)]].push_back(v);
 
-  // Collapse parallel edges with a map keyed by the (min,max) pair.
+  // Collapse parallel edges with a map keyed by the (min,max) pair.  The
+  // map is ORDERED: its iteration order below fixes h's edge numbering,
+  // which downstream contraction rounds (and hence the reported cut side)
+  // inherit — a hash map here would make the result seed-dependent on
+  // pointer layout.
   Graph h{next};
-  std::vector<std::vector<Weight>> acc;  // adjacency accumulation, sparse
-  std::unordered_map<std::uint64_t, Weight> bucket;
+  std::map<std::uint64_t, Weight> bucket;
   for (const Edge& e : g.edges()) {
     const std::uint32_t a = index[dsu.find(e.u)];
     const std::uint32_t b = index[dsu.find(e.v)];
     if (a == b) continue;
     const std::uint64_t key =
         (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
-    bucket[key] += e.w;
+    bucket[key] = checked_add(bucket[key], e.w);
   }
   for (const auto& [key, w] : bucket)
     h.add_edge(static_cast<NodeId>(key >> 32),

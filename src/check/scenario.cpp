@@ -536,6 +536,8 @@ const ScenarioMatrix& ScenarioMatrix::tier1() {
           {Algo::kExact, Algo::kApprox, Algo::kSu, Algo::kGk},
           {Scheduling::kDense, Scheduling::kEventDriven},
           {1u, 2u},
+          /*faults=*/{},
+          /*updates=*/{},
       }};
   return m;
 }
@@ -551,6 +553,8 @@ const ScenarioMatrix& ScenarioMatrix::nightly() {
           {Algo::kExact, Algo::kApprox, Algo::kSu, Algo::kGk},
           {Scheduling::kDense, Scheduling::kEventDriven},
           {1u, 2u, 8u},
+          /*faults=*/{},
+          /*updates=*/{},
       }};
   return m;
 }
@@ -567,6 +571,7 @@ const ScenarioMatrix& ScenarioMatrix::tier1_faults() {
           {1u, 2u},
           {FaultProfile::kReorder, FaultProfile::kDupReorder,
            FaultProfile::kDrop, FaultProfile::kCrash},
+          /*updates=*/{},
       }};
   return m;
 }

@@ -7,7 +7,7 @@
 // AggregateBroadcasts over the BFS tree (merging-node ids; T'_F edges).
 #pragma once
 
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "congest/schedule.h"
@@ -19,9 +19,11 @@ namespace dmc {
 
 struct TfPrime {
   /// Global knowledge (identical at every node after the broadcasts).
-  std::vector<NodeId> nodes;                          ///< sorted T'_F node ids
-  std::unordered_map<NodeId, NodeId> parent;          ///< child → parent (root → kNoNode)
-  std::unordered_map<NodeId, std::uint32_t> frag_of;  ///< T'_F node → fragment
+  /// Ordered maps: T'_F is global knowledge that downstream passes may
+  /// iterate, so its containers carry a deterministic order by contract.
+  std::vector<NodeId> nodes;                    ///< sorted T'_F node ids
+  std::map<NodeId, NodeId> parent;              ///< child → parent (root → kNoNode)
+  std::map<NodeId, std::uint32_t> frag_of;      ///< T'_F node → fragment
 
   /// Local knowledge.
   std::vector<std::uint8_t> is_merging;  ///< per node

@@ -11,6 +11,10 @@ namespace dmc {
 
 namespace {
 
+// Wall-clock time budgets: the clock only decides WHEN to cancel
+// (CancelledError between rounds), never what a completed solve answers;
+// results stay bit-identical across machines.
+// dmc-lint: allow(R1) -- time budget clock, feeds no answer (see above)
 using Clock = std::chrono::steady_clock;
 
 /// Per-query observer installed by Session::solve: forwards every event

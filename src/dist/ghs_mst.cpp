@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <map>
-#include <unordered_map>
 
 #include "congest/network.h"
 #include "congest/primitives/aggregate_broadcast.h"
@@ -106,7 +105,7 @@ class MergeRequestProtocol final : public Protocol {
 
  private:
   static constexpr std::uint32_t kTag = 0x6d72;  // "mr"
-  std::unordered_map<NodeId, Request> outgoing_;
+  std::map<NodeId, Request> outgoing_;
   std::vector<std::uint8_t> step_;
   std::vector<std::vector<Request>> received_;
 };
@@ -187,7 +186,7 @@ class MergeFloodProtocol final : public Protocol {
  private:
   static constexpr std::uint32_t kTag = 0x6d66;  // "mf"
   const std::vector<std::vector<std::uint32_t>>* p1_ports_;
-  std::unordered_map<NodeId, Seed> seed_;
+  std::map<NodeId, Seed> seed_;
   std::vector<std::uint8_t> started_;
   std::vector<NodeId> new_frag_;
   std::vector<std::uint32_t> new_parent_;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <map>
-#include <unordered_map>
 
 #include "congest/network.h"
 #include "congest/primitives/aggregate_broadcast.h"
@@ -86,7 +85,7 @@ class OrientFloodProtocol final : public Protocol {
   static constexpr std::uint32_t kTag = 0x6f66;  // "of"
   static constexpr std::uint32_t kUnset = static_cast<std::uint32_t>(-1);
   const std::vector<std::vector<std::uint32_t>>* p1_ports_;
-  std::unordered_map<NodeId, std::uint32_t> seed_;
+  std::map<NodeId, std::uint32_t> seed_;
   std::vector<std::uint8_t> started_;
   std::vector<std::uint32_t> depth_;
   std::vector<std::uint32_t> parent_port_;

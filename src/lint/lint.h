@@ -1,0 +1,22 @@
+// Umbrella header for dmc_lint, the project-specific static-analysis
+// pass.
+//
+// Why a bespoke linter: every guarantee this repo sells — bit-identical
+// results across engines × threads × scheduling × faults × updates —
+// rests on coding conventions no general-purpose tool knows about
+// (seeded randomness only, no hash-ordered iteration in protocol code,
+// complete Protocol contracts, checked Weight accumulation).  dmc_lint
+// machine-enforces them at the source level; see rules.h for the
+// catalogue and DESIGN.md "Static analysis and determinism lint" for the
+// mapping from each rule to the runtime guarantee it protects.
+//
+//   LintConfig cfg;           // root + scan paths + enabled rules
+//   LintResult r = run_lint(cfg);
+//   write_text_report(r, std::cout);
+//   return r.clean() ? 0 : 1;
+#pragma once
+
+#include "lint/report.h"
+#include "lint/rules.h"
+#include "lint/scanner.h"
+#include "lint/source.h"

@@ -1,0 +1,85 @@
+#include "lint/report.h"
+
+#include <ostream>
+
+namespace dmc::lint {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_text_report(const LintResult& result, std::ostream& os) {
+  for (const Finding& f : result.findings)
+    os << f.path << ':' << f.line << ": [" << f.rule << "] " << f.message
+       << '\n';
+  os << "dmc_lint: " << result.files_scanned << " files, "
+     << result.findings.size() << " finding"
+     << (result.findings.size() == 1 ? "" : "s") << ", "
+     << result.suppressed.size() << " suppressed";
+  if (!result.per_rule.empty()) {
+    os << " (";
+    bool first = true;
+    for (const auto& [rule, st] : result.per_rule) {
+      if (!first) os << ", ";
+      first = false;
+      os << rule << ": " << st.findings << '+' << st.suppressed
+         << " suppressed";
+    }
+    os << ')';
+  }
+  os << '\n';
+}
+
+namespace {
+
+void write_finding_array(const std::vector<Finding>& fs, std::ostream& os) {
+  os << '[';
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    if (i != 0) os << ',';
+    os << "{\"rule\":\"" << json_escape(fs[i].rule) << "\",\"file\":\""
+       << json_escape(fs[i].path) << "\",\"line\":" << fs[i].line
+       << ",\"message\":\"" << json_escape(fs[i].message) << "\"}";
+  }
+  os << ']';
+}
+
+}  // namespace
+
+void write_json_report(const LintResult& result, std::ostream& os) {
+  os << "{\"tool\":\"dmc_lint\",\"files_scanned\":" << result.files_scanned
+     << ",\"clean\":" << (result.clean() ? "true" : "false")
+     << ",\"findings\":";
+  write_finding_array(result.findings, os);
+  os << ",\"suppressed\":";
+  write_finding_array(result.suppressed, os);
+  os << ",\"rules\":{";
+  bool first = true;
+  for (const auto& [rule, st] : result.per_rule) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(rule) << "\":{\"findings\":" << st.findings
+       << ",\"suppressed\":" << st.suppressed << '}';
+  }
+  os << "}}\n";
+}
+
+}  // namespace dmc::lint

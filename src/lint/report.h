@@ -1,0 +1,27 @@
+// dmc_lint output: human text and machine JSON for the same LintResult.
+//
+// The text form is what a developer reads locally; the JSON form is what
+// CI uploads as an artifact, so a red lint job carries its full evidence
+// without re-running anything.  Suppressions are first-class in both —
+// the per-rule suppressed counts are the whole point of requiring
+// justified exemptions (they can be watched, and a drift upward is a
+// review conversation).
+#pragma once
+
+#include <iosfwd>
+
+#include "lint/rules.h"
+
+namespace dmc::lint {
+
+/// findings as "path:line: [rule] message" lines + a per-rule summary.
+void write_text_report(const LintResult& result, std::ostream& os);
+
+/// One JSON object: {"files_scanned", "clean", "findings": […],
+/// "suppressed": […], "rules": {rule: {findings, suppressed}}}.
+void write_json_report(const LintResult& result, std::ostream& os);
+
+/// Minimal JSON string escaping for the report writer.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace dmc::lint

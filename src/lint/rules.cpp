@@ -1,0 +1,411 @@
+#include "lint/rules.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <filesystem>
+#include <set>
+#include <string_view>
+
+namespace dmc::lint {
+
+namespace {
+
+// ------------------------------------------------------------- helpers
+
+[[nodiscard]] bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool path_starts_with(const std::string& path,
+                                    std::string_view prefix) {
+  return path.size() >= prefix.size() &&
+         path.compare(0, prefix.size(), prefix) == 0;
+}
+
+struct Token {
+  std::string_view text;
+  std::size_t pos;  ///< byte offset into the scanned string
+};
+
+/// Identifier tokens of `code` (letters/digits/underscore runs starting
+/// with a non-digit), in order.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view code) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  while (i < code.size()) {
+    if (is_ident_char(code[i]) &&
+        std::isdigit(static_cast<unsigned char>(code[i])) == 0) {
+      const std::size_t b = i;
+      while (i < code.size() && is_ident_char(code[i])) ++i;
+      out.push_back({code.substr(b, i - b), b});
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] std::size_t skip_spaces(std::string_view s, std::size_t i) {
+  while (i < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[i])) != 0)
+    ++i;
+  return i;
+}
+
+/// The whole file as one string per view, plus a 1-based line number per
+/// byte.  Offsets are shared between `code` and `raw` (the lexer keeps
+/// the views same-length), so multi-line rules can match structure in
+/// code and read literal text back out of raw.
+struct Joined {
+  std::string code;
+  std::string raw;
+  std::vector<std::size_t> line_of;
+
+  explicit Joined(const SourceFile& sf) {
+    for (std::size_t li = 0; li < sf.num_lines(); ++li) {
+      code += sf.code[li];
+      code += '\n';
+      raw += sf.raw[li];
+      raw += '\n';
+      line_of.resize(code.size(), li + 1);
+    }
+  }
+};
+
+void add(std::vector<Finding>& out, const char* rule,
+         const SourceFile& sf, std::size_t line, std::string msg) {
+  out.push_back(Finding{rule, sf.path, line, std::move(msg)});
+}
+
+// ------------------------------------------------------ R1 determinism
+
+constexpr std::array<std::string_view, 7> kBannedRng = {
+    "rand", "srand", "drand48", "lrand48", "mrand48", "random_shuffle",
+    "random_device"};
+constexpr std::array<std::string_view, 3> kBannedClocks = {
+    "system_clock", "steady_clock", "high_resolution_clock"};
+constexpr std::array<std::string_view, 4> kBannedContainers = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+void rule_r1(const SourceFile& sf, std::vector<Finding>& out) {
+  if (!path_starts_with(sf.path, "src/") &&
+      !path_starts_with(sf.path, "include/"))
+    return;
+  for (std::size_t li = 0; li < sf.num_lines(); ++li) {
+    const std::string& code = sf.code[li];
+    for (const Token& t : tokenize(code)) {
+      const auto in = [&](const auto& set) {
+        return std::find(set.begin(), set.end(), t.text) != set.end();
+      };
+      if (in(kBannedRng)) {
+        add(out, "R1", sf, li + 1,
+            "nondeterministic RNG source '" + std::string(t.text) +
+                "' — derive randomness from util/prng.h (seeded, "
+                "replayable) instead");
+      } else if (in(kBannedClocks)) {
+        add(out, "R1", sf, li + 1,
+            "wall clock '" + std::string(t.text) +
+                "' in a deterministic layer — results must be a pure "
+                "function of (graph, seed, options)");
+      } else if (in(kBannedContainers)) {
+        add(out, "R1", sf, li + 1,
+            "hash container 'std::" + std::string(t.text) +
+                "' — iteration order is not deterministic across "
+                "libstdc++/ASLR; use std::map/std::set or an indexed "
+                "vector");
+      } else if (t.text == "time") {
+        const std::size_t after = skip_spaces(code, t.pos + t.text.size());
+        const bool member = t.pos > 0 && (code[t.pos - 1] == '.' ||
+                                          code[t.pos - 1] == '>');
+        if (!member && after < code.size() && code[after] == '(')
+          add(out, "R1", sf, li + 1,
+              "wall-clock time() call in a deterministic layer");
+      }
+    }
+  }
+}
+
+// ------------------------------------------------ R2 protocol contract
+
+/// True when `body` contains identifier token `name` immediately
+/// followed (mod whitespace) by `next_char` (0 = any).
+[[nodiscard]] bool body_has(std::string_view body, std::string_view name,
+                            char next_char) {
+  for (const Token& t : tokenize(body)) {
+    if (t.text != name) continue;
+    if (next_char == '\0') return true;
+    const std::size_t after = skip_spaces(body, t.pos + t.text.size());
+    if (after < body.size() && body[after] == next_char) return true;
+  }
+  return false;
+}
+
+void rule_r2(const SourceFile& sf, std::vector<Finding>& out) {
+  if (!path_starts_with(sf.path, "src/")) return;
+  const Joined j{sf};
+  const std::vector<Token> toks = tokenize(j.code);
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].text != "class" && toks[i].text != "struct") continue;
+    if (i > 0 && toks[i - 1].text == "enum") continue;
+    const Token& name = toks[i + 1];
+    // Scan the head (between the name and '{' or ';') for a public
+    // Protocol base.
+    std::size_t head_end = name.pos;
+    while (head_end < j.code.size() && j.code[head_end] != '{' &&
+           j.code[head_end] != ';')
+      ++head_end;
+    if (head_end >= j.code.size() || j.code[head_end] == ';') continue;
+    const std::string_view head{j.code.data() + name.pos,
+                                head_end - name.pos};
+    bool derived = false;
+    {
+      const std::vector<Token> ht = tokenize(head);
+      for (std::size_t k = 0; k + 1 < ht.size(); ++k) {
+        if (ht[k].text != "public") continue;
+        if (ht[k + 1].text == "Protocol" ||
+            (ht[k + 1].text == "dmc" && k + 2 < ht.size() &&
+             ht[k + 2].text == "Protocol"))
+          derived = true;
+      }
+    }
+    if (!derived) continue;
+    // Extract the class body by brace matching (strings/comments are
+    // already blanked, so every brace in `code` is structural).
+    std::size_t depth = 0, body_end = head_end;
+    for (std::size_t p = head_end; p < j.code.size(); ++p) {
+      if (j.code[p] == '{') ++depth;
+      if (j.code[p] == '}' && --depth == 0) {
+        body_end = p;
+        break;
+      }
+    }
+    const std::string_view body{j.code.data() + head_end,
+                                body_end - head_end};
+    const std::size_t line = j.line_of[toks[i].pos];
+    const std::string cls{name.text};
+    if (!body_has(body, "scheduling", '('))
+      add(out, "R2", sf, line,
+          "protocol class '" + cls +
+              "' does not override scheduling() — every protocol must "
+              "declare its Dense/EventDriven audit explicitly");
+    if (!body_has(body, "fault_tolerance", '('))
+      add(out, "R2", sf, line,
+          "protocol class '" + cls +
+              "' does not override fault_tolerance() — every protocol "
+              "must declare which injected FaultKinds it absorbs");
+    const bool declares_crash = body_has(body, "kTolerateCrash", '\0') ||
+                                body_has(body, "kFaultTolerant", '\0');
+    if (declares_crash && !body_has(body, "on_crash_restart", '('))
+      add(out, "R2", sf, line,
+          "protocol class '" + cls +
+              "' declares crash tolerance but does not override "
+              "on_crash_restart — a restarted node would resume with "
+              "stale state");
+  }
+}
+
+// ----------------------------------------------- R3 checked arithmetic
+
+/// Accumulation sites where Weight sums are audited to go through
+/// util/checked.h.  Extend this list when a new file grows a cut-value /
+/// weighted-degree / aggregate accumulation loop.
+constexpr std::array<std::string_view, 7> kR3Files = {
+    "src/graph/graph.cpp",
+    "src/graph/cut.cpp",
+    "src/congest/primitives/convergecast.cpp",
+    "src/core/subtree_sums.cpp",
+    "src/core/cut_verify.cpp",
+    "src/core/one_respect.cpp",
+    "src/central/matula.cpp",
+};
+
+void rule_r3(const SourceFile& sf, std::vector<Finding>& out) {
+  if (std::find(kR3Files.begin(), kR3Files.end(), sf.path) ==
+      kR3Files.end())
+    return;
+  // Pass 1: identifiers declared with type Weight ("Weight x", "const
+  // Weight& x").  Function names with a Weight return type land in the
+  // set too, which is harmless — nothing applies += to a function name.
+  std::set<std::string, std::less<>> weight_vars;
+  for (const std::string& code : sf.code) {
+    const std::vector<Token> toks = tokenize(code);
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].text != "Weight") continue;
+      std::size_t p = toks[i].pos + toks[i].text.size();
+      while (p < code.size() &&
+             (std::isspace(static_cast<unsigned char>(code[p])) != 0 ||
+              code[p] == '&' || code[p] == '*'))
+        ++p;
+      if (p == toks[i + 1].pos) weight_vars.insert(std::string(toks[i + 1].text));
+    }
+  }
+  // Pass 2: raw accumulation on those identifiers.
+  for (std::size_t li = 0; li < sf.num_lines(); ++li) {
+    const std::string& code = sf.code[li];
+    const std::vector<Token> toks = tokenize(code);
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (weight_vars.find(t.text) == weight_vars.end()) continue;
+      const std::size_t after = skip_spaces(code, t.pos + t.text.size());
+      const bool plus_eq = after + 1 < code.size() &&
+                           code[after] == '+' && code[after + 1] == '=';
+      // "x = x + …" — same accumulator on both sides of a raw plus.
+      bool self_add = false;
+      if (after < code.size() && code[after] == '=' &&
+          (after + 1 >= code.size() || code[after + 1] != '=') &&
+          i + 1 < toks.size() && toks[i + 1].text == t.text) {
+        const std::size_t after2 =
+            skip_spaces(code, toks[i + 1].pos + toks[i + 1].text.size());
+        self_add = after2 < code.size() && code[after2] == '+';
+      }
+      if (plus_eq || self_add)
+        add(out, "R3", sf, li + 1,
+            "raw accumulation on Weight-typed '" + std::string(t.text) +
+                "' — route through checked_add/checked_double "
+                "(util/checked.h) so 64-bit wraparound throws instead "
+                "of corrupting the cut value");
+    }
+  }
+}
+
+// ---------------------------------------------------- R4 error hygiene
+
+void rule_r4(const SourceFile& sf, std::vector<Finding>& out) {
+  if (!path_starts_with(sf.path, "src/") &&
+      !path_starts_with(sf.path, "include/") &&
+      !path_starts_with(sf.path, "tools/"))
+    return;
+  const Joined j{sf};
+  const std::vector<Token> toks = tokenize(j.code);
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].text != "throw") continue;
+    const Token& type = toks[i + 1];
+    if (type.text != "InvariantError" && type.text != "PreconditionError")
+      continue;
+    std::size_t p = skip_spaces(j.code, type.pos + type.text.size());
+    if (p >= j.code.size() || (j.code[p] != '{' && j.code[p] != '('))
+      continue;
+    const char close = j.code[p] == '{' ? '}' : ')';
+    p = skip_spaces(j.code, p + 1);
+    if (p >= j.code.size() || j.code[p] != '"') continue;
+    const std::size_t q1 = p;
+    const std::size_t q2 = j.code.find('"', q1 + 1);
+    if (q2 == std::string::npos) continue;
+    const std::size_t end = skip_spaces(j.code, q2 + 1);
+    if (end >= j.code.size() || j.code[end] != close)
+      continue;  // built message (concatenation / ostream) — has context
+    const std::string_view literal{j.raw.data() + q1 + 1, q2 - q1 - 1};
+    if (literal.find(' ') == std::string_view::npos)
+      add(out, "R4", sf, j.line_of[toks[i].pos],
+          "bare error message \"" + std::string(literal) + "\" in throw " +
+              std::string(type.text) +
+              " — say what failed and include the offending values");
+  }
+}
+
+// -------------------------------------------------- R5 include hygiene
+
+void rule_r5(const SourceFile& sf, const LintConfig& cfg,
+             std::vector<Finding>& out) {
+  if (!sf.is_header()) return;
+  if (!path_starts_with(sf.path, "src/") &&
+      !path_starts_with(sf.path, "include/"))
+    return;
+  // Match in the CODE view (a "#pragma once" inside a comment or string
+  // must not satisfy the rule), read literal text back out of raw.
+  bool has_pragma = false;
+  for (const std::string& codeline : sf.code)
+    if (codeline.find("#pragma once") != std::string::npos) {
+      has_pragma = true;
+      break;
+    }
+  if (!has_pragma)
+    add(out, "R5", sf, 1,
+        "header has no #pragma once — double inclusion breaks the "
+        "self-containedness contract");
+
+  namespace fs = std::filesystem;
+  for (std::size_t li = 0; li < sf.num_lines(); ++li) {
+    const std::string& codeline = sf.code[li];
+    const std::size_t h = codeline.find("#include \"");
+    if (h == std::string::npos) continue;
+    const std::size_t b = h + 10;
+    const std::size_t e = codeline.find('"', b);
+    if (e == std::string::npos) continue;
+    // The path bytes are string contents — blanked in code, real in raw.
+    const std::string inc = sf.raw[li].substr(b, e - b);
+    if (inc.rfind("../", 0) == 0 || inc.rfind("./", 0) == 0) {
+      add(out, "R5", sf, li + 1,
+          "relative include \"" + inc +
+              "\" — project includes are rooted at src/ or include/");
+      continue;
+    }
+    const fs::path root{cfg.root};
+    if (!fs::exists(root / "src" / inc) &&
+        !fs::exists(root / "include" / inc))
+      add(out, "R5", sf, li + 1,
+          "include \"" + inc +
+              "\" does not resolve under src/ or include/");
+  }
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- dispatch
+
+bool LintConfig::rule_enabled(const std::string& r) const {
+  return rules.empty() ||
+         std::find(rules.begin(), rules.end(), r) != rules.end();
+}
+
+void run_rules(const SourceFile& sf, const LintConfig& cfg,
+               std::vector<Finding>& out) {
+  if (cfg.rule_enabled("R1")) rule_r1(sf, out);
+  if (cfg.rule_enabled("R2")) rule_r2(sf, out);
+  if (cfg.rule_enabled("R3")) rule_r3(sf, out);
+  if (cfg.rule_enabled("R4")) rule_r4(sf, out);
+  if (cfg.rule_enabled("R5")) rule_r5(sf, cfg, out);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+}
+
+void apply_suppressions(const SourceFile& sf, std::vector<Finding> raw,
+                        LintResult& result) {
+  const SuppressionScan scan = scan_suppressions(sf);
+  for (const auto& [line, msg] : scan.malformed) {
+    result.findings.push_back(Finding{"suppression", sf.path, line, msg});
+    ++result.per_rule["suppression"].findings;
+  }
+  for (Finding& f : raw) {
+    const auto covered = [&](const Suppression& s) {
+      if (std::find(s.rules.begin(), s.rules.end(), f.rule) ==
+          s.rules.end())
+        return false;
+      return s.file_wide || s.line == f.line || s.line + 1 == f.line;
+    };
+    const bool suppressed =
+        std::any_of(scan.suppressions.begin(), scan.suppressions.end(),
+                    covered);
+    if (suppressed) {
+      ++result.per_rule[f.rule].suppressed;
+      result.suppressed.push_back(std::move(f));
+    } else {
+      ++result.per_rule[f.rule].findings;
+      result.findings.push_back(std::move(f));
+    }
+  }
+}
+
+void lint_file(const SourceFile& sf, const LintConfig& cfg,
+               LintResult& result) {
+  std::vector<Finding> raw;
+  run_rules(sf, cfg, raw);
+  apply_suppressions(sf, std::move(raw), result);
+  ++result.files_scanned;
+}
+
+}  // namespace dmc::lint

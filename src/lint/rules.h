@@ -1,0 +1,98 @@
+// dmc_lint rule catalogue — project-specific conventions, each one the
+// source-level shadow of a guarantee a test suite enforces downstream:
+//
+//   R1 determinism      No nondeterminism sources in the deterministic
+//                       layers (src/, include/): rand()/random_device/
+//                       time()/wall clocks, and no std::unordered_map /
+//                       unordered_set (hash iteration order varies across
+//                       libstdc++ versions and ASLR; one stray iteration
+//                       breaks the engines × threads × scheduling ×
+//                       faults bit-identicality suites).
+//   R2 protocol contract Every class deriving Protocol must explicitly
+//                       override scheduling() and fault_tolerance() — the
+//                       audits PR 2/PR 7 made mandatory — and a class
+//                       declaring crash tolerance must override
+//                       on_crash_restart.
+//   R3 checked arithmetic In the listed accumulation sites, a raw `+=` on
+//                       a Weight-typed accumulator must route through
+//                       util/checked.h (silent 64-bit wraparound corrupts
+//                       cut values instead of failing).
+//   R4 error hygiene    throw InvariantError/PreconditionError with a
+//                       bare one-word literal is useless at triage time;
+//                       messages must carry context.
+//   R5 include hygiene  Headers under src/ and include/ must start from
+//                       #pragma once and every quoted include must
+//                       resolve inside the project roots (no ../ paths).
+//                       True self-containedness is compile-checked by the
+//                       generated test_header_hygiene target; this rule
+//                       catches the cheap structural half statically.
+//
+// Rules are token-level over the lexed views in source.h — no real C++
+// parsing.  That is a feature: the rules stay ~200 lines, run in
+// milliseconds over the repo, and their misses are conventions a reviewer
+// would miss too.  Suppression comments (source.h) are the escape hatch,
+// counted in every report so exemptions stay visible.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/source.h"
+
+namespace dmc::lint {
+
+struct Finding {
+  std::string rule;     ///< "R1".."R5" or "suppression"
+  std::string path;     ///< repo-relative
+  std::size_t line{0};  ///< 1-based
+  std::string message;
+
+  [[nodiscard]] bool operator==(const Finding&) const = default;
+};
+
+struct LintConfig {
+  /// Repo root all scanned paths and rule scopes are relative to.
+  std::string root{"."};
+  /// Scan roots, relative to `root`.
+  std::vector<std::string> paths{"src", "include", "tools", "bench",
+                                 "tests"};
+  /// Enabled rules; empty = all.
+  std::vector<std::string> rules;
+
+  [[nodiscard]] bool rule_enabled(const std::string& r) const;
+};
+
+/// Per-rule outcome counts for the summary/report.
+struct RuleStats {
+  std::size_t findings{0};   ///< unsuppressed (these fail the run)
+  std::size_t suppressed{0};
+};
+
+struct LintResult {
+  std::vector<Finding> findings;    ///< unsuppressed, file/line order
+  std::vector<Finding> suppressed;  ///< suppressed, kept for the report
+  std::map<std::string, RuleStats> per_rule;
+  std::size_t files_scanned{0};
+
+  [[nodiscard]] bool clean() const { return findings.empty(); }
+};
+
+/// Runs every enabled rule over one lexed file, appending RAW findings
+/// (suppressions not yet applied).  Exposed separately so the fixture
+/// self-tests can assert exactly which lines fire.
+void run_rules(const SourceFile& sf, const LintConfig& cfg,
+               std::vector<Finding>& out);
+
+/// Applies the file's suppression comments to raw findings: covered
+/// findings move to `suppressed`, malformed dmc-lint comments become
+/// "suppression" findings.  Returns counts merged into `result`.
+void apply_suppressions(const SourceFile& sf, std::vector<Finding> raw,
+                        LintResult& result);
+
+/// Scans one file end to end: lex is the caller's job (load_source),
+/// rules + suppressions happen here.
+void lint_file(const SourceFile& sf, const LintConfig& cfg,
+               LintResult& result);
+
+}  // namespace dmc::lint

@@ -1,0 +1,80 @@
+#include "lint/scanner.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "lint/source.h"
+#include "util/assert.h"
+
+namespace dmc::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+[[nodiscard]] bool wanted_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cpp";
+}
+
+[[nodiscard]] std::string to_rel(const fs::path& p, const fs::path& root) {
+  std::string rel = fs::relative(p, root).generic_string();
+  return rel;
+}
+
+[[nodiscard]] bool excluded(const std::string& rel) {
+  // The fixture corpus exists to violate the rules; scanning it would
+  // make every run red.  Build trees and dot dirs are not ours.
+  if (rel.find("lint_fixtures") != std::string::npos) return true;
+  if (rel.rfind("build", 0) == 0) return true;
+  for (std::size_t i = 0, seg = 0; i < rel.size(); ++i) {
+    if (rel[i] == '/')
+      seg = i + 1;
+    else if (i == seg && rel[i] == '.')
+      return true;  // dot segment: ".git/…", hidden files
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<ScannedFile> collect_files(const LintConfig& cfg) {
+  const fs::path root{cfg.root};
+  DMC_REQUIRE_MSG(fs::exists(root),
+                  "dmc_lint: root '" << cfg.root << "' does not exist");
+  std::vector<ScannedFile> out;
+  for (const std::string& rel : cfg.paths) {
+    const fs::path base = root / rel;
+    if (!fs::exists(base)) continue;  // optional scan roots may be absent
+    if (fs::is_regular_file(base)) {
+      out.push_back({base.string(), to_rel(base, root)});
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file() || !wanted_extension(entry.path()))
+        continue;
+      std::string r = to_rel(entry.path(), root);
+      if (excluded(r)) continue;
+      out.push_back({entry.path().string(), std::move(r)});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ScannedFile& a, const ScannedFile& b) {
+              return a.rel_path < b.rel_path;
+            });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const ScannedFile& a, const ScannedFile& b) {
+                          return a.rel_path == b.rel_path;
+                        }),
+            out.end());
+  return out;
+}
+
+LintResult run_lint(const LintConfig& cfg) {
+  LintResult result;
+  for (const ScannedFile& f : collect_files(cfg))
+    lint_file(load_source(f.full_path, f.rel_path), cfg, result);
+  return result;
+}
+
+}  // namespace dmc::lint

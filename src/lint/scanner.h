@@ -1,0 +1,30 @@
+// dmc_lint file discovery: walk the configured scan roots and return
+// every C++ source file as a (full path, repo-relative path) pair, in
+// sorted repo-relative order — the scan itself obeys R1 (no dependence on
+// directory enumeration order).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/rules.h"
+
+namespace dmc::lint {
+
+struct ScannedFile {
+  std::string full_path;  ///< openable path (root-prefixed)
+  std::string rel_path;   ///< repo-relative, '/'-separated (rule scoping)
+};
+
+/// Files under cfg.root/cfg.paths with extension .h or .cpp, sorted by
+/// rel_path.  Skips tests/lint_fixtures (the planted-violation corpus the
+/// self-tests feed through the rules on purpose), build trees, and dot
+/// directories.  A configured path that is a single file is taken as-is.
+[[nodiscard]] std::vector<ScannedFile> collect_files(const LintConfig& cfg);
+
+/// Lints every collected file.  The scan is the whole tool: lex, rules,
+/// suppressions, aggregated into one result.
+[[nodiscard]] LintResult run_lint(const LintConfig& cfg);
+
+}  // namespace dmc::lint

@@ -1,0 +1,247 @@
+#include "lint/source.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace dmc::lint {
+
+namespace {
+
+enum class LexState {
+  kCode,
+  kString,
+  kChar,
+  kRawString,
+  kLineComment,
+  kBlockComment,
+};
+
+}  // namespace
+
+SourceFile lex_source(std::string path, std::string_view text) {
+  SourceFile sf;
+  sf.path = std::move(path);
+
+  LexState state = LexState::kCode;
+  std::string raw_delim;  // raw-string closing delimiter: )delim"
+  std::string line_raw, line_code, line_comment;
+
+  const auto flush_line = [&] {
+    sf.raw.push_back(line_raw);
+    sf.code.push_back(line_code);
+    sf.comment.push_back(line_comment);
+    line_raw.clear();
+    line_code.clear();
+    line_comment.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      if (state == LexState::kLineComment) state = LexState::kCode;
+      flush_line();
+      continue;
+    }
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    char code_c = ' ';
+    char comment_c = ' ';
+    switch (state) {
+      case LexState::kCode:
+        if (c == '/' && next == '/') {
+          state = LexState::kLineComment;
+          comment_c = ' ';
+        } else if (c == '/' && next == '*') {
+          state = LexState::kBlockComment;
+          ++i;
+          line_raw += "/*";
+          line_code += "  ";
+          line_comment += "  ";
+          continue;
+        } else if (c == '"') {
+          // R"delim( raw string?  Look back over the code we just wrote.
+          if (!line_code.empty() && line_code.back() == 'R') {
+            std::size_t j = i + 1;
+            std::string delim;
+            while (j < text.size() && text[j] != '(' && text[j] != '"' &&
+                   text[j] != '\n' && delim.size() < 16)
+              delim += text[j++];
+            if (j < text.size() && text[j] == '(') {
+              state = LexState::kRawString;
+              raw_delim = ")" + delim + "\"";
+              code_c = '"';
+              break;
+            }
+          }
+          state = LexState::kString;
+          code_c = '"';
+        } else if (c == '\'') {
+          state = LexState::kChar;
+          code_c = '\'';
+        } else {
+          code_c = c;
+        }
+        break;
+      case LexState::kString:
+        if (c == '\\' && next != '\0') {
+          line_raw += c;
+          line_raw += next;
+          line_code += "  ";
+          line_comment += "  ";
+          ++i;
+          continue;
+        }
+        if (c == '"') {
+          state = LexState::kCode;
+          code_c = '"';
+        }
+        break;
+      case LexState::kChar:
+        if (c == '\\' && next != '\0') {
+          line_raw += c;
+          line_raw += next;
+          line_code += "  ";
+          line_comment += "  ";
+          ++i;
+          continue;
+        }
+        if (c == '\'') {
+          state = LexState::kCode;
+          code_c = '\'';
+        }
+        break;
+      case LexState::kRawString:
+        if (c == ')' &&
+            text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 0; k < raw_delim.size() && i < text.size();
+               ++k, ++i) {
+            if (text[i] == '\n') {
+              flush_line();
+              continue;
+            }
+            line_raw += text[i];
+            line_code += text[i] == '"' ? '"' : ' ';
+            line_comment += ' ';
+          }
+          --i;
+          state = LexState::kCode;
+          continue;
+        }
+        break;
+      case LexState::kLineComment:
+        comment_c = c;
+        break;
+      case LexState::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = LexState::kCode;
+          line_raw += "*/";
+          line_code += "  ";
+          line_comment += "  ";
+          ++i;
+          continue;
+        }
+        comment_c = c;
+        break;
+    }
+    line_raw += c;
+    line_code += code_c;
+    line_comment += comment_c;
+  }
+  if (!line_raw.empty()) flush_line();
+  return sf;
+}
+
+SourceFile load_source(const std::string& full_path, std::string path) {
+  std::ifstream in(full_path, std::ios::binary);
+  DMC_REQUIRE_MSG(in.good(), "dmc_lint: cannot read '" << full_path << "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return lex_source(std::move(path), buf.str());
+}
+
+namespace {
+
+/// Parses "allow(R1,R2) -- reason" starting right after the marker.
+/// Returns false on malformed syntax (message in *err).
+bool parse_allow(std::string_view rest, std::size_t line, bool file_wide,
+                 SuppressionScan& out, std::string* err) {
+  const std::size_t open = rest.find('(');
+  const std::size_t close = rest.find(')');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open) {
+    *err = "expected allow(<rule>[,<rule>…])";
+    return false;
+  }
+  Suppression s;
+  s.line = line;
+  s.file_wide = file_wide;
+  std::string rule;
+  for (std::size_t i = open + 1; i <= close; ++i) {
+    const char c = i < close ? rest[i] : ',';
+    if (c == ',' ) {
+      if (!rule.empty()) s.rules.push_back(rule);
+      rule.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      rule += c;
+    }
+  }
+  if (s.rules.empty()) {
+    *err = "empty rule list";
+    return false;
+  }
+  const std::size_t dashes = rest.find("--", close);
+  if (dashes == std::string_view::npos) {
+    *err = "missing ' -- reason' (suppressions must be justified)";
+    return false;
+  }
+  std::size_t b = dashes + 2;
+  while (b < rest.size() &&
+         std::isspace(static_cast<unsigned char>(rest[b])))
+    ++b;
+  s.reason = std::string(rest.substr(b));
+  while (!s.reason.empty() &&
+         std::isspace(static_cast<unsigned char>(s.reason.back())))
+    s.reason.pop_back();
+  if (s.reason.empty()) {
+    *err = "missing ' -- reason' (suppressions must be justified)";
+    return false;
+  }
+  out.suppressions.push_back(std::move(s));
+  return true;
+}
+
+}  // namespace
+
+SuppressionScan scan_suppressions(const SourceFile& sf) {
+  SuppressionScan out;
+  constexpr std::string_view kMarker = "dmc-lint:";
+  for (std::size_t li = 0; li < sf.num_lines(); ++li) {
+    const std::string& com = sf.comment[li];
+    const std::size_t at = com.find(kMarker);
+    if (at == std::string::npos) continue;
+    std::string_view rest{com};
+    rest.remove_prefix(at + kMarker.size());
+    while (!rest.empty() &&
+           std::isspace(static_cast<unsigned char>(rest.front())))
+      rest.remove_prefix(1);
+    std::string err;
+    bool ok = false;
+    if (rest.rfind("allow-file", 0) == 0) {
+      ok = parse_allow(rest.substr(10), li + 1, /*file_wide=*/true, out,
+                       &err);
+    } else if (rest.rfind("allow", 0) == 0) {
+      ok = parse_allow(rest.substr(5), li + 1, /*file_wide=*/false, out,
+                       &err);
+    } else {
+      err = "unknown directive (expected allow(...) or allow-file(...))";
+    }
+    if (!ok)
+      out.malformed.emplace_back(li + 1,
+                                 "malformed dmc-lint comment: " + err);
+  }
+  return out;
+}
+
+}  // namespace dmc::lint

@@ -1,0 +1,79 @@
+// dmc_lint source model: one scanned file, lexed so rules can tell code
+// from comments and string literals.
+//
+// The lexer is deliberately token-level, not a parser: every rule in this
+// subsystem is a convention the repo enforces on itself (see rules.h), and
+// the failure mode we care about is a HUMAN re-introducing a banned
+// construct, not an adversary hiding one.  The representation keeps three
+// same-length views of every line:
+//   raw     — the bytes as written;
+//   code    — string/char-literal contents and comments blanked to spaces
+//             (quote characters kept, so literal extents stay visible);
+//   comment — only the comment text, everything else blanked.
+// Same-length means a column index is valid in all three views, which is
+// what lets rules match tokens in `code` and then read exact literal text
+// back out of `raw`.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dmc::lint {
+
+struct SourceFile {
+  /// Repo-relative path with '/' separators (stable across platforms —
+  /// findings and suppression reports key on it).
+  std::string path;
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+  std::vector<std::string> comment;
+
+  [[nodiscard]] std::size_t num_lines() const { return raw.size(); }
+  [[nodiscard]] bool is_header() const {
+    return path.size() >= 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+  }
+};
+
+/// Splits `text` into lines and runs the comment/string state machine.
+/// Handles //, /* */, "…" with escapes, '…', and R"delim(…)delim" raw
+/// strings; a state left open at end-of-file simply blanks to the end.
+[[nodiscard]] SourceFile lex_source(std::string path, std::string_view text);
+
+/// Loads and lexes one file from disk; throws PreconditionError when the
+/// file cannot be read.  `path` is used verbatim as the repo-relative
+/// name; `full_path` is where the bytes live.
+[[nodiscard]] SourceFile load_source(const std::string& full_path,
+                                     std::string path);
+
+// ---------------------------------------------------------------------
+// Suppressions.  A finding is an error unless a suppression comment
+// covers it:
+//
+//   // dmc-lint: allow(R1) -- reason why this exemption is sound
+//   // dmc-lint: allow(R1,R3) -- reasons may cover several rules
+//   // dmc-lint: allow-file(R2) -- whole-file exemption
+//
+// `allow` covers findings on the comment's own line and the line directly
+// below it; `allow-file` covers the whole file.  The reason after `--` is
+// MANDATORY: an unexplained suppression is itself reported (rule
+// "suppression"), so exemptions can never accumulate silently.
+// ---------------------------------------------------------------------
+
+struct Suppression {
+  std::size_t line{0};  ///< 1-based line the comment sits on
+  std::vector<std::string> rules;
+  std::string reason;
+  bool file_wide{false};
+};
+
+struct SuppressionScan {
+  std::vector<Suppression> suppressions;
+  /// Malformed suppression comments (bad syntax or missing reason),
+  /// reported as findings by the rule runner: (line, message).
+  std::vector<std::pair<std::size_t, std::string>> malformed;
+};
+
+[[nodiscard]] SuppressionScan scan_suppressions(const SourceFile& sf);
+
+}  // namespace dmc::lint

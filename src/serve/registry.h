@@ -31,6 +31,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+// dmc-lint: allow(R1) -- entries_ is lookup-only by GraphId; see below.
 #include <unordered_map>
 
 #include "core/session_pool.h"
@@ -143,6 +144,10 @@ class GraphRegistry {
 
   mutable std::mutex mu_;
   Options opt_;
+  // Never iterated: every access is a find() by GraphId, and eviction
+  // order comes from lru_ (an explicit list), so no answer or eviction
+  // decision can depend on hash iteration order.
+  // dmc-lint: allow(R1) -- lookup-only by GraphId, never iterated
   std::unordered_map<GraphId, Entry> entries_;
   std::list<GraphId> lru_;  ///< front = most recently used warm entry
   GraphId next_id_{1};

@@ -176,6 +176,7 @@ class Server {
   struct Pending {
     ServeRequest req;
     std::promise<ServeResponse> promise;
+    // dmc-lint: allow(R1) -- deadline bookkeeping only (see server.cpp).
     std::chrono::steady_clock::time_point arrival;
     std::size_t bytes{0};  ///< admission charge, released at dispatch
   };
@@ -188,6 +189,7 @@ class Server {
   /// Serves one update request: patches the registered graph through the
   /// registry (warm entries via their pool, cold graphs directly).
   void dispatch_update(Pending& p,
+                       // dmc-lint: allow(R1) -- deadline bookkeeping only.
                        std::chrono::steady_clock::time_point dispatch_start);
   /// The fault-plan cold path: a private Session per request.
   void dispatch_cold(Pending& p, const Graph& g, bool warm_hit);
@@ -195,6 +197,7 @@ class Server {
   /// cancellation vs failure) and fulfils the promise.
   void settle(Pending& p, SessionPool::SolveOutcome&& outcome,
               bool warm_hit, bool cold_bypass,
+              // dmc-lint: allow(R1) -- deadline bookkeeping only.
               std::chrono::steady_clock::time_point dispatch_start);
 
   ServeOptions opt_;

@@ -8,7 +8,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 namespace dmc {
@@ -53,8 +53,11 @@ class SparseDsu {
   [[nodiscard]] std::size_t known_keys() const { return parent_.size(); }
 
  private:
-  std::unordered_map<std::uint64_t, std::uint64_t> parent_;
-  std::unordered_map<std::uint64_t, std::uint32_t> rank_;
+  // Ordered maps by determinism policy (dmc_lint R1): find/unite never
+  // iterate, but keeping the whole deterministic layer hash-map-free is
+  // cheaper than auditing every future caller.
+  std::map<std::uint64_t, std::uint64_t> parent_;
+  std::map<std::uint64_t, std::uint32_t> rank_;
 };
 
 }  // namespace dmc

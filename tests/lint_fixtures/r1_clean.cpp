@@ -1,0 +1,29 @@
+// Fixture: conforming counterpart to r1_violations.cpp — R1 must stay
+// quiet over this file when it is loaded under a src/ virtual path.
+#include <map>
+#include <set>
+#include <vector>
+
+struct Prng {
+  unsigned long state{0x9e3779b97f4a7c15ull};
+  unsigned long next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+};
+
+int deterministic() {
+  Prng rng;
+  std::map<int, int> ordered;
+  std::set<int> keys;
+  ordered[static_cast<int>(rng.next() % 100)] = 1;
+  keys.insert(3);
+  // The words "random" and "timer" as identifier substrings are fine;
+  // only the exact banned tokens fire.
+  int random_budget = 5;
+  int timer_rounds = 2;
+  return random_budget + timer_rounds + static_cast<int>(ordered.size()) +
+         static_cast<int>(keys.size());
+}

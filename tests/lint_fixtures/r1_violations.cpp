@@ -1,0 +1,32 @@
+// Fixture: planted R1 violations.  test_lint loads this file under the
+// virtual path "src/fixtures/r1_violations.cpp" so the determinism scope
+// applies.  NOT compiled — this directory is excluded from the build and
+// from dmc_lint's own scan.
+#include <chrono>
+#include <cstdlib>
+#include <unordered_map>  // line 7: banned container include
+
+void planted() {
+  int x = rand();                                // line 10: banned RNG
+  std::srand(42);                                // line 11: banned RNG
+  auto t0 = std::chrono::steady_clock::now();    // line 12: wall clock
+  long now = time(nullptr);                      // line 13: time() call
+  std::unordered_map<int, int> m;                // line 14: hash container
+  (void)x; (void)t0; (void)now; (void)m;
+}
+
+struct Session;
+
+long fine(const Session& s, const Session* p) {
+  // Member access: s.time() and p->time() must NOT fire (the rule only
+  // flags the global wall-clock time()).  Never compiled, so the members
+  // need no declaration.
+  return s.time() + p->time();
+}
+
+void quoted() {
+  // Banned tokens inside comments and string literals must NOT fire:
+  // rand(), steady_clock, unordered_map.
+  const char* msg = "call rand() and read steady_clock";
+  (void)msg;
+}

@@ -1,0 +1,48 @@
+// Fixture: planted R2 violations.  Loaded as "src/fixtures/r2_violations.cpp".
+// The class bodies only need to LOOK like protocol code to the token-level
+// rule; they are never compiled.
+#include <cstdint>
+
+struct Protocol {};
+enum class SchedulingKind { kDense, kEventDriven };
+enum class FaultMask : std::uint32_t { kNone = 0, kTolerateCrash = 1 };
+
+// line 11: missing scheduling() AND fault_tolerance() — two findings.
+class BrokenBoth : public Protocol {
+ public:
+  void round() {}
+};
+
+// Missing only fault_tolerance().
+class BrokenFault : public Protocol {
+ public:
+  SchedulingKind scheduling() const { return SchedulingKind::kDense; }
+};
+
+// Declares crash tolerance but never overrides on_crash_restart.
+class BrokenCrash : public Protocol {
+ public:
+  SchedulingKind scheduling() const { return SchedulingKind::kDense; }
+  std::uint32_t fault_tolerance() const {
+    return static_cast<std::uint32_t>(FaultMask::kTolerateCrash);
+  }
+};
+
+// Fully conforming — no finding.
+class GoodProtocol : public dmc::Protocol {
+ public:
+  SchedulingKind scheduling() const { return SchedulingKind::kEventDriven; }
+  std::uint32_t fault_tolerance() const {
+    return static_cast<std::uint32_t>(FaultMask::kTolerateCrash);
+  }
+  void on_crash_restart(int v) { (void)v; }
+};
+
+// Not a protocol at all — R2 must ignore it.
+class Unrelated {
+ public:
+  int helper() const { return 1; }
+};
+
+// Forward declaration with no body — must not trip the brace matcher.
+class ForwardProtocol;

@@ -1,0 +1,30 @@
+// Fixture: planted R3 violations.  Loaded as "src/core/subtree_sums.cpp"
+// (one of the audited accumulation sites) so the rule's file filter
+// applies.
+#include <cstdint>
+#include <vector>
+
+using Weight = std::int64_t;
+
+Weight planted_sum(const std::vector<Weight>& ws) {
+  Weight total = 0;
+  for (const Weight w : ws) {
+    total += w;          // line 12: raw += on a Weight accumulator
+  }
+  Weight twice = 0;
+  twice = twice + total;  // line 15: raw self-add
+  return twice;
+}
+
+Weight checked_sum(const std::vector<Weight>& ws) {
+  Weight total = 0;
+  for (const Weight w : ws) {
+    total = checked_add(total, w);  // routed through util/checked.h — OK
+  }
+  // Raw arithmetic on non-Weight locals must NOT fire.
+  int count = 0;
+  count += 1;
+  // Comparison is not assignment: must NOT fire.
+  if (total == total + 0) count += 1;
+  return total + count;
+}

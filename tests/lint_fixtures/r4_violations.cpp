@@ -1,0 +1,26 @@
+// Fixture: planted R4 violations.  Loaded as "src/fixtures/r4_violations.cpp".
+#include <string>
+
+struct InvariantError {
+  explicit InvariantError(std::string m) : msg(std::move(m)) {}
+  std::string msg;
+};
+struct PreconditionError {
+  explicit PreconditionError(std::string m) : msg(std::move(m)) {}
+  std::string msg;
+};
+
+void planted(int v) {
+  if (v == 1) throw InvariantError{"overflow"};        // line 14: bare word
+  if (v == 2) throw PreconditionError("bad");          // line 15: bare word
+  if (v == 3)
+    throw InvariantError{                              // line 17: bare word
+        "corrupt"};
+}
+
+void conforming(int v, const std::string& ctx) {
+  // Multi-word literals and built messages carry context — no finding.
+  if (v == 4) throw InvariantError{"subtree sum overflowed at root"};
+  if (v == 5) throw PreconditionError("graph is empty: " + ctx);
+  if (v == 6) throw InvariantError{std::string("node ") + ctx};
+}

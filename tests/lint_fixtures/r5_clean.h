@@ -1,0 +1,10 @@
+// Fixture: conforming header — R5 must stay quiet.  Loaded as
+// "src/fixtures/r5_clean.h".  The quoted include resolves under the real
+// repo's src/ tree; system includes are not checked.
+#pragma once
+
+#include <vector>
+
+#include "util/checked.h"
+
+inline int fixture_clean_value() { return 7; }

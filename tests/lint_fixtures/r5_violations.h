@@ -1,0 +1,8 @@
+// Fixture: planted R5 violations.  Loaded as "src/fixtures/r5_violations.h".
+// Deliberately has NO #pragma once (finding at line 1) and two bad
+// includes.
+#include "../util/assert.h"
+#include "no/such/header.h"
+#include "util/checked.h"
+
+inline int fixture_value() { return 42; }

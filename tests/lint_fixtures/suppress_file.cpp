@@ -1,0 +1,10 @@
+// Fixture: whole-file suppression.  Loaded as
+// "src/fixtures/suppress_file.cpp".
+// dmc-lint: allow-file(R1) -- fixture: file-wide exemption covers all R1
+#include <cstdlib>
+
+void all_covered() {
+  int a = rand();
+  int b = rand();
+  (void)a; (void)b;
+}

@@ -1,0 +1,22 @@
+// Fixture: suppression-comment semantics.  Loaded as
+// "src/fixtures/suppressions.cpp".
+#include <cstdlib>
+
+void cases() {
+  // dmc-lint: allow(R1) -- fixture: suppression on the line above covers
+  int a = rand();  // <- suppressed (previous-line form)
+
+  int b = rand();  // dmc-lint: allow(R1) -- fixture: same-line form
+
+  int c = rand();  // line 11: NOT suppressed — real finding
+
+  // dmc-lint: allow(R4) -- fixture: wrong rule, does not cover R1
+  int d = rand();  // line 14: NOT suppressed (rule mismatch)
+
+  // dmc-lint: allow(R1)
+  int e = rand();  // line 17: reason missing above -> malformed + finding
+
+  // dmc-lint: disallow(R1) -- line 19: unknown directive -> malformed
+
+  (void)a; (void)b; (void)c; (void)d; (void)e;
+}

@@ -490,10 +490,11 @@ TEST_P(Tier1FaultsCell, PassesOrRejectsLoudly) {
   const std::uint64_t id = GetParam();
   const CellReport cell = faults_runner().run_cell(id, seed_for(id));
   ASSERT_TRUE(cell.ok()) << cell.failure;
-  if (cell.scenario.faults == FaultProfile::kCrash)
+  if (cell.scenario.faults == FaultProfile::kCrash) {
     EXPECT_TRUE(cell.rejected)
         << cell.scenario.name()
         << ": a crash plan must reject, never produce an answer";
+  }
 }
 
 std::string cell_name(const ::testing::TestParamInfo<std::uint64_t>& info) {

@@ -1,0 +1,260 @@
+// Self-tests for dmc_lint (src/lint): every rule must fire on its
+// planted-violation fixture (tests/lint_fixtures/) and stay quiet on the
+// conforming counterpart, suppression semantics must match the documented
+// contract, and — the gate this suite exists for — the REAL repo tree
+// must lint clean (RepoClean below runs dmc_lint's engine over
+// DMC_REPO_ROOT exactly as CI's lint job does).
+//
+// Fixtures are loaded under VIRTUAL repo-relative paths ("src/fixtures/…")
+// so the rules' path scoping applies to them; the fixture directory itself
+// is excluded from real scans by the scanner.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace dmc::lint {
+namespace {
+
+SourceFile load_fixture(const std::string& name, std::string virtual_path) {
+  return load_source(std::string(DMC_LINT_FIXTURES) + "/" + name,
+                     std::move(virtual_path));
+}
+
+LintResult lint_fixture(const std::string& name, std::string virtual_path,
+                        std::vector<std::string> rules) {
+  LintConfig cfg;
+  cfg.root = DMC_REPO_ROOT;
+  cfg.rules = std::move(rules);
+  LintResult result;
+  lint_file(load_fixture(name, std::move(virtual_path)), cfg, result);
+  return result;
+}
+
+std::vector<std::size_t> lines_of(const std::vector<Finding>& fs,
+                                  const std::string& rule) {
+  std::vector<std::size_t> out;
+  for (const Finding& f : fs)
+    if (f.rule == rule) out.push_back(f.line);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string dump(const std::vector<Finding>& fs) {
+  std::ostringstream os;
+  for (const Finding& f : fs)
+    os << "  " << f.path << ':' << f.line << ": [" << f.rule << "] "
+       << f.message << '\n';
+  return os.str();
+}
+
+// ----------------------------------------------------------------- lexer
+
+TEST(LintLexer, BlanksStringsAndCommentsKeepingColumns) {
+  const SourceFile sf = lex_source(
+      "src/x.cpp", "int a = 1; // trailing note\nconst char* s = \"ra()\";\n");
+  ASSERT_EQ(sf.num_lines(), 2u);
+  // Every view of a line has the same length — shared column offsets.
+  for (std::size_t i = 0; i < sf.num_lines(); ++i) {
+    EXPECT_EQ(sf.raw[i].size(), sf.code[i].size());
+    EXPECT_EQ(sf.raw[i].size(), sf.comment[i].size());
+  }
+  EXPECT_EQ(sf.code[0].find("trailing"), std::string::npos);
+  EXPECT_NE(sf.comment[0].find("trailing note"), std::string::npos);
+  // String CONTENTS blanked, quote characters kept.
+  EXPECT_EQ(sf.code[1].find("ra()"), std::string::npos);
+  EXPECT_NE(sf.code[1].find('"'), std::string::npos);
+  EXPECT_NE(sf.raw[1].find("ra()"), std::string::npos);
+}
+
+TEST(LintLexer, BlockCommentsAndRawStrings) {
+  const SourceFile sf = lex_source(
+      "src/x.cpp",
+      "int a; /* rand() in\n a block comment */ int b;\n"
+      "auto r = R\"(rand() inside raw)\";\n");
+  ASSERT_EQ(sf.num_lines(), 3u);
+  EXPECT_EQ(sf.code[0].find("rand"), std::string::npos);
+  EXPECT_EQ(sf.code[1].find("comment"), std::string::npos);
+  EXPECT_NE(sf.code[1].find("int b;"), std::string::npos);
+  EXPECT_EQ(sf.code[2].find("rand"), std::string::npos);
+  EXPECT_NE(sf.raw[2].find("rand() inside raw"), std::string::npos);
+}
+
+// ---------------------------------------------------------- R1 fixtures
+
+TEST(LintR1, FiresOnEveryPlantedViolation) {
+  const LintResult r =
+      lint_fixture("r1_violations.cpp", "src/fixtures/r1_violations.cpp",
+                   {"R1"});
+  const std::vector<std::size_t> expect{7, 10, 11, 12, 13, 14};
+  EXPECT_EQ(lines_of(r.findings, "R1"), expect) << dump(r.findings);
+  EXPECT_TRUE(r.suppressed.empty());
+}
+
+TEST(LintR1, QuietOnConformingCode) {
+  const LintResult r =
+      lint_fixture("r1_clean.cpp", "src/fixtures/r1_clean.cpp", {"R1"});
+  EXPECT_TRUE(r.clean()) << dump(r.findings);
+}
+
+TEST(LintR1, ScopeExcludesBenchAndTests) {
+  // The same planted file outside the deterministic layers is fine —
+  // timing harnesses legitimately read clocks.
+  for (const char* vpath :
+       {"bench/fixture.cpp", "tests/fixture.cpp", "tools/fixture.cpp"}) {
+    const LintResult r = lint_fixture("r1_violations.cpp", vpath, {"R1"});
+    EXPECT_TRUE(r.clean()) << vpath << '\n' << dump(r.findings);
+  }
+}
+
+// ---------------------------------------------------------- R2 fixtures
+
+TEST(LintR2, FiresOnIncompleteProtocolContracts) {
+  const LintResult r =
+      lint_fixture("r2_violations.cpp", "src/fixtures/r2_violations.cpp",
+                   {"R2"});
+  ASSERT_EQ(r.findings.size(), 4u) << dump(r.findings);
+  const auto count = [&](const std::string& cls, const std::string& what) {
+    return std::count_if(r.findings.begin(), r.findings.end(),
+                         [&](const Finding& f) {
+                           return f.message.find('\'' + cls + '\'') !=
+                                      std::string::npos &&
+                                  f.message.find(what) != std::string::npos;
+                         });
+  };
+  EXPECT_EQ(count("BrokenBoth", "scheduling"), 1);
+  EXPECT_EQ(count("BrokenBoth", "fault_tolerance"), 1);
+  EXPECT_EQ(count("BrokenFault", "fault_tolerance"), 1);
+  EXPECT_EQ(count("BrokenCrash", "on_crash_restart"), 1);
+  // The conforming and unrelated classes never appear.
+  for (const Finding& f : r.findings) {
+    EXPECT_EQ(f.message.find("GoodProtocol"), std::string::npos);
+    EXPECT_EQ(f.message.find("Unrelated"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------- R3 fixtures
+
+TEST(LintR3, FiresOnRawWeightAccumulationInAuditedFiles) {
+  const LintResult r = lint_fixture("r3_violations.cpp",
+                                    "src/core/subtree_sums.cpp", {"R3"});
+  const std::vector<std::size_t> expect{12, 15};
+  EXPECT_EQ(lines_of(r.findings, "R3"), expect) << dump(r.findings);
+}
+
+TEST(LintR3, QuietOutsideTheAuditedFileList) {
+  const LintResult r = lint_fixture("r3_violations.cpp",
+                                    "src/core/unlisted_file.cpp", {"R3"});
+  EXPECT_TRUE(r.clean()) << dump(r.findings);
+}
+
+// ---------------------------------------------------------- R4 fixtures
+
+TEST(LintR4, FiresOnBareOneWordThrowMessages) {
+  const LintResult r =
+      lint_fixture("r4_violations.cpp", "src/fixtures/r4_violations.cpp",
+                   {"R4"});
+  const std::vector<std::size_t> expect{14, 15, 17};
+  EXPECT_EQ(lines_of(r.findings, "R4"), expect) << dump(r.findings);
+  ASSERT_EQ(r.findings.size(), 3u);
+  EXPECT_NE(r.findings[0].message.find("overflow"), std::string::npos);
+  EXPECT_NE(r.findings[1].message.find("bad"), std::string::npos);
+  EXPECT_NE(r.findings[2].message.find("corrupt"), std::string::npos);
+}
+
+// ---------------------------------------------------------- R5 fixtures
+
+TEST(LintR5, FiresOnHeaderHygieneViolations) {
+  const LintResult r = lint_fixture("r5_violations.h",
+                                    "src/fixtures/r5_violations.h", {"R5"});
+  const std::vector<std::size_t> expect{1, 4, 5};
+  EXPECT_EQ(lines_of(r.findings, "R5"), expect) << dump(r.findings);
+}
+
+TEST(LintR5, QuietOnConformingHeader) {
+  const LintResult r =
+      lint_fixture("r5_clean.h", "src/fixtures/r5_clean.h", {"R5"});
+  EXPECT_TRUE(r.clean()) << dump(r.findings);
+}
+
+// --------------------------------------------------------- suppressions
+
+TEST(LintSuppressions, CoverageAndMalformedDirectives) {
+  const LintResult r = lint_fixture(
+      "suppressions.cpp", "src/fixtures/suppressions.cpp", {"R1"});
+  // Covered: previous-line form (line 7) and same-line form (line 9).
+  const std::vector<std::size_t> suppressed_expect{7, 9};
+  EXPECT_EQ(lines_of(r.suppressed, "R1"), suppressed_expect)
+      << dump(r.suppressed);
+  // Unsuppressed R1: plain (11), rule-mismatch (14), reason-missing (17).
+  const std::vector<std::size_t> r1_expect{11, 14, 17};
+  EXPECT_EQ(lines_of(r.findings, "R1"), r1_expect) << dump(r.findings);
+  // Malformed dmc-lint comments are findings themselves.
+  const std::vector<std::size_t> malformed_expect{16, 19};
+  EXPECT_EQ(lines_of(r.findings, "suppression"), malformed_expect)
+      << dump(r.findings);
+  ASSERT_TRUE(r.per_rule.count("R1"));
+  EXPECT_EQ(r.per_rule.at("R1").findings, 3u);
+  EXPECT_EQ(r.per_rule.at("R1").suppressed, 2u);
+}
+
+TEST(LintSuppressions, FileWideAllowCoversEveryLine) {
+  const LintResult r = lint_fixture(
+      "suppress_file.cpp", "src/fixtures/suppress_file.cpp", {"R1"});
+  EXPECT_TRUE(r.clean()) << dump(r.findings);
+  EXPECT_EQ(r.suppressed.size(), 2u) << dump(r.suppressed);
+}
+
+// -------------------------------------------------------------- reports
+
+TEST(LintReport, JsonCarriesFindingsSuppressionsAndPerRuleCounts) {
+  const LintResult r = lint_fixture(
+      "suppressions.cpp", "src/fixtures/suppressions.cpp", {"R1"});
+  std::ostringstream os;
+  write_json_report(r, os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"tool\":\"dmc_lint\""), std::string::npos);
+  EXPECT_NE(json.find("\"clean\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"R1\":{\"findings\":3,\"suppressed\":2}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("src/fixtures/suppressions.cpp"), std::string::npos);
+}
+
+TEST(LintReport, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+// ------------------------------------------------------------- scanning
+
+TEST(LintScanner, ExcludesFixturesAndFindsRealSources) {
+  LintConfig cfg;
+  cfg.root = DMC_REPO_ROOT;
+  const std::vector<ScannedFile> files = collect_files(cfg);
+  bool saw_this_test = false;
+  for (const ScannedFile& f : files) {
+    EXPECT_EQ(f.rel_path.find("lint_fixtures"), std::string::npos)
+        << f.rel_path;
+    if (f.rel_path == "tests/test_lint.cpp") saw_this_test = true;
+  }
+  EXPECT_TRUE(saw_this_test);
+  EXPECT_GT(files.size(), 80u);  // the real tree, not an empty stub
+}
+
+// The gate: the REAL repository lints clean, exactly as CI runs it.
+TEST(LintRepo, RepoIsCleanUnderAllRules) {
+  LintConfig cfg;
+  cfg.root = DMC_REPO_ROOT;
+  const LintResult r = run_lint(cfg);
+  EXPECT_TRUE(r.clean()) << "unsuppressed findings in the repo:\n"
+                         << dump(r.findings);
+  EXPECT_GT(r.files_scanned, 80u);
+}
+
+}  // namespace
+}  // namespace dmc::lint

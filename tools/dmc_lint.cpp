@@ -1,0 +1,86 @@
+// dmc_lint — the repo's determinism / protocol-contract / hygiene linter
+// (src/lint).  CI runs it over the whole tree and fails on any
+// unsuppressed finding; run it locally the same way:
+//
+//   ./build/dmc_lint --root=.
+//
+// Scan a subset, or one rule:
+//
+//   ./build/dmc_lint --root=. --paths=src/congest,src/core --rules=R1
+//
+// Machine output (CI uploads this as the lint artifact):
+//
+//   ./build/dmc_lint --root=. --json            # report on stdout
+//   ./build/dmc_lint --root=. --report=lint_report.json
+//
+// Exit code 0 ⇔ clean (suppressed findings do not fail the run — they
+// are counted and reported instead); 1 ⇔ at least one unsuppressed
+// finding; 2 ⇔ usage error.  Suppress a finding at its line (or the line
+// above) with a justified comment:
+//
+//   // dmc-lint: allow(R1) -- reason this exemption is sound
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "lint/lint.h"
+#include "util/options.h"
+
+namespace {
+
+using namespace dmc;
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss{s};
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+int run(const Options& opt) {
+  lint::LintConfig cfg;
+  cfg.root = opt.get_string("root", ".");
+  if (opt.has("paths")) cfg.paths = split_commas(opt.get_string("paths", ""));
+  if (opt.has("rules")) cfg.rules = split_commas(opt.get_string("rules", ""));
+
+  if (opt.get_bool("list-files", false)) {
+    for (const lint::ScannedFile& f : lint::collect_files(cfg))
+      std::cout << f.rel_path << '\n';
+    return 0;
+  }
+
+  const lint::LintResult result = lint::run_lint(cfg);
+
+  if (const std::string report = opt.get_string("report", "");
+      !report.empty()) {
+    std::ofstream out{report};
+    if (!out.good()) {
+      std::cerr << "dmc_lint: cannot write report to '" << report << "'\n";
+      return 2;
+    }
+    lint::write_json_report(result, out);
+  }
+
+  if (opt.get_bool("json", false))
+    lint::write_json_report(result, std::cout);
+  else
+    lint::write_text_report(result, std::cout);
+
+  return result.clean() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt{argc, argv,
+                      {"root", "paths", "rules", "json", "report",
+                       "list-files"}};
+    return run(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "dmc_lint: " << e.what() << '\n';
+    return 2;
+  }
+}

@@ -1,14 +1,14 @@
 // dmc_serve — replay a serving workload against a dmc::Server.
 //
 // Synthesize a workload file (deterministic in its knobs):
-//   ./build/dmc_serve --synth=wl.txt --graphs=8 --requests=200 \
-//       --zipf=1.1 --mean-gap-ms=10 --n=256 --seed=1
+//   ./build/dmc_serve --synth=wl.txt --graphs=8 --requests=200
+//       --zipf=1.1 --mean-gap-ms=10 --n=256 --seed=1   (one line)
 //
 // Replay it (open loop when the trace carries arrival times, closed loop
 // otherwise), printing a latency table per outcome class on stdout and
 // machine-readable JSON lines on stderr:
-//   ./build/dmc_serve --workload=wl.txt --budget-mb=64 --pool=1 \
-//       --threads=1 --depth=256
+//   ./build/dmc_serve --workload=wl.txt --budget-mb=64 --pool=1
+//       --threads=1 --depth=256                        (one line)
 //
 // The replayer is the operational face of the serving layer: one client
 // thread submits on the trace's schedule, the Server's dispatcher coalesces
